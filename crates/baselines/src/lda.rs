@@ -1,0 +1,244 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling.
+//!
+//! Sato augments Sherlock's per-column features with an LDA topic vector of
+//! the *whole table* as "table context" (§5.2). This is a from-scratch LDA:
+//! tables are documents, cell-value words are tokens, and the per-document
+//! topic mixture is the feature Sato appends.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// LDA hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct LdaConfig {
+    pub n_topics: usize,
+    pub alpha: f64,
+    pub beta: f64,
+    pub iterations: usize,
+    pub seed: u64,
+    /// Words occurring fewer times than this across the corpus are dropped.
+    pub min_count: usize,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig { n_topics: 12, alpha: 0.5, beta: 0.1, iterations: 60, seed: 42, min_count: 2 }
+    }
+}
+
+/// A fitted LDA model: vocabulary plus topic-word counts, enough to infer
+/// topic mixtures for unseen documents.
+pub struct Lda {
+    cfg: LdaConfig,
+    vocab: HashMap<String, usize>,
+    /// `[topic][word]` counts from training.
+    topic_word: Vec<Vec<u32>>,
+    /// Total words per topic.
+    topic_totals: Vec<u32>,
+}
+
+fn tokenize(doc: &str) -> impl Iterator<Item = String> + '_ {
+    doc.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() >= 2)
+        .map(|w| w.to_lowercase())
+}
+
+impl Lda {
+    /// Fits LDA on documents with collapsed Gibbs sampling.
+    pub fn fit(docs: &[String], cfg: LdaConfig) -> Lda {
+        // Build vocabulary.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for d in docs {
+            for w in tokenize(d) {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut words: Vec<String> = counts
+            .iter()
+            .filter(|(_, &c)| c >= cfg.min_count)
+            .map(|(w, _)| w.clone())
+            .collect();
+        words.sort_unstable();
+        let vocab: HashMap<String, usize> =
+            words.into_iter().enumerate().map(|(i, w)| (w, i)).collect();
+        let v = vocab.len().max(1);
+        let k = cfg.n_topics;
+
+        // Tokenize documents into word ids.
+        let doc_words: Vec<Vec<usize>> = docs
+            .iter()
+            .map(|d| tokenize(d).filter_map(|w| vocab.get(&w).copied()).collect())
+            .collect();
+
+        // Initialize assignments uniformly at random.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut topic_word = vec![vec![0u32; v]; k];
+        let mut topic_totals = vec![0u32; k];
+        let mut doc_topic = vec![vec![0u32; k]; docs.len()];
+        let mut assign: Vec<Vec<usize>> = doc_words
+            .iter()
+            .enumerate()
+            .map(|(d, ws)| {
+                ws.iter()
+                    .map(|&w| {
+                        let z = rng.gen_range(0..k);
+                        topic_word[z][w] += 1;
+                        topic_totals[z] += 1;
+                        doc_topic[d][z] += 1;
+                        z
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Collapsed Gibbs sweeps.
+        let mut probs = vec![0.0f64; k];
+        for _ in 0..cfg.iterations {
+            for d in 0..doc_words.len() {
+                for (i, &w) in doc_words[d].iter().enumerate() {
+                    let old = assign[d][i];
+                    topic_word[old][w] -= 1;
+                    topic_totals[old] -= 1;
+                    doc_topic[d][old] -= 1;
+                    let mut total = 0.0f64;
+                    for (z, p) in probs.iter_mut().enumerate() {
+                        let pw = (topic_word[z][w] as f64 + cfg.beta)
+                            / (topic_totals[z] as f64 + cfg.beta * v as f64);
+                        let pd = doc_topic[d][z] as f64 + cfg.alpha;
+                        *p = pw * pd;
+                        total += *p;
+                    }
+                    let mut x = rng.gen_range(0.0..total);
+                    let mut new = k - 1;
+                    for (z, &p) in probs.iter().enumerate() {
+                        if x < p {
+                            new = z;
+                            break;
+                        }
+                        x -= p;
+                    }
+                    assign[d][i] = new;
+                    topic_word[new][w] += 1;
+                    topic_totals[new] += 1;
+                    doc_topic[d][new] += 1;
+                }
+            }
+        }
+
+        Lda { cfg, vocab, topic_word, topic_totals }
+    }
+
+    pub fn n_topics(&self) -> usize {
+        self.cfg.n_topics
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Infers the topic mixture of an unseen document by a few Gibbs sweeps
+    /// with the topic-word counts frozen. Returns a normalized `[k]` vector.
+    pub fn infer(&self, doc: &str) -> Vec<f32> {
+        let k = self.cfg.n_topics;
+        let v = self.vocab.len().max(1);
+        let words: Vec<usize> =
+            tokenize(doc).filter_map(|w| self.vocab.get(&w).copied()).collect();
+        if words.is_empty() {
+            return vec![1.0 / k as f32; k];
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5ee0);
+        let mut doc_topic = vec![0u32; k];
+        let mut assign: Vec<usize> = words
+            .iter()
+            .map(|_| {
+                let z = rng.gen_range(0..k);
+                doc_topic[z] += 1;
+                z
+            })
+            .collect();
+        let mut probs = vec![0.0f64; k];
+        for _ in 0..15 {
+            for (i, &w) in words.iter().enumerate() {
+                let old = assign[i];
+                doc_topic[old] -= 1;
+                let mut total = 0.0f64;
+                for (z, p) in probs.iter_mut().enumerate() {
+                    let pw = (self.topic_word[z][w] as f64 + self.cfg.beta)
+                        / (self.topic_totals[z] as f64 + self.cfg.beta * v as f64);
+                    let pd = doc_topic[z] as f64 + self.cfg.alpha;
+                    *p = pw * pd;
+                    total += *p;
+                }
+                let mut x = rng.gen_range(0.0..total);
+                let mut new = k - 1;
+                for (z, &p) in probs.iter().enumerate() {
+                    if x < p {
+                        new = z;
+                        break;
+                    }
+                    x -= p;
+                }
+                assign[i] = new;
+                doc_topic[new] += 1;
+            }
+        }
+        let total: f32 = words.len() as f32;
+        doc_topic.iter().map(|&c| c as f32 / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            if i % 2 == 0 {
+                docs.push("goals assists points team player season league match win".to_string());
+            } else {
+                docs.push("revenue profit quarter earnings shares market stock price".to_string());
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn topics_separate_distinct_domains() {
+        let lda = Lda::fit(&corpus(), LdaConfig { n_topics: 4, iterations: 80, ..Default::default() });
+        let sports = lda.infer("player scored goals for the team in the match");
+        let finance = lda.infer("the stock price and quarterly earnings beat the market");
+        // Dominant topics must differ.
+        let am = |v: &[f32]| {
+            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        assert_ne!(am(&sports), am(&finance), "sports {sports:?} vs finance {finance:?}");
+    }
+
+    #[test]
+    fn mixtures_are_normalized() {
+        let lda = Lda::fit(&corpus(), LdaConfig::default());
+        for doc in ["goals team player", "revenue market", "zzz unseen words only"] {
+            let m = lda.infer(doc);
+            assert_eq!(m.len(), lda.n_topics());
+            let s: f32 = m.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "mixture sums to {s}");
+            assert!(m.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let a = Lda::fit(&corpus(), LdaConfig::default());
+        let b = Lda::fit(&corpus(), LdaConfig::default());
+        assert_eq!(a.infer("goals team player"), b.infer("goals team player"));
+    }
+
+    #[test]
+    fn min_count_prunes_vocabulary() {
+        let docs = vec!["aaa bbb ccc".to_string(), "aaa bbb".to_string(), "aaa".to_string()];
+        let lda = Lda::fit(&docs, LdaConfig { min_count: 2, ..Default::default() });
+        assert_eq!(lda.vocab_size(), 2, "ccc appears once and must be pruned");
+    }
+}

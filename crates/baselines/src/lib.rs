@@ -1,0 +1,32 @@
+//! # doduo-baselines
+//!
+//! Every comparison system the paper evaluates against, built from scratch:
+//!
+//! * [`features`] / [`sherlock`] — Sherlock (KDD '19): per-column
+//!   hand-crafted features + MLP, no table context (§5.2).
+//! * [`lda`] / [`sato`] — Sato (VLDB '20): Sherlock + LDA topic features of
+//!   the whole table + structured output over the column chain (§5.2).
+//! * [`fasttext`] — fastText-style static subword embeddings, the
+//!   case-study baseline (§7).
+//! * [`matchers`] — COMA-style name matching and DistributionBased value
+//!   matching from the Valentine suite (§7, Table 9).
+//!
+//! The TURL baseline is architectural rather than a separate system: it is
+//! `doduo_core::AttentionMode::ColumnVisibility` (the visibility matrix of
+//! §5.4) on the shared encoder, so it lives in `doduo-core`.
+
+pub mod fasttext;
+pub mod features;
+pub mod lda;
+pub mod matchers;
+pub mod sato;
+pub mod sherlock;
+
+pub use fasttext::{cosine, FastText, FastTextConfig};
+pub use features::{column_features, FEATURE_DIMS};
+pub use lda::{Lda, LdaConfig};
+pub use matchers::{
+    coma_matches, distribution_matches, flatten_columns, name_similarity, ColumnRef,
+};
+pub use sato::{Sato, SatoConfig};
+pub use sherlock::{featurize, ColumnExample, Sherlock, SherlockConfig};

@@ -1,0 +1,281 @@
+//! Traditional schema matchers from the Valentine suite (§7, Table 9):
+//! a COMA-style name-based matcher and a DistributionBased value matcher.
+//! Both emit matched column pairs across tables; the case study merges the
+//! pairs into connected components and scores the resulting clustering.
+
+use doduo_table::{Column, Table};
+
+/// A column addressed globally across a set of tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub table: usize,
+    pub column: usize,
+}
+
+/// Flattens tables into a global column list (the order the case study's
+/// ground truth uses).
+pub fn flatten_columns(tables: &[Table]) -> Vec<ColumnRef> {
+    let mut out = Vec::new();
+    for (t, table) in tables.iter().enumerate() {
+        for c in 0..table.n_cols() {
+            out.push(ColumnRef { table: t, column: c });
+        }
+    }
+    out
+}
+
+fn column(tables: &[Table], r: ColumnRef) -> &Column {
+    &tables[r.table].columns[r.column]
+}
+
+// ------------------------------------------------------------------ COMA
+
+/// Character-trigram set of a lower-cased identifier.
+fn trigrams(s: &str) -> std::collections::HashSet<String> {
+    let norm: String = s
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let padded = format!("__{norm}__");
+    let chars: Vec<char> = padded.chars().collect();
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// Levenshtein distance (iterative, two rows).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// COMA-style composite name similarity in `[0, 1]`: the maximum of trigram
+/// Jaccard, normalized edit similarity, and token overlap of snake_case /
+/// whitespace tokens (COMA's "composite of matchers" idea).
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let al = a.to_lowercase();
+    let bl = b.to_lowercase();
+    if al == bl {
+        return 1.0;
+    }
+    let tri_a = trigrams(&al);
+    let tri_b = trigrams(&bl);
+    let inter = tri_a.intersection(&tri_b).count() as f64;
+    let union = (tri_a.len() + tri_b.len()) as f64 - inter;
+    let tri_sim = if union > 0.0 { inter / union } else { 0.0 };
+
+    let ed = edit_distance(&al, &bl) as f64;
+    let ed_sim = 1.0 - ed / al.len().max(bl.len()) as f64;
+
+    let tok = |s: &str| -> std::collections::HashSet<String> {
+        s.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_string())
+            .collect()
+    };
+    let ta = tok(&al);
+    let tb = tok(&bl);
+    let t_inter = ta.intersection(&tb).count() as f64;
+    let t_union = (ta.len() + tb.len()) as f64 - t_inter;
+    let tok_sim = if t_union > 0.0 { t_inter / t_union } else { 0.0 };
+
+    tri_sim.max(ed_sim).max(tok_sim)
+}
+
+/// COMA-style matcher: matches cross-table column pairs whose *names* score
+/// above `threshold`.
+pub fn coma_matches(tables: &[Table], threshold: f64) -> Vec<(usize, usize)> {
+    let cols = flatten_columns(tables);
+    let mut out = Vec::new();
+    for i in 0..cols.len() {
+        for j in i + 1..cols.len() {
+            if cols[i].table == cols[j].table {
+                continue; // matchers compare across tables
+            }
+            let (Some(na), Some(nb)) = (
+                column(tables, cols[i]).name.as_deref(),
+                column(tables, cols[j]).name.as_deref(),
+            ) else {
+                continue;
+            };
+            if name_similarity(na, nb) >= threshold {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+// -------------------------------------------------- DistributionBased
+
+/// Distribution signature of a column: exact-value set for categorical
+/// columns; quantile sketch for numeric-like columns.
+#[derive(Clone, Debug)]
+enum Signature {
+    Categorical(std::collections::HashSet<String>),
+    Numeric { quantiles: Vec<f64> },
+}
+
+fn signature(col: &Column) -> Signature {
+    let numeric = col.numeric_fraction() > 0.8;
+    if numeric {
+        let mut vals: Vec<f64> = col
+            .values
+            .iter()
+            .filter_map(|v| {
+                let cleaned: String =
+                    v.chars().filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+                cleaned.parse::<f64>().ok()
+            })
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if vals.is_empty() {
+            return Signature::Categorical(Default::default());
+        }
+        let q = |p: f64| vals[((vals.len() - 1) as f64 * p).round() as usize];
+        Signature::Numeric {
+            quantiles: vec![q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
+        }
+    } else {
+        Signature::Categorical(col.values.iter().map(|v| v.to_lowercase()).collect())
+    }
+}
+
+fn signature_similarity(a: &Signature, b: &Signature) -> f64 {
+    match (a, b) {
+        (Signature::Categorical(sa), Signature::Categorical(sb)) => {
+            if sa.is_empty() || sb.is_empty() {
+                return 0.0;
+            }
+            let inter = sa.intersection(sb).count() as f64;
+            let union = (sa.len() + sb.len()) as f64 - inter;
+            inter / union
+        }
+        (Signature::Numeric { quantiles: qa }, Signature::Numeric { quantiles: qb }) => {
+            // Overlap of the quantile profiles on a log-ish scale.
+            let mut sim = 0.0;
+            for (x, y) in qa.iter().zip(qb.iter()) {
+                let denom = x.abs().max(y.abs()).max(1.0);
+                sim += 1.0 - ((x - y).abs() / denom).min(1.0);
+            }
+            sim / qa.len() as f64
+        }
+        _ => 0.0,
+    }
+}
+
+/// DistributionBased matcher (Zhang et al., SIGMOD 2011 flavor): matches
+/// cross-table pairs whose *value distributions* score above `threshold`.
+pub fn distribution_matches(tables: &[Table], threshold: f64) -> Vec<(usize, usize)> {
+    let cols = flatten_columns(tables);
+    let sigs: Vec<Signature> = cols.iter().map(|&r| signature(column(tables, r))).collect();
+    let mut out = Vec::new();
+    for i in 0..cols.len() {
+        for j in i + 1..cols.len() {
+            if cols[i].table == cols[j].table {
+                continue;
+            }
+            if signature_similarity(&sigs[i], &sigs[j]) >= threshold {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_similarity_orders_sensibly() {
+        assert_eq!(name_similarity("user_id", "user_id"), 1.0);
+        let close = name_similarity("user_id", "uid");
+        let far = name_similarity("user_id", "browser");
+        assert!(close > far, "user_id~uid {close} vs user_id~browser {far}");
+        assert!(name_similarity("created_at", "create_date") > 0.3);
+        assert_eq!(name_similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "xyz"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    fn mk_table(id: &str, cols: Vec<(&str, Vec<&str>)>) -> Table {
+        Table::new(
+            id,
+            cols.into_iter()
+                .map(|(n, vs)| {
+                    Column::with_name(n, vs.into_iter().map(|s| s.to_string()).collect())
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn coma_matches_same_names_across_tables() {
+        let tables = vec![
+            mk_table("a", vec![("user_id", vec!["u1", "u2"]), ("city", vec!["rome", "pisa"])]),
+            mk_table("b", vec![("user_id", vec!["u3"]), ("rating", vec!["4.5"])]),
+        ];
+        let m = coma_matches(&tables, 0.8);
+        // Global indices: a.user_id=0, a.city=1, b.user_id=2, b.rating=3.
+        assert!(m.contains(&(0, 2)));
+        assert!(!m.contains(&(1, 3)));
+        // Within-table pairs are never matched.
+        assert!(m.iter().all(|&(i, j)| !(i == 0 && j == 1)));
+    }
+
+    #[test]
+    fn distribution_matches_value_overlap() {
+        let tables = vec![
+            mk_table("a", vec![("x", vec!["active", "pending", "closed"])]),
+            mk_table("b", vec![("y", vec!["active", "pending", "archived"])]),
+            mk_table("c", vec![("z", vec!["chrome", "firefox", "safari"])]),
+        ];
+        let m = distribution_matches(&tables, 0.3);
+        assert!(m.contains(&(0, 1)), "status-ish columns share values: {m:?}");
+        assert!(!m.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn numeric_signatures_compare_by_quantiles() {
+        let tables = vec![
+            mk_table("a", vec![("ts", vec!["1600000000", "1600000500", "1601000000"])]),
+            mk_table("b", vec![("epoch", vec!["1600200000", "1600300000", "1600900000"])]),
+            mk_table("c", vec![("rating", vec!["1.5", "3.0", "4.5"])]),
+        ];
+        let m = distribution_matches(&tables, 0.8);
+        assert!(m.contains(&(0, 1)), "unix timestamps overlap: {m:?}");
+        assert!(!m.contains(&(0, 2)), "timestamps vs ratings must not match");
+    }
+
+    #[test]
+    fn flatten_columns_order_is_row_major() {
+        let tables = vec![
+            mk_table("a", vec![("x", vec!["1"]), ("y", vec!["2"])]),
+            mk_table("b", vec![("z", vec!["3"])]),
+        ];
+        let cols = flatten_columns(&tables);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0], ColumnRef { table: 0, column: 0 });
+        assert_eq!(cols[2], ColumnRef { table: 1, column: 0 });
+    }
+}

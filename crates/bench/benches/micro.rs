@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the hot substrate paths: matmul and fused
+//! attention (the training bottleneck), tokenization, table serialization,
+//! Sherlock featurization, LDA inference and k-means. `cargo bench` runs
+//! these; the per-table experiment *binaries* regenerate the paper's
+//! numbers (`cargo run --release -p doduo-bench --bin table3 ...`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use doduo_baselines::column_features;
+use doduo_datagen::{generate_viznet, generate_wikitable, KbConfig, KnowledgeBase, VizNetConfig, WikiTableConfig};
+use doduo_eval::kmeans;
+use doduo_table::{serialize_table, SerializeConfig};
+use doduo_tensor::{matmul, ParamStore, Tape, Tensor};
+use doduo_tokenizer::{TrainConfig, WordPiece};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(76, 96, 1.0, &mut rng);
+    let b = Tensor::randn(96, 96, 1.0, &mut rng);
+    c.bench_function("matmul_76x96x96", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_mha(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let store = ParamStore::new();
+    let q = Tensor::randn(76, 96, 0.3, &mut rng);
+    let k = Tensor::randn(76, 96, 0.3, &mut rng);
+    let v = Tensor::randn(76, 96, 0.3, &mut rng);
+    c.bench_function("mha_fused_s76_d96_h4", |bench| {
+        bench.iter_batched(
+            || Tape::inference(&store),
+            |mut tape| {
+                let qn = tape.input(q.clone());
+                let kn = tape.input(k.clone());
+                let vn = tape.input(v.clone());
+                black_box(tape.mha(qn, kn, vn, 4, None));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tokenize_and_serialize(c: &mut Criterion) {
+    let kb = KnowledgeBase::generate(&KbConfig::default(), 42);
+    let ds = generate_wikitable(&kb, &WikiTableConfig { n_tables: 50, ..Default::default() });
+    let corpus: Vec<String> = ds
+        .tables
+        .iter()
+        .flat_map(|t| t.table.columns.iter())
+        .flat_map(|col| col.values.iter().cloned())
+        .collect();
+    let tok = WordPiece::train(
+        corpus.iter().map(String::as_str),
+        &TrainConfig { merges: 500, min_pair_count: 2, max_word_len: 32 },
+    );
+    c.bench_function("wordpiece_encode_sentence", |bench| {
+        bench.iter(|| black_box(tok.encode(black_box("george miller directed the crimson horizon in westoria"))))
+    });
+    let cfg = SerializeConfig::new(32, 192);
+    c.bench_function("serialize_table_32tok", |bench| {
+        bench.iter(|| black_box(serialize_table(black_box(&ds.tables[0].table), &tok, &cfg)))
+    });
+}
+
+fn bench_sherlock_features(c: &mut Criterion) {
+    let kb = KnowledgeBase::generate(&KbConfig::default(), 42);
+    let ds = generate_viznet(&kb, &VizNetConfig { n_tables: 10, ..Default::default() });
+    let col = &ds.tables[0].table.columns[0];
+    c.bench_function("sherlock_column_features", |bench| {
+        bench.iter(|| black_box(column_features(black_box(col))))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let points: Vec<Vec<f32>> =
+        (0..50).map(|_| Tensor::randn(1, 96, 1.0, &mut rng).into_vec()).collect();
+    c.bench_function("kmeans_50x96_k15", |bench| {
+        bench.iter(|| black_box(kmeans(black_box(&points), 15, 30, 7)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_mha,
+    bench_tokenize_and_serialize,
+    bench_sherlock_features,
+    bench_kmeans
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Figure 4 — learning efficiency on WikiTable: F1 of Doduo vs Dosolo when
+//! trained on 10% / 25% / 50% / 100% of the training data, with TURL's
+//! full-data score as the reference line.
+//!
+//! Paper claims: Doduo consistently >= Dosolo; Doduo with <= 50% of the
+//! data already beats TURL on column types.
+
+use doduo_bench::report::{pct, Report};
+use doduo_bench::{ExpOptions, ModelSpec, Splits, World};
+use doduo_core::Task;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let world = World::bootstrap(opts);
+    let splits = world.wikitable();
+    let cfg = world.train_config();
+    let both = [Task::ColumnType, Task::ColumnRelation];
+
+    let turl =
+        world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &both, true, &cfg);
+
+    let fracs = [0.10, 0.25, 0.50, 1.00];
+    let mut r = Report::new(
+        "Figure 4: training-data efficiency on WikiTable (micro F1)",
+        &["frac", "Doduo type", "Dosolo type", "Doduo rel", "Dosolo rel"],
+    );
+    let mut series: Vec<(f64, f64, f64, f64, f64)> = Vec::new();
+    for &frac in &fracs {
+        let sub = if frac >= 1.0 {
+            Splits {
+                train: splits.train.clone(),
+                valid: splits.valid.clone(),
+                test: splits.test.clone(),
+            }
+        } else {
+            let mut rng = StdRng::seed_from_u64(world.opts.seed ^ (frac * 1000.0) as u64);
+            Splits {
+                train: splits.train.subsample(frac, &mut rng),
+                valid: splits.valid.clone(),
+                test: splits.test.clone(),
+            }
+        };
+        let tag = (frac * 100.0) as usize;
+        let name = |base: &str| {
+            if frac >= 1.0 {
+                base.to_string() // reuse the full-data checkpoints
+            } else {
+                format!("{base}-f{tag}")
+            }
+        };
+        let doduo =
+            world.trained_model(&name("wiki-doduo"), &ModelSpec::doduo(), &sub, &both, true, &cfg);
+        let dosolo_t = world.trained_model(
+            &name("wiki-dosolo-type"),
+            &ModelSpec::doduo(),
+            &sub,
+            &[Task::ColumnType],
+            true,
+            &cfg,
+        );
+        let dosolo_r = world.trained_model(
+            &name("wiki-dosolo-rel"),
+            &ModelSpec::doduo(),
+            &sub,
+            &[Task::ColumnRelation],
+            true,
+            &cfg,
+        );
+        let d_t = doduo.scores.type_micro.f1;
+        let d_r = doduo.scores.rel_micro.map(|x| x.f1).unwrap_or(f64::NAN);
+        let s_t = dosolo_t.scores.type_micro.f1;
+        let s_r = dosolo_r.scores.rel_micro.map(|x| x.f1).unwrap_or(f64::NAN);
+        r.row(&[
+            format!("{:.0}%", frac * 100.0),
+            pct(d_t),
+            pct(s_t),
+            pct(d_r),
+            pct(s_r),
+        ]);
+        series.push((frac, d_t, s_t, d_r, s_r));
+    }
+    r.row(&[
+        "TURL@100%".into(),
+        pct(turl.scores.type_micro.f1),
+        "-".into(),
+        pct(turl.scores.rel_micro.unwrap().f1),
+        "-".into(),
+    ]);
+
+    let full = series.last().unwrap();
+    let half = series[2];
+    r.check("type F1 grows with data: 100% >= 10%", full.1 >= series[0].1 - 0.01);
+    r.check("rel F1 grows with data: 100% >= 10%", full.3 >= series[0].3 - 0.01);
+    let doduo_wins = series.iter().filter(|s| s.1 >= s.2 - 0.01).count();
+    r.check(
+        format!("Doduo >= Dosolo type F1 at most fractions ({doduo_wins}/4, paper: 4/4)"),
+        doduo_wins >= 3,
+    );
+    r.check(
+        "Doduo@50% competitive with TURL@100% on types (paper: beats it)",
+        half.1 > turl.scores.type_micro.f1 - 0.05,
+    );
+    r.print();
+    eprintln!("[figure4] total elapsed {:?}", world.elapsed());
+}

@@ -1,0 +1,95 @@
+//! Table 3 — main results on the WikiTable-style benchmark.
+//!
+//! Micro-F1 for column-type and column-relation prediction: Sherlock, the
+//! TURL reproduction (visibility-matrix attention), Doduo, and the
+//! `+metadata` variants that append column headers to the serialization.
+//!
+//! Paper (micro F1, %):
+//! Sherlock 78.47/–, TURL 88.86/90.94, Doduo 92.45/91.72,
+//! TURL+meta 92.69/93.35, Doduo+meta 92.79/92.82.
+
+use doduo_bench::report::{pct, Report};
+use doduo_bench::{run_sherlock, ExpOptions, ModelSpec, World};
+use doduo_core::Task;
+use doduo_eval::multi_label_micro;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let world = World::bootstrap(opts);
+    let splits = world.wikitable();
+    let cfg = world.train_config();
+    let tasks = [Task::ColumnType, Task::ColumnRelation];
+
+    // Sherlock: single-column, feature-engineered, type task only.
+    let (sher_pred, sher_gold) =
+        run_sherlock(&splits, true, world.opts.scale, world.opts.seed);
+    let sherlock = multi_label_micro(&sher_pred, &sher_gold);
+
+    let turl = world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &tasks, true, &cfg);
+    let doduo = world.trained_model("wiki-doduo", &ModelSpec::doduo(), &splits, &tasks, true, &cfg);
+    let turl_meta = world.trained_model(
+        "wiki-turl-meta",
+        &ModelSpec::turl().with_metadata(),
+        &splits,
+        &tasks,
+        true,
+        &cfg,
+    );
+    let doduo_meta = world.trained_model(
+        "wiki-doduo-meta",
+        &ModelSpec::doduo().with_metadata(),
+        &splits,
+        &tasks,
+        true,
+        &cfg,
+    );
+
+    let mut r = Report::new(
+        "Table 3: WikiTable micro-F1 (paper vs measured)",
+        &["method", "type P", "type R", "type F1", "rel F1", "paper type F1", "paper rel F1"],
+    );
+    let fmt = |name: &str, s: &doduo_core::EvalScores, pt: &str, pr: &str, r: &mut Report| {
+        r.row(&[
+            name.into(),
+            pct(s.type_micro.precision),
+            pct(s.type_micro.recall),
+            pct(s.type_micro.f1),
+            s.rel_micro.map(|x| pct(x.f1)).unwrap_or_else(|| "-".into()),
+            pt.into(),
+            pr.into(),
+        ]);
+    };
+    r.row(&[
+        "Sherlock".into(),
+        pct(sherlock.precision),
+        pct(sherlock.recall),
+        pct(sherlock.f1),
+        "-".into(),
+        "78.5".into(),
+        "-".into(),
+    ]);
+    fmt("TURL (repro)", &turl.scores, "88.9", "90.9", &mut r);
+    fmt("Doduo", &doduo.scores, "92.5", "91.7", &mut r);
+    fmt("TURL+metadata", &turl_meta.scores, "92.7", "93.4", &mut r);
+    fmt("Doduo+metadata", &doduo_meta.scores, "92.8", "92.8", &mut r);
+
+    let d = &doduo.scores;
+    let t = &turl.scores;
+    r.check("Doduo type F1 > TURL type F1 (paper: 92.45 > 88.86)", d.type_micro.f1 > t.type_micro.f1);
+    r.check("Doduo type F1 > Sherlock type F1 (paper: 92.45 > 78.47)", d.type_micro.f1 > sherlock.f1);
+    r.check(
+        "Doduo rel F1 >= TURL rel F1 (paper: 91.72 > 90.94)",
+        d.rel_micro.unwrap().f1 >= t.rel_micro.unwrap().f1,
+    );
+    r.check(
+        "metadata helps or ties Doduo type F1 (paper: 92.79 >= 92.45)",
+        doduo_meta.scores.type_micro.f1 >= d.type_micro.f1 - 0.01,
+    );
+    r.check(
+        "metadata helps TURL more than Doduo (paper: +3.8 vs +0.3 type F1)",
+        (turl_meta.scores.type_micro.f1 - t.type_micro.f1)
+            > (doduo_meta.scores.type_micro.f1 - d.type_micro.f1) - 0.01,
+    );
+    r.print();
+    eprintln!("[table3] total elapsed {:?}", world.elapsed());
+}

@@ -1,0 +1,22 @@
+//! Hyper-parameter probe (not a paper experiment): trains key variants on
+//! the current WikiTable scale and prints test F1, to calibrate the
+//! benchmark difficulty so orderings are visible below the ceiling.
+use doduo_bench::{ExpOptions, ModelSpec, World};
+use doduo_core::Task;
+
+fn main() {
+    let mut opts = ExpOptions::from_args();
+    opts.no_cache = true;
+    let world = World::bootstrap(opts);
+    let splits = world.wikitable();
+    let cfg = world.train_config();
+    let both = [Task::ColumnType, Task::ColumnRelation];
+    for (name, spec, tasks) in [
+        ("doduo", ModelSpec::doduo(), &both[..]),
+        ("turl", ModelSpec::turl(), &both[..]),
+        ("scol-type", ModelSpec::single_column(), &[Task::ColumnType][..]),
+    ] {
+        let m = world.trained_model(name, &spec, &splits, tasks, true, &cfg);
+        eprintln!("== {name}: test type F1 {:.3} rel {:?}", m.scores.type_micro.f1, m.scores.rel_micro.map(|r| (r.f1*1000.0).round()/1000.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Fixed-width table printing: every experiment binary prints the paper's
+//! reported numbers next to the measured ones, plus the qualitative checks
+//! the reproduction is accountable for.
+
+/// A printable comparison table.
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    checks: Vec<(String, bool)>,
+}
+
+impl Report {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Report {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Records a qualitative claim check ("Doduo > TURL", …).
+    pub fn check(&mut self, name: impl Into<String>, ok: bool) {
+        self.checks.push((name.into(), ok));
+    }
+
+    /// True when every recorded check passed.
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// Renders the report to a string (also used by EXPERIMENTS.md).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                line.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        if !self.checks.is_empty() {
+            out.push_str("\nqualitative checks:\n");
+            for (name, ok) in &self.checks {
+                out.push_str(&format!("  [{}] {}\n", if *ok { "PASS" } else { "FAIL" }, name));
+            }
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats an F1 fraction as the paper's percent convention.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a paper-reported percentage (already in percent units).
+pub fn paper(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows_and_checks() {
+        let mut r = Report::new("Table X", &["method", "paper F1", "measured F1"]);
+        r.row(&["Doduo".into(), "92.5".into(), pct(0.81)]);
+        r.row(&["TURL".into(), "88.9".into(), pct(0.74)]);
+        r.check("Doduo > TURL", 0.81 > 0.74);
+        let s = r.render();
+        assert!(s.contains("Table X"));
+        assert!(s.contains("Doduo"));
+        assert!(s.contains("81.0"));
+        assert!(s.contains("[PASS] Doduo > TURL"));
+        assert!(r.all_checks_pass());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn pct_formats_percent() {
+        assert_eq!(pct(0.9245), "92.5");
+        assert_eq!(paper(92.45), "92.5");
+    }
+}

@@ -1,0 +1,46 @@
+//! # doduo-core
+//!
+//! The DODUO system of *Annotating Columns with Pre-trained Language Models*
+//! (SIGMOD 2022): a multi-task, table-wise column-annotation framework on
+//! top of a pre-trained Transformer encoder.
+//!
+//! * [`model`] — the architecture of §4: table-wise serialization with one
+//!   `[CLS]` per column, a column-type head (eq. 1) and a column-relation
+//!   head over `[CLS]` pairs (eq. 2); plus the ablation switches
+//!   ([`InputMode::SingleColumn`] for `DosoloSCol`,
+//!   [`AttentionMode::ColumnVisibility`] for the TURL baseline).
+//! * [`trainer`] — Algorithm 1: task-alternating epochs with one Adam
+//!   optimizer per task, linear LR decay, best-validation checkpointing;
+//!   plus batched parallel prediction/evaluation helpers.
+//! * [`predictor`] — the toolbox API: [`Annotator`] annotates raw tables and
+//!   extracts contextualized column embeddings (§7).
+//! * [`analysis`] — the Figure 6 attention-dependency analysis.
+//!
+//! The paper's model variants map to configurations of the same structs:
+//!
+//! | Paper name | Configuration |
+//! |---|---|
+//! | Doduo       | `TableWise` + `Full` attention + both tasks |
+//! | Dosolo      | `TableWise` + `Full` + one task |
+//! | DosoloSCol  | `SingleColumn` + one task |
+//! | TURL (repro)| `TableWise` + `ColumnVisibility` + fine-tuned per task |
+//! | +metadata   | any of the above with `SerializeConfig::with_metadata()` |
+
+pub mod analysis;
+pub mod model;
+pub mod pipeline;
+pub mod predictor;
+pub mod trainer;
+
+pub use analysis::attention_dependency;
+pub use pipeline::{
+    build_finetune_model, build_scratch_model, instantiate_lm, pretrain_lm, PretrainRecipe,
+    PretrainedLm, ENC_PREFIX,
+};
+pub use model::{AttentionMode, DoduoConfig, DoduoModel, InputMode};
+pub use predictor::{Annotator, ColumnTypePrediction, RelationPrediction, TableAnnotation};
+pub use trainer::{
+    decode_labels, evaluate, predict_rels, predict_rels_single, predict_types, prepare, train,
+    EpochRecord, EvalScores, Predictions, Prepared, RelExample, RelSingleExample, Task,
+    TrainConfig, TrainReport, TypeExample,
+};

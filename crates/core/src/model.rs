@@ -1,0 +1,389 @@
+//! The Doduo model (§4, Figure 1).
+//!
+//! A shared Transformer encoder over the serialized table plus two output
+//! heads (hard parameter sharing):
+//!
+//! * **column-type head** — dense layer over each column's `[CLS]`
+//!   embedding, `softmax(g_type(LM(T)_{i_j}))` (eq. 1);
+//! * **column-relation head** — dense layer over the *concatenation* of two
+//!   column `[CLS]` embeddings, `softmax(g_rel(LM(T)_{i_j} ⊕ LM(T)_{i_k}))`
+//!   (eq. 2).
+//!
+//! The same struct also covers the paper's ablations: `Dosolo` is this model
+//! trained on one task only; `DosoloSCol` sets [`InputMode::SingleColumn`]
+//! (per-column / per-pair serialization, §4.1); the TURL baseline sets
+//! [`AttentionMode::ColumnVisibility`] which restricts self-attention with
+//! TURL's visibility matrix (§5.4).
+
+use doduo_table::{
+    serialize_column_pair, serialize_single_column, serialize_table, SerializeConfig,
+    SerializedTable, Table, NO_COLUMN,
+};
+use doduo_tensor::{AttnMask, NodeId, ParamId, ParamStore, Tape};
+use doduo_tokenizer::WordPiece;
+use doduo_transformer::{mask_from_fn, Encoder, EncoderConfig};
+use rand::Rng;
+
+/// How tables are presented to the encoder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputMode {
+    /// Doduo's table-wise serialization: the whole table in one sequence,
+    /// one `[CLS]` per column (§4.2).
+    TableWise,
+    /// The single-column baseline (§4.1, `DosoloSCol`): each column (or
+    /// column pair) is its own sequence.
+    SingleColumn,
+}
+
+/// Self-attention connectivity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttentionMode {
+    /// Doduo: full self-attention across the serialized table.
+    Full,
+    /// TURL's visibility matrix: cell tokens see only their own column (plus
+    /// `[SEP]`); `[CLS]` column markers see each other (§5.4).
+    ColumnVisibility,
+}
+
+/// Model + task configuration.
+#[derive(Clone, Debug)]
+pub struct DoduoConfig {
+    pub encoder: EncoderConfig,
+    pub n_types: usize,
+    pub n_rels: usize,
+    /// `true` for WikiTable-style multi-label tasks (BCE loss, §5.3);
+    /// `false` for VizNet-style multi-class (cross-entropy).
+    pub multi_label: bool,
+    pub serialize: SerializeConfig,
+    pub input_mode: InputMode,
+    pub attention: AttentionMode,
+}
+
+impl DoduoConfig {
+    /// Doduo with sensible experiment defaults on top of a given encoder.
+    pub fn new(encoder: EncoderConfig, n_types: usize, n_rels: usize, multi_label: bool) -> Self {
+        let max_seq = encoder.max_seq;
+        DoduoConfig {
+            encoder,
+            n_types,
+            n_rels,
+            multi_label,
+            serialize: SerializeConfig::new(32, max_seq),
+            input_mode: InputMode::TableWise,
+            attention: AttentionMode::Full,
+        }
+    }
+
+    pub fn with_input_mode(mut self, mode: InputMode) -> Self {
+        self.input_mode = mode;
+        self
+    }
+
+    pub fn with_attention(mut self, attention: AttentionMode) -> Self {
+        self.attention = attention;
+        self
+    }
+
+    pub fn with_serialize(mut self, s: SerializeConfig) -> Self {
+        self.serialize = s;
+        self
+    }
+}
+
+/// The Doduo annotation model `M = (LM, {g_type, g_rel})`.
+pub struct DoduoModel {
+    cfg: DoduoConfig,
+    pub encoder: Encoder,
+    type_dense_w: ParamId,
+    type_dense_b: ParamId,
+    type_out_w: ParamId,
+    type_out_b: ParamId,
+    rel_dense_w: ParamId,
+    rel_dense_b: ParamId,
+    rel_out_w: ParamId,
+    rel_out_b: ParamId,
+}
+
+impl DoduoModel {
+    /// Registers encoder + head parameters. The relation head consumes `2d`
+    /// (a pair of column embeddings) in table-wise mode and `d` (the single
+    /// `[CLS]` of a serialized pair) in single-column mode.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        cfg: DoduoConfig,
+        prefix: &str,
+        rng: &mut R,
+    ) -> Self {
+        let encoder = Encoder::new(store, cfg.encoder.clone(), prefix, rng);
+        let d = cfg.encoder.hidden;
+        let rel_in = match cfg.input_mode {
+            InputMode::TableWise => 2 * d,
+            InputMode::SingleColumn => d,
+        };
+        DoduoModel {
+            encoder,
+            type_dense_w: store.add_randn(format!("{prefix}.type.dense.w"), d, d, 0.02, rng),
+            type_dense_b: store.add_zeros(format!("{prefix}.type.dense.b"), 1, d),
+            type_out_w: store.add_randn(format!("{prefix}.type.out.w"), d, cfg.n_types, 0.02, rng),
+            type_out_b: store.add_zeros(format!("{prefix}.type.out.b"), 1, cfg.n_types),
+            rel_dense_w: store.add_randn(format!("{prefix}.rel.dense.w"), rel_in, d, 0.02, rng),
+            rel_dense_b: store.add_zeros(format!("{prefix}.rel.dense.b"), 1, d),
+            rel_out_w: store.add_randn(format!("{prefix}.rel.out.w"), d, cfg.n_rels.max(1), 0.02, rng),
+            rel_out_b: store.add_zeros(format!("{prefix}.rel.out.b"), 1, cfg.n_rels.max(1)),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &DoduoConfig {
+        &self.cfg
+    }
+
+    /// Builds TURL's visibility mask for a serialized table: token `i` sees
+    /// token `j` iff they share a column, `j` is `[SEP]`, or both are
+    /// column `[CLS]` markers.
+    pub fn visibility_mask(&self, st: &SerializedTable) -> Option<AttnMask> {
+        match self.cfg.attention {
+            AttentionMode::Full => None,
+            AttentionMode::ColumnVisibility => {
+                let col = st.col_of_token.clone();
+                let is_cls: Vec<bool> = {
+                    let mut v = vec![false; st.ids.len()];
+                    for &p in &st.cls_positions {
+                        v[p as usize] = true;
+                    }
+                    v
+                };
+                Some(mask_from_fn(st.ids.len(), move |i, j| {
+                    col[i] == col[j]
+                        || col[j] == NO_COLUMN
+                        || col[i] == NO_COLUMN
+                        || (is_cls[i] && is_cls[j])
+                }))
+            }
+        }
+    }
+
+    /// Encodes a serialized table and returns the `[n_cols, d]` matrix of
+    /// contextualized column representations (the `[CLS]` rows, §4.3).
+    pub fn column_embeddings<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        st: &SerializedTable,
+        rng: &mut R,
+    ) -> NodeId {
+        let mask = self.visibility_mask(st);
+        let enc = self.encoder.forward(tape, &st.ids, mask.as_ref(), rng);
+        tape.row_select(enc, &st.cls_positions)
+    }
+
+    /// Column-type logits `[n_cols, |C_type|]` from column embeddings.
+    pub fn type_logits_from_embeddings(&self, tape: &mut Tape<'_>, cols: NodeId) -> NodeId {
+        let h = tape.linear(cols, self.type_dense_w, self.type_dense_b);
+        let a = tape.gelu(h);
+        tape.linear(a, self.type_out_w, self.type_out_b)
+    }
+
+    /// Column-type logits for every column of a serialized table.
+    pub fn type_logits<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        st: &SerializedTable,
+        rng: &mut R,
+    ) -> NodeId {
+        let cols = self.column_embeddings(tape, st, rng);
+        self.type_logits_from_embeddings(tape, cols)
+    }
+
+    /// Relation logits `[n_pairs, |C_rel|]` for the given `(subject,
+    /// object)` column-index pairs of a table-wise serialization (eq. 2).
+    pub fn rel_logits<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        st: &SerializedTable,
+        pairs: &[(usize, usize)],
+        rng: &mut R,
+    ) -> NodeId {
+        assert_eq!(self.cfg.input_mode, InputMode::TableWise, "pairwise logits need table-wise mode");
+        assert!(!pairs.is_empty(), "no relation pairs requested");
+        let cols = self.column_embeddings(tape, st, rng);
+        let subj: Vec<u32> = pairs.iter().map(|p| p.0 as u32).collect();
+        let obj: Vec<u32> = pairs.iter().map(|p| p.1 as u32).collect();
+        let a = tape.row_select(cols, &subj);
+        let b = tape.row_select(cols, &obj);
+        let pair = tape.concat_cols(a, b);
+        let h = tape.linear(pair, self.rel_dense_w, self.rel_dense_b);
+        let act = tape.gelu(h);
+        tape.linear(act, self.rel_out_w, self.rel_out_b)
+    }
+
+    /// Relation logits for a *single-column-pair* serialization (the
+    /// `DosoloSCol` path): the pair's one `[CLS]` embedding feeds the head.
+    pub fn rel_logits_single<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        st: &SerializedTable,
+        rng: &mut R,
+    ) -> NodeId {
+        assert_eq!(self.cfg.input_mode, InputMode::SingleColumn, "single-pair logits need single-column mode");
+        let cols = self.column_embeddings(tape, st, rng);
+        let h = tape.linear(cols, self.rel_dense_w, self.rel_dense_b);
+        let act = tape.gelu(h);
+        tape.linear(act, self.rel_out_w, self.rel_out_b)
+    }
+
+    /// Serializes `table` according to this model's input mode for the
+    /// *type* task: table-wise → one sequence; single-column → one sequence
+    /// per column.
+    pub fn serialize_for_types(&self, table: &Table, tok: &WordPiece) -> Vec<SerializedTable> {
+        match self.cfg.input_mode {
+            InputMode::TableWise => vec![serialize_table(table, tok, &self.cfg.serialize)],
+            InputMode::SingleColumn => (0..table.n_cols())
+                .map(|c| serialize_single_column(table, c, tok, &self.cfg.serialize))
+                .collect(),
+        }
+    }
+
+    /// Serializes a column pair for the relation task in single-column mode.
+    pub fn serialize_pair(
+        &self,
+        table: &Table,
+        a: usize,
+        b: usize,
+        tok: &WordPiece,
+    ) -> SerializedTable {
+        serialize_column_pair(table, a, b, tok, &self.cfg.serialize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doduo_table::{Column, Table};
+    use doduo_tokenizer::{TrainConfig, WordPiece};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tok() -> WordPiece {
+        WordPiece::train(
+            ["alpha beta gamma delta epsilon one two three four"],
+            &TrainConfig { merges: 100, min_pair_count: 1, max_word_len: 16 },
+        )
+    }
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new(vec!["alpha".into(), "beta".into()]),
+                Column::new(vec!["one".into(), "two".into()]),
+                Column::new(vec!["gamma delta".into(), "epsilon".into()]),
+            ],
+        )
+    }
+
+    fn build(mode: InputMode, attention: AttentionMode) -> (ParamStore, DoduoModel, WordPiece) {
+        let t = tok();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = DoduoConfig::new(EncoderConfig::tiny(t.vocab_size()), 7, 4, true)
+            .with_input_mode(mode)
+            .with_attention(attention);
+        let m = DoduoModel::new(&mut store, cfg, "doduo", &mut rng);
+        (store, m, t)
+    }
+
+    #[test]
+    fn type_logits_shape_table_wise() {
+        let (store, m, t) = build(InputMode::TableWise, AttentionMode::Full);
+        let st = &m.serialize_for_types(&table(), &t)[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::inference(&store);
+        let logits = m.type_logits(&mut tape, st, &mut rng);
+        assert_eq!(tape.value(logits).shape(), (3, 7));
+    }
+
+    #[test]
+    fn type_logits_shape_single_column() {
+        let (store, m, t) = build(InputMode::SingleColumn, AttentionMode::Full);
+        let sts = m.serialize_for_types(&table(), &t);
+        assert_eq!(sts.len(), 3, "one sequence per column");
+        let mut rng = StdRng::seed_from_u64(1);
+        for st in &sts {
+            let mut tape = Tape::inference(&store);
+            let logits = m.type_logits(&mut tape, st, &mut rng);
+            assert_eq!(tape.value(logits).shape(), (1, 7));
+        }
+    }
+
+    #[test]
+    fn rel_logits_shape() {
+        let (store, m, t) = build(InputMode::TableWise, AttentionMode::Full);
+        let st = &m.serialize_for_types(&table(), &t)[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::inference(&store);
+        let logits = m.rel_logits(&mut tape, st, &[(0, 1), (0, 2)], &mut rng);
+        assert_eq!(tape.value(logits).shape(), (2, 4));
+    }
+
+    #[test]
+    fn rel_logits_single_pair() {
+        let (store, m, t) = build(InputMode::SingleColumn, AttentionMode::Full);
+        let st = m.serialize_pair(&table(), 0, 2, &t);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::inference(&store);
+        let logits = m.rel_logits_single(&mut tape, &st, &mut rng);
+        assert_eq!(tape.value(logits).shape(), (1, 4));
+    }
+
+    #[test]
+    fn visibility_mask_blocks_cross_column_cells() {
+        let (_store, m, t) = build(InputMode::TableWise, AttentionMode::ColumnVisibility);
+        let st = &m.serialize_for_types(&table(), &t)[0];
+        let mask = m.visibility_mask(st).expect("visibility mode");
+        let s = st.ids.len();
+        // A cell token of column 0 (position 1) must NOT see a cell token of
+        // column 1 (position right after its CLS).
+        let c1_cls = st.cls_positions[1] as usize;
+        let cell0 = 1usize;
+        let cell1 = c1_cls + 1;
+        assert!(mask[cell0 * s + cell1] < -1e8, "cross-column cell edge must be masked");
+        // But CLS0 sees CLS1.
+        let c0_cls = st.cls_positions[0] as usize;
+        assert_eq!(mask[c0_cls * s + c1_cls], 0.0, "CLS-CLS edges stay visible");
+        // And everyone sees the final [SEP].
+        assert_eq!(mask[cell0 * s + (s - 1)], 0.0);
+        // Same-column edges stay visible.
+        assert_eq!(mask[cell0 * s + c0_cls], 0.0);
+    }
+
+    #[test]
+    fn full_attention_has_no_mask() {
+        let (_store, m, t) = build(InputMode::TableWise, AttentionMode::Full);
+        let st = &m.serialize_for_types(&table(), &t)[0];
+        assert!(m.visibility_mask(st).is_none());
+    }
+
+    #[test]
+    fn turl_and_doduo_differ_in_output() {
+        let (store, m_full, t) = build(InputMode::TableWise, AttentionMode::Full);
+        let st = &m_full.serialize_for_types(&table(), &t)[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape1 = Tape::inference(&store);
+        let full = m_full.type_logits(&mut tape1, st, &mut rng);
+        // Same weights, restricted attention.
+        let (_s2, m_vis, _t2) = build(InputMode::TableWise, AttentionMode::ColumnVisibility);
+        let mut tape2 = Tape::inference(&store);
+        let mask = m_vis.visibility_mask(st).unwrap();
+        let enc = m_full.encoder.forward(&mut tape2, &st.ids, Some(&mask), &mut rng);
+        let cols = tape2.row_select(enc, &st.cls_positions);
+        let vis = m_full.type_logits_from_embeddings(&mut tape2, cols);
+        let d: f32 = tape1
+            .value(full)
+            .data()
+            .iter()
+            .zip(tape2.value(vis).data().iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-4, "visibility restriction must change predictions");
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end pretrain → fine-tune pipeline.
+//!
+//! The paper fine-tunes an already-pretrained BERT; its Appendix A.5 shows a
+//! randomly-initialized Doduo reaches ~zero F1, i.e. pretraining is
+//! load-bearing. This module packages that pipeline: train a WordPiece
+//! tokenizer on a corpus, MLM-pretrain an encoder, and hand the frozen
+//! checkpoint to any number of fine-tuning model variants (Doduo, Dosolo,
+//! DosoloSCol, TURL-style, different token budgets) that all start from the
+//! *same* pretrained weights — mirroring how every row of the paper's
+//! tables starts from the same BERT-base.
+
+use crate::model::{DoduoConfig, DoduoModel};
+use doduo_tensor::serialize::{load_lenient, save_filtered};
+use doduo_tensor::ParamStore;
+use doduo_tokenizer::{TrainConfig as TokTrainConfig, WordPiece, CLS, SEP};
+use doduo_transformer::{pretrain_mlm, Encoder, EncoderConfig, MlmConfig, MlmHead};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameter-name prefix shared by every encoder this pipeline produces;
+/// checkpoints transfer because fine-tuning models use the same prefix.
+pub const ENC_PREFIX: &str = "enc";
+
+/// A pretrained language model: tokenizer + encoder shape + weights.
+pub struct PretrainedLm {
+    pub tokenizer: WordPiece,
+    pub config: EncoderConfig,
+    /// Checkpoint of the encoder plus its MLM head (the head is skipped by
+    /// fine-tuning loads and used by the probing analysis).
+    pub weights: bytes::Bytes,
+    /// Mean MLM loss per pretraining epoch (for reporting).
+    pub losses: Vec<f32>,
+}
+
+/// Pretraining recipe.
+#[derive(Clone, Debug)]
+pub struct PretrainRecipe {
+    pub tokenizer: TokTrainConfig,
+    /// Maps the trained vocabulary size to an encoder shape.
+    pub hidden: usize,
+    pub layers: usize,
+    pub heads: usize,
+    pub ffn: usize,
+    pub max_seq: usize,
+    pub dropout: f32,
+    pub mlm: MlmConfig,
+    /// Pack multiple sentences (separated by `[SEP]`) into sequences of up
+    /// to this many tokens, BERT-style. Crucial: fine-tuning serializes
+    /// whole tables into sequences much longer than a single corpus
+    /// sentence, and position embeddings only learn up to the pretraining
+    /// sequence length. `0` disables packing (one sentence per sequence).
+    pub pack_to: usize,
+    /// Epochs of the *packed* second phase. Pretraining is a two-phase
+    /// curriculum: phase A runs `mlm.epochs` over single sentences (fast
+    /// fact learning with strong local context), phase B runs `pack_epochs`
+    /// over packed `pack_to`-token sequences so position embeddings and
+    /// longer-range attention get trained at fine-tuning lengths. Packed
+    /// training from scratch stalls (with uniform initial attention, the
+    /// relevant context is diluted 16×), which is why the curriculum order
+    /// matters. `0` skips phase B.
+    pub pack_epochs: usize,
+}
+
+impl Default for PretrainRecipe {
+    fn default() -> Self {
+        let mini = EncoderConfig::mini(6);
+        PretrainRecipe {
+            tokenizer: TokTrainConfig::default(),
+            hidden: mini.hidden,
+            layers: mini.layers,
+            heads: mini.heads,
+            ffn: mini.ffn,
+            max_seq: mini.max_seq,
+            dropout: mini.dropout,
+            mlm: MlmConfig::default(),
+            pack_to: mini.max_seq,
+            // Off by default: at miniature scale the packed phase degrades
+            // the phase-A weights faster than it teaches long-range
+            // structure (see DESIGN.md); fine-tuning adapts position
+            // embeddings on its own, as the paper also observes (§6.1).
+            pack_epochs: 0,
+        }
+    }
+}
+
+impl PretrainRecipe {
+    /// A fast recipe for tests: tiny encoder, few epochs.
+    pub fn tiny() -> Self {
+        let tiny = EncoderConfig::tiny(6);
+        PretrainRecipe {
+            tokenizer: TokTrainConfig { merges: 600, min_pair_count: 2, max_word_len: 32 },
+            hidden: tiny.hidden,
+            layers: tiny.layers,
+            heads: tiny.heads,
+            ffn: tiny.ffn,
+            max_seq: tiny.max_seq,
+            dropout: tiny.dropout,
+            mlm: MlmConfig { epochs: 15, ..Default::default() },
+            pack_to: tiny.max_seq,
+            pack_epochs: 0,
+        }
+    }
+
+    fn encoder_config(&self, vocab_size: usize) -> EncoderConfig {
+        EncoderConfig {
+            vocab_size,
+            hidden: self.hidden,
+            layers: self.layers,
+            heads: self.heads,
+            ffn: self.ffn,
+            max_seq: self.max_seq,
+            dropout: self.dropout,
+        }
+    }
+}
+
+/// Trains the tokenizer and MLM-pretrains an encoder on `corpus`.
+pub fn pretrain_lm(corpus: &[String], recipe: &PretrainRecipe, seed: u64) -> PretrainedLm {
+    let tokenizer = WordPiece::train(corpus.iter().map(String::as_str), &recipe.tokenizer);
+    let config = recipe.encoder_config(tokenizer.vocab_size());
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = Encoder::new(&mut store, config.clone(), ENC_PREFIX, &mut rng);
+    let head = MlmHead::new(&mut store, &config, ENC_PREFIX, &mut rng);
+    let max_body = config.max_seq - 2;
+
+    // Phase A: one sentence per sequence — fast fact learning.
+    let sentences: Vec<Vec<u32>> = corpus
+        .iter()
+        .map(|line| {
+            let mut ids = vec![CLS];
+            ids.extend(tokenizer.encode_with_budget(line, max_body));
+            ids.push(SEP);
+            ids
+        })
+        .collect();
+    let mut losses = pretrain_mlm(&encoder, &head, &mut store, &sentences, &recipe.mlm);
+
+    // Phase B: BERT-style packing up to `pack_to` tokens, so position
+    // embeddings and longer-range attention are trained at the lengths the
+    // fine-tuning serialization uses.
+    if recipe.pack_epochs > 0 && recipe.pack_to > 1 {
+        let cap = recipe.pack_to.min(config.max_seq);
+        let mut packed = Vec::new();
+        let mut cur: Vec<u32> = vec![CLS];
+        for line in corpus {
+            let ids = tokenizer.encode_with_budget(line, max_body);
+            // Every sentence ends with its own [SEP]; flush before the
+            // sentence that would overflow the cap.
+            if cur.len() + ids.len() + 1 > cap && cur.len() > 1 {
+                packed.push(std::mem::replace(&mut cur, vec![CLS]));
+            }
+            cur.extend(ids);
+            cur.push(SEP);
+            debug_assert!(cur.len() <= cap, "packed sequence overflow: {} > {cap}", cur.len());
+        }
+        if cur.len() > 1 {
+            packed.push(cur);
+        }
+        let phase_b = MlmConfig {
+            epochs: recipe.pack_epochs,
+            batch_size: recipe.mlm.batch_size.div_ceil(4).max(4),
+            seed: recipe.mlm.seed ^ 0xb,
+            ..recipe.mlm.clone()
+        };
+        losses.extend(pretrain_mlm(&encoder, &head, &mut store, &packed, &phase_b));
+    }
+    // Keep the MLM head in the checkpoint: fine-tuning models skip it via a
+    // lenient load, while the probing analysis (Tables 12-13) needs it.
+    let prefix = format!("{ENC_PREFIX}.");
+    let weights = save_filtered(&store, |n| n.starts_with(&prefix));
+    PretrainedLm { tokenizer, config, weights, losses }
+}
+
+/// Instantiates a fine-tuning model whose encoder is initialized from the
+/// pretrained checkpoint. `make_cfg` receives the encoder config so callers
+/// can attach their task shape / input mode / attention mode / token budget.
+pub fn build_finetune_model(
+    lm: &PretrainedLm,
+    make_cfg: impl FnOnce(EncoderConfig) -> DoduoConfig,
+    seed: u64,
+) -> (ParamStore, DoduoModel) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = make_cfg(lm.config.clone());
+    assert_eq!(
+        cfg.encoder, lm.config,
+        "fine-tune encoder shape must match the pretrained checkpoint"
+    );
+    let model = DoduoModel::new(&mut store, cfg, ENC_PREFIX, &mut rng);
+    let (loaded, _skipped_mlm_head) =
+        load_lenient(&mut store, &lm.weights).expect("pretrained weights must load");
+    assert!(loaded > 0, "checkpoint was empty");
+    (store, model)
+}
+
+/// Re-instantiates the pretrained language model (encoder + MLM head) from
+/// a checkpoint, e.g. for the perplexity-probing analysis of Tables 12-13.
+pub fn instantiate_lm(lm: &PretrainedLm) -> (ParamStore, Encoder, MlmHead) {
+    let mut store = ParamStore::new();
+    // Seed is irrelevant: every parameter is overwritten by the checkpoint.
+    let mut rng = StdRng::seed_from_u64(0);
+    let encoder = Encoder::new(&mut store, lm.config.clone(), ENC_PREFIX, &mut rng);
+    let head = MlmHead::new(&mut store, &lm.config, ENC_PREFIX, &mut rng);
+    let (loaded, skipped) =
+        load_lenient(&mut store, &lm.weights).expect("pretrained weights must load");
+    assert_eq!(skipped, 0, "LM checkpoint should fully match encoder+head");
+    assert_eq!(loaded, store.len(), "every LM parameter must come from the checkpoint");
+    (store, encoder, head)
+}
+
+/// Builds the same model shape but *without* loading pretrained weights —
+/// the paper's random-initialization ablation (Appendix A.5).
+pub fn build_scratch_model(
+    lm: &PretrainedLm,
+    make_cfg: impl FnOnce(EncoderConfig) -> DoduoConfig,
+    seed: u64,
+) -> (ParamStore, DoduoModel) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = DoduoModel::new(&mut store, make_cfg(lm.config.clone()), ENC_PREFIX, &mut rng);
+    (store, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doduo_tensor::Tape;
+
+    fn corpus() -> Vec<String> {
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            out.extend(
+                [
+                    "george miller is a director",
+                    "george miller directed happy feet",
+                    "brisbane is a city",
+                    "happy feet is a film",
+                    "cars is a film",
+                    "john lasseter directed cars",
+                ]
+                .iter()
+                .map(|s| s.to_string()),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn pretrain_then_finetune_weights_transfer() {
+        let lm = pretrain_lm(&corpus(), &PretrainRecipe::tiny(), 42);
+        assert!(!lm.losses.is_empty());
+        let (store, model) = build_finetune_model(
+            &lm,
+            |enc| DoduoConfig::new(enc, 4, 2, true),
+            7,
+        );
+        // The loaded encoder must produce the same embeddings as a second
+        // load — i.e. weights really come from the checkpoint, not the RNG.
+        let (store2, model2) = build_finetune_model(
+            &lm,
+            |enc| DoduoConfig::new(enc, 4, 2, true),
+            999, // different seed: heads differ, encoder identical
+        );
+        let ids = [CLS, 7, 8, 9, SEP];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t1 = Tape::inference(&store);
+        let a = model.encoder.forward(&mut t1, &ids, None, &mut rng);
+        let mut t2 = Tape::inference(&store2);
+        let b = model2.encoder.forward(&mut t2, &ids, None, &mut rng);
+        for (x, y) in t1.value(a).data().iter().zip(t2.value(b).data().iter()) {
+            assert!((x - y).abs() < 1e-6, "encoders must match across loads");
+        }
+    }
+
+    #[test]
+    fn scratch_model_differs_from_pretrained() {
+        let lm = pretrain_lm(&corpus(), &PretrainRecipe::tiny(), 42);
+        let (store_p, model_p) =
+            build_finetune_model(&lm, |enc| DoduoConfig::new(enc, 4, 2, true), 7);
+        let (store_s, model_s) =
+            build_scratch_model(&lm, |enc| DoduoConfig::new(enc, 4, 2, true), 7);
+        let ids = [CLS, 7, 8, 9, SEP];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t1 = Tape::inference(&store_p);
+        let a = model_p.encoder.forward(&mut t1, &ids, None, &mut rng);
+        let mut t2 = Tape::inference(&store_s);
+        let b = model_s.encoder.forward(&mut t2, &ids, None, &mut rng);
+        let diff: f32 = t1
+            .value(a)
+            .data()
+            .iter()
+            .zip(t2.value(b).data().iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the pretrained checkpoint")]
+    fn mismatched_encoder_shape_panics() {
+        let lm = pretrain_lm(&corpus(), &PretrainRecipe::tiny(), 42);
+        build_finetune_model(
+            &lm,
+            |mut enc| {
+                enc.hidden = 64;
+                enc.heads = 4;
+                DoduoConfig::new(enc, 4, 2, true)
+            },
+            7,
+        );
+    }
+}

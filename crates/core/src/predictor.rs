@@ -1,0 +1,267 @@
+//! The "toolbox" API (§1: *"can be used with just a few lines of Python
+//! code"* — here, Rust): annotate an unseen table with types, relations and
+//! contextualized column embeddings.
+
+use crate::model::{DoduoModel, InputMode};
+use crate::trainer::decode_labels;
+use doduo_table::{LabelVocab, Table};
+use doduo_tensor::{softmax_row, ParamStore, Tape};
+use doduo_tokenizer::WordPiece;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Predicted labels for one column.
+#[derive(Clone, Debug)]
+pub struct ColumnTypePrediction {
+    pub column: usize,
+    /// `(label name, score)` — sigmoid probabilities in multi-label mode,
+    /// softmax probabilities otherwise; sorted descending.
+    pub labels: Vec<(String, f32)>,
+}
+
+/// Predicted relation between the subject column and one object column.
+#[derive(Clone, Debug)]
+pub struct RelationPrediction {
+    pub subject: usize,
+    pub object: usize,
+    pub labels: Vec<(String, f32)>,
+}
+
+/// Full annotation of a table.
+#[derive(Clone, Debug)]
+pub struct TableAnnotation {
+    pub types: Vec<ColumnTypePrediction>,
+    pub relations: Vec<RelationPrediction>,
+}
+
+/// A trained model bundled with everything needed to annotate raw tables.
+pub struct Annotator<'a> {
+    pub model: &'a DoduoModel,
+    pub store: &'a ParamStore,
+    pub tokenizer: &'a WordPiece,
+    pub type_vocab: &'a LabelVocab,
+    pub rel_vocab: &'a LabelVocab,
+}
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Annotator<'_> {
+    /// Scored labels from one logit row, sorted descending, with the set the
+    /// decision rule would emit placed first.
+    fn scored(&self, logits: &[f32], vocab: &LabelVocab, multi_label: bool) -> Vec<(String, f32)> {
+        let mut scores: Vec<f32> = logits.to_vec();
+        if multi_label {
+            for s in scores.iter_mut() {
+                *s = sigmoid(*s);
+            }
+        } else {
+            softmax_row(&mut scores);
+        }
+        let chosen = decode_labels(logits, multi_label);
+        let mut rows: Vec<(String, f32)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (vocab.name(i as u32).to_string(), s))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        // Keep the decision-rule labels plus the next best few for context.
+        let keep = chosen.len().max(3).min(rows.len());
+        rows.truncate(keep);
+        rows
+    }
+
+    /// Annotates every column (and, in table-wise mode, every `(0, j)`
+    /// column pair) of a table.
+    pub fn annotate(&self, table: &Table) -> TableAnnotation {
+        let ml = self.model.config().multi_label;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut types = Vec::with_capacity(table.n_cols());
+        match self.model.config().input_mode {
+            InputMode::TableWise => {
+                let st = self.model.serialize_for_types(table, self.tokenizer).remove(0);
+                let mut tape = Tape::inference(self.store);
+                let logits = self.model.type_logits(&mut tape, &st, &mut rng);
+                let v = tape.value(logits);
+                for c in 0..v.rows() {
+                    types.push(ColumnTypePrediction {
+                        column: c,
+                        labels: self.scored(v.row(c), self.type_vocab, ml),
+                    });
+                }
+                let mut relations = Vec::new();
+                if table.n_cols() > 1 && !self.rel_vocab.is_empty() {
+                    let pairs: Vec<(usize, usize)> =
+                        (1..table.n_cols()).map(|j| (0, j)).collect();
+                    let mut tape = Tape::inference(self.store);
+                    let logits = self.model.rel_logits(&mut tape, &st, &pairs, &mut rng);
+                    let v = tape.value(logits);
+                    for (r, &(s, o)) in pairs.iter().enumerate() {
+                        relations.push(RelationPrediction {
+                            subject: s,
+                            object: o,
+                            labels: self.scored(v.row(r), self.rel_vocab, ml),
+                        });
+                    }
+                }
+                TableAnnotation { types, relations }
+            }
+            InputMode::SingleColumn => {
+                for (c, st) in
+                    self.model.serialize_for_types(table, self.tokenizer).into_iter().enumerate()
+                {
+                    let mut tape = Tape::inference(self.store);
+                    let logits = self.model.type_logits(&mut tape, &st, &mut rng);
+                    types.push(ColumnTypePrediction {
+                        column: c,
+                        labels: self.scored(tape.value(logits).row(0), self.type_vocab, ml),
+                    });
+                }
+                TableAnnotation { types, relations: Vec::new() }
+            }
+        }
+    }
+
+    /// Contextualized column embeddings (the `[CLS]` outputs, §4.3) — the
+    /// representation the §7 case study clusters.
+    pub fn column_embeddings(&self, table: &Table) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(0);
+        match self.model.config().input_mode {
+            InputMode::TableWise => {
+                let st = self.model.serialize_for_types(table, self.tokenizer).remove(0);
+                let mut tape = Tape::inference(self.store);
+                let cols = self.model.column_embeddings(&mut tape, &st, &mut rng);
+                let v = tape.value(cols);
+                (0..v.rows()).map(|r| v.row(r).to_vec()).collect()
+            }
+            InputMode::SingleColumn => self
+                .model
+                .serialize_for_types(table, self.tokenizer)
+                .iter()
+                .map(|st| {
+                    let mut tape = Tape::inference(self.store);
+                    let cols = self.model.column_embeddings(&mut tape, st, &mut rng);
+                    tape.value(cols).row(0).to_vec()
+                })
+                .collect(),
+        }
+    }
+
+    /// The top predicted type name per column (a convenience for clustering
+    /// by predicted type, Table 9's "Doduo+predicted type" baseline).
+    pub fn predicted_type_ids(&self, table: &Table) -> Vec<u32> {
+        self.annotate(table)
+            .types
+            .iter()
+            .map(|t| {
+                self.type_vocab
+                    .id(&t.labels[0].0)
+                    .expect("annotator emits only vocabulary labels")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AttentionMode, DoduoConfig};
+    use doduo_table::{Column, LabelVocab, SerializeConfig};
+    use doduo_tokenizer::TrainConfig as TokTrain;
+    use doduo_transformer::EncoderConfig;
+
+    fn setup() -> (ParamStore, DoduoModel, WordPiece, LabelVocab, LabelVocab) {
+        let tok = WordPiece::train(
+            ["alpha beta gamma one two three"],
+            &TokTrain { merges: 60, min_pair_count: 1, max_word_len: 16 },
+        );
+        let mut tv = LabelVocab::new();
+        tv.intern("t.a");
+        tv.intern("t.b");
+        tv.intern("t.c");
+        let mut rv = LabelVocab::new();
+        rv.intern("r.x");
+        rv.intern("r.y");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = EncoderConfig::tiny(tok.vocab_size());
+        let max_seq = enc.max_seq;
+        let cfg = DoduoConfig::new(enc, 3, 2, true)
+            .with_attention(AttentionMode::Full)
+            .with_serialize(SerializeConfig::new(8, max_seq));
+        let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
+        (store, model, tok, tv, rv)
+    }
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new(vec!["alpha".into(), "beta".into()]),
+                Column::new(vec!["one".into(), "two".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn annotate_covers_all_columns_and_pairs() {
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        let out = ann.annotate(&table());
+        assert_eq!(out.types.len(), 2);
+        assert_eq!(out.relations.len(), 1);
+        assert_eq!(out.relations[0].subject, 0);
+        assert_eq!(out.relations[0].object, 1);
+        // Scores sorted descending, names come from the vocab.
+        for t in &out.types {
+            assert!(t.labels.windows(2).all(|w| w[0].1 >= w[1].1));
+            for (name, p) in &t.labels {
+                assert!(tv.id(name).is_some());
+                assert!((0.0..=1.0).contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn embeddings_have_hidden_width() {
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        let embs = ann.column_embeddings(&table());
+        assert_eq!(embs.len(), 2);
+        for e in &embs {
+            assert_eq!(e.len(), model.config().encoder.hidden);
+            assert!(e.iter().all(|v| v.is_finite()));
+        }
+        // Different columns get different embeddings.
+        let diff: f32 = embs[0].iter().zip(&embs[1]).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn predicted_type_ids_are_valid() {
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        let ids = ann.predicted_type_ids(&table());
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|&i| (i as usize) < tv.len()));
+    }
+}

@@ -1,0 +1,180 @@
+//! Static name pools used by the knowledge-base generator.
+//!
+//! Entity names are combinatorial (first × last, prefix × suffix) so pools
+//! of a few dozen parts yield thousands of distinct, pronounceable,
+//! WordPiece-friendly names. First/last pools are deliberately small enough
+//! that *full-name collisions across professions occur* — the paper's
+//! "George Miller the director vs. George Miller the producer" ambiguity
+//! (§1) is reproduced by construction.
+
+pub const FIRST_NAMES: &[&str] = &[
+    "george", "john", "david", "judy", "warren", "bill", "doug", "darla", "sam", "dick",
+    "simon", "max", "thomas", "derrick", "anna", "maria", "peter", "laura", "frank", "helen",
+    "oscar", "ruth", "victor", "alice", "henry", "clara", "martin", "elena", "paul", "nina",
+    "walter", "irene", "felix", "diana", "hugo", "sofia", "leon", "vera", "karl", "ada",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "miller", "coleman", "morris", "mitchell", "lasseter", "ranft", "anderson", "bowers",
+    "fell", "clement", "nye", "browne", "tyner", "henry", "walker", "fisher", "baker",
+    "mason", "porter", "turner", "carver", "fletcher", "harper", "sawyer", "tanner",
+    "weaver", "archer", "brewer", "cooper", "dyer", "farmer", "gardner", "hunter",
+    "keller", "lambert", "marsh", "norton", "osborn", "parker", "quinn", "reyes",
+    "shepard", "thorne", "vance", "webster", "york", "zeller", "abbott", "barlow", "crane",
+];
+
+pub const CITY_PREFIXES: &[&str] = &[
+    "spring", "river", "oak", "maple", "stone", "clear", "fair", "green", "silver", "north",
+    "south", "east", "west", "bright", "lake", "hill", "wood", "ash", "elm", "iron",
+    "golden", "red", "blue", "white", "high", "low", "mill", "salt", "sand", "snow",
+];
+
+pub const CITY_SUFFIXES: &[&str] = &[
+    "field", "ton", "ville", "burg", "ford", "haven", "port", "dale", "wick", "mouth",
+    "bridge", "crest", "view", "side", "gate", "fall", "brook", "land", "stead", "moor",
+];
+
+/// Country names with the languages spoken there (for the
+/// `country.languages_spoken` relation and probing templates).
+pub const COUNTRIES: &[(&str, &str)] = &[
+    ("astoria", "astorian"),
+    ("belloria", "bellorian"),
+    ("cordova", "cordovan"),
+    ("drelund", "drelundic"),
+    ("esperia", "esperian"),
+    ("fenwick", "fenwickian"),
+    ("galdora", "galdoran"),
+    ("hestland", "hestlandic"),
+    ("ithria", "ithrian"),
+    ("jorvania", "jorvanian"),
+    ("kestrelia", "kestrelian"),
+    ("lunova", "lunovan"),
+    ("mardovia", "mardovian"),
+    ("nordhaven", "nordhavian"),
+    ("ostrelia", "ostrelian"),
+    ("pelloria", "pellorian"),
+    ("quintara", "quintaran"),
+    ("rovenia", "rovenian"),
+    ("solmark", "solmarkian"),
+    ("tavaria", "tavarian"),
+    ("umbria", "umbrian"),
+    ("veldania", "veldanian"),
+    ("westoria", "westorian"),
+    ("zephyria", "zephyrian"),
+];
+
+pub const FILM_ADJECTIVES: &[&str] = &[
+    "silent", "crimson", "hidden", "golden", "broken", "frozen", "burning", "endless",
+    "fading", "rising", "shattered", "velvet", "hollow", "radiant", "wandering", "midnight",
+    "distant", "restless", "lonely", "electric",
+];
+
+pub const FILM_NOUNS: &[&str] = &[
+    "horizon", "garden", "empire", "voyage", "harbor", "shadow", "river", "crown",
+    "mirror", "orchard", "lantern", "compass", "canyon", "meadow", "forest", "island",
+    "summit", "tempest", "whisper", "carnival",
+];
+
+pub const TEAM_MASCOTS: &[&str] = &[
+    "tigers", "eagles", "wolves", "hawks", "bears", "lions", "falcons", "panthers",
+    "ravens", "bison", "cougars", "stallions", "vipers", "storm", "comets", "titans",
+];
+
+pub const FOOTBALL_CONFERENCES: &[&str] = &[
+    "atlantic conference", "pacific conference", "mountain conference", "central conference",
+    "coastal conference", "valley conference", "summit conference", "pioneer conference",
+];
+
+pub const FOOTBALL_POSITIONS: &[&str] = &[
+    "quarterback", "running back", "wide receiver", "linebacker", "cornerback", "safety",
+    "tight end", "kicker",
+];
+
+pub const BASEBALL_POSITIONS: &[&str] = &[
+    "pitcher", "catcher", "shortstop", "first baseman", "second baseman", "third baseman",
+    "outfielder", "designated hitter",
+];
+
+pub const GENRES: &[&str] = &[
+    "jazz", "folk", "blues", "rock", "soul", "opera", "ambient", "swing", "choral", "disco",
+];
+
+pub const RELIGIONS: &[&str] = &[
+    "solarism", "lunarism", "verdism", "aquarism", "terrism", "pyrism", "aetherism", "umbrism",
+];
+
+pub const CONSTELLATIONS: &[&str] = &[
+    "the archer", "the serpent", "the lantern", "the twins", "the mariner", "the harp",
+    "the crane", "the anvil", "the chalice", "the plough", "the fox", "the beacon",
+];
+
+pub const ORGANISMS: &[&str] = &[
+    "mossfin newt", "silver bracken", "dune beetle", "glass shrimp", "marsh wren",
+    "thorn lizard", "cave moth", "reef urchin", "pine marten", "bog orchid",
+    "river lamprey", "stone crab", "heath viper", "cliff swallow", "fen snail",
+];
+
+pub const KINGDOMS: &[&str] = &[
+    "kingdom of avenor", "kingdom of brethia", "kingdom of caldora", "kingdom of drunmore",
+    "kingdom of elandia", "kingdom of farholt", "kingdom of grenwald", "kingdom of hollin",
+];
+
+pub const INVENTIONS: &[&str] = &[
+    "the rotary loom", "the arc furnace", "the tide clock", "the vapor press",
+    "the coil engine", "the glass kiln", "the signal lamp", "the chain pump",
+    "the flux welder", "the drift anchor",
+];
+
+pub const COMPANY_SUFFIXES: &[&str] =
+    &["pictures", "studios", "films", "media", "works", "productions", "entertainment", "group"];
+
+pub const BROWSERS: &[&str] = &[
+    "chrome", "firefox", "safari", "edge", "opera", "brave", "vivaldi", "konqueror",
+];
+
+pub const JOB_TITLES: &[&str] = &[
+    "software engineer", "data scientist", "product manager", "sales associate",
+    "account executive", "marketing analyst", "customer support agent", "hr generalist",
+    "financial controller", "operations lead", "ux designer", "qa engineer",
+    "devops engineer", "technical writer", "recruiter", "legal counsel",
+];
+
+pub const SEARCH_TERMS: &[&str] = &[
+    "remote backend jobs", "entry level marketing", "senior designer salary",
+    "part time warehouse", "data analyst internship", "nurse practitioner openings",
+    "civil engineer contract", "teacher assistant roles", "delivery driver near me",
+    "startup equity questions",
+];
+
+pub const STATUS_WORDS: &[&str] = &[
+    "active", "inactive", "pending", "archived", "approved", "rejected", "draft", "closed",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        assert!(FIRST_NAMES.len() >= 30);
+        assert!(LAST_NAMES.len() >= 40);
+        assert_eq!(COUNTRIES.len(), 24);
+        let mut names: Vec<&str> = COUNTRIES.iter().map(|c| c.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24, "country names must be unique");
+    }
+
+    #[test]
+    fn clean_genre_pool_is_ascii() {
+        for g in GENRES {
+            assert!(g.is_ascii(), "genre {g} must be ascii");
+        }
+    }
+
+    #[test]
+    fn combinatorial_pools_yield_enough_entities() {
+        assert!(CITY_PREFIXES.len() * CITY_SUFFIXES.len() >= 500);
+        assert!(FILM_ADJECTIVES.len() * FILM_NOUNS.len() >= 300);
+    }
+}

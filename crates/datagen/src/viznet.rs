@@ -1,0 +1,625 @@
+//! VizNet-style benchmark generator.
+//!
+//! Mirrors the Sato/VizNet benchmark of §5.1: single-label columns over the
+//! *same 78 semantic types* the paper's Figure 5 enumerates, including the
+//! numeric-heavy types stress-tested in Table 5 (`plays`, `rank`, `isbn`,
+//! `capacity`, ...) whose numeric fractions are engineered to resemble the
+//! paper's `%num` column. Tables are drawn from co-occurrence themes so that
+//! table context genuinely disambiguates confusable types (`rank` vs
+//! `ranking`, `city` vs `birthPlace`, `name` vs `jockey` vs `director`),
+//! which is exactly the signal multi-column models exploit.
+
+use crate::kb::KnowledgeBase;
+use crate::names::{LAST_NAMES, STATUS_WORDS};
+use doduo_table::{AnnotatedTable, Column, Dataset, LabelVocab, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 78 VizNet semantic types, exactly as listed in the paper's Figure 5.
+pub const VIZNET_TYPES: [&str; 78] = [
+    "isbn", "year", "age", "state", "grades", "weight", "status", "industry", "club", "gender",
+    "result", "religion", "language", "birthDate", "family", "team", "code", "city", "category",
+    "description", "duration", "type", "rank", "sex", "name", "address", "affiliation", "symbol",
+    "teamName", "format", "service", "education", "location", "elevation", "county", "position",
+    "company", "collection", "album", "day", "country", "class", "publisher", "currency",
+    "origin", "plays", "depth", "jockey", "fileSize", "order", "organisation", "artist",
+    "birthPlace", "continent", "genre", "nationality", "credit", "classification", "owner",
+    "notes", "area", "creator", "region", "sales", "operator", "product", "component",
+    "requirement", "species", "manufacturer", "capacity", "range", "brand", "affiliate",
+    "command", "director", "ranking", "person",
+];
+
+/// The paper's Table 5: the 15 most numeric VizNet types.
+pub const NUMERIC_STRESS_TYPES: [&str; 15] = [
+    "plays", "rank", "depth", "sales", "year", "fileSize", "elevation", "ranking", "age",
+    "birthDate", "grades", "weight", "isbn", "capacity", "code",
+];
+
+/// Co-occurrence themes: types that appear together in real tables. A table
+/// samples 2-5 types from one theme (or is single-column).
+const THEMES: &[&[&str]] = &[
+    // People / demographics.
+    &["name", "age", "gender", "birthDate", "birthPlace", "nationality", "family", "education", "religion"],
+    &["person", "sex", "age", "address", "city", "state"],
+    // Sports.
+    &["team", "teamName", "club", "position", "result", "rank", "order"],
+    &["jockey", "result", "ranking", "order", "club"],
+    // Geography.
+    &["city", "state", "county", "country", "continent", "region", "location", "elevation", "area"],
+    &["address", "city", "state", "code", "county"],
+    // Music / media.
+    &["album", "artist", "genre", "duration", "format", "plays", "collection", "creator"],
+    &["director", "year", "genre", "person", "credit"],
+    // Business.
+    &["company", "industry", "product", "brand", "manufacturer", "owner", "sales", "symbol", "currency"],
+    &["organisation", "affiliation", "affiliate", "operator", "service", "status"],
+    // Publications.
+    &["isbn", "publisher", "language", "year", "notes", "description", "category"],
+    // Catalog / tech.
+    &["code", "type", "class", "classification", "component", "requirement", "command", "status"],
+    &["fileSize", "format", "capacity", "range", "depth", "weight"],
+    // Nature.
+    &["species", "classification", "region", "origin", "grades"],
+    // Schedules.
+    &["day", "duration", "order", "result", "service"],
+];
+
+/// Generation knobs.
+#[derive(Clone, Debug)]
+pub struct VizNetConfig {
+    pub n_tables: usize,
+    pub min_rows: usize,
+    pub max_rows: usize,
+    /// Fraction of single-column tables (the "Full" dataset of Table 4
+    /// contains them; "Multi-column only" filters them out).
+    pub single_col_frac: f64,
+    pub seed: u64,
+}
+
+impl Default for VizNetConfig {
+    fn default() -> Self {
+        VizNetConfig {
+            n_tables: 800,
+            min_rows: 3,
+            max_rows: 6,
+            single_col_frac: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, xs: &[&'a str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Generates one cell value for a semantic type. Distributions are designed
+/// so `doduo_table::is_numeric_like` reports numeric fractions close to the
+/// paper's Table 5 `%num` column.
+pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
+    let person = |rng: &mut StdRng| kb.people[rng.gen_range(0..kb.people.len())].name.clone();
+    let city = |rng: &mut StdRng| kb.cities[rng.gen_range(0..kb.cities.len())].name.clone();
+    let country = |rng: &mut StdRng| kb.countries[rng.gen_range(0..kb.countries.len())].name.clone();
+    let company = |rng: &mut StdRng| kb.companies[rng.gen_range(0..kb.companies.len())].name.clone();
+    let adjective = |rng: &mut StdRng| pick(rng, crate::names::FILM_ADJECTIVES);
+    let noun = |rng: &mut StdRng| pick(rng, crate::names::FILM_NOUNS);
+
+    match ty {
+        "isbn" => {
+            // ~44% numeric-like: mix dashed-digit ISBNs with `isbn`-prefixed.
+            if rng.gen::<f32>() < 0.44 {
+                format!(
+                    "978-{}-{:05}-{:03}-{}",
+                    rng.gen_range(0..10),
+                    rng.gen_range(0..100_000),
+                    rng.gen_range(0..1000),
+                    rng.gen_range(0..10)
+                )
+            } else {
+                format!("isbn {:010}", rng.gen_range(0u64..10_000_000_000))
+            }
+        }
+        "year" => {
+            if rng.gen::<f32>() < 0.92 {
+                rng.gen_range(1900..2023).to_string()
+            } else {
+                format!("c. {}", rng.gen_range(1800..1900))
+            }
+        }
+        "age" => {
+            if rng.gen::<f32>() < 0.81 {
+                rng.gen_range(1..100).to_string()
+            } else {
+                format!("{} years", rng.gen_range(1..100))
+            }
+        }
+        "state" => format!("{}shire", pick(rng, crate::names::CITY_PREFIXES)),
+        "grades" => {
+            if rng.gen::<f32>() < 0.67 {
+                format!("{}-{}", rng.gen_range(1..7), rng.gen_range(7..13))
+            } else {
+                format!("k-{}", rng.gen_range(5..9))
+            }
+        }
+        "weight" => {
+            if rng.gen::<f32>() < 0.60 {
+                rng.gen_range(40..260).to_string()
+            } else {
+                format!("{} kg", rng.gen_range(40..260))
+            }
+        }
+        "status" => pick(rng, STATUS_WORDS).to_string(),
+        "industry" => pick(
+            rng,
+            &["software", "retail", "banking", "insurance", "logistics", "media", "telecom",
+              "mining", "farming", "tourism"],
+        )
+        .to_string(),
+        "club" => format!("{} fc", city(rng)),
+        "gender" => pick(rng, &["male", "female"]).to_string(),
+        "result" => {
+            if rng.gen::<f32>() < 0.5 {
+                format!("{}-{}", rng.gen_range(0..6), rng.gen_range(0..6))
+            } else {
+                pick(rng, &["won", "lost", "draw", "retired", "disqualified"]).to_string()
+            }
+        }
+        "religion" => pick(rng, &kb.religions).to_string(),
+        "language" => kb.countries[rng.gen_range(0..kb.countries.len())].language.clone(),
+        "birthDate" => {
+            if rng.gen::<f32>() < 0.68 {
+                format!(
+                    "{}-{:02}-{:02}",
+                    rng.gen_range(1930..2010),
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29)
+                )
+            } else {
+                format!(
+                    "{} {}, {}",
+                    pick(rng, &["january", "march", "june", "august", "october", "december"]),
+                    rng.gen_range(1..29),
+                    rng.gen_range(1930..2010)
+                )
+            }
+        }
+        "family" => pick(rng, LAST_NAMES).to_string(),
+        "team" => kb.teams[rng.gen_range(0..kb.teams.len())].name.clone(),
+        "code" => {
+            // ~36% pure digits.
+            if rng.gen::<f32>() < 0.36 {
+                format!("{:03}", rng.gen_range(0..1000))
+            } else {
+                format!(
+                    "{}{}-{}",
+                    pick(rng, &["a", "b", "x", "k", "q", "z"]),
+                    pick(rng, &["a", "k", "r", "t"]),
+                    rng.gen_range(1..999)
+                )
+            }
+        }
+        "city" => city(rng),
+        "category" => pick(
+            rng,
+            &["tools", "sports", "garden", "kitchen", "electronics", "books", "toys", "outdoor",
+              "office", "beauty"],
+        )
+        .to_string(),
+        "description" => format!("a {} {} for {}", adjective(rng), noun(rng), noun(rng)),
+        "duration" => format!("{}:{:02}", rng.gen_range(0..12), rng.gen_range(0..60)),
+        "type" => pick(rng, &["standard", "premium", "basic", "deluxe", "custom", "economy"])
+            .to_string(),
+        "rank" => {
+            if rng.gen::<f32>() < 0.93 {
+                rng.gen_range(1..101).to_string()
+            } else {
+                format!("{}th", rng.gen_range(4..20))
+            }
+        }
+        "sex" => pick(rng, &["m", "f", "male", "female"]).to_string(),
+        "name" => person(rng),
+        "address" => format!("{} {} street", rng.gen_range(1..999), noun(rng)),
+        "affiliation" => {
+            kb.universities[rng.gen_range(0..kb.universities.len())].name.clone()
+        }
+        "symbol" => {
+            let n = rng.gen_range(2..5);
+            (0..n).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
+        }
+        "teamName" => pick(rng, crate::names::TEAM_MASCOTS).to_string(),
+        "format" => pick(rng, &["cd", "vinyl", "digital", "cassette", "dvd", "blu-ray"])
+            .to_string(),
+        "service" => pick(
+            rng,
+            &["delivery", "streaming", "consulting", "hosting", "support", "cleaning"],
+        )
+        .to_string(),
+        "education" => pick(
+            rng,
+            &["high school", "bachelor of arts", "master of science", "phd", "diploma"],
+        )
+        .to_string(),
+        "location" => {
+            if rng.gen::<f32>() < 0.5 {
+                city(rng)
+            } else {
+                format!("{} {}", city(rng), pick(rng, &["arena", "park", "hall", "stadium"]))
+            }
+        }
+        "elevation" => {
+            if rng.gen::<f32>() < 0.87 {
+                rng.gen_range(-10..4000).to_string()
+            } else {
+                format!("{} m", rng.gen_range(0..4000))
+            }
+        }
+        "county" => format!("{} county", city(rng)),
+        "position" => {
+            if rng.gen::<bool>() {
+                pick(rng, crate::names::FOOTBALL_POSITIONS).to_string()
+            } else {
+                pick(rng, crate::names::BASEBALL_POSITIONS).to_string()
+            }
+        }
+        "company" => company(rng),
+        "collection" => format!(
+            "{} collection {}",
+            pick(rng, &["summer", "winter", "spring", "autumn", "classic", "modern"]),
+            rng.gen_range(2000..2023)
+        ),
+        "album" => format!("{} {}", adjective(rng), noun(rng)),
+        "day" => {
+            if rng.gen::<f32>() < 0.7 {
+                pick(rng, &["monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+                            "sunday"])
+                .to_string()
+            } else {
+                rng.gen_range(1..29).to_string()
+            }
+        }
+        "country" => country(rng),
+        "class" => pick(rng, &["a", "b", "c", "first", "second", "economy", "business"])
+            .to_string(),
+        "publisher" => format!("{} press", pick(rng, LAST_NAMES)),
+        "currency" => pick(rng, &["dollar", "euro", "peso", "krona", "franc", "yen", "rand"])
+            .to_string(),
+        "origin" => country(rng),
+        "plays" => rng.gen_range(0..2_000_000).to_string(),
+        "depth" => {
+            if rng.gen::<f32>() < 0.93 {
+                rng.gen_range(1..11_000).to_string()
+            } else {
+                format!("{} m", rng.gen_range(1..11_000))
+            }
+        }
+        "jockey" => person(rng),
+        "fileSize" => {
+            if rng.gen::<f32>() < 0.88 {
+                format!("{:.1}", rng.gen::<f32>() * 4096.0)
+            } else {
+                format!("{:.1} mb", rng.gen::<f32>() * 4096.0)
+            }
+        }
+        "order" => {
+            if rng.gen::<f32>() < 0.75 {
+                rng.gen_range(1..30).to_string()
+            } else {
+                pick(rng, &["first", "second", "third", "fourth", "last"]).to_string()
+            }
+        }
+        "organisation" => format!(
+            "{} {}",
+            noun(rng),
+            pick(rng, &["foundation", "institute", "council", "society", "association"])
+        ),
+        "artist" => person(rng),
+        "birthPlace" => city(rng),
+        "continent" => pick(
+            rng,
+            &["asteria", "borealia", "meridia", "occidia", "orientia", "australis"],
+        )
+        .to_string(),
+        "genre" => pick(rng, &kb.genres).to_string(),
+        "nationality" => {
+            kb.countries[rng.gen_range(0..kb.countries.len())].language.clone()
+        }
+        "credit" => format!("photo by {}", person(rng)),
+        "classification" => pick(
+            rng,
+            &["endangered", "stable", "vulnerable", "extinct", "secure", "threatened"],
+        )
+        .to_string(),
+        "owner" => {
+            if rng.gen::<bool>() {
+                person(rng)
+            } else {
+                company(rng)
+            }
+        }
+        "notes" => pick(
+            rng,
+            &["see appendix", "revised 2019", "approximate", "unconfirmed", "from archive",
+              "estimated"],
+        )
+        .to_string(),
+        "area" => {
+            if rng.gen::<f32>() < 0.8 {
+                rng.gen_range(10..100_000).to_string()
+            } else {
+                format!("{} km2", rng.gen_range(10..100_000))
+            }
+        }
+        "creator" => person(rng),
+        "region" => format!("{} region", pick(rng, crate::names::CITY_PREFIXES)),
+        "sales" => {
+            if rng.gen::<f32>() < 0.92 {
+                rng.gen_range(1000..9_000_000).to_string()
+            } else {
+                format!("{}m units", rng.gen_range(1..40))
+            }
+        }
+        "operator" => company(rng),
+        "product" => format!("{} {}", adjective(rng), pick(rng, &["lamp", "chair", "desk",
+            "kettle", "router", "speaker", "monitor", "blender"])),
+        "component" => pick(rng, &["engine", "rotor", "valve", "sensor", "bearing", "gasket",
+            "piston", "filter"])
+        .to_string(),
+        "requirement" => format!(
+            "min {} {}",
+            rng.gen_range(1..64),
+            pick(rng, &["gb ram", "cores", "volts", "users"])
+        ),
+        "species" => pick(rng, &kb.organisms).to_string(),
+        "manufacturer" => company(rng),
+        "capacity" => {
+            // ~42% plain numeric.
+            if rng.gen::<f32>() < 0.42 {
+                rng.gen_range(100..90_000).to_string()
+            } else {
+                format!("{} seats", rng.gen_range(100..90_000))
+            }
+        }
+        "range" => {
+            if rng.gen::<f32>() < 0.5 {
+                format!("{}-{} km", rng.gen_range(1..50), rng.gen_range(50..400))
+            } else {
+                pick(rng, &["short", "medium", "long", "extended"]).to_string()
+            }
+        }
+        "brand" => pick(rng, LAST_NAMES).to_string(),
+        "affiliate" => format!("{} network", pick(rng, LAST_NAMES)),
+        "command" => pick(rng, &["run", "stop", "delete", "install", "update", "restart",
+            "status", "deploy"])
+        .to_string(),
+        "director" => person(rng),
+        "ranking" => {
+            // Same surface form as `rank` — the confusion the paper reports
+            // (ranking F1 = 33.21 in Table 5).
+            if rng.gen::<f32>() < 0.87 {
+                rng.gen_range(1..101).to_string()
+            } else {
+                format!("#{}", rng.gen_range(1..101))
+            }
+        }
+        "person" => person(rng),
+        _ => panic!("unknown VizNet type: {ty}"),
+    }
+}
+
+/// Generates the VizNet-style benchmark (single-label, no relations).
+pub fn generate_viznet(kb: &KnowledgeBase, cfg: &VizNetConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut types = LabelVocab::new();
+    // Intern all 78 up-front so ids are stable regardless of sampling.
+    for ty in VIZNET_TYPES {
+        types.intern(ty);
+    }
+    let themes: Vec<Vec<&str>> = THEMES
+        .iter()
+        .map(|t| t.iter().copied().filter(|ty| VIZNET_TYPES.contains(ty)).collect())
+        .collect();
+
+    let mut tables = Vec::with_capacity(cfg.n_tables);
+    for id in 0..cfg.n_tables {
+        let rows = rng.gen_range(cfg.min_rows..=cfg.max_rows);
+        let single = rng.gen_bool(cfg.single_col_frac);
+        let chosen: Vec<&str> = if single {
+            vec![VIZNET_TYPES[rng.gen_range(0..VIZNET_TYPES.len())]]
+        } else {
+            let theme = &themes[rng.gen_range(0..themes.len())];
+            let k = rng.gen_range(2..=4.min(theme.len()));
+            let mut picked: Vec<&str> = Vec::with_capacity(k);
+            while picked.len() < k {
+                let t = theme[rng.gen_range(0..theme.len())];
+                if !picked.contains(&t) {
+                    picked.push(t);
+                }
+            }
+            picked
+        };
+        let mut columns = Vec::with_capacity(chosen.len());
+        let mut col_types = Vec::with_capacity(chosen.len());
+        for ty in &chosen {
+            let values: Vec<String> = (0..rows).map(|_| gen_value(ty, kb, &mut rng)).collect();
+            columns.push(Column::with_name(ty.to_string(), values));
+            col_types.push(vec![types.id(ty).expect("interned")]);
+        }
+        tables.push(AnnotatedTable {
+            table: Table::new(format!("viz-{id}"), columns),
+            col_types,
+            relations: Vec::new(),
+        });
+    }
+    let ds = Dataset { tables, type_vocab: types, rel_vocab: LabelVocab::new() };
+    ds.validate().expect("generated dataset must validate");
+    ds
+}
+
+/// The "Multi-column only" variant of Table 4: drops single-column tables.
+pub fn multi_column_only(ds: &Dataset) -> Dataset {
+    Dataset {
+        tables: ds.tables.iter().filter(|t| t.table.n_cols() > 1).cloned().collect(),
+        type_vocab: ds.type_vocab.clone(),
+        rel_vocab: ds.rel_vocab.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{KbConfig, KnowledgeBase};
+    use doduo_table::is_numeric_like;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::generate(&KbConfig::default(), 42)
+    }
+
+    #[test]
+    fn exactly_78_types() {
+        assert_eq!(VIZNET_TYPES.len(), 78);
+        let mut sorted = VIZNET_TYPES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 78, "type names must be unique");
+    }
+
+    #[test]
+    fn every_type_generates_nonempty_values() {
+        let kb = kb();
+        let mut rng = StdRng::seed_from_u64(1);
+        for ty in VIZNET_TYPES {
+            for _ in 0..5 {
+                let v = gen_value(ty, &kb, &mut rng);
+                assert!(!v.trim().is_empty(), "{ty} generated an empty value");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_fractions_roughly_match_table_5() {
+        // Paper Table 5 %num values we engineered towards (±15 points).
+        let expect: &[(&str, f32)] = &[
+            ("plays", 1.00),
+            ("rank", 0.93),
+            ("year", 0.91),
+            ("age", 0.81),
+            ("isbn", 0.44),
+            ("capacity", 0.42),
+            ("code", 0.36),
+        ];
+        let kb = kb();
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(ty, frac) in expect {
+            let hits = (0..600).filter(|_| is_numeric_like(&gen_value(ty, &kb, &mut rng))).count();
+            let measured = hits as f32 / 600.0;
+            assert!(
+                (measured - frac).abs() < 0.15,
+                "{ty}: measured %num {measured:.2} vs paper-like {frac:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_shape_and_single_label() {
+        let ds = generate_viznet(&kb(), &VizNetConfig { n_tables: 200, ..Default::default() });
+        assert_eq!(ds.tables.len(), 200);
+        assert_eq!(ds.type_vocab.len(), 78);
+        for t in &ds.tables {
+            for types in &t.col_types {
+                assert_eq!(types.len(), 1, "VizNet columns are single-label");
+            }
+            assert!(t.relations.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_and_multi_column_mix() {
+        let ds = generate_viznet(&kb(), &VizNetConfig { n_tables: 400, ..Default::default() });
+        let single = ds.tables.iter().filter(|t| t.table.n_cols() == 1).count();
+        assert!(single > 60 && single < 200, "single-column count {single}");
+        let multi = multi_column_only(&ds);
+        assert!(multi.tables.iter().all(|t| t.table.n_cols() > 1));
+        assert_eq!(multi.tables.len(), 400 - single);
+    }
+
+    #[test]
+    fn columns_carry_their_own_type_name_as_header() {
+        let ds = generate_viznet(&kb(), &VizNetConfig { n_tables: 50, ..Default::default() });
+        for t in &ds.tables {
+            for (col, types) in t.table.columns.iter().zip(&t.col_types) {
+                let name = col.name.as_deref().unwrap();
+                assert_eq!(ds.type_vocab.name(types[0]), name);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_viznet(&kb(), &VizNetConfig { n_tables: 60, ..Default::default() });
+        let b = generate_viznet(&kb(), &VizNetConfig { n_tables: 60, ..Default::default() });
+        for (x, y) in a.tables.iter().zip(b.tables.iter()) {
+            assert_eq!(x.table, y.table);
+        }
+    }
+
+    /// Format contracts for a representative sample of the 78 generators.
+    #[test]
+    fn per_type_value_formats() {
+        let kb = kb();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut check = |ty: &str, pred: &dyn Fn(&str) -> bool| {
+            for _ in 0..30 {
+                let v = gen_value(ty, &kb, &mut rng);
+                assert!(pred(&v), "{ty} generated unexpected value {v:?}");
+            }
+        };
+        check("year", &|v| {
+            v.parse::<u32>().map(|y| (1900..2023).contains(&y)).unwrap_or(v.starts_with("c. "))
+        });
+        check("age", &|v| {
+            let d: String = v.chars().take_while(|c| c.is_ascii_digit()).collect();
+            d.parse::<u32>().map(|a| (1..100).contains(&a)).unwrap_or(false)
+        });
+        check("duration", &|v| v.contains(':') && v.len() >= 4);
+        check("gender", &|v| v == "male" || v == "female");
+        check("sex", &|v| ["m", "f", "male", "female"].contains(&v));
+        check("plays", &|v| v.parse::<u64>().is_ok());
+        check("symbol", &|v| v.len() >= 2 && v.len() <= 4 && v.chars().all(|c| c.is_ascii_lowercase()));
+        check("county", &|v| v.ends_with(" county"));
+        check("region", &|v| v.ends_with(" region"));
+        check("club", &|v| v.ends_with(" fc"));
+        check("publisher", &|v| v.ends_with(" press"));
+        check("credit", &|v| v.starts_with("photo by "));
+        check("address", &|v| v.ends_with(" street"));
+        check("requirement", &|v| v.starts_with("min "));
+        check("continent", &|v| {
+            ["asteria", "borealia", "meridia", "occidia", "orientia", "australis"].contains(&v)
+        });
+        check("rank", &|v| v.parse::<u32>().is_ok() || v.ends_with("th"));
+        check("day", &|v| {
+            v.parse::<u32>().is_ok()
+                || ["monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"]
+                    .contains(&v)
+        });
+        check("birthDate", &|v| v.chars().filter(|c| c.is_ascii_digit()).count() >= 5);
+        check("isbn", &|v| v.starts_with("978-") || v.starts_with("isbn "));
+        check("grades", &|v| v.contains('-'));
+    }
+
+    #[test]
+    fn confusable_types_share_surface_forms() {
+        // The paper's Table 5 failure case: `ranking` is confusable with
+        // `rank` — both must emit plain integers most of the time, so only
+        // table context can separate them.
+        let kb = kb();
+        let mut rng = StdRng::seed_from_u64(12);
+        let plain_int = |ty: &str, rng: &mut StdRng| {
+            (0..200).filter(|_| gen_value(ty, &kb, rng).parse::<u32>().is_ok()).count()
+        };
+        let rank = plain_int("rank", &mut rng);
+        let ranking = plain_int("ranking", &mut rng);
+        assert!(rank > 150 && ranking > 140, "rank {rank}, ranking {ranking}");
+        // jockey / director / person / artist all emit person names.
+        let jockey = gen_value("jockey", &kb, &mut rng);
+        assert!(jockey.split_whitespace().count() == 2, "person-like name: {jockey}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Inter-column attention-dependency aggregation (Appendix A.4, Figure 6).
+//!
+//! The paper averages last-layer `[CLS]`→`[CLS]` attention weights per
+//! (column-type, column-type) pair over a whole dataset, then normalizes by
+//! type co-occurrence so the reference point is zero: positive entries mean
+//! type *i* draws its contextualized representation from type *j* more than
+//! co-occurrence alone explains.
+
+#![allow(clippy::needless_range_loop)] // index loops over matrix coordinates are clearest here
+/// Accumulates attention mass between column-type pairs.
+#[derive(Clone, Debug)]
+pub struct DependencyAccumulator {
+    n: usize,
+    sum: Vec<f64>,
+    count: Vec<u64>,
+}
+
+impl DependencyAccumulator {
+    pub fn new(n_types: usize) -> Self {
+        DependencyAccumulator { n: n_types, sum: vec![0.0; n_types * n_types], count: vec![0; n_types * n_types] }
+    }
+
+    /// Records one attention observation: column of type `from` attended to
+    /// a column of type `to` with weight `w`.
+    pub fn add(&mut self, from: usize, to: usize, w: f64) {
+        assert!(from < self.n && to < self.n);
+        self.sum[from * self.n + to] += w;
+        self.count[from * self.n + to] += 1;
+    }
+
+    pub fn n_types(&self) -> usize {
+        self.n
+    }
+
+    /// Pairs that co-occurred at least once.
+    pub fn observed_pairs(&self) -> usize {
+        self.count.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The Figure 6 matrix: mean attention per pair, centred so the average
+    /// observed entry is zero. Unobserved pairs are `NaN`.
+    pub fn normalized(&self) -> Vec<f64> {
+        let mut avg = vec![f64::NAN; self.n * self.n];
+        let mut total = 0.0;
+        let mut n_obs = 0usize;
+        for i in 0..self.n * self.n {
+            if self.count[i] > 0 {
+                let a = self.sum[i] / self.count[i] as f64;
+                avg[i] = a;
+                total += a;
+                n_obs += 1;
+            }
+        }
+        if n_obs == 0 {
+            return avg;
+        }
+        let mean = total / n_obs as f64;
+        for v in avg.iter_mut() {
+            if v.is_finite() {
+                *v -= mean;
+            }
+        }
+        avg
+    }
+
+    /// Convenience accessor into [`DependencyAccumulator::normalized`].
+    pub fn dependency(&self, from: usize, to: usize) -> f64 {
+        self.normalized()[from * self.n + to]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_centers_observed_entries() {
+        let mut acc = DependencyAccumulator::new(2);
+        acc.add(0, 1, 0.9);
+        acc.add(0, 1, 0.7);
+        acc.add(1, 0, 0.2);
+        let m = acc.normalized();
+        // avg(0,1) = 0.8, avg(1,0) = 0.2, mean = 0.5.
+        assert!((m[1] - 0.3).abs() < 1e-9);
+        assert!((m[2] + 0.3).abs() < 1e-9);
+        assert!(m[0].is_nan(), "unobserved pairs are NaN");
+        assert_eq!(acc.observed_pairs(), 2);
+    }
+
+    #[test]
+    fn asymmetry_is_preserved() {
+        // The paper stresses the matrix is NOT symmetric (age relies on
+        // origin but not vice versa).
+        let mut acc = DependencyAccumulator::new(2);
+        acc.add(0, 1, 1.0);
+        acc.add(1, 0, 0.0);
+        assert!(acc.dependency(0, 1) > acc.dependency(1, 0));
+    }
+
+    #[test]
+    fn empty_accumulator_is_all_nan() {
+        let acc = DependencyAccumulator::new(3);
+        assert!(acc.normalized().iter().all(|v| v.is_nan()));
+        assert_eq!(acc.observed_pairs(), 0);
+    }
+}

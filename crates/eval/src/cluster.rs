@@ -1,0 +1,271 @@
+//! k-means clustering and cluster-quality metrics for the §7 case study.
+//!
+//! The paper evaluates column clusterings with Homogeneity ("precision"),
+//! Completeness ("recall") and V-Measure ("F1") against a 15-cluster ground
+//! truth, running the same k-means over every embedding method.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Plain k-means with k-means++ style seeding. Returns a cluster id per
+/// point. Deterministic in `seed`.
+pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> Vec<usize> {
+    assert!(!points.is_empty(), "kmeans on empty input");
+    let k = k.min(points.len());
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged embedding dims");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    while centers.len() < k {
+        let d2: Vec<f32> = points
+            .iter()
+            .map(|p| {
+                centers
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect();
+        let total: f32 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with centers; duplicate one.
+            centers.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut x = rng.gen_range(0.0..total);
+        let mut chosen = 0;
+        for (i, &d) in d2.iter().enumerate() {
+            if x < d {
+                chosen = i;
+                break;
+            }
+            x -= d;
+        }
+        centers.push(points[chosen].clone());
+    }
+
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centers.len())
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centers[a])
+                        .partial_cmp(&sq_dist(p, &centers[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, &v) in sums[assign[i]].iter_mut().zip(p.iter()) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centers.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                for (cv, &sv) in c.iter_mut().zip(sum.iter()) {
+                    *cv = sv / count as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    assign
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Entropy of a labeling (natural log).
+fn entropy(labels: &[usize]) -> f64 {
+    let n = labels.len() as f64;
+    let mut counts = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Conditional entropy H(gold | pred).
+fn conditional_entropy(gold: &[usize], pred: &[usize]) -> f64 {
+    let n = gold.len() as f64;
+    let mut joint = std::collections::HashMap::new();
+    let mut pred_counts = std::collections::HashMap::new();
+    for (&g, &p) in gold.iter().zip(pred.iter()) {
+        *joint.entry((p, g)).or_insert(0usize) += 1;
+        *pred_counts.entry(p).or_insert(0usize) += 1;
+    }
+    -joint
+        .iter()
+        .map(|(&(p, _), &c)| {
+            let pc = pred_counts[&p] as f64;
+            (c as f64 / n) * ((c as f64) / pc).ln()
+        })
+        .sum::<f64>()
+}
+
+/// Homogeneity: each predicted cluster contains only members of one gold
+/// class (the paper reports it as "Precision").
+pub fn homogeneity(gold: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(gold.len(), pred.len());
+    let h_gold = entropy(gold);
+    if h_gold == 0.0 {
+        return 1.0;
+    }
+    1.0 - conditional_entropy(gold, pred) / h_gold
+}
+
+/// Completeness: all members of a gold class land in one predicted cluster
+/// ("Recall").
+pub fn completeness(gold: &[usize], pred: &[usize]) -> f64 {
+    homogeneity(pred, gold)
+}
+
+/// V-Measure: harmonic mean of homogeneity and completeness ("F1").
+pub fn v_measure(gold: &[usize], pred: &[usize]) -> f64 {
+    let h = homogeneity(gold, pred);
+    let c = completeness(gold, pred);
+    if h + c == 0.0 {
+        0.0
+    } else {
+        2.0 * h * c / (h + c)
+    }
+}
+
+/// Builds a clustering from pairwise matches via connected components —
+/// the protocol the paper uses to turn schema-matcher output (COMA,
+/// DistributionBased) into cluster labels. `n` is the number of columns,
+/// `matches` the matched index pairs.
+pub fn connected_components(n: usize, matches: &[(usize, usize)]) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b) in matches {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    // Relabel roots densely.
+    let mut label = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        let next = label.len();
+        out.push(*label.entry(r).or_insert(next));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_separates_obvious_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let off = if i % 2 == 0 { 0.0 } else { 10.0 };
+            pts.push(vec![off + (i as f32) * 0.01, off]);
+        }
+        let assign = kmeans(&pts, 2, 50, 1);
+        // All even-index points together, all odd together.
+        let c0 = assign[0];
+        let c1 = assign[1];
+        assert_ne!(c0, c1);
+        for (i, &a) in assign.iter().enumerate() {
+            assert_eq!(a, if i % 2 == 0 { c0 } else { c1 });
+        }
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let pts: Vec<Vec<f32>> =
+            (0..30).map(|i| vec![(i % 7) as f32, (i % 3) as f32]).collect();
+        assert_eq!(kmeans(&pts, 4, 30, 9), kmeans(&pts, 4, 30, 9));
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let gold = vec![0, 0, 1, 1, 2, 2];
+        assert!((homogeneity(&gold, &gold) - 1.0).abs() < 1e-9);
+        assert!((completeness(&gold, &gold) - 1.0).abs() < 1e-9);
+        assert!((v_measure(&gold, &gold) - 1.0).abs() < 1e-9);
+        // Label permutation does not matter.
+        let perm = vec![2, 2, 0, 0, 1, 1];
+        assert!((v_measure(&gold, &perm) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_prediction_is_complete_not_homogeneous() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        assert!((completeness(&gold, &pred) - 1.0).abs() < 1e-9);
+        assert!(homogeneity(&gold, &pred) < 0.1);
+    }
+
+    #[test]
+    fn all_singletons_is_homogeneous_not_complete() {
+        let gold = vec![0, 0, 1, 1];
+        let pred = vec![0, 1, 2, 3];
+        assert!((homogeneity(&gold, &pred) - 1.0).abs() < 1e-9);
+        assert!(completeness(&gold, &pred) < 0.6);
+    }
+
+    #[test]
+    fn v_measure_between_zero_and_one() {
+        let gold = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let pred = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let v = v_measure(&gold, &pred);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn connected_components_merge_transitively() {
+        let cc = connected_components(5, &[(0, 1), (1, 2)]);
+        assert_eq!(cc[0], cc[1]);
+        assert_eq!(cc[1], cc[2]);
+        assert_ne!(cc[0], cc[3]);
+        assert_ne!(cc[3], cc[4]);
+    }
+
+    #[test]
+    fn connected_components_no_matches_all_singletons() {
+        let cc = connected_components(4, &[]);
+        let uniq: std::collections::HashSet<_> = cc.iter().collect();
+        assert_eq!(uniq.len(), 4);
+    }
+}

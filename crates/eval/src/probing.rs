@@ -1,0 +1,147 @@
+//! LM-probing bookkeeping (Appendix A.5, Tables 12-13).
+//!
+//! The transformer crate scores filled templates with pseudo-perplexity;
+//! this module aggregates those scores into the paper's two statistics per
+//! class: **average rank** of the true class among all candidates, and
+//! **PPL / Avg. PPL** (the true class's perplexity normalized by the mean
+//! perplexity over all candidates for that item).
+
+/// One probed item: the candidate perplexities and which candidate is true.
+#[derive(Clone, Debug)]
+pub struct ProbeItem {
+    /// Perplexity per candidate class (aligned with the candidate list).
+    pub ppls: Vec<f32>,
+    /// Index of the ground-truth candidate.
+    pub true_idx: usize,
+}
+
+impl ProbeItem {
+    /// 1-based rank of the true candidate (ties broken pessimistically:
+    /// equal-scoring candidates count as ranked ahead).
+    pub fn rank(&self) -> usize {
+        let t = self.ppls[self.true_idx];
+        1 + self
+            .ppls
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| i != self.true_idx && p <= t)
+            .count()
+    }
+
+    /// PPL of the truth divided by the mean candidate PPL (< 1 means the LM
+    /// finds the truth more natural than average).
+    pub fn normalized_ppl(&self) -> f32 {
+        let finite: Vec<f32> = self.ppls.iter().copied().filter(|p| p.is_finite()).collect();
+        if finite.is_empty() {
+            return f32::NAN;
+        }
+        let avg = finite.iter().sum::<f32>() / finite.len() as f32;
+        self.ppls[self.true_idx] / avg
+    }
+}
+
+/// Aggregated probing statistics for one class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassProbeStats {
+    pub class: String,
+    pub avg_rank: f64,
+    pub avg_norm_ppl: f64,
+    pub n_items: usize,
+}
+
+/// Aggregates per-item probes grouped by class name.
+pub fn aggregate_probes(items: &[(String, ProbeItem)]) -> Vec<ClassProbeStats> {
+    let mut by_class: std::collections::BTreeMap<&str, (f64, f64, usize)> =
+        std::collections::BTreeMap::new();
+    for (class, item) in items {
+        let e = by_class.entry(class).or_insert((0.0, 0.0, 0));
+        e.0 += item.rank() as f64;
+        let np = item.normalized_ppl();
+        if np.is_finite() {
+            e.1 += np as f64;
+        }
+        e.2 += 1;
+    }
+    by_class
+        .into_iter()
+        .map(|(class, (rank_sum, ppl_sum, n))| ClassProbeStats {
+            class: class.to_string(),
+            avg_rank: rank_sum / n as f64,
+            avg_norm_ppl: ppl_sum / n as f64,
+            n_items: n,
+        })
+        .collect()
+}
+
+/// Sorts stats by average rank and returns `(top_k, bottom_k)` — the paper's
+/// Top-5 / Bottom-5 presentation.
+pub fn top_bottom(
+    mut stats: Vec<ClassProbeStats>,
+    k: usize,
+) -> (Vec<ClassProbeStats>, Vec<ClassProbeStats>) {
+    stats.sort_by(|a, b| a.avg_rank.partial_cmp(&b.avg_rank).expect("finite ranks"));
+    let top: Vec<_> = stats.iter().take(k).cloned().collect();
+    let bottom: Vec<_> = stats.iter().rev().take(k).cloned().collect();
+    (top, bottom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_better_candidates() {
+        let item = ProbeItem { ppls: vec![5.0, 2.0, 8.0, 1.0], true_idx: 0 };
+        // Candidates with ppl <= 5.0 besides the truth: 2.0 and 1.0 -> rank 3.
+        assert_eq!(item.rank(), 3);
+        let best = ProbeItem { ppls: vec![1.0, 2.0, 3.0], true_idx: 0 };
+        assert_eq!(best.rank(), 1);
+    }
+
+    #[test]
+    fn normalized_ppl_below_one_means_natural() {
+        let item = ProbeItem { ppls: vec![1.0, 3.0, 5.0], true_idx: 0 };
+        assert!(item.normalized_ppl() < 1.0);
+        let worst = ProbeItem { ppls: vec![1.0, 3.0, 5.0], true_idx: 2 };
+        assert!(worst.normalized_ppl() > 1.0);
+    }
+
+    #[test]
+    fn aggregate_groups_by_class() {
+        let items = vec![
+            ("river".to_string(), ProbeItem { ppls: vec![1.0, 2.0], true_idx: 0 }),
+            ("river".to_string(), ProbeItem { ppls: vec![2.0, 1.0], true_idx: 0 }),
+            ("kingdom".to_string(), ProbeItem { ppls: vec![9.0, 1.0], true_idx: 0 }),
+        ];
+        let stats = aggregate_probes(&items);
+        assert_eq!(stats.len(), 2);
+        let river = stats.iter().find(|s| s.class == "river").unwrap();
+        assert_eq!(river.n_items, 2);
+        assert!((river.avg_rank - 1.5).abs() < 1e-9);
+        let kingdom = stats.iter().find(|s| s.class == "kingdom").unwrap();
+        assert_eq!(kingdom.avg_rank, 2.0);
+    }
+
+    #[test]
+    fn top_bottom_partitions() {
+        let stats: Vec<ClassProbeStats> = (0..10)
+            .map(|i| ClassProbeStats {
+                class: format!("c{i}"),
+                avg_rank: i as f64,
+                avg_norm_ppl: 1.0,
+                n_items: 1,
+            })
+            .collect();
+        let (top, bottom) = top_bottom(stats, 3);
+        assert_eq!(top[0].class, "c0");
+        assert_eq!(bottom[0].class, "c9");
+        assert_eq!(top.len(), 3);
+        assert_eq!(bottom.len(), 3);
+    }
+
+    #[test]
+    fn infinite_ppls_are_ignored_in_normalization() {
+        let item = ProbeItem { ppls: vec![2.0, f32::INFINITY, 4.0], true_idx: 0 };
+        assert!((item.normalized_ppl() - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,317 @@
+//! Label vocabularies (`C_type`, `C_rel` of §3.1) and annotated datasets.
+
+use crate::model::Table;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Interned label id.
+pub type LabelId = u32;
+
+/// A fixed vocabulary of type or relation names. The paper stresses that
+/// `(C_type, C_rel)` are dataset properties, customizable by swapping the
+/// training set — so vocabularies are plain values carried by [`Dataset`].
+#[derive(Clone, Debug, Default)]
+pub struct LabelVocab {
+    names: Vec<String>,
+    index: HashMap<String, LabelId>,
+}
+
+impl LabelVocab {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a label, returning its id (existing id if already present).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as LabelId;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    pub fn id(&self, name: &str) -> Option<LabelId> {
+        self.index.get(name).copied()
+    }
+
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as LabelId, n.as_str()))
+    }
+}
+
+/// A relation annotation between two columns of the same table.
+/// Following TURL / the paper's formulation (Table 1), relations connect the
+/// table's subject column (index 0) to each other column, but the struct is
+/// general.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelAnnotation {
+    pub subject_col: usize,
+    pub object_col: usize,
+    pub relation: LabelId,
+}
+
+/// A table plus its ground-truth column types and relations.
+#[derive(Clone, Debug)]
+pub struct AnnotatedTable {
+    pub table: Table,
+    /// Per-column type labels. WikiTable-style tasks are multi-label
+    /// (several ids per column); VizNet-style tasks have exactly one.
+    pub col_types: Vec<Vec<LabelId>>,
+    /// Relation annotations (empty when the dataset has none, e.g. VizNet).
+    pub relations: Vec<RelAnnotation>,
+}
+
+impl AnnotatedTable {
+    /// Consistency check: label vectors align with columns and relation
+    /// endpoints are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.col_types.len() != self.table.n_cols() {
+            return Err(format!(
+                "table {}: {} columns but {} type annotations",
+                self.table.id,
+                self.table.n_cols(),
+                self.col_types.len()
+            ));
+        }
+        for r in &self.relations {
+            if r.subject_col >= self.table.n_cols() || r.object_col >= self.table.n_cols() {
+                return Err(format!("table {}: relation endpoint out of range", self.table.id));
+            }
+            if r.subject_col == r.object_col {
+                return Err(format!("table {}: self-relation", self.table.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shuffles column order and remaps annotations (Table 6 ablation).
+    pub fn shuffle_cols<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let perm = self.table.shuffle_cols(rng); // new -> old
+        let mut old_to_new = vec![0usize; perm.len()];
+        for (new_i, &old_i) in perm.iter().enumerate() {
+            old_to_new[old_i] = new_i;
+        }
+        let old_types = std::mem::take(&mut self.col_types);
+        let mut slots: Vec<Option<Vec<LabelId>>> = old_types.into_iter().map(Some).collect();
+        self.col_types = perm.iter().map(|&o| slots[o].take().expect("bijection")).collect();
+        for r in &mut self.relations {
+            r.subject_col = old_to_new[r.subject_col];
+            r.object_col = old_to_new[r.object_col];
+        }
+    }
+
+    /// Shuffles row order (Table 6 ablation); annotations are unaffected.
+    pub fn shuffle_rows<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.table.shuffle_rows(rng);
+    }
+}
+
+/// A complete benchmark: annotated tables plus the label vocabularies.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub tables: Vec<AnnotatedTable>,
+    pub type_vocab: LabelVocab,
+    pub rel_vocab: LabelVocab,
+}
+
+impl Dataset {
+    /// Total number of annotated columns.
+    pub fn n_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.table.n_cols()).sum()
+    }
+
+    /// Total number of relation annotations.
+    pub fn n_relations(&self) -> usize {
+        self.tables.iter().map(|t| t.relations.len()).sum()
+    }
+
+    /// Splits into train/valid/test by the given fractions (must sum ≤ 1;
+    /// the remainder goes to test). Shuffles with `rng` first.
+    pub fn split<R: Rng + ?Sized>(
+        mut self,
+        train_frac: f64,
+        valid_frac: f64,
+        rng: &mut R,
+    ) -> (Dataset, Dataset, Dataset) {
+        assert!(train_frac + valid_frac <= 1.0 + 1e-9, "fractions exceed 1");
+        let n = self.tables.len();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            self.tables.swap(i, j);
+        }
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_valid = (n as f64 * valid_frac).round() as usize;
+        let mut tables = self.tables;
+        let test_tables = tables.split_off((n_train + n_valid).min(tables.len()));
+        let valid_tables = tables.split_off(n_train.min(tables.len()));
+        let mk = |tables| Dataset {
+            tables,
+            type_vocab: self.type_vocab.clone(),
+            rel_vocab: self.rel_vocab.clone(),
+        };
+        (mk(tables), mk(valid_tables), mk(test_tables))
+    }
+
+    /// Keeps a random fraction of the tables (Figure 4's data-efficiency
+    /// sweep trains on 10/25/50/100% subsamples).
+    pub fn subsample<R: Rng + ?Sized>(&self, frac: f64, rng: &mut R) -> Dataset {
+        assert!((0.0..=1.0).contains(&frac));
+        let keep = ((self.tables.len() as f64 * frac).round() as usize).max(1);
+        let mut idx: Vec<usize> = (0..self.tables.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.truncate(keep);
+        idx.sort_unstable();
+        Dataset {
+            tables: idx.iter().map(|&i| self.tables[i].clone()).collect(),
+            type_vocab: self.type_vocab.clone(),
+            rel_vocab: self.rel_vocab.clone(),
+        }
+    }
+
+    /// Validates every table.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.tables {
+            t.validate()?;
+            for types in &t.col_types {
+                for &ty in types {
+                    if (ty as usize) >= self.type_vocab.len() {
+                        return Err(format!("table {}: type id {ty} out of vocab", t.table.id));
+                    }
+                }
+            }
+            for r in &t.relations {
+                if (r.relation as usize) >= self.rel_vocab.len() {
+                    return Err(format!("table {}: rel id out of vocab", t.table.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn annotated() -> AnnotatedTable {
+        AnnotatedTable {
+            table: Table::new(
+                "t",
+                vec![
+                    Column::new(vec!["a".into()]),
+                    Column::new(vec!["b".into()]),
+                    Column::new(vec!["c".into()]),
+                ],
+            ),
+            col_types: vec![vec![0], vec![1], vec![2]],
+            relations: vec![
+                RelAnnotation { subject_col: 0, object_col: 1, relation: 0 },
+                RelAnnotation { subject_col: 0, object_col: 2, relation: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn vocab_interning_is_idempotent() {
+        let mut v = LabelVocab::new();
+        let a = v.intern("people.person");
+        let b = v.intern("location.location");
+        assert_eq!(v.intern("people.person"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.name(a), "people.person");
+        assert_eq!(v.id("location.location"), Some(b));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_cols_keeps_labels_attached() {
+        let mut t = annotated();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            t.shuffle_cols(&mut rng);
+            t.validate().unwrap();
+            // Column whose value is "a" must still carry type 0, etc.
+            for (ci, col) in t.table.columns.iter().enumerate() {
+                let expect = match col.values[0].as_str() {
+                    "a" => 0,
+                    "b" => 1,
+                    _ => 2,
+                };
+                assert_eq!(t.col_types[ci], vec![expect]);
+            }
+            // Relation between "a"-column and "b"-column is still relation 0.
+            let a_col = t.table.columns.iter().position(|c| c.values[0] == "a").unwrap();
+            let b_col = t.table.columns.iter().position(|c| c.values[0] == "b").unwrap();
+            let rel = t
+                .relations
+                .iter()
+                .find(|r| r.subject_col == a_col && r.object_col == b_col)
+                .expect("relation preserved");
+            assert_eq!(rel.relation, 0);
+        }
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let mut vocab = LabelVocab::new();
+        vocab.intern("x");
+        vocab.intern("y");
+        vocab.intern("z");
+        let ds = Dataset {
+            tables: (0..100).map(|_| annotated()).collect(),
+            type_vocab: vocab.clone(),
+            rel_vocab: vocab,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (tr, va, te) = ds.split(0.7, 0.1, &mut rng);
+        assert_eq!(tr.tables.len(), 70);
+        assert_eq!(va.tables.len(), 10);
+        assert_eq!(te.tables.len(), 20);
+    }
+
+    #[test]
+    fn subsample_size() {
+        let mut vocab = LabelVocab::new();
+        vocab.intern("x");
+        vocab.intern("y");
+        vocab.intern("z");
+        let ds = Dataset {
+            tables: (0..40).map(|_| annotated()).collect(),
+            type_vocab: vocab.clone(),
+            rel_vocab: vocab,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(ds.subsample(0.25, &mut rng).tables.len(), 10);
+        assert_eq!(ds.subsample(0.0, &mut rng).tables.len(), 1, "at least one table");
+    }
+
+    #[test]
+    fn validate_catches_misalignment() {
+        let mut t = annotated();
+        t.col_types.pop();
+        assert!(t.validate().is_err());
+        let mut t2 = annotated();
+        t2.relations.push(RelAnnotation { subject_col: 0, object_col: 9, relation: 0 });
+        assert!(t2.validate().is_err());
+    }
+}

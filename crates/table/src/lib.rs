@@ -1,0 +1,19 @@
+//! # doduo-table
+//!
+//! The relational substrate of the DODUO reproduction: the table data model
+//! of §3.1 (columns of string-cast cell values), label vocabularies for
+//! `C_type` / `C_rel`, annotated datasets with split/subsample utilities,
+//! and the serialization schemes of §4.1-4.2 (table-wise with one `[CLS]`
+//! per column; single-column; column-pair; `+metadata`; token budgets for
+//! the Table 8 / Table 11 input-efficiency sweeps).
+
+pub mod labels;
+pub mod model;
+pub mod serialize;
+
+pub use labels::{AnnotatedTable, Dataset, LabelId, LabelVocab, RelAnnotation};
+pub use model::{is_numeric_like, Column, Table};
+pub use serialize::{
+    serialize_column_pair, serialize_single_column, serialize_table, SerializeConfig,
+    SerializedTable, NO_COLUMN,
+};

@@ -1,0 +1,203 @@
+//! The relational data model of §3.1: a table is a sequence of columns,
+//! each column a sequence of string-typed cell values.
+
+use rand::Rng;
+
+/// One table column: an optional header (metadata, hidden from models by
+/// default — the paper's core setting uses cell values only) and its values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Column header. Only consumed by the `+metadata` variants (Table 3)
+    /// and by ground-truth construction in the case study (§7).
+    pub name: Option<String>,
+    /// Cell values, cast to strings (§3.1).
+    pub values: Vec<String>,
+}
+
+impl Column {
+    pub fn new(values: Vec<String>) -> Self {
+        Column { name: None, values }
+    }
+
+    pub fn with_name(name: impl Into<String>, values: Vec<String>) -> Self {
+        Column { name: Some(name.into()), values }
+    }
+
+    /// Fraction of cells parseable as a number (the `%num` statistic of
+    /// Table 5). Dates count as numeric when fully digit/punctuation.
+    pub fn numeric_fraction(&self) -> f32 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let numeric = self.values.iter().filter(|v| is_numeric_like(v)).count();
+        numeric as f32 / self.values.len() as f32
+    }
+}
+
+/// Heuristic used for the paper's `%num` measurement: value parses as int /
+/// float, or consists only of digits and separator punctuation (dates,
+/// ISBNs, timestamps).
+pub fn is_numeric_like(v: &str) -> bool {
+    let t = v.trim();
+    if t.is_empty() {
+        return false;
+    }
+    if t.parse::<f64>().is_ok() {
+        return true;
+    }
+    let mut saw_digit = false;
+    for ch in t.chars() {
+        if ch.is_ascii_digit() {
+            saw_digit = true;
+        } else if !matches!(ch, '-' | '/' | ':' | '.' | ',' | ' ' | '+' | '%' | '$') {
+            return false;
+        }
+    }
+    saw_digit
+}
+
+/// A table `T = (c_1, ..., c_n)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Stable identifier (dataset provenance, case-study table names).
+    pub id: String,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    pub fn new(id: impl Into<String>, columns: Vec<Column>) -> Self {
+        Table { id: id.into(), columns }
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows = length of the longest column.
+    pub fn n_rows(&self) -> usize {
+        self.columns.iter().map(|c| c.values.len()).max().unwrap_or(0)
+    }
+
+    /// Shuffles row order consistently across all columns (Table 6's
+    /// "w/ shuffled rows" ablation). Ragged columns shuffle their own
+    /// prefix of the permutation.
+    pub fn shuffle_rows<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.n_rows();
+        if n < 2 {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for col in &mut self.columns {
+            let old = col.values.clone();
+            for (dst, &src) in perm.iter().enumerate() {
+                if dst < col.values.len() && src < old.len() {
+                    col.values[dst] = old[src].clone();
+                }
+            }
+        }
+    }
+
+    /// Shuffles column order, returning the permutation applied
+    /// (`new_index -> old_index`) so labels can be remapped (Table 6's
+    /// "w/ shuffled cols" ablation).
+    pub fn shuffle_cols<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<usize> {
+        let n = self.columns.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let old = std::mem::take(&mut self.columns);
+        let mut slots: Vec<Option<Column>> = old.into_iter().map(Some).collect();
+        self.columns = perm.iter().map(|&src| slots[src].take().expect("perm is a bijection")).collect();
+        perm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Table {
+        Table::new(
+            "t1",
+            vec![
+                Column::with_name("film", vec!["Happy Feet".into(), "Cars".into(), "Flushed Away".into()]),
+                Column::with_name("director", vec!["George Miller".into(), "John Lasseter".into(), "David Bowers".into()]),
+                Column::with_name("country", vec!["USA".into(), "UK".into(), "France".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn dims() {
+        let t = sample();
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.n_rows(), 3);
+    }
+
+    #[test]
+    fn shuffle_rows_keeps_row_alignment() {
+        let mut t = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        t.shuffle_rows(&mut rng);
+        // Every (film, director, country) triple must still be an original row.
+        let orig = sample();
+        for r in 0..3 {
+            let triple = (
+                t.columns[0].values[r].clone(),
+                t.columns[1].values[r].clone(),
+                t.columns[2].values[r].clone(),
+            );
+            let found = (0..3).any(|o| {
+                triple
+                    == (
+                        orig.columns[0].values[o].clone(),
+                        orig.columns[1].values[o].clone(),
+                        orig.columns[2].values[o].clone(),
+                    )
+            });
+            assert!(found, "row {r} was torn apart: {triple:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_cols_returns_valid_permutation() {
+        let mut t = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let perm = t.shuffle_cols(&mut rng);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        let orig = sample();
+        for (new_i, &old_i) in perm.iter().enumerate() {
+            assert_eq!(t.columns[new_i], orig.columns[old_i]);
+        }
+    }
+
+    #[test]
+    fn numeric_fraction_detects_numbers() {
+        let c = Column::new(vec!["12".into(), "3.5".into(), "abc".into(), "1999-04-03".into()]);
+        assert!((c.numeric_fraction() - 0.75).abs() < 1e-6);
+        assert_eq!(Column::new(vec![]).numeric_fraction(), 0.0);
+    }
+
+    #[test]
+    fn numeric_like_edge_cases() {
+        assert!(is_numeric_like("42"));
+        assert!(is_numeric_like("-3.5"));
+        assert!(is_numeric_like("1,234"));
+        assert!(is_numeric_like("12:30"));
+        assert!(is_numeric_like("978-3-16"));
+        assert!(!is_numeric_like("abc"));
+        assert!(!is_numeric_like(""));
+        assert!(!is_numeric_like("--"));
+        assert!(!is_numeric_like("v1.2"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # doduo-tensor
+//!
+//! Minimal dense-tensor + reverse-mode autograd substrate for the DODUO
+//! (SIGMOD 2022) reproduction. The paper's models were implemented on
+//! PyTorch; this crate stands in for the slice of PyTorch they actually use:
+//!
+//! * [`Tensor`] — row-major 2-D `f32` matrices with the handful of BLAS-like
+//!   kernels a Transformer needs ([`matmul`], [`matmul_nt`], [`matmul_tn`]).
+//! * [`Tape`] — an eager autograd tape recording one forward pass; ops cover
+//!   dense layers, LayerNorm, GELU, embedding gather, fused multi-head
+//!   attention with optional visibility masks (for the TURL baseline),
+//!   dropout, and the two losses the paper uses (softmax cross-entropy for
+//!   VizNet, BCE-with-logits for the multi-label WikiTable tasks).
+//! * [`ParamStore`] / [`Gradients`] — named shared weights and mergeable
+//!   gradient buffers, so mini-batch items can run on worker threads.
+//! * [`Adam`] / [`LrSchedule`] — the paper's optimizer (ε = 1e-8, linear
+//!   decay, one optimizer per task as in Algorithm 1).
+//! * [`serialize`] — binary checkpoints for the pretrain → fine-tune flow.
+//!
+//! Design: one table = one sequence = one tape. There is no batching inside
+//! a tape, so shapes stay 2-D and no padding or masking machinery is needed
+//! beyond the attention visibility mask.
+
+pub mod optim;
+pub mod parallel;
+pub mod params;
+pub mod serialize;
+pub mod tape;
+pub mod tensor;
+
+pub use optim::{Adam, LrSchedule};
+pub use parallel::{accumulate_parallel, default_threads};
+pub use params::{Gradients, Param, ParamId, ParamStore};
+pub use tape::{softmax_row, AttnMask, NodeId, Tape, MASK_NEG};
+pub use tensor::{matmul, matmul_nt, matmul_tn, Tensor};

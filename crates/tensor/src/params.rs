@@ -1,0 +1,264 @@
+//! Named parameter storage shared by all models.
+//!
+//! A [`ParamStore`] owns the learnable weights. Forward/backward passes run
+//! on per-sequence [`crate::Tape`]s that borrow the store immutably, so
+//! mini-batch items can be processed on worker threads; each worker collects
+//! its own [`Gradients`], which are merged and applied by the optimizer.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Index of a parameter inside a [`ParamStore`].
+pub type ParamId = usize;
+
+/// A single named, learnable tensor.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub name: String,
+    pub value: Tensor,
+}
+
+/// An append-only collection of named parameters.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id. Names must be unique; this
+    /// is enforced so that save/load round-trips are unambiguous.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            self.params.iter().all(|p| p.name != name),
+            "duplicate parameter name: {name}"
+        );
+        self.params.push(Param { name, value });
+        self.params.len() - 1
+    }
+
+    /// Registers a `N(0, std^2)`-initialized matrix.
+    pub fn add_randn<R: Rng + ?Sized>(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> ParamId {
+        self.add(name, Tensor::randn(rows, cols, std, rng))
+    }
+
+    /// Registers a zero-initialized matrix (biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    /// Registers a one-initialized matrix (LayerNorm gains).
+    pub fn add_ones(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::full(rows, cols, 1.0))
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.params[id].value
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id].value
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id].name
+    }
+
+    /// Looks a parameter up by name (used by the weight loader).
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate()
+    }
+
+    /// Total number of scalar weights (for reporting model size).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Overwrites the value of `id`. Shape must match (protects optimizer
+    /// state alignment).
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.params[id].value.shape(),
+            value.shape(),
+            "set_value shape mismatch for {}",
+            self.params[id].name
+        );
+        self.params[id].value = value;
+    }
+}
+
+/// Per-parameter gradient accumulator, aligned with a [`ParamStore`].
+///
+/// Entries stay `None` until the parameter receives its first contribution,
+/// so sparse updates (e.g. embedding rows) do not pay for dense zero-init of
+/// untouched parameters.
+#[derive(Clone, Debug)]
+pub struct Gradients {
+    slots: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Creates an empty accumulator sized for `store`.
+    pub fn new(store: &ParamStore) -> Self {
+        Gradients { slots: vec![None; store.len()] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.slots[id].as_ref()
+    }
+
+    /// Adds `g` into the slot for `id`.
+    pub fn accumulate(&mut self, id: ParamId, g: &Tensor, store: &ParamStore) {
+        match &mut self.slots[id] {
+            Some(t) => t.add_assign(g),
+            slot => {
+                let shape = store.get(id).shape();
+                assert_eq!(g.shape(), shape, "gradient shape mismatch for {}", store.name(id));
+                *slot = Some(g.clone());
+            }
+        }
+    }
+
+    /// Merges another accumulator (e.g. from a worker thread) into this one.
+    pub fn merge(&mut self, other: Gradients) {
+        assert_eq!(self.slots.len(), other.slots.len(), "merging misaligned gradients");
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots) {
+            match (mine.as_mut(), theirs) {
+                (Some(a), Some(b)) => a.add_assign(&b),
+                (None, Some(b)) => *mine = Some(b),
+                _ => {}
+            }
+        }
+    }
+
+    /// Scales every accumulated gradient (mini-batch averaging).
+    pub fn scale(&mut self, c: f32) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.scale_assign(c);
+        }
+    }
+
+    /// Global L2 norm across all accumulated gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(Tensor::sq_norm)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so the global norm does not exceed `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+        norm
+    }
+
+    /// Clears all accumulated gradients, keeping allocations.
+    pub fn zero(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let w = store.add_randn("enc.w", 3, 4, 0.02, &mut rng);
+        let b = store.add_zeros("enc.b", 1, 4);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.name(w), "enc.w");
+        assert_eq!(store.find("enc.b"), Some(b));
+        assert_eq!(store.find("missing"), None);
+        assert_eq!(store.num_scalars(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut store = ParamStore::new();
+        store.add_zeros("w", 1, 1);
+        store.add_zeros("w", 1, 1);
+    }
+
+    #[test]
+    fn gradient_accumulate_merge_scale() {
+        let mut store = ParamStore::new();
+        let a = store.add_zeros("a", 1, 2);
+        let b = store.add_zeros("b", 1, 2);
+
+        let mut g1 = Gradients::new(&store);
+        g1.accumulate(a, &Tensor::row_vector(vec![1.0, 2.0]), &store);
+
+        let mut g2 = Gradients::new(&store);
+        g2.accumulate(a, &Tensor::row_vector(vec![3.0, 4.0]), &store);
+        g2.accumulate(b, &Tensor::row_vector(vec![5.0, 6.0]), &store);
+
+        g1.merge(g2);
+        assert_eq!(g1.get(a).unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(g1.get(b).unwrap().data(), &[5.0, 6.0]);
+
+        g1.scale(0.5);
+        assert_eq!(g1.get(a).unwrap().data(), &[2.0, 3.0]);
+
+        g1.zero();
+        assert!(g1.get(a).is_none());
+    }
+
+    #[test]
+    fn clip_global_norm_caps_at_max() {
+        let mut store = ParamStore::new();
+        let a = store.add_zeros("a", 1, 2);
+        let mut g = Gradients::new(&store);
+        g.accumulate(a, &Tensor::row_vector(vec![3.0, 4.0]), &store);
+        let pre = g.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((g.global_norm() - 1.0).abs() < 1e-5);
+        // Clipping below the max leaves gradients untouched.
+        let pre2 = g.clip_global_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Binary (de)serialization of parameter stores.
+//!
+//! The paper ships fine-tuned checkpoints in its toolbox; we mirror that with
+//! a small self-describing binary format (magic, version, then
+//! `name / shape / f32-LE payload` records) built on the `bytes` crate.
+
+use crate::params::ParamStore;
+use crate::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 8] = b"DODUOWT1";
+
+/// Errors produced when decoding a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Buffer ended before the declared payload.
+    Truncated,
+    /// A parameter name was not valid UTF-8.
+    BadName,
+    /// Checkpoint has a parameter the target store lacks (strict mode).
+    UnknownParam(String),
+    /// Shape in the checkpoint does not match the target parameter.
+    ShapeMismatch { name: String, expected: (usize, usize), found: (usize, usize) },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "not a DODUO checkpoint (bad magic)"),
+            LoadError::Truncated => write!(f, "checkpoint truncated"),
+            LoadError::BadName => write!(f, "parameter name is not valid UTF-8"),
+            LoadError::UnknownParam(n) => write!(f, "checkpoint parameter {n} not in store"),
+            LoadError::ShapeMismatch { name, expected, found } => write!(
+                f,
+                "shape mismatch for {name}: store has {expected:?}, checkpoint has {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Serializes every parameter (name, shape, row-major f32 LE payload).
+pub fn save(store: &ParamStore) -> Bytes {
+    save_filtered(store, |_| true)
+}
+
+/// Serializes only the parameters whose name satisfies `keep` — e.g.
+/// `|n| n.starts_with("enc.")` to ship a pretrained encoder without its
+/// MLM head (the pretrain → fine-tune handoff).
+pub fn save_filtered(store: &ParamStore, keep: impl Fn(&str) -> bool) -> Bytes {
+    let kept: Vec<_> = store.iter().filter(|(_, p)| keep(&p.name)).collect();
+    let mut buf = BytesMut::with_capacity(64 + store.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(kept.len() as u32);
+    for (_, p) in kept {
+        buf.put_u32_le(p.name.len() as u32);
+        buf.put_slice(p.name.as_bytes());
+        buf.put_u32_le(p.value.rows() as u32);
+        buf.put_u32_le(p.value.cols() as u32);
+        for &v in p.value.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Loads a checkpoint into `store`, matching parameters by name.
+///
+/// Every checkpoint entry must exist in the store with the same shape;
+/// store parameters absent from the checkpoint keep their current values
+/// (this lets a fine-tuning model load a pretrained encoder and keep its
+/// freshly-initialized heads).
+pub fn load(store: &mut ParamStore, data: &[u8]) -> Result<usize, LoadError> {
+    load_impl(store, data, true).map(|(loaded, _)| loaded)
+}
+
+/// Like [`load`], but checkpoint entries with no matching store parameter
+/// are skipped instead of erroring. Returns `(loaded, skipped)`. Used when
+/// a fine-tuning model loads a pretrain checkpoint that still carries the
+/// MLM head.
+pub fn load_lenient(store: &mut ParamStore, data: &[u8]) -> Result<(usize, usize), LoadError> {
+    load_impl(store, data, false)
+}
+
+fn load_impl(
+    store: &mut ParamStore,
+    mut data: &[u8],
+    strict: bool,
+) -> Result<(usize, usize), LoadError> {
+    if data.remaining() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    data.advance(MAGIC.len());
+    if data.remaining() < 4 {
+        return Err(LoadError::Truncated);
+    }
+    let count = data.get_u32_le() as usize;
+    let mut loaded = 0;
+    let mut skipped = 0;
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(LoadError::Truncated);
+        }
+        let name_len = data.get_u32_le() as usize;
+        if data.remaining() < name_len {
+            return Err(LoadError::Truncated);
+        }
+        let name = std::str::from_utf8(&data[..name_len])
+            .map_err(|_| LoadError::BadName)?
+            .to_owned();
+        data.advance(name_len);
+        if data.remaining() < 8 {
+            return Err(LoadError::Truncated);
+        }
+        let rows = data.get_u32_le() as usize;
+        let cols = data.get_u32_le() as usize;
+        let n = rows * cols;
+        if data.remaining() < n * 4 {
+            return Err(LoadError::Truncated);
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(data.get_f32_le());
+        }
+        let Some(pid) = store.find(&name) else {
+            if strict {
+                return Err(LoadError::UnknownParam(name));
+            }
+            skipped += 1;
+            continue;
+        };
+        let expected = store.get(pid).shape();
+        if expected != (rows, cols) {
+            return Err(LoadError::ShapeMismatch { name, expected, found: (rows, cols) });
+        }
+        store.set_value(pid, Tensor::from_vec(rows, cols, values));
+        loaded += 1;
+    }
+    Ok((loaded, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = ParamStore::new();
+        s.add_randn("enc.w", 3, 4, 0.5, &mut rng);
+        s.add_randn("enc.b", 1, 4, 0.5, &mut rng);
+        s.add_randn("head.w", 4, 2, 0.5, &mut rng);
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let src = sample_store();
+        let blob = save(&src);
+        let mut dst = sample_store();
+        // Perturb destination, then load.
+        dst.get_mut(0).data_mut()[0] += 1.0;
+        let n = load(&mut dst, &blob).unwrap();
+        assert_eq!(n, 3);
+        for pid in 0..src.len() {
+            assert_eq!(src.get(pid).data(), dst.get(pid).data());
+        }
+    }
+
+    #[test]
+    fn partial_load_keeps_extra_params() {
+        let src = sample_store();
+        let blob = save(&src);
+        let mut dst = sample_store();
+        let extra = dst.add("fresh.head", Tensor::row_vector(vec![9.0, 9.0]));
+        let n = load(&mut dst, &blob).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(dst.get(extra).data(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn filtered_save_keeps_only_matching() {
+        let src = sample_store();
+        let blob = save_filtered(&src, |n| n.starts_with("enc."));
+        let mut dst = sample_store();
+        dst.get_mut(2).data_mut()[0] = 99.0; // head.w must stay perturbed
+        let n = load(&mut dst, &blob).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(dst.get(2).data()[0], 99.0);
+        assert_eq!(dst.get(0).data(), src.get(0).data());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut dst = sample_store();
+        assert_eq!(load(&mut dst, b"NOTDODUO____"), Err(LoadError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let src = sample_store();
+        let blob = save(&src);
+        let mut dst = sample_store();
+        assert_eq!(load(&mut dst, &blob[..blob.len() - 5]), Err(LoadError::Truncated));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let src = sample_store();
+        let blob = save(&src);
+        let mut dst = ParamStore::new();
+        dst.add_zeros("enc.w", 2, 2);
+        dst.add_zeros("enc.b", 1, 4);
+        dst.add_zeros("head.w", 4, 2);
+        match load(&mut dst, &blob) {
+            Err(LoadError::ShapeMismatch { name, .. }) => assert_eq!(name, "enc.w"),
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_param_rejected() {
+        let src = sample_store();
+        let blob = save(&src);
+        let mut dst = ParamStore::new();
+        dst.add_zeros("something.else", 3, 4);
+        assert!(matches!(load(&mut dst, &blob), Err(LoadError::UnknownParam(_))));
+    }
+
+    #[test]
+    fn lenient_load_skips_unknown() {
+        let src = sample_store();
+        let blob = save(&src);
+        let mut dst = ParamStore::new();
+        dst.add_zeros("enc.w", 3, 4);
+        dst.add_zeros("fresh", 1, 1);
+        let (loaded, skipped) = load_lenient(&mut dst, &blob).unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(skipped, 2);
+        assert_eq!(dst.get(0).data(), src.get(0).data());
+    }
+}

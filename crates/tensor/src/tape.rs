@@ -1,0 +1,1002 @@
+//! Reverse-mode automatic differentiation on an eager tape.
+//!
+//! A [`Tape`] records one forward computation (in this project: one
+//! serialized table) as a flat list of nodes. Values are computed eagerly;
+//! [`Tape::backward`] walks the tape in reverse and accumulates parameter
+//! gradients into a [`Gradients`] buffer. Tapes borrow their [`ParamStore`]
+//! immutably, so several tapes can run on worker threads concurrently.
+//!
+//! The op set is exactly what a BERT-style encoder plus classification heads
+//! needs; multi-head attention is a single fused op so no general reshape /
+//! transpose machinery is required.
+#![allow(clippy::needless_range_loop)] // index loops over matrix coordinates are clearest here
+
+use crate::params::{Gradients, ParamId, ParamStore};
+use crate::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Index of a node on a [`Tape`].
+pub type NodeId = usize;
+
+/// Additive attention mask (`0.0` = visible, `NEG_INF`-like = hidden),
+/// row-major `[S, S]`. Shared via `Arc` because the same visibility matrix
+/// is reused across layers and batch items.
+pub type AttnMask = Arc<Vec<f32>>;
+
+/// Large negative value used to mask attention logits.
+pub const MASK_NEG: f32 = -1e9;
+
+enum Val {
+    Owned(Tensor),
+    Param(ParamId),
+}
+
+enum Op {
+    /// Constant input; receives no gradient.
+    Leaf,
+    /// Learnable parameter; gradient flows into the [`Gradients`] buffer.
+    Param(ParamId),
+    Matmul { a: NodeId, b: NodeId },
+    Add { a: NodeId, b: NodeId },
+    /// Broadcasts a `[1, d]` bias over the rows of a `[S, d]` input.
+    AddRow { x: NodeId, bias: NodeId },
+    Mul { a: NodeId, b: NodeId },
+    Scale { x: NodeId, c: f32 },
+    Gelu { x: NodeId },
+    Tanh { x: NodeId },
+    Relu { x: NodeId },
+    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, mean: Vec<f32>, rstd: Vec<f32> },
+    Softmax { x: NodeId },
+    /// Row gather from an embedding matrix.
+    Embedding { weight: NodeId, ids: Vec<u32> },
+    /// Row gather from an activation (used to pick out `[CLS]` positions).
+    RowSelect { x: NodeId, idxs: Vec<u32> },
+    /// Horizontal concatenation (used for column-pair representations).
+    ConcatCols { a: NodeId, b: NodeId },
+    /// Fused multi-head self-attention core: `softmax(QK^T * scale + mask) V`
+    /// per head, heads concatenated. `probs` caches the post-softmax
+    /// attention for backward and for attention analysis (Figure 6).
+    Mha { q: NodeId, k: NodeId, v: NodeId, heads: usize, probs: Vec<f32> },
+    /// Inverted-dropout; `mask` holds `0` or `1/(1-p)` per element.
+    Dropout { x: NodeId, mask: Vec<f32> },
+    /// Mean negative log-likelihood over rows; caches softmax probabilities.
+    SoftmaxCe { logits: NodeId, targets: Vec<u32>, probs: Tensor },
+    /// Mean binary cross-entropy with logits; caches sigmoids.
+    BceLogits { logits: NodeId, sig: Tensor, targets: Tensor, pos_weight: f32 },
+}
+
+struct Node {
+    val: Val,
+    op: Op,
+}
+
+/// One recorded forward pass over a shared parameter store.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+    training: bool,
+}
+
+impl<'s> Tape<'s> {
+    /// Creates a tape in training mode (dropout active).
+    pub fn new(store: &'s ParamStore) -> Self {
+        Tape { store, nodes: Vec::with_capacity(256), training: true }
+    }
+
+    /// Creates a tape with dropout disabled (inference / evaluation).
+    pub fn inference(store: &'s ParamStore) -> Self {
+        Tape { store, nodes: Vec::with_capacity(256), training: false }
+    }
+
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// The value produced by a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        match &self.nodes[id].val {
+            Val::Owned(t) => t,
+            Val::Param(p) => self.store.get(*p),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, val: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { val: Val::Owned(val), op });
+        self.nodes.len() - 1
+    }
+
+    /// Records a constant input (no gradient).
+    pub fn input(&mut self, t: Tensor) -> NodeId {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Records a reference to a learnable parameter.
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        self.nodes.push(Node { val: Val::Param(id), op: Op::Param(id) });
+        self.nodes.len() - 1
+    }
+
+    /// `C = A B`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = matmul(self.value(a), self.value(b));
+        self.push(v, Op::Matmul { a, b })
+    }
+
+    /// `y = x W + b` — the standard dense layer.
+    pub fn linear(&mut self, x: NodeId, w: ParamId, b: ParamId) -> NodeId {
+        let wn = self.param(w);
+        let bn = self.param(b);
+        let xw = self.matmul(x, wn);
+        self.add_row(xw, bn)
+    }
+
+    /// Elementwise sum of two same-shaped nodes.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
+        let mut v = ta.clone();
+        v.add_assign(tb);
+        self.push(v, Op::Add { a, b })
+    }
+
+    /// Adds a `[1, d]` row vector to every row of `x`.
+    pub fn add_row(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let (tx, tb) = (self.value(x), self.value(bias));
+        assert_eq!(tb.rows(), 1, "bias must be a row vector");
+        assert_eq!(tx.cols(), tb.cols(), "add_row width mismatch");
+        let mut v = tx.clone();
+        for r in 0..v.rows() {
+            for (o, &bv) in v.row_mut(r).iter_mut().zip(tb.row(0).iter()) {
+                *o += bv;
+            }
+        }
+        self.push(v, Op::AddRow { x, bias })
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
+        let data: Vec<f32> =
+            ta.data().iter().zip(tb.data().iter()).map(|(x, y)| x * y).collect();
+        let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
+        self.push(v, Op::Mul { a, b })
+    }
+
+    /// Multiplication by a constant.
+    pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        let mut v = self.value(x).clone();
+        v.scale_assign(c);
+        self.push(v, Op::Scale { x, c })
+    }
+
+    /// GELU activation (tanh approximation, as in BERT).
+    pub fn gelu(&mut self, x: NodeId) -> NodeId {
+        let tx = self.value(x);
+        let data: Vec<f32> = tx.data().iter().map(|&v| gelu_fwd(v)).collect();
+        let v = Tensor::from_vec(tx.rows(), tx.cols(), data);
+        self.push(v, Op::Gelu { x })
+    }
+
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let tx = self.value(x);
+        let data: Vec<f32> = tx.data().iter().map(|v| v.tanh()).collect();
+        let v = Tensor::from_vec(tx.rows(), tx.cols(), data);
+        self.push(v, Op::Tanh { x })
+    }
+
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let tx = self.value(x);
+        let data: Vec<f32> = tx.data().iter().map(|v| v.max(0.0)).collect();
+        let v = Tensor::from_vec(tx.rows(), tx.cols(), data);
+        self.push(v, Op::Relu { x })
+    }
+
+    /// Row-wise LayerNorm with learned gain/bias.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: ParamId, beta: ParamId) -> NodeId {
+        const EPS: f32 = 1e-5;
+        let gn = self.param(gamma);
+        let bn = self.param(beta);
+        let tx = self.value(x);
+        let (rows, cols) = tx.shape();
+        let tg = self.value(gn).clone();
+        let tb = self.value(bn).clone();
+        assert_eq!(tg.shape(), (1, cols), "layer_norm gamma shape");
+        assert_eq!(tb.shape(), (1, cols), "layer_norm beta shape");
+
+        let mut out = Tensor::zeros(rows, cols);
+        let mut means = Vec::with_capacity(rows);
+        let mut rstds = Vec::with_capacity(rows);
+        let tx = self.value(x);
+        for r in 0..rows {
+            let row = tx.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let rstd = 1.0 / (var + EPS).sqrt();
+            means.push(mean);
+            rstds.push(rstd);
+            let orow = out.row_mut(r);
+            for c in 0..cols {
+                let xhat = (row[c] - mean) * rstd;
+                orow[c] = xhat * tg.data()[c] + tb.data()[c];
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma: gn, beta: bn, mean: means, rstd: rstds })
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        let tx = self.value(x);
+        let mut v = tx.clone();
+        for r in 0..v.rows() {
+            softmax_row(v.row_mut(r));
+        }
+        self.push(v, Op::Softmax { x })
+    }
+
+    /// Gathers embedding rows for `ids` from parameter `weight` (`[V, d]`).
+    pub fn embedding(&mut self, weight: ParamId, ids: &[u32]) -> NodeId {
+        let wn = self.param(weight);
+        let w = self.value(wn);
+        let d = w.cols();
+        let v_rows = w.rows();
+        let mut out = Tensor::zeros(ids.len(), d);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < v_rows, "embedding id {id} out of range {v_rows}");
+            out.row_mut(r).copy_from_slice(w.row(id as usize));
+        }
+        self.push(out, Op::Embedding { weight: wn, ids: ids.to_vec() })
+    }
+
+    /// Selects rows `idxs` of `x` (e.g. the per-column `[CLS]` positions).
+    pub fn row_select(&mut self, x: NodeId, idxs: &[u32]) -> NodeId {
+        let tx = self.value(x);
+        let mut out = Tensor::zeros(idxs.len(), tx.cols());
+        for (r, &i) in idxs.iter().enumerate() {
+            assert!((i as usize) < tx.rows(), "row_select index out of range");
+            out.row_mut(r).copy_from_slice(tx.row(i as usize));
+        }
+        self.push(out, Op::RowSelect { x, idxs: idxs.to_vec() })
+    }
+
+    /// `[N, da] ++ [N, db] -> [N, da+db]` column-wise concatenation.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
+        let (n, da, db) = (ta.rows(), ta.cols(), tb.cols());
+        let mut out = Tensor::zeros(n, da + db);
+        for r in 0..n {
+            out.row_mut(r)[..da].copy_from_slice(ta.row(r));
+            out.row_mut(r)[da..].copy_from_slice(tb.row(r));
+        }
+        self.push(out, Op::ConcatCols { a, b })
+    }
+
+    /// Fused multi-head attention core over projected `q`, `k`, `v`
+    /// (each `[S, d]`, `d % heads == 0`). `mask`, if given, is an additive
+    /// `[S, S]` matrix (use [`MASK_NEG`] for hidden pairs — TURL's
+    /// visibility matrix plugs in here).
+    pub fn mha(&mut self, q: NodeId, k: NodeId, v: NodeId, heads: usize, mask: Option<&AttnMask>) -> NodeId {
+        let (tq, tk, tv) = (self.value(q), self.value(k), self.value(v));
+        let (s, d) = tq.shape();
+        assert_eq!(tk.shape(), (s, d), "mha k shape");
+        assert_eq!(tv.shape(), (s, d), "mha v shape");
+        assert!(d % heads == 0, "hidden dim {d} not divisible by {heads} heads");
+        if let Some(m) = mask {
+            assert_eq!(m.len(), s * s, "mask must be [S, S]");
+        }
+        let dh = d / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut out = Tensor::zeros(s, d);
+        let mut probs = vec![0.0f32; heads * s * s];
+        let mut scores = vec![0.0f32; s];
+        for h in 0..heads {
+            let off = h * dh;
+            for i in 0..s {
+                let qi = &tq.row(i)[off..off + dh];
+                for j in 0..s {
+                    let kj = &tk.row(j)[off..off + dh];
+                    let mut acc = 0.0f32;
+                    for (a, b) in qi.iter().zip(kj.iter()) {
+                        acc += a * b;
+                    }
+                    scores[j] = acc * scale + mask.map_or(0.0, |m| m[i * s + j]);
+                }
+                softmax_row(&mut scores);
+                let p_row = &mut probs[h * s * s + i * s..h * s * s + (i + 1) * s];
+                p_row.copy_from_slice(&scores);
+                let orow = &mut out.row_mut(i)[off..off + dh];
+                for (j, &p) in p_row.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let vj = &tv.row(j)[off..off + dh];
+                    for (o, &vv) in orow.iter_mut().zip(vj.iter()) {
+                        *o += p * vv;
+                    }
+                }
+            }
+        }
+        self.push(out, Op::Mha { q, k, v, heads, probs })
+    }
+
+    /// Post-softmax attention probabilities of an [`Tape::mha`] node,
+    /// flattened `[heads, S, S]`. Used by the attention analysis (Figure 6).
+    pub fn mha_probs(&self, id: NodeId) -> Option<(&[f32], usize)> {
+        match &self.nodes[id].op {
+            Op::Mha { heads, probs, .. } => Some((probs.as_slice(), *heads)),
+            _ => None,
+        }
+    }
+
+    /// Inverted dropout with keep probability `1 - p`. A no-op on inference
+    /// tapes.
+    pub fn dropout<R: Rng + ?Sized>(&mut self, x: NodeId, p: f32, rng: &mut R) -> NodeId {
+        if !self.training || p <= 0.0 {
+            return x;
+        }
+        assert!(p < 1.0, "dropout probability must be < 1");
+        let keep = 1.0 - p;
+        let tx = self.value(x);
+        let mask: Vec<f32> = (0..tx.len())
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let data: Vec<f32> =
+            tx.data().iter().zip(mask.iter()).map(|(v, m)| v * m).collect();
+        let v = Tensor::from_vec(tx.rows(), tx.cols(), data);
+        self.push(v, Op::Dropout { x, mask })
+    }
+
+    /// Mean softmax cross-entropy over the rows of `logits` (`[N, C]`)
+    /// against integer `targets` (`len N`). Returns a `[1, 1]` loss node.
+    pub fn softmax_ce(&mut self, logits: NodeId, targets: &[u32]) -> NodeId {
+        let tl = self.value(logits);
+        let (n, c) = tl.shape();
+        assert_eq!(targets.len(), n, "softmax_ce target count");
+        let mut probs = tl.clone();
+        let mut loss = 0.0f32;
+        for r in 0..n {
+            softmax_row(probs.row_mut(r));
+            let t = targets[r] as usize;
+            assert!(t < c, "softmax_ce target {t} out of range {c}");
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= n as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Op::SoftmaxCe { logits, targets: targets.to_vec(), probs },
+        )
+    }
+
+    /// Mean binary cross-entropy with logits against `{0, 1}` targets of the
+    /// same shape (multi-label heads). Returns a `[1, 1]` loss node.
+    pub fn bce_logits(&mut self, logits: NodeId, targets: &Tensor) -> NodeId {
+        self.bce_logits_weighted(logits, targets, 1.0)
+    }
+
+    /// [`Tape::bce_logits`] with a positive-class weight (PyTorch's
+    /// `BCEWithLogitsLoss(pos_weight=…)`): the loss term of each positive
+    /// target is multiplied by `pos_weight`, counteracting the extreme
+    /// positive/negative imbalance of multi-label column typing (a couple of
+    /// true types among hundreds of classes).
+    pub fn bce_logits_weighted(&mut self, logits: NodeId, targets: &Tensor, pos_weight: f32) -> NodeId {
+        assert!(pos_weight > 0.0, "pos_weight must be positive");
+        let tl = self.value(logits);
+        assert_eq!(tl.shape(), targets.shape(), "bce_logits shape mismatch");
+        let mut sig = tl.clone();
+        let mut loss = 0.0f32;
+        for (z, t) in tl.data().iter().zip(targets.data().iter()) {
+            // softplus(x) = max(x,0) + ln(1 + e^{-|x|}) is the stable form.
+            let softplus_neg = (-z).max(0.0) + (-z.abs()).exp().ln_1p(); // -log sigmoid(z)
+            let softplus_pos = z.max(0.0) + (-z.abs()).exp().ln_1p(); // -log (1 - sigmoid(z))
+            loss += pos_weight * t * softplus_neg + (1.0 - t) * softplus_pos;
+        }
+        for s in sig.data_mut() {
+            *s = sigmoid(*s);
+        }
+        loss /= tl.len() as f32;
+        self.push(
+            Tensor::scalar(loss),
+            Op::BceLogits { logits, sig, targets: targets.clone(), pos_weight },
+        )
+    }
+
+    /// Runs reverse-mode differentiation from scalar node `loss`,
+    /// accumulating parameter gradients (scaled by `seed`) into `grads`.
+    pub fn backward(&self, loss: NodeId, grads: &mut Gradients) {
+        self.backward_scaled(loss, grads, 1.0);
+    }
+
+    /// [`Tape::backward`] with an upstream seed gradient (used to weight
+    /// losses without extra nodes).
+    pub fn backward_scaled(&self, loss: NodeId, grads: &mut Gradients, seed: f32) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward root must be scalar");
+        let mut local: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        local[loss] = Some(Tensor::scalar(seed));
+
+        for id in (0..=loss).rev() {
+            let Some(g) = local[id].take() else { continue };
+            match &self.nodes[id].op {
+                Op::Leaf => {}
+                Op::Param(pid) => grads.accumulate(*pid, &g, self.store),
+                Op::Matmul { a, b } => {
+                    let da = matmul_nt(&g, self.value(*b));
+                    let db = matmul_tn(self.value(*a), &g);
+                    acc(&mut local, *a, da);
+                    acc(&mut local, *b, db);
+                }
+                Op::Add { a, b } => {
+                    acc(&mut local, *a, g.clone());
+                    acc(&mut local, *b, g);
+                }
+                Op::AddRow { x, bias } => {
+                    let mut db = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &gv) in db.row_mut(0).iter_mut().zip(g.row(r).iter()) {
+                            *o += gv;
+                        }
+                    }
+                    acc(&mut local, *bias, db);
+                    acc(&mut local, *x, g);
+                }
+                Op::Mul { a, b } => {
+                    let ta = self.value(*a);
+                    let tb = self.value(*b);
+                    let da = elementwise(&g, tb, |g, y| g * y);
+                    let db = elementwise(&g, ta, |g, x| g * x);
+                    acc(&mut local, *a, da);
+                    acc(&mut local, *b, db);
+                }
+                Op::Scale { x, c } => {
+                    let mut dx = g;
+                    dx.scale_assign(*c);
+                    acc(&mut local, *x, dx);
+                }
+                Op::Gelu { x } => {
+                    let tx = self.value(*x);
+                    let dx = elementwise(&g, tx, |g, x| g * gelu_grad(x));
+                    acc(&mut local, *x, dx);
+                }
+                Op::Tanh { x } => {
+                    let ty = self.value(id);
+                    let dx = elementwise(&g, ty, |g, y| g * (1.0 - y * y));
+                    acc(&mut local, *x, dx);
+                }
+                Op::Relu { x } => {
+                    let tx = self.value(*x);
+                    let dx = elementwise(&g, tx, |g, x| if x > 0.0 { g } else { 0.0 });
+                    acc(&mut local, *x, dx);
+                }
+                Op::LayerNorm { x, gamma, beta, mean, rstd } => {
+                    let tx = self.value(*x);
+                    let tg = self.value(*gamma).clone();
+                    let (rows, cols) = tx.shape();
+                    let mut dgamma = Tensor::zeros(1, cols);
+                    let mut dbeta = Tensor::zeros(1, cols);
+                    let mut dx = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let xr = tx.row(r);
+                        let gr = g.row(r);
+                        let (m, rs) = (mean[r], rstd[r]);
+                        // dy*gamma and its row statistics.
+                        let mut sum_dyg = 0.0f32;
+                        let mut sum_dyg_xhat = 0.0f32;
+                        for c in 0..cols {
+                            let xhat = (xr[c] - m) * rs;
+                            let dyg = gr[c] * tg.data()[c];
+                            sum_dyg += dyg;
+                            sum_dyg_xhat += dyg * xhat;
+                            dgamma.data_mut()[c] += gr[c] * xhat;
+                            dbeta.data_mut()[c] += gr[c];
+                        }
+                        let inv_n = 1.0 / cols as f32;
+                        let dxr = dx.row_mut(r);
+                        for c in 0..cols {
+                            let xhat = (xr[c] - m) * rs;
+                            let dyg = gr[c] * tg.data()[c];
+                            dxr[c] = rs * (dyg - inv_n * sum_dyg - xhat * inv_n * sum_dyg_xhat);
+                        }
+                    }
+                    acc(&mut local, *gamma, dgamma);
+                    acc(&mut local, *beta, dbeta);
+                    acc(&mut local, *x, dx);
+                }
+                Op::Softmax { x } => {
+                    let ty = self.value(id);
+                    let (rows, cols) = ty.shape();
+                    let mut dx = Tensor::zeros(rows, cols);
+                    for r in 0..rows {
+                        let yr = ty.row(r);
+                        let gr = g.row(r);
+                        let dot: f32 = yr.iter().zip(gr.iter()).map(|(y, g)| y * g).sum();
+                        let dxr = dx.row_mut(r);
+                        for c in 0..cols {
+                            dxr[c] = yr[c] * (gr[c] - dot);
+                        }
+                    }
+                    acc(&mut local, *x, dx);
+                }
+                Op::Embedding { weight, ids } => {
+                    let w = self.value(*weight);
+                    let mut dw = Tensor::zeros(w.rows(), w.cols());
+                    for (r, &idd) in ids.iter().enumerate() {
+                        for (o, &gv) in
+                            dw.row_mut(idd as usize).iter_mut().zip(g.row(r).iter())
+                        {
+                            *o += gv;
+                        }
+                    }
+                    acc(&mut local, *weight, dw);
+                }
+                Op::RowSelect { x, idxs } => {
+                    let tx = self.value(*x);
+                    let mut dx = Tensor::zeros(tx.rows(), tx.cols());
+                    for (r, &i) in idxs.iter().enumerate() {
+                        for (o, &gv) in dx.row_mut(i as usize).iter_mut().zip(g.row(r).iter()) {
+                            *o += gv;
+                        }
+                    }
+                    acc(&mut local, *x, dx);
+                }
+                Op::ConcatCols { a, b } => {
+                    let (da_cols, db_cols) = (self.value(*a).cols(), self.value(*b).cols());
+                    let n = g.rows();
+                    let mut da = Tensor::zeros(n, da_cols);
+                    let mut db = Tensor::zeros(n, db_cols);
+                    for r in 0..n {
+                        da.row_mut(r).copy_from_slice(&g.row(r)[..da_cols]);
+                        db.row_mut(r).copy_from_slice(&g.row(r)[da_cols..]);
+                    }
+                    acc(&mut local, *a, da);
+                    acc(&mut local, *b, db);
+                }
+                Op::Mha { q, k, v, heads, probs } => {
+                    let (tq, tk, tv) = (self.value(*q), self.value(*k), self.value(*v));
+                    let (s, d) = tq.shape();
+                    let dh = d / heads;
+                    let scale = 1.0 / (dh as f32).sqrt();
+                    let mut dq = Tensor::zeros(s, d);
+                    let mut dk = Tensor::zeros(s, d);
+                    let mut dv = Tensor::zeros(s, d);
+                    let mut dscores = vec![0.0f32; s];
+                    for h in 0..*heads {
+                        let off = h * dh;
+                        let p_head = &probs[h * s * s..(h + 1) * s * s];
+                        for i in 0..s {
+                            let p_row = &p_head[i * s..(i + 1) * s];
+                            let g_row = &g.row(i)[off..off + dh];
+                            // dV += p^T dY ; dP = dY V^T.
+                            let mut dot = 0.0f32;
+                            for j in 0..s {
+                                let vj = &tv.row(j)[off..off + dh];
+                                let mut dp = 0.0f32;
+                                for (gv, vv) in g_row.iter().zip(vj.iter()) {
+                                    dp += gv * vv;
+                                }
+                                dscores[j] = dp;
+                                dot += dp * p_row[j];
+                                if p_row[j] != 0.0 {
+                                    let dvj = &mut dv.row_mut(j)[off..off + dh];
+                                    for (o, &gv) in dvj.iter_mut().zip(g_row.iter()) {
+                                        *o += p_row[j] * gv;
+                                    }
+                                }
+                            }
+                            // Softmax Jacobian, then scaled Q/K grads.
+                            for j in 0..s {
+                                let ds = p_row[j] * (dscores[j] - dot) * scale;
+                                if ds == 0.0 {
+                                    continue;
+                                }
+                                let kj = &tk.row(j)[off..off + dh];
+                                let qi = &tq.row(i)[off..off + dh];
+                                let dqi = &mut dq.row_mut(i)[off..off + dh];
+                                for (o, &kv) in dqi.iter_mut().zip(kj.iter()) {
+                                    *o += ds * kv;
+                                }
+                                let dkj = &mut dk.row_mut(j)[off..off + dh];
+                                for (o, &qv) in dkj.iter_mut().zip(qi.iter()) {
+                                    *o += ds * qv;
+                                }
+                            }
+                        }
+                    }
+                    acc(&mut local, *q, dq);
+                    acc(&mut local, *k, dk);
+                    acc(&mut local, *v, dv);
+                }
+                Op::Dropout { x, mask } => {
+                    let tx_shape = self.value(*x).shape();
+                    let data: Vec<f32> =
+                        g.data().iter().zip(mask.iter()).map(|(g, m)| g * m).collect();
+                    acc(&mut local, *x, Tensor::from_vec(tx_shape.0, tx_shape.1, data));
+                }
+                Op::SoftmaxCe { logits, targets, probs } => {
+                    let gs = g.scalar_value();
+                    let (n, c) = probs.shape();
+                    let mut dl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        let val = dl.get(r, t as usize) - 1.0;
+                        dl.set(r, t as usize, val);
+                    }
+                    dl.scale_assign(gs / n as f32);
+                    debug_assert_eq!(dl.shape(), (n, c));
+                    acc(&mut local, *logits, dl);
+                }
+                Op::BceLogits { logits, sig, targets, pos_weight } => {
+                    // d/dz [w t softplus(-z) + (1-t) softplus(z)]
+                    //   = (1-t) σ(z) - w t (1-σ(z)).
+                    let gs = g.scalar_value();
+                    let mut dl = sig.clone();
+                    for (o, &t) in dl.data_mut().iter_mut().zip(targets.data().iter()) {
+                        let s = *o;
+                        *o = (1.0 - t) * s - pos_weight * t * (1.0 - s);
+                    }
+                    dl.scale_assign(gs / sig.len() as f32);
+                    acc(&mut local, *logits, dl);
+                }
+            }
+        }
+    }
+}
+
+fn acc(local: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+    match &mut local[id] {
+        Some(t) => t.add_assign(&g),
+        slot => *slot = Some(g),
+    }
+}
+
+fn elementwise(g: &Tensor, x: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    debug_assert_eq!(g.shape(), x.shape());
+    let data: Vec<f32> = g.data().iter().zip(x.data().iter()).map(|(&g, &x)| f(g, x)).collect();
+    Tensor::from_vec(g.rows(), g.cols(), data)
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// In-place, numerically-stable softmax of one row.
+#[inline]
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+#[inline]
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+#[inline]
+fn gelu_grad(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044_715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Gradients, ParamStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check: `f` builds a scalar loss on a fresh
+    /// tape over `store`; analytic gradients from backward are compared
+    /// against central differences for every parameter scalar.
+    fn gradcheck(store: &mut ParamStore, f: impl Fn(&mut Tape) -> NodeId, tol: f32) {
+        let mut grads = Gradients::new(store);
+        {
+            let mut tape = Tape::inference(store);
+            let loss = f(&mut tape);
+            tape.backward(loss, &mut grads);
+        }
+        let eps = 1e-3f32;
+        for pid in 0..store.len() {
+            for i in 0..store.get(pid).len() {
+                let orig = store.get(pid).data()[i];
+                store.get_mut(pid).data_mut()[i] = orig + eps;
+                let up = {
+                    let mut tape = Tape::inference(store);
+                    let l = f(&mut tape);
+                    tape.value(l).scalar_value()
+                };
+                store.get_mut(pid).data_mut()[i] = orig - eps;
+                let down = {
+                    let mut tape = Tape::inference(store);
+                    let l = f(&mut tape);
+                    tape.value(l).scalar_value()
+                };
+                store.get_mut(pid).data_mut()[i] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = grads.get(pid).map_or(0.0, |g| g.data()[i]);
+                assert!(
+                    (numeric - analytic).abs() < tol + tol * numeric.abs().max(analytic.abs()),
+                    "param {pid} [{i}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn gradcheck_linear_gelu_ce() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.add_randn("w", 4, 3, 0.5, &mut rng);
+        let b = store.add_randn("b", 1, 3, 0.5, &mut rng);
+        let x = Tensor::randn(2, 4, 1.0, &mut rng);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let xn = tape.input(x.clone());
+                let h = tape.linear(xn, w, b);
+                let a = tape.gelu(h);
+                tape.softmax_ce(a, &[0, 2])
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let xw = store.add_randn("x", 3, 5, 1.0, &mut rng);
+        let g = store.add_randn("g", 1, 5, 0.3, &mut rng);
+        let bt = store.add_randn("bt", 1, 5, 0.3, &mut rng);
+        let proj = store.add_randn("proj", 5, 2, 0.5, &mut rng);
+        let pb = store.add_zeros("pb", 1, 2);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let xn = tape.param(xw);
+                let ln = tape.layer_norm(xn, g, bt);
+                let h = tape.linear(ln, proj, pb);
+                tape.softmax_ce(h, &[1, 0, 1])
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_mha() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let q = store.add_randn("q", 4, 6, 0.7, &mut rng);
+        let k = store.add_randn("k", 4, 6, 0.7, &mut rng);
+        let v = store.add_randn("v", 4, 6, 0.7, &mut rng);
+        let proj = store.add_randn("proj", 6, 3, 0.5, &mut rng);
+        let pb = store.add_zeros("pb", 1, 3);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let qn = tape.param(q);
+                let kn = tape.param(k);
+                let vn = tape.param(v);
+                let att = tape.mha(qn, kn, vn, 2, None);
+                let h = tape.linear(att, proj, pb);
+                tape.softmax_ce(h, &[0, 1, 2, 0])
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_mha_masked() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let q = store.add_randn("q", 3, 4, 0.7, &mut rng);
+        let k = store.add_randn("k", 3, 4, 0.7, &mut rng);
+        let v = store.add_randn("v", 3, 4, 0.7, &mut rng);
+        // Token 2 hidden from token 0 and vice versa.
+        let mut m = vec![0.0f32; 9];
+        m[2] = MASK_NEG;
+        m[6] = MASK_NEG;
+        let mask: AttnMask = Arc::new(m);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let qn = tape.param(q);
+                let kn = tape.param(k);
+                let vn = tape.param(v);
+                let att = tape.mha(qn, kn, vn, 2, Some(&mask));
+                tape.softmax_ce(att, &[0, 1, 2])
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_embedding_select_concat_bce() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let emb = store.add_randn("emb", 5, 4, 0.7, &mut rng);
+        let proj = store.add_randn("proj", 8, 2, 0.5, &mut rng);
+        let pb = store.add_zeros("pb", 1, 2);
+        let targets = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let e = tape.embedding(emb, &[0, 3, 2, 4]);
+                let a = tape.row_select(e, &[0, 2]);
+                let b = tape.row_select(e, &[1, 3]);
+                let cat = tape.concat_cols(a, b);
+                let h = tape.linear(cat, proj, pb);
+                tape.bce_logits(h, &targets)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_softmax_tanh_mul_scale() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let a = store.add_randn("a", 2, 3, 0.8, &mut rng);
+        let b = store.add_randn("b", 2, 3, 0.8, &mut rng);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let an = tape.param(a);
+                let bn = tape.param(b);
+                let sm = tape.softmax(an);
+                let th = tape.tanh(bn);
+                let m = tape.mul(sm, th);
+                let sc = tape.scale(m, 1.7);
+                let r = tape.relu(sc);
+                tape.softmax_ce(r, &[2, 0])
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_weighted_bce() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.add_randn("w", 3, 4, 0.7, &mut rng);
+        let targets = Tensor::from_vec(3, 4, vec![1., 0., 0., 0., 0., 1., 0., 1., 0., 0., 0., 0.]);
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let z = tape.param(w);
+                tape.bce_logits_weighted(z, &targets, 7.5)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn weighted_bce_reduces_to_plain_at_one() {
+        let store = ParamStore::new();
+        let mut tape = Tape::inference(&store);
+        let z1 = tape.input(Tensor::from_vec(1, 3, vec![0.3, -1.2, 2.0]));
+        let t = Tensor::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let a = tape.bce_logits(z1, &t);
+        let b = tape.bce_logits_weighted(z1, &t, 1.0);
+        assert!((tape.value(a).scalar_value() - tape.value(b).scalar_value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let store = ParamStore::new();
+        let mut tape = Tape::inference(&store);
+        let x = tape.input(Tensor::row_vector(vec![1.0, 2.0, 3.0]));
+        let mut rng = rng();
+        let y = tape.dropout(x, 0.5, &mut rng);
+        assert_eq!(x, y, "dropout must be a no-op on inference tapes");
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let n = 20_000;
+        let x = tape.input(Tensor::full(1, n, 1.0));
+        let mut rng = rng();
+        let y = tape.dropout(x, 0.3, &mut rng);
+        let mean = tape.value(y).sum() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn masked_attention_blocks_information_flow() {
+        let mut rng = rng();
+        let store = ParamStore::new();
+        let s = 3;
+        // Row 0 can only see itself.
+        let mut m = vec![0.0f32; s * s];
+        m[1] = MASK_NEG;
+        m[2] = MASK_NEG;
+        let mask: AttnMask = Arc::new(m);
+        let q = Tensor::randn(s, 4, 1.0, &mut rng);
+        let k = Tensor::randn(s, 4, 1.0, &mut rng);
+        let v = Tensor::randn(s, 4, 1.0, &mut rng);
+        let mut tape = Tape::inference(&store);
+        let (qn, kn, vn) = (tape.input(q), tape.input(k), tape.input(v.clone()));
+        let out = tape.mha(qn, kn, vn, 2, Some(&mask));
+        // With only itself visible, row 0 output is exactly v[0].
+        for c in 0..4 {
+            assert!((tape.value(out).get(0, c) - v.get(0, c)).abs() < 1e-5);
+        }
+        let (probs, heads) = tape.mha_probs(out).unwrap();
+        assert_eq!(heads, 2);
+        assert!((probs[0] - 1.0).abs() < 1e-5, "masked row must put all mass on itself");
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let store = ParamStore::new();
+        let mut tape = Tape::inference(&store);
+        let z = tape.input(Tensor::from_vec(1, 2, vec![0.0, 2.0]));
+        let t = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
+        let loss = tape.bce_logits(z, &t);
+        // -ln(0.5) and -ln(1 - sigmoid(2)).
+        let expect = (0.5f32.ln().abs() + (1.0 - 1.0 / (1.0 + (-2.0f32).exp())).ln().abs()) / 2.0;
+        assert!((tape.value(loss).scalar_value() - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_accumulation_equals_sum_of_backwards() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let w = store.add_randn("w", 3, 2, 0.5, &mut rng);
+        let b = store.add_zeros("b", 1, 2);
+        let x1 = Tensor::randn(2, 3, 1.0, &mut rng);
+        let x2 = Tensor::randn(2, 3, 1.0, &mut rng);
+
+        let run = |store: &ParamStore, x: &Tensor, grads: &mut Gradients| {
+            let mut tape = Tape::inference(store);
+            let xn = tape.input(x.clone());
+            let h = tape.linear(xn, w, b);
+            let l = tape.softmax_ce(h, &[0, 1]);
+            tape.backward(l, grads);
+        };
+
+        let mut both = Gradients::new(&store);
+        run(&store, &x1, &mut both);
+        run(&store, &x2, &mut both);
+
+        let mut g1 = Gradients::new(&store);
+        run(&store, &x1, &mut g1);
+        let mut g2 = Gradients::new(&store);
+        run(&store, &x2, &mut g2);
+        g1.merge(g2);
+
+        for pid in [w, b] {
+            let a = both.get(pid).unwrap();
+            let s = g1.get(pid).unwrap();
+            for i in 0..a.len() {
+                assert!((a.data()[i] - s.data()[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Dense, row-major, 2-D `f32` tensor.
+//!
+//! Everything in this reproduction is expressed over 2-D matrices: a token
+//! sequence of length `S` embedded in `d` dimensions is `[S, d]`, a weight
+//! matrix is `[in, out]`, a scalar loss is `[1, 1]`. Avoiding general N-d
+//! shapes keeps the autograd kernels simple and fast.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor buffer does not match shape {rows}x{cols}");
+        Tensor { rows, cols, data }
+    }
+
+    /// A `[1, n]` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor::from_vec(1, n, data)
+    }
+
+    /// A `[1, 1]` scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    /// Fills with samples from `N(0, std^2)` (Box-Muller over the given RNG).
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            // Box-Muller transform; avoids a dependency on rand_distr.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            data.push(z * std);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor (row-major). Panics on out-of-range in debug builds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice of length `cols`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `[1, 1]` tensor.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "scalar_value on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += c * other` (shapes must match).
+    pub fn axpy(&mut self, c: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += c * b;
+        }
+    }
+
+    /// In-place multiply by a constant.
+    pub fn scale_assign(&mut self, c: f32) {
+        for a in self.data.iter_mut() {
+            *a *= c;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of squared elements (used for gradient-norm clipping).
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius/L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// `C = A * B` where `A` is `[m, k]` and `B` is `[k, n]`.
+///
+/// Plain ikj loop: the inner loop is a contiguous saxpy over the output row,
+/// which LLVM vectorizes well at `opt-level >= 2`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.rows, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let o_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A * B^T` where `A` is `[m, k]` and `B` is `[n, k]`.
+///
+/// The inner loop is a dot product of two contiguous rows.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.cols, "matmul_nt inner dims: {:?} x {:?}^T", a.shape(), b.shape());
+    let (m, n) = (a.rows, b.rows);
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let o_row = out.row_mut(i);
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// `C = A^T * B` where `A` is `[k, m]` and `B` is `[k, n]`.
+///
+/// Accumulates rank-1 updates; both inner accesses are contiguous.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows, b.rows, "matmul_tn inner dims: {:?}^T x {:?}", a.shape(), b.shape());
+    let (m, n, k) = (a.cols, b.cols, a.rows);
+    let mut out = Tensor::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let o_row = &mut out.data[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * bv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let eye = t(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &eye).data(), a.data());
+        assert_eq!(matmul(&eye, &a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(4, 5, 1.0, &mut rng);
+        let b = Tensor::randn(5, 3, 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        // A * B == A * (B^T)^T via matmul_nt.
+        let c_nt = matmul_nt(&a, &b.transpose());
+        // A * B == (A^T)^T * B via matmul_tn.
+        let c_tn = matmul_tn(&a.transpose(), &b);
+        for i in 0..c.len() {
+            assert!((c.data()[i] - c_nt.data()[i]).abs() < 1e-4);
+            assert!((c.data()[i] - c_tn.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(3, 7, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_and_norms() {
+        let mut a = t(1, 3, &[1.0, 2.0, 2.0]);
+        let b = t(1, 3, &[1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 4.0, 4.0]);
+        assert!((t(1, 2, &[3.0, 4.0]).norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn randn_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(100, 100, 0.5, &mut rng);
+        let mean = x.sum() / x.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let var = x.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / x.len() as f32;
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        matmul(&a, &b);
+    }
+}

@@ -1,0 +1,15 @@
+//! # doduo-tokenizer
+//!
+//! WordPiece tokenizer, standing in for BERT's `bert-base-uncased`
+//! tokenizer. Subword inventories are learned with byte-pair-encoding
+//! merges over a training corpus, and text is encoded with the standard
+//! greedy longest-match-first WordPiece algorithm (continuation pieces are
+//! prefixed `##`). The BERT special tokens `[PAD] [UNK] [CLS] [SEP] [MASK]`
+//! occupy the first five ids, exactly as the serialization scheme in the
+//! paper (§4.2) assumes.
+
+mod vocab;
+mod wordpiece;
+
+pub use vocab::{Vocab, CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK};
+pub use wordpiece::{pre_tokenize, TrainConfig, WordPiece};

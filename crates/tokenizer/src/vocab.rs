@@ -1,0 +1,142 @@
+//! Token ↔ id vocabulary with fixed special tokens.
+
+use std::collections::HashMap;
+
+/// Padding token id (unused by the per-sequence tapes but reserved to keep
+/// ids aligned with the BERT convention).
+pub const PAD: u32 = 0;
+/// Unknown-token id.
+pub const UNK: u32 = 1;
+/// Sequence/column marker id ([`crate::WordPiece`] never emits it from text;
+/// serializers insert it explicitly).
+pub const CLS: u32 = 2;
+/// Separator id.
+pub const SEP: u32 = 3;
+/// Mask id used by masked-language-model pretraining.
+pub const MASK: u32 = 4;
+
+/// The special tokens, in id order.
+pub const SPECIAL_TOKENS: [&str; 5] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"];
+
+/// Bidirectional token ↔ id map. Ids `0..5` are always the special tokens.
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from subword pieces (specials are prepended;
+    /// duplicate pieces are ignored).
+    pub fn from_pieces<I: IntoIterator<Item = String>>(pieces: I) -> Self {
+        let mut id_to_token: Vec<String> =
+            SPECIAL_TOKENS.iter().map(|s| s.to_string()).collect();
+        let mut token_to_id: HashMap<String, u32> = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+        for piece in pieces {
+            if token_to_id.contains_key(&piece) {
+                continue;
+            }
+            token_to_id.insert(piece.clone(), id_to_token.len() as u32);
+            id_to_token.push(piece);
+        }
+        Vocab { token_to_id, id_to_token }
+    }
+
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // specials are always present
+    }
+
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token text for an id; panics on out-of-range ids.
+    pub fn token(&self, id: u32) -> &str {
+        &self.id_to_token[id as usize]
+    }
+
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// Iterates `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.id_to_token.iter().enumerate().map(|(i, t)| (i as u32, t.as_str()))
+    }
+
+    /// Serializes as newline-separated tokens in id order.
+    pub fn to_text(&self) -> String {
+        self.id_to_token.join("\n")
+    }
+
+    /// Parses [`Vocab::to_text`] output. Returns `None` if the special-token
+    /// prefix is missing or ids would be ambiguous.
+    pub fn from_text(text: &str) -> Option<Self> {
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.len() < SPECIAL_TOKENS.len() {
+            return None;
+        }
+        for (i, s) in SPECIAL_TOKENS.iter().enumerate() {
+            if lines[i] != *s {
+                return None;
+            }
+        }
+        let mut seen = HashMap::new();
+        for (i, l) in lines.iter().enumerate() {
+            if seen.insert(l.to_string(), i).is_some() {
+                return None;
+            }
+        }
+        Some(Vocab::from_pieces(
+            lines[SPECIAL_TOKENS.len()..].iter().map(|s| s.to_string()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::from_pieces(["hello".to_string(), "##lo".to_string()]);
+        assert_eq!(v.id("[PAD]"), Some(PAD));
+        assert_eq!(v.id("[UNK]"), Some(UNK));
+        assert_eq!(v.id("[CLS]"), Some(CLS));
+        assert_eq!(v.id("[SEP]"), Some(SEP));
+        assert_eq!(v.id("[MASK]"), Some(MASK));
+        assert_eq!(v.id("hello"), Some(5));
+        assert_eq!(v.token(6), "##lo");
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let v = Vocab::from_pieces(["a".to_string(), "a".to_string(), "b".to_string()]);
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = Vocab::from_pieces(["ab".to_string(), "##cd".to_string()]);
+        let text = v.to_text();
+        let v2 = Vocab::from_text(&text).expect("roundtrip");
+        assert_eq!(v.len(), v2.len());
+        for (id, tok) in v.iter() {
+            assert_eq!(v2.token(id), tok);
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_missing_specials() {
+        assert!(Vocab::from_text("a\nb\nc").is_none());
+    }
+}

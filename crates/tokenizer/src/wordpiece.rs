@@ -1,0 +1,353 @@
+//! BPE-trained WordPiece tokenizer.
+//!
+//! Training follows the classic byte-pair-encoding recipe: every word is a
+//! sequence of single-character pieces (continuations prefixed `##`), and
+//! the most frequent adjacent pair is merged repeatedly. Encoding uses the
+//! greedy longest-match-first WordPiece algorithm from BERT.
+
+use crate::vocab::{Vocab, UNK};
+use std::collections::HashMap;
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Number of BPE merge operations (upper-bounds the learned pieces).
+    pub merges: usize,
+    /// Pairs occurring fewer times than this are never merged.
+    pub min_pair_count: usize,
+    /// Words longer than this (in chars) are encoded as `[UNK]`.
+    pub max_word_len: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { merges: 4000, min_pair_count: 2, max_word_len: 48 }
+    }
+}
+
+/// A trained WordPiece tokenizer.
+#[derive(Clone, Debug)]
+pub struct WordPiece {
+    vocab: Vocab,
+    max_word_len: usize,
+}
+
+/// Lower-cases and splits text into words: runs of alphanumerics stay
+/// together, every other non-whitespace character becomes its own token.
+/// This mirrors BERT's `BasicTokenizer` closely enough for table values.
+pub fn pre_tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            if !ch.is_whitespace() {
+                out.push(ch.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl WordPiece {
+    /// Trains a subword vocabulary on an iterator of text lines.
+    pub fn train<'a, I: IntoIterator<Item = &'a str>>(corpus: I, config: &TrainConfig) -> Self {
+        // Word frequency table.
+        let mut word_counts: HashMap<String, usize> = HashMap::new();
+        for line in corpus {
+            for w in pre_tokenize(line) {
+                *word_counts.entry(w).or_insert(0) += 1;
+            }
+        }
+
+        // Represent each distinct word as its current piece sequence.
+        let mut words: Vec<(Vec<String>, usize)> = word_counts
+            .into_iter()
+            .map(|(w, c)| {
+                let pieces: Vec<String> = w
+                    .chars()
+                    .enumerate()
+                    .map(|(i, ch)| {
+                        if i == 0 {
+                            ch.to_string()
+                        } else {
+                            format!("##{ch}")
+                        }
+                    })
+                    .collect();
+                (pieces, c)
+            })
+            .collect();
+        words.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
+
+        // Alphabet pieces are always in the vocabulary.
+        let mut pieces: Vec<String> = Vec::new();
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for (w, _) in &words {
+            for p in w {
+                if seen.insert(p.clone(), ()).is_none() {
+                    pieces.push(p.clone());
+                }
+            }
+        }
+        pieces.sort();
+
+        // BPE merge loop.
+        for _ in 0..config.merges {
+            let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
+            for (w, c) in &words {
+                for pair in w.windows(2) {
+                    *pair_counts
+                        .entry((pair[0].clone(), pair[1].clone()))
+                        .or_insert(0) += c;
+                }
+            }
+            // Deterministic argmax: highest count, then lexicographic.
+            let best = pair_counts
+                .into_iter()
+                .filter(|(_, c)| *c >= config.min_pair_count)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some(((left, right), _)) = best else { break };
+            let merged = format!("{left}{}", right.trim_start_matches("##"));
+            if !seen.contains_key(&merged) {
+                seen.insert(merged.clone(), ());
+                pieces.push(merged.clone());
+            }
+            for (w, _) in words.iter_mut() {
+                let mut i = 0;
+                while i + 1 < w.len() {
+                    if w[i] == left && w[i + 1] == right {
+                        w[i] = merged.clone();
+                        w.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        WordPiece { vocab: Vocab::from_pieces(pieces), max_word_len: config.max_word_len }
+    }
+
+    /// Builds a tokenizer directly from a piece list (used by tests and by
+    /// checkpoint loading).
+    pub fn from_vocab(vocab: Vocab, max_word_len: usize) -> Self {
+        WordPiece { vocab, max_word_len }
+    }
+
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encodes one word into piece ids via greedy longest-match-first.
+    /// Falls back to a single `[UNK]` if any position cannot be matched.
+    fn encode_word(&self, word: &str, out: &mut Vec<u32>) {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() > self.max_word_len {
+            out.push(UNK);
+            return;
+        }
+        let start_len = out.len();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut end = chars.len();
+            let mut found = None;
+            while end > start {
+                let mut piece: String = chars[start..end].iter().collect();
+                if start > 0 {
+                    piece = format!("##{piece}");
+                }
+                if let Some(id) = self.vocab.id(&piece) {
+                    found = Some((id, end));
+                    break;
+                }
+                end -= 1;
+            }
+            match found {
+                Some((id, e)) => {
+                    out.push(id);
+                    start = e;
+                }
+                None => {
+                    out.truncate(start_len);
+                    out.push(UNK);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Encodes free text to subword ids (no special tokens added; the table
+    /// serializer owns `[CLS]`/`[SEP]` placement).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for w in pre_tokenize(text) {
+            self.encode_word(&w, &mut out);
+        }
+        out
+    }
+
+    /// Encodes and truncates to at most `budget` ids (`0` means unlimited).
+    pub fn encode_with_budget(&self, text: &str, budget: usize) -> Vec<u32> {
+        let mut ids = self.encode(text);
+        if budget > 0 && ids.len() > budget {
+            ids.truncate(budget);
+        }
+        ids
+    }
+
+    /// Decodes ids back to a readable string (`##` continuations joined).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let tok = self.vocab.token(id);
+            if let Some(cont) = tok.strip_prefix("##") {
+                out.push_str(cont);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{CLS, SEP};
+
+    fn small_tok() -> WordPiece {
+        let corpus = [
+            "the happy feet film was directed by george miller",
+            "the cars film was directed by john lasseter",
+            "george miller produced happy feet",
+            "miller was born in brisbane",
+            "derrick henry plays for alabama",
+            "the flushed away film was directed by david bowers",
+        ];
+        WordPiece::train(corpus, &TrainConfig { merges: 200, min_pair_count: 2, max_word_len: 32 })
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        let t = small_tok();
+        // "miller" appears 3 times: should be one piece after 200 merges.
+        let ids = t.encode("miller");
+        assert_eq!(ids.len(), 1, "pieces: {:?}", t.decode(&ids));
+        assert_eq!(t.decode(&ids), "miller");
+    }
+
+    #[test]
+    fn unseen_words_decompose_not_unk() {
+        let t = small_tok();
+        // "filmed" was never seen but shares subwords with "film".
+        let ids = t.encode("filmed");
+        assert!(!ids.contains(&UNK), "should decompose via subwords: {ids:?}");
+        assert_eq!(t.decode(&ids), "filmed");
+    }
+
+    #[test]
+    fn unknown_characters_map_to_unk() {
+        let t = small_tok();
+        let ids = t.encode("Ω");
+        assert_eq!(ids, vec![UNK]);
+    }
+
+    #[test]
+    fn encode_never_emits_specials() {
+        let t = small_tok();
+        for text in ["george [CLS] miller", "a [SEP] b", "happy feet!"] {
+            let ids = t.encode(text);
+            assert!(!ids.contains(&CLS) && !ids.contains(&SEP), "{text} -> {ids:?}");
+        }
+    }
+
+    #[test]
+    fn pre_tokenize_splits_punct_and_lowercases() {
+        assert_eq!(
+            pre_tokenize("Happy Feet, USA! 42km"),
+            vec!["happy", "feet", ",", "usa", "!", "42km"]
+        );
+        assert_eq!(pre_tokenize("  "), Vec::<String>::new());
+        assert_eq!(pre_tokenize("a-b"), vec!["a", "-", "b"]);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let t = small_tok();
+        let full = t.encode("george miller directed happy feet");
+        let cut = t.encode_with_budget("george miller directed happy feet", 3);
+        assert_eq!(&full[..3], &cut[..]);
+        assert_eq!(t.encode_with_budget("george", 0), t.encode("george"));
+    }
+
+    #[test]
+    fn roundtrip_known_sentence() {
+        let t = small_tok();
+        let text = "george miller directed happy feet";
+        assert_eq!(t.decode(&t.encode(text)), text);
+    }
+
+    #[test]
+    fn oversized_word_is_unk() {
+        let t = small_tok();
+        let long = "a".repeat(64);
+        assert_eq!(t.encode(&long), vec![UNK]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = small_tok();
+        let b = small_tok();
+        assert_eq!(a.vocab().to_text(), b.vocab().to_text());
+    }
+
+    #[test]
+    fn from_vocab_roundtrips_through_text() {
+        let t = small_tok();
+        let text = t.vocab().to_text();
+        let vocab = crate::Vocab::from_text(&text).expect("valid vocab text");
+        let t2 = WordPiece::from_vocab(vocab, 32);
+        let s = "george miller directed happy feet";
+        assert_eq!(t.encode(s), t2.encode(s), "reloaded tokenizer must agree");
+    }
+
+    #[test]
+    fn numbers_tokenize_without_unk() {
+        let t = WordPiece::train(
+            ["0 1 2 3 4 5 6 7 8 9 x0 x1 x2 x3 x4 x5 x6 x7 x8 x9 1990 2021"],
+            &TrainConfig { merges: 100, min_pair_count: 1, max_word_len: 16 },
+        );
+        for n in ["7", "42", "1987", "2022"] {
+            let ids = t.encode(n);
+            assert!(!ids.contains(&UNK), "{n} -> {ids:?}");
+        }
+    }
+
+    #[test]
+    fn min_pair_count_limits_merges() {
+        // With a high min_pair_count nothing merges: every word splits into
+        // single-character pieces.
+        let t = WordPiece::train(
+            ["abc abd"],
+            &TrainConfig { merges: 100, min_pair_count: 100, max_word_len: 16 },
+        );
+        assert_eq!(t.encode("abc").len(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! The Transformer encoder (Figure 3 of the paper).
+//!
+//! Post-LayerNorm BERT blocks over one token sequence. The fused
+//! multi-head-attention op optionally takes an additive visibility mask,
+//! which is how the TURL baseline's restricted attention is expressed
+//! (§5.4: TURL removes "cross-column" edges; Doduo uses full attention).
+
+use crate::config::EncoderConfig;
+use doduo_tensor::{AttnMask, NodeId, ParamId, ParamStore, Tape, MASK_NEG};
+use rand::Rng;
+use std::sync::Arc;
+
+struct LayerParams {
+    wq: ParamId,
+    bq: ParamId,
+    wk: ParamId,
+    bk: ParamId,
+    wv: ParamId,
+    bv: ParamId,
+    wo: ParamId,
+    bo: ParamId,
+    ln1_g: ParamId,
+    ln1_b: ParamId,
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+    ln2_g: ParamId,
+    ln2_b: ParamId,
+}
+
+/// A BERT-style encoder whose weights live in a shared [`ParamStore`].
+pub struct Encoder {
+    cfg: EncoderConfig,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    emb_ln_g: ParamId,
+    emb_ln_b: ParamId,
+    layers: Vec<LayerParams>,
+}
+
+const INIT_STD: f32 = 0.02;
+
+impl Encoder {
+    /// Registers all encoder parameters under `prefix` (e.g. `"enc"`) and
+    /// initializes them BERT-style (`N(0, 0.02^2)`, zero biases, unit LN
+    /// gains).
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        cfg: EncoderConfig,
+        prefix: &str,
+        rng: &mut R,
+    ) -> Self {
+        cfg.validate();
+        let d = cfg.hidden;
+        let tok_emb = store.add_randn(format!("{prefix}.emb.tok"), cfg.vocab_size, d, INIT_STD, rng);
+        let pos_emb = store.add_randn(format!("{prefix}.emb.pos"), cfg.max_seq, d, INIT_STD, rng);
+        let emb_ln_g = store.add_ones(format!("{prefix}.emb.ln.g"), 1, d);
+        let emb_ln_b = store.add_zeros(format!("{prefix}.emb.ln.b"), 1, d);
+        let mut layers = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let p = |s: &str| format!("{prefix}.l{l}.{s}");
+            layers.push(LayerParams {
+                wq: store.add_randn(p("attn.wq"), d, d, INIT_STD, rng),
+                bq: store.add_zeros(p("attn.bq"), 1, d),
+                wk: store.add_randn(p("attn.wk"), d, d, INIT_STD, rng),
+                bk: store.add_zeros(p("attn.bk"), 1, d),
+                wv: store.add_randn(p("attn.wv"), d, d, INIT_STD, rng),
+                bv: store.add_zeros(p("attn.bv"), 1, d),
+                wo: store.add_randn(p("attn.wo"), d, d, INIT_STD, rng),
+                bo: store.add_zeros(p("attn.bo"), 1, d),
+                ln1_g: store.add_ones(p("ln1.g"), 1, d),
+                ln1_b: store.add_zeros(p("ln1.b"), 1, d),
+                w1: store.add_randn(p("ffn.w1"), d, cfg.ffn, INIT_STD, rng),
+                b1: store.add_zeros(p("ffn.b1"), 1, cfg.ffn),
+                w2: store.add_randn(p("ffn.w2"), cfg.ffn, d, INIT_STD, rng),
+                b2: store.add_zeros(p("ffn.b2"), 1, d),
+                ln2_g: store.add_ones(p("ln2.g"), 1, d),
+                ln2_b: store.add_zeros(p("ln2.b"), 1, d),
+            });
+        }
+        Encoder { cfg, tok_emb, pos_emb, emb_ln_g, emb_ln_b, layers }
+    }
+
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Encodes `ids`, returning the `[S, d]` top-layer representation node.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        ids: &[u32],
+        mask: Option<&AttnMask>,
+        rng: &mut R,
+    ) -> NodeId {
+        self.forward_impl(tape, ids, mask, rng, None)
+    }
+
+    /// Like [`Encoder::forward`], also appending each layer's fused MHA node
+    /// id to `attn_nodes` so callers can read attention probabilities
+    /// (Figure 6's analysis uses the last layer).
+    pub fn forward_collect_attn<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        ids: &[u32],
+        mask: Option<&AttnMask>,
+        rng: &mut R,
+        attn_nodes: &mut Vec<NodeId>,
+    ) -> NodeId {
+        self.forward_impl(tape, ids, mask, rng, Some(attn_nodes))
+    }
+
+    fn forward_impl<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        ids: &[u32],
+        mask: Option<&AttnMask>,
+        rng: &mut R,
+        mut attn_nodes: Option<&mut Vec<NodeId>>,
+    ) -> NodeId {
+        let s = ids.len();
+        assert!(s > 0, "cannot encode an empty sequence");
+        assert!(
+            s <= self.cfg.max_seq,
+            "sequence length {s} exceeds max_seq {}",
+            self.cfg.max_seq
+        );
+        let p = self.cfg.dropout;
+        let positions: Vec<u32> = (0..s as u32).collect();
+        let tok = tape.embedding(self.tok_emb, ids);
+        let pos = tape.embedding(self.pos_emb, &positions);
+        let sum = tape.add(tok, pos);
+        let normed = tape.layer_norm(sum, self.emb_ln_g, self.emb_ln_b);
+        let mut x = tape.dropout(normed, p, rng);
+
+        for layer in &self.layers {
+            let q = tape.linear(x, layer.wq, layer.bq);
+            let k = tape.linear(x, layer.wk, layer.bk);
+            let v = tape.linear(x, layer.wv, layer.bv);
+            let att = tape.mha(q, k, v, self.cfg.heads, mask);
+            if let Some(nodes) = attn_nodes.as_deref_mut() {
+                nodes.push(att);
+            }
+            let proj = tape.linear(att, layer.wo, layer.bo);
+            let proj = tape.dropout(proj, p, rng);
+            let res1 = tape.add(x, proj);
+            let h = tape.layer_norm(res1, layer.ln1_g, layer.ln1_b);
+
+            let f1 = tape.linear(h, layer.w1, layer.b1);
+            let act = tape.gelu(f1);
+            let f2 = tape.linear(act, layer.w2, layer.b2);
+            let f2 = tape.dropout(f2, p, rng);
+            let res2 = tape.add(h, f2);
+            x = tape.layer_norm(res2, layer.ln2_g, layer.ln2_b);
+        }
+        x
+    }
+}
+
+/// Builds an additive attention mask from a visibility predicate:
+/// `visible(i, j)` says whether token `i` may attend to token `j`.
+pub fn mask_from_fn(s: usize, visible: impl Fn(usize, usize) -> bool) -> AttnMask {
+    let mut m = vec![0.0f32; s * s];
+    for i in 0..s {
+        for j in 0..s {
+            if !visible(i, j) {
+                m[i * s + j] = MASK_NEG;
+            }
+        }
+    }
+    Arc::new(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doduo_tensor::{Gradients, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> (ParamStore, Encoder) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(&mut store, EncoderConfig::tiny(50), "enc", &mut rng);
+        (store, enc)
+    }
+
+    #[test]
+    fn forward_shape_is_seq_by_hidden() {
+        let (store, enc) = build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::inference(&store);
+        let out = enc.forward(&mut tape, &[2, 7, 8, 9, 3], None, &mut rng);
+        assert_eq!(tape.value(out).shape(), (5, 32));
+        assert!(!tape.value(out).has_non_finite());
+    }
+
+    #[test]
+    fn deterministic_in_inference_mode() {
+        let (store, enc) = build();
+        let ids = [2u32, 10, 11, 3];
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut tape = Tape::inference(&store);
+            let out = enc.forward(&mut tape, &ids, None, &mut rng);
+            tape.value(out).clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn contextual_embeddings_differ_with_context() {
+        // The same token id in two different contexts must get different
+        // representations — the polysemy property of §3.2.
+        let (store, enc) = build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tape = Tape::inference(&store);
+        let a = enc.forward(&mut tape, &[2, 20, 21, 3], None, &mut rng);
+        let b = enc.forward(&mut tape, &[2, 20, 35, 3], None, &mut rng);
+        let va = tape.value(a).row(1).to_vec();
+        let vb = tape.value(b).row(1).to_vec();
+        let diff: f32 = va.iter().zip(&vb).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "token 20 should be contextualized, diff={diff}");
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let (store, enc) = build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tape = Tape::inference(&store);
+        let out = enc.forward(&mut tape, &[2, 12, 13, 14, 3], None, &mut rng);
+        // Mean-pool to a scalar through a fake loss: select row 0 and BCE it.
+        let cls = tape.row_select(out, &[0]);
+        let t = Tensor::full(1, 32, 1.0);
+        let loss = tape.bce_logits(cls, &t);
+        let mut grads = Gradients::new(&store);
+        tape.backward(loss, &mut grads);
+        let with_grad = (0..store.len()).filter(|&p| grads.get(p).is_some()).count();
+        // Position embeddings beyond the sequence obviously get zero rows but
+        // the tensors themselves must all be touched.
+        assert_eq!(with_grad, store.len(), "every parameter should receive gradient");
+    }
+
+    #[test]
+    fn full_mask_equals_no_mask() {
+        let (store, enc) = build();
+        let ids = [2u32, 5, 6, 7, 3];
+        let mask = mask_from_fn(ids.len(), |_, _| true);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t1 = Tape::inference(&store);
+        let a = enc.forward(&mut t1, &ids, None, &mut rng);
+        let mut t2 = Tape::inference(&store);
+        let b = enc.forward(&mut t2, &ids, Some(&mask), &mut rng);
+        for (x, y) in t1.value(a).data().iter().zip(t2.value(b).data().iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn restrictive_mask_changes_output() {
+        let (store, enc) = build();
+        let ids = [2u32, 5, 6, 7, 3];
+        // Tokens only see themselves.
+        let mask = mask_from_fn(ids.len(), |i, j| i == j);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut t1 = Tape::inference(&store);
+        let a = enc.forward(&mut t1, &ids, None, &mut rng);
+        let mut t2 = Tape::inference(&store);
+        let b = enc.forward(&mut t2, &ids, Some(&mask), &mut rng);
+        let diff: f32 = t1
+            .value(a)
+            .data()
+            .iter()
+            .zip(t2.value(b).data().iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn oversized_sequence_panics() {
+        let (store, enc) = build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tape = Tape::inference(&store);
+        let ids = vec![5u32; 100];
+        enc.forward(&mut tape, &ids, None, &mut rng);
+    }
+
+    #[test]
+    fn attn_collection_yields_one_node_per_layer() {
+        let (store, enc) = build();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tape = Tape::inference(&store);
+        let mut nodes = Vec::new();
+        enc.forward_collect_attn(&mut tape, &[2, 5, 3], None, &mut rng, &mut nodes);
+        assert_eq!(nodes.len(), enc.config().layers);
+        let (probs, heads) = tape.mha_probs(nodes[0]).unwrap();
+        assert_eq!(heads, enc.config().heads);
+        // Each attention row sums to 1.
+        let s = 3;
+        for h in 0..heads {
+            for i in 0..s {
+                let sum: f32 = probs[h * s * s + i * s..h * s * s + (i + 1) * s].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # doduo-transformer
+//!
+//! A from-scratch, CPU-trainable BERT-style Transformer encoder — the
+//! "pre-trained language model" substrate of the DODUO reproduction
+//! (DESIGN.md §1 documents the BERT-base → miniature substitution).
+//!
+//! Provides:
+//! * [`EncoderConfig`] / [`Encoder`] — post-LN Transformer blocks with
+//!   learned position embeddings and optional attention visibility masks
+//!   (the TURL baseline's restricted attention).
+//! * [`MlmHead`], [`pretrain_mlm`] — BERT's masked-language-model objective
+//!   with the 80/10/10 masking recipe, so the LM stores retrievable factual
+//!   knowledge from its pretraining corpus.
+//! * [`pseudo_perplexity`] — the sequence-scoring function behind the
+//!   paper's LM-probing analysis (Tables 12-13, eq. 3).
+
+pub mod config;
+pub mod encoder;
+pub mod mlm;
+
+pub use config::EncoderConfig;
+pub use encoder::{mask_from_fn, Encoder};
+pub use mlm::{
+    mask_tokens, mlm_eval_loss, pretrain_mlm, pseudo_perplexity, MaskedExample, MlmConfig, MlmHead,
+};

@@ -1,0 +1,212 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction: serialization structure, tokenizer behavior, metric
+//! bounds, clustering-metric invariances, and autograd correctness on
+//! randomly shaped inputs.
+#![allow(clippy::needless_range_loop)]
+
+use doduo_eval::{
+    completeness, connected_components, homogeneity, multi_label_micro, v_measure,
+};
+use doduo_table::{serialize_table, Column, SerializeConfig, Table};
+use doduo_tensor::{Gradients, ParamStore, Tape, Tensor};
+use doduo_tokenizer::{TrainConfig, WordPiece, CLS, SEP};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}".prop_map(|s| s)
+}
+
+fn cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        word(),
+        "[0-9]{1,6}".prop_map(|s| s),
+        (word(), word()).prop_map(|(a, b)| format!("{a} {b}")),
+    ]
+}
+
+fn table() -> impl Strategy<Value = Table> {
+    (1usize..5, 1usize..5).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(proptest::collection::vec(cell(), rows..rows + 1), cols..cols + 1)
+            .prop_map(|columns| {
+                Table::new(
+                    "prop",
+                    columns.into_iter().map(Column::new).collect(),
+                )
+            })
+    })
+}
+
+fn shared_tokenizer() -> &'static WordPiece {
+    use std::sync::OnceLock;
+    static TOK: OnceLock<WordPiece> = OnceLock::new();
+    TOK.get_or_init(|| {
+        WordPiece::train(
+            // Every letter/digit both word-initial and as a continuation
+            // piece, so any [a-z0-9]+ word can be decomposed.
+            ["the quick brown fox jumps over the lazy dog",
+             "0 1 2 3 4 5 6 7 8 9",
+             "x0 x1 x2 x3 x4 x5 x6 x7 x8 x9",
+             "a b c d e f g h i j k l m n o p q r s t u v w x y z",
+             "xa xb xc xd xe xf xg xh xi xj xk xl xm xn xo xp xq xr xs xt xu xv xw xx xy xz"],
+            &TrainConfig { merges: 100, min_pair_count: 1, max_word_len: 24 },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serialize(T) structure (§4.2): one [CLS] per column at the recorded
+    /// positions, exactly one trailing [SEP], length within the cap, and
+    /// col_of_token aligned.
+    #[test]
+    fn serialization_structure_invariants(t in table(), budget in 1usize..40, cap in 16usize..128) {
+        let tok = shared_tokenizer();
+        let cfg = SerializeConfig::new(budget, cap);
+        let st = serialize_table(&t, tok, &cfg);
+        prop_assert_eq!(st.cls_positions.len(), t.n_cols());
+        prop_assert!(st.ids.len() <= cap);
+        prop_assert_eq!(st.ids.len(), st.col_of_token.len());
+        prop_assert_eq!(*st.ids.last().unwrap(), SEP);
+        prop_assert_eq!(st.ids.iter().filter(|&&i| i == CLS).count(), t.n_cols());
+        for (c, &p) in st.cls_positions.iter().enumerate() {
+            prop_assert_eq!(st.ids[p as usize], CLS);
+            prop_assert_eq!(st.col_of_token[p as usize], c as u32);
+        }
+        // Column ids are non-decreasing over the sequence (SEP sentinel at the end).
+        let cols: Vec<u32> = st.col_of_token[..st.col_of_token.len() - 1].to_vec();
+        prop_assert!(cols.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Tokenizer encodes never panic, never emit special ids, and decoding
+    /// known-alphabet words roundtrips.
+    #[test]
+    fn tokenizer_safety(text in proptest::collection::vec(word(), 1..6)) {
+        let tok = shared_tokenizer();
+        let joined = text.join(" ");
+        let ids = tok.encode(&joined);
+        prop_assert!(ids.iter().all(|&i| (i as usize) < tok.vocab_size()));
+        prop_assert!(ids.iter().all(|&i| i > 4 || i == doduo_tokenizer::UNK));
+        let decoded = tok.decode(&ids);
+        prop_assert_eq!(decoded, joined);
+    }
+
+    /// Micro F1 stays in [0,1], equals 1 iff predictions match gold sets.
+    #[test]
+    fn micro_f1_bounds(
+        labels in proptest::collection::vec(
+            (proptest::collection::vec(0u32..6, 1..3), proptest::collection::vec(0u32..6, 1..3)),
+            1..20
+        )
+    ) {
+        let pred: Vec<Vec<u32>> = labels.iter().map(|(p, _)| { let mut p = p.clone(); p.sort_unstable(); p.dedup(); p }).collect();
+        let gold: Vec<Vec<u32>> = labels.iter().map(|(_, g)| { let mut g = g.clone(); g.sort_unstable(); g.dedup(); g }).collect();
+        let m = multi_label_micro(&pred, &gold);
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        let self_match = multi_label_micro(&gold, &gold);
+        prop_assert!((self_match.f1 - 1.0).abs() < 1e-12);
+    }
+
+    /// V-measure is permutation-invariant in cluster ids and bounded.
+    #[test]
+    fn v_measure_invariances(assign in proptest::collection::vec(0usize..5, 2..30), offset in 1usize..7) {
+        let gold: Vec<usize> = assign.iter().map(|&a| a % 3).collect();
+        let pred = assign.clone();
+        let v = v_measure(&gold, &pred);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        // Relabeling predictions must not change any score.
+        let relabeled: Vec<usize> = pred.iter().map(|&p| (p + offset) * 13).collect();
+        prop_assert!((v_measure(&gold, &relabeled) - v).abs() < 1e-9);
+        prop_assert!((homogeneity(&gold, &relabeled) - homogeneity(&gold, &pred)).abs() < 1e-9);
+        prop_assert!((completeness(&gold, &relabeled) - completeness(&gold, &pred)).abs() < 1e-9);
+    }
+
+    /// Connected components: every match really merges, non-matches stay
+    /// apart (checked against a brute-force reachability).
+    #[test]
+    fn connected_components_correct(n in 2usize..12, edges in proptest::collection::vec((0usize..12, 0usize..12), 0..10)) {
+        let edges: Vec<(usize, usize)> = edges.into_iter()
+            .filter(|&(a, b)| a < n && b < n && a != b)
+            .collect();
+        let cc = connected_components(n, &edges);
+        // Brute force reachability.
+        let mut reach = vec![vec![false; n]; n];
+        for i in 0..n { reach[i][i] = true; }
+        for &(a, b) in &edges { reach[a][b] = true; reach[b][a] = true; }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(cc[i] == cc[j], reach[i][j], "nodes {} {}", i, j);
+            }
+        }
+    }
+
+    /// Autograd: analytic gradients of a random two-layer network match
+    /// finite differences for random shapes.
+    #[test]
+    fn autograd_matches_finite_differences(
+        rows in 1usize..4,
+        inner in 1usize..5,
+        classes in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let w = store.add_randn("w", 3, inner, 0.5, &mut rng);
+        let b = store.add_zeros("b", 1, inner);
+        let out = store.add_randn("out", inner, classes, 0.5, &mut rng);
+        let x = Tensor::randn(rows, 3, 1.0, &mut rng);
+        let targets: Vec<u32> = (0..rows).map(|i| (i % classes) as u32).collect();
+
+        let loss_fn = |store: &ParamStore| {
+            let mut tape = Tape::inference(store);
+            let xn = tape.input(x.clone());
+            let h = tape.linear(xn, w, b);
+            let a = tape.gelu(h);
+            let on = tape.param(out);
+            let logits = tape.matmul(a, on);
+            let l = tape.softmax_ce(logits, &targets);
+            tape.value(l).scalar_value()
+        };
+
+        let mut grads = Gradients::new(&store);
+        {
+            let mut tape = Tape::inference(&store);
+            let xn = tape.input(x.clone());
+            let h = tape.linear(xn, w, b);
+            let a = tape.gelu(h);
+            let on = tape.param(out);
+            let logits = tape.matmul(a, on);
+            let l = tape.softmax_ce(logits, &targets);
+            tape.backward(l, &mut grads);
+        }
+        // Check a few random scalars of `w` against central differences.
+        let eps = 1e-2f32;
+        for &i in &[0usize, (3 * inner - 1) / 2, 3 * inner - 1] {
+            let orig = store.get(w).data()[i];
+            store.get_mut(w).data_mut()[i] = orig + eps;
+            let up = loss_fn(&store);
+            store.get_mut(w).data_mut()[i] = orig - eps;
+            let down = loss_fn(&store);
+            store.get_mut(w).data_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grads.get(w).map_or(0.0, |g| g.data()[i]);
+            prop_assert!(
+                (numeric - analytic).abs() < 0.05 + 0.05 * numeric.abs().max(analytic.abs()),
+                "grad mismatch at {}: {} vs {}", i, numeric, analytic
+            );
+        }
+    }
+}
