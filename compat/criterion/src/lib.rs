@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], `criterion_group!` and
+//! `criterion_main!` — backed by a simple wall-clock loop: a short
+//! warm-up to pick an iteration count, then three timed passes reported
+//! as `min / median / max` ns per iteration. No statistics, plots, or
+//! baselines; the per-table experiment binaries carry the paper's
+//! numbers, these benches are for relative hot-path tracking.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work `iter_batched` setup amortizes; only affects batch
+/// sizing upstream, accepted here for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Target time for one measurement pass.
+const PASS_BUDGET: Duration = Duration::from_millis(60);
+const WARMUP_BUDGET: Duration = Duration::from_millis(20);
+const PASSES: usize = 3;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut passes = Vec::with_capacity(PASSES);
+        // Warm-up pass, run only to populate caches and JIT-ish effects.
+        f(&mut Bencher { mode: Mode::Calibrate(WARMUP_BUDGET), ns_per_iter: 0.0 });
+        for _ in 0..PASSES {
+            let mut b = Bencher { mode: Mode::Calibrate(PASS_BUDGET), ns_per_iter: 0.0 };
+            f(&mut b);
+            passes.push(b.ns_per_iter);
+        }
+        passes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(passes[0]),
+            fmt_ns(passes[PASSES / 2]),
+            fmt_ns(passes[PASSES - 1]),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+enum Mode {
+    /// Run for roughly this long, then report the mean.
+    Calibrate(Duration),
+}
+
+pub struct Bencher {
+    mode: Mode,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back until the pass budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let Mode::Calibrate(budget) = self.mode;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < budget {
+            black_box(routine());
+            iters += 1;
+            // Check the clock in growing strides so cheap routines are not
+            // dominated by `Instant::now` overhead.
+            if iters.is_power_of_two() || iters.is_multiple_of(1024) {
+                spent = start.elapsed();
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let Mode::Calibrate(budget) = self.mode;
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(black_box(input)));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = spent.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Mirrors `criterion::criterion_group!` (plain form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>())).bench_function(
+            "batched_reverse",
+            |b| {
+                b.iter_batched(
+                    || vec![1u32, 2, 3],
+                    |mut v| {
+                        v.reverse();
+                        v
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+}

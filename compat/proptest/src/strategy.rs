@@ -1,0 +1,276 @@
+//! Sampling-only strategies: each strategy draws one value per case from
+//! the shared seeded RNG; there is no shrink tree.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::StdRng;
+use rand::Rng;
+
+/// A generator of test values. Mirrors `proptest::strategy::Strategy`
+/// minus shrinking: `sample` plays the role of `new_tree` + `current`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof!: no arms");
+        Union { arms, _marker: PhantomData }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+}
+
+/// `&str` strategies: a pattern subset of sequences of atoms, each an
+/// optionally `{m,n}`/`{n}`-quantified character class (`[a-z0-9_]`) or
+/// literal character. Covers patterns like `"[a-z]{1,8}"`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.' | '\\'),
+                "unsupported regex feature {c:?} in pattern {pattern:?}",
+            );
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let parsed = match body.split_once(',') {
+                Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                None => {
+                    let n = body.trim().parse().unwrap();
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            parsed
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strategy_matches_class_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let s = "[a-z]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.len()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad char: {s:?}");
+            let d = "[0-9]{3}".sample(&mut rng);
+            assert_eq!(d.len(), 3);
+            assert!(d.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn union_and_combinators_produce_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = crate::prop_oneof![
+            "[a-z]{2}",
+            (1usize..4, 1usize..4).prop_map(|(a, b)| format!("{a}{b}")),
+        ];
+        for _ in 0..100 {
+            assert!(!s.sample(&mut rng).is_empty());
+        }
+        let v = crate::collection::vec(0u32..6, 1..20).sample(&mut rng);
+        assert!(!v.is_empty() && v.len() < 20);
+        assert!(v.iter().all(|&x| x < 6));
+    }
+}

@@ -91,11 +91,8 @@ impl FastText {
                 *counts.entry(w.clone()).or_insert(0) += 1;
             }
         }
-        let mut words: Vec<String> = counts
-            .iter()
-            .filter(|(_, &c)| c >= cfg.min_count)
-            .map(|(w, _)| w.clone())
-            .collect();
+        let mut words: Vec<String> =
+            counts.iter().filter(|(_, &c)| c >= cfg.min_count).map(|(w, _)| w.clone()).collect();
         words.sort_unstable();
         let vocab: HashMap<String, usize> =
             words.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
@@ -125,8 +122,7 @@ impl FastText {
         for epoch in 0..cfg.epochs {
             let lr = cfg.lr * (1.0 - epoch as f32 / cfg.epochs as f32).max(0.1);
             for line in &token_lines {
-                let ids: Vec<&String> =
-                    line.iter().filter(|w| vocab.contains_key(*w)).collect();
+                let ids: Vec<&String> = line.iter().filter(|w| vocab.contains_key(*w)).collect();
                 for (i, center) in ids.iter().enumerate() {
                     let buckets = ngram_buckets_cfg(center, &cfg);
                     // Compose the center vector from its n-gram buckets.
@@ -329,7 +325,10 @@ mod tests {
         assert!(oov.iter().any(|&v| v != 0.0));
         let sim = cosine(&oov, &ft.embed_word("football"));
         let far = cosine(&oov, &ft.embed_word("quarter"));
-        assert!(sim > far, "subword sharing should make footballer~football ({sim}) > ~quarter ({far})");
+        assert!(
+            sim > far,
+            "subword sharing should make footballer~football ({sim}) > ~quarter ({far})"
+        );
     }
 
     #[test]

@@ -39,9 +39,7 @@ pub struct Lda {
 }
 
 fn tokenize(doc: &str) -> impl Iterator<Item = String> + '_ {
-    doc.split(|c: char| !c.is_alphanumeric())
-        .filter(|w| w.len() >= 2)
-        .map(|w| w.to_lowercase())
+    doc.split(|c: char| !c.is_alphanumeric()).filter(|w| w.len() >= 2).map(|w| w.to_lowercase())
 }
 
 impl Lda {
@@ -54,11 +52,8 @@ impl Lda {
                 *counts.entry(w).or_insert(0) += 1;
             }
         }
-        let mut words: Vec<String> = counts
-            .iter()
-            .filter(|(_, &c)| c >= cfg.min_count)
-            .map(|(w, _)| w.clone())
-            .collect();
+        let mut words: Vec<String> =
+            counts.iter().filter(|(_, &c)| c >= cfg.min_count).map(|(w, _)| w.clone()).collect();
         words.sort_unstable();
         let vocab: HashMap<String, usize> =
             words.into_iter().enumerate().map(|(i, w)| (w, i)).collect();
@@ -142,8 +137,7 @@ impl Lda {
     pub fn infer(&self, doc: &str) -> Vec<f32> {
         let k = self.cfg.n_topics;
         let v = self.vocab.len().max(1);
-        let words: Vec<usize> =
-            tokenize(doc).filter_map(|w| self.vocab.get(&w).copied()).collect();
+        let words: Vec<usize> = tokenize(doc).filter_map(|w| self.vocab.get(&w).copied()).collect();
         if words.is_empty() {
             return vec![1.0 / k as f32; k];
         }
@@ -206,7 +200,8 @@ mod tests {
 
     #[test]
     fn topics_separate_distinct_domains() {
-        let lda = Lda::fit(&corpus(), LdaConfig { n_topics: 4, iterations: 80, ..Default::default() });
+        let lda =
+            Lda::fit(&corpus(), LdaConfig { n_topics: 4, iterations: 80, ..Default::default() });
         let sports = lda.infer("player scored goals for the team in the match");
         let finance = lda.infer("the stock price and quarterly earnings beat the market");
         // Dominant topics must differ.

@@ -32,11 +32,8 @@ fn column(tables: &[Table], r: ColumnRef) -> &Column {
 
 /// Character-trigram set of a lower-cased identifier.
 fn trigrams(s: &str) -> std::collections::HashSet<String> {
-    let norm: String = s
-        .to_lowercase()
-        .chars()
-        .map(|c| if c.is_alphanumeric() { c } else { '_' })
-        .collect();
+    let norm: String =
+        s.to_lowercase().chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
     let padded = format!("__{norm}__");
     let chars: Vec<char> = padded.chars().collect();
     chars.windows(3).map(|w| w.iter().collect()).collect()
@@ -105,10 +102,9 @@ pub fn coma_matches(tables: &[Table], threshold: f64) -> Vec<(usize, usize)> {
             if cols[i].table == cols[j].table {
                 continue; // matchers compare across tables
             }
-            let (Some(na), Some(nb)) = (
-                column(tables, cols[i]).name.as_deref(),
-                column(tables, cols[j]).name.as_deref(),
-            ) else {
+            let (Some(na), Some(nb)) =
+                (column(tables, cols[i]).name.as_deref(), column(tables, cols[j]).name.as_deref())
+            else {
                 continue;
             };
             if name_similarity(na, nb) >= threshold {
@@ -146,9 +142,7 @@ fn signature(col: &Column) -> Signature {
             return Signature::Categorical(Default::default());
         }
         let q = |p: f64| vals[((vals.len() - 1) as f64 * p).round() as usize];
-        Signature::Numeric {
-            quantiles: vec![q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
-        }
+        Signature::Numeric { quantiles: vec![q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)] }
     } else {
         Signature::Categorical(col.values.iter().map(|v| v.to_lowercase()).collect())
     }

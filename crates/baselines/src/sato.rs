@@ -79,15 +79,13 @@ impl Sato {
         let docs: Vec<String> = train_ds.tables.iter().map(table_document).collect();
         let lda = Lda::fit(&docs, cfg.lda.clone());
 
-        let examples: Vec<ColumnExample> = train_ds
-            .tables
-            .iter()
-            .flat_map(|at| featurize_with_topics(at, &lda))
-            .collect();
+        let examples: Vec<ColumnExample> =
+            train_ds.tables.iter().flat_map(|at| featurize_with_topics(at, &lda)).collect();
         let input_dim = crate::features::FEATURE_DIMS + lda.n_topics();
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(cfg.mlp.seed);
-        let mlp = Sherlock::with_input_dim(&mut store, input_dim, n_classes, cfg.mlp.clone(), &mut rng);
+        let mlp =
+            Sherlock::with_input_dim(&mut store, input_dim, n_classes, cfg.mlp.clone(), &mut rng);
         mlp.train(&mut store, &examples);
 
         // Transition counts between adjacent columns (both directions).
@@ -176,18 +174,14 @@ impl Sato {
     /// Micro P/R/F1 over a dataset.
     pub fn evaluate(&self, ds: &Dataset) -> Prf {
         let pred = self.predict(ds);
-        let gold: Vec<Vec<u32>> = ds
-            .tables
-            .iter()
-            .flat_map(|at| at.col_types.iter().map(|g| vec![g[0]]))
-            .collect();
+        let gold: Vec<Vec<u32>> =
+            ds.tables.iter().flat_map(|at| at.col_types.iter().map(|g| vec![g[0]])).collect();
         multi_label_micro(&pred, &gold)
     }
 
     /// Single-label predictions (for macro-F1 / per-class reporting).
     pub fn predict_single(&self, ds: &Dataset) -> (Vec<u32>, Vec<u32>) {
-        let pred: Vec<u32> =
-            ds.tables.iter().flat_map(|at| self.predict_table(at)).collect();
+        let pred: Vec<u32> = ds.tables.iter().flat_map(|at| self.predict_table(at)).collect();
         let gold: Vec<u32> =
             ds.tables.iter().flat_map(|at| at.col_types.iter().map(|g| g[0])).collect();
         (pred, gold)

@@ -9,9 +9,7 @@
 use crate::features::{column_features, FEATURE_DIMS};
 use doduo_eval::{multi_label_micro, Prf};
 use doduo_table::Dataset;
-use doduo_tensor::{
-    accumulate_parallel, Adam, LrSchedule, ParamId, ParamStore, Tape, Tensor,
-};
+use doduo_tensor::{accumulate_parallel, Adam, LrSchedule, ParamId, ParamStore, Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -136,8 +134,7 @@ impl Sherlock {
         assert!(!examples.is_empty(), "no training columns");
         let cfg = &self.cfg;
         let steps = cfg.epochs * examples.len().div_ceil(cfg.batch_size);
-        let mut opt =
-            Adam::new(store, LrSchedule::LinearDecay { lr0: cfg.lr, total_steps: steps });
+        let mut opt = Adam::new(store, LrSchedule::LinearDecay { lr0: cfg.lr, total_steps: steps });
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut losses = Vec::with_capacity(cfg.epochs);
@@ -205,12 +202,8 @@ impl Sherlock {
 
 fn decode(logits: &[f32], multi_label: bool) -> Vec<u32> {
     if multi_label {
-        let mut out: Vec<u32> = logits
-            .iter()
-            .enumerate()
-            .filter(|&(_, &z)| z > 0.0)
-            .map(|(i, _)| i as u32)
-            .collect();
+        let mut out: Vec<u32> =
+            logits.iter().enumerate().filter(|&(_, &z)| z > 0.0).map(|(i, _)| i as u32).collect();
         if out.is_empty() {
             out.push(argmax(logits));
         }
@@ -261,10 +254,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = SherlockConfig { multi_label: true, ..Default::default() };
         let model = Sherlock::new(&mut store, 5, cfg, &mut rng);
-        let ex = ColumnExample {
-            features: vec![0.1; FEATURE_DIMS],
-            gold: vec![0],
-        };
+        let ex = ColumnExample { features: vec![0.1; FEATURE_DIMS], gold: vec![0] };
         let pred = model.predict(&store, &[ex]);
         assert!(!pred[0].is_empty());
     }

@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use doduo_baselines::column_features;
-use doduo_datagen::{generate_viznet, generate_wikitable, KbConfig, KnowledgeBase, VizNetConfig, WikiTableConfig};
+use doduo_datagen::{
+    generate_viznet, generate_wikitable, KbConfig, KnowledgeBase, VizNetConfig, WikiTableConfig,
+};
 use doduo_eval::kmeans;
 use doduo_table::{serialize_table, SerializeConfig};
 use doduo_tensor::{matmul, ParamStore, Tape, Tensor};
@@ -58,7 +60,11 @@ fn bench_tokenize_and_serialize(c: &mut Criterion) {
         &TrainConfig { merges: 500, min_pair_count: 2, max_word_len: 32 },
     );
     c.bench_function("wordpiece_encode_sentence", |bench| {
-        bench.iter(|| black_box(tok.encode(black_box("george miller directed the crimson horizon in westoria"))))
+        bench.iter(|| {
+            black_box(
+                tok.encode(black_box("george miller directed the crimson horizon in westoria")),
+            )
+        })
     });
     let cfg = SerializeConfig::new(32, 192);
     c.bench_function("serialize_table_32tok", |bench| {

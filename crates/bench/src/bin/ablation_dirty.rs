@@ -56,7 +56,10 @@ fn main() {
     let heavy = series[2].1;
     r.check("mild corruption degrades gracefully (≤ 15 F1 points)", clean - mild < 0.15);
     r.check("degradation is monotone in corruption", clean >= mild && mild >= heavy);
-    r.check("heavy corruption does not collapse the model (≥ half of clean F1)", heavy > clean * 0.5);
+    r.check(
+        "heavy corruption does not collapse the model (≥ half of clean F1)",
+        heavy > clean * 0.5,
+    );
     r.print();
     eprintln!("[ablation_dirty] total elapsed {:?}", world.elapsed());
 }

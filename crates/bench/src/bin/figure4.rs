@@ -18,8 +18,7 @@ fn main() {
     let cfg = world.train_config();
     let both = [Task::ColumnType, Task::ColumnRelation];
 
-    let turl =
-        world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &both, true, &cfg);
+    let turl = world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &both, true, &cfg);
 
     let fracs = [0.10, 0.25, 0.50, 1.00];
     let mut r = Report::new(
@@ -72,13 +71,7 @@ fn main() {
         let d_r = doduo.scores.rel_micro.map(|x| x.f1).unwrap_or(f64::NAN);
         let s_t = dosolo_t.scores.type_micro.f1;
         let s_r = dosolo_r.scores.rel_micro.map(|x| x.f1).unwrap_or(f64::NAN);
-        r.row(&[
-            format!("{:.0}%", frac * 100.0),
-            pct(d_t),
-            pct(s_t),
-            pct(d_r),
-            pct(s_r),
-        ]);
+        r.row(&[format!("{:.0}%", frac * 100.0), pct(d_t), pct(s_t), pct(d_r), pct(s_r)]);
         series.push((frac, d_t, s_t, d_r, s_r));
     }
     r.row(&[

@@ -61,8 +61,7 @@ fn main() {
         let (doduo_f1, sato_f1, support) = variant(&world, splits, tag);
         let vocab = &splits.train.type_vocab;
         // Sort classes by Doduo F1 descending, as the figure does.
-        let mut order: Vec<usize> =
-            (0..vocab.len()).filter(|&c| support[c] > 0).collect();
+        let mut order: Vec<usize> = (0..vocab.len()).filter(|&c| support[c] > 0).collect();
         order.sort_by(|&a, &b| doduo_f1[b].partial_cmp(&doduo_f1[a]).expect("finite"));
 
         let mut r = Report::new(title, &["class", "support", "Doduo F1", "Sato F1"]);

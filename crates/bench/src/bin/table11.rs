@@ -50,14 +50,7 @@ fn main() {
         let (p, g) = preds.single_label();
         let micro = doduo_eval::multi_class_micro(&p, &g).f1;
         let mac = macro_f1(&p, &g, n_types);
-        r.row(&[
-            name.into(),
-            budget.to_string(),
-            pct(mac),
-            pct(micro),
-            pm.into(),
-            pi.into(),
-        ]);
+        r.row(&[name.into(), budget.to_string(), pct(mac), pct(micro), pm.into(), pi.into()]);
         measured.push((name, budget, mac, micro));
     }
 
@@ -65,16 +58,15 @@ fn main() {
         let doduo = measured.iter().find(|m| m.0 == "Doduo" && m.1 == budget).unwrap();
         let scol = measured.iter().find(|m| m.0 == "DosoloSCol" && m.1 == budget).unwrap();
         r.check(
-            format!("budget {budget}: Doduo micro > DosoloSCol micro (paper holds at every budget)"),
+            format!(
+                "budget {budget}: Doduo micro > DosoloSCol micro (paper holds at every budget)"
+            ),
             doduo.3 > scol.3,
         );
     }
     let d8 = measured.iter().find(|m| m.0 == "Doduo" && m.1 == 8).unwrap();
     let d32 = measured.iter().find(|m| m.0 == "Doduo" && m.1 == 32).unwrap();
-    r.check(
-        "Doduo@8 already close to Doduo@32 micro (paper: 92.5 vs 94.2)",
-        d32.3 - d8.3 < 0.1,
-    );
+    r.check("Doduo@8 already close to Doduo@32 micro (paper: 92.5 vs 94.2)", d32.3 - d8.3 < 0.1);
     r.print();
     eprintln!("[table11] total elapsed {:?}", world.elapsed());
 }

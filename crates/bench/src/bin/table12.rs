@@ -57,24 +57,84 @@ fn main() {
     };
 
     let type_classes: Vec<(&str, &str, Vec<String>)> = vec![
-        ("government.election", "election", sample(&mut rng, kb.elections.iter().map(|e| format!("the {}", e.name)).collect(), SAMPLES_PER_CLASS)),
-        ("geography.river", "river", sample(&mut rng, kb.rivers.iter().map(|r| r.name.clone()).collect(), SAMPLES_PER_CLASS)),
+        (
+            "government.election",
+            "election",
+            sample(
+                &mut rng,
+                kb.elections.iter().map(|e| format!("the {}", e.name)).collect(),
+                SAMPLES_PER_CLASS,
+            ),
+        ),
+        (
+            "geography.river",
+            "river",
+            sample(&mut rng, kb.rivers.iter().map(|r| r.name.clone()).collect(), SAMPLES_PER_CLASS),
+        ),
         ("religion.religion", "religion", kb.religions.iter().map(|s| s.to_string()).collect()),
         ("book.author", "author", people_with(Profession::Author, &mut rng)),
-        ("education.university", "university", sample(&mut rng, kb.universities.iter().map(|u| u.name.clone()).collect(), SAMPLES_PER_CLASS)),
-        ("film.film", "film", sample(&mut rng, kb.films.iter().map(|f| f.title.clone()).collect(), SAMPLES_PER_CLASS)),
+        (
+            "education.university",
+            "university",
+            sample(
+                &mut rng,
+                kb.universities.iter().map(|u| u.name.clone()).collect(),
+                SAMPLES_PER_CLASS,
+            ),
+        ),
+        (
+            "film.film",
+            "film",
+            sample(&mut rng, kb.films.iter().map(|f| f.title.clone()).collect(), SAMPLES_PER_CLASS),
+        ),
         ("film.director", "director", people_with(Profession::Director, &mut rng)),
         ("film.producer", "producer", people_with(Profession::Producer, &mut rng)),
-        ("location.citytown", "city", sample(&mut rng, kb.cities.iter().map(|c| c.name.clone()).collect(), SAMPLES_PER_CLASS)),
-        ("location.country", "country", sample(&mut rng, kb.countries.iter().map(|c| c.name.clone()).collect(), SAMPLES_PER_CLASS)),
-        ("sports.sports_team", "team", sample(&mut rng, kb.teams.iter().map(|t| t.name.clone()).collect(), SAMPLES_PER_CLASS)),
+        (
+            "location.citytown",
+            "city",
+            sample(&mut rng, kb.cities.iter().map(|c| c.name.clone()).collect(), SAMPLES_PER_CLASS),
+        ),
+        (
+            "location.country",
+            "country",
+            sample(
+                &mut rng,
+                kb.countries.iter().map(|c| c.name.clone()).collect(),
+                SAMPLES_PER_CLASS,
+            ),
+        ),
+        (
+            "sports.sports_team",
+            "team",
+            sample(&mut rng, kb.teams.iter().map(|t| t.name.clone()).collect(), SAMPLES_PER_CLASS),
+        ),
         ("music.artist", "artist", people_with(Profession::MusicArtist, &mut rng)),
-        ("book.book", "book", sample(&mut rng, kb.books.iter().map(|b| b.title.clone()).collect(), SAMPLES_PER_CLASS)),
+        (
+            "book.book",
+            "book",
+            sample(&mut rng, kb.books.iter().map(|b| b.title.clone()).collect(), SAMPLES_PER_CLASS),
+        ),
         ("royalty.monarch", "monarch", people_with(Profession::Monarch, &mut rng)),
-        ("astronomy.constellation", "constellation", kb.constellations.iter().take(SAMPLES_PER_CLASS).map(|s| s.to_string()).collect()),
-        ("law.invention", "invention", kb.inventions.iter().take(SAMPLES_PER_CLASS).map(|i| i.name.clone()).collect()),
-        ("biology.organism", "organism", kb.organisms.iter().take(SAMPLES_PER_CLASS).map(|s| format!("the {s}")).collect()),
-        ("royalty.kingdom", "kingdom", kb.kingdoms.iter().take(SAMPLES_PER_CLASS).map(|k| format!("the {}", k.name)).collect()),
+        (
+            "astronomy.constellation",
+            "constellation",
+            kb.constellations.iter().take(SAMPLES_PER_CLASS).map(|s| s.to_string()).collect(),
+        ),
+        (
+            "law.invention",
+            "invention",
+            kb.inventions.iter().take(SAMPLES_PER_CLASS).map(|i| i.name.clone()).collect(),
+        ),
+        (
+            "biology.organism",
+            "organism",
+            kb.organisms.iter().take(SAMPLES_PER_CLASS).map(|s| format!("the {s}")).collect(),
+        ),
+        (
+            "royalty.kingdom",
+            "kingdom",
+            kb.kingdoms.iter().take(SAMPLES_PER_CLASS).map(|k| format!("the {}", k.name)).collect(),
+        ),
     ];
     let candidates: Vec<&str> = type_classes.iter().map(|c| c.1).collect();
 
@@ -116,10 +176,15 @@ fn main() {
     }
     // The paper's tiering: frequent-domain classes probe better than the
     // rare tier (monarch / constellation / invention / organism / kingdom).
-    let rare = ["royalty.monarch", "astronomy.constellation", "law.invention", "biology.organism", "royalty.kingdom"];
+    let rare = [
+        "royalty.monarch",
+        "astronomy.constellation",
+        "law.invention",
+        "biology.organism",
+        "royalty.kingdom",
+    ];
     let mean = |pred: &dyn Fn(&str) -> bool| {
-        let xs: Vec<f64> =
-            stats.iter().filter(|s| pred(&s.class)).map(|s| s.avg_rank).collect();
+        let xs: Vec<f64> = stats.iter().filter(|s| pred(&s.class)).map(|s| s.avg_rank).collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let rare_mean = mean(&|c: &str| rare.contains(&c));
@@ -139,37 +204,96 @@ fn main() {
     // ---- Column relations.
     let person = |i: usize| kb.people[i].name.clone();
     let mut rel_items: Vec<(String, String, String)> = Vec::new(); // (class, subj, obj)
-    let push_rel = |items: &mut Vec<(String, String, String)>, class: &str, pairs: Vec<(String, String)>| {
-        for (a, b) in pairs.into_iter().take(SAMPLES_PER_CLASS) {
-            items.push((class.to_string(), a, b));
-        }
-    };
-    push_rel(&mut rel_items, "people.person.place_of_birth",
-        kb.people.iter().map(|p| (p.name.clone(), kb.city_name(p.birth_city).to_string())).collect());
-    push_rel(&mut rel_items, "people.person.place_lived",
-        kb.people.iter().map(|p| (p.name.clone(), kb.city_name(p.lived_city).to_string())).collect());
-    push_rel(&mut rel_items, "film.film.directed_by",
-        kb.films.iter().map(|f| (f.title.clone(), person(f.directors[0]))).collect());
-    push_rel(&mut rel_items, "film.film.produced_by",
-        kb.films.iter().map(|f| (f.title.clone(), person(f.producers[0]))).collect());
-    push_rel(&mut rel_items, "book.book.author",
-        kb.books.iter().map(|b| (b.title.clone(), person(b.author))).collect());
-    push_rel(&mut rel_items, "sports.pro_athlete.teams",
-        kb.people.iter().filter(|p| p.team.is_some())
-            .map(|p| (p.name.clone(), kb.teams[p.team.expect("filtered")].name.clone())).collect());
-    push_rel(&mut rel_items, "location.location.containedby",
-        kb.cities.iter().map(|c| (c.name.clone(), kb.country_name(c.country).to_string())).collect());
-    push_rel(&mut rel_items, "location.country.languages_spoken",
-        kb.countries.iter().map(|c| (c.language.clone(), c.name.clone())).collect());
-    push_rel(&mut rel_items, "award.award_honor.award_winner",
-        kb.awards.iter().map(|a| (format!("the {}", a.name), person(a.winner))).collect());
-    push_rel(&mut rel_items, "location.location.nearby_airports",
-        kb.cities.iter().filter_map(|c| c.airport.clone().map(|a| (a, c.name.clone()))).collect());
-    push_rel(&mut rel_items, "baseball.baseball_player.position_s",
-        kb.people_with(Profession::BaseballPlayer).iter()
-            .map(|&i| (kb.people[i].name.clone(), kb.people[i].position.clone().expect("players have positions"))).collect());
-    push_rel(&mut rel_items, "tv.tv_program.country_of_origin",
-        kb.tv_programs.iter().map(|t| (t.name.clone(), kb.country_name(t.country).to_string())).collect());
+    let push_rel =
+        |items: &mut Vec<(String, String, String)>, class: &str, pairs: Vec<(String, String)>| {
+            for (a, b) in pairs.into_iter().take(SAMPLES_PER_CLASS) {
+                items.push((class.to_string(), a, b));
+            }
+        };
+    push_rel(
+        &mut rel_items,
+        "people.person.place_of_birth",
+        kb.people
+            .iter()
+            .map(|p| (p.name.clone(), kb.city_name(p.birth_city).to_string()))
+            .collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "people.person.place_lived",
+        kb.people
+            .iter()
+            .map(|p| (p.name.clone(), kb.city_name(p.lived_city).to_string()))
+            .collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "film.film.directed_by",
+        kb.films.iter().map(|f| (f.title.clone(), person(f.directors[0]))).collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "film.film.produced_by",
+        kb.films.iter().map(|f| (f.title.clone(), person(f.producers[0]))).collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "book.book.author",
+        kb.books.iter().map(|b| (b.title.clone(), person(b.author))).collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "sports.pro_athlete.teams",
+        kb.people
+            .iter()
+            .filter(|p| p.team.is_some())
+            .map(|p| (p.name.clone(), kb.teams[p.team.expect("filtered")].name.clone()))
+            .collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "location.location.containedby",
+        kb.cities
+            .iter()
+            .map(|c| (c.name.clone(), kb.country_name(c.country).to_string()))
+            .collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "location.country.languages_spoken",
+        kb.countries.iter().map(|c| (c.language.clone(), c.name.clone())).collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "award.award_honor.award_winner",
+        kb.awards.iter().map(|a| (format!("the {}", a.name), person(a.winner))).collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "location.location.nearby_airports",
+        kb.cities.iter().filter_map(|c| c.airport.clone().map(|a| (a, c.name.clone()))).collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "baseball.baseball_player.position_s",
+        kb.people_with(Profession::BaseballPlayer)
+            .iter()
+            .map(|&i| {
+                (
+                    kb.people[i].name.clone(),
+                    kb.people[i].position.clone().expect("players have positions"),
+                )
+            })
+            .collect(),
+    );
+    push_rel(
+        &mut rel_items,
+        "tv.tv_program.country_of_origin",
+        kb.tv_programs
+            .iter()
+            .map(|t| (t.name.clone(), kb.country_name(t.country).to_string()))
+            .collect(),
+    );
 
     // Phrase verbalizations (the paper manually converts relation names).
     let phrases: Vec<(&str, &str)> = vec![

@@ -78,7 +78,9 @@ fn main() {
     }
 
     // Corpus-verbalized types should out-probe never-verbalized ones.
-    let verbalized = ["city", "country", "team", "religion", "genre", "person", "director", "artist", "language"];
+    let verbalized = [
+        "city", "country", "team", "religion", "genre", "person", "director", "artist", "language",
+    ];
     let mean = |pred: &dyn Fn(&str) -> bool| {
         let xs: Vec<f64> = stats.iter().filter(|s| pred(&s.class)).map(|s| s.avg_rank).collect();
         if xs.is_empty() {
@@ -98,7 +100,8 @@ fn main() {
     );
     r.check(
         "top-5 normalized PPL < bottom-5 normalized PPL (paper: 0.80-0.84 vs 1.15-1.33)",
-        top.iter().map(|s| s.avg_norm_ppl).sum::<f64>() < bottom.iter().map(|s| s.avg_norm_ppl).sum::<f64>(),
+        top.iter().map(|s| s.avg_norm_ppl).sum::<f64>()
+            < bottom.iter().map(|s| s.avg_norm_ppl).sum::<f64>(),
     );
     r.print();
     eprintln!("[table13] total elapsed {:?}", world.elapsed());

@@ -21,8 +21,7 @@ fn main() {
     let tasks = [Task::ColumnType, Task::ColumnRelation];
 
     // Sherlock: single-column, feature-engineered, type task only.
-    let (sher_pred, sher_gold) =
-        run_sherlock(&splits, true, world.opts.scale, world.opts.seed);
+    let (sher_pred, sher_gold) = run_sherlock(&splits, true, world.opts.scale, world.opts.seed);
     let sherlock = multi_label_micro(&sher_pred, &sher_gold);
 
     let turl = world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &tasks, true, &cfg);
@@ -75,8 +74,14 @@ fn main() {
 
     let d = &doduo.scores;
     let t = &turl.scores;
-    r.check("Doduo type F1 > TURL type F1 (paper: 92.45 > 88.86)", d.type_micro.f1 > t.type_micro.f1);
-    r.check("Doduo type F1 > Sherlock type F1 (paper: 92.45 > 78.47)", d.type_micro.f1 > sherlock.f1);
+    r.check(
+        "Doduo type F1 > TURL type F1 (paper: 92.45 > 88.86)",
+        d.type_micro.f1 > t.type_micro.f1,
+    );
+    r.check(
+        "Doduo type F1 > Sherlock type F1 (paper: 92.45 > 78.47)",
+        d.type_micro.f1 > sherlock.f1,
+    );
     r.check(
         "Doduo rel F1 >= TURL rel F1 (paper: 91.72 > 90.94)",
         d.rel_micro.unwrap().f1 >= t.rel_micro.unwrap().f1,

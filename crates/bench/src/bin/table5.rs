@@ -8,9 +8,9 @@
 use doduo_bench::report::{pct, Report};
 use doduo_bench::{ExpOptions, ModelSpec, World};
 use doduo_core::{predict_types, prepare, Task};
+use doduo_datagen::NUMERIC_STRESS_TYPES;
 use doduo_eval::per_class_prf;
 use doduo_table::is_numeric_like;
-use doduo_datagen::NUMERIC_STRESS_TYPES;
 
 fn main() {
     let opts = ExpOptions::from_args();

@@ -17,8 +17,7 @@ fn main() {
     let cfg = world.train_config();
     let both = [Task::ColumnType, Task::ColumnRelation];
 
-    let doduo =
-        world.trained_model("wiki-doduo", &ModelSpec::doduo(), &splits, &both, true, &cfg);
+    let doduo = world.trained_model("wiki-doduo", &ModelSpec::doduo(), &splits, &both, true, &cfg);
 
     // Shuffled variants: the permutations are applied to train/valid/test
     // alike, as in the paper ("trained and evaluated Doduo on two versions").
@@ -29,10 +28,22 @@ fn main() {
     };
     let rows_splits = shuf(true, false, 0xa0);
     let cols_splits = shuf(false, true, 0xc0);
-    let shuf_rows =
-        world.trained_model("wiki-doduo-shufrows", &ModelSpec::doduo(), &rows_splits, &both, true, &cfg);
-    let shuf_cols =
-        world.trained_model("wiki-doduo-shufcols", &ModelSpec::doduo(), &cols_splits, &both, true, &cfg);
+    let shuf_rows = world.trained_model(
+        "wiki-doduo-shufrows",
+        &ModelSpec::doduo(),
+        &rows_splits,
+        &both,
+        true,
+        &cfg,
+    );
+    let shuf_cols = world.trained_model(
+        "wiki-doduo-shufcols",
+        &ModelSpec::doduo(),
+        &cols_splits,
+        &both,
+        true,
+        &cfg,
+    );
 
     // Dosolo: same architecture, single task each.
     let dosolo_type = world.trained_model(
@@ -74,7 +85,13 @@ fn main() {
         &["method", "type F1", "rel F1", "paper type", "paper rel"],
     );
     let rel = |s: &doduo_core::EvalScores| s.rel_micro.map(|x| pct(x.f1)).unwrap_or("-".into());
-    r.row(&["Doduo".into(), pct(doduo.scores.type_micro.f1), rel(&doduo.scores), "92.5".into(), "91.9".into()]);
+    r.row(&[
+        "Doduo".into(),
+        pct(doduo.scores.type_micro.f1),
+        rel(&doduo.scores),
+        "92.5".into(),
+        "91.9".into(),
+    ]);
     r.row(&[
         "w/ shuffled rows".into(),
         pct(shuf_rows.scores.type_micro.f1),

@@ -21,8 +21,7 @@ fn main() {
         &[(8, "89.8", "88.9", 56), (16, "91.4", "90.7", 30), (32, "92.4", "91.7", 15)];
 
     // TURL reference for the "8 tokens already beat TURL" claim.
-    let turl =
-        world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &both, true, &cfg);
+    let turl = world.trained_model("wiki-turl", &ModelSpec::turl(), &splits, &both, true, &cfg);
 
     let mut r = Report::new(
         "Table 8: MaxToken/col sweep on WikiTable (paper vs measured)",
@@ -46,8 +45,7 @@ fn main() {
             true,
             &cfg,
         );
-        let ours_cols =
-            SerializeConfig::new(budget, world.lm.config.max_seq).max_supported_cols();
+        let ours_cols = SerializeConfig::new(budget, world.lm.config.max_seq).max_supported_cols();
         r.row(&[
             budget.to_string(),
             pct(m.scores.type_micro.f1),

@@ -49,7 +49,10 @@ fn main() {
         rel_vocab: &splits.train.rel_vocab,
     };
 
-    let study = generate_case_study(&world.kb, &CaseStudyConfig { seed: world.opts.seed, ..Default::default() });
+    let study = generate_case_study(
+        &world.kb,
+        &CaseStudyConfig { seed: world.opts.seed, ..Default::default() },
+    );
     let gold: Vec<usize> = study.columns.iter().map(|c| c.cluster as usize).collect();
     let k = doduo_datagen::ALL_CLUSTERS.len();
     let n_cols = gold.len();
@@ -68,8 +71,10 @@ fn main() {
     }
 
     // --- fastText embeddings (trained on the same pretraining corpus).
-    let corpus = generate_corpus(&world.kb, &CorpusConfig { seed: world.opts.seed, ..Default::default() });
-    let ft = FastText::train(&corpus, FastTextConfig { seed: world.opts.seed, ..Default::default() });
+    let corpus =
+        generate_corpus(&world.kb, &CorpusConfig { seed: world.opts.seed, ..Default::default() });
+    let ft =
+        FastText::train(&corpus, FastTextConfig { seed: world.opts.seed, ..Default::default() });
     let mut ft_value_embs = Vec::with_capacity(n_cols);
     let mut ft_name_embs = Vec::with_capacity(n_cols);
     for table in &study.tables {

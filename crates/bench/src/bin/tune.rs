@@ -17,6 +17,10 @@ fn main() {
         ("scol-type", ModelSpec::single_column(), &[Task::ColumnType][..]),
     ] {
         let m = world.trained_model(name, &spec, &splits, tasks, true, &cfg);
-        eprintln!("== {name}: test type F1 {:.3} rel {:?}", m.scores.type_micro.f1, m.scores.rel_micro.map(|r| (r.f1*1000.0).round()/1000.0));
+        eprintln!(
+            "== {name}: test type F1 {:.3} rel {:?}",
+            m.scores.type_micro.f1,
+            m.scores.rel_micro.map(|r| (r.f1 * 1000.0).round() / 1000.0)
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! Run e.g. `cargo run --release -p doduo-bench --bin table3 -- --scale quick`.
 
 use doduo_core::{
-    build_finetune_model, evaluate, pretrain_lm, prepare, train, AttentionMode, DoduoConfig,
+    build_finetune_model, evaluate, prepare, pretrain_lm, train, AttentionMode, DoduoConfig,
     DoduoModel, EvalScores, InputMode, PretrainRecipe, PretrainedLm, Task, TrainConfig,
 };
 use doduo_datagen::{
@@ -138,13 +138,12 @@ impl World {
     /// The WikiTable-style benchmark split 70/10/20 (train/valid/test).
     pub fn wikitable(&self) -> Splits {
         let cfg = match self.opts.scale {
-            Scale::Full => WikiTableConfig { n_tables: 240, min_rows: 2, max_rows: 3, seed: self.opts.seed },
-            Scale::Quick => WikiTableConfig {
-                n_tables: 160,
-                min_rows: 2,
-                max_rows: 3,
-                seed: self.opts.seed,
-            },
+            Scale::Full => {
+                WikiTableConfig { n_tables: 240, min_rows: 2, max_rows: 3, seed: self.opts.seed }
+            }
+            Scale::Quick => {
+                WikiTableConfig { n_tables: 160, min_rows: 2, max_rows: 3, seed: self.opts.seed }
+            }
         };
         let ds = generate_wikitable(&self.kb, &cfg);
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(self.opts.seed ^ 0x517);
@@ -155,8 +154,12 @@ impl World {
     /// The VizNet-style benchmark split 70/10/20.
     pub fn viznet(&self) -> Splits {
         let cfg = match self.opts.scale {
-            Scale::Full => VizNetConfig { n_tables: 900, seed: self.opts.seed, ..Default::default() },
-            Scale::Quick => VizNetConfig { n_tables: 200, seed: self.opts.seed, ..Default::default() },
+            Scale::Full => {
+                VizNetConfig { n_tables: 900, seed: self.opts.seed, ..Default::default() }
+            }
+            Scale::Quick => {
+                VizNetConfig { n_tables: 200, seed: self.opts.seed, ..Default::default() }
+            }
         };
         let ds = generate_viznet(&self.kb, &cfg);
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(self.opts.seed ^ 0x91a);
@@ -167,8 +170,12 @@ impl World {
     /// Default fine-tuning schedule for this scale.
     pub fn train_config(&self) -> TrainConfig {
         match self.opts.scale {
-            Scale::Full => TrainConfig { epochs: 40, batch_size: 12, lr: 2e-3, ..Default::default() },
-            Scale::Quick => TrainConfig { epochs: 45, batch_size: 8, lr: 3e-3, ..Default::default() },
+            Scale::Full => {
+                TrainConfig { epochs: 40, batch_size: 12, lr: 2e-3, ..Default::default() }
+            }
+            Scale::Quick => {
+                TrainConfig { epochs: 45, batch_size: 8, lr: 3e-3, ..Default::default() }
+            }
         }
     }
 
@@ -432,12 +439,7 @@ fn load_or_pretrain(kb: &KnowledgeBase, opts: &ExpOptions) -> PretrainedLm {
     };
     let recipe = pretrain_recipe(opts.scale);
     let lm = pretrain_lm(&corpus, &recipe, opts.seed);
-    eprintln!(
-        "[pretrain] {} sentences, losses {:?} in {:?}",
-        corpus.len(),
-        lm.losses,
-        t.elapsed()
-    );
+    eprintln!("[pretrain] {} sentences, losses {:?} in {:?}", corpus.len(), lm.losses, t.elapsed());
     if !opts.no_cache {
         std::fs::write(&ckpt, &lm.weights).expect("cache LM weights");
         std::fs::write(&vocab_path, lm.tokenizer.vocab().to_text()).expect("cache vocab");
@@ -492,11 +494,8 @@ mod tests {
             assert_eq!(a.col_types, b.col_types);
         }
         // Column shuffling must actually permute at least one table.
-        let changed = ds
-            .tables
-            .iter()
-            .zip(cols.tables.iter())
-            .any(|(a, b)| a.col_types != b.col_types);
+        let changed =
+            ds.tables.iter().zip(cols.tables.iter()).any(|(a, b)| a.col_types != b.col_types);
         assert!(changed);
     }
 

@@ -33,11 +33,11 @@ pub mod predictor;
 pub mod trainer;
 
 pub use analysis::attention_dependency;
+pub use model::{AttentionMode, DoduoConfig, DoduoModel, InputMode};
 pub use pipeline::{
     build_finetune_model, build_scratch_model, instantiate_lm, pretrain_lm, PretrainRecipe,
     PretrainedLm, ENC_PREFIX,
 };
-pub use model::{AttentionMode, DoduoConfig, DoduoModel, InputMode};
 pub use predictor::{Annotator, ColumnTypePrediction, RelationPrediction, TableAnnotation};
 pub use trainer::{
     decode_labels, evaluate, predict_rels, predict_rels_single, predict_types, prepare, train,

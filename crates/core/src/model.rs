@@ -128,7 +128,13 @@ impl DoduoModel {
             type_out_b: store.add_zeros(format!("{prefix}.type.out.b"), 1, cfg.n_types),
             rel_dense_w: store.add_randn(format!("{prefix}.rel.dense.w"), rel_in, d, 0.02, rng),
             rel_dense_b: store.add_zeros(format!("{prefix}.rel.dense.b"), 1, d),
-            rel_out_w: store.add_randn(format!("{prefix}.rel.out.w"), d, cfg.n_rels.max(1), 0.02, rng),
+            rel_out_w: store.add_randn(
+                format!("{prefix}.rel.out.w"),
+                d,
+                cfg.n_rels.max(1),
+                0.02,
+                rng,
+            ),
             rel_out_b: store.add_zeros(format!("{prefix}.rel.out.b"), 1, cfg.n_rels.max(1)),
             cfg,
         }
@@ -203,7 +209,11 @@ impl DoduoModel {
         pairs: &[(usize, usize)],
         rng: &mut R,
     ) -> NodeId {
-        assert_eq!(self.cfg.input_mode, InputMode::TableWise, "pairwise logits need table-wise mode");
+        assert_eq!(
+            self.cfg.input_mode,
+            InputMode::TableWise,
+            "pairwise logits need table-wise mode"
+        );
         assert!(!pairs.is_empty(), "no relation pairs requested");
         let cols = self.column_embeddings(tape, st, rng);
         let subj: Vec<u32> = pairs.iter().map(|p| p.0 as u32).collect();
@@ -224,7 +234,11 @@ impl DoduoModel {
         st: &SerializedTable,
         rng: &mut R,
     ) -> NodeId {
-        assert_eq!(self.cfg.input_mode, InputMode::SingleColumn, "single-pair logits need single-column mode");
+        assert_eq!(
+            self.cfg.input_mode,
+            InputMode::SingleColumn,
+            "single-pair logits need single-column mode"
+        );
         let cols = self.column_embeddings(tape, st, rng);
         let h = tape.linear(cols, self.rel_dense_w, self.rel_dense_b);
         let act = tape.gelu(h);

@@ -250,11 +250,7 @@ mod tests {
     fn pretrain_then_finetune_weights_transfer() {
         let lm = pretrain_lm(&corpus(), &PretrainRecipe::tiny(), 42);
         assert!(!lm.losses.is_empty());
-        let (store, model) = build_finetune_model(
-            &lm,
-            |enc| DoduoConfig::new(enc, 4, 2, true),
-            7,
-        );
+        let (store, model) = build_finetune_model(&lm, |enc| DoduoConfig::new(enc, 4, 2, true), 7);
         // The loaded encoder must produce the same embeddings as a second
         // load — i.e. weights really come from the checkpoint, not the RNG.
         let (store2, model2) = build_finetune_model(

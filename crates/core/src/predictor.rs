@@ -92,8 +92,7 @@ impl Annotator<'_> {
                 }
                 let mut relations = Vec::new();
                 if table.n_cols() > 1 && !self.rel_vocab.is_empty() {
-                    let pairs: Vec<(usize, usize)> =
-                        (1..table.n_cols()).map(|j| (0, j)).collect();
+                    let pairs: Vec<(usize, usize)> = (1..table.n_cols()).map(|j| (0, j)).collect();
                     let mut tape = Tape::inference(self.store);
                     let logits = self.model.rel_logits(&mut tape, &st, &pairs, &mut rng);
                     let v = tape.value(logits);
@@ -155,9 +154,7 @@ impl Annotator<'_> {
             .types
             .iter()
             .map(|t| {
-                self.type_vocab
-                    .id(&t.labels[0].0)
-                    .expect("annotator emits only vocabulary labels")
+                self.type_vocab.id(&t.labels[0].0).expect("annotator emits only vocabulary labels")
             })
             .collect()
     }

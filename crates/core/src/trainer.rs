@@ -118,7 +118,12 @@ pub fn prepare(model: &DoduoModel, ds: &Dataset, tok: &WordPiece) -> Prepared {
                     let rel_gold: Vec<u32> = at.relations.iter().map(|r| r.relation).collect();
                     let rows: Vec<Vec<u32>> = rel_gold.iter().map(|&g| vec![g]).collect();
                     let rel_mh = cfg.multi_label.then(|| multi_hot(&rows, cfg.n_rels));
-                    rels.push(RelExample { st: st.clone(), pairs, gold: rel_gold, multi_hot: rel_mh });
+                    rels.push(RelExample {
+                        st: st.clone(),
+                        pairs,
+                        gold: rel_gold,
+                        multi_hot: rel_mh,
+                    });
                 }
                 types.push(TypeExample { st, gold, multi_hot: mh });
             }
@@ -466,8 +471,7 @@ pub fn train(
                                         w_type,
                                     )
                                 } else {
-                                    let targets: Vec<u32> =
-                                        ex.gold.iter().map(|g| g[0]).collect();
+                                    let targets: Vec<u32> = ex.gold.iter().map(|g| g[0]).collect();
                                     tape.softmax_ce(logits, &targets)
                                 }
                             }
@@ -521,7 +525,10 @@ pub fn train(
             restore(store, &snap);
             (score, epoch)
         }
-        None => (epochs.last().map_or(0.0, |e| e.valid.selection_score(tasks)), cfg.epochs.saturating_sub(1)),
+        None => (
+            epochs.last().map_or(0.0, |e| e.valid.selection_score(tasks)),
+            cfg.epochs.saturating_sub(1),
+        ),
     };
     TrainReport { epochs, best_epoch, best_score }
 }
@@ -556,11 +563,7 @@ mod tests {
         (tok, train, valid)
     }
 
-    fn tiny_model(
-        tok: &WordPiece,
-        ds: &Dataset,
-        mode: InputMode,
-    ) -> (ParamStore, DoduoModel) {
+    fn tiny_model(tok: &WordPiece, ds: &Dataset, mode: InputMode) -> (ParamStore, DoduoModel) {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);
         let enc = EncoderConfig::tiny(tok.vocab_size());
@@ -624,12 +627,11 @@ mod tests {
             &kb,
             &WikiTableConfig { n_tables: 80, min_rows: 2, max_rows: 3, seed: 7 },
         );
-        let corpus =
-            doduo_datagen::generate_corpus(&kb, &doduo_datagen::CorpusConfig::default());
+        let corpus = doduo_datagen::generate_corpus(&kb, &doduo_datagen::CorpusConfig::default());
         let mut recipe = crate::pipeline::PretrainRecipe::tiny();
         recipe.mlm.epochs = 5;
         let lm = crate::pipeline::pretrain_lm(&corpus[..3000.min(corpus.len())], &recipe, 42);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = StdRng::seed_from_u64(2);
         let (train_ds, valid_ds, _test) = ds.split(0.8, 0.2, &mut rng);
         let (mut store, model) = crate::pipeline::build_finetune_model(
             &lm,

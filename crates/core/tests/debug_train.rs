@@ -15,22 +15,52 @@ fn debug_training() {
     let mut recipe = PretrainRecipe::tiny();
     recipe.mlm.epochs = 6;
     let lm = pretrain_lm(&corpus[..5000.min(corpus.len())], &recipe, 42);
-    eprintln!("[{:?}] pretrained: vocab={} losses={:?}", t0.elapsed(), lm.tokenizer.vocab_size(), lm.losses);
+    eprintln!(
+        "[{:?}] pretrained: vocab={} losses={:?}",
+        t0.elapsed(),
+        lm.tokenizer.vocab_size(),
+        lm.losses
+    );
 
-    let ds = generate_wikitable(&kb, &WikiTableConfig { n_tables: 150, min_rows: 2, max_rows: 4, seed: 7 });
+    let ds = generate_wikitable(
+        &kb,
+        &WikiTableConfig { n_tables: 150, min_rows: 2, max_rows: 4, seed: 7 },
+    );
     let mut rng = StdRng::seed_from_u64(1);
     let (train_ds, valid_ds, _) = ds.split(0.8, 0.2, &mut rng);
-    let (mut store, model) = build_finetune_model(&lm, |enc| {
-        let ms = enc.max_seq;
-        DoduoConfig::new(enc, train_ds.type_vocab.len(), train_ds.rel_vocab.len(), true)
-            .with_serialize(SerializeConfig::new(8, ms))
-    }, 3);
+    let (mut store, model) = build_finetune_model(
+        &lm,
+        |enc| {
+            let ms = enc.max_seq;
+            DoduoConfig::new(enc, train_ds.type_vocab.len(), train_ds.rel_vocab.len(), true)
+                .with_serialize(SerializeConfig::new(8, ms))
+        },
+        3,
+    );
     let train_p = prepare(&model, &train_ds, &lm.tokenizer);
     let valid_p = prepare(&model, &valid_ds, &lm.tokenizer);
-    let report = train(&model, &mut store, &train_p, &valid_p, &[Task::ColumnType, Task::ColumnRelation],
-        &TrainConfig { epochs: 45, batch_size: 8, lr: 5e-3, threads: 16, select_best: false, ..Default::default() });
-    for (i, e) in report.epochs.iter().enumerate().filter(|(i,_)| i % 5 == 0 || *i == 44) {
-        eprintln!("epoch {i}: losses {:?} valid type F1 {:.3} rel F1 {:?}", e.task_losses, e.valid.type_micro.f1, e.valid.rel_micro.map(|r| r.f1));
+    let report = train(
+        &model,
+        &mut store,
+        &train_p,
+        &valid_p,
+        &[Task::ColumnType, Task::ColumnRelation],
+        &TrainConfig {
+            epochs: 45,
+            batch_size: 8,
+            lr: 5e-3,
+            threads: 16,
+            select_best: false,
+            ..Default::default()
+        },
+    );
+    for (i, e) in report.epochs.iter().enumerate().filter(|(i, _)| i % 5 == 0 || *i == 44) {
+        eprintln!(
+            "epoch {i}: losses {:?} valid type F1 {:.3} rel F1 {:?}",
+            e.task_losses,
+            e.valid.type_micro.f1,
+            e.valid.rel_micro.map(|r| r.f1)
+        );
     }
     eprintln!("[{:?}] done", t0.elapsed());
 }

@@ -122,9 +122,9 @@ impl HrCluster {
             HrCluster::Status => STATUS_WORDS[rng.gen_range(0..STATUS_WORDS.len())].to_string(),
             HrCluster::FilePath => format!(
                 "/data/{}/{}.{}",
-                ["logs", "exports", "uploads", "reports"][rng.gen_range(0..4)],
-                ["summary", "batch", "profile", "index"][rng.gen_range(0..4)],
-                ["csv", "json", "parquet"][rng.gen_range(0..3)]
+                ["logs", "exports", "uploads", "reports"][rng.gen_range(0..4usize)],
+                ["summary", "batch", "profile", "index"][rng.gen_range(0..4usize)],
+                ["csv", "json", "parquet"][rng.gen_range(0..3usize)]
             ),
             HrCluster::Browser => BROWSERS[rng.gen_range(0..BROWSERS.len())].to_string(),
             HrCluster::Location => kb.cities[rng.gen_range(0..kb.cities.len())].name.clone(),

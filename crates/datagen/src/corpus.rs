@@ -126,11 +126,7 @@ pub fn generate_corpus(kb: &KnowledgeBase, cfg: &CorpusConfig) -> Vec<String> {
     }
     for e in &kb.elections {
         push_n(&mut out, c, format!("the {} was an election", e.name));
-        push_n(
-            &mut out,
-            c,
-            format!("the {} was held in {}", e.name, kb.country_name(e.country)),
-        );
+        push_n(&mut out, c, format!("the {} was held in {}", e.name, kb.country_name(e.country)));
     }
     for rel in &kb.religions {
         push_n(&mut out, c, format!("{rel} is a religion"));
@@ -151,7 +147,11 @@ pub fn generate_corpus(kb: &KnowledgeBase, cfg: &CorpusConfig) -> Vec<String> {
     // Rare tier: kingdoms, constellations, organisms, inventions.
     for k in &kb.kingdoms {
         push_n(&mut out, r, format!("the {} is a kingdom", k.name));
-        push_n(&mut out, r, format!("{} is a monarch of the {}", kb.person_name(k.monarch), k.name));
+        push_n(
+            &mut out,
+            r,
+            format!("{} is a monarch of the {}", kb.person_name(k.monarch), k.name),
+        );
     }
     for con in &kb.constellations {
         push_n(&mut out, r, format!("{con} is a constellation"));
@@ -161,7 +161,11 @@ pub fn generate_corpus(kb: &KnowledgeBase, cfg: &CorpusConfig) -> Vec<String> {
     }
     for inv in &kb.inventions {
         push_n(&mut out, r, format!("{} is an invention", inv.name));
-        push_n(&mut out, r, format!("{} was invented by {}", inv.name, kb.person_name(inv.inventor)));
+        push_n(
+            &mut out,
+            r,
+            format!("{} was invented by {}", inv.name, kb.person_name(inv.inventor)),
+        );
     }
     for g in &kb.genres {
         push_n(&mut out, c, format!("{g} is a genre of music"));

@@ -72,8 +72,7 @@ pub fn corrupt_dataset(ds: &Dataset, cfg: &DirtyConfig) -> Dataset {
                     if !at.table.columns[oc].values.is_empty() {
                         let orow = rng.gen_range(0..at.table.columns[oc].values.len());
                         let tmp = at.table.columns[c].values[r].clone();
-                        at.table.columns[c].values[r] =
-                            at.table.columns[oc].values[orow].clone();
+                        at.table.columns[c].values[r] = at.table.columns[oc].values[orow].clone();
                         at.table.columns[oc].values[orow] = tmp;
                     }
                 } else if x < cfg.total() {
@@ -178,7 +177,8 @@ mod tests {
     #[test]
     fn zero_config_is_identity() {
         let ds = clean();
-        let same = corrupt_dataset(&ds, &DirtyConfig { missing: 0.0, misplaced: 0.0, typo: 0.0, seed: 1 });
+        let same =
+            corrupt_dataset(&ds, &DirtyConfig { missing: 0.0, misplaced: 0.0, typo: 0.0, seed: 1 });
         assert_eq!(corruption_rate(&ds, &same), 0.0);
     }
 }

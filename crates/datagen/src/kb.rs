@@ -305,11 +305,8 @@ impl KnowledgeBase {
                 }
             }
             let birth_city = rng.gen_range(0..cities.len());
-            let lived_city = if rng.gen::<f32>() < 0.5 {
-                birth_city
-            } else {
-                rng.gen_range(0..cities.len())
-            };
+            let lived_city =
+                if rng.gen::<f32>() < 0.5 { birth_city } else { rng.gen_range(0..cities.len()) };
             people.push(Person {
                 name,
                 professions,
@@ -374,8 +371,12 @@ impl KnowledgeBase {
             let n_prod = if rng.gen::<f32>() < 0.3 { 2 } else { 1 };
             films.push(Film {
                 title,
-                directors: (0..n_dir).map(|_| directors[rng.gen_range(0..directors.len())]).collect(),
-                producers: (0..n_prod).map(|_| producers[rng.gen_range(0..producers.len())]).collect(),
+                directors: (0..n_dir)
+                    .map(|_| directors[rng.gen_range(0..directors.len())])
+                    .collect(),
+                producers: (0..n_prod)
+                    .map(|_| producers[rng.gen_range(0..producers.len())])
+                    .collect(),
                 story_by: writers[rng.gen_range(0..writers.len())],
                 production_company: rng.gen_range(0..companies.len()),
                 country: rng.gen_range(0..countries.len()),
@@ -390,8 +391,11 @@ impl KnowledgeBase {
         let mut used_team_names = HashSet::new();
         while teams.len() < cfg.n_teams {
             let city = rng.gen_range(0..cities.len());
-            let name =
-                format!("{} {}", cities[city].name, TEAM_MASCOTS[rng.gen_range(0..TEAM_MASCOTS.len())]);
+            let name = format!(
+                "{} {}",
+                cities[city].name,
+                TEAM_MASCOTS[rng.gen_range(0..TEAM_MASCOTS.len())]
+            );
             if !used_team_names.insert(name.clone()) {
                 continue;
             }
@@ -582,12 +586,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = KnowledgeBase::generate(&KbConfig::default(), 1);
         let b = KnowledgeBase::generate(&KbConfig::default(), 2);
-        let same = a
-            .people
-            .iter()
-            .zip(b.people.iter())
-            .filter(|(x, y)| x.name == y.name)
-            .count();
+        let same = a.people.iter().zip(b.people.iter()).filter(|(x, y)| x.name == y.name).count();
         assert!(same < a.people.len() / 2, "seeds should decorrelate: {same} identical");
     }
 
@@ -605,7 +604,10 @@ mod tests {
         for p in &kb.people {
             assert!(p.birth_city < kb.cities.len());
             assert!(p.nationality < kb.countries.len());
-            assert_eq!(p.nationality, kb.cities[p.birth_city].country, "nationality = birth country");
+            assert_eq!(
+                p.nationality, kb.cities[p.birth_city].country,
+                "nationality = birth country"
+            );
             if let Some(t) = p.team {
                 assert!(t < kb.teams.len());
             }

@@ -31,7 +31,6 @@ pub use corpus::{generate_corpus, CorpusConfig};
 pub use dirty::{corrupt_dataset, corruption_rate, DirtyConfig};
 pub use kb::{KbConfig, KnowledgeBase, Profession};
 pub use viznet::{
-    gen_value, generate_viznet, multi_column_only, VizNetConfig, NUMERIC_STRESS_TYPES,
-    VIZNET_TYPES,
+    gen_value, generate_viznet, multi_column_only, VizNetConfig, NUMERIC_STRESS_TYPES, VIZNET_TYPES,
 };
 pub use wikitable::{generate_wikitable, WikiTableConfig};

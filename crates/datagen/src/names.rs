@@ -8,30 +8,30 @@
 //! (§1) is reproduced by construction.
 
 pub const FIRST_NAMES: &[&str] = &[
-    "george", "john", "david", "judy", "warren", "bill", "doug", "darla", "sam", "dick",
-    "simon", "max", "thomas", "derrick", "anna", "maria", "peter", "laura", "frank", "helen",
-    "oscar", "ruth", "victor", "alice", "henry", "clara", "martin", "elena", "paul", "nina",
-    "walter", "irene", "felix", "diana", "hugo", "sofia", "leon", "vera", "karl", "ada",
+    "george", "john", "david", "judy", "warren", "bill", "doug", "darla", "sam", "dick", "simon",
+    "max", "thomas", "derrick", "anna", "maria", "peter", "laura", "frank", "helen", "oscar",
+    "ruth", "victor", "alice", "henry", "clara", "martin", "elena", "paul", "nina", "walter",
+    "irene", "felix", "diana", "hugo", "sofia", "leon", "vera", "karl", "ada",
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "miller", "coleman", "morris", "mitchell", "lasseter", "ranft", "anderson", "bowers",
-    "fell", "clement", "nye", "browne", "tyner", "henry", "walker", "fisher", "baker",
-    "mason", "porter", "turner", "carver", "fletcher", "harper", "sawyer", "tanner",
-    "weaver", "archer", "brewer", "cooper", "dyer", "farmer", "gardner", "hunter",
-    "keller", "lambert", "marsh", "norton", "osborn", "parker", "quinn", "reyes",
-    "shepard", "thorne", "vance", "webster", "york", "zeller", "abbott", "barlow", "crane",
+    "miller", "coleman", "morris", "mitchell", "lasseter", "ranft", "anderson", "bowers", "fell",
+    "clement", "nye", "browne", "tyner", "henry", "walker", "fisher", "baker", "mason", "porter",
+    "turner", "carver", "fletcher", "harper", "sawyer", "tanner", "weaver", "archer", "brewer",
+    "cooper", "dyer", "farmer", "gardner", "hunter", "keller", "lambert", "marsh", "norton",
+    "osborn", "parker", "quinn", "reyes", "shepard", "thorne", "vance", "webster", "york",
+    "zeller", "abbott", "barlow", "crane",
 ];
 
 pub const CITY_PREFIXES: &[&str] = &[
     "spring", "river", "oak", "maple", "stone", "clear", "fair", "green", "silver", "north",
-    "south", "east", "west", "bright", "lake", "hill", "wood", "ash", "elm", "iron",
-    "golden", "red", "blue", "white", "high", "low", "mill", "salt", "sand", "snow",
+    "south", "east", "west", "bright", "lake", "hill", "wood", "ash", "elm", "iron", "golden",
+    "red", "blue", "white", "high", "low", "mill", "salt", "sand", "snow",
 ];
 
 pub const CITY_SUFFIXES: &[&str] = &[
-    "field", "ton", "ville", "burg", "ford", "haven", "port", "dale", "wick", "mouth",
-    "bridge", "crest", "view", "side", "gate", "fall", "brook", "land", "stead", "moor",
+    "field", "ton", "ville", "burg", "ford", "haven", "port", "dale", "wick", "mouth", "bridge",
+    "crest", "view", "side", "gate", "fall", "brook", "land", "stead", "moor",
 ];
 
 /// Country names with the languages spoken there (for the
@@ -64,91 +64,189 @@ pub const COUNTRIES: &[(&str, &str)] = &[
 ];
 
 pub const FILM_ADJECTIVES: &[&str] = &[
-    "silent", "crimson", "hidden", "golden", "broken", "frozen", "burning", "endless",
-    "fading", "rising", "shattered", "velvet", "hollow", "radiant", "wandering", "midnight",
-    "distant", "restless", "lonely", "electric",
+    "silent",
+    "crimson",
+    "hidden",
+    "golden",
+    "broken",
+    "frozen",
+    "burning",
+    "endless",
+    "fading",
+    "rising",
+    "shattered",
+    "velvet",
+    "hollow",
+    "radiant",
+    "wandering",
+    "midnight",
+    "distant",
+    "restless",
+    "lonely",
+    "electric",
 ];
 
 pub const FILM_NOUNS: &[&str] = &[
-    "horizon", "garden", "empire", "voyage", "harbor", "shadow", "river", "crown",
-    "mirror", "orchard", "lantern", "compass", "canyon", "meadow", "forest", "island",
-    "summit", "tempest", "whisper", "carnival",
+    "horizon", "garden", "empire", "voyage", "harbor", "shadow", "river", "crown", "mirror",
+    "orchard", "lantern", "compass", "canyon", "meadow", "forest", "island", "summit", "tempest",
+    "whisper", "carnival",
 ];
 
 pub const TEAM_MASCOTS: &[&str] = &[
-    "tigers", "eagles", "wolves", "hawks", "bears", "lions", "falcons", "panthers",
-    "ravens", "bison", "cougars", "stallions", "vipers", "storm", "comets", "titans",
+    "tigers",
+    "eagles",
+    "wolves",
+    "hawks",
+    "bears",
+    "lions",
+    "falcons",
+    "panthers",
+    "ravens",
+    "bison",
+    "cougars",
+    "stallions",
+    "vipers",
+    "storm",
+    "comets",
+    "titans",
 ];
 
 pub const FOOTBALL_CONFERENCES: &[&str] = &[
-    "atlantic conference", "pacific conference", "mountain conference", "central conference",
-    "coastal conference", "valley conference", "summit conference", "pioneer conference",
+    "atlantic conference",
+    "pacific conference",
+    "mountain conference",
+    "central conference",
+    "coastal conference",
+    "valley conference",
+    "summit conference",
+    "pioneer conference",
 ];
 
 pub const FOOTBALL_POSITIONS: &[&str] = &[
-    "quarterback", "running back", "wide receiver", "linebacker", "cornerback", "safety",
-    "tight end", "kicker",
+    "quarterback",
+    "running back",
+    "wide receiver",
+    "linebacker",
+    "cornerback",
+    "safety",
+    "tight end",
+    "kicker",
 ];
 
 pub const BASEBALL_POSITIONS: &[&str] = &[
-    "pitcher", "catcher", "shortstop", "first baseman", "second baseman", "third baseman",
-    "outfielder", "designated hitter",
+    "pitcher",
+    "catcher",
+    "shortstop",
+    "first baseman",
+    "second baseman",
+    "third baseman",
+    "outfielder",
+    "designated hitter",
 ];
 
-pub const GENRES: &[&str] = &[
-    "jazz", "folk", "blues", "rock", "soul", "opera", "ambient", "swing", "choral", "disco",
-];
+pub const GENRES: &[&str] =
+    &["jazz", "folk", "blues", "rock", "soul", "opera", "ambient", "swing", "choral", "disco"];
 
-pub const RELIGIONS: &[&str] = &[
-    "solarism", "lunarism", "verdism", "aquarism", "terrism", "pyrism", "aetherism", "umbrism",
-];
+pub const RELIGIONS: &[&str] =
+    &["solarism", "lunarism", "verdism", "aquarism", "terrism", "pyrism", "aetherism", "umbrism"];
 
 pub const CONSTELLATIONS: &[&str] = &[
-    "the archer", "the serpent", "the lantern", "the twins", "the mariner", "the harp",
-    "the crane", "the anvil", "the chalice", "the plough", "the fox", "the beacon",
+    "the archer",
+    "the serpent",
+    "the lantern",
+    "the twins",
+    "the mariner",
+    "the harp",
+    "the crane",
+    "the anvil",
+    "the chalice",
+    "the plough",
+    "the fox",
+    "the beacon",
 ];
 
 pub const ORGANISMS: &[&str] = &[
-    "mossfin newt", "silver bracken", "dune beetle", "glass shrimp", "marsh wren",
-    "thorn lizard", "cave moth", "reef urchin", "pine marten", "bog orchid",
-    "river lamprey", "stone crab", "heath viper", "cliff swallow", "fen snail",
+    "mossfin newt",
+    "silver bracken",
+    "dune beetle",
+    "glass shrimp",
+    "marsh wren",
+    "thorn lizard",
+    "cave moth",
+    "reef urchin",
+    "pine marten",
+    "bog orchid",
+    "river lamprey",
+    "stone crab",
+    "heath viper",
+    "cliff swallow",
+    "fen snail",
 ];
 
 pub const KINGDOMS: &[&str] = &[
-    "kingdom of avenor", "kingdom of brethia", "kingdom of caldora", "kingdom of drunmore",
-    "kingdom of elandia", "kingdom of farholt", "kingdom of grenwald", "kingdom of hollin",
+    "kingdom of avenor",
+    "kingdom of brethia",
+    "kingdom of caldora",
+    "kingdom of drunmore",
+    "kingdom of elandia",
+    "kingdom of farholt",
+    "kingdom of grenwald",
+    "kingdom of hollin",
 ];
 
 pub const INVENTIONS: &[&str] = &[
-    "the rotary loom", "the arc furnace", "the tide clock", "the vapor press",
-    "the coil engine", "the glass kiln", "the signal lamp", "the chain pump",
-    "the flux welder", "the drift anchor",
+    "the rotary loom",
+    "the arc furnace",
+    "the tide clock",
+    "the vapor press",
+    "the coil engine",
+    "the glass kiln",
+    "the signal lamp",
+    "the chain pump",
+    "the flux welder",
+    "the drift anchor",
 ];
 
 pub const COMPANY_SUFFIXES: &[&str] =
     &["pictures", "studios", "films", "media", "works", "productions", "entertainment", "group"];
 
-pub const BROWSERS: &[&str] = &[
-    "chrome", "firefox", "safari", "edge", "opera", "brave", "vivaldi", "konqueror",
-];
+pub const BROWSERS: &[&str] =
+    &["chrome", "firefox", "safari", "edge", "opera", "brave", "vivaldi", "konqueror"];
 
 pub const JOB_TITLES: &[&str] = &[
-    "software engineer", "data scientist", "product manager", "sales associate",
-    "account executive", "marketing analyst", "customer support agent", "hr generalist",
-    "financial controller", "operations lead", "ux designer", "qa engineer",
-    "devops engineer", "technical writer", "recruiter", "legal counsel",
+    "software engineer",
+    "data scientist",
+    "product manager",
+    "sales associate",
+    "account executive",
+    "marketing analyst",
+    "customer support agent",
+    "hr generalist",
+    "financial controller",
+    "operations lead",
+    "ux designer",
+    "qa engineer",
+    "devops engineer",
+    "technical writer",
+    "recruiter",
+    "legal counsel",
 ];
 
 pub const SEARCH_TERMS: &[&str] = &[
-    "remote backend jobs", "entry level marketing", "senior designer salary",
-    "part time warehouse", "data analyst internship", "nurse practitioner openings",
-    "civil engineer contract", "teacher assistant roles", "delivery driver near me",
+    "remote backend jobs",
+    "entry level marketing",
+    "senior designer salary",
+    "part time warehouse",
+    "data analyst internship",
+    "nurse practitioner openings",
+    "civil engineer contract",
+    "teacher assistant roles",
+    "delivery driver near me",
     "startup equity questions",
 ];
 
-pub const STATUS_WORDS: &[&str] = &[
-    "active", "inactive", "pending", "archived", "approved", "rejected", "draft", "closed",
-];
+pub const STATUS_WORDS: &[&str] =
+    &["active", "inactive", "pending", "archived", "approved", "rejected", "draft", "closed"];
 
 #[cfg(test)]
 mod tests {

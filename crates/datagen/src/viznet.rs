@@ -17,29 +17,120 @@ use rand::{Rng, SeedableRng};
 
 /// The 78 VizNet semantic types, exactly as listed in the paper's Figure 5.
 pub const VIZNET_TYPES: [&str; 78] = [
-    "isbn", "year", "age", "state", "grades", "weight", "status", "industry", "club", "gender",
-    "result", "religion", "language", "birthDate", "family", "team", "code", "city", "category",
-    "description", "duration", "type", "rank", "sex", "name", "address", "affiliation", "symbol",
-    "teamName", "format", "service", "education", "location", "elevation", "county", "position",
-    "company", "collection", "album", "day", "country", "class", "publisher", "currency",
-    "origin", "plays", "depth", "jockey", "fileSize", "order", "organisation", "artist",
-    "birthPlace", "continent", "genre", "nationality", "credit", "classification", "owner",
-    "notes", "area", "creator", "region", "sales", "operator", "product", "component",
-    "requirement", "species", "manufacturer", "capacity", "range", "brand", "affiliate",
-    "command", "director", "ranking", "person",
+    "isbn",
+    "year",
+    "age",
+    "state",
+    "grades",
+    "weight",
+    "status",
+    "industry",
+    "club",
+    "gender",
+    "result",
+    "religion",
+    "language",
+    "birthDate",
+    "family",
+    "team",
+    "code",
+    "city",
+    "category",
+    "description",
+    "duration",
+    "type",
+    "rank",
+    "sex",
+    "name",
+    "address",
+    "affiliation",
+    "symbol",
+    "teamName",
+    "format",
+    "service",
+    "education",
+    "location",
+    "elevation",
+    "county",
+    "position",
+    "company",
+    "collection",
+    "album",
+    "day",
+    "country",
+    "class",
+    "publisher",
+    "currency",
+    "origin",
+    "plays",
+    "depth",
+    "jockey",
+    "fileSize",
+    "order",
+    "organisation",
+    "artist",
+    "birthPlace",
+    "continent",
+    "genre",
+    "nationality",
+    "credit",
+    "classification",
+    "owner",
+    "notes",
+    "area",
+    "creator",
+    "region",
+    "sales",
+    "operator",
+    "product",
+    "component",
+    "requirement",
+    "species",
+    "manufacturer",
+    "capacity",
+    "range",
+    "brand",
+    "affiliate",
+    "command",
+    "director",
+    "ranking",
+    "person",
 ];
 
 /// The paper's Table 5: the 15 most numeric VizNet types.
 pub const NUMERIC_STRESS_TYPES: [&str; 15] = [
-    "plays", "rank", "depth", "sales", "year", "fileSize", "elevation", "ranking", "age",
-    "birthDate", "grades", "weight", "isbn", "capacity", "code",
+    "plays",
+    "rank",
+    "depth",
+    "sales",
+    "year",
+    "fileSize",
+    "elevation",
+    "ranking",
+    "age",
+    "birthDate",
+    "grades",
+    "weight",
+    "isbn",
+    "capacity",
+    "code",
 ];
 
 /// Co-occurrence themes: types that appear together in real tables. A table
 /// samples 2-5 types from one theme (or is single-column).
 const THEMES: &[&[&str]] = &[
     // People / demographics.
-    &["name", "age", "gender", "birthDate", "birthPlace", "nationality", "family", "education", "religion"],
+    &[
+        "name",
+        "age",
+        "gender",
+        "birthDate",
+        "birthPlace",
+        "nationality",
+        "family",
+        "education",
+        "religion",
+    ],
     &["person", "sex", "age", "address", "city", "state"],
     // Sports.
     &["team", "teamName", "club", "position", "result", "rank", "order"],
@@ -51,7 +142,17 @@ const THEMES: &[&[&str]] = &[
     &["album", "artist", "genre", "duration", "format", "plays", "collection", "creator"],
     &["director", "year", "genre", "person", "credit"],
     // Business.
-    &["company", "industry", "product", "brand", "manufacturer", "owner", "sales", "symbol", "currency"],
+    &[
+        "company",
+        "industry",
+        "product",
+        "brand",
+        "manufacturer",
+        "owner",
+        "sales",
+        "symbol",
+        "currency",
+    ],
     &["organisation", "affiliation", "affiliate", "operator", "service", "status"],
     // Publications.
     &["isbn", "publisher", "language", "year", "notes", "description", "category"],
@@ -78,13 +179,7 @@ pub struct VizNetConfig {
 
 impl Default for VizNetConfig {
     fn default() -> Self {
-        VizNetConfig {
-            n_tables: 800,
-            min_rows: 3,
-            max_rows: 6,
-            single_col_frac: 0.3,
-            seed: 42,
-        }
+        VizNetConfig { n_tables: 800, min_rows: 3, max_rows: 6, single_col_frac: 0.3, seed: 42 }
     }
 }
 
@@ -98,8 +193,10 @@ fn pick<'a, R: Rng + ?Sized>(rng: &mut R, xs: &[&'a str]) -> &'a str {
 pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
     let person = |rng: &mut StdRng| kb.people[rng.gen_range(0..kb.people.len())].name.clone();
     let city = |rng: &mut StdRng| kb.cities[rng.gen_range(0..kb.cities.len())].name.clone();
-    let country = |rng: &mut StdRng| kb.countries[rng.gen_range(0..kb.countries.len())].name.clone();
-    let company = |rng: &mut StdRng| kb.companies[rng.gen_range(0..kb.companies.len())].name.clone();
+    let country =
+        |rng: &mut StdRng| kb.countries[rng.gen_range(0..kb.countries.len())].name.clone();
+    let company =
+        |rng: &mut StdRng| kb.companies[rng.gen_range(0..kb.companies.len())].name.clone();
     let adjective = |rng: &mut StdRng| pick(rng, crate::names::FILM_ADJECTIVES);
     let noun = |rng: &mut StdRng| pick(rng, crate::names::FILM_NOUNS);
 
@@ -150,8 +247,18 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         "status" => pick(rng, STATUS_WORDS).to_string(),
         "industry" => pick(
             rng,
-            &["software", "retail", "banking", "insurance", "logistics", "media", "telecom",
-              "mining", "farming", "tourism"],
+            &[
+                "software",
+                "retail",
+                "banking",
+                "insurance",
+                "logistics",
+                "media",
+                "telecom",
+                "mining",
+                "farming",
+                "tourism",
+            ],
         )
         .to_string(),
         "club" => format!("{} fc", city(rng)),
@@ -200,14 +307,25 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         "city" => city(rng),
         "category" => pick(
             rng,
-            &["tools", "sports", "garden", "kitchen", "electronics", "books", "toys", "outdoor",
-              "office", "beauty"],
+            &[
+                "tools",
+                "sports",
+                "garden",
+                "kitchen",
+                "electronics",
+                "books",
+                "toys",
+                "outdoor",
+                "office",
+                "beauty",
+            ],
         )
         .to_string(),
         "description" => format!("a {} {} for {}", adjective(rng), noun(rng), noun(rng)),
         "duration" => format!("{}:{:02}", rng.gen_range(0..12), rng.gen_range(0..60)),
-        "type" => pick(rng, &["standard", "premium", "basic", "deluxe", "custom", "economy"])
-            .to_string(),
+        "type" => {
+            pick(rng, &["standard", "premium", "basic", "deluxe", "custom", "economy"]).to_string()
+        }
         "rank" => {
             if rng.gen::<f32>() < 0.93 {
                 rng.gen_range(1..101).to_string()
@@ -218,26 +336,23 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         "sex" => pick(rng, &["m", "f", "male", "female"]).to_string(),
         "name" => person(rng),
         "address" => format!("{} {} street", rng.gen_range(1..999), noun(rng)),
-        "affiliation" => {
-            kb.universities[rng.gen_range(0..kb.universities.len())].name.clone()
-        }
+        "affiliation" => kb.universities[rng.gen_range(0..kb.universities.len())].name.clone(),
         "symbol" => {
             let n = rng.gen_range(2..5);
             (0..n).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
         }
         "teamName" => pick(rng, crate::names::TEAM_MASCOTS).to_string(),
-        "format" => pick(rng, &["cd", "vinyl", "digital", "cassette", "dvd", "blu-ray"])
-            .to_string(),
-        "service" => pick(
-            rng,
-            &["delivery", "streaming", "consulting", "hosting", "support", "cleaning"],
-        )
-        .to_string(),
-        "education" => pick(
-            rng,
-            &["high school", "bachelor of arts", "master of science", "phd", "diploma"],
-        )
-        .to_string(),
+        "format" => {
+            pick(rng, &["cd", "vinyl", "digital", "cassette", "dvd", "blu-ray"]).to_string()
+        }
+        "service" => {
+            pick(rng, &["delivery", "streaming", "consulting", "hosting", "support", "cleaning"])
+                .to_string()
+        }
+        "education" => {
+            pick(rng, &["high school", "bachelor of arts", "master of science", "phd", "diploma"])
+                .to_string()
+        }
         "location" => {
             if rng.gen::<f32>() < 0.5 {
                 city(rng)
@@ -269,19 +384,23 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         "album" => format!("{} {}", adjective(rng), noun(rng)),
         "day" => {
             if rng.gen::<f32>() < 0.7 {
-                pick(rng, &["monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
-                            "sunday"])
+                pick(
+                    rng,
+                    &["monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"],
+                )
                 .to_string()
             } else {
                 rng.gen_range(1..29).to_string()
             }
         }
         "country" => country(rng),
-        "class" => pick(rng, &["a", "b", "c", "first", "second", "economy", "business"])
-            .to_string(),
+        "class" => {
+            pick(rng, &["a", "b", "c", "first", "second", "economy", "business"]).to_string()
+        }
         "publisher" => format!("{} press", pick(rng, LAST_NAMES)),
-        "currency" => pick(rng, &["dollar", "euro", "peso", "krona", "franc", "yen", "rand"])
-            .to_string(),
+        "currency" => {
+            pick(rng, &["dollar", "euro", "peso", "krona", "franc", "yen", "rand"]).to_string()
+        }
         "origin" => country(rng),
         "plays" => rng.gen_range(0..2_000_000).to_string(),
         "depth" => {
@@ -313,21 +432,17 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         ),
         "artist" => person(rng),
         "birthPlace" => city(rng),
-        "continent" => pick(
-            rng,
-            &["asteria", "borealia", "meridia", "occidia", "orientia", "australis"],
-        )
-        .to_string(),
-        "genre" => pick(rng, &kb.genres).to_string(),
-        "nationality" => {
-            kb.countries[rng.gen_range(0..kb.countries.len())].language.clone()
+        "continent" => {
+            pick(rng, &["asteria", "borealia", "meridia", "occidia", "orientia", "australis"])
+                .to_string()
         }
+        "genre" => pick(rng, &kb.genres).to_string(),
+        "nationality" => kb.countries[rng.gen_range(0..kb.countries.len())].language.clone(),
         "credit" => format!("photo by {}", person(rng)),
-        "classification" => pick(
-            rng,
-            &["endangered", "stable", "vulnerable", "extinct", "secure", "threatened"],
-        )
-        .to_string(),
+        "classification" => {
+            pick(rng, &["endangered", "stable", "vulnerable", "extinct", "secure", "threatened"])
+                .to_string()
+        }
         "owner" => {
             if rng.gen::<bool>() {
                 person(rng)
@@ -337,8 +452,14 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         }
         "notes" => pick(
             rng,
-            &["see appendix", "revised 2019", "approximate", "unconfirmed", "from archive",
-              "estimated"],
+            &[
+                "see appendix",
+                "revised 2019",
+                "approximate",
+                "unconfirmed",
+                "from archive",
+                "estimated",
+            ],
         )
         .to_string(),
         "area" => {
@@ -358,10 +479,18 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
             }
         }
         "operator" => company(rng),
-        "product" => format!("{} {}", adjective(rng), pick(rng, &["lamp", "chair", "desk",
-            "kettle", "router", "speaker", "monitor", "blender"])),
-        "component" => pick(rng, &["engine", "rotor", "valve", "sensor", "bearing", "gasket",
-            "piston", "filter"])
+        "product" => format!(
+            "{} {}",
+            adjective(rng),
+            pick(
+                rng,
+                &["lamp", "chair", "desk", "kettle", "router", "speaker", "monitor", "blender"]
+            )
+        ),
+        "component" => pick(
+            rng,
+            &["engine", "rotor", "valve", "sensor", "bearing", "gasket", "piston", "filter"],
+        )
         .to_string(),
         "requirement" => format!(
             "min {} {}",
@@ -387,8 +516,10 @@ pub fn gen_value(ty: &str, kb: &KnowledgeBase, rng: &mut StdRng) -> String {
         }
         "brand" => pick(rng, LAST_NAMES).to_string(),
         "affiliate" => format!("{} network", pick(rng, LAST_NAMES)),
-        "command" => pick(rng, &["run", "stop", "delete", "install", "update", "restart",
-            "status", "deploy"])
+        "command" => pick(
+            rng,
+            &["run", "stop", "delete", "install", "update", "restart", "status", "deploy"],
+        )
         .to_string(),
         "director" => person(rng),
         "ranking" => {
@@ -583,7 +714,9 @@ mod tests {
         check("gender", &|v| v == "male" || v == "female");
         check("sex", &|v| ["m", "f", "male", "female"].contains(&v));
         check("plays", &|v| v.parse::<u64>().is_ok());
-        check("symbol", &|v| v.len() >= 2 && v.len() <= 4 && v.chars().all(|c| c.is_ascii_lowercase()));
+        check("symbol", &|v| {
+            v.len() >= 2 && v.len() <= 4 && v.chars().all(|c| c.is_ascii_lowercase())
+        });
         check("county", &|v| v.ends_with(" county"));
         check("region", &|v| v.ends_with(" region"));
         check("club", &|v| v.ends_with(" fc"));

@@ -81,10 +81,18 @@ fn film_table(g: &mut Gen<'_>, rng: &mut StdRng, rows: usize, id: usize) -> Anno
         let f = &g.kb.films[fi];
         titles.push(f.title.clone());
         directors.push(
-            f.directors.iter().map(|&d| g.kb.person_name(d).to_string()).collect::<Vec<_>>().join(", "),
+            f.directors
+                .iter()
+                .map(|&d| g.kb.person_name(d).to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
         );
         producers.push(
-            f.producers.iter().map(|&p| g.kb.person_name(p).to_string()).collect::<Vec<_>>().join(", "),
+            f.producers
+                .iter()
+                .map(|&p| g.kb.person_name(p).to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
         );
         countries.push(g.kb.country_name(f.country).to_string());
     }
@@ -436,11 +444,7 @@ fn award_table(g: &mut Gen<'_>, rng: &mut StdRng, rows: usize, id: usize) -> Ann
                 Column::with_name("nominee", nominees),
             ],
         ),
-        col_types: vec![
-            g.ty(&["award.award"]),
-            g.ty(&["people.person"]),
-            g.ty(&["people.person"]),
-        ],
+        col_types: vec![g.ty(&["award.award"]), g.ty(&["people.person"]), g.ty(&["people.person"])],
         relations: vec![
             relation(1, g.rel("award.award_honor.award_winner")),
             relation(2, g.rel("award.award.award_nominee")),
@@ -646,11 +650,7 @@ fn invention_table(g: &mut Gen<'_>, rng: &mut StdRng, rows: usize, id: usize) ->
                 Column::with_name("year", years),
             ],
         ),
-        col_types: vec![
-            g.ty(&["law.invention"]),
-            g.ty(&["people.person"]),
-            g.ty(&["time.year"]),
-        ],
+        col_types: vec![g.ty(&["law.invention"]), g.ty(&["people.person"]), g.ty(&["time.year"])],
         relations: vec![
             relation(1, g.rel("law.invention.inventor")),
             relation(2, g.rel("law.invention.date")),
@@ -685,23 +685,30 @@ fn nature_table(g: &mut Gen<'_>, rng: &mut StdRng, rows: usize, id: usize) -> An
 /// `[constellation, month]` — sky observation tables.
 fn sky_table(g: &mut Gen<'_>, rng: &mut StdRng, rows: usize, id: usize) -> AnnotatedTable {
     const MONTHS: [&str; 12] = [
-        "january", "february", "march", "april", "may", "june", "july", "august", "september",
-        "october", "november", "december",
+        "january",
+        "february",
+        "march",
+        "april",
+        "may",
+        "june",
+        "july",
+        "august",
+        "september",
+        "october",
+        "november",
+        "december",
     ];
     let picks = sample_distinct(rng, g.kb.constellations.len(), rows);
     let mut cons = Vec::new();
     let mut months = Vec::new();
     for &i in &picks {
         cons.push(g.kb.constellations[i].to_string());
-        months.push(MONTHS[rng.gen_range(0..12)].to_string());
+        months.push(MONTHS[rng.gen_range(0..12usize)].to_string());
     }
     AnnotatedTable {
         table: Table::new(
             format!("wiki-sky-{id}"),
-            vec![
-                Column::with_name("constellation", cons),
-                Column::with_name("best month", months),
-            ],
+            vec![Column::with_name("constellation", cons), Column::with_name("best month", months)],
         ),
         col_types: vec![g.ty(&["astronomy.constellation"]), g.ty(&["time.month"])],
         relations: vec![relation(1, g.rel("astronomy.constellation.best_visible"))],
@@ -783,12 +790,8 @@ mod tests {
     #[test]
     fn multi_label_columns_exist() {
         let ds = dataset();
-        let multi = ds
-            .tables
-            .iter()
-            .flat_map(|t| t.col_types.iter())
-            .filter(|ts| ts.len() >= 2)
-            .count();
+        let multi =
+            ds.tables.iter().flat_map(|t| t.col_types.iter()).filter(|ts| ts.len() >= 2).count();
         assert!(multi > 100, "expected many multi-label columns, got {multi}");
     }
 

@@ -17,7 +17,11 @@ pub struct DependencyAccumulator {
 
 impl DependencyAccumulator {
     pub fn new(n_types: usize) -> Self {
-        DependencyAccumulator { n: n_types, sum: vec![0.0; n_types * n_types], count: vec![0; n_types * n_types] }
+        DependencyAccumulator {
+            n: n_types,
+            sum: vec![0.0; n_types * n_types],
+            count: vec![0; n_types * n_types],
+        }
     }
 
     /// Records one attention observation: column of type `from` attended to

@@ -22,12 +22,7 @@ pub fn kmeans(points: &[Vec<f32>], k: usize, iters: usize, seed: u64) -> Vec<usi
     while centers.len() < k {
         let d2: Vec<f32> = points
             .iter()
-            .map(|p| {
-                centers
-                    .iter()
-                    .map(|c| sq_dist(p, c))
-                    .fold(f32::INFINITY, f32::min)
-            })
+            .map(|p| centers.iter().map(|c| sq_dist(p, c)).fold(f32::INFINITY, f32::min))
             .collect();
         let total: f32 = d2.iter().sum();
         if total <= 0.0 {
@@ -213,8 +208,7 @@ mod tests {
 
     #[test]
     fn kmeans_is_deterministic() {
-        let pts: Vec<Vec<f32>> =
-            (0..30).map(|i| vec![(i % 7) as f32, (i % 3) as f32]).collect();
+        let pts: Vec<Vec<f32>> = (0..30).map(|i| vec![(i % 7) as f32, (i % 3) as f32]).collect();
         assert_eq!(kmeans(&pts, 4, 30, 9), kmeans(&pts, 4, 30, 9));
     }
 

@@ -20,12 +20,7 @@ impl ProbeItem {
     /// equal-scoring candidates count as ranked ahead).
     pub fn rank(&self) -> usize {
         let t = self.ppls[self.true_idx];
-        1 + self
-            .ppls
-            .iter()
-            .enumerate()
-            .filter(|&(i, &p)| i != self.true_idx && p <= t)
-            .count()
+        1 + self.ppls.iter().enumerate().filter(|&(i, &p)| i != self.true_idx && p <= t).count()
     }
 
     /// PPL of the truth divided by the mean candidate PPL (< 1 means the LM

@@ -113,7 +113,8 @@ impl Table {
         }
         let old = std::mem::take(&mut self.columns);
         let mut slots: Vec<Option<Column>> = old.into_iter().map(Some).collect();
-        self.columns = perm.iter().map(|&src| slots[src].take().expect("perm is a bijection")).collect();
+        self.columns =
+            perm.iter().map(|&src| slots[src].take().expect("perm is a bijection")).collect();
         perm
     }
 }
@@ -128,8 +129,14 @@ mod tests {
         Table::new(
             "t1",
             vec![
-                Column::with_name("film", vec!["Happy Feet".into(), "Cars".into(), "Flushed Away".into()]),
-                Column::with_name("director", vec!["George Miller".into(), "John Lasseter".into(), "David Bowers".into()]),
+                Column::with_name(
+                    "film",
+                    vec!["Happy Feet".into(), "Cars".into(), "Flushed Away".into()],
+                ),
+                Column::with_name(
+                    "director",
+                    vec!["George Miller".into(), "John Lasseter".into(), "David Bowers".into()],
+                ),
                 Column::with_name("country", vec!["USA".into(), "UK".into(), "France".into()]),
             ],
         )

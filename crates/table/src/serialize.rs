@@ -128,7 +128,12 @@ pub fn serialize_table(table: &Table, tok: &WordPiece, cfg: &SerializeConfig) ->
     }
     ids.push(SEP);
     col_of_token.push(NO_COLUMN);
-    debug_assert!(ids.len() <= cfg.max_seq, "serialized length {} > cap {}", ids.len(), cfg.max_seq);
+    debug_assert!(
+        ids.len() <= cfg.max_seq,
+        "serialized length {} > cap {}",
+        ids.len(),
+        cfg.max_seq
+    );
     SerializedTable { ids, cls_positions, col_of_token }
 }
 

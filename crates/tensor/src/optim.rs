@@ -146,13 +146,8 @@ mod tests {
         for _ in 0..800 {
             let mut grads = Gradients::new(&store);
             // d/dw sum((w-t)^2) = 2 (w - t)
-            let diff: Vec<f32> = store
-                .get(w)
-                .data()
-                .iter()
-                .zip(target.iter())
-                .map(|(a, b)| 2.0 * (a - b))
-                .collect();
+            let diff: Vec<f32> =
+                store.get(w).data().iter().zip(target.iter()).map(|(a, b)| 2.0 * (a - b)).collect();
             grads.accumulate(w, &Tensor::row_vector(diff), &store);
             opt.step(&mut store, &grads);
         }
@@ -207,8 +202,7 @@ mod tests {
         let run = |wd: f32| {
             let mut store = ParamStore::new();
             let w = store.add("w", Tensor::scalar(4.0));
-            let mut opt =
-                Adam::new(&store, LrSchedule::Constant(0.01)).with_weight_decay(wd);
+            let mut opt = Adam::new(&store, LrSchedule::Constant(0.01)).with_weight_decay(wd);
             for step in 0..60 {
                 let mut g = Gradients::new(&store);
                 // Alternating gradient: Adam's momentum mostly cancels, so

@@ -92,9 +92,8 @@ mod tests {
         let mut store = ParamStore::new();
         let w = store.add_randn("w", 4, 3, 0.5, &mut rng);
         let b = store.add_zeros("b", 1, 3);
-        let items: Vec<(Tensor, u32)> = (0..17)
-            .map(|i| (Tensor::randn(2, 4, 1.0, &mut rng), i % 3))
-            .collect();
+        let items: Vec<(Tensor, u32)> =
+            (0..17).map(|i| (Tensor::randn(2, 4, 1.0, &mut rng), i % 3)).collect();
 
         let run = |threads: usize| {
             accumulate_parallel(&store, &items, threads, |tape, (x, y), _| {
@@ -124,9 +123,8 @@ mod tests {
             s
         };
         let items: Vec<u32> = vec![];
-        let (g, l) = accumulate_parallel(&store, &items, 8, |tape, _, _| {
-            tape.input(Tensor::scalar(0.0))
-        });
+        let (g, l) =
+            accumulate_parallel(&store, &items, 8, |tape, _, _| tape.input(Tensor::scalar(0.0)));
         assert_eq!(l, 0.0);
         assert!(g.get(0).is_none());
     }

@@ -33,10 +33,7 @@ impl ParamStore {
     /// is enforced so that save/load round-trips are unambiguous.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            self.params.iter().all(|p| p.name != name),
-            "duplicate parameter name: {name}"
-        );
+        assert!(self.params.iter().all(|p| p.name != name), "duplicate parameter name: {name}");
         self.params.push(Param { name, value });
         self.params.len() - 1
     }
@@ -171,12 +168,7 @@ impl Gradients {
 
     /// Global L2 norm across all accumulated gradients.
     pub fn global_norm(&self) -> f32 {
-        self.slots
-            .iter()
-            .flatten()
-            .map(Tensor::sq_norm)
-            .sum::<f32>()
-            .sqrt()
+        self.slots.iter().flatten().map(Tensor::sq_norm).sum::<f32>().sqrt()
     }
 
     /// Clips gradients so the global norm does not exceed `max_norm`.

@@ -108,9 +108,8 @@ fn load_impl(
         if data.remaining() < name_len {
             return Err(LoadError::Truncated);
         }
-        let name = std::str::from_utf8(&data[..name_len])
-            .map_err(|_| LoadError::BadName)?
-            .to_owned();
+        let name =
+            std::str::from_utf8(&data[..name_len]).map_err(|_| LoadError::BadName)?.to_owned();
         data.advance(name_len);
         if data.remaining() < 8 {
             return Err(LoadError::Truncated);

@@ -37,33 +37,89 @@ enum Op {
     Leaf,
     /// Learnable parameter; gradient flows into the [`Gradients`] buffer.
     Param(ParamId),
-    Matmul { a: NodeId, b: NodeId },
-    Add { a: NodeId, b: NodeId },
+    Matmul {
+        a: NodeId,
+        b: NodeId,
+    },
+    Add {
+        a: NodeId,
+        b: NodeId,
+    },
     /// Broadcasts a `[1, d]` bias over the rows of a `[S, d]` input.
-    AddRow { x: NodeId, bias: NodeId },
-    Mul { a: NodeId, b: NodeId },
-    Scale { x: NodeId, c: f32 },
-    Gelu { x: NodeId },
-    Tanh { x: NodeId },
-    Relu { x: NodeId },
-    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, mean: Vec<f32>, rstd: Vec<f32> },
-    Softmax { x: NodeId },
+    AddRow {
+        x: NodeId,
+        bias: NodeId,
+    },
+    Mul {
+        a: NodeId,
+        b: NodeId,
+    },
+    Scale {
+        x: NodeId,
+        c: f32,
+    },
+    Gelu {
+        x: NodeId,
+    },
+    Tanh {
+        x: NodeId,
+    },
+    Relu {
+        x: NodeId,
+    },
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        mean: Vec<f32>,
+        rstd: Vec<f32>,
+    },
+    Softmax {
+        x: NodeId,
+    },
     /// Row gather from an embedding matrix.
-    Embedding { weight: NodeId, ids: Vec<u32> },
+    Embedding {
+        weight: NodeId,
+        ids: Vec<u32>,
+    },
     /// Row gather from an activation (used to pick out `[CLS]` positions).
-    RowSelect { x: NodeId, idxs: Vec<u32> },
+    RowSelect {
+        x: NodeId,
+        idxs: Vec<u32>,
+    },
     /// Horizontal concatenation (used for column-pair representations).
-    ConcatCols { a: NodeId, b: NodeId },
+    ConcatCols {
+        a: NodeId,
+        b: NodeId,
+    },
     /// Fused multi-head self-attention core: `softmax(QK^T * scale + mask) V`
     /// per head, heads concatenated. `probs` caches the post-softmax
     /// attention for backward and for attention analysis (Figure 6).
-    Mha { q: NodeId, k: NodeId, v: NodeId, heads: usize, probs: Vec<f32> },
+    Mha {
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        heads: usize,
+        probs: Vec<f32>,
+    },
     /// Inverted-dropout; `mask` holds `0` or `1/(1-p)` per element.
-    Dropout { x: NodeId, mask: Vec<f32> },
+    Dropout {
+        x: NodeId,
+        mask: Vec<f32>,
+    },
     /// Mean negative log-likelihood over rows; caches softmax probabilities.
-    SoftmaxCe { logits: NodeId, targets: Vec<u32>, probs: Tensor },
+    SoftmaxCe {
+        logits: NodeId,
+        targets: Vec<u32>,
+        probs: Tensor,
+    },
     /// Mean binary cross-entropy with logits; caches sigmoids.
-    BceLogits { logits: NodeId, sig: Tensor, targets: Tensor, pos_weight: f32 },
+    BceLogits {
+        logits: NodeId,
+        sig: Tensor,
+        targets: Tensor,
+        pos_weight: f32,
+    },
 }
 
 struct Node {
@@ -166,8 +222,7 @@ impl<'s> Tape<'s> {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (ta, tb) = (self.value(a), self.value(b));
         assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data: Vec<f32> =
-            ta.data().iter().zip(tb.data().iter()).map(|(x, y)| x * y).collect();
+        let data: Vec<f32> = ta.data().iter().zip(tb.data().iter()).map(|(x, y)| x * y).collect();
         let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
         self.push(v, Op::Mul { a, b })
     }
@@ -285,7 +340,14 @@ impl<'s> Tape<'s> {
     /// (each `[S, d]`, `d % heads == 0`). `mask`, if given, is an additive
     /// `[S, S]` matrix (use [`MASK_NEG`] for hidden pairs — TURL's
     /// visibility matrix plugs in here).
-    pub fn mha(&mut self, q: NodeId, k: NodeId, v: NodeId, heads: usize, mask: Option<&AttnMask>) -> NodeId {
+    pub fn mha(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        heads: usize,
+        mask: Option<&AttnMask>,
+    ) -> NodeId {
         let (tq, tk, tv) = (self.value(q), self.value(k), self.value(v));
         let (s, d) = tq.shape();
         assert_eq!(tk.shape(), (s, d), "mha k shape");
@@ -348,11 +410,9 @@ impl<'s> Tape<'s> {
         assert!(p < 1.0, "dropout probability must be < 1");
         let keep = 1.0 - p;
         let tx = self.value(x);
-        let mask: Vec<f32> = (0..tx.len())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-            .collect();
-        let data: Vec<f32> =
-            tx.data().iter().zip(mask.iter()).map(|(v, m)| v * m).collect();
+        let mask: Vec<f32> =
+            (0..tx.len()).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
+        let data: Vec<f32> = tx.data().iter().zip(mask.iter()).map(|(v, m)| v * m).collect();
         let v = Tensor::from_vec(tx.rows(), tx.cols(), data);
         self.push(v, Op::Dropout { x, mask })
     }
@@ -372,10 +432,7 @@ impl<'s> Tape<'s> {
             loss -= probs.get(r, t).max(1e-12).ln();
         }
         loss /= n as f32;
-        self.push(
-            Tensor::scalar(loss),
-            Op::SoftmaxCe { logits, targets: targets.to_vec(), probs },
-        )
+        self.push(Tensor::scalar(loss), Op::SoftmaxCe { logits, targets: targets.to_vec(), probs })
     }
 
     /// Mean binary cross-entropy with logits against `{0, 1}` targets of the
@@ -389,7 +446,12 @@ impl<'s> Tape<'s> {
     /// target is multiplied by `pos_weight`, counteracting the extreme
     /// positive/negative imbalance of multi-label column typing (a couple of
     /// true types among hundreds of classes).
-    pub fn bce_logits_weighted(&mut self, logits: NodeId, targets: &Tensor, pos_weight: f32) -> NodeId {
+    pub fn bce_logits_weighted(
+        &mut self,
+        logits: NodeId,
+        targets: &Tensor,
+        pos_weight: f32,
+    ) -> NodeId {
         assert!(pos_weight > 0.0, "pos_weight must be positive");
         let tl = self.value(logits);
         assert_eq!(tl.shape(), targets.shape(), "bce_logits shape mismatch");
@@ -530,9 +592,7 @@ impl<'s> Tape<'s> {
                     let w = self.value(*weight);
                     let mut dw = Tensor::zeros(w.rows(), w.cols());
                     for (r, &idd) in ids.iter().enumerate() {
-                        for (o, &gv) in
-                            dw.row_mut(idd as usize).iter_mut().zip(g.row(r).iter())
-                        {
+                        for (o, &gv) in dw.row_mut(idd as usize).iter_mut().zip(g.row(r).iter()) {
                             *o += gv;
                         }
                     }

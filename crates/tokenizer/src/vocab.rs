@@ -29,13 +29,9 @@ impl Vocab {
     /// Builds a vocabulary from subword pieces (specials are prepended;
     /// duplicate pieces are ignored).
     pub fn from_pieces<I: IntoIterator<Item = String>>(pieces: I) -> Self {
-        let mut id_to_token: Vec<String> =
-            SPECIAL_TOKENS.iter().map(|s| s.to_string()).collect();
-        let mut token_to_id: HashMap<String, u32> = id_to_token
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.clone(), i as u32))
-            .collect();
+        let mut id_to_token: Vec<String> = SPECIAL_TOKENS.iter().map(|s| s.to_string()).collect();
+        let mut token_to_id: HashMap<String, u32> =
+            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i as u32)).collect();
         for piece in pieces {
             if token_to_id.contains_key(&piece) {
                 continue;
@@ -95,9 +91,7 @@ impl Vocab {
                 return None;
             }
         }
-        Some(Vocab::from_pieces(
-            lines[SPECIAL_TOKENS.len()..].iter().map(|s| s.to_string()),
-        ))
+        Some(Vocab::from_pieces(lines[SPECIAL_TOKENS.len()..].iter().map(|s| s.to_string())))
     }
 }
 

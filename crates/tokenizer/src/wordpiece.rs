@@ -76,13 +76,7 @@ impl WordPiece {
                 let pieces: Vec<String> = w
                     .chars()
                     .enumerate()
-                    .map(|(i, ch)| {
-                        if i == 0 {
-                            ch.to_string()
-                        } else {
-                            format!("##{ch}")
-                        }
-                    })
+                    .map(|(i, ch)| if i == 0 { ch.to_string() } else { format!("##{ch}") })
                     .collect();
                 (pieces, c)
             })
@@ -106,9 +100,7 @@ impl WordPiece {
             let mut pair_counts: HashMap<(String, String), usize> = HashMap::new();
             for (w, c) in &words {
                 for pair in w.windows(2) {
-                    *pair_counts
-                        .entry((pair[0].clone(), pair[1].clone()))
-                        .or_insert(0) += c;
+                    *pair_counts.entry((pair[0].clone(), pair[1].clone())).or_insert(0) += c;
                 }
             }
             // Deterministic argmax: highest count, then lexicographic.

@@ -53,7 +53,8 @@ impl Encoder {
     ) -> Self {
         cfg.validate();
         let d = cfg.hidden;
-        let tok_emb = store.add_randn(format!("{prefix}.emb.tok"), cfg.vocab_size, d, INIT_STD, rng);
+        let tok_emb =
+            store.add_randn(format!("{prefix}.emb.tok"), cfg.vocab_size, d, INIT_STD, rng);
         let pos_emb = store.add_randn(format!("{prefix}.emb.pos"), cfg.max_seq, d, INIT_STD, rng);
         let emb_ln_g = store.add_ones(format!("{prefix}.emb.ln.g"), 1, d);
         let emb_ln_b = store.add_zeros(format!("{prefix}.emb.ln.b"), 1, d);
@@ -121,11 +122,7 @@ impl Encoder {
     ) -> NodeId {
         let s = ids.len();
         assert!(s > 0, "cannot encode an empty sequence");
-        assert!(
-            s <= self.cfg.max_seq,
-            "sequence length {s} exceeds max_seq {}",
-            self.cfg.max_seq
-        );
+        assert!(s <= self.cfg.max_seq, "sequence length {s} exceeds max_seq {}", self.cfg.max_seq);
         let p = self.cfg.dropout;
         let positions: Vec<u32> = (0..s as u32).collect();
         let tok = tape.embedding(self.tok_emb, ids);

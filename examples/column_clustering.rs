@@ -82,9 +82,7 @@ fn main() {
 
     println!("[3/3] k-means (k = {}) and cluster quality:", ALL_CLUSTERS.len());
     let k = ALL_CLUSTERS.len();
-    for (name, embs) in
-        [("Doduo contextualized", &doduo_embs), ("fastText static", &ft_embs)]
-    {
+    for (name, embs) in [("Doduo contextualized", &doduo_embs), ("fastText static", &ft_embs)] {
         let pred = kmeans(embs, k, 100, seed);
         println!(
             "  {name:<22} homogeneity {:.3}  completeness {:.3}  v-measure {:.3}",
@@ -96,16 +94,12 @@ fn main() {
 
     // Show one discovered cluster as the data scientist would see it.
     let pred = kmeans(&doduo_embs, k, 100, seed);
-    let biggest = (0..k)
-        .max_by_key(|&c| pred.iter().filter(|&&p| p == c).count())
-        .expect("k >= 1");
+    let biggest = (0..k).max_by_key(|&c| pred.iter().filter(|&&p| p == c).count()).expect("k >= 1");
     println!("\nlargest Doduo cluster contains columns:");
     for (i, col) in study.columns.iter().enumerate() {
         if pred[i] == biggest {
-            let name = study.tables[col.table_idx].columns[col.col_idx]
-                .name
-                .clone()
-                .unwrap_or_default();
+            let name =
+                study.tables[col.table_idx].columns[col.col_idx].name.clone().unwrap_or_default();
             println!(
                 "  {}.{name}  (gold: {})",
                 study.tables[col.table_idx].id,

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example input_efficiency`
 
 use doduo_core::{
-    build_finetune_model, evaluate, prepare, pretrain_lm, train, DoduoConfig, PretrainRecipe,
-    Task, TrainConfig,
+    build_finetune_model, evaluate, prepare, pretrain_lm, train, DoduoConfig, PretrainRecipe, Task,
+    TrainConfig,
 };
 use doduo_datagen::{
     generate_corpus, generate_wikitable, CorpusConfig, KbConfig, KnowledgeBase, WikiTableConfig,
@@ -59,5 +59,7 @@ fn main() {
             SerializeConfig::new(budget, lm.config.max_seq).max_supported_cols()
         );
     }
-    println!("\n(the paper's Table 8: with BERT's 512-token window, 8 tokens/col supports 56 columns)");
+    println!(
+        "\n(the paper's Table 8: with BERT's 512-token window, 8 tokens/col supports 56 columns)"
+    );
 }

@@ -40,10 +40,8 @@ fn main() {
         (film.title.clone(), "film"),
     ] {
         println!("\ntemplate: \"{entity} is a ___\"   (truth: {truth})");
-        let mut scored: Vec<(f32, &str)> = candidates
-            .iter()
-            .map(|c| (ppl(&format!("{entity} is a {c}")), *c))
-            .collect();
+        let mut scored: Vec<(f32, &str)> =
+            candidates.iter().map(|c| (ppl(&format!("{entity} is a {c}")), *c)).collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ppl"));
         for (i, (p, c)) in scored.iter().enumerate() {
             let marker = if *c == truth { "  <-- truth" } else { "" };

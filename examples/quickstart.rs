@@ -107,10 +107,7 @@ fn main() {
     for rel in &ann.relations {
         println!(
             "      relation col{}→col{}: {} ({:.2})",
-            rel.subject,
-            rel.object,
-            rel.labels[0].0,
-            rel.labels[0].1
+            rel.subject, rel.object, rel.labels[0].0, rel.labels[0].1
         );
     }
 }

@@ -71,11 +71,7 @@ fn fine_tuned_model_generalizes_to_held_out_tables() {
     let p = pipeline();
     let test_p = prepare(&p.model, &p.test_ds, &p.lm.tokenizer);
     let scores = evaluate(&p.model, &p.store, &test_p, doduo_tensor::default_threads());
-    assert!(
-        scores.type_micro.f1 > 0.55,
-        "held-out type F1 too low: {}",
-        scores.type_micro.f1
-    );
+    assert!(scores.type_micro.f1 > 0.55, "held-out type F1 too low: {}", scores.type_micro.f1);
     let rel = scores.rel_micro.expect("relation task was trained");
     assert!(rel.f1 > 0.45, "held-out relation F1 too low: {}", rel.f1);
 }
@@ -116,19 +112,11 @@ fn annotator_handles_raw_unseen_tables() {
     assert_eq!(ann.types.len(), 4);
     assert_eq!(ann.relations.len(), 3);
     // The film column should be typed film.film among the top labels.
-    let film_labels: Vec<&str> =
-        ann.types[0].labels.iter().map(|(n, _)| n.as_str()).collect();
-    assert!(
-        film_labels.contains(&"film.film"),
-        "film column labels: {film_labels:?}"
-    );
+    let film_labels: Vec<&str> = ann.types[0].labels.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(film_labels.contains(&"film.film"), "film column labels: {film_labels:?}");
     // The person column should carry people.person.
-    let person_labels: Vec<&str> =
-        ann.types[1].labels.iter().map(|(n, _)| n.as_str()).collect();
-    assert!(
-        person_labels.contains(&"people.person"),
-        "person column labels: {person_labels:?}"
-    );
+    let person_labels: Vec<&str> = ann.types[1].labels.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(person_labels.contains(&"people.person"), "person column labels: {person_labels:?}");
 }
 
 #[test]

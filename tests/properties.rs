@@ -4,9 +4,7 @@
 //! randomly shaped inputs.
 #![allow(clippy::needless_range_loop)]
 
-use doduo_eval::{
-    completeness, connected_components, homogeneity, multi_label_micro, v_measure,
-};
+use doduo_eval::{completeness, connected_components, homogeneity, multi_label_micro, v_measure};
 use doduo_table::{serialize_table, Column, SerializeConfig, Table};
 use doduo_tensor::{Gradients, ParamStore, Tape, Tensor};
 use doduo_tokenizer::{TrainConfig, WordPiece, CLS, SEP};
@@ -27,12 +25,7 @@ fn cell() -> impl Strategy<Value = String> {
 fn table() -> impl Strategy<Value = Table> {
     (1usize..5, 1usize..5).prop_flat_map(|(cols, rows)| {
         proptest::collection::vec(proptest::collection::vec(cell(), rows..rows + 1), cols..cols + 1)
-            .prop_map(|columns| {
-                Table::new(
-                    "prop",
-                    columns.into_iter().map(Column::new).collect(),
-                )
-            })
+            .prop_map(|columns| Table::new("prop", columns.into_iter().map(Column::new).collect()))
     })
 }
 
@@ -43,11 +36,13 @@ fn shared_tokenizer() -> &'static WordPiece {
         WordPiece::train(
             // Every letter/digit both word-initial and as a continuation
             // piece, so any [a-z0-9]+ word can be decomposed.
-            ["the quick brown fox jumps over the lazy dog",
-             "0 1 2 3 4 5 6 7 8 9",
-             "x0 x1 x2 x3 x4 x5 x6 x7 x8 x9",
-             "a b c d e f g h i j k l m n o p q r s t u v w x y z",
-             "xa xb xc xd xe xf xg xh xi xj xk xl xm xn xo xp xq xr xs xt xu xv xw xx xy xz"],
+            [
+                "the quick brown fox jumps over the lazy dog",
+                "0 1 2 3 4 5 6 7 8 9",
+                "x0 x1 x2 x3 x4 x5 x6 x7 x8 x9",
+                "a b c d e f g h i j k l m n o p q r s t u v w x y z",
+                "xa xb xc xd xe xf xg xh xi xj xk xl xm xn xo xp xq xr xs xt xu xv xw xx xy xz",
+            ],
             &TrainConfig { merges: 100, min_pair_count: 1, max_word_len: 24 },
         )
     })
