@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates-registry access, so this crate
 //! implements the slice of the proptest API the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map` /
 //! `boxed`, range and tuple strategies, a character-class regex subset
 //! for `&str` strategies, [`collection::vec`], the `proptest!` /
 //! `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros and

@@ -174,7 +174,7 @@ impl World {
                 TrainConfig { epochs: 40, batch_size: 12, lr: 2e-3, ..Default::default() }
             }
             Scale::Quick => {
-                TrainConfig { epochs: 45, batch_size: 8, lr: 3e-3, ..Default::default() }
+                TrainConfig { epochs: 30, batch_size: 8, lr: 2e-3, ..Default::default() }
             }
         }
     }
@@ -219,7 +219,9 @@ impl World {
         let n_rels = splits.train.rel_vocab.len().max(1);
         let (mut store, model) = self.model(spec, n_types, n_rels, multi_label);
         let key = format!(
-            "{name}-{:?}-{:?}-b{}-m{}-ml{}-t{:?}-e{}-lr{}-s{}-{:?}",
+            "{name}-h{}l{}-{:?}-{:?}-b{}-m{}-ml{}-t{:?}-e{}-lr{}-s{}-{:?}",
+            self.lm.config.hidden,
+            self.lm.config.layers,
             spec.input_mode,
             spec.attention,
             spec.max_tokens_per_col,
@@ -363,7 +365,7 @@ pub fn shuffled_dataset(ds: &Dataset, rows: bool, cols: bool, seed: u64) -> Data
 
 fn lm_cache_paths(opts: &ExpOptions) -> (PathBuf, PathBuf, PathBuf) {
     let dir = cache_dir();
-    let stem = format!("lm-v5-{:?}-{}", opts.scale, opts.seed);
+    let stem = format!("lm-v6-{:?}-{}", opts.scale, opts.seed);
     (
         dir.join(format!("{stem}.ckpt")),
         dir.join(format!("{stem}.vocab")),
@@ -402,8 +404,8 @@ fn pretrain_recipe(scale: Scale) -> PretrainRecipe {
             ..Default::default()
         },
         Scale::Quick => {
-            let mut r = PretrainRecipe::tiny();
-            r.mlm.epochs = 10;
+            let mut r = PretrainRecipe::default();
+            r.mlm.epochs = 6;
             r.pack_epochs = 0;
             r
         }

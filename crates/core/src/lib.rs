@@ -26,6 +26,8 @@
 //! | TURL (repro)| `TableWise` + `ColumnVisibility` + fine-tuned per task |
 //! | +metadata   | any of the above with `SerializeConfig::with_metadata()` |
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod model;
 pub mod pipeline;
@@ -38,7 +40,9 @@ pub use pipeline::{
     build_finetune_model, build_scratch_model, instantiate_lm, pretrain_lm, PretrainRecipe,
     PretrainedLm, ENC_PREFIX,
 };
-pub use predictor::{Annotator, ColumnTypePrediction, RelationPrediction, TableAnnotation};
+pub use predictor::{
+    scored_labels, Annotator, ColumnTypePrediction, RelationPrediction, TableAnnotation,
+};
 pub use trainer::{
     decode_labels, evaluate, predict_rels, predict_rels_single, predict_types, prepare, train,
     EpochRecord, EvalScores, Predictions, Prepared, RelExample, RelSingleExample, Task,

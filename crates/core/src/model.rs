@@ -48,14 +48,20 @@ pub enum AttentionMode {
 /// Model + task configuration.
 #[derive(Clone, Debug)]
 pub struct DoduoConfig {
+    /// Shape of the shared encoder.
     pub encoder: EncoderConfig,
+    /// Size of the column-type label space `|C_type|`.
     pub n_types: usize,
+    /// Size of the column-relation label space `|C_rel|`.
     pub n_rels: usize,
     /// `true` for WikiTable-style multi-label tasks (BCE loss, §5.3);
     /// `false` for VizNet-style multi-class (cross-entropy).
     pub multi_label: bool,
+    /// Table-serialization policy (§4.2 token budgets, `+metadata`).
     pub serialize: SerializeConfig,
+    /// Table-wise vs single-column serialization (§4.1-4.2).
     pub input_mode: InputMode,
+    /// Full vs TURL-style visibility-restricted attention (§5.4).
     pub attention: AttentionMode,
 }
 
@@ -74,16 +80,19 @@ impl DoduoConfig {
         }
     }
 
+    /// Switches the serialization/input mode (builder style).
     pub fn with_input_mode(mut self, mode: InputMode) -> Self {
         self.input_mode = mode;
         self
     }
 
+    /// Switches the attention connectivity (builder style).
     pub fn with_attention(mut self, attention: AttentionMode) -> Self {
         self.attention = attention;
         self
     }
 
+    /// Replaces the serialization policy (builder style).
     pub fn with_serialize(mut self, s: SerializeConfig) -> Self {
         self.serialize = s;
         self
@@ -93,6 +102,7 @@ impl DoduoConfig {
 /// The Doduo annotation model `M = (LM, {g_type, g_rel})`.
 pub struct DoduoModel {
     cfg: DoduoConfig,
+    /// The shared Transformer encoder (`LM` in `M = (LM, {g_type, g_rel})`).
     pub encoder: Encoder,
     type_dense_w: ParamId,
     type_dense_b: ParamId,
@@ -140,6 +150,7 @@ impl DoduoModel {
         }
     }
 
+    /// The model's configuration.
     pub fn config(&self) -> &DoduoConfig {
         &self.cfg
     }
@@ -218,8 +229,24 @@ impl DoduoModel {
         let cols = self.column_embeddings(tape, st, rng);
         let subj: Vec<u32> = pairs.iter().map(|p| p.0 as u32).collect();
         let obj: Vec<u32> = pairs.iter().map(|p| p.1 as u32).collect();
-        let a = tape.row_select(cols, &subj);
-        let b = tape.row_select(cols, &obj);
+        self.rel_logits_from_embeddings(tape, cols, &subj, &obj)
+    }
+
+    /// Relation logits from a `[n, d]` column-embedding node and parallel
+    /// subject/object row indices into it (eq. 2's
+    /// `g_rel(LM(T)_{i_j} ⊕ LM(T)_{i_k})`). The batched annotation path
+    /// selects rows out of a whole batch's packed column matrix here.
+    pub fn rel_logits_from_embeddings(
+        &self,
+        tape: &mut Tape<'_>,
+        cols: NodeId,
+        subj: &[u32],
+        obj: &[u32],
+    ) -> NodeId {
+        assert_eq!(subj.len(), obj.len(), "subject/object index count mismatch");
+        assert!(!subj.is_empty(), "no relation pairs requested");
+        let a = tape.row_select(cols, subj);
+        let b = tape.row_select(cols, obj);
         let pair = tape.concat_cols(a, b);
         let h = tape.linear(pair, self.rel_dense_w, self.rel_dense_b);
         let act = tape.gelu(h);

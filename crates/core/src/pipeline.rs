@@ -23,7 +23,9 @@ pub const ENC_PREFIX: &str = "enc";
 
 /// A pretrained language model: tokenizer + encoder shape + weights.
 pub struct PretrainedLm {
+    /// The WordPiece tokenizer trained on the pretraining corpus.
     pub tokenizer: WordPiece,
+    /// Shape of the pretrained encoder.
     pub config: EncoderConfig,
     /// Checkpoint of the encoder plus its MLM head (the head is skipped by
     /// fine-tuning loads and used by the probing analysis).
@@ -35,14 +37,22 @@ pub struct PretrainedLm {
 /// Pretraining recipe.
 #[derive(Clone, Debug)]
 pub struct PretrainRecipe {
+    /// WordPiece training hyper-parameters.
     pub tokenizer: TokTrainConfig,
-    /// Maps the trained vocabulary size to an encoder shape.
+    /// Encoder hidden width (the trained vocabulary size supplies the
+    /// embedding-table height).
     pub hidden: usize,
+    /// Number of Transformer blocks.
     pub layers: usize,
+    /// Attention heads; must divide `hidden`.
     pub heads: usize,
+    /// Feed-forward inner width.
     pub ffn: usize,
+    /// Maximum sequence length (bounds fine-tuning serializations too).
     pub max_seq: usize,
+    /// Dropout probability during pretraining.
     pub dropout: f32,
+    /// Masked-language-model objective hyper-parameters.
     pub mlm: MlmConfig,
     /// Pack multiple sentences (separated by `[SEP]`) into sequences of up
     /// to this many tokens, BERT-style. Crucial: fine-tuning serializes

@@ -1,18 +1,29 @@
 //! The "toolbox" API (§1: *"can be used with just a few lines of Python
 //! code"* — here, Rust): annotate an unseen table with types, relations and
 //! contextualized column embeddings.
+//!
+//! All annotation funnels through one batched inference path:
+//! [`Annotator::annotate_serialized`] packs any number of serialized
+//! tables into a single ragged forward pass (`Encoder::forward_batch`),
+//! selects every `[CLS]` row of the whole batch at once, and runs each
+//! classification head exactly once per batch. [`Annotator::annotate`] is
+//! the batch of one. Deduplicating tokenization, choosing batch
+//! compositions, and fanning batches across worker threads are serving
+//! concerns layered on top by `doduo-serve`'s `BatchAnnotator`.
 
 use crate::model::{DoduoModel, InputMode};
 use crate::trainer::decode_labels;
-use doduo_table::{LabelVocab, Table};
-use doduo_tensor::{softmax_row, ParamStore, Tape};
+use doduo_table::{LabelVocab, SerializedTable, Table};
+use doduo_tensor::{softmax_row, AttnMask, ParamStore, Tape};
 use doduo_tokenizer::WordPiece;
+use doduo_transformer::BatchSeq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Predicted labels for one column.
 #[derive(Clone, Debug)]
 pub struct ColumnTypePrediction {
+    /// Column index within the table.
     pub column: usize,
     /// `(label name, score)` — sigmoid probabilities in multi-label mode,
     /// softmax probabilities otherwise; sorted descending.
@@ -22,24 +33,35 @@ pub struct ColumnTypePrediction {
 /// Predicted relation between the subject column and one object column.
 #[derive(Clone, Debug)]
 pub struct RelationPrediction {
+    /// Subject column index (the paper always uses column 0).
     pub subject: usize,
+    /// Object column index.
     pub object: usize,
+    /// `(label name, score)` pairs, sorted descending.
     pub labels: Vec<(String, f32)>,
 }
 
 /// Full annotation of a table.
 #[derive(Clone, Debug)]
 pub struct TableAnnotation {
+    /// One prediction per column, in column order.
     pub types: Vec<ColumnTypePrediction>,
+    /// One prediction per `(0, j)` column pair (empty in single-column
+    /// mode or when the model has no relation vocabulary).
     pub relations: Vec<RelationPrediction>,
 }
 
 /// A trained model bundled with everything needed to annotate raw tables.
 pub struct Annotator<'a> {
+    /// The fine-tuned model.
     pub model: &'a DoduoModel,
+    /// The weights backing `model`.
     pub store: &'a ParamStore,
+    /// The tokenizer the model was trained with.
     pub tokenizer: &'a WordPiece,
+    /// Names for the column-type label ids.
     pub type_vocab: &'a LabelVocab,
+    /// Names for the column-relation label ids.
     pub rel_vocab: &'a LabelVocab,
 }
 
@@ -47,79 +69,139 @@ fn sigmoid(z: f32) -> f32 {
     1.0 / (1.0 + (-z).exp())
 }
 
-impl Annotator<'_> {
-    /// Scored labels from one logit row, sorted descending, with the set the
-    /// decision rule would emit placed first.
-    fn scored(&self, logits: &[f32], vocab: &LabelVocab, multi_label: bool) -> Vec<(String, f32)> {
-        let mut scores: Vec<f32> = logits.to_vec();
-        if multi_label {
-            for s in scores.iter_mut() {
-                *s = sigmoid(*s);
-            }
-        } else {
-            softmax_row(&mut scores);
+/// Scored labels from one logit row, sorted descending, with the set the
+/// decision rule would emit placed first: sigmoid probabilities in
+/// multi-label mode, softmax probabilities otherwise, truncated to the
+/// decision-rule labels plus the next best few for context.
+pub fn scored_labels(logits: &[f32], vocab: &LabelVocab, multi_label: bool) -> Vec<(String, f32)> {
+    let mut scores: Vec<f32> = logits.to_vec();
+    if multi_label {
+        for s in scores.iter_mut() {
+            *s = sigmoid(*s);
         }
-        let chosen = decode_labels(logits, multi_label);
-        let mut rows: Vec<(String, f32)> = scores
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (vocab.name(i as u32).to_string(), s))
-            .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
-        // Keep the decision-rule labels plus the next best few for context.
-        let keep = chosen.len().max(3).min(rows.len());
-        rows.truncate(keep);
-        rows
+    } else {
+        softmax_row(&mut scores);
+    }
+    let chosen = decode_labels(logits, multi_label);
+    let mut rows: Vec<(String, f32)> =
+        scores.iter().enumerate().map(|(i, &s)| (vocab.name(i as u32).to_string(), s)).collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    // Keep the decision-rule labels plus the next best few for context.
+    let keep = chosen.len().max(3).min(rows.len());
+    rows.truncate(keep);
+    rows
+}
+
+impl Annotator<'_> {
+    /// Annotates every column (and, in table-wise mode, every `(0, j)`
+    /// column pair) of a table. Delegates to the batched path with a batch
+    /// of one, so single-table and batched annotation share one code path
+    /// and produce identical results.
+    pub fn annotate(&self, table: &Table) -> TableAnnotation {
+        self.annotate_all(std::slice::from_ref(table)).pop().expect("one table in, one out")
     }
 
-    /// Annotates every column (and, in table-wise mode, every `(0, j)`
-    /// column pair) of a table.
-    pub fn annotate(&self, table: &Table) -> TableAnnotation {
-        let ml = self.model.config().multi_label;
+    /// Annotates a slice of tables in one packed forward pass (one tape,
+    /// single-threaded). This is the building block `doduo-serve` composes
+    /// into micro-batches and fans across threads.
+    pub fn annotate_all(&self, tables: &[Table]) -> Vec<TableAnnotation> {
+        let groups: Vec<Vec<SerializedTable>> =
+            tables.iter().map(|t| self.model.serialize_for_types(t, self.tokenizer)).collect();
+        let borrowed: Vec<&[SerializedTable]> = groups.iter().map(Vec::as_slice).collect();
+        self.annotate_serialized(&borrowed)
+    }
+
+    /// Annotates pre-serialized tables: each group is the output of
+    /// `DoduoModel::serialize_for_types` for one table (one sequence in
+    /// table-wise mode, one per column in single-column mode). All
+    /// sequences of all groups run through a single
+    /// `Encoder::forward_batch` call; the type head runs once over every
+    /// `[CLS]` row of the batch and the relation head once over every
+    /// `(0, j)` pair of every table. Output order matches input order, and
+    /// each annotation is bit-identical to what [`Annotator::annotate`]
+    /// produces for that table alone.
+    pub fn annotate_serialized(&self, groups: &[&[SerializedTable]]) -> Vec<TableAnnotation> {
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let cfg = self.model.config();
+        let ml = cfg.multi_label;
+        let table_wise = cfg.input_mode == InputMode::TableWise;
+
+        // Flatten every sequence of every group into one batch.
+        let sts: Vec<&SerializedTable> = groups.iter().flat_map(|g| g.iter()).collect();
+        assert!(!sts.is_empty(), "every table serializes to at least one sequence");
+        let vis: Vec<Option<AttnMask>> =
+            sts.iter().map(|st| self.model.visibility_mask(st)).collect();
+        let seqs: Vec<BatchSeq<'_>> = sts
+            .iter()
+            .zip(vis.iter())
+            .map(|(st, m)| BatchSeq { ids: &st.ids, mask: m.as_ref() })
+            .collect();
+
         let mut rng = StdRng::seed_from_u64(0);
-        let mut types = Vec::with_capacity(table.n_cols());
-        match self.model.config().input_mode {
-            InputMode::TableWise => {
-                let st = self.model.serialize_for_types(table, self.tokenizer).remove(0);
-                let mut tape = Tape::inference(self.store);
-                let logits = self.model.type_logits(&mut tape, &st, &mut rng);
-                let v = tape.value(logits);
-                for c in 0..v.rows() {
-                    types.push(ColumnTypePrediction {
-                        column: c,
-                        labels: self.scored(v.row(c), self.type_vocab, ml),
-                    });
+        let mut tape = Tape::inference(self.store);
+        let enc = self.model.encoder.forward_batch(&mut tape, &seqs, &mut rng);
+
+        // Every column's `[CLS]` row across the whole batch, in
+        // (sequence, column) order; `col_row0[b]` is sequence b's first row
+        // in the resulting `[total_cols, d]` matrix.
+        let mut cls_rows: Vec<u32> = Vec::new();
+        let mut col_row0: Vec<usize> = Vec::with_capacity(sts.len());
+        for (b, st) in sts.iter().enumerate() {
+            col_row0.push(cls_rows.len());
+            cls_rows.extend(st.cls_positions.iter().map(|&p| enc.row_of(b, p as usize) as u32));
+        }
+        let cols = tape.row_select(enc.node, &cls_rows);
+        let type_logits = self.model.type_logits_from_embeddings(&mut tape, cols);
+
+        // Relation pairs (0, j) per table-wise sequence with 2+ columns.
+        let mut subj: Vec<u32> = Vec::new();
+        let mut obj: Vec<u32> = Vec::new();
+        if table_wise && !self.rel_vocab.is_empty() {
+            for (b, st) in sts.iter().enumerate() {
+                for j in 1..st.n_cols() {
+                    subj.push(col_row0[b] as u32);
+                    obj.push((col_row0[b] + j) as u32);
                 }
-                let mut relations = Vec::new();
-                if table.n_cols() > 1 && !self.rel_vocab.is_empty() {
-                    let pairs: Vec<(usize, usize)> = (1..table.n_cols()).map(|j| (0, j)).collect();
-                    let mut tape = Tape::inference(self.store);
-                    let logits = self.model.rel_logits(&mut tape, &st, &pairs, &mut rng);
-                    let v = tape.value(logits);
-                    for (r, &(s, o)) in pairs.iter().enumerate() {
-                        relations.push(RelationPrediction {
-                            subject: s,
-                            object: o,
-                            labels: self.scored(v.row(r), self.rel_vocab, ml),
-                        });
-                    }
-                }
-                TableAnnotation { types, relations }
-            }
-            InputMode::SingleColumn => {
-                for (c, st) in
-                    self.model.serialize_for_types(table, self.tokenizer).into_iter().enumerate()
-                {
-                    let mut tape = Tape::inference(self.store);
-                    let logits = self.model.type_logits(&mut tape, &st, &mut rng);
-                    types.push(ColumnTypePrediction {
-                        column: c,
-                        labels: self.scored(tape.value(logits).row(0), self.type_vocab, ml),
-                    });
-                }
-                TableAnnotation { types, relations: Vec::new() }
             }
         }
+        let rel_logits = (!subj.is_empty())
+            .then(|| self.model.rel_logits_from_embeddings(&mut tape, cols, &subj, &obj));
+
+        // Scatter head outputs back into per-table annotations.
+        let tv = tape.value(type_logits);
+        let rv = rel_logits.map(|n| tape.value(n));
+        let mut out = Vec::with_capacity(groups.len());
+        let mut seq = 0usize;
+        let mut rel_row = 0usize;
+        for group in groups {
+            let mut types = Vec::new();
+            let mut relations = Vec::new();
+            for st in group.iter() {
+                let row0 = col_row0[seq];
+                for c in 0..st.n_cols() {
+                    types.push(ColumnTypePrediction {
+                        column: types.len(),
+                        labels: scored_labels(tv.row(row0 + c), self.type_vocab, ml),
+                    });
+                }
+                if table_wise && !self.rel_vocab.is_empty() {
+                    for j in 1..st.n_cols() {
+                        let v = rv.expect("relation logits exist when pairs do");
+                        relations.push(RelationPrediction {
+                            subject: 0,
+                            object: j,
+                            labels: scored_labels(v.row(rel_row), self.rel_vocab, ml),
+                        });
+                        rel_row += 1;
+                    }
+                }
+                seq += 1;
+            }
+            out.push(TableAnnotation { types, relations });
+        }
+        out
     }
 
     /// Contextualized column embeddings (the `[CLS]` outputs, §4.3) — the
@@ -245,6 +327,52 @@ mod tests {
         // Different columns get different embeddings.
         let diff: f32 = embs[0].iter().zip(&embs[1]).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn annotate_all_matches_one_by_one_bitwise() {
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        // Different column counts and lengths force padding in the batch.
+        let tables = vec![
+            table(),
+            Table::new("u", vec![Column::new(vec!["gamma".into()])]),
+            Table::new(
+                "v",
+                vec![
+                    Column::new(vec!["one two three".into(), "alpha".into()]),
+                    Column::new(vec!["beta".into()]),
+                    Column::new(vec!["two".into(), "three".into()]),
+                ],
+            ),
+        ];
+        let batched = ann.annotate_all(&tables);
+        assert_eq!(batched.len(), tables.len());
+        for (t, b) in tables.iter().zip(&batched) {
+            let single = ann.annotate(t);
+            assert_eq!(single.types.len(), b.types.len());
+            for (x, y) in single.types.iter().zip(&b.types) {
+                assert_eq!(x.column, y.column);
+                for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+                    assert_eq!(n1, n2);
+                    assert_eq!(s1.to_bits(), s2.to_bits(), "type scores must be bit-identical");
+                }
+            }
+            assert_eq!(single.relations.len(), b.relations.len());
+            for (x, y) in single.relations.iter().zip(&b.relations) {
+                assert_eq!((x.subject, x.object), (y.subject, y.object));
+                for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+                    assert_eq!(n1, n2);
+                    assert_eq!(s1.to_bits(), s2.to_bits(), "rel scores must be bit-identical");
+                }
+            }
+        }
     }
 
     #[test]

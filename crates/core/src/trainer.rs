@@ -17,18 +17,24 @@ use rand::{Rng, SeedableRng};
 /// The two annotation tasks of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Task {
+    /// Column-type prediction (eq. 1).
     ColumnType,
+    /// Column-relation prediction (eq. 2).
     ColumnRelation,
 }
 
 /// Fine-tuning hyper-parameters.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
+    /// Fine-tuning epochs (each epoch visits every task, Algorithm 1).
     pub epochs: usize,
+    /// Tables per optimizer step.
     pub batch_size: usize,
     /// Initial learning rate of the per-task linear-decay schedules.
     pub lr: f32,
+    /// Worker threads for the per-batch gradient fan-out.
     pub threads: usize,
+    /// Seed for batch shuffling and dropout streams.
     pub seed: u64,
     /// Global gradient-norm clip.
     pub clip: f32,
@@ -60,6 +66,7 @@ impl Default for TrainConfig {
 /// table-wise mode, one column in single-column mode) plus gold labels for
 /// each represented column.
 pub struct TypeExample {
+    /// The serialized sequence.
     pub st: SerializedTable,
     /// Gold label ids per represented column.
     pub gold: Vec<Vec<u32>>,
@@ -70,23 +77,34 @@ pub struct TypeExample {
 /// A pre-serialized relation example in table-wise mode: one sequence plus
 /// the (subject, object) pairs and their gold relations.
 pub struct RelExample {
+    /// The serialized whole table.
     pub st: SerializedTable,
+    /// `(subject, object)` column-index pairs with annotated relations.
     pub pairs: Vec<(usize, usize)>,
+    /// Gold relation id per pair.
     pub gold: Vec<u32>,
+    /// Multi-hot targets (built once) when the task is multi-label.
     pub multi_hot: Option<Tensor>,
 }
 
 /// A relation example in single-column mode: one serialized column pair.
 pub struct RelSingleExample {
+    /// The serialized column pair.
     pub st: SerializedTable,
+    /// Gold relation id.
     pub gold: u32,
+    /// Multi-hot target (built once) when the task is multi-label.
     pub multi_hot: Option<Tensor>,
 }
 
 /// All training/evaluation examples for one dataset under one model config.
 pub struct Prepared {
+    /// Type-task examples (one per table, or one per column in
+    /// single-column mode).
     pub types: Vec<TypeExample>,
+    /// Relation-task examples in table-wise mode.
     pub rels: Vec<RelExample>,
+    /// Relation-task examples in single-column (pair) mode.
     pub rels_single: Vec<RelSingleExample>,
 }
 
@@ -149,11 +167,14 @@ pub fn prepare(model: &DoduoModel, ds: &Dataset, tok: &WordPiece) -> Prepared {
 /// the single-label case, so the same micro-F1 code covers both regimes).
 #[derive(Clone, Debug, Default)]
 pub struct Predictions {
+    /// Predicted label sets, one per example.
     pub pred: Vec<Vec<u32>>,
+    /// Gold label sets, aligned with `pred`.
     pub gold: Vec<Vec<u32>>,
 }
 
 impl Predictions {
+    /// Micro-averaged precision/recall/F1 over all predictions.
     pub fn micro(&self) -> Prf {
         multi_label_micro(&self.pred, &self.gold)
     }
@@ -298,7 +319,9 @@ pub fn predict_rels_single(
 /// Validation scores after an epoch.
 #[derive(Clone, Debug)]
 pub struct EvalScores {
+    /// Micro-averaged column-type scores.
     pub type_micro: Prf,
+    /// Micro-averaged relation scores (absent when no relation examples).
     pub rel_micro: Option<Prf>,
 }
 
@@ -348,14 +371,19 @@ pub fn evaluate(
 /// Per-epoch record in a [`TrainReport`].
 #[derive(Clone, Debug)]
 pub struct EpochRecord {
+    /// Mean training loss per task this epoch (`NaN` for empty tasks).
     pub task_losses: Vec<(Task, f32)>,
+    /// Validation scores after the epoch.
     pub valid: EvalScores,
 }
 
 /// Outcome of a training run.
 pub struct TrainReport {
+    /// Per-epoch losses and validation scores.
     pub epochs: Vec<EpochRecord>,
+    /// Epoch whose checkpoint was kept (with `select_best`).
     pub best_epoch: usize,
+    /// Validation selection score of the kept checkpoint.
     pub best_score: f64,
 }
 

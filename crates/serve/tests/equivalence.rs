@@ -1,0 +1,145 @@
+//! The batched engine's contract: `BatchAnnotator` output is byte-identical
+//! to sequential `Annotator::annotate`, at every batch size and thread
+//! count, in both input modes.
+
+use doduo_core::{Annotator, DoduoConfig, DoduoModel, InputMode, TableAnnotation};
+use doduo_datagen::{generate_wikitable, KbConfig, KnowledgeBase, WikiTableConfig};
+use doduo_serve::{BatchAnnotator, BatchConfig};
+use doduo_table::{LabelVocab, SerializeConfig, Table};
+use doduo_tensor::ParamStore;
+use doduo_tokenizer::{TrainConfig as TokTrain, WordPiece};
+use doduo_transformer::EncoderConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    store: ParamStore,
+    model: DoduoModel,
+    tok: WordPiece,
+    type_vocab: LabelVocab,
+    rel_vocab: LabelVocab,
+    tables: Vec<Table>,
+}
+
+/// A seeded corpus of WikiTable-style tables plus a randomly initialized
+/// model (annotation is deterministic regardless of training state).
+fn world(mode: InputMode) -> World {
+    let kb = KnowledgeBase::generate(&KbConfig::default(), 11);
+    let ds = generate_wikitable(
+        &kb,
+        &WikiTableConfig { n_tables: 24, min_rows: 2, max_rows: 3, seed: 11 },
+    );
+    let corpus: Vec<String> = ds
+        .tables
+        .iter()
+        .flat_map(|t| t.table.columns.iter())
+        .flat_map(|c| c.values.iter().cloned())
+        .collect();
+    let tok = WordPiece::train(
+        corpus.iter().map(String::as_str),
+        &TokTrain { merges: 300, min_pair_count: 2, max_word_len: 24 },
+    );
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let enc = EncoderConfig::tiny(tok.vocab_size());
+    let max_seq = enc.max_seq;
+    let cfg = DoduoConfig::new(enc, ds.type_vocab.len(), ds.rel_vocab.len().max(1), true)
+        .with_input_mode(mode)
+        .with_serialize(SerializeConfig::new(8, max_seq));
+    let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
+    let tables: Vec<Table> = ds.tables.into_iter().map(|t| t.table).collect();
+    World { store, model, tok, type_vocab: ds.type_vocab, rel_vocab: ds.rel_vocab, tables }
+}
+
+fn assert_bit_identical(a: &TableAnnotation, b: &TableAnnotation, table: usize) {
+    assert_eq!(a.types.len(), b.types.len(), "table {table}: type count");
+    for (x, y) in a.types.iter().zip(&b.types) {
+        assert_eq!(x.column, y.column, "table {table}");
+        assert_eq!(x.labels.len(), y.labels.len(), "table {table} col {}", x.column);
+        for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+            assert_eq!(n1, n2, "table {table} col {}", x.column);
+            assert_eq!(s1.to_bits(), s2.to_bits(), "table {table} col {}: score bits", x.column);
+        }
+    }
+    assert_eq!(a.relations.len(), b.relations.len(), "table {table}: relation count");
+    for (x, y) in a.relations.iter().zip(&b.relations) {
+        assert_eq!((x.subject, x.object), (y.subject, y.object), "table {table}");
+        for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+            assert_eq!(n1, n2, "table {table} rel ({}, {})", x.subject, x.object);
+            assert_eq!(s1.to_bits(), s2.to_bits(), "table {table}: rel score bits");
+        }
+    }
+}
+
+fn annotator(w: &World) -> Annotator<'_> {
+    Annotator {
+        model: &w.model,
+        store: &w.store,
+        tokenizer: &w.tok,
+        type_vocab: &w.type_vocab,
+        rel_vocab: &w.rel_vocab,
+    }
+}
+
+fn check_equivalence(mode: InputMode, threads: usize, max_batch: usize) {
+    check_equivalence_with_tokens(mode, threads, max_batch, BatchConfig::default().max_batch_tokens)
+}
+
+fn check_equivalence_with_tokens(
+    mode: InputMode,
+    threads: usize,
+    max_batch: usize,
+    max_batch_tokens: usize,
+) {
+    let w = world(mode);
+    let sequential: Vec<TableAnnotation> =
+        w.tables.iter().map(|t| annotator(&w).annotate(t)).collect();
+    let server = BatchAnnotator::with_config(
+        annotator(&w),
+        BatchConfig { max_batch, max_batch_tokens, threads, cache_capacity: 512 },
+    );
+    let batched = server.annotate_batch(&w.tables);
+    assert_eq!(batched.len(), sequential.len());
+    for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+        assert_bit_identical(s, b, i);
+    }
+}
+
+#[test]
+fn batched_equals_sequential_one_thread() {
+    check_equivalence(InputMode::TableWise, 1, 8);
+}
+
+#[test]
+fn batched_equals_sequential_four_threads() {
+    check_equivalence(InputMode::TableWise, 4, 8);
+}
+
+#[test]
+fn batched_equals_sequential_single_column_mode() {
+    check_equivalence(InputMode::SingleColumn, 4, 16);
+}
+
+#[test]
+fn batch_of_everything_in_one_forward() {
+    // Both bounds larger than the corpus: the whole slice becomes one
+    // packed forward pass and must still match.
+    check_equivalence_with_tokens(InputMode::TableWise, 2, 1024, usize::MAX);
+}
+
+#[test]
+fn cache_dedupes_repeated_columns() {
+    let w = world(InputMode::TableWise);
+    let server = BatchAnnotator::new(annotator(&w));
+    let first = server.annotate_batch(&w.tables);
+    let cold = server.cache_stats();
+    assert_eq!(cold.hits + cold.misses, cold.misses, "first pass is all misses");
+    // Annotating the same tables again must be answered from the cache.
+    let second = server.annotate_batch(&w.tables);
+    let warm = server.cache_stats();
+    assert_eq!(warm.misses, cold.misses, "second pass must not retokenize");
+    assert_eq!(warm.hits as usize, cold.misses as usize, "second pass is all hits");
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_bit_identical(a, b, i);
+    }
+}

@@ -14,6 +14,7 @@ pub mod serialize;
 pub use labels::{AnnotatedTable, Dataset, LabelId, LabelVocab, RelAnnotation};
 pub use model::{is_numeric_like, Column, Table};
 pub use serialize::{
-    serialize_column_pair, serialize_single_column, serialize_table, SerializeConfig,
-    SerializedTable, NO_COLUMN,
+    assemble_single_column, assemble_table_wise, column_tokens, serialize_column_pair,
+    serialize_single_column, serialize_table, single_column_budget, table_wise_budget,
+    SerializeConfig, SerializedTable, NO_COLUMN,
 };

@@ -75,8 +75,33 @@ impl SerializedTable {
     }
 }
 
-/// Tokenizes one column's content under a token budget.
-fn column_tokens(
+/// The effective per-column token budget of a table-wise serialization of
+/// `n_cols` columns: the configured `max_tokens_per_col`, shrunk evenly so
+/// `n_cols` columns (each costing `1 + budget` tokens) plus the trailing
+/// `[SEP]` fit under `max_seq`. Exposed so serving-side tokenization caches
+/// can key cached column tokens by the exact budget the serializer will
+/// use.
+pub fn table_wise_budget(cfg: &SerializeConfig, n_cols: usize) -> usize {
+    assert!(n_cols > 0, "cannot serialize a table with no columns");
+    let mut budget = cfg.max_tokens_per_col;
+    let fit = (cfg.max_seq.saturating_sub(1 + n_cols)) / n_cols;
+    if budget == 0 || budget > fit {
+        budget = fit.max(1);
+    }
+    budget
+}
+
+/// The effective token budget of a single-column serialization (§4.1) —
+/// the single-sequence counterpart of [`table_wise_budget`].
+pub fn single_column_budget(cfg: &SerializeConfig) -> usize {
+    effective_single_budget(cfg, 1)
+}
+
+/// Tokenizes one column's content under a token budget: optional header
+/// first (the `+metadata` variant), then cell values in row order,
+/// truncated to `budget` ids (`0` = unlimited). This is the unit of work a
+/// serving-side tokenization cache memoizes.
+pub fn column_tokens(
     table: &Table,
     col: usize,
     tok: &WordPiece,
@@ -106,35 +131,54 @@ fn column_tokens(
 /// trailing `[SEP]`.
 pub fn serialize_table(table: &Table, tok: &WordPiece, cfg: &SerializeConfig) -> SerializedTable {
     let n = table.n_cols();
-    assert!(n > 0, "cannot serialize a table with no columns");
-    // Fit the per-column budget to the sequence cap: n columns cost
-    // n * (1 + budget) + 1 tokens.
-    let mut budget = cfg.max_tokens_per_col;
-    let fit = (cfg.max_seq.saturating_sub(1 + n)) / n;
-    if budget == 0 || budget > fit {
-        budget = fit.max(1);
-    }
+    let budget = table_wise_budget(cfg, n);
+    let toks: Vec<Vec<u32>> =
+        (0..n).map(|c| column_tokens(table, c, tok, budget, cfg.include_metadata)).collect();
+    let st = assemble_table_wise(&toks);
+    debug_assert!(
+        st.ids.len() <= cfg.max_seq,
+        "serialized length {} > cap {}",
+        st.ids.len(),
+        cfg.max_seq
+    );
+    st
+}
 
+/// Assembles a table-wise serialization (§4.2) from already-tokenized
+/// columns: `[CLS] toks_1 ... [CLS] toks_n [SEP]`, with the column
+/// bookkeeping filled in. [`serialize_table`] is exactly
+/// [`column_tokens`] per column (under [`table_wise_budget`]) followed by
+/// this assembly, so a caller memoizing column tokens reproduces it
+/// byte-identically.
+pub fn assemble_table_wise<T: AsRef<[u32]>>(col_tokens: &[T]) -> SerializedTable {
+    assert!(!col_tokens.is_empty(), "cannot serialize a table with no columns");
     let mut ids = Vec::new();
-    let mut cls_positions = Vec::with_capacity(n);
+    let mut cls_positions = Vec::with_capacity(col_tokens.len());
     let mut col_of_token = Vec::new();
-    for c in 0..n {
+    for (c, toks) in col_tokens.iter().enumerate() {
+        let toks = toks.as_ref();
         cls_positions.push(ids.len() as u32);
         ids.push(CLS);
         col_of_token.push(c as u32);
-        let toks = column_tokens(table, c, tok, budget, cfg.include_metadata);
         col_of_token.extend(std::iter::repeat_n(c as u32, toks.len()));
-        ids.extend(toks);
+        ids.extend_from_slice(toks);
     }
     ids.push(SEP);
     col_of_token.push(NO_COLUMN);
-    debug_assert!(
-        ids.len() <= cfg.max_seq,
-        "serialized length {} > cap {}",
-        ids.len(),
-        cfg.max_seq
-    );
     SerializedTable { ids, cls_positions, col_of_token }
+}
+
+/// Assembles a single-column serialization (§4.1) from already-tokenized
+/// content: `[CLS] toks [SEP]`. The cached-tokenization counterpart of
+/// [`serialize_single_column`].
+pub fn assemble_single_column(tokens: &[u32]) -> SerializedTable {
+    let mut ids = Vec::with_capacity(tokens.len() + 2);
+    ids.push(CLS);
+    ids.extend_from_slice(tokens);
+    ids.push(SEP);
+    let mut col_of_token = vec![0u32; ids.len()];
+    *col_of_token.last_mut().expect("non-empty") = NO_COLUMN;
+    SerializedTable { ids, cls_positions: vec![0], col_of_token }
 }
 
 /// Single-column serialization (§4.1): `[CLS] values [SEP]`, one `[CLS]`.
@@ -144,14 +188,8 @@ pub fn serialize_single_column(
     tok: &WordPiece,
     cfg: &SerializeConfig,
 ) -> SerializedTable {
-    let budget = effective_single_budget(cfg, 1);
-    let mut ids = vec![CLS];
-    let toks = column_tokens(table, col, tok, budget, cfg.include_metadata);
-    ids.extend(toks);
-    ids.push(SEP);
-    let mut col_of_token = vec![0u32; ids.len()];
-    *col_of_token.last_mut().expect("non-empty") = NO_COLUMN;
-    SerializedTable { ids, cls_positions: vec![0], col_of_token }
+    let budget = single_column_budget(cfg);
+    assemble_single_column(&column_tokens(table, col, tok, budget, cfg.include_metadata))
 }
 
 /// Column-pair serialization (§4.1):

@@ -102,6 +102,39 @@ enum Op {
         heads: usize,
         probs: Vec<f32>,
     },
+    /// Block-diagonal batched attention: sequences packed row-wise (no
+    /// padding) attend only within their own block. The batched inference
+    /// path packs one table per block. Unlike [`Op::Mha`], attention
+    /// probabilities are NOT cached — a large batch would hold
+    /// `heads * sum(len^2)` floats per layer — they are recomputed from
+    /// `q`/`k` (bit-identically) if backward runs.
+    MhaBatch {
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        heads: usize,
+        /// Length of each packed block; they sum to the node's row count.
+        lens: Vec<usize>,
+        /// Per-block additive masks, kept for the backward recompute.
+        masks: Vec<Option<AttnMask>>,
+    },
+    /// Fused Q/K/V projection: `[X Wq + bq | X Wk + bk | X Wv + bv]` in one
+    /// pass over `X`, producing `[rows, 3d]`. One activation read instead
+    /// of three — the memory-bandwidth win behind the batched serving path.
+    FusedQkv {
+        x: NodeId,
+        /// Weight nodes `[wq, wk, wv]` (each `[d_in, d]`).
+        ws: [NodeId; 3],
+        /// Bias nodes `[bq, bk, bv]` (each `[1, d]`).
+        bs: [NodeId; 3],
+    },
+    /// [`Op::MhaBatch`] over a fused `[rows, 3d]` Q|K|V node.
+    MhaBatchQkv {
+        qkv: NodeId,
+        heads: usize,
+        lens: Vec<usize>,
+        masks: Vec<Option<AttnMask>>,
+    },
     /// Inverted-dropout; `mask` holds `0` or `1/(1-p)` per element.
     Dropout {
         x: NodeId,
@@ -356,40 +389,167 @@ impl<'s> Tape<'s> {
         if let Some(m) = mask {
             assert_eq!(m.len(), s * s, "mask must be [S, S]");
         }
+        let mask = mask.map(|m| m.as_slice());
         let dh = d / heads;
         let scale = 1.0 / (dh as f32).sqrt();
-
         let mut out = Tensor::zeros(s, d);
         let mut probs = vec![0.0f32; heads * s * s];
-        let mut scores = vec![0.0f32; s];
         for h in 0..heads {
             let off = h * dh;
             for i in 0..s {
-                let qi = &tq.row(i)[off..off + dh];
-                for j in 0..s {
-                    let kj = &tk.row(j)[off..off + dh];
-                    let mut acc = 0.0f32;
-                    for (a, b) in qi.iter().zip(kj.iter()) {
-                        acc += a * b;
-                    }
-                    scores[j] = acc * scale + mask.map_or(0.0, |m| m[i * s + j]);
-                }
-                softmax_row(&mut scores);
                 let p_row = &mut probs[h * s * s + i * s..h * s * s + (i + 1) * s];
-                p_row.copy_from_slice(&scores);
-                let orow = &mut out.row_mut(i)[off..off + dh];
-                for (j, &p) in p_row.iter().enumerate() {
-                    if p == 0.0 {
+                mha_probs_row(tq, tk, 0, s, off, off, dh, i, scale, mask, p_row);
+                mha_out_row(tv, 0, off, dh, p_row, &mut out.row_mut(i)[off..off + dh]);
+            }
+        }
+        self.push(out, Op::Mha { q, k, v, heads, probs })
+    }
+
+    /// Block-diagonal batched variant of [`Tape::mha`]: `q`, `k`, `v` pack
+    /// `masks.len()` sequences of equal (padded) length `S` row-wise into
+    /// `[B * S, d]` matrices, and attention is computed independently inside
+    /// each `[S, S]` block — tokens never attend across sequences. Each
+    /// sequence carries its own optional additive `[S, S]` mask, which is
+    /// where both padding masks and per-table visibility matrices plug in.
+    ///
+    /// Per block, the arithmetic is exactly [`Tape::mha`]'s, so a batched
+    /// forward is bit-identical to `B` separate single-sequence forwards.
+    ///
+    /// `lens`, when given, holds each packed sequence's length (they must
+    /// sum to the row count) — this is the ragged layout the serving path
+    /// uses, with no padding anywhere. `None` splits the rows into
+    /// `masks.len()` equal blocks. Each mask, if present, has its own
+    /// block's `[len_b, len_b]` shape.
+    pub fn mha_batch(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        heads: usize,
+        masks: &[Option<AttnMask>],
+        lens: Option<&[usize]>,
+    ) -> NodeId {
+        let (tq, tk, tv) = (self.value(q), self.value(k), self.value(v));
+        let (rows, d) = tq.shape();
+        let blocks = masks.len();
+        assert!(blocks > 0, "mha_batch needs at least one sequence");
+        assert_eq!(tk.shape(), (rows, d), "mha_batch k shape");
+        assert_eq!(tv.shape(), (rows, d), "mha_batch v shape");
+        assert!(d % heads == 0, "hidden dim {d} not divisible by {heads} heads");
+        let lens = validate_blocks(rows, masks, lens);
+
+        let mut out = Tensor::zeros(rows, d);
+        let mut scores = vec![0.0f32; lens.iter().copied().max().expect("non-empty")];
+        let mut row0 = 0usize;
+        for (b, mask) in masks.iter().enumerate() {
+            let len = lens[b];
+            mha_batch_forward_block(
+                tq,
+                tk,
+                tv,
+                row0,
+                len,
+                heads,
+                mask.as_ref().map(|m| m.as_slice()),
+                &mut out,
+                &mut scores,
+            );
+            row0 += len;
+        }
+        self.push(out, Op::MhaBatch { q, k, v, heads, lens, masks: masks.to_vec() })
+    }
+
+    /// Fused Q/K/V projection `[x Wq + bq | x Wk + bk | x Wv + bv]` →
+    /// `[rows, 3d]`. Streams `x` once instead of three times; each output
+    /// element is computed with exactly the accumulation order of
+    /// [`Tape::linear`], so the fused result is bit-identical to three
+    /// separate dense layers.
+    #[allow(clippy::too_many_arguments)] // mirrors three linear() calls
+    pub fn fused_qkv(
+        &mut self,
+        x: NodeId,
+        wq: ParamId,
+        bq: ParamId,
+        wk: ParamId,
+        bk: ParamId,
+        wv: ParamId,
+        bv: ParamId,
+    ) -> NodeId {
+        let ws = [self.param(wq), self.param(wk), self.param(wv)];
+        let bs = [self.param(bq), self.param(bk), self.param(bv)];
+        let tx = self.value(x);
+        let (rows, k) = tx.shape();
+        let d = self.value(ws[0]).cols();
+        for (&w, &b) in ws.iter().zip(bs.iter()) {
+            assert_eq!(self.value(w).shape(), (k, d), "fused_qkv weight shape");
+            assert_eq!(self.value(b).shape(), (1, d), "fused_qkv bias shape");
+        }
+        let mut out = Tensor::zeros(rows, 3 * d);
+        {
+            let tw = [self.value(ws[0]), self.value(ws[1]), self.value(ws[2])];
+            let tb = [self.value(bs[0]), self.value(bs[1]), self.value(bs[2])];
+            let tx = self.value(x);
+            for i in 0..rows {
+                let x_row = tx.row(i);
+                let o_row = out.row_mut(i);
+                for (p, &a_ip) in x_row.iter().enumerate() {
+                    if a_ip == 0.0 {
                         continue;
                     }
-                    let vj = &tv.row(j)[off..off + dh];
-                    for (o, &vv) in orow.iter_mut().zip(vj.iter()) {
-                        *o += p * vv;
+                    for (t, w) in tw.iter().enumerate() {
+                        let b_row = w.row(p);
+                        for (o, &bv_) in o_row[t * d..(t + 1) * d].iter_mut().zip(b_row.iter()) {
+                            *o += a_ip * bv_;
+                        }
+                    }
+                }
+                for (t, b) in tb.iter().enumerate() {
+                    for (o, &bv_) in o_row[t * d..(t + 1) * d].iter_mut().zip(b.row(0).iter()) {
+                        *o += bv_;
                     }
                 }
             }
         }
-        self.push(out, Op::Mha { q, k, v, heads, probs })
+        self.push(out, Op::FusedQkv { x, ws, bs })
+    }
+
+    /// [`Tape::mha_batch`] over a fused `[rows, 3d]` Q|K|V node from
+    /// [`Tape::fused_qkv`] — avoids materializing separate q/k/v tensors.
+    /// Bit-identical to the unfused path.
+    pub fn mha_batch_qkv(
+        &mut self,
+        qkv: NodeId,
+        heads: usize,
+        masks: &[Option<AttnMask>],
+        lens: Option<&[usize]>,
+    ) -> NodeId {
+        let t = self.value(qkv);
+        let (rows, d3) = t.shape();
+        assert!(d3 % 3 == 0, "fused qkv width must be 3d");
+        let d = d3 / 3;
+        let blocks = masks.len();
+        assert!(blocks > 0, "mha_batch_qkv needs at least one sequence");
+        assert!(d % heads == 0, "hidden dim {d} not divisible by {heads} heads");
+        let lens = validate_blocks(rows, masks, lens);
+
+        let mut out = Tensor::zeros(rows, d);
+        let mut scores = vec![0.0f32; lens.iter().copied().max().expect("non-empty")];
+        let mut row0 = 0usize;
+        for (b, mask) in masks.iter().enumerate() {
+            let len = lens[b];
+            qkv_forward_block(
+                t,
+                d,
+                row0,
+                len,
+                heads,
+                mask.as_ref().map(|m| m.as_slice()),
+                &mut out,
+                &mut scores,
+            );
+            row0 += len;
+        }
+        self.push(out, Op::MhaBatchQkv { qkv, heads, lens, masks: masks.to_vec() })
     }
 
     /// Post-softmax attention probabilities of an [`Tape::mha`] node,
@@ -623,57 +783,109 @@ impl<'s> Tape<'s> {
                 Op::Mha { q, k, v, heads, probs } => {
                     let (tq, tk, tv) = (self.value(*q), self.value(*k), self.value(*v));
                     let (s, d) = tq.shape();
-                    let dh = d / heads;
-                    let scale = 1.0 / (dh as f32).sqrt();
                     let mut dq = Tensor::zeros(s, d);
                     let mut dk = Tensor::zeros(s, d);
                     let mut dv = Tensor::zeros(s, d);
                     let mut dscores = vec![0.0f32; s];
-                    for h in 0..*heads {
-                        let off = h * dh;
-                        let p_head = &probs[h * s * s..(h + 1) * s * s];
-                        for i in 0..s {
-                            let p_row = &p_head[i * s..(i + 1) * s];
-                            let g_row = &g.row(i)[off..off + dh];
-                            // dV += p^T dY ; dP = dY V^T.
-                            let mut dot = 0.0f32;
-                            for j in 0..s {
-                                let vj = &tv.row(j)[off..off + dh];
-                                let mut dp = 0.0f32;
-                                for (gv, vv) in g_row.iter().zip(vj.iter()) {
-                                    dp += gv * vv;
-                                }
-                                dscores[j] = dp;
-                                dot += dp * p_row[j];
-                                if p_row[j] != 0.0 {
-                                    let dvj = &mut dv.row_mut(j)[off..off + dh];
-                                    for (o, &gv) in dvj.iter_mut().zip(g_row.iter()) {
-                                        *o += p_row[j] * gv;
-                                    }
-                                }
-                            }
-                            // Softmax Jacobian, then scaled Q/K grads.
-                            for j in 0..s {
-                                let ds = p_row[j] * (dscores[j] - dot) * scale;
-                                if ds == 0.0 {
-                                    continue;
-                                }
-                                let kj = &tk.row(j)[off..off + dh];
-                                let qi = &tq.row(i)[off..off + dh];
-                                let dqi = &mut dq.row_mut(i)[off..off + dh];
-                                for (o, &kv) in dqi.iter_mut().zip(kj.iter()) {
-                                    *o += ds * kv;
-                                }
-                                let dkj = &mut dk.row_mut(j)[off..off + dh];
-                                for (o, &qv) in dkj.iter_mut().zip(qi.iter()) {
-                                    *o += ds * qv;
-                                }
-                            }
-                        }
+                    mha_grad_rows(
+                        tq,
+                        tk,
+                        tv,
+                        0,
+                        s,
+                        *heads,
+                        |h, i, row: &mut [f32]| {
+                            row.copy_from_slice(&probs[h * s * s + i * s..h * s * s + (i + 1) * s])
+                        },
+                        &g,
+                        &mut dq,
+                        &mut dk,
+                        &mut dv,
+                        &mut dscores,
+                    );
+                    acc(&mut local, *q, dq);
+                    acc(&mut local, *k, dk);
+                    acc(&mut local, *v, dv);
+                }
+                Op::MhaBatch { q, k, v, heads, lens, masks } => {
+                    let (tq, tk, tv) = (self.value(*q), self.value(*k), self.value(*v));
+                    let (rows, d) = tq.shape();
+                    let mut dq = Tensor::zeros(rows, d);
+                    let mut dk = Tensor::zeros(rows, d);
+                    let mut dv = Tensor::zeros(rows, d);
+                    let max_len = lens.iter().copied().max().expect("non-empty");
+                    let mut dscores = vec![0.0f32; max_len];
+                    let mut row0 = 0usize;
+                    for (&len, mask) in lens.iter().zip(masks.iter()) {
+                        mha_batch_backward_block(
+                            tq,
+                            tk,
+                            tv,
+                            row0,
+                            len,
+                            *heads,
+                            mask.as_ref().map(|m| m.as_slice()),
+                            &g,
+                            &mut dq,
+                            &mut dk,
+                            &mut dv,
+                            &mut dscores,
+                        );
+                        row0 += len;
                     }
                     acc(&mut local, *q, dq);
                     acc(&mut local, *k, dk);
                     acc(&mut local, *v, dv);
+                }
+                Op::FusedQkv { x, ws, bs } => {
+                    let tx = self.value(*x);
+                    let (rows, k) = tx.shape();
+                    let d = self.value(ws[0]).cols();
+                    let mut dx = Tensor::zeros(rows, k);
+                    for t in 0..3 {
+                        // Slice this projection's gradient columns out.
+                        let mut g_t = Tensor::zeros(rows, d);
+                        for r in 0..rows {
+                            g_t.row_mut(r).copy_from_slice(&g.row(r)[t * d..(t + 1) * d]);
+                        }
+                        let dw = matmul_tn(tx, &g_t);
+                        let mut db = Tensor::zeros(1, d);
+                        for r in 0..rows {
+                            for (o, &gv) in db.row_mut(0).iter_mut().zip(g_t.row(r).iter()) {
+                                *o += gv;
+                            }
+                        }
+                        dx.add_assign(&matmul_nt(&g_t, self.value(ws[t])));
+                        acc(&mut local, ws[t], dw);
+                        acc(&mut local, bs[t], db);
+                    }
+                    acc(&mut local, *x, dx);
+                }
+                Op::MhaBatchQkv { qkv, heads, lens, masks } => {
+                    let t = self.value(*qkv);
+                    let (rows, d3) = t.shape();
+                    let d = d3 / 3;
+                    let mut dqkv = Tensor::zeros(rows, d3);
+                    let max_len = lens.iter().copied().max().expect("non-empty");
+                    let mut scores = vec![0.0f32; max_len];
+                    let mut dscores = vec![0.0f32; max_len];
+                    let mut row0 = 0usize;
+                    for (&len, mask) in lens.iter().zip(masks.iter()) {
+                        qkv_backward_block(
+                            t,
+                            d,
+                            row0,
+                            len,
+                            *heads,
+                            mask.as_ref().map(|m| m.as_slice()),
+                            &g,
+                            &mut dqkv,
+                            &mut scores,
+                            &mut dscores,
+                        );
+                        row0 += len;
+                    }
+                    acc(&mut local, *qkv, dqkv);
                 }
                 Op::Dropout { x, mask } => {
                     let tx_shape = self.value(*x).shape();
@@ -704,6 +916,321 @@ impl<'s> Tape<'s> {
                     }
                     dl.scale_assign(gs / sig.len() as f32);
                     acc(&mut local, *logits, dl);
+                }
+            }
+        }
+    }
+}
+
+/// Resolves and validates the block layout shared by [`Tape::mha_batch`]
+/// and [`Tape::mha_batch_qkv`]: explicit `lens` must sum to `rows` (ragged
+/// packing), `None` splits `rows` into `masks.len()` equal blocks, and
+/// every per-block mask must be `[len, len]`-shaped.
+fn validate_blocks(rows: usize, masks: &[Option<AttnMask>], lens: Option<&[usize]>) -> Vec<usize> {
+    let blocks = masks.len();
+    let lens: Vec<usize> = match lens {
+        Some(l) => {
+            assert_eq!(l.len(), blocks, "one length per block");
+            assert!(l.iter().all(|&n| n >= 1), "blocks cannot be empty");
+            assert_eq!(l.iter().sum::<usize>(), rows, "block lengths must sum to the rows");
+            l.to_vec()
+        }
+        None => {
+            assert!(rows % blocks == 0, "{rows} rows do not split into {blocks} equal blocks");
+            vec![rows / blocks; blocks]
+        }
+    };
+    for (m, &len) in masks.iter().zip(lens.iter()) {
+        if let Some(m) = m {
+            assert_eq!(m.len(), len * len, "per-sequence mask must be [len, len]");
+        }
+    }
+    lens
+}
+
+/// Computes one query row's post-softmax attention probabilities for one
+/// head into `scores[..len]`. The single shared kernel behind
+/// [`Tape::mha`]'s forward, [`Tape::mha_batch`]'s forward, and
+/// [`Tape::mha_batch`]'s backward recompute — one implementation means the
+/// three sites are bit-identical by construction.
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+#[inline]
+fn mha_probs_row(
+    tq: &Tensor,
+    tk: &Tensor,
+    row0: usize,
+    len: usize,
+    qcol0: usize,
+    kcol0: usize,
+    dh: usize,
+    i: usize,
+    scale: f32,
+    mask: Option<&[f32]>,
+    scores: &mut [f32],
+) {
+    let qi = &tq.row(row0 + i)[qcol0..qcol0 + dh];
+    for j in 0..len {
+        let kj = &tk.row(row0 + j)[kcol0..kcol0 + dh];
+        let mut acc = 0.0f32;
+        for (a, b) in qi.iter().zip(kj.iter()) {
+            acc += a * b;
+        }
+        scores[j] = acc * scale + mask.map_or(0.0, |m| m[i * len + j]);
+    }
+    softmax_row(&mut scores[..len]);
+}
+
+/// Accumulates `sum_j p_j * v_j` into the output row slice for one head.
+#[inline]
+fn mha_out_row(tv: &Tensor, row0: usize, vcol0: usize, dh: usize, p_row: &[f32], orow: &mut [f32]) {
+    for (j, &p) in p_row.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let vj = &tv.row(row0 + j)[vcol0..vcol0 + dh];
+        for (o, &vv) in orow.iter_mut().zip(vj.iter()) {
+            *o += p * vv;
+        }
+    }
+}
+
+/// Fused-attention forward over one block of [`Tape::mha_batch`]: rows
+/// `[row0, row0 + len)` attend among themselves. Probabilities live only in
+/// the `scores` scratch — nothing is cached (backward recomputes them).
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn mha_batch_forward_block(
+    tq: &Tensor,
+    tk: &Tensor,
+    tv: &Tensor,
+    row0: usize,
+    len: usize,
+    heads: usize,
+    mask: Option<&[f32]>,
+    out: &mut Tensor,
+    scores: &mut [f32],
+) {
+    let d = tq.cols();
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    for h in 0..heads {
+        let off = h * dh;
+        for i in 0..len {
+            mha_probs_row(tq, tk, row0, len, off, off, dh, i, scale, mask, scores);
+            mha_out_row(
+                tv,
+                row0,
+                off,
+                dh,
+                &scores[..len],
+                &mut out.row_mut(row0 + i)[off..off + dh],
+            );
+        }
+    }
+}
+
+/// Backward for one [`Tape::mha_batch`] block: recomputes each row's
+/// probabilities via [`mha_probs_row`] (bit-identical to the forward pass),
+/// then accumulates the block's contributions to `dq`/`dk`/`dv`.
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn mha_batch_backward_block(
+    tq: &Tensor,
+    tk: &Tensor,
+    tv: &Tensor,
+    row0: usize,
+    len: usize,
+    heads: usize,
+    mask: Option<&[f32]>,
+    g: &Tensor,
+    dq: &mut Tensor,
+    dk: &mut Tensor,
+    dv: &mut Tensor,
+    dscores: &mut [f32],
+) {
+    let d = tq.cols();
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    mha_grad_rows(
+        tq,
+        tk,
+        tv,
+        row0,
+        len,
+        heads,
+        |h, i, row: &mut [f32]| {
+            mha_probs_row(tq, tk, row0, len, h * dh, h * dh, dh, i, scale, mask, row);
+        },
+        g,
+        dq,
+        dk,
+        dv,
+        dscores,
+    );
+}
+
+/// Shared attention-gradient kernel: given a way to obtain the post-softmax
+/// probability row for `(head, query)` — cached ([`Op::Mha`]) or recomputed
+/// ([`Op::MhaBatch`]) — accumulates this block's `dq`/`dk`/`dv`. The packed
+/// [`qkv_backward_block`] mirrors this body; keep the two in sync.
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn mha_grad_rows(
+    tq: &Tensor,
+    tk: &Tensor,
+    tv: &Tensor,
+    row0: usize,
+    len: usize,
+    heads: usize,
+    mut fill_p_row: impl FnMut(usize, usize, &mut [f32]),
+    g: &Tensor,
+    dq: &mut Tensor,
+    dk: &mut Tensor,
+    dv: &mut Tensor,
+    dscores: &mut [f32],
+) {
+    let d = tq.cols();
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut p_buf = vec![0.0f32; len];
+    for h in 0..heads {
+        let off = h * dh;
+        for i in 0..len {
+            fill_p_row(h, i, &mut p_buf);
+            let p_row: &[f32] = &p_buf;
+            let g_row = &g.row(row0 + i)[off..off + dh];
+            // dV += p^T dY ; dP = dY V^T.
+            let mut dot = 0.0f32;
+            for j in 0..len {
+                let vj = &tv.row(row0 + j)[off..off + dh];
+                let mut dp = 0.0f32;
+                for (gv, vv) in g_row.iter().zip(vj.iter()) {
+                    dp += gv * vv;
+                }
+                dscores[j] = dp;
+                dot += dp * p_row[j];
+                if p_row[j] != 0.0 {
+                    let dvj = &mut dv.row_mut(row0 + j)[off..off + dh];
+                    for (o, &gv) in dvj.iter_mut().zip(g_row.iter()) {
+                        *o += p_row[j] * gv;
+                    }
+                }
+            }
+            // Softmax Jacobian, then scaled Q/K grads.
+            for j in 0..len {
+                let ds = p_row[j] * (dscores[j] - dot) * scale;
+                if ds == 0.0 {
+                    continue;
+                }
+                let kj = &tk.row(row0 + j)[off..off + dh];
+                let qi = &tq.row(row0 + i)[off..off + dh];
+                let dqi = &mut dq.row_mut(row0 + i)[off..off + dh];
+                for (o, &kv) in dqi.iter_mut().zip(kj.iter()) {
+                    *o += ds * kv;
+                }
+                let dkj = &mut dk.row_mut(row0 + j)[off..off + dh];
+                for (o, &qv) in dkj.iter_mut().zip(qi.iter()) {
+                    *o += ds * qv;
+                }
+            }
+        }
+    }
+}
+
+/// Forward for one block of [`Tape::mha_batch_qkv`]: like
+/// [`mha_batch_forward_block`] but reading Q, K and V from one packed
+/// `[rows, 3d]` tensor at column bases `0`, `d` and `2d`.
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn qkv_forward_block(
+    t: &Tensor,
+    d: usize,
+    row0: usize,
+    len: usize,
+    heads: usize,
+    mask: Option<&[f32]>,
+    out: &mut Tensor,
+    scores: &mut [f32],
+) {
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    for h in 0..heads {
+        let off = h * dh;
+        for i in 0..len {
+            mha_probs_row(t, t, row0, len, off, d + off, dh, i, scale, mask, scores);
+            mha_out_row(
+                t,
+                row0,
+                2 * d + off,
+                dh,
+                &scores[..len],
+                &mut out.row_mut(row0 + i)[off..off + dh],
+            );
+        }
+    }
+}
+
+/// Backward for one block of [`Tape::mha_batch_qkv`]: recomputes the
+/// probabilities (bit-identical to forward) and accumulates dQ/dK/dV into
+/// the packed `[rows, 3d]` gradient at column bases `0`, `d`, `2d`.
+///
+/// The gradient math mirrors [`mha_grad_rows`] with packed column bases —
+/// the two bodies must stay in sync (the packed layout needs one `&mut`
+/// target where the unfused kernel has three, which is why they cannot
+/// share a signature). Both are independently pinned to finite
+/// differences by `gradcheck_mha_batch` and `gradcheck_fused_qkv_attention`.
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn qkv_backward_block(
+    t: &Tensor,
+    d: usize,
+    row0: usize,
+    len: usize,
+    heads: usize,
+    mask: Option<&[f32]>,
+    g: &Tensor,
+    dqkv: &mut Tensor,
+    scores: &mut [f32],
+    dscores: &mut [f32],
+) {
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    for h in 0..heads {
+        let off = h * dh;
+        for i in 0..len {
+            mha_probs_row(t, t, row0, len, off, d + off, dh, i, scale, mask, scores);
+            let p_row = &scores[..len];
+            let g_row = &g.row(row0 + i)[off..off + dh];
+            // dV += p^T dY ; dP = dY V^T.
+            let mut dot = 0.0f32;
+            for j in 0..len {
+                let vj = &t.row(row0 + j)[2 * d + off..2 * d + off + dh];
+                let mut dp = 0.0f32;
+                for (gv, vv) in g_row.iter().zip(vj.iter()) {
+                    dp += gv * vv;
+                }
+                dscores[j] = dp;
+                dot += dp * p_row[j];
+                if p_row[j] != 0.0 {
+                    let dvj = &mut dqkv.row_mut(row0 + j)[2 * d + off..2 * d + off + dh];
+                    for (o, &gv) in dvj.iter_mut().zip(g_row.iter()) {
+                        *o += p_row[j] * gv;
+                    }
+                }
+            }
+            // Softmax Jacobian, then scaled Q/K grads.
+            for j in 0..len {
+                let ds = p_row[j] * (dscores[j] - dot) * scale;
+                if ds == 0.0 {
+                    continue;
+                }
+                // `t` (values) and `dqkv` (gradients) are distinct
+                // tensors, so the source slices and destination rows can
+                // be borrowed simultaneously.
+                let kj = &t.row(row0 + j)[d + off..d + off + dh];
+                let qi = &t.row(row0 + i)[off..off + dh];
+                let dqi = &mut dqkv.row_mut(row0 + i)[off..off + dh];
+                for (o, &kv) in dqi.iter_mut().zip(kj.iter()) {
+                    *o += ds * kv;
+                }
+                let dkj = &mut dqkv.row_mut(row0 + j)[d + off..d + off + dh];
+                for (o, &qv) in dkj.iter_mut().zip(qi.iter()) {
+                    *o += ds * qv;
                 }
             }
         }
@@ -892,6 +1419,208 @@ mod tests {
             },
             3e-2,
         );
+    }
+
+    #[test]
+    fn mha_batch_matches_per_sequence_mha_bitwise() {
+        let mut rng = rng();
+        let store = ParamStore::new();
+        let (blocks, s, d) = (3, 4, 6);
+        let q = Tensor::randn(blocks * s, d, 0.8, &mut rng);
+        let k = Tensor::randn(blocks * s, d, 0.8, &mut rng);
+        let v = Tensor::randn(blocks * s, d, 0.8, &mut rng);
+        // Block 1 carries a restrictive mask, the others attend freely.
+        let mut m = vec![0.0f32; s * s];
+        m[1] = MASK_NEG;
+        m[s] = MASK_NEG;
+        let masks: Vec<Option<AttnMask>> = vec![None, Some(Arc::new(m)), None];
+
+        let mut batch_tape = Tape::inference(&store);
+        let (qn, kn, vn) =
+            (batch_tape.input(q.clone()), batch_tape.input(k.clone()), batch_tape.input(v.clone()));
+        let batched = batch_tape.mha_batch(qn, kn, vn, 2, &masks, None);
+        let batched_val = batch_tape.value(batched);
+
+        for (b, mask) in masks.iter().enumerate() {
+            let slice =
+                |t: &Tensor| Tensor::from_vec(s, d, t.data()[b * s * d..(b + 1) * s * d].to_vec());
+            let mut tape = Tape::inference(&store);
+            let (qs, ks, vs) =
+                (tape.input(slice(&q)), tape.input(slice(&k)), tape.input(slice(&v)));
+            let single = tape.mha(qs, ks, vs, 2, mask.as_ref());
+            let single_val = tape.value(single);
+            for i in 0..s * d {
+                assert_eq!(
+                    batched_val.data()[b * s * d + i].to_bits(),
+                    single_val.data()[i].to_bits(),
+                    "block {b} element {i} must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_mha_batch() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        // Two blocks of length 3 packed into 6 rows.
+        let q = store.add_randn("q", 6, 4, 0.7, &mut rng);
+        let k = store.add_randn("k", 6, 4, 0.7, &mut rng);
+        let v = store.add_randn("v", 6, 4, 0.7, &mut rng);
+        let mut m = vec![0.0f32; 9];
+        m[2] = MASK_NEG;
+        m[6] = MASK_NEG;
+        let masks: Vec<Option<AttnMask>> = vec![None, Some(Arc::new(m))];
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let qn = tape.param(q);
+                let kn = tape.param(k);
+                let vn = tape.param(v);
+                let att = tape.mha_batch(qn, kn, vn, 2, &masks, None);
+                tape.softmax_ce(att, &[0, 1, 2, 3, 0, 1])
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn fused_qkv_matches_three_linears_bitwise() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let wq = store.add_randn("wq", 6, 4, 0.5, &mut rng);
+        let bq = store.add_randn("bq", 1, 4, 0.5, &mut rng);
+        let wk = store.add_randn("wk", 6, 4, 0.5, &mut rng);
+        let bk = store.add_randn("bk", 1, 4, 0.5, &mut rng);
+        let wv = store.add_randn("wv", 6, 4, 0.5, &mut rng);
+        let bv = store.add_randn("bv", 1, 4, 0.5, &mut rng);
+        let x = Tensor::randn(5, 6, 1.0, &mut rng);
+        let mut tape = Tape::inference(&store);
+        let xn = tape.input(x.clone());
+        let fused = tape.fused_qkv(xn, wq, bq, wk, bk, wv, bv);
+        let q = tape.linear(xn, wq, bq);
+        let k = tape.linear(xn, wk, bk);
+        let v = tape.linear(xn, wv, bv);
+        let fv = tape.value(fused);
+        for (t, n) in [q, k, v].into_iter().enumerate() {
+            let sv = tape.value(n);
+            for r in 0..5 {
+                for c in 0..4 {
+                    assert_eq!(
+                        fv.get(r, t * 4 + c).to_bits(),
+                        sv.get(r, c).to_bits(),
+                        "projection {t} ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mha_batch_qkv_matches_unfused_bitwise() {
+        let mut rng = rng();
+        let store = ParamStore::new();
+        let (lens, d) = (vec![3usize, 4], 6usize);
+        let rows: usize = lens.iter().sum();
+        let q = Tensor::randn(rows, d, 0.8, &mut rng);
+        let k = Tensor::randn(rows, d, 0.8, &mut rng);
+        let v = Tensor::randn(rows, d, 0.8, &mut rng);
+        let mut packed = Tensor::zeros(rows, 3 * d);
+        for r in 0..rows {
+            packed.row_mut(r)[..d].copy_from_slice(q.row(r));
+            packed.row_mut(r)[d..2 * d].copy_from_slice(k.row(r));
+            packed.row_mut(r)[2 * d..].copy_from_slice(v.row(r));
+        }
+        let mut m = vec![0.0f32; 16];
+        m[1] = MASK_NEG;
+        let masks: Vec<Option<AttnMask>> = vec![None, Some(Arc::new(m))];
+
+        let mut t1 = Tape::inference(&store);
+        let (qn, kn, vn) = (t1.input(q), t1.input(k), t1.input(v));
+        let unfused = t1.mha_batch(qn, kn, vn, 2, &masks, Some(&lens));
+        let mut t2 = Tape::inference(&store);
+        let pn = t2.input(packed);
+        let fused = t2.mha_batch_qkv(pn, 2, &masks, Some(&lens));
+        for (a, b) in t1.value(unfused).data().iter().zip(t2.value(fused).data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn gradcheck_fused_qkv_attention() {
+        let mut rng = rng();
+        let mut store = ParamStore::new();
+        let x = store.add_randn("x", 5, 6, 0.7, &mut rng);
+        let wq = store.add_randn("wq", 6, 4, 0.5, &mut rng);
+        let bq = store.add_randn("bq", 1, 4, 0.3, &mut rng);
+        let wk = store.add_randn("wk", 6, 4, 0.5, &mut rng);
+        let bk = store.add_randn("bk", 1, 4, 0.3, &mut rng);
+        let wv = store.add_randn("wv", 6, 4, 0.5, &mut rng);
+        let bv = store.add_randn("bv", 1, 4, 0.3, &mut rng);
+        let mut m = vec![0.0f32; 4];
+        m[1] = MASK_NEG;
+        let masks: Vec<Option<AttnMask>> = vec![None, Some(Arc::new(m))];
+        let lens = vec![3usize, 2];
+        gradcheck(
+            &mut store,
+            move |tape| {
+                let xn = tape.param(x);
+                let qkv = tape.fused_qkv(xn, wq, bq, wk, bk, wv, bv);
+                let att = tape.mha_batch_qkv(qkv, 2, &masks, Some(&lens));
+                tape.softmax_ce(att, &[0, 1, 2, 3, 0])
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal blocks")]
+    fn mha_batch_rejects_ragged_blocks() {
+        let store = ParamStore::new();
+        let mut tape = Tape::inference(&store);
+        let x = tape.input(Tensor::zeros(5, 4));
+        tape.mha_batch(x, x, x, 2, &[None, None], None);
+    }
+
+    #[test]
+    fn mha_batch_ragged_blocks_match_per_sequence_mha_bitwise() {
+        // Three packed sequences of different lengths (3, 5, 2), the middle
+        // one masked: each block must reproduce its standalone mha exactly.
+        let mut rng = rng();
+        let store = ParamStore::new();
+        let (lens, d) = (vec![3usize, 5, 2], 4usize);
+        let rows: usize = lens.iter().sum();
+        let q = Tensor::randn(rows, d, 0.9, &mut rng);
+        let k = Tensor::randn(rows, d, 0.9, &mut rng);
+        let v = Tensor::randn(rows, d, 0.9, &mut rng);
+        let mut m = vec![0.0f32; 25];
+        m[1] = MASK_NEG;
+        m[5] = MASK_NEG;
+        let masks: Vec<Option<AttnMask>> = vec![None, Some(Arc::new(m)), None];
+
+        let mut bt = Tape::inference(&store);
+        let (qn, kn, vn) = (bt.input(q.clone()), bt.input(k.clone()), bt.input(v.clone()));
+        let batched = bt.mha_batch(qn, kn, vn, 2, &masks, Some(&lens));
+        let bv = bt.value(batched);
+
+        let mut row0 = 0usize;
+        for (b, (&len, mask)) in lens.iter().zip(masks.iter()).enumerate() {
+            let slice = |t: &Tensor| {
+                Tensor::from_vec(len, d, t.data()[row0 * d..(row0 + len) * d].to_vec())
+            };
+            let mut st = Tape::inference(&store);
+            let (qs, ks, vs) = (st.input(slice(&q)), st.input(slice(&k)), st.input(slice(&v)));
+            let single = st.mha(qs, ks, vs, 2, mask.as_ref());
+            let sv = st.value(single);
+            for i in 0..len * d {
+                assert_eq!(
+                    bv.data()[row0 * d + i].to_bits(),
+                    sv.data()[i].to_bits(),
+                    "ragged block {b} element {i}"
+                );
+            }
+            row0 += len;
+        }
     }
 
     #[test]

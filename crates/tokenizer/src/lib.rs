@@ -8,6 +8,8 @@
 //! occupy the first five ids, exactly as the serialization scheme in the
 //! paper (§4.2) assumes.
 
+#![warn(missing_docs)]
+
 mod vocab;
 mod wordpiece;
 

@@ -42,14 +42,17 @@ impl Vocab {
         Vocab { token_to_id, id_to_token }
     }
 
+    /// Number of pieces, including the special tokens.
     pub fn len(&self) -> usize {
         self.id_to_token.len()
     }
 
+    /// Always `false`: the special tokens are always present.
     pub fn is_empty(&self) -> bool {
         false // specials are always present
     }
 
+    /// Id of a piece, if it is in the vocabulary.
     pub fn id(&self, token: &str) -> Option<u32> {
         self.token_to_id.get(token).copied()
     }
@@ -59,6 +62,7 @@ impl Vocab {
         &self.id_to_token[id as usize]
     }
 
+    /// Whether a piece is in the vocabulary.
     pub fn contains(&self, token: &str) -> bool {
         self.token_to_id.contains_key(token)
     }

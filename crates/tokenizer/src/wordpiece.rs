@@ -136,10 +136,12 @@ impl WordPiece {
         WordPiece { vocab, max_word_len }
     }
 
+    /// The learned piece inventory.
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
     }
 
+    /// Number of pieces (the encoder's embedding-table height).
     pub fn vocab_size(&self) -> usize {
         self.vocab.len()
     }

@@ -4,6 +4,19 @@
 //! multi-head-attention op optionally takes an additive visibility mask,
 //! which is how the TURL baseline's restricted attention is expressed
 //! (§5.4: TURL removes "cross-column" edges; Doduo uses full attention).
+//!
+//! Two forward paths share the same weights and arithmetic:
+//!
+//! * [`Encoder::forward`] — one sequence per call; this is what training
+//!   uses (one table = one tape, gradient fan-out happens across tapes via
+//!   `doduo_tensor::accumulate_parallel`).
+//! * [`Encoder::forward_batch`] — the serving path: several sequences are
+//!   packed row-wise, unpadded, into one ragged `[sum(len), d]` activation,
+//!   with attention kept block-diagonal by `Tape::mha_batch`. All
+//!   non-attention ops (dense layers, LayerNorm, GELU) are row-wise, so the
+//!   batched forward is bit-identical to `B` single-sequence forwards while
+//!   paying the tape/bookkeeping overhead once per batch instead of once
+//!   per table and adding zero padding waste.
 
 use crate::config::EncoderConfig;
 use doduo_tensor::{AttnMask, NodeId, ParamId, ParamStore, Tape, MASK_NEG};
@@ -112,6 +125,80 @@ impl Encoder {
         self.forward_impl(tape, ids, mask, rng, Some(attn_nodes))
     }
 
+    /// Encodes a batch of sequences in one packed forward pass.
+    ///
+    /// Sequences are concatenated row-wise with **no padding** (the ragged
+    /// layout): the returned [`BatchEncoding`] points at the
+    /// `[sum(len_b), d]` top-layer activation, with sequence `b` occupying
+    /// rows `[offset_b, offset_b + len_b)` (see [`BatchEncoding::row_of`]).
+    /// Attention stays block-diagonal via `Tape::mha_batch`'s per-block
+    /// lengths, so every sequence pays exactly its own `O(len^2)` attention
+    /// and `O(len)` dense-layer work — batching adds zero wasted compute.
+    /// Per-sequence visibility masks (the TURL baseline) apply at their
+    /// native `[len_b, len_b]` shape.
+    ///
+    /// On an inference tape this is bit-identical to calling
+    /// [`Encoder::forward`] once per sequence; see `Tape::mha_batch`.
+    pub fn forward_batch<R: Rng + ?Sized>(
+        &self,
+        tape: &mut Tape<'_>,
+        seqs: &[BatchSeq<'_>],
+        rng: &mut R,
+    ) -> BatchEncoding {
+        assert!(!seqs.is_empty(), "cannot encode an empty batch");
+
+        // Pack ids and positions; masks and block lengths are built once
+        // and shared across layers.
+        let total: usize = seqs.iter().map(|q| q.ids.len()).sum();
+        let mut ids = Vec::with_capacity(total);
+        let mut positions = Vec::with_capacity(total);
+        let mut masks: Vec<Option<AttnMask>> = Vec::with_capacity(seqs.len());
+        let mut lens = Vec::with_capacity(seqs.len());
+        let mut offsets = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let len = seq.ids.len();
+            assert!(len > 0, "cannot encode an empty sequence");
+            assert!(
+                len <= self.cfg.max_seq,
+                "sequence length {len} exceeds max_seq {}",
+                self.cfg.max_seq
+            );
+            offsets.push(ids.len());
+            ids.extend_from_slice(seq.ids);
+            positions.extend(0..len as u32);
+            masks.push(seq.mask.map(Arc::clone));
+            lens.push(len);
+        }
+
+        let p = self.cfg.dropout;
+        let tok = tape.embedding(self.tok_emb, &ids);
+        let pos = tape.embedding(self.pos_emb, &positions);
+        let sum = tape.add(tok, pos);
+        let normed = tape.layer_norm(sum, self.emb_ln_g, self.emb_ln_b);
+        let mut x = tape.dropout(normed, p, rng);
+
+        for layer in &self.layers {
+            // One fused pass over `x` for all three projections, attention
+            // straight off the packed Q|K|V — the serving path's
+            // memory-bandwidth savers (both bit-identical to the unfused
+            // training-path ops).
+            let qkv = tape.fused_qkv(x, layer.wq, layer.bq, layer.wk, layer.bk, layer.wv, layer.bv);
+            let att = tape.mha_batch_qkv(qkv, self.cfg.heads, &masks, Some(&lens));
+            let proj = tape.linear(att, layer.wo, layer.bo);
+            let proj = tape.dropout(proj, p, rng);
+            let res1 = tape.add(x, proj);
+            let h = tape.layer_norm(res1, layer.ln1_g, layer.ln1_b);
+
+            let f1 = tape.linear(h, layer.w1, layer.b1);
+            let act = tape.gelu(f1);
+            let f2 = tape.linear(act, layer.w2, layer.b2);
+            let f2 = tape.dropout(f2, p, rng);
+            let res2 = tape.add(h, f2);
+            x = tape.layer_norm(res2, layer.ln2_g, layer.ln2_b);
+        }
+        BatchEncoding { node: x, offsets }
+    }
+
     fn forward_impl<R: Rng + ?Sized>(
         &self,
         tape: &mut Tape<'_>,
@@ -152,6 +239,32 @@ impl Encoder {
             x = tape.layer_norm(res2, layer.ln2_g, layer.ln2_b);
         }
         x
+    }
+}
+
+/// One sequence of a batched forward pass.
+#[derive(Clone, Copy)]
+pub struct BatchSeq<'a> {
+    /// Token ids, unpadded (padding is added by [`Encoder::forward_batch`]).
+    pub ids: &'a [u32],
+    /// Optional additive visibility mask sized `[ids.len(), ids.len()]`
+    /// (e.g. the TURL baseline's column-visibility matrix).
+    pub mask: Option<&'a AttnMask>,
+}
+
+/// Output of [`Encoder::forward_batch`].
+pub struct BatchEncoding {
+    /// The packed `[sum(len_b), hidden]` top-layer activation node;
+    /// sequence `b`'s token `t` lives at row `offsets[b] + t`.
+    pub node: NodeId,
+    /// Starting activation row of each packed sequence.
+    offsets: Vec<usize>,
+}
+
+impl BatchEncoding {
+    /// The activation row holding token `t` of sequence `b`.
+    pub fn row_of(&self, b: usize, t: usize) -> usize {
+        self.offsets[b] + t
     }
 }
 
@@ -283,6 +396,71 @@ mod tests {
         let mut tape = Tape::inference(&store);
         let ids = vec![5u32; 100];
         enc.forward(&mut tape, &ids, None, &mut rng);
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential_bitwise() {
+        // Three sequences of different lengths, one with a visibility mask:
+        // the packed forward must reproduce each single-sequence forward
+        // bit for bit at the real (non-padded) positions.
+        let (store, enc) = build();
+        let seqs: Vec<Vec<u32>> =
+            vec![vec![2, 7, 8, 9, 3], vec![2, 10, 3], vec![2, 20, 21, 22, 35, 3]];
+        let mask1 = mask_from_fn(seqs[1].len(), |i, j| i == j || j == 0);
+        let masks = [None, Some(&mask1), None];
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut batch_tape = Tape::inference(&store);
+        let batch_seqs: Vec<BatchSeq<'_>> = seqs
+            .iter()
+            .zip(masks.iter())
+            .map(|(ids, mask)| BatchSeq { ids, mask: *mask })
+            .collect();
+        let out = enc.forward_batch(&mut batch_tape, &batch_seqs, &mut rng);
+        let bv = batch_tape.value(out.node);
+        let total: usize = seqs.iter().map(Vec::len).sum();
+        assert_eq!(bv.shape(), (total, enc.config().hidden));
+        assert!(!bv.has_non_finite());
+
+        for (b, (ids, mask)) in seqs.iter().zip(masks.iter()).enumerate() {
+            let mut tape = Tape::inference(&store);
+            let mut rng = StdRng::seed_from_u64(99);
+            let single = enc.forward(&mut tape, ids, *mask, &mut rng);
+            let sv = tape.value(single);
+            for t in 0..ids.len() {
+                for c in 0..enc.config().hidden {
+                    assert_eq!(
+                        bv.get(out.row_of(b, t), c).to_bits(),
+                        sv.get(t, c).to_bits(),
+                        "seq {b} token {t} dim {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_equals_plain_forward() {
+        let (store, enc) = build();
+        let ids = [2u32, 5, 6, 3];
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut t1 = Tape::inference(&store);
+        let a = enc.forward(&mut t1, &ids, None, &mut rng);
+        let mut t2 = Tape::inference(&store);
+        let b = enc.forward_batch(&mut t2, &[BatchSeq { ids: &ids, mask: None }], &mut rng);
+        assert_eq!(b.row_of(0, 0), 0);
+        for (x, y) in t1.value(a).data().iter().zip(t2.value(b.node).data().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let (store, enc) = build();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut tape = Tape::inference(&store);
+        enc.forward_batch(&mut tape, &[], &mut rng);
     }
 
     #[test]

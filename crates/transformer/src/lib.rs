@@ -19,7 +19,7 @@ pub mod encoder;
 pub mod mlm;
 
 pub use config::EncoderConfig;
-pub use encoder::{mask_from_fn, Encoder};
+pub use encoder::{mask_from_fn, BatchEncoding, BatchSeq, Encoder};
 pub use mlm::{
     mask_tokens, mlm_eval_loss, pretrain_mlm, pseudo_perplexity, MaskedExample, MlmConfig, MlmHead,
 };

@@ -9,6 +9,7 @@ pub use doduo_baselines as baselines;
 pub use doduo_core as core;
 pub use doduo_datagen as datagen;
 pub use doduo_eval as eval;
+pub use doduo_serve as serve;
 pub use doduo_table as table;
 pub use doduo_tensor as tensor;
 pub use doduo_tokenizer as tokenizer;
