@@ -11,7 +11,7 @@ use doduo_datagen::{
 };
 use doduo_eval::kmeans;
 use doduo_table::{serialize_table, SerializeConfig};
-use doduo_tensor::{matmul, ParamStore, Tape, Tensor};
+use doduo_tensor::{kernels, matmul, ParamStore, Tape, Tensor};
 use doduo_tokenizer::{TrainConfig, WordPiece};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,8 +21,17 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let a = Tensor::randn(76, 96, 1.0, &mut rng);
     let b = Tensor::randn(96, 96, 1.0, &mut rng);
+    // The dispatching entry point (what the tape actually calls) plus its
+    // two halves, so a regression in either path or in the dispatch
+    // heuristic shows up; the `gemm` bin sweeps the full shape grid.
     c.bench_function("matmul_76x96x96", |bench| {
         bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+    c.bench_function("matmul_naive_76x96x96", |bench| {
+        bench.iter(|| black_box(kernels::matmul_naive(black_box(&a), black_box(&b))))
+    });
+    c.bench_function("matmul_blocked_76x96x96", |bench| {
+        bench.iter(|| black_box(kernels::matmul_blocked(black_box(&a), black_box(&b), 1)))
     });
 }
 

@@ -1,0 +1,288 @@
+//! GEMM kernel micro-benchmark (not a paper experiment — the hot-loop
+//! lever of the ROADMAP's "as fast as the hardware allows" north star).
+//!
+//! Measures GFLOP/s of the naive reference loops against the cache-blocked
+//! kernel layer (`doduo_tensor::kernels`) at transformer-relevant shapes —
+//! the mini encoder's projections, FFN halves, per-head attention scores,
+//! and backward dW/dX products — across all three matmul variants and a
+//! thread grid `{1, 2, 4, …, N}`. Writes the measurements to
+//! `BENCH_gemm.json` and checks the acceptance bar: blocked single-thread
+//! ≥ 2x naive at the mini-encoder shapes.
+//!
+//! Run: `cargo run --release -p doduo-bench --bin gemm -- --scale quick`
+
+use doduo_bench::report::Report;
+use doduo_bench::{ExpOptions, Scale};
+use doduo_tensor::kernels::{
+    matmul_blocked, matmul_naive, matmul_nt_blocked, matmul_nt_naive, matmul_tn_blocked,
+    matmul_tn_naive,
+};
+use doduo_tensor::{default_threads, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Which of the three kernel variants a shape exercises.
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Nn,
+    Nt,
+    Tn,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Nn => "nn",
+            Variant::Nt => "nt",
+            Variant::Tn => "tn",
+        }
+    }
+}
+
+/// One benchmarked shape: `m`×`k` times `k`×`n` (in the variant's layout).
+struct Shape {
+    label: &'static str,
+    variant: Variant,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Counts toward the ≥2x mini-encoder acceptance bar.
+    mini: bool,
+}
+
+struct Cell {
+    label: &'static str,
+    variant: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    mini: bool,
+    naive_gflops: f64,
+    /// `(threads, gflops)` per thread-grid point.
+    blocked_gflops: Vec<(usize, f64)>,
+}
+
+/// Median seconds per call of `f`, batching calls so each timed sample
+/// spans at least a few milliseconds.
+fn time_per_call(mut f: impl FnMut(), min_total_secs: f64) -> f64 {
+    f(); // warm-up: faults pages, fills packing scratch
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64().max(1e-7);
+    let batch = (5e-3 / once).ceil() as usize;
+    let mut samples = Vec::new();
+    let t0 = Instant::now();
+    while t0.elapsed().as_secs_f64() < min_total_secs || samples.len() < 5 {
+        let s0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(s0.elapsed().as_secs_f64() / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let started = Instant::now();
+    let min_secs = match opts.scale {
+        Scale::Full => 0.4,
+        Scale::Quick => 0.12,
+    };
+
+    // The mini encoder (96 hidden, 4 heads, 384 FFN) serialized at the
+    // paper's 32-token column budget yields sequences around 76 tokens and
+    // up to max_seq = 192; those are the shapes every training step and
+    // every `BatchAnnotator` forward grinds through.
+    let shapes = [
+        Shape { label: "attn_proj_s76", variant: Variant::Nn, m: 76, k: 96, n: 96, mini: true },
+        Shape { label: "ffn_up_s76", variant: Variant::Nn, m: 76, k: 96, n: 384, mini: true },
+        Shape { label: "ffn_down_s76", variant: Variant::Nn, m: 76, k: 384, n: 96, mini: true },
+        Shape { label: "attn_proj_s192", variant: Variant::Nn, m: 192, k: 96, n: 96, mini: true },
+        Shape { label: "ffn_up_s192", variant: Variant::Nn, m: 192, k: 96, n: 384, mini: true },
+        Shape { label: "vocab_head_s76", variant: Variant::Nn, m: 76, k: 96, n: 1024, mini: false },
+        Shape { label: "attn_scores_h24", variant: Variant::Nt, m: 76, k: 24, n: 76, mini: false },
+        Shape { label: "grad_dx_s76", variant: Variant::Nt, m: 76, k: 96, n: 96, mini: true },
+        Shape { label: "grad_dw_s76", variant: Variant::Tn, m: 96, k: 76, n: 96, mini: true },
+        Shape { label: "grad_dw_ffn", variant: Variant::Tn, m: 96, k: 76, n: 384, mini: true },
+        Shape { label: "square_256", variant: Variant::Nn, m: 256, k: 256, n: 256, mini: false },
+    ];
+
+    let max_threads = default_threads();
+    let mut thread_grid = vec![1usize];
+    let mut t = 2;
+    while t < max_threads {
+        thread_grid.push(t);
+        t *= 2;
+    }
+    if max_threads > 1 {
+        thread_grid.push(max_threads);
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut cells: Vec<Cell> = Vec::new();
+    for s in &shapes {
+        // Operands in the layout each variant consumes: nt takes B as
+        // [n, k], tn takes A as [k, m].
+        let (a, b) = match s.variant {
+            Variant::Nn => {
+                (Tensor::randn(s.m, s.k, 1.0, &mut rng), Tensor::randn(s.k, s.n, 1.0, &mut rng))
+            }
+            Variant::Nt => {
+                (Tensor::randn(s.m, s.k, 1.0, &mut rng), Tensor::randn(s.n, s.k, 1.0, &mut rng))
+            }
+            Variant::Tn => {
+                (Tensor::randn(s.k, s.m, 1.0, &mut rng), Tensor::randn(s.k, s.n, 1.0, &mut rng))
+            }
+        };
+        let flops = 2.0 * s.m as f64 * s.n as f64 * s.k as f64;
+        let gflops = |secs: f64| flops / secs / 1e9;
+
+        let naive: &dyn Fn(&Tensor, &Tensor) -> Tensor = match s.variant {
+            Variant::Nn => &matmul_naive,
+            Variant::Nt => &matmul_nt_naive,
+            Variant::Tn => &matmul_tn_naive,
+        };
+        let blocked: &dyn Fn(&Tensor, &Tensor, usize) -> Tensor = match s.variant {
+            Variant::Nn => &matmul_blocked,
+            Variant::Nt => &matmul_nt_blocked,
+            Variant::Tn => &matmul_tn_blocked,
+        };
+
+        let naive_gflops = gflops(time_per_call(
+            || {
+                std::hint::black_box(naive(&a, &b));
+            },
+            min_secs,
+        ));
+        let blocked_gflops: Vec<(usize, f64)> = thread_grid
+            .iter()
+            .map(|&threads| {
+                let secs = time_per_call(
+                    || {
+                        std::hint::black_box(blocked(&a, &b, threads));
+                    },
+                    min_secs,
+                );
+                (threads, gflops(secs))
+            })
+            .collect();
+        eprintln!(
+            "[gemm] {:<16} {} {}x{}x{}: naive {:>6.2} GFLOP/s, blocked {:?}",
+            s.label,
+            s.variant.name(),
+            s.m,
+            s.k,
+            s.n,
+            naive_gflops,
+            blocked_gflops.iter().map(|(t, g)| format!("{t}t:{g:.2}")).collect::<Vec<_>>()
+        );
+        cells.push(Cell {
+            label: s.label,
+            variant: s.variant.name(),
+            m: s.m,
+            k: s.k,
+            n: s.n,
+            mini: s.mini,
+            naive_gflops,
+            blocked_gflops,
+        });
+    }
+
+    let mut r = Report::new(
+        "GEMM kernels (naive vs cache-blocked)",
+        &[
+            "shape",
+            "variant",
+            "m",
+            "k",
+            "n",
+            "naive GF/s",
+            "blocked 1t GF/s",
+            "speedup 1t",
+            "best threaded GF/s",
+        ],
+    );
+    let mut min_mini_speedup = f64::INFINITY;
+    for c in &cells {
+        let one_t = c.blocked_gflops[0].1;
+        let speedup = one_t / c.naive_gflops;
+        if c.mini {
+            min_mini_speedup = min_mini_speedup.min(speedup);
+        }
+        let best = c.blocked_gflops.iter().map(|(_, g)| *g).fold(0.0f64, f64::max);
+        r.row(&[
+            c.label.to_string(),
+            c.variant.to_string(),
+            c.m.to_string(),
+            c.k.to_string(),
+            c.n.to_string(),
+            format!("{:.2}", c.naive_gflops),
+            format!("{:.2}", one_t),
+            format!("{speedup:.2}x"),
+            format!("{best:.2}"),
+        ]);
+    }
+    r.check(
+        format!("blocked 1-thread >= 2x naive at mini-encoder shapes (min {min_mini_speedup:.2}x)"),
+        min_mini_speedup >= 2.0,
+    );
+    r.print();
+
+    let json = render_json(&opts, max_threads, &thread_grid, &cells, min_mini_speedup);
+    std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
+    eprintln!("[gemm] wrote BENCH_gemm.json, total elapsed {:?}", started.elapsed());
+    // Like the throughput bench, the 2x check is recorded but does not fail
+    // the process: CI treats this as a report-only smoke job because shared
+    // runners have unpredictable clocks.
+}
+
+fn render_json(
+    opts: &ExpOptions,
+    max_threads: usize,
+    thread_grid: &[usize],
+    cells: &[Cell],
+    min_mini_speedup: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"gemm\",\n");
+    out.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale).to_lowercase());
+    out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
+    out.push_str(&format!(
+        "  \"thread_grid\": [{}],\n",
+        thread_grid.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    out.push_str("  \"shapes\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let blocked = c
+            .blocked_gflops
+            .iter()
+            .map(|(t, g)| format!("{{\"threads\": {t}, \"gflops\": {g:.3}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"mini_encoder\": {}, \"naive_gflops\": {:.3}, \"blocked\": [{}], \
+             \"speedup_blocked_1t_vs_naive\": {:.3}}}{}\n",
+            c.label,
+            c.variant,
+            c.m,
+            c.k,
+            c.n,
+            c.mini,
+            c.naive_gflops,
+            blocked,
+            c.blocked_gflops[0].1 / c.naive_gflops,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"min_speedup_blocked_1t_vs_naive_mini_shapes\": {min_mini_speedup:.3}\n"
+    ));
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,739 @@
+//! Cache-blocked, register-tiled GEMM kernels.
+//!
+//! Every forward and backward pass in this reproduction bottoms out in one
+//! of three matmul variants (`C += A B`, `C += A Bᵀ`, `C += Aᵀ B`). This
+//! module implements them BLIS-style: operands are packed into
+//! cache-resident panels ([`KC`]×[`NC`] for B, [`MC`]×[`KC`] for A), and a
+//! register micro-kernel computes an [`MR`]×[`NR`] output tile per
+//! iteration of the packed k loop. On top sits optional row-stripe
+//! multi-threading (distinct threads own disjoint output rows) and a size
+//! heuristic that falls back to the plain loops where packing overhead
+//! would dominate.
+//!
+//! # Numerics policy: bit-identical
+//!
+//! The micro-kernel keeps exactly **one accumulator per output element**
+//! and walks the k dimension in increasing order — the same floating-point
+//! operation sequence as the naive loops (Rust/LLVM never reassociates
+//! float additions without fast-math). k-blocking preserves this by
+//! loading the partial output tile into registers at the start of each
+//! [`KC`] block instead of summing blocks separately, and row-stripe
+//! threading trivially preserves it because threads own disjoint output
+//! elements. Consequently `blocked == naive` **bitwise**, at every thread
+//! count — the serving equivalence tests keep their byte-identical
+//! contract, and the property tests in `tests/gemm_props.rs` assert exact
+//! bit equality rather than a tolerance.
+//!
+//! # Threading model
+//!
+//! Intra-GEMM threads default to **1**: training parallelizes at the
+//! table level (`accumulate_parallel`) and serving at the micro-batch
+//! level (`BatchAnnotator`), so the cores are usually owned by an outer
+//! loop already. [`set_gemm_threads`] is the explicit lever for
+//! single-stream workloads (e.g. latency-sensitive serving of one big
+//! table); the row stripes are then cut so every thread gets at least
+//! [`MIN_FLOPS_PER_THREAD`] of work, so small matmuls never pay a spawn.
+
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows of the micro-kernel register tile.
+pub const MR: usize = 6;
+/// Columns of the micro-kernel register tile: two AVX vectors, so the
+/// `MR`×`NR` accumulator occupies 12 of the 16 ymm registers on the AVX2
+/// fast path (leaving room for the B panel loads and the A broadcast).
+pub const NR: usize = 16;
+/// k-dimension cache block: packed panels span at most `KC` of k, sized so
+/// an `NR`×`KC` B sliver stays L1-resident.
+pub const KC: usize = 256;
+/// n-dimension cache block (multiple of [`NR`]): a `KC`×`NC` packed B
+/// panel targets L2/L3 residency.
+pub const NC: usize = 512;
+/// m-dimension cache block (multiple of [`MR`]): a `MC`×`KC` packed A
+/// block targets L2 residency; sized so the encoder's row counts (≤ 192
+/// tokens per sequence) need at most two blocks.
+pub const MC: usize = 120;
+
+/// Work floor (in FLOPs, counting one multiply-add as two) below which an
+/// extra GEMM thread is not worth its spawn cost.
+pub const MIN_FLOPS_PER_THREAD: usize = 1 << 20;
+
+/// Work floor below which the public entry points use the naive loops:
+/// packing touches O(mn + mk + kn) memory, which only pays off once the
+/// O(mnk) kernel work dwarfs it.
+const BLOCKED_MIN_FLOPS: usize = 1 << 16;
+
+static GEMM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-global intra-GEMM thread budget (clamped to ≥ 1).
+///
+/// This is a *budget*, not a demand: each call threads only if its row
+/// count and FLOP volume justify the stripes (see [`MIN_FLOPS_PER_THREAD`]).
+/// Leave it at 1 (the default) when an outer layer — data-parallel
+/// training, the batch-serving fan-out — already owns the cores.
+pub fn set_gemm_threads(n: usize) {
+    GEMM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current intra-GEMM thread budget (see [`set_gemm_threads`]).
+pub fn gemm_threads() -> usize {
+    GEMM_THREADS.load(Ordering::Relaxed)
+}
+
+/// Threads actually worth using for one `m`×`n`×`k` GEMM under `budget`.
+fn effective_threads(m: usize, n: usize, k: usize, budget: usize) -> usize {
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    budget.min(m.div_ceil(MR)).min((flops / MIN_FLOPS_PER_THREAD).max(1)).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Matrix views
+// ---------------------------------------------------------------------------
+
+/// Read-only strided view used to feed packing: element `(r, c)` lives at
+/// `data[off + r * stride + c]`. Lets the tape run GEMM over column slices
+/// (per-head Q/K/V panels, fused QKV segments) without copying them out.
+#[derive(Clone, Copy)]
+pub(crate) struct View<'a> {
+    pub data: &'a [f32],
+    pub off: usize,
+    pub stride: usize,
+}
+
+impl<'a> View<'a> {
+    /// Whole-tensor view.
+    pub fn of(t: &'a Tensor) -> Self {
+        View { data: t.data(), off: 0, stride: t.cols() }
+    }
+
+    /// View starting at `(row0, col0)` of a row-major buffer.
+    pub fn at(data: &'a [f32], stride: usize, row0: usize, col0: usize) -> Self {
+        View { data, off: row0 * stride + col0, stride }
+    }
+
+    /// Contiguous slice `[c0, c1)` of row `r`.
+    #[inline(always)]
+    fn row(&self, r: usize, c0: usize, c1: usize) -> &[f32] {
+        &self.data[self.off + r * self.stride + c0..self.off + r * self.stride + c1]
+    }
+}
+
+/// A GEMM operand: a [`View`] taken as-is or logically transposed. The
+/// packers pick the loop order whose reads are contiguous for each case,
+/// which is what makes packing cheap enough for encoder-sized matrices.
+#[derive(Clone, Copy)]
+pub(crate) enum Src<'a> {
+    /// Element `(r, c)` is `view[(r, c)]`.
+    N(View<'a>),
+    /// Element `(r, c)` is `view[(c, r)]`.
+    T(View<'a>),
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Packs `mc` rows × `kc` k's of A (rows `i0..`, k's `p0..`) into
+/// `ceil(mc / MR)` micro-panels, each laid out p-major `[kc][MR]`. Rows
+/// past `mc` are zero-filled: padded lanes accumulate zeros and are never
+/// stored, keeping one kernel for interior and edge tiles. The loop order
+/// follows the operand layout so reads are always contiguous.
+#[inline]
+fn pack_a(buf: &mut [f32], src: Src<'_>, i0: usize, mc: usize, p0: usize, kc: usize) {
+    for pi in 0..mc.div_ceil(MR) {
+        let i_start = i0 + pi * MR;
+        let rows = MR.min(i0 + mc - i_start);
+        let panel = &mut buf[pi * kc * MR..(pi + 1) * kc * MR];
+        match src {
+            // A as given is row-major `[m, k]`: walk each of the MR rows
+            // contiguously, scattering into the p-major panel.
+            Src::N(v) => {
+                for i in 0..rows {
+                    let row = v.row(i_start + i, p0, p0 + kc);
+                    for (p, &x) in row.iter().enumerate() {
+                        panel[p * MR + i] = x;
+                    }
+                }
+            }
+            // Aᵀ: the stored matrix is `[k, m]`, so for each p the MR
+            // values are adjacent — read and write contiguously.
+            Src::T(v) => {
+                for p in 0..kc {
+                    let row = v.row(p0 + p, i_start, i_start + rows);
+                    panel[p * MR..p * MR + rows].copy_from_slice(row);
+                }
+            }
+        }
+        if rows < MR {
+            for p in 0..kc {
+                for d in &mut panel[p * MR + rows..(p + 1) * MR] {
+                    *d = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs `kc` k's × `nc` columns of B (k's `p0..`, columns `j0..`) into
+/// `ceil(nc / NR)` micro-panels, each laid out p-major `[kc][NR]`,
+/// zero-padding columns past `nc`. Like [`pack_a`], the loop order keeps
+/// reads contiguous for both layouts.
+#[inline]
+fn pack_b(buf: &mut [f32], src: Src<'_>, p0: usize, kc: usize, j0: usize, nc: usize) {
+    for pj in 0..nc.div_ceil(NR) {
+        let j_start = j0 + pj * NR;
+        let cols = NR.min(j0 + nc - j_start);
+        let panel = &mut buf[pj * kc * NR..(pj + 1) * kc * NR];
+        match src {
+            // B as given is row-major `[k, n]`: row p supplies the panel's
+            // p-th NR-slot directly.
+            Src::N(v) => {
+                for p in 0..kc {
+                    let row = v.row(p0 + p, j_start, j_start + cols);
+                    panel[p * NR..p * NR + cols].copy_from_slice(row);
+                }
+            }
+            // Bᵀ: the stored matrix is `[n, k]`; walk each of its rows
+            // (one output column) contiguously, scattering across slots.
+            Src::T(v) => {
+                for j in 0..cols {
+                    let row = v.row(j_start + j, p0, p0 + kc);
+                    for (p, &x) in row.iter().enumerate() {
+                        panel[p * NR + j] = x;
+                    }
+                }
+            }
+        }
+        if cols < NR {
+            for p in 0..kc {
+                for d in &mut panel[p * NR + cols..(p + 1) * NR] {
+                    *d = 0.0;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel
+// ---------------------------------------------------------------------------
+
+/// The rank-1 update loop shared by every micro-kernel instantiation: adds
+/// `kc` outer products from the packed panels into the register tile, k in
+/// increasing order with one accumulator per element — the bit-identity
+/// contract. All loop bounds are compile-time constants so LLVM promotes
+/// `acc` to registers (SROA) and vectorizes the `NR` lanes; multiplies and
+/// adds stay separately rounded (no FMA contraction), so the operation
+/// sequence per element is exactly the naive loops'.
+#[inline(always)]
+fn accumulate_tile(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[inline(always)]
+    fn step(a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+        let a: &[f32; MR] = a.try_into().expect("MR chunk");
+        let b: &[f32; NR] = b.try_into().expect("NR chunk");
+        for i in 0..MR {
+            let aip = a[i];
+            for j in 0..NR {
+                acc[i][j] += aip * b[j];
+            }
+        }
+    }
+    // Unroll k by 4 (plain unrolling: each element still sees its addends
+    // strictly in increasing-k order, so bit-identity is unaffected).
+    let k4 = kc / 4 * 4;
+    let (a4, b4) = (&ap[..k4 * MR], &bp[..k4 * NR]);
+    for (a, b) in a4.chunks_exact(4 * MR).zip(b4.chunks_exact(4 * NR)) {
+        for u in 0..4 {
+            step(&a[u * MR..(u + 1) * MR], &b[u * NR..(u + 1) * NR], acc);
+        }
+    }
+    for (a, b) in ap[k4 * MR..kc * MR].chunks_exact(MR).zip(bp[k4 * NR..kc * NR].chunks_exact(NR)) {
+        step(a, b, acc);
+    }
+}
+
+/// Shared micro-kernel body: full tiles load/store C with constant bounds
+/// so the accumulator lives in registers; edge tiles (`mr < MR` or
+/// `nr < NR`) stage C through the zero-padded stack tile, keeping the hot
+/// loop's constant bounds either way.
+#[inline(always)]
+fn microkernel_impl(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    if mr == MR && nr == NR {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            *row = c[i * ldc..i * ldc + NR].try_into().expect("NR row");
+        }
+        accumulate_tile(kc, ap, bp, &mut acc);
+        for (i, row) in acc.iter().enumerate() {
+            c[i * ldc..i * ldc + NR].copy_from_slice(row);
+        }
+    } else {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (i, row) in acc.iter_mut().take(mr).enumerate() {
+            row[..nr].copy_from_slice(&c[i * ldc..i * ldc + nr]);
+        }
+        accumulate_tile(kc, ap, bp, &mut acc);
+        for (i, row) in acc.iter().take(mr).enumerate() {
+            c[i * ldc..i * ldc + nr].copy_from_slice(&row[..nr]);
+        }
+    }
+}
+
+/// AVX2 instantiation of [`microkernel_impl`]: same Rust code compiled
+/// with 256-bit vectors (the register tile is 12 ymm accumulators). Only
+/// `vmulps`/`vaddps` are emitted — `#[target_feature]` alone never
+/// introduces FMA contraction — so results stay bit-identical to the
+/// portable instantiation and the naive loops.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn microkernel_avx2(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    microkernel_impl(kc, ap, bp, c, ldc, mr, nr);
+}
+
+/// True once per process if the host has AVX2 (the fast micro-kernel's
+/// requirement; detection result is cached by the stdlib).
+#[inline]
+fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Computes one `mr`×`nr` output tile: loads the current C tile into the
+/// register accumulator, adds `kc` rank-1 updates from the packed panels,
+/// and stores it back. `c` starts at the tile's `(0, 0)` and has row
+/// stride `ldc`.
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn microkernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+    avx2: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when is_x86_feature_detected!
+        // confirmed AVX2 support on this CPU.
+        unsafe {
+            microkernel_avx2(kc, ap, bp, c, ldc, mr, nr);
+        }
+        return;
+    }
+    let _ = avx2;
+    microkernel_impl(kc, ap, bp, c, ldc, mr, nr);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked driver
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread packing scratch `(A panels, B panels)`, grown on demand
+    /// so the hot path never calls the allocator after warm-up.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs the blocked GEMM over output rows `[m0, m1)`. `c` holds exactly
+/// those rows (row stride `ldc`), offset `c_col0` columns in; the sources
+/// are indexed with absolute coordinates.
+#[allow(clippy::too_many_arguments)] // the single-thread core below gemm_threaded
+fn gemm_stripe(
+    m0: usize,
+    m1: usize,
+    n: usize,
+    k: usize,
+    a_src: Src<'_>,
+    b_src: Src<'_>,
+    c: &mut [f32],
+    ldc: usize,
+    c_col0: usize,
+) {
+    let avx2 = has_avx2();
+    PACK_BUFS.with_borrow_mut(|(ap_buf, bp_buf)| {
+        let kc_max = KC.min(k.max(1));
+        // Grow-only: pack writes every slot it later reads, so stale data
+        // past the current panel sizes is harmless and shrinking would
+        // just churn when call sites alternate between shapes.
+        let a_need = MC.div_ceil(MR) * MR * kc_max;
+        if ap_buf.len() < a_need {
+            ap_buf.resize(a_need, 0.0);
+        }
+        let b_need = NC.min(n.max(1)).div_ceil(NR) * NR * kc_max;
+        if bp_buf.len() < b_need {
+            bp_buf.resize(b_need, 0.0);
+        }
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(bp_buf, b_src, pc, kc, jc, nc);
+                let mut ic = m0;
+                while ic < m1 {
+                    let mc = MC.min(m1 - ic);
+                    pack_a(ap_buf, a_src, ic, mc, pc, kc);
+                    let mut jr = 0;
+                    while jr < nc {
+                        let nr = NR.min(nc - jr);
+                        let bp = &bp_buf[(jr / NR) * kc * NR..][..kc * NR];
+                        let mut ir = 0;
+                        while ir < mc {
+                            let mr = MR.min(mc - ir);
+                            let ap = &ap_buf[(ir / MR) * kc * MR..][..kc * MR];
+                            let c_off = (ic - m0 + ir) * ldc + c_col0 + jc + jr;
+                            microkernel(kc, ap, bp, &mut c[c_off..], ldc, mr, nr, avx2);
+                            ir += MR;
+                        }
+                        jr += NR;
+                    }
+                    ic += MC;
+                }
+                pc += KC;
+            }
+            jc += NC;
+        }
+    });
+}
+
+/// `C += op(A) op(B)` over the whole output, splitting rows into stripes
+/// across up to `threads` OS threads. `c` holds `m` rows of stride `ldc`,
+/// offset `c_col0` columns in.
+#[allow(clippy::too_many_arguments)] // the one internal fan-in point below the typed wrappers
+fn gemm_threaded(
+    m: usize,
+    n: usize,
+    k: usize,
+    a_src: Src<'_>,
+    b_src: Src<'_>,
+    c: &mut [f32],
+    ldc: usize,
+    c_col0: usize,
+    threads: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return; // += of an empty product leaves C untouched
+    }
+    if 2 * m * n * k < BLOCKED_MIN_FLOPS {
+        // Packing would dominate; the plain loops keep the identical
+        // per-element accumulation order, so this changes nothing but speed.
+        gemm_small(m, n, k, a_src, b_src, c, ldc, c_col0);
+        return;
+    }
+    let threads = effective_threads(m, n, k, threads);
+    if threads <= 1 {
+        gemm_stripe(0, m, n, k, a_src, b_src, c, ldc, c_col0);
+        return;
+    }
+    // Equal MR-aligned stripes (the last may be short): chunk boundaries
+    // fall on row boundaries, so each worker owns disjoint output rows.
+    let stripe_rows = m.div_ceil(threads).div_ceil(MR) * MR;
+    std::thread::scope(|scope| {
+        for (si, chunk) in c.chunks_mut(stripe_rows * ldc).enumerate() {
+            let m0 = si * stripe_rows;
+            let m1 = (m0 + stripe_rows).min(m);
+            scope.spawn(move || gemm_stripe(m0, m1, n, k, a_src, b_src, chunk, ldc, c_col0));
+        }
+    });
+}
+
+/// Unblocked `C += op(A) op(B)` for matrices too small to amortize
+/// packing: one accumulator per element, k increasing — the same
+/// operation sequence as the blocked kernel, so the two are bitwise
+/// interchangeable.
+#[allow(clippy::too_many_arguments)] // mirrors gemm_threaded's signature
+fn gemm_small(
+    m: usize,
+    n: usize,
+    k: usize,
+    a_src: Src<'_>,
+    b_src: Src<'_>,
+    c: &mut [f32],
+    ldc: usize,
+    c_col0: usize,
+) {
+    let a = |i: usize, p: usize| match a_src {
+        Src::N(v) => v.data[v.off + i * v.stride + p],
+        Src::T(v) => v.data[v.off + p * v.stride + i],
+    };
+    let b = |p: usize, j: usize| match b_src {
+        Src::N(v) => v.data[v.off + p * v.stride + j],
+        Src::T(v) => v.data[v.off + j * v.stride + p],
+    };
+    for i in 0..m {
+        let c_row = &mut c[i * ldc + c_col0..i * ldc + c_col0 + n];
+        for (j, o) in c_row.iter_mut().enumerate() {
+            let mut acc = *o;
+            for p in 0..k {
+                acc += a(i, p) * b(p, j);
+            }
+            *o = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crate-internal strided entry points (used by the tape's attention ops)
+// ---------------------------------------------------------------------------
+
+/// `C += A B` over strided views: `a` is `[m, k]`, `b` is `[k, n]`.
+pub(crate) fn gemm_nn(
+    c: &mut [f32],
+    ldc: usize,
+    c_col0: usize,
+    (m, n, k): (usize, usize, usize),
+    a: View<'_>,
+    b: View<'_>,
+) {
+    gemm_threaded(m, n, k, Src::N(a), Src::N(b), c, ldc, c_col0, 1);
+}
+
+/// `C += A Bᵀ` over strided views: `a` is `[m, k]`, `b` is `[n, k]`.
+pub(crate) fn gemm_nt(
+    c: &mut [f32],
+    ldc: usize,
+    c_col0: usize,
+    (m, n, k): (usize, usize, usize),
+    a: View<'_>,
+    b: View<'_>,
+) {
+    gemm_threaded(m, n, k, Src::N(a), Src::T(b), c, ldc, c_col0, 1);
+}
+
+/// `C += Aᵀ B` over strided views: `a` is `[k, m]`, `b` is `[k, n]`.
+pub(crate) fn gemm_tn(
+    c: &mut [f32],
+    ldc: usize,
+    c_col0: usize,
+    (m, n, k): (usize, usize, usize),
+    a: View<'_>,
+    b: View<'_>,
+) {
+    gemm_threaded(m, n, k, Src::T(a), Src::N(b), c, ldc, c_col0, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Public whole-tensor entry points
+// ---------------------------------------------------------------------------
+
+/// Blocked `A B` (`A` is `[m, k]`, `B` is `[k, n]`) using up to `threads`
+/// row-stripe threads. Bit-identical to [`matmul_naive`] at every thread
+/// count; prefer [`crate::tensor::matmul`], which picks naive vs blocked
+/// by size and applies the global thread budget.
+pub fn matmul_blocked(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    let (av, bv) = (View::of(a), View::of(b));
+    gemm_threaded(m, n, k, Src::N(av), Src::N(bv), out.data_mut(), n, 0, threads);
+    out
+}
+
+/// Blocked `A Bᵀ` (`A` is `[m, k]`, `B` is `[n, k]`); see [`matmul_blocked`].
+pub fn matmul_nt_blocked(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt inner dims: {:?} x {:?}^T", a.shape(), b.shape());
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Tensor::zeros(m, n);
+    let (av, bv) = (View::of(a), View::of(b));
+    gemm_threaded(m, n, k, Src::N(av), Src::T(bv), out.data_mut(), n, 0, threads);
+    out
+}
+
+/// Blocked `Aᵀ B` (`A` is `[k, m]`, `B` is `[k, n]`); see [`matmul_blocked`].
+pub fn matmul_tn_blocked(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn inner dims: {:?}^T x {:?}", a.shape(), b.shape());
+    let (m, n, k) = (a.cols(), b.cols(), a.rows());
+    let mut out = Tensor::zeros(m, n);
+    let (av, bv) = (View::of(a), View::of(b));
+    gemm_threaded(m, n, k, Src::T(av), Src::N(bv), out.data_mut(), n, 0, threads);
+    out
+}
+
+/// Naive reference `A B`: plain ikj loops, the kernel the blocked path
+/// must match bitwise. Kept public as the property-test oracle and the
+/// baseline of the `gemm` micro-bench.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let o_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            let b_row = &b.data()[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Naive reference `A Bᵀ` (row-dot-row loops); see [`matmul_naive`].
+pub fn matmul_nt_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt inner dims: {:?} x {:?}^T", a.shape(), b.shape());
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let o_row = out.row_mut(i);
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Naive reference `Aᵀ B` (rank-1 update loops); see [`matmul_naive`].
+pub fn matmul_tn_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn inner dims: {:?}^T x {:?}", a.shape(), b.shape());
+    let (m, n, k) = (a.cols(), b.cols(), a.rows());
+    let mut out = Tensor::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_pi) in a_row.iter().enumerate().take(m) {
+            let o_row = &mut out.data_mut()[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `A B` with a branch that skips zero elements of `A` — the old default
+/// kernel's "sparsity" shortcut, now **opt-in**: the per-element branch
+/// pessimizes dense inputs, so use this only where the left operand is
+/// known to carry masked / mostly-zero rows (none of the tape's dense
+/// activations qualify). Bit-identical to [`matmul_naive`] on finite
+/// inputs (skipping `0·b` only drops an exact `+0.0`/`-0.0` addend).
+pub fn matmul_masked(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let o_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b.data()[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+    out
+}
+
+/// True when `m`×`n`×`k` is big enough for packing to pay off — the size
+/// heuristic behind the [`crate::tensor`] dispatchers. Requires the AVX2
+/// micro-kernel: on hosts without it the portable tile (compiled for
+/// baseline SSE2) does not beat the naive saxpy loops, which already sit
+/// near SSE2 peak, so dispatch keeps the naive path there.
+pub(crate) fn blocked_worthwhile(m: usize, n: usize, k: usize) -> bool {
+    has_avx2() && 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k) >= BLOCKED_MIN_FLOPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_block_boundaries() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Shapes straddling MR/NR/MC/KC/NC edges, including k > KC.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR, KC, NR),
+            (MR + 1, KC + 3, NR + 1),
+            (MC + 5, 300, NC + 9),
+            (76, 96, 96),
+            (2, 7, 530),
+        ] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            bits_eq(&matmul_blocked(&a, &b, 1), &matmul_naive(&a, &b), "nn");
+            let bt = b.transpose();
+            bits_eq(&matmul_nt_blocked(&a, &bt, 1), &matmul_nt_naive(&a, &bt), "nt");
+            let at = a.transpose();
+            bits_eq(&matmul_tn_blocked(&at, &b, 1), &matmul_tn_naive(&at, &b), "tn");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_single_thread_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Tensor::randn(193, 96, 1.0, &mut rng);
+        let b = Tensor::randn(96, 384, 1.0, &mut rng);
+        let one = matmul_blocked(&a, &b, 1);
+        for threads in [2, 3, 8] {
+            bits_eq(&matmul_blocked(&a, &b, threads), &one, "threads");
+        }
+    }
+
+    #[test]
+    fn masked_matches_naive_on_finite_inputs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut a = Tensor::randn(9, 14, 1.0, &mut rng);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(14, 21, 1.0, &mut rng);
+        bits_eq(&matmul_masked(&a, &b), &matmul_naive(&a, &b), "masked");
+    }
+
+    #[test]
+    fn degenerate_dims_yield_zero_output() {
+        let a = Tensor::zeros(3, 0);
+        let b = Tensor::zeros(0, 4);
+        let c = matmul_blocked(&a, &b, 4);
+        assert_eq!(c.shape(), (3, 4));
+        assert!(c.data().iter().all(|&v| v == 0.0));
+        assert_eq!(matmul_blocked(&Tensor::zeros(0, 5), &Tensor::zeros(5, 2), 2).shape(), (0, 2));
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`Tensor`] — row-major 2-D `f32` matrices with the handful of BLAS-like
 //!   kernels a Transformer needs ([`matmul`], [`matmul_nt`], [`matmul_tn`]).
+//! * [`kernels`] — the cache-blocked, register-tiled GEMM layer those entry
+//!   points dispatch to (packed panels, row-stripe threading, bit-identical
+//!   to the naive loops by construction).
 //! * [`Tape`] — an eager autograd tape recording one forward pass; ops cover
 //!   dense layers, LayerNorm, GELU, embedding gather, fused multi-head
 //!   attention with optional visibility masks (for the TURL baseline),
@@ -20,7 +23,9 @@
 //! Design: one table = one sequence = one tape. There is no batching inside
 //! a tape, so shapes stay 2-D and no padding or masking machinery is needed
 //! beyond the attention visibility mask.
+#![warn(missing_docs)]
 
+pub mod kernels;
 pub mod optim;
 pub mod parallel;
 pub mod params;
@@ -28,6 +33,7 @@ pub mod serialize;
 pub mod tape;
 pub mod tensor;
 
+pub use kernels::{gemm_threads, set_gemm_threads};
 pub use optim::{Adam, LrSchedule};
 pub use parallel::{accumulate_parallel, default_threads};
 pub use params::{Gradients, Param, ParamId, ParamStore};

@@ -15,7 +15,12 @@ pub enum LrSchedule {
     Constant(f32),
     /// Linear decay from `lr0` to 0 over `total_steps` (BERT fine-tuning
     /// default, no warm-up).
-    LinearDecay { lr0: f32, total_steps: usize },
+    LinearDecay {
+        /// Initial learning rate.
+        lr0: f32,
+        /// Step count after which the rate reaches 0.
+        total_steps: usize,
+    },
 }
 
 impl LrSchedule {

@@ -14,7 +14,9 @@ pub type ParamId = usize;
 /// A single named, learnable tensor.
 #[derive(Clone, Debug)]
 pub struct Param {
+    /// Dotted path identifying the parameter (e.g. `"enc.l0.wq"`).
     pub name: String,
+    /// The current weights.
     pub value: Tensor,
 }
 
@@ -25,6 +27,7 @@ pub struct ParamStore {
 }
 
 impl ParamStore {
+    /// An empty store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -60,22 +63,27 @@ impl ParamStore {
         self.add(name, Tensor::full(rows, cols, 1.0))
     }
 
+    /// Number of registered parameters.
     pub fn len(&self) -> usize {
         self.params.len()
     }
 
+    /// True when no parameters are registered.
     pub fn is_empty(&self) -> bool {
         self.params.is_empty()
     }
 
+    /// The weights of parameter `id`.
     pub fn get(&self, id: ParamId) -> &Tensor {
         &self.params[id].value
     }
 
+    /// Mutable weights of parameter `id` (the optimizer's entry point).
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
         &mut self.params[id].value
     }
 
+    /// The name parameter `id` was registered under.
     pub fn name(&self, id: ParamId) -> &str {
         &self.params[id].name
     }
@@ -85,6 +93,7 @@ impl ParamStore {
         self.params.iter().position(|p| p.name == name)
     }
 
+    /// Iterates over `(id, parameter)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
         self.params.iter().enumerate()
     }
@@ -123,14 +132,17 @@ impl Gradients {
         Gradients { slots: vec![None; store.len()] }
     }
 
+    /// Number of gradient slots (one per store parameter).
     pub fn len(&self) -> usize {
         self.slots.len()
     }
 
+    /// True when the buffer tracks no parameters.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
 
+    /// The accumulated gradient of parameter `id`, if any flowed into it.
     pub fn get(&self, id: ParamId) -> Option<&Tensor> {
         self.slots[id].as_ref()
     }

@@ -22,7 +22,14 @@ pub enum LoadError {
     /// Checkpoint has a parameter the target store lacks (strict mode).
     UnknownParam(String),
     /// Shape in the checkpoint does not match the target parameter.
-    ShapeMismatch { name: String, expected: (usize, usize), found: (usize, usize) },
+    ShapeMismatch {
+        /// The offending parameter.
+        name: String,
+        /// Shape the target store declares.
+        expected: (usize, usize),
+        /// Shape found in the checkpoint.
+        found: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for LoadError {

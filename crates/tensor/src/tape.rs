@@ -11,6 +11,7 @@
 //! transpose machinery is required.
 #![allow(clippy::needless_range_loop)] // index loops over matrix coordinates are clearest here
 
+use crate::kernels::{gemm_nn, gemm_nt, gemm_tn, View};
 use crate::params::{Gradients, ParamId, ParamStore};
 use crate::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
 use rand::Rng;
@@ -178,6 +179,7 @@ impl<'s> Tape<'s> {
         Tape { store, nodes: Vec::with_capacity(256), training: false }
     }
 
+    /// True on training tapes (dropout active).
     pub fn is_training(&self) -> bool {
         self.training
     }
@@ -190,10 +192,12 @@ impl<'s> Tape<'s> {
         }
     }
 
+    /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// True when nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
@@ -275,6 +279,7 @@ impl<'s> Tape<'s> {
         self.push(v, Op::Gelu { x })
     }
 
+    /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, x: NodeId) -> NodeId {
         let tx = self.value(x);
         let data: Vec<f32> = tx.data().iter().map(|v| v.tanh()).collect();
@@ -282,6 +287,7 @@ impl<'s> Tape<'s> {
         self.push(v, Op::Tanh { x })
     }
 
+    /// Elementwise rectified linear unit.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
         let tx = self.value(x);
         let data: Vec<f32> = tx.data().iter().map(|v| v.max(0.0)).collect();
@@ -396,11 +402,24 @@ impl<'s> Tape<'s> {
         let mut probs = vec![0.0f32; heads * s * s];
         for h in 0..heads {
             let off = h * dh;
-            for i in 0..s {
-                let p_row = &mut probs[h * s * s + i * s..h * s * s + (i + 1) * s];
-                mha_probs_row(tq, tk, 0, s, off, off, dh, i, scale, mask, p_row);
-                mha_out_row(tv, 0, off, dh, p_row, &mut out.row_mut(i)[off..off + dh]);
-            }
+            let p = &mut probs[h * s * s..(h + 1) * s * s];
+            attn_probs_block(
+                p,
+                View::at(tq.data(), d, 0, off),
+                View::at(tk.data(), d, 0, off),
+                s,
+                dh,
+                scale,
+                mask,
+            );
+            gemm_nn(
+                out.data_mut(),
+                d,
+                off,
+                (s, dh, s),
+                View::at(p, s, 0, 0),
+                View::at(tv.data(), d, 0, off),
+            );
         }
         self.push(out, Op::Mha { q, k, v, heads, probs })
     }
@@ -439,7 +458,8 @@ impl<'s> Tape<'s> {
         let lens = validate_blocks(rows, masks, lens);
 
         let mut out = Tensor::zeros(rows, d);
-        let mut scores = vec![0.0f32; lens.iter().copied().max().expect("non-empty")];
+        let max_len = lens.iter().copied().max().expect("non-empty");
+        let mut p_buf = vec![0.0f32; max_len * max_len];
         let mut row0 = 0usize;
         for (b, mask) in masks.iter().enumerate() {
             let len = lens[b];
@@ -452,7 +472,7 @@ impl<'s> Tape<'s> {
                 heads,
                 mask.as_ref().map(|m| m.as_slice()),
                 &mut out,
-                &mut scores,
+                &mut p_buf,
             );
             row0 += len;
         }
@@ -489,20 +509,15 @@ impl<'s> Tape<'s> {
             let tw = [self.value(ws[0]), self.value(ws[1]), self.value(ws[2])];
             let tb = [self.value(bs[0]), self.value(bs[1]), self.value(bs[2])];
             let tx = self.value(x);
+            // Three GEMMs into the output's column segments, then the bias
+            // rows: per element that is `sum_k x·w` then `+ b` — exactly
+            // [`Tape::linear`]'s order, so the fused node stays
+            // bit-identical to three separate dense layers.
+            for (t, w) in tw.iter().enumerate() {
+                gemm_nn(out.data_mut(), 3 * d, t * d, (rows, d, k), View::of(tx), View::of(w));
+            }
             for i in 0..rows {
-                let x_row = tx.row(i);
                 let o_row = out.row_mut(i);
-                for (p, &a_ip) in x_row.iter().enumerate() {
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    for (t, w) in tw.iter().enumerate() {
-                        let b_row = w.row(p);
-                        for (o, &bv_) in o_row[t * d..(t + 1) * d].iter_mut().zip(b_row.iter()) {
-                            *o += a_ip * bv_;
-                        }
-                    }
-                }
                 for (t, b) in tb.iter().enumerate() {
                     for (o, &bv_) in o_row[t * d..(t + 1) * d].iter_mut().zip(b.row(0).iter()) {
                         *o += bv_;
@@ -533,7 +548,8 @@ impl<'s> Tape<'s> {
         let lens = validate_blocks(rows, masks, lens);
 
         let mut out = Tensor::zeros(rows, d);
-        let mut scores = vec![0.0f32; lens.iter().copied().max().expect("non-empty")];
+        let max_len = lens.iter().copied().max().expect("non-empty");
+        let mut p_buf = vec![0.0f32; max_len * max_len];
         let mut row0 = 0usize;
         for (b, mask) in masks.iter().enumerate() {
             let len = lens[b];
@@ -545,7 +561,7 @@ impl<'s> Tape<'s> {
                 heads,
                 mask.as_ref().map(|m| m.as_slice()),
                 &mut out,
-                &mut scores,
+                &mut p_buf,
             );
             row0 += len;
         }
@@ -783,26 +799,31 @@ impl<'s> Tape<'s> {
                 Op::Mha { q, k, v, heads, probs } => {
                     let (tq, tk, tv) = (self.value(*q), self.value(*k), self.value(*v));
                     let (s, d) = tq.shape();
+                    let dh = d / heads;
+                    let scale = 1.0 / (dh as f32).sqrt();
                     let mut dq = Tensor::zeros(s, d);
                     let mut dk = Tensor::zeros(s, d);
                     let mut dv = Tensor::zeros(s, d);
-                    let mut dscores = vec![0.0f32; s];
-                    mha_grad_rows(
-                        tq,
-                        tk,
-                        tv,
-                        0,
-                        s,
-                        *heads,
-                        |h, i, row: &mut [f32]| {
-                            row.copy_from_slice(&probs[h * s * s + i * s..h * s * s + (i + 1) * s])
-                        },
-                        &g,
-                        &mut dq,
-                        &mut dk,
-                        &mut dv,
-                        &mut dscores,
-                    );
+                    let mut dp_buf = vec![0.0f32; s * s];
+                    for h in 0..*heads {
+                        let off = h * dh;
+                        attn_head_backward(
+                            &probs[h * s * s..(h + 1) * s * s],
+                            &mut dp_buf,
+                            AttnHeadViews {
+                                g: View::at(g.data(), d, 0, off),
+                                q: View::at(tq.data(), d, 0, off),
+                                k: View::at(tk.data(), d, 0, off),
+                                v: View::at(tv.data(), d, 0, off),
+                            },
+                            (s, dh),
+                            scale,
+                            (d, off),
+                            dq.data_mut(),
+                            dk.data_mut(),
+                            dv.data_mut(),
+                        );
+                    }
                     acc(&mut local, *q, dq);
                     acc(&mut local, *k, dk);
                     acc(&mut local, *v, dv);
@@ -810,27 +831,47 @@ impl<'s> Tape<'s> {
                 Op::MhaBatch { q, k, v, heads, lens, masks } => {
                     let (tq, tk, tv) = (self.value(*q), self.value(*k), self.value(*v));
                     let (rows, d) = tq.shape();
+                    let dh = d / heads;
+                    let scale = 1.0 / (dh as f32).sqrt();
                     let mut dq = Tensor::zeros(rows, d);
                     let mut dk = Tensor::zeros(rows, d);
                     let mut dv = Tensor::zeros(rows, d);
                     let max_len = lens.iter().copied().max().expect("non-empty");
-                    let mut dscores = vec![0.0f32; max_len];
+                    let mut p_buf = vec![0.0f32; max_len * max_len];
+                    let mut dp_buf = vec![0.0f32; max_len * max_len];
                     let mut row0 = 0usize;
                     for (&len, mask) in lens.iter().zip(masks.iter()) {
-                        mha_batch_backward_block(
-                            tq,
-                            tk,
-                            tv,
-                            row0,
-                            len,
-                            *heads,
-                            mask.as_ref().map(|m| m.as_slice()),
-                            &g,
-                            &mut dq,
-                            &mut dk,
-                            &mut dv,
-                            &mut dscores,
-                        );
+                        let mask = mask.as_ref().map(|m| m.as_slice());
+                        for h in 0..*heads {
+                            let off = h * dh;
+                            // Probabilities are recomputed via the same
+                            // kernel the forward used — bit-identical.
+                            attn_probs_block(
+                                &mut p_buf,
+                                View::at(tq.data(), d, row0, off),
+                                View::at(tk.data(), d, row0, off),
+                                len,
+                                dh,
+                                scale,
+                                mask,
+                            );
+                            attn_head_backward(
+                                &p_buf,
+                                &mut dp_buf,
+                                AttnHeadViews {
+                                    g: View::at(g.data(), d, row0, off),
+                                    q: View::at(tq.data(), d, row0, off),
+                                    k: View::at(tk.data(), d, row0, off),
+                                    v: View::at(tv.data(), d, row0, off),
+                                },
+                                (len, dh),
+                                scale,
+                                (d, off),
+                                &mut dq.data_mut()[row0 * d..],
+                                &mut dk.data_mut()[row0 * d..],
+                                &mut dv.data_mut()[row0 * d..],
+                            );
+                        }
                         row0 += len;
                     }
                     acc(&mut local, *q, dq);
@@ -843,19 +884,27 @@ impl<'s> Tape<'s> {
                     let d = self.value(ws[0]).cols();
                     let mut dx = Tensor::zeros(rows, k);
                     for t in 0..3 {
-                        // Slice this projection's gradient columns out.
-                        let mut g_t = Tensor::zeros(rows, d);
-                        for r in 0..rows {
-                            g_t.row_mut(r).copy_from_slice(&g.row(r)[t * d..(t + 1) * d]);
-                        }
-                        let dw = matmul_tn(tx, &g_t);
+                        // This projection's gradient is the `[t*d, (t+1)*d)`
+                        // column slice of `g`, consumed in place as a
+                        // strided view — no materialized copy.
+                        let g_t = View::at(g.data(), 3 * d, 0, t * d);
+                        let mut dw = Tensor::zeros(k, d);
+                        gemm_tn(dw.data_mut(), d, 0, (k, d, rows), View::of(tx), g_t);
                         let mut db = Tensor::zeros(1, d);
                         for r in 0..rows {
-                            for (o, &gv) in db.row_mut(0).iter_mut().zip(g_t.row(r).iter()) {
+                            let g_row = &g.row(r)[t * d..(t + 1) * d];
+                            for (o, &gv) in db.row_mut(0).iter_mut().zip(g_row.iter()) {
                                 *o += gv;
                             }
                         }
-                        dx.add_assign(&matmul_nt(&g_t, self.value(ws[t])));
+                        gemm_nt(
+                            dx.data_mut(),
+                            k,
+                            0,
+                            (rows, k, d),
+                            g_t,
+                            View::of(self.value(ws[t])),
+                        );
                         acc(&mut local, ws[t], dw);
                         acc(&mut local, bs[t], db);
                     }
@@ -865,24 +914,37 @@ impl<'s> Tape<'s> {
                     let t = self.value(*qkv);
                     let (rows, d3) = t.shape();
                     let d = d3 / 3;
+                    let dh = d / heads;
+                    let scale = 1.0 / (dh as f32).sqrt();
                     let mut dqkv = Tensor::zeros(rows, d3);
                     let max_len = lens.iter().copied().max().expect("non-empty");
-                    let mut scores = vec![0.0f32; max_len];
-                    let mut dscores = vec![0.0f32; max_len];
+                    let mut p_buf = vec![0.0f32; max_len * max_len];
+                    let mut dp_buf = vec![0.0f32; max_len * max_len];
                     let mut row0 = 0usize;
                     for (&len, mask) in lens.iter().zip(masks.iter()) {
-                        qkv_backward_block(
-                            t,
-                            d,
-                            row0,
-                            len,
-                            *heads,
-                            mask.as_ref().map(|m| m.as_slice()),
-                            &g,
-                            &mut dqkv,
-                            &mut scores,
-                            &mut dscores,
-                        );
+                        let mask = mask.as_ref().map(|m| m.as_slice());
+                        for h in 0..*heads {
+                            let off = h * dh;
+                            attn_probs_block(
+                                &mut p_buf,
+                                View::at(t.data(), d3, row0, off),
+                                View::at(t.data(), d3, row0, d + off),
+                                len,
+                                dh,
+                                scale,
+                                mask,
+                            );
+                            attn_head_backward_fused(
+                                &p_buf,
+                                &mut dp_buf,
+                                View::at(g.data(), d, row0, off),
+                                t,
+                                &mut dqkv,
+                                (row0, len, dh),
+                                (d, off),
+                                scale,
+                            );
+                        }
                         row0 += len;
                     }
                     acc(&mut local, *qkv, dqkv);
@@ -936,7 +998,10 @@ fn validate_blocks(rows: usize, masks: &[Option<AttnMask>], lens: Option<&[usize
             l.to_vec()
         }
         None => {
-            assert!(rows % blocks == 0, "{rows} rows do not split into {blocks} equal blocks");
+            assert!(
+                rows.is_multiple_of(blocks),
+                "{rows} rows do not split into {blocks} equal blocks"
+            );
             vec![rows / blocks; blocks]
         }
     };
@@ -948,55 +1013,37 @@ fn validate_blocks(rows: usize, masks: &[Option<AttnMask>], lens: Option<&[usize
     lens
 }
 
-/// Computes one query row's post-softmax attention probabilities for one
-/// head into `scores[..len]`. The single shared kernel behind
-/// [`Tape::mha`]'s forward, [`Tape::mha_batch`]'s forward, and
-/// [`Tape::mha_batch`]'s backward recompute — one implementation means the
-/// three sites are bit-identical by construction.
-#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
-#[inline]
-fn mha_probs_row(
-    tq: &Tensor,
-    tk: &Tensor,
-    row0: usize,
+/// Computes one head's post-softmax probability matrix into
+/// `p[..len * len]`: `S = Q Kᵀ` through the blocked GEMM layer, then
+/// `s * scale + mask` per element (the naive kernels' exact order) and a
+/// row softmax. The single kernel behind every attention forward — single
+/// and batched, fused and unfused — and behind the batched backward's
+/// recompute, so all sites are bit-identical by construction.
+fn attn_probs_block(
+    p: &mut [f32],
+    q: View<'_>,
+    k: View<'_>,
     len: usize,
-    qcol0: usize,
-    kcol0: usize,
     dh: usize,
-    i: usize,
     scale: f32,
     mask: Option<&[f32]>,
-    scores: &mut [f32],
 ) {
-    let qi = &tq.row(row0 + i)[qcol0..qcol0 + dh];
-    for j in 0..len {
-        let kj = &tk.row(row0 + j)[kcol0..kcol0 + dh];
-        let mut acc = 0.0f32;
-        for (a, b) in qi.iter().zip(kj.iter()) {
-            acc += a * b;
+    p[..len * len].fill(0.0);
+    gemm_nt(p, len, 0, (len, len, dh), q, k);
+    for i in 0..len {
+        let row = &mut p[i * len..(i + 1) * len];
+        let m_row = mask.map(|m| &m[i * len..(i + 1) * len]);
+        for (j, s) in row.iter_mut().enumerate() {
+            *s = *s * scale + m_row.map_or(0.0, |m| m[j]);
         }
-        scores[j] = acc * scale + mask.map_or(0.0, |m| m[i * len + j]);
-    }
-    softmax_row(&mut scores[..len]);
-}
-
-/// Accumulates `sum_j p_j * v_j` into the output row slice for one head.
-#[inline]
-fn mha_out_row(tv: &Tensor, row0: usize, vcol0: usize, dh: usize, p_row: &[f32], orow: &mut [f32]) {
-    for (j, &p) in p_row.iter().enumerate() {
-        if p == 0.0 {
-            continue;
-        }
-        let vj = &tv.row(row0 + j)[vcol0..vcol0 + dh];
-        for (o, &vv) in orow.iter_mut().zip(vj.iter()) {
-            *o += p * vv;
-        }
+        softmax_row(row);
     }
 }
 
 /// Fused-attention forward over one block of [`Tape::mha_batch`]: rows
-/// `[row0, row0 + len)` attend among themselves. Probabilities live only in
-/// the `scores` scratch — nothing is cached (backward recomputes them).
+/// `[row0, row0 + len)` attend among themselves, one GEMM pair per head.
+/// Probabilities live only in the `p_buf` scratch — nothing is cached
+/// (backward recomputes them via the same [`attn_probs_block`]).
 #[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
 fn mha_batch_forward_block(
     tq: &Tensor,
@@ -1007,136 +1054,37 @@ fn mha_batch_forward_block(
     heads: usize,
     mask: Option<&[f32]>,
     out: &mut Tensor,
-    scores: &mut [f32],
+    p_buf: &mut [f32],
 ) {
     let d = tq.cols();
     let dh = d / heads;
     let scale = 1.0 / (dh as f32).sqrt();
     for h in 0..heads {
         let off = h * dh;
-        for i in 0..len {
-            mha_probs_row(tq, tk, row0, len, off, off, dh, i, scale, mask, scores);
-            mha_out_row(
-                tv,
-                row0,
-                off,
-                dh,
-                &scores[..len],
-                &mut out.row_mut(row0 + i)[off..off + dh],
-            );
-        }
-    }
-}
-
-/// Backward for one [`Tape::mha_batch`] block: recomputes each row's
-/// probabilities via [`mha_probs_row`] (bit-identical to the forward pass),
-/// then accumulates the block's contributions to `dq`/`dk`/`dv`.
-#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
-fn mha_batch_backward_block(
-    tq: &Tensor,
-    tk: &Tensor,
-    tv: &Tensor,
-    row0: usize,
-    len: usize,
-    heads: usize,
-    mask: Option<&[f32]>,
-    g: &Tensor,
-    dq: &mut Tensor,
-    dk: &mut Tensor,
-    dv: &mut Tensor,
-    dscores: &mut [f32],
-) {
-    let d = tq.cols();
-    let dh = d / heads;
-    let scale = 1.0 / (dh as f32).sqrt();
-    mha_grad_rows(
-        tq,
-        tk,
-        tv,
-        row0,
-        len,
-        heads,
-        |h, i, row: &mut [f32]| {
-            mha_probs_row(tq, tk, row0, len, h * dh, h * dh, dh, i, scale, mask, row);
-        },
-        g,
-        dq,
-        dk,
-        dv,
-        dscores,
-    );
-}
-
-/// Shared attention-gradient kernel: given a way to obtain the post-softmax
-/// probability row for `(head, query)` — cached ([`Op::Mha`]) or recomputed
-/// ([`Op::MhaBatch`]) — accumulates this block's `dq`/`dk`/`dv`. The packed
-/// [`qkv_backward_block`] mirrors this body; keep the two in sync.
-#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
-fn mha_grad_rows(
-    tq: &Tensor,
-    tk: &Tensor,
-    tv: &Tensor,
-    row0: usize,
-    len: usize,
-    heads: usize,
-    mut fill_p_row: impl FnMut(usize, usize, &mut [f32]),
-    g: &Tensor,
-    dq: &mut Tensor,
-    dk: &mut Tensor,
-    dv: &mut Tensor,
-    dscores: &mut [f32],
-) {
-    let d = tq.cols();
-    let dh = d / heads;
-    let scale = 1.0 / (dh as f32).sqrt();
-    let mut p_buf = vec![0.0f32; len];
-    for h in 0..heads {
-        let off = h * dh;
-        for i in 0..len {
-            fill_p_row(h, i, &mut p_buf);
-            let p_row: &[f32] = &p_buf;
-            let g_row = &g.row(row0 + i)[off..off + dh];
-            // dV += p^T dY ; dP = dY V^T.
-            let mut dot = 0.0f32;
-            for j in 0..len {
-                let vj = &tv.row(row0 + j)[off..off + dh];
-                let mut dp = 0.0f32;
-                for (gv, vv) in g_row.iter().zip(vj.iter()) {
-                    dp += gv * vv;
-                }
-                dscores[j] = dp;
-                dot += dp * p_row[j];
-                if p_row[j] != 0.0 {
-                    let dvj = &mut dv.row_mut(row0 + j)[off..off + dh];
-                    for (o, &gv) in dvj.iter_mut().zip(g_row.iter()) {
-                        *o += p_row[j] * gv;
-                    }
-                }
-            }
-            // Softmax Jacobian, then scaled Q/K grads.
-            for j in 0..len {
-                let ds = p_row[j] * (dscores[j] - dot) * scale;
-                if ds == 0.0 {
-                    continue;
-                }
-                let kj = &tk.row(row0 + j)[off..off + dh];
-                let qi = &tq.row(row0 + i)[off..off + dh];
-                let dqi = &mut dq.row_mut(row0 + i)[off..off + dh];
-                for (o, &kv) in dqi.iter_mut().zip(kj.iter()) {
-                    *o += ds * kv;
-                }
-                let dkj = &mut dk.row_mut(row0 + j)[off..off + dh];
-                for (o, &qv) in dkj.iter_mut().zip(qi.iter()) {
-                    *o += ds * qv;
-                }
-            }
-        }
+        attn_probs_block(
+            p_buf,
+            View::at(tq.data(), d, row0, off),
+            View::at(tk.data(), d, row0, off),
+            len,
+            dh,
+            scale,
+            mask,
+        );
+        gemm_nn(
+            &mut out.data_mut()[row0 * d..],
+            d,
+            off,
+            (len, dh, len),
+            View::at(p_buf, len, 0, 0),
+            View::at(tv.data(), d, row0, off),
+        );
     }
 }
 
 /// Forward for one block of [`Tape::mha_batch_qkv`]: like
 /// [`mha_batch_forward_block`] but reading Q, K and V from one packed
-/// `[rows, 3d]` tensor at column bases `0`, `d` and `2d`.
+/// `[rows, 3d]` tensor at column bases `0`, `d` and `2d` — the [`View`]s
+/// make the column slicing free.
 #[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
 fn qkv_forward_block(
     t: &Tensor,
@@ -1146,93 +1094,110 @@ fn qkv_forward_block(
     heads: usize,
     mask: Option<&[f32]>,
     out: &mut Tensor,
-    scores: &mut [f32],
+    p_buf: &mut [f32],
 ) {
+    let d3 = 3 * d;
     let dh = d / heads;
     let scale = 1.0 / (dh as f32).sqrt();
     for h in 0..heads {
         let off = h * dh;
-        for i in 0..len {
-            mha_probs_row(t, t, row0, len, off, d + off, dh, i, scale, mask, scores);
-            mha_out_row(
-                t,
-                row0,
-                2 * d + off,
-                dh,
-                &scores[..len],
-                &mut out.row_mut(row0 + i)[off..off + dh],
-            );
-        }
+        attn_probs_block(
+            p_buf,
+            View::at(t.data(), d3, row0, off),
+            View::at(t.data(), d3, row0, d + off),
+            len,
+            dh,
+            scale,
+            mask,
+        );
+        gemm_nn(
+            &mut out.data_mut()[row0 * d..],
+            d,
+            off,
+            (len, dh, len),
+            View::at(p_buf, len, 0, 0),
+            View::at(t.data(), d3, row0, 2 * d + off),
+        );
     }
 }
 
-/// Backward for one block of [`Tape::mha_batch_qkv`]: recomputes the
-/// probabilities (bit-identical to forward) and accumulates dQ/dK/dV into
-/// the packed `[rows, 3d]` gradient at column bases `0`, `d`, `2d`.
-///
-/// The gradient math mirrors [`mha_grad_rows`] with packed column bases —
-/// the two bodies must stay in sync (the packed layout needs one `&mut`
-/// target where the unfused kernel has three, which is why they cannot
-/// share a signature). Both are independently pinned to finite
-/// differences by `gradcheck_mha_batch` and `gradcheck_fused_qkv_attention`.
+/// One head's `[len, dh]` activation views into the attention backward:
+/// the upstream gradient plus the Q/K/V values (column offsets already
+/// folded in).
+struct AttnHeadViews<'a> {
+    g: View<'a>,
+    q: View<'a>,
+    k: View<'a>,
+    v: View<'a>,
+}
+
+/// Attention backward for one `(block, head)` pair, all products through
+/// the GEMM layer: `dP = G Vᵀ`, `dV += Pᵀ G`, then the softmax Jacobian
+/// turns `dP` into `dS` in place (`ds = p * (dp - ⟨dp, p⟩) * scale`, the
+/// naive kernels' exact order), and `dQ += dS K`, `dK += dSᵀ Q`. The
+/// gradient targets are the `[row0.., off..off+dh]` windows described by
+/// `(ldc, col0)`; each `d*` slice starts at the block's first row.
 #[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
-fn qkv_backward_block(
-    t: &Tensor,
-    d: usize,
-    row0: usize,
-    len: usize,
-    heads: usize,
-    mask: Option<&[f32]>,
-    g: &Tensor,
-    dqkv: &mut Tensor,
-    scores: &mut [f32],
-    dscores: &mut [f32],
+fn attn_head_backward(
+    p: &[f32],
+    dp: &mut [f32],
+    views: AttnHeadViews<'_>,
+    (len, dh): (usize, usize),
+    scale: f32,
+    (ldc, col0): (usize, usize),
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
 ) {
-    let dh = d / heads;
-    let scale = 1.0 / (dh as f32).sqrt();
-    for h in 0..heads {
-        let off = h * dh;
-        for i in 0..len {
-            mha_probs_row(t, t, row0, len, off, d + off, dh, i, scale, mask, scores);
-            let p_row = &scores[..len];
-            let g_row = &g.row(row0 + i)[off..off + dh];
-            // dV += p^T dY ; dP = dY V^T.
-            let mut dot = 0.0f32;
-            for j in 0..len {
-                let vj = &t.row(row0 + j)[2 * d + off..2 * d + off + dh];
-                let mut dp = 0.0f32;
-                for (gv, vv) in g_row.iter().zip(vj.iter()) {
-                    dp += gv * vv;
-                }
-                dscores[j] = dp;
-                dot += dp * p_row[j];
-                if p_row[j] != 0.0 {
-                    let dvj = &mut dqkv.row_mut(row0 + j)[2 * d + off..2 * d + off + dh];
-                    for (o, &gv) in dvj.iter_mut().zip(g_row.iter()) {
-                        *o += p_row[j] * gv;
-                    }
-                }
-            }
-            // Softmax Jacobian, then scaled Q/K grads.
-            for j in 0..len {
-                let ds = p_row[j] * (dscores[j] - dot) * scale;
-                if ds == 0.0 {
-                    continue;
-                }
-                // `t` (values) and `dqkv` (gradients) are distinct
-                // tensors, so the source slices and destination rows can
-                // be borrowed simultaneously.
-                let kj = &t.row(row0 + j)[d + off..d + off + dh];
-                let qi = &t.row(row0 + i)[off..off + dh];
-                let dqi = &mut dqkv.row_mut(row0 + i)[off..off + dh];
-                for (o, &kv) in dqi.iter_mut().zip(kj.iter()) {
-                    *o += ds * kv;
-                }
-                let dkj = &mut dqkv.row_mut(row0 + j)[d + off..d + off + dh];
-                for (o, &qv) in dkj.iter_mut().zip(qi.iter()) {
-                    *o += ds * qv;
-                }
-            }
+    dp[..len * len].fill(0.0);
+    gemm_nt(dp, len, 0, (len, len, dh), views.g, views.v);
+    gemm_tn(dv, ldc, col0, (len, dh, len), View::at(p, len, 0, 0), views.g);
+    softmax_jacobian_rows(p, dp, len, scale);
+    gemm_nn(dq, ldc, col0, (len, dh, len), View::at(dp, len, 0, 0), views.k);
+    gemm_tn(dk, ldc, col0, (len, dh, len), View::at(dp, len, 0, 0), views.q);
+}
+
+/// [`attn_head_backward`] for the packed `[rows, 3d]` layout of
+/// [`Tape::mha_batch_qkv`]: Q/K/V values come from `t` at column bases
+/// `0`, `d`, `2d` and the three gradients land in the matching column
+/// segments of `dqkv` (sequential GEMM calls, since the segments alias one
+/// buffer).
+#[allow(clippy::too_many_arguments)] // a private kernel, not an API surface
+fn attn_head_backward_fused(
+    p: &[f32],
+    dp: &mut [f32],
+    g: View<'_>,
+    t: &Tensor,
+    dqkv: &mut Tensor,
+    (row0, len, dh): (usize, usize, usize),
+    (d, off): (usize, usize),
+    scale: f32,
+) {
+    let d3 = 3 * d;
+    let q = View::at(t.data(), d3, row0, off);
+    let k = View::at(t.data(), d3, row0, d + off);
+    let v = View::at(t.data(), d3, row0, 2 * d + off);
+    dp[..len * len].fill(0.0);
+    gemm_nt(dp, len, 0, (len, len, dh), g, v);
+    let dc = &mut dqkv.data_mut()[row0 * d3..];
+    gemm_tn(dc, d3, 2 * d + off, (len, dh, len), View::at(p, len, 0, 0), g);
+    softmax_jacobian_rows(p, dp, len, scale);
+    gemm_nn(dc, d3, off, (len, dh, len), View::at(dp, len, 0, 0), k);
+    gemm_tn(dc, d3, d + off, (len, dh, len), View::at(dp, len, 0, 0), q);
+}
+
+/// Applies the row-wise softmax Jacobian in place:
+/// `dp[i][j] <- p[i][j] * (dp[i][j] - ⟨dp[i], p[i]⟩) * scale`.
+fn softmax_jacobian_rows(p: &[f32], dp: &mut [f32], len: usize, scale: f32) {
+    for i in 0..len {
+        let p_row = &p[i * len..(i + 1) * len];
+        let dp_row = &mut dp[i * len..(i + 1) * len];
+        let mut dot = 0.0f32;
+        for (x, y) in dp_row.iter().zip(p_row.iter()) {
+            dot += x * y;
+        }
+        for (x, &pv) in dp_row.iter_mut().zip(p_row.iter()) {
+            *x = pv * (*x - dot) * scale;
         }
     }
 }

@@ -56,10 +56,12 @@ impl Tensor {
         Tensor { rows, cols, data }
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -74,14 +76,17 @@ impl Tensor {
         self.data.len()
     }
 
+    /// True when the tensor has no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
+    /// Borrow of the whole row-major buffer.
     pub fn data(&self) -> &[f32] {
         &self.data
     }
 
+    /// Mutable borrow of the whole row-major buffer.
     pub fn data_mut(&mut self) -> &mut [f32] {
         &mut self.data
     }
@@ -98,6 +103,7 @@ impl Tensor {
         self.data[r * self.cols + c]
     }
 
+    /// Element setter (row-major). Panics on out-of-range in debug builds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
@@ -110,6 +116,7 @@ impl Tensor {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutable borrow of row `r` as a slice of length `cols`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
@@ -178,71 +185,41 @@ impl Tensor {
 
 /// `C = A * B` where `A` is `[m, k]` and `B` is `[k, n]`.
 ///
-/// Plain ikj loop: the inner loop is a contiguous saxpy over the output row,
-/// which LLVM vectorizes well at `opt-level >= 2`.
+/// Dispatches by size: matrices big enough to amortize panel packing go to
+/// the cache-blocked, register-tiled kernel in [`crate::kernels`] (with up
+/// to [`crate::kernels::gemm_threads`] row-stripe threads); small ones use
+/// the plain ikj loop. Both paths produce bit-identical results — see the
+/// numerics policy in [`crate::kernels`].
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.cols, b.rows, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
-    let (m, k, n) = (a.rows, a.cols, b.cols);
-    let mut out = Tensor::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let o_row = out.row_mut(i);
-        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b.data[p * n..(p + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * bv;
-            }
-        }
+    if crate::kernels::blocked_worthwhile(a.rows, b.cols, a.cols) {
+        crate::kernels::matmul_blocked(a, b, crate::kernels::gemm_threads())
+    } else {
+        crate::kernels::matmul_naive(a, b)
     }
-    out
 }
 
 /// `C = A * B^T` where `A` is `[m, k]` and `B` is `[n, k]`.
 ///
-/// The inner loop is a dot product of two contiguous rows.
+/// Same size dispatch as [`matmul`]; the blocked path packs `B` transposed
+/// so the inner kernel is identical across all three variants.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.cols, b.cols, "matmul_nt inner dims: {:?} x {:?}^T", a.shape(), b.shape());
-    let (m, n) = (a.rows, b.rows);
-    let mut out = Tensor::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let o_row = out.row_mut(i);
-        for (j, o) in o_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
+    if crate::kernels::blocked_worthwhile(a.rows, b.rows, a.cols) {
+        crate::kernels::matmul_nt_blocked(a, b, crate::kernels::gemm_threads())
+    } else {
+        crate::kernels::matmul_nt_naive(a, b)
     }
-    out
 }
 
 /// `C = A^T * B` where `A` is `[k, m]` and `B` is `[k, n]`.
 ///
-/// Accumulates rank-1 updates; both inner accesses are contiguous.
+/// Same size dispatch as [`matmul`]; the blocked path packs `A` transposed
+/// so the inner kernel is identical across all three variants.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rows, b.rows, "matmul_tn inner dims: {:?}^T x {:?}", a.shape(), b.shape());
-    let (m, n, k) = (a.cols, b.cols, a.rows);
-    let mut out = Tensor::zeros(m, n);
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &a_pi) in a_row.iter().enumerate().take(m) {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
-                *o += a_pi * bv;
-            }
-        }
+    if crate::kernels::blocked_worthwhile(a.cols, b.cols, a.rows) {
+        crate::kernels::matmul_tn_blocked(a, b, crate::kernels::gemm_threads())
+    } else {
+        crate::kernels::matmul_tn_naive(a, b)
     }
-    out
 }
 
 #[cfg(test)]
