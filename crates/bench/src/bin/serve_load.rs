@@ -1,0 +1,207 @@
+//! Closed-loop load bench for the `doduo-served` daemon (not a paper
+//! experiment — the online-serving lever of the ROADMAP's production north
+//! star).
+//!
+//! Starts the daemon in-process on an ephemeral port, then drives it over
+//! real HTTP with closed-loop clients (each thread: send one single-table
+//! request, wait for the response, repeat) across a grid of client counts ×
+//! batching policies, and writes per-cell p50/p99 latency and tables/sec to
+//! `BENCH_serve.json`.
+//!
+//! The policy axis is the daemon's whole point: `eager` flushes as soon as
+//! the dispatcher wakes (latency-first, batches only what arrived
+//! together), while `coalesce` holds the oldest request up to a few
+//! milliseconds so concurrent clients share packed forward passes
+//! (throughput-first). With one client the two should have near-identical
+//! latency; as clients grow, `coalesce` should win tables/sec.
+//!
+//! Run: `cargo run --release -p doduo-bench --bin serve_load -- --scale quick`
+
+use doduo_bench::report::Report;
+use doduo_bench::{ExpOptions, Scale};
+use doduo_serve::BatchConfig;
+use doduo_served::bootstrap::synthetic_world;
+use doduo_served::http::Client;
+use doduo_served::json::table_to_json;
+use doduo_served::{percentiles, BatchPolicy, Percentiles, ServeConfig, Server};
+use doduo_tensor::default_threads;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+struct Cell {
+    policy: &'static str,
+    max_delay_ms: u64,
+    clients: usize,
+    requests: usize,
+    secs: f64,
+    tables_per_sec: f64,
+    latency_ms: Percentiles,
+}
+
+/// One measurement cell: `clients` closed-loop threads hammering `addr`
+/// for `duration`, each cycling through its own slice of the corpus.
+fn run_cell(
+    addr: &str,
+    bodies: &[String],
+    clients: usize,
+    duration: Duration,
+) -> (usize, f64, Percentiles) {
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    let t0 = Instant::now();
+    let lat_us: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr, Some(Duration::from_secs(30)))
+                        .expect("connect to daemon");
+                    let mut lats = Vec::new();
+                    let mut i = k; // stagger the per-client table streams
+                    while !stop.load(Ordering::Relaxed) {
+                        let body = &bodies[i % bodies.len()];
+                        let r0 = Instant::now();
+                        let resp =
+                            c.request("POST", "/annotate", body.as_bytes()).expect("annotate");
+                        assert_eq!(resp.status, 200, "daemon must answer 200 under load");
+                        lats.push(r0.elapsed().as_micros() as u64);
+                        i += 1;
+                    }
+                    lats
+                })
+            })
+            .collect();
+        // The scope's main thread is the timer.
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("client thread ok")).collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let all: Vec<u64> = lat_us.into_iter().flatten().collect();
+    let p = percentiles(&all);
+    let p_ms = Percentiles {
+        count: p.count,
+        mean: p.mean / 1e3,
+        p50: p.p50 / 1e3,
+        p99: p.p99 / 1e3,
+        max: p.max / 1e3,
+    };
+    (p_ms.count, secs, p_ms)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let started = Instant::now();
+    let quick = opts.scale == Scale::Quick;
+    let world = synthetic_world(quick, opts.seed);
+    let bodies: Vec<String> = world.tables.iter().map(table_to_json).collect();
+    let n_threads = default_threads();
+    eprintln!(
+        "[serve_load] world ready: {} tables, {} cores, setup {:?}",
+        bodies.len(),
+        n_threads,
+        started.elapsed()
+    );
+
+    let (cell_secs, client_grid): (f64, Vec<usize>) =
+        if quick { (0.6, vec![1, 4, 16]) } else { (2.0, vec![1, 2, 4, 8, 16, 32]) };
+    let policies: [(&'static str, u64); 2] = [("eager", 0), ("coalesce", 5)];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (policy_name, delay_ms) in policies {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            policy: BatchPolicy {
+                max_delay: Duration::from_millis(delay_ms),
+                ..BatchPolicy::default()
+            },
+            engine: BatchConfig { threads: n_threads, ..BatchConfig::default() },
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(cfg).expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            let runner = scope.spawn(|| server.run(&world.bundle));
+            // Warm-up pass: fill the tokenization cache, fault pages.
+            let (_, _, _) = run_cell(&addr, &bodies, 2, Duration::from_secs_f64(cell_secs / 2.0));
+            for &clients in &client_grid {
+                let (requests, secs, lat) =
+                    run_cell(&addr, &bodies, clients, Duration::from_secs_f64(cell_secs));
+                let cell = Cell {
+                    policy: policy_name,
+                    max_delay_ms: delay_ms,
+                    clients,
+                    requests,
+                    secs,
+                    tables_per_sec: requests as f64 / secs,
+                    latency_ms: lat,
+                };
+                eprintln!(
+                    "[serve_load] {policy_name:>8} clients {clients:>2}: {:>7.1} tables/sec, \
+                     p50 {:>6.2} ms, p99 {:>7.2} ms ({} reqs)",
+                    cell.tables_per_sec, cell.latency_ms.p50, cell.latency_ms.p99, requests
+                );
+                cells.push(cell);
+            }
+            handle.shutdown();
+            runner.join().expect("daemon thread exits");
+        });
+    }
+
+    let mut r = Report::new(
+        "Online serving load (doduo-served, closed-loop clients)",
+        &["policy", "delay ms", "clients", "tables/sec", "p50 ms", "p99 ms"],
+    );
+    for c in &cells {
+        r.row(&[
+            c.policy.to_string(),
+            c.max_delay_ms.to_string(),
+            c.clients.to_string(),
+            format!("{:.1}", c.tables_per_sec),
+            format!("{:.2}", c.latency_ms.p50),
+            format!("{:.2}", c.latency_ms.p99),
+        ]);
+    }
+    r.check("every cell answered requests", cells.iter().all(|c| c.requests > 0));
+    r.print();
+
+    let json = render_json(&opts, bodies.len(), n_threads, &cells);
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    eprintln!("[serve_load] wrote BENCH_serve.json, total elapsed {:?}", started.elapsed());
+}
+
+fn render_json(
+    opts: &ExpOptions,
+    corpus_tables: usize,
+    n_threads: usize,
+    cells: &[Cell],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale).to_lowercase());
+    out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&format!("  \"corpus_tables\": {corpus_tables},\n"));
+    out.push_str(&format!("  \"max_threads\": {n_threads},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"max_delay_ms\": {}, \"clients\": {}, \"requests\": {}, \
+             \"secs\": {:.3}, \"tables_per_sec\": {:.3}, \"latency_ms\": {{\"mean\": {:.3}, \
+             \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}}}{}\n",
+            c.policy,
+            c.max_delay_ms,
+            c.clients,
+            c.requests,
+            c.secs,
+            c.tables_per_sec,
+            c.latency_ms.mean,
+            c.latency_ms.p50,
+            c.latency_ms.p99,
+            c.latency_ms.max,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,327 @@
+//! Self-contained annotator checkpoints.
+//!
+//! `doduo_tensor::serialize` persists *weights only*: loading one requires
+//! reconstructing the exact model shape, tokenizer, and label vocabularies
+//! out of band. A daemon (`doduo-served`) that restarts from disk needs all
+//! of that in one artifact, so an [`AnnotatorBundle`] owns every piece an
+//! [`Annotator`] borrows and round-trips through a single
+//! self-describing binary blob: magic + version, the [`DoduoConfig`] scalars,
+//! the WordPiece vocabulary, both label vocabularies, and the weight records
+//! (via `serialize::save_filtered` on the model's parameter prefix).
+//!
+//! Loading is strict: every model parameter must be present with its exact
+//! shape, so a loaded bundle annotates bit-identically to the one saved.
+
+use crate::model::{AttentionMode, DoduoConfig, DoduoModel, InputMode};
+use crate::predictor::Annotator;
+use doduo_table::{LabelVocab, SerializeConfig};
+use doduo_tensor::{serialize, ParamStore};
+use doduo_tokenizer::{Vocab, WordPiece};
+use doduo_transformer::EncoderConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAGIC: &[u8; 8] = b"DODUOBN1";
+
+/// Everything a serving process needs to annotate tables, under one owner:
+/// weights, model, tokenizer, and label vocabularies.
+pub struct AnnotatorBundle {
+    /// The weights backing `model`.
+    pub store: ParamStore,
+    /// The fine-tuned (or otherwise fixed) model.
+    pub model: DoduoModel,
+    /// The tokenizer the model was trained with.
+    pub tokenizer: WordPiece,
+    /// Names for the column-type label ids.
+    pub type_vocab: LabelVocab,
+    /// Names for the column-relation label ids.
+    pub rel_vocab: LabelVocab,
+    /// Parameter-name prefix the model was registered under.
+    prefix: String,
+}
+
+/// Errors produced when decoding an [`AnnotatorBundle`].
+#[derive(Debug)]
+pub enum BundleError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Buffer ended before a declared payload.
+    Truncated,
+    /// A string section was not valid UTF-8.
+    BadString,
+    /// The tokenizer vocabulary section did not parse.
+    BadVocab,
+    /// An enum tag had an unknown value.
+    BadTag(u8),
+    /// The weight section failed to load.
+    Weights(serialize::LoadError),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::BadMagic => write!(f, "not an annotator bundle (bad magic)"),
+            BundleError::Truncated => write!(f, "annotator bundle truncated"),
+            BundleError::BadString => write!(f, "bundle string is not valid UTF-8"),
+            BundleError::BadVocab => write!(f, "bundle tokenizer vocabulary did not parse"),
+            BundleError::BadTag(t) => write!(f, "unknown enum tag {t} in bundle"),
+            BundleError::Weights(e) => write!(f, "bundle weights: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BundleError> {
+        if self.pos + n > self.buf.len() {
+            return Err(BundleError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, BundleError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, BundleError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, BundleError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn blob(&mut self) -> Result<&'a [u8], BundleError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    fn string(&mut self) -> Result<String, BundleError> {
+        String::from_utf8(self.blob()?.to_vec()).map_err(|_| BundleError::BadString)
+    }
+}
+
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_vocab(out: &mut Vec<u8>, v: &LabelVocab) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for (_, name) in v.iter() {
+        put_blob(out, name.as_bytes());
+    }
+}
+
+fn read_vocab(r: &mut Reader<'_>) -> Result<LabelVocab, BundleError> {
+    let n = r.u32()? as usize;
+    let mut v = LabelVocab::new();
+    for _ in 0..n {
+        v.intern(&r.string()?);
+    }
+    Ok(v)
+}
+
+impl AnnotatorBundle {
+    /// Bundles freshly built parts. `prefix` is the parameter-name prefix
+    /// `model` was registered under (its weights are saved as
+    /// `"{prefix}.*"`).
+    pub fn new(
+        store: ParamStore,
+        model: DoduoModel,
+        tokenizer: WordPiece,
+        type_vocab: LabelVocab,
+        rel_vocab: LabelVocab,
+        prefix: impl Into<String>,
+    ) -> Self {
+        AnnotatorBundle { store, model, tokenizer, type_vocab, rel_vocab, prefix: prefix.into() }
+    }
+
+    /// A borrowed annotator over the bundle's parts.
+    pub fn annotator(&self) -> Annotator<'_> {
+        Annotator {
+            model: &self.model,
+            store: &self.store,
+            tokenizer: &self.tokenizer,
+            type_vocab: &self.type_vocab,
+            rel_vocab: &self.rel_vocab,
+        }
+    }
+
+    /// Serializes the whole bundle into one self-describing blob.
+    pub fn save(&self) -> Vec<u8> {
+        let cfg = self.model.config();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(match cfg.input_mode {
+            InputMode::TableWise => 0,
+            InputMode::SingleColumn => 1,
+        });
+        out.push(match cfg.attention {
+            AttentionMode::Full => 0,
+            AttentionMode::ColumnVisibility => 1,
+        });
+        out.push(cfg.multi_label as u8);
+        out.push(cfg.serialize.include_metadata as u8);
+        for v in [
+            cfg.n_types as u32,
+            cfg.n_rels as u32,
+            cfg.serialize.max_tokens_per_col as u32,
+            cfg.serialize.max_seq as u32,
+            cfg.encoder.vocab_size as u32,
+            cfg.encoder.hidden as u32,
+            cfg.encoder.layers as u32,
+            cfg.encoder.heads as u32,
+            cfg.encoder.ffn as u32,
+            cfg.encoder.max_seq as u32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&cfg.encoder.dropout.to_le_bytes());
+        put_blob(&mut out, self.prefix.as_bytes());
+        out.extend_from_slice(&(self.tokenizer.max_word_len() as u32).to_le_bytes());
+        put_blob(&mut out, self.tokenizer.vocab().to_text().as_bytes());
+        put_vocab(&mut out, &self.type_vocab);
+        put_vocab(&mut out, &self.rel_vocab);
+        let dotted = format!("{}.", self.prefix);
+        let weights = serialize::save_filtered(&self.store, |n| n.starts_with(&dotted));
+        put_blob(&mut out, &weights.to_vec());
+        out
+    }
+
+    /// Decodes a [`AnnotatorBundle::save`] blob. The model is rebuilt from
+    /// the recorded configuration and every weight is overwritten from the
+    /// checkpoint, so annotations are bit-identical to the saved bundle's.
+    pub fn load(data: &[u8]) -> Result<AnnotatorBundle, BundleError> {
+        let mut r = Reader { buf: data, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(BundleError::BadMagic);
+        }
+        let input_mode = match r.u8()? {
+            0 => InputMode::TableWise,
+            1 => InputMode::SingleColumn,
+            t => return Err(BundleError::BadTag(t)),
+        };
+        let attention = match r.u8()? {
+            0 => AttentionMode::Full,
+            1 => AttentionMode::ColumnVisibility,
+            t => return Err(BundleError::BadTag(t)),
+        };
+        let multi_label = r.u8()? != 0;
+        let include_metadata = r.u8()? != 0;
+        let n_types = r.u32()? as usize;
+        let n_rels = r.u32()? as usize;
+        let max_tokens_per_col = r.u32()? as usize;
+        let ser_max_seq = r.u32()? as usize;
+        let encoder = EncoderConfig {
+            vocab_size: r.u32()? as usize,
+            hidden: r.u32()? as usize,
+            layers: r.u32()? as usize,
+            heads: r.u32()? as usize,
+            ffn: r.u32()? as usize,
+            max_seq: r.u32()? as usize,
+            dropout: r.f32()?,
+        };
+        let prefix = r.string()?;
+        let max_word_len = r.u32()? as usize;
+        let vocab_text = r.string()?;
+        let vocab = Vocab::from_text(&vocab_text).ok_or(BundleError::BadVocab)?;
+        let tokenizer = WordPiece::from_vocab(vocab, max_word_len);
+        let type_vocab = read_vocab(&mut r)?;
+        let rel_vocab = read_vocab(&mut r)?;
+        let weights = r.blob()?;
+
+        let mut ser = SerializeConfig::new(max_tokens_per_col, ser_max_seq);
+        if include_metadata {
+            ser = ser.with_metadata();
+        }
+        let cfg = DoduoConfig::new(encoder, n_types, n_rels, multi_label)
+            .with_input_mode(input_mode)
+            .with_attention(attention)
+            .with_serialize(ser);
+        let mut store = ParamStore::new();
+        // The initializer draws are overwritten below; the seed only has to
+        // be deterministic so failures reproduce.
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = DoduoModel::new(&mut store, cfg, &prefix, &mut rng);
+        serialize::load(&mut store, weights).map_err(BundleError::Weights)?;
+        Ok(AnnotatorBundle { store, model, tokenizer, type_vocab, rel_vocab, prefix })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doduo_table::{Column, Table};
+    use doduo_tokenizer::TrainConfig as TokTrain;
+
+    fn bundle() -> AnnotatorBundle {
+        let tok = WordPiece::train(
+            ["alpha beta gamma one two three"],
+            &TokTrain { merges: 60, min_pair_count: 1, max_word_len: 16 },
+        );
+        let mut tv = LabelVocab::new();
+        tv.intern("t.a");
+        tv.intern("t.b");
+        tv.intern("t.c");
+        let mut rv = LabelVocab::new();
+        rv.intern("r.x");
+        rv.intern("r.y");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = EncoderConfig::tiny(tok.vocab_size());
+        let max_seq = enc.max_seq;
+        let cfg = DoduoConfig::new(enc, 3, 2, true)
+            .with_serialize(SerializeConfig::new(8, max_seq).with_metadata());
+        let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
+        AnnotatorBundle::new(store, model, tok, tv, rv, "m")
+    }
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::with_name("letters", vec!["alpha".into(), "beta".into()]),
+                Column::new(vec!["one".into(), "two".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn save_load_round_trips_bit_identically() {
+        let b = bundle();
+        let blob = b.save();
+        let loaded = AnnotatorBundle::load(&blob).expect("bundle loads");
+        let cfg = loaded.model.config();
+        assert_eq!(cfg.n_types, 3);
+        assert_eq!(cfg.n_rels, 2);
+        assert!(cfg.multi_label);
+        assert!(cfg.serialize.include_metadata);
+        let a = b.annotator().annotate(&table());
+        let c = loaded.annotator().annotate(&table());
+        assert_eq!(a.types.len(), c.types.len());
+        for (x, y) in a.types.iter().zip(&c.types) {
+            for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+                assert_eq!(n1, n2);
+                assert_eq!(s1.to_bits(), s2.to_bits(), "loaded bundle must match bitwise");
+            }
+        }
+        assert_eq!(a.relations.len(), c.relations.len());
+    }
+
+    #[test]
+    fn corrupt_bundles_are_rejected() {
+        assert!(matches!(AnnotatorBundle::load(b"not a bundle"), Err(BundleError::BadMagic)));
+        let mut blob = bundle().save();
+        blob.truncate(blob.len() / 2);
+        assert!(AnnotatorBundle::load(&blob).is_err());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`predictor`] — the toolbox API: [`Annotator`] annotates raw tables and
 //!   extracts contextualized column embeddings (§7).
 //! * [`analysis`] — the Figure 6 attention-dependency analysis.
+//! * [`checkpoint`] — self-contained [`AnnotatorBundle`] checkpoints
+//!   (weights + config + tokenizer + label vocabularies in one artifact)
+//!   for serving processes that restart from disk.
 //!
 //! The paper's model variants map to configurations of the same structs:
 //!
@@ -29,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod model;
 pub mod pipeline;
 pub mod predictor;
 pub mod trainer;
 
 pub use analysis::attention_dependency;
+pub use checkpoint::{AnnotatorBundle, BundleError};
 pub use model::{AttentionMode, DoduoConfig, DoduoModel, InputMode};
 pub use pipeline::{
     build_finetune_model, build_scratch_model, instantiate_lm, pretrain_lm, PretrainRecipe,

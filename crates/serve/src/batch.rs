@@ -96,17 +96,27 @@ impl<'a> BatchAnnotator<'a> {
     /// Annotates every table, returning annotations in input order that are
     /// bit-identical to calling `Annotator::annotate` per table.
     pub fn annotate_batch(&self, tables: &[Table]) -> Vec<TableAnnotation> {
-        if tables.is_empty() {
-            return Vec::new();
-        }
         // Stage 1: serialize through the tokenization cache. Cheap relative
         // to the forward passes, so it stays on the calling thread.
         let groups: Vec<Vec<SerializedTable>> =
-            tables.iter().map(|t| self.serialize_cached(t)).collect();
+            tables.iter().map(|t| self.serialize_table(t)).collect();
+        self.annotate_groups(&groups)
+    }
 
+    /// Stages 2–4 of [`BatchAnnotator::annotate_batch`] over pre-serialized
+    /// tables (one group per table, as produced by
+    /// [`BatchAnnotator::serialize_table`]). Split out so callers that must
+    /// know sequence sizes *before* committing to a batch — the
+    /// `doduo-served` daemon's token-budget queue serializes on its
+    /// connection threads, then batches whatever the dispatcher drained —
+    /// reuse the exact same scheduling and keep its bit-identical guarantee.
+    pub fn annotate_groups(&self, groups: &[Vec<SerializedTable>]) -> Vec<TableAnnotation> {
+        if groups.is_empty() {
+            return Vec::new();
+        }
         // Stage 2: longest-first order groups similar lengths together so
         // micro-batches are comparable units of work for the stripe.
-        let mut order: Vec<usize> = (0..tables.len()).collect();
+        let mut order: Vec<usize> = (0..groups.len()).collect();
         order.sort_by_key(|&i| Reverse(groups[i].iter().map(SerializedTable::len).max()));
 
         // Stage 3: micro-batches bounded by sequence count and total tokens
@@ -136,7 +146,6 @@ impl<'a> BatchAnnotator<'a> {
         // Stage 4: stripe micro-batches across scoped workers sharing the
         // read-only parameter store, then scatter back into input order.
         let threads = self.cfg.threads.clamp(1, batches.len());
-        let groups = &groups;
         let batches = &batches;
         let annotator = &self.annotator;
         let done: Vec<Vec<(usize, TableAnnotation)>> = std::thread::scope(|scope| {
@@ -157,7 +166,7 @@ impl<'a> BatchAnnotator<'a> {
             handles.into_iter().map(|h| h.join().expect("annotation worker panicked")).collect()
         });
 
-        let mut slots: Vec<Option<TableAnnotation>> = (0..tables.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<TableAnnotation>> = (0..groups.len()).map(|_| None).collect();
         for (i, ann) in done.into_iter().flatten() {
             slots[i] = Some(ann);
         }
@@ -165,8 +174,10 @@ impl<'a> BatchAnnotator<'a> {
     }
 
     /// Serializes one table exactly as `DoduoModel::serialize_for_types`
-    /// would, but sourcing per-column tokens from the LRU cache.
-    fn serialize_cached(&self, table: &Table) -> Vec<SerializedTable> {
+    /// would, but sourcing per-column tokens from the LRU cache. Public so
+    /// serving front ends can measure a table's token cost (for batching
+    /// budgets) while warming the cache the later forward pass will hit.
+    pub fn serialize_table(&self, table: &Table) -> Vec<SerializedTable> {
         let cfg = self.annotator.model.config();
         let ser = &cfg.serialize;
         match cfg.input_mode {

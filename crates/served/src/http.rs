@@ -1,0 +1,285 @@
+//! Minimal HTTP/1.1 on blocking std sockets — just enough of RFC 9112 for
+//! the daemon's four endpoints: request-line + header parsing,
+//! `Content-Length` bodies, keep-alive, and response writing. Hand-rolled
+//! because the workspace is offline-only (no hyper/axum); the surface is
+//! deliberately tiny and strict (no chunked encoding, no pipelining
+//! guarantees beyond serial request/response per connection).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers (DoS guard).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (DoS guard).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string stripped).
+    pub path: String,
+    /// Raw query string (without `?`), empty if absent.
+    pub query: String,
+    /// Body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Peer closed (or half-closed) before a request line — normal at the
+    /// end of a keep-alive connection.
+    Eof,
+    /// Read timed out (the caller decides whether to keep waiting).
+    TimedOut,
+    /// Malformed request; the payload is a human-readable reason to send
+    /// back as 400.
+    Bad(String),
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+fn io_err(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::TimedOut,
+        std::io::ErrorKind::UnexpectedEof => ReadError::Eof,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Reads one request from a buffered stream. With a read timeout set on the
+/// underlying socket, returns [`ReadError::TimedOut`] when the peer is idle
+/// so callers can poll a shutdown flag between requests.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    let n = match read_line_capped(reader, &mut line, &mut head_bytes) {
+        Ok(n) => n,
+        // A timeout before any byte of the request line is an idle
+        // keep-alive connection — retryable. A timeout after partial data
+        // is not (the bytes are consumed), so surface it as an I/O error
+        // and let the caller close the connection.
+        Err(ReadError::TimedOut) if !line.is_empty() => {
+            return Err(ReadError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out mid-request",
+            )))
+        }
+        Err(e) => return Err(e),
+    };
+    if n == 0 {
+        return Err(ReadError::Eof);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(format!("malformed request line: {}", line.trim_end())));
+    }
+    let http11 = version == "HTTP/1.1";
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    // From here on a timeout is always mid-request: fatal for the
+    // connection, never retryable.
+    let fatal_timeout = |e: ReadError| match e {
+        ReadError::TimedOut => ReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "timed out mid-request",
+        )),
+        other => other,
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = http11; // HTTP/1.1 defaults to persistent.
+    loop {
+        line.clear();
+        read_line_capped(reader, &mut line, &mut head_bytes).map_err(&fatal_timeout)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ReadError::Bad(format!("malformed header: {trimmed}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("bad content-length: {value}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ReadError::Bad("transfer-encoding is not supported".into()));
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Bad(format!("body of {content_length} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| fatal_timeout(io_err(e)))?;
+    Ok(Request { method, path, query, body, keep_alive })
+}
+
+/// `read_line` with the head cap enforced *incrementally*: a peer that
+/// streams an endless header line without `\n` is cut off at
+/// [`MAX_HEAD_BYTES`] instead of buffering unbounded memory. On timeout,
+/// bytes consumed so far are preserved in `line` so the caller can tell an
+/// idle connection (empty) from a stalled mid-request one.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<usize, ReadError> {
+    let mut bytes: Vec<u8> = Vec::new();
+    let total = loop {
+        let (used, done) = {
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) => {
+                    line.push_str(&String::from_utf8_lossy(&bytes));
+                    return Err(io_err(e));
+                }
+            };
+            if buf.is_empty() {
+                break bytes.len(); // EOF
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    bytes.extend_from_slice(&buf[..=pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    bytes.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(used);
+        *head_bytes += used;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::Bad("request head too large".into()));
+        }
+        if done {
+            break bytes.len();
+        }
+    };
+    line.push_str(
+        std::str::from_utf8(&bytes)
+            .map_err(|_| ReadError::Bad("request head is not valid UTF-8".into()))?,
+    );
+    Ok(total)
+}
+
+/// Writes one `text` response (JSON or plain) with standard headers.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: \
+         {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Convenience wrapper: a JSON error body `{"error": "..."}`.
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    message: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut body = String::from("{\"error\":");
+    crate::json::push_escaped(&mut body, message);
+    body.push_str("}\n");
+    write_response(stream, status, reason, "application/json", &body, keep_alive)
+}
+
+/// A very small blocking HTTP client — shared by the `serve_load` bench and
+/// the integration tests so they exercise the daemon over real sockets.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A decoded client-side response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Client {
+    /// Connects with an optional read timeout.
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Issues one request on the persistent connection and reads the full
+    /// response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::other("connection closed mid-headers"));
+            }
+            let t = line.trim_end();
+            if t.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = t.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, body })
+    }
+}

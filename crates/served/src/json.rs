@@ -1,0 +1,586 @@
+//! Hand-rolled JSON, matching the workspace's offline-only dependency
+//! policy: a [`Json`] value type with a recursive-descent parser, plus the
+//! daemon's wire codecs (tables in, annotations out).
+//!
+//! Encoding floats uses Rust's shortest-round-trip `Display`, so two `f32`
+//! scores render to the same bytes iff they are bit-identical — which is
+//! what lets the serve smoke assert *byte*-equality between daemon
+//! responses and offline [`Annotator::annotate`](doduo_core::Annotator)
+//! output.
+
+use doduo_core::TableAnnotation;
+use doduo_table::{Column, Table};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Objects preserve no duplicate keys (last wins) and
+/// are stored sorted, which is fine for the daemon's schemas.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { b: bytes, i: 0, depth: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+/// Nesting bound for untrusted documents: recursion is O(depth), so without
+/// a cap a body of a few hundred KB of `[` would overflow the handler
+/// thread's stack and abort the whole process.
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.i)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.i));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad low surrogate".into());
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(cp).ok_or("bad \\u escape")?
+                            };
+                            out.push(ch);
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    if (ch as u32) < 0x20 {
+                        return Err("unescaped control character in string".into());
+                    }
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.i + 4 > self.b.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.b[self.i..self.i + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.ws();
+            out.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------ wire codecs
+
+/// Decodes one table object:
+/// `{"id": "...", "columns": [{"name": "...", "values": ["...", ...]}, ...]}`.
+/// `id` and `name` are optional; a column may also be a bare array of cell
+/// strings.
+pub fn table_from_json(v: &Json) -> Result<Table, String> {
+    let id = match v.get("id") {
+        None | Some(Json::Null) => "request",
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err("table \"id\" must be a string".into()),
+    };
+    let cols =
+        v.get("columns").and_then(Json::as_array).ok_or("table must have a \"columns\" array")?;
+    if cols.is_empty() {
+        return Err("table must have at least one column".into());
+    }
+    let mut columns = Vec::with_capacity(cols.len());
+    for (i, c) in cols.iter().enumerate() {
+        let (name, values) = match c {
+            Json::Arr(_) => (None, c),
+            Json::Obj(_) => {
+                let name = match c.get("name") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    Some(_) => return Err(format!("column {i} \"name\" must be a string")),
+                };
+                let values = c
+                    .get("values")
+                    .ok_or_else(|| format!("column {i} must have a \"values\" array"))?;
+                (name, values)
+            }
+            _ => return Err(format!("column {i} must be an object or an array")),
+        };
+        let values = values
+            .as_array()
+            .ok_or_else(|| format!("column {i} \"values\" must be an array"))?
+            .iter()
+            .map(|v| match v {
+                Json::Str(s) => Ok(s.clone()),
+                Json::Num(n) => Ok(format!("{n}")),
+                Json::Bool(b) => Ok(format!("{b}")),
+                _ => Err(format!("column {i} cells must be strings, numbers or booleans")),
+            })
+            .collect::<Result<Vec<String>, String>>()?;
+        columns.push(Column { name, values });
+    }
+    Ok(Table::new(id, columns))
+}
+
+/// Encodes one table as an `/annotate` request body —
+/// [`table_from_json`]'s inverse (up to the `id` default). The load bench
+/// and the integration tests build their requests with this, so they
+/// exercise exactly the codec the daemon decodes.
+pub fn table_to_json(t: &Table) -> String {
+    let mut out = String::from("{\"id\":");
+    push_escaped(&mut out, &t.id);
+    out.push_str(",\"columns\":[");
+    for (i, c) in t.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        if let Some(name) = &c.name {
+            out.push_str("\"name\":");
+            push_escaped(&mut out, name);
+            out.push(',');
+        }
+        out.push_str("\"values\":[");
+        for (j, v) in c.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_escaped(&mut out, v);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Decodes an `/annotate` request body: either one table object or
+/// `{"tables": [table, ...]}`. The boolean reports which form was used so
+/// the response can mirror it.
+pub fn tables_from_request(body: &str) -> Result<(Vec<Table>, bool), String> {
+    let v = Json::parse(body)?;
+    match v.get("tables") {
+        Some(ts) => {
+            let arr = ts.as_array().ok_or("\"tables\" must be an array")?;
+            if arr.is_empty() {
+                return Err("\"tables\" must not be empty".into());
+            }
+            Ok((arr.iter().map(table_from_json).collect::<Result<_, _>>()?, true))
+        }
+        None => Ok((vec![table_from_json(&v)?], false)),
+    }
+}
+
+/// Encodes one annotation. The exact same function renders offline
+/// (`--oneshot`) and online responses, so equality of annotations implies
+/// equality of bytes.
+pub fn annotation_to_json(ann: &TableAnnotation) -> String {
+    let mut out = String::from("{\"types\":[");
+    for (i, t) in ann.types.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{{\"column\":{},\"labels\":[", t.column).expect("write to String");
+        for (j, (name, score)) in t.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            push_escaped(&mut out, name);
+            write!(out, ",\"score\":{score}}}").expect("write to String");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"relations\":[");
+    for (i, r) in ann.relations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{{\"subject\":{},\"object\":{},\"labels\":[", r.subject, r.object)
+            .expect("write to String");
+        for (j, (name, score)) in r.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            push_escaped(&mut out, name);
+            write!(out, ",\"score\":{score}}}").expect("write to String");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Encodes a full `/annotate` response body: a single annotation object for
+/// single-table requests, `{"annotations": [...]}` for multi-table ones.
+/// `wrapped` mirrors whether the request used the `{"tables": ...}` form.
+pub fn annotations_response(anns: &[TableAnnotation], wrapped: bool) -> String {
+    if !wrapped && anns.len() == 1 {
+        let mut s = annotation_to_json(&anns[0]);
+        s.push('\n');
+        return s;
+    }
+    let mut out = String::from("{\"annotations\":[");
+    for (i, a) in anns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&annotation_to_json(a));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-12.5e1").unwrap(), Json::Num(-125.0));
+        assert_eq!(Json::parse("\"a\\nb\\u0041\"").unwrap(), Json::Str("a\nbA".into()));
+        let v = Json::parse(r#"{"a": [1, 2], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2", "{\"a\":1,}"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "quote \" backslash \\ newline \n tab \t unicode ☃";
+        let mut enc = String::new();
+        push_escaped(&mut enc, original);
+        assert_eq!(Json::parse(&enc).unwrap(), Json::Str(original.into()));
+    }
+
+    #[test]
+    fn table_codec_accepts_both_column_forms() {
+        let body = r#"{"id": "t1", "columns": [
+            {"name": "film", "values": ["Happy Feet", "Cars"]},
+            ["2006", "2006"]
+        ]}"#;
+        let (tables, wrapped) = tables_from_request(body).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert!(!wrapped);
+        let t = &tables[0];
+        assert_eq!(t.id, "t1");
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.columns[0].name.as_deref(), Some("film"));
+        assert_eq!(t.columns[1].name, None);
+        assert_eq!(t.columns[1].values, vec!["2006".to_string(), "2006".to_string()]);
+    }
+
+    #[test]
+    fn table_codec_rejects_bad_requests() {
+        for bad in [
+            "{}",
+            r#"{"columns": []}"#,
+            r#"{"columns": [{"name": "x"}]}"#,
+            r#"{"columns": [{"values": [null]}]}"#,
+            r#"{"tables": []}"#,
+            "[1,2]",
+        ] {
+            assert!(tables_from_request(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_crashed() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(Json::parse(&deep).is_err(), "must reject, not overflow the stack");
+        // Sane nesting still parses.
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn table_codec_round_trips() {
+        let t = Table::new(
+            "t \"quoted\"",
+            vec![
+                Column { name: Some("film\n".into()), values: vec!["Happy Feet".into()] },
+                Column { name: None, values: vec!["2006".into(), "\\".into()] },
+            ],
+        );
+        let body = table_to_json(&t);
+        let (parsed, wrapped) = tables_from_request(&body).unwrap();
+        assert!(!wrapped);
+        assert_eq!(parsed, vec![t]);
+    }
+
+    #[test]
+    fn multi_table_request_parses() {
+        let body = r#"{"tables": [{"columns": [["a"]]}, {"columns": [["b"], ["c"]]}]}"#;
+        let (tables, wrapped) = tables_from_request(body).unwrap();
+        assert!(wrapped);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[1].n_cols(), 2);
+    }
+
+    #[test]
+    fn float_display_is_bit_faithful() {
+        // Two different bit patterns that print differently, and a pair of
+        // equal bits that must print identically.
+        let a = 0.1f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_ne!(format!("{a}"), format!("{b}"));
+        assert_eq!(format!("{a}"), format!("{}", f32::from_bits(a.to_bits())));
+    }
+}

@@ -1,0 +1,46 @@
+//! # doduo-served
+//!
+//! The online annotation daemon: an always-on HTTP/1.1 server over the
+//! batched annotation engine, turning `doduo-serve`'s offline throughput
+//! into low-latency live serving — the ROADMAP's production north star.
+//!
+//! The scaling idea is **dynamic micro-batching**: concurrent single-table
+//! requests from independent connections are coalesced in a bounded queue
+//! and flushed into one packed forward pass on a
+//! *token-budget-or-deadline* policy (flush at N tokens / M sequences, or
+//! when the oldest request has waited T ms — whichever comes first). Under
+//! load the daemon serves batched-GEMM throughput; an isolated request
+//! pays at most T extra milliseconds. Responses are bit-identical to
+//! offline [`Annotator::annotate`](doduo_core::Annotator) — batching
+//! changes scheduling, never numbers — and the JSON encoder uses
+//! shortest-round-trip float formatting, so "bit-identical" is observable
+//! as *byte*-identical response bodies.
+//!
+//! Everything is hand-rolled on `std` (TCP, HTTP, JSON, threads): the
+//! workspace is offline-only by policy, and the daemon inherits that.
+//!
+//! * [`json`] — JSON value parser + the wire codecs (tables in,
+//!   annotations out).
+//! * [`http`] — minimal HTTP/1.1 request/response plus a tiny blocking
+//!   client for tests and load benches.
+//! * [`queue`] — the deterministic batching core and its `Condvar` wrapper.
+//! * [`stats`] — latency percentiles and aggregate counters (`/stats`).
+//! * [`server`] — accept loop, connection handlers, dispatcher, graceful
+//!   shutdown.
+//! * [`bootstrap`] — the deterministic synthetic serving world shared by
+//!   the daemon's `--synthetic` mode, the `serve_load` bench, and CI.
+//!
+//! Endpoints: `POST /annotate`, `GET /healthz`, `GET /stats`,
+//! `POST /shutdown`.
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod http;
+pub mod json;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use queue::{BatchPolicy, Batcher, FlushReason, PushRejected, SharedBatcher};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{percentiles, Percentiles, ServerStats};

@@ -1,0 +1,194 @@
+//! `doduo-served` — the online annotation daemon.
+//!
+//! ```text
+//! doduo-served --synthetic quick --seed 42                  # serve a seeded world
+//! doduo-served --checkpoint model.dckpt --addr 0.0.0.0:7878 # serve a saved bundle
+//! doduo-served --synthetic quick --save-checkpoint model.dckpt --oneshot req.json
+//! ```
+//!
+//! `--oneshot FILE` skips the network entirely: it annotates the request in
+//! FILE through the same codec the HTTP path uses, prints the exact bytes
+//! `/annotate` would return, and exits — CI diffs this against a live
+//! response to prove online == offline.
+
+use doduo_core::AnnotatorBundle;
+use doduo_serve::BatchConfig;
+use doduo_served::bootstrap::synthetic_world;
+use doduo_served::json::{annotations_response, tables_from_request};
+use doduo_served::{BatchPolicy, ServeConfig, Server};
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    checkpoint: Option<String>,
+    synthetic: Option<bool>, // Some(quick?)
+    seed: u64,
+    save_checkpoint: Option<String>,
+    oneshot: Option<String>,
+    max_batch_seqs: usize,
+    max_batch_tokens: usize,
+    max_delay_ms: u64,
+    threads: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: doduo-served (--checkpoint FILE | --synthetic quick|full) [options]\n\
+         \n\
+         model source:\n\
+           --checkpoint FILE       load an AnnotatorBundle checkpoint\n\
+           --synthetic quick|full  build the deterministic seeded world\n\
+           --seed N                seed for --synthetic (default 42)\n\
+           --save-checkpoint FILE  write the loaded/built bundle, then continue\n\
+         \n\
+         serving:\n\
+           --addr HOST:PORT        bind address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
+           --max-batch N           flush at N pending sequences (default 32)\n\
+           --max-batch-tokens N    flush at N pending tokens (default 192)\n\
+           --max-delay-ms T        flush when the oldest request waited T ms (default 2)\n\
+           --threads K             engine worker threads (default: all cores)\n\
+         \n\
+         other:\n\
+           --oneshot FILE          annotate request FILE offline, print the exact\n\
+                                   /annotate response bytes, and exit"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        checkpoint: None,
+        synthetic: None,
+        seed: 42,
+        save_checkpoint: None,
+        oneshot: None,
+        max_batch_seqs: 32,
+        max_batch_tokens: 192,
+        max_delay_ms: 2,
+        threads: doduo_tensor::default_threads(),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i),
+            "--checkpoint" => args.checkpoint = Some(value(&mut i)),
+            "--synthetic" => {
+                args.synthetic = Some(match value(&mut i).as_str() {
+                    "quick" => true,
+                    "full" => false,
+                    _ => usage(),
+                })
+            }
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--save-checkpoint" => args.save_checkpoint = Some(value(&mut i)),
+            "--oneshot" => args.oneshot = Some(value(&mut i)),
+            "--max-batch" => {
+                args.max_batch_seqs = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--max-batch-tokens" => {
+                args.max_batch_tokens = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--max-delay-ms" => {
+                args.max_delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if args.checkpoint.is_some() == args.synthetic.is_some() {
+        eprintln!("exactly one of --checkpoint / --synthetic is required");
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let t0 = std::time::Instant::now();
+    let bundle: AnnotatorBundle = if let Some(path) = &args.checkpoint {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("[served] cannot read checkpoint {path}: {e}");
+            std::process::exit(1)
+        });
+        AnnotatorBundle::load(&bytes).unwrap_or_else(|e| {
+            eprintln!("[served] cannot load checkpoint {path}: {e}");
+            std::process::exit(1)
+        })
+    } else {
+        let quick = args.synthetic.expect("synthetic set when checkpoint is not");
+        synthetic_world(quick, args.seed).bundle
+    };
+    eprintln!(
+        "[served] model ready in {:?}: vocab {}, {} types, {} relations",
+        t0.elapsed(),
+        bundle.tokenizer.vocab_size(),
+        bundle.type_vocab.len(),
+        bundle.rel_vocab.len(),
+    );
+    if let Some(path) = &args.save_checkpoint {
+        std::fs::write(path, bundle.save()).unwrap_or_else(|e| {
+            eprintln!("[served] cannot write checkpoint {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("[served] checkpoint written to {path}");
+    }
+
+    if let Some(path) = &args.oneshot {
+        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[served] cannot read request {path}: {e}");
+            std::process::exit(1)
+        });
+        let (tables, wrapped) = tables_from_request(&body).unwrap_or_else(|e| {
+            eprintln!("[served] bad request body: {e}");
+            std::process::exit(1)
+        });
+        // The offline reference path: per-table Annotator::annotate, the
+        // daemon's equivalence target.
+        let ann = bundle.annotator();
+        let anns: Vec<_> = tables.iter().map(|t| ann.annotate(t)).collect();
+        print!("{}", annotations_response(&anns, wrapped));
+        return;
+    }
+
+    let cfg = ServeConfig {
+        addr: args.addr.clone(),
+        policy: BatchPolicy {
+            max_batch_seqs: args.max_batch_seqs,
+            max_batch_tokens: args.max_batch_tokens,
+            max_delay: Duration::from_millis(args.max_delay_ms),
+            ..BatchPolicy::default()
+        },
+        engine: BatchConfig {
+            max_batch: args.max_batch_seqs,
+            max_batch_tokens: args.max_batch_tokens,
+            threads: args.threads.max(1),
+            ..BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("[served] cannot bind {}: {e}", args.addr);
+        std::process::exit(1)
+    });
+    eprintln!(
+        "[served] listening on {} (flush at {} seqs / {} tokens / {} ms; {} engine threads)",
+        server.addr(),
+        args.max_batch_seqs,
+        args.max_batch_tokens,
+        args.max_delay_ms,
+        args.threads.max(1),
+    );
+    server.run(&bundle);
+    eprintln!("[served] shut down cleanly");
+}

@@ -1,0 +1,352 @@
+//! The daemon: a `TcpListener` accept loop, one handler thread per
+//! connection, and a single dispatcher thread that drains the batching
+//! queue into the batched annotation engine.
+//!
+//! ## Thread topology
+//!
+//! ```text
+//! accept loop (caller's thread, non-blocking poll)
+//!   ├── conn handler × N   parse HTTP → decode tables → serialize (cache)
+//!   │                      → push job → block on response channel
+//!   └── dispatcher × 1     wait for budget/deadline → annotate_groups
+//!                          (fans micro-batches across engine threads)
+//!                          → send annotations back per job
+//! ```
+//!
+//! Handlers do the per-request work (parsing, tokenization through the
+//! LRU cache) so the dispatcher's serial section is just the packed forward
+//! passes. All threads are scoped: [`Server::run`] returns only after every
+//! handler and the dispatcher have exited, so shutdown is a real barrier —
+//! in-flight requests get answers, queued jobs get drained, and the process
+//! can exit 0.
+//!
+//! ## Shutdown
+//!
+//! `POST /shutdown` (or [`ServerHandle::shutdown`]) sets one atomic flag.
+//! The accept loop stops accepting; handlers notice at their next read
+//! timeout (or after the in-flight response) and close; the dispatcher
+//! drains what is queued, answers it, and exits.
+
+use crate::http::{read_request, write_error, write_response, ReadError, Request};
+use crate::json::{annotations_response, tables_from_request};
+use crate::queue::{BatchPolicy, PushRejected, SharedBatcher};
+use crate::stats::ServerStats;
+use doduo_core::{AnnotatorBundle, TableAnnotation};
+use doduo_serve::{BatchAnnotator, BatchConfig};
+use doduo_table::SerializedTable;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Dynamic micro-batching policy.
+    pub policy: BatchPolicy,
+    /// Engine knobs (micro-batch cuts, worker threads, tokenization cache).
+    pub engine: BatchConfig,
+    /// Socket read timeout; also the granularity at which idle handler
+    /// threads notice shutdown.
+    pub read_timeout: Duration,
+    /// Maximum concurrent connections; beyond it new ones get 503+close.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            policy: BatchPolicy::default(),
+            engine: BatchConfig::default(),
+            read_timeout: Duration::from_millis(200),
+            max_connections: 256,
+        }
+    }
+}
+
+/// One queued annotation job: a request's serialized tables plus the
+/// channel its handler thread is blocked on.
+struct Job {
+    groups: Vec<Vec<SerializedTable>>,
+    reply: mpsc::Sender<Vec<TableAnnotation>>,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    connections: AtomicUsize,
+    queue: SharedBatcher<Job>,
+    stats: ServerStats,
+    started: Instant,
+}
+
+/// A clonable remote control for a running server (shutdown + stats).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown; [`Server::run`] returns once all threads
+    /// finish.
+    pub fn shutdown(&self) {
+        // Order matters: close the queue *before* raising the flag the
+        // dispatcher polls, so every job that was accepted is also drained.
+        self.shared.queue.close();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.notify();
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Aggregate serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener. Serving starts with [`Server::run`].
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            queue: SharedBatcher::new(cfg.policy.clone()),
+            stats: ServerStats::default(),
+            started: Instant::now(),
+        });
+        Ok(Server { listener, addr, cfg, shared })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serves until shutdown. Blocks the calling thread; all worker threads
+    /// are scoped inside, so when this returns the daemon is fully stopped.
+    pub fn run(&self, bundle: &AnnotatorBundle) {
+        let engine = BatchAnnotator::with_config(bundle.annotator(), self.cfg.engine.clone());
+        self.listener.set_nonblocking(true).expect("nonblocking listener");
+        let shared = &self.shared;
+        let engine = &engine;
+        std::thread::scope(|scope| {
+            scope.spawn(move || dispatcher_loop(shared, engine));
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let cfg = &self.cfg;
+                        scope.spawn(move || handle_connection(stream, shared, engine, cfg));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => {
+                        eprintln!("[served] accept error: {e}");
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            }
+            shared.queue.notify();
+        });
+    }
+}
+
+/// The dispatcher: waits until the queue policy releases a batch, runs the
+/// packed forward passes, and fans annotations back to the blocked
+/// handlers. Exits when shutdown is set and the queue is drained.
+fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
+    let stop = || shared.shutdown.load(Ordering::SeqCst);
+    while let Some((mut jobs, reason)) = shared.queue.wait_for_batch(stop) {
+        let counts: Vec<usize> = jobs.iter().map(|j| j.groups.len()).collect();
+        // Move (not clone) the serialized groups out of the jobs: this is
+        // the daemon's one serial section, and it should only compute.
+        let flat: Vec<Vec<SerializedTable>> =
+            jobs.iter_mut().flat_map(|j| j.groups.drain(..)).collect();
+        shared.stats.record_batch(reason, flat.len() as u64);
+        let mut anns = engine.annotate_groups(&flat);
+        // Split back per job, front to back (annotations are in input order).
+        let mut rest = anns.drain(..);
+        for (job, n) in jobs.iter().zip(counts) {
+            let part: Vec<TableAnnotation> = rest.by_ref().take(n).collect();
+            // A dead receiver means the handler gave up (client vanished);
+            // dropping its annotations is the right outcome.
+            let _ = job.reply.send(part);
+        }
+    }
+}
+
+/// Per-connection keep-alive loop.
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+) {
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    serve_connection(stream, shared, engine, cfg);
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+) {
+    let mut stream = stream;
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    if shared.connections.load(Ordering::SeqCst) > cfg.max_connections {
+        let _ = write_error(&mut stream, 503, "Service Unavailable", "too many connections", false);
+        return;
+    }
+    let Ok(clone) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(clone);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::TimedOut) => continue, // idle keep-alive; re-check shutdown
+            Err(ReadError::Eof) => return,
+            Err(ReadError::Bad(msg)) => {
+                shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = write_error(&mut stream, 400, "Bad Request", &msg, false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let ok = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let body = format!(
+                    "{{\"status\":\"ok\",\"uptime_secs\":{:.3}}}\n",
+                    shared.started.elapsed().as_secs_f64()
+                );
+                write_response(&mut stream, 200, "OK", "application/json", &body, keep_alive)
+            }
+            ("GET", "/stats") => {
+                let body = shared.stats.to_json(
+                    shared.started.elapsed(),
+                    shared.queue.depth(),
+                    engine.cache_stats().hit_rate(),
+                );
+                write_response(&mut stream, 200, "OK", "application/json", &body, keep_alive)
+            }
+            ("POST", "/shutdown") => {
+                let body = "{\"status\":\"shutting down\"}\n";
+                let r = write_response(&mut stream, 200, "OK", "application/json", body, false);
+                // Close-before-flag, as in ServerHandle::shutdown.
+                shared.queue.close();
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.queue.notify();
+                let _ = r;
+                return;
+            }
+            ("POST", "/annotate") => handle_annotate(&mut stream, shared, engine, &req, keep_alive),
+            _ => {
+                shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+                write_error(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    &format!("no route for {} {}", req.method, req.path),
+                    keep_alive,
+                )
+            }
+        };
+        if ok.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn handle_annotate(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    req: &Request,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let t0 = Instant::now();
+    let fail = |stream: &mut TcpStream, status, reason, msg: &str| {
+        shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+        write_error(stream, status, reason, msg, keep_alive)
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return fail(stream, 400, "Bad Request", "body is not valid UTF-8"),
+    };
+    let (tables, wrapped) = match tables_from_request(body) {
+        Ok(t) => t,
+        Err(msg) => return fail(stream, 400, "Bad Request", &msg),
+    };
+    // Oversized tables would serialize past the encoder's max_seq; reject
+    // rather than panic the dispatcher.
+    let max_cols = engine.annotator().model.config().serialize.max_supported_cols();
+    if let Some(t) = tables.iter().find(|t| t.n_cols() > max_cols) {
+        let msg = format!(
+            "table {:?} has {} columns; this model serves at most {max_cols}",
+            t.id,
+            t.n_cols()
+        );
+        return fail(stream, 400, "Bad Request", &msg);
+    }
+
+    // Tokenize on the handler thread (warms the shared LRU cache) so the
+    // queue can count real tokens and the dispatcher stays compute-only.
+    let groups: Vec<Vec<SerializedTable>> =
+        tables.iter().map(|t| engine.serialize_table(t)).collect();
+    let n_tables = groups.len() as u64;
+    let seqs: usize = groups.iter().map(Vec::len).sum();
+    let tokens: usize = groups.iter().flat_map(|g| g.iter()).map(SerializedTable::len).sum();
+
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.push(Job { groups, reply: tx }, seqs, tokens) {
+        Ok(()) => {}
+        Err(PushRejected::Closed) => {
+            return fail(stream, 503, "Service Unavailable", "server is shutting down");
+        }
+        Err(PushRejected::Full) => {
+            shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return fail(stream, 503, "Service Unavailable", "annotation queue is full");
+        }
+    }
+    // An accepted push is always drained (the queue closes before the
+    // dispatcher stops); the timeout is a belt-and-braces guard against a
+    // panicked dispatcher.
+    let anns = match rx.recv_timeout(Duration::from_secs(30)) {
+        Ok(a) => a,
+        Err(_) => return fail(stream, 503, "Service Unavailable", "annotation timed out"),
+    };
+    shared.stats.record_request(t0.elapsed(), n_tables, seqs as u64, tokens as u64);
+    let body = annotations_response(&anns, wrapped);
+    write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+}

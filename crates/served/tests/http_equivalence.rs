@@ -1,0 +1,206 @@
+//! End-to-end daemon tests over real TCP sockets: responses must be
+//! *byte*-identical to the offline annotation path at every concurrency
+//! level and batching policy, and shutdown must be graceful (in-flight and
+//! queued requests answered, `run()` returns).
+
+use doduo_serve::BatchConfig;
+use doduo_served::bootstrap::{synthetic_world, SyntheticWorld};
+use doduo_served::http::Client;
+use doduo_served::json::{annotations_response, table_to_json, Json};
+use doduo_served::{BatchPolicy, ServeConfig, Server};
+use doduo_table::Table;
+use std::time::Duration;
+
+/// The offline reference bytes for one table: per-table `annotate` through
+/// the same response encoder the daemon uses.
+fn offline_bytes(world: &SyntheticWorld, t: &Table) -> Vec<u8> {
+    let ann = world.annotator().annotate(t);
+    annotations_response(&[ann], false).into_bytes()
+}
+
+fn with_server<R>(
+    world: &SyntheticWorld,
+    policy: BatchPolicy,
+    body: impl FnOnce(&str) -> R + Send,
+) -> R {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        policy,
+        engine: BatchConfig { threads: 2, ..BatchConfig::default() },
+        read_timeout: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run(&world.bundle));
+        let out = body(&addr);
+        handle.shutdown();
+        runner.join().expect("server thread exits cleanly");
+        out
+    })
+}
+
+#[test]
+fn healthz_stats_and_errors() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, BatchPolicy::default(), |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+        let health = c.request("GET", "/healthz", b"").expect("healthz");
+        assert_eq!(health.status, 200);
+        let v = Json::parse(std::str::from_utf8(&health.body).unwrap().trim()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+        // Malformed JSON → 400 (connection closes after an error).
+        let mut c2 = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+        let bad = c2.request("POST", "/annotate", b"{not json").expect("bad body answered");
+        assert_eq!(bad.status, 400);
+
+        // Unknown route → 404; keep-alive survives it.
+        let notfound = c.request("GET", "/nope", b"").expect("404 answered");
+        assert_eq!(notfound.status, 404);
+
+        // A valid single-table request on the same connection, then stats.
+        let t = &world.tables[0];
+        let ok = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");
+        assert_eq!(ok.status, 200);
+        let stats = c.request("GET", "/stats", b"").expect("stats");
+        assert_eq!(stats.status, 200);
+        let s = Json::parse(std::str::from_utf8(&stats.body).unwrap().trim()).unwrap();
+        assert_eq!(s.get("requests_ok").and_then(Json::as_f64), Some(1.0));
+        assert!(s.get("latency_ms").unwrap().get("p50").unwrap().as_f64().unwrap() > 0.0);
+        let flushes = s.get("flushes").unwrap();
+        let total = ["budget", "deadline", "shutdown"]
+            .iter()
+            .map(|k| flushes.get(k).unwrap().as_f64().unwrap())
+            .sum::<f64>();
+        assert!(total >= 1.0, "the annotate request flushed at least one batch");
+    });
+}
+
+#[test]
+fn sequential_responses_are_byte_identical_to_offline() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, BatchPolicy::default(), |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(30))).expect("connect");
+        for t in world.tables.iter().take(6) {
+            let resp = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("req");
+            assert_eq!(resp.status, 200);
+            assert_eq!(
+                resp.body,
+                offline_bytes(&world, t),
+                "online response must be byte-identical to offline annotate for {}",
+                t.id
+            );
+        }
+    });
+}
+
+#[test]
+fn concurrent_burst_is_byte_identical_and_batched() {
+    let world = synthetic_world(true, 42);
+    // A generous deadline forces real coalescing: the burst below lands
+    // well inside 50ms, so most responses ride shared batches.
+    let policy = BatchPolicy {
+        max_delay: Duration::from_millis(50),
+        max_batch_seqs: 8,
+        max_batch_tokens: 100_000,
+        ..BatchPolicy::default()
+    };
+    let n_clients = 12usize;
+    let world_ref = &world;
+    with_server(world_ref, policy, |addr| {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for k in 0..n_clients {
+                handles.push(scope.spawn(move || {
+                    let mut c =
+                        Client::connect(addr, Some(Duration::from_secs(30))).expect("connect");
+                    // Each client hits a different table, twice.
+                    let t = &world_ref.tables[k % world_ref.tables.len()];
+                    for _ in 0..2 {
+                        let resp = c
+                            .request("POST", "/annotate", table_to_json(t).as_bytes())
+                            .expect("annotate");
+                        assert_eq!(resp.status, 200);
+                        assert_eq!(resp.body, offline_bytes(world_ref, t), "table {}", t.id);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("client ok");
+            }
+        });
+
+        // With 24 requests and an 8-sequence budget, coalescing must have
+        // produced at least one multi-table batch.
+        let mut c = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+        let stats = c.request("GET", "/stats", b"").expect("stats");
+        let s = Json::parse(std::str::from_utf8(&stats.body).unwrap().trim()).unwrap();
+        assert_eq!(s.get("requests_ok").and_then(Json::as_f64), Some(2.0 * n_clients as f64));
+        let mean_batch =
+            s.get("batch_tables").unwrap().get("mean").unwrap().as_f64().expect("mean");
+        assert!(mean_batch > 1.0, "expected coalescing, got mean batch {mean_batch}");
+    });
+}
+
+#[test]
+fn multi_table_requests_round_trip() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, BatchPolicy::default(), |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(30))).expect("connect");
+        let ts: Vec<&Table> = world.tables.iter().take(3).collect();
+        let body = format!(
+            "{{\"tables\":[{}]}}",
+            ts.iter().map(|t| table_to_json(t)).collect::<Vec<_>>().join(",")
+        );
+        let resp = c.request("POST", "/annotate", body.as_bytes()).expect("annotate");
+        assert_eq!(resp.status, 200);
+        let anns: Vec<_> = ts.iter().map(|t| world.annotator().annotate(t)).collect();
+        assert_eq!(resp.body, annotations_response(&anns, true).into_bytes());
+    });
+}
+
+#[test]
+fn oversized_table_is_rejected_not_crashed() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, BatchPolicy::default(), |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+        let max_cols = world.bundle.annotator().model.config().serialize.max_supported_cols();
+        let cols: Vec<String> = (0..max_cols + 1).map(|i| format!("[\"cell {i}\"]")).collect();
+        let body = format!("{{\"columns\":[{}]}}", cols.join(","));
+        let resp = c.request("POST", "/annotate", body.as_bytes()).expect("answered");
+        assert_eq!(resp.status, 400);
+        // The daemon still serves afterwards.
+        let mut c2 = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+        let t = &world.tables[0];
+        let ok = c2.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");
+        assert_eq!(ok.status, 200);
+    });
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let world = synthetic_world(true, 42);
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        read_timeout: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.addr().to_string();
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run(&world.bundle));
+        let mut c = Client::connect(&addr, Some(Duration::from_secs(10))).expect("connect");
+        let t = &world.tables[1];
+        let ok = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");
+        assert_eq!(ok.status, 200);
+        let resp = c.request("POST", "/shutdown", b"").expect("shutdown answered");
+        assert_eq!(resp.status, 200);
+        runner.join().expect("run() returns after POST /shutdown");
+    });
+    // After shutdown (and dropping the server) the port must be closed.
+    drop(server);
+    assert!(Client::connect(&addr, Some(Duration::from_millis(200))).is_err());
+}

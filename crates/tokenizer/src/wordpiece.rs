@@ -141,6 +141,12 @@ impl WordPiece {
         &self.vocab
     }
 
+    /// The longest word (in chars) encoded as pieces rather than `[UNK]`.
+    /// Persisted by checkpoints so a reloaded tokenizer matches exactly.
+    pub fn max_word_len(&self) -> usize {
+        self.max_word_len
+    }
+
     /// Number of pieces (the encoder's embedding-table height).
     pub fn vocab_size(&self) -> usize {
         self.vocab.len()
