@@ -232,8 +232,19 @@ fn check_serve(v: &Json, c: &mut Checker) -> String {
     let results = c.arr(v, "results").to_vec();
     let mut best = 0.0f64;
     for r in &results {
+        c.str_in(r, "topology", &["thread_per_conn", "pool"]);
+        c.str_in(r, "mode", &["request", "stream"]);
         c.str_in(r, "policy", &["eager", "coalesce"]);
-        for k in ["max_delay_ms", "clients", "requests", "secs", "tables_per_sec"] {
+        for k in [
+            "workers",
+            "max_delay_ms",
+            "clients",
+            "requests",
+            "connects",
+            "conn_reuse_rate",
+            "secs",
+            "tables_per_sec",
+        ] {
             c.num(r, k);
         }
         match r.get("latency_ms") {

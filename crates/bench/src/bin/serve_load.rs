@@ -3,17 +3,27 @@
 //! star).
 //!
 //! Starts the daemon in-process on an ephemeral port, then drives it over
-//! real HTTP with closed-loop clients (each thread: send one single-table
-//! request, wait for the response, repeat) across a grid of client counts ×
-//! batching policies, and writes per-cell p50/p99 latency and tables/sec to
-//! `BENCH_serve.json`.
+//! real HTTP across a grid of **connection topologies × client counts**,
+//! and writes per-cell p50/p99 latency, tables/sec, and connection-reuse
+//! rate to `BENCH_serve.json`. Three request-mode configurations:
 //!
-//! The policy axis is the daemon's whole point: `eager` flushes as soon as
-//! the dispatcher wakes (latency-first, batches only what arrived
-//! together), while `coalesce` holds the oldest request up to a few
-//! milliseconds so concurrent clients share packed forward passes
-//! (throughput-first). With one client the two should have near-identical
-//! latency; as clients grow, `coalesce` should win tables/sec.
+//! * `thread_per_conn` — the pre-pool daemon (one handler thread per
+//!   connection), the PR-4 baseline;
+//! * `pool/eager` — the fixed worker pool with keep-alive;
+//! * `pool/coalesce` — the pool with a 5 ms batching deadline.
+//!
+//! plus a **stream** mode where each client holds one `/annotate_stream`
+//! connection and pipelines tables through it (window of 16), measuring
+//! per-table completion latency — the protocol's answer to "one client,
+//! many tables".
+//!
+//! Clients are closed-loop (send → wait → repeat) on persistent
+//! connections; they reconnect only when a request fails, so the reported
+//! `conn_reuse_rate` (1 − connects/requests) is a direct measurement of
+//! keep-alive doing its job. All daemons run simultaneously and trials are
+//! interleaved across topologies (best of two rounds per cell): sequential
+//! per-topology runs hand the later one a systematically warmer process,
+//! a drift on the same scale as the effect being measured.
 //!
 //! Run: `cargo run --release -p doduo-bench --bin serve_load -- --scale quick`
 
@@ -25,46 +35,75 @@ use doduo_served::http::Client;
 use doduo_served::json::table_to_json;
 use doduo_served::{percentiles, BatchPolicy, Percentiles, ServeConfig, Server};
 use doduo_tensor::default_threads;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Pipelined tables in flight per streaming client.
+const STREAM_CLIENT_WINDOW: usize = 16;
+
 struct Cell {
+    topology: &'static str,
+    mode: &'static str,
+    workers: usize,
     policy: &'static str,
     max_delay_ms: u64,
     clients: usize,
     requests: usize,
+    connects: usize,
     secs: f64,
     tables_per_sec: f64,
     latency_ms: Percentiles,
 }
 
-/// One measurement cell: `clients` closed-loop threads hammering `addr`
-/// for `duration`, each cycling through its own slice of the corpus.
-fn run_cell(
+fn to_ms(p: Percentiles) -> Percentiles {
+    Percentiles {
+        count: p.count,
+        mean: p.mean / 1e3,
+        p50: p.p50 / 1e3,
+        p99: p.p99 / 1e3,
+        max: p.max / 1e3,
+    }
+}
+
+/// One request-mode cell: `clients` closed-loop threads hammering `addr`
+/// for `duration` on persistent connections, each cycling through its own
+/// slice of the corpus. Returns (requests, connects, secs, latency).
+fn run_request_cell(
     addr: &str,
     bodies: &[String],
     clients: usize,
     duration: Duration,
-) -> (usize, f64, Percentiles) {
+) -> (usize, usize, f64, Percentiles) {
     let stop = AtomicBool::new(false);
     let stop = &stop;
+    let connects = AtomicUsize::new(0);
+    let connects = &connects;
     let t0 = Instant::now();
     let lat_us: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|k| {
                 scope.spawn(move || {
-                    let mut c = Client::connect(addr, Some(Duration::from_secs(30)))
-                        .expect("connect to daemon");
+                    let connect = || {
+                        connects.fetch_add(1, Ordering::Relaxed);
+                        Client::connect(addr, Some(Duration::from_secs(30)))
+                            .expect("connect to daemon")
+                    };
+                    let mut c = connect();
                     let mut lats = Vec::new();
                     let mut i = k; // stagger the per-client table streams
                     while !stop.load(Ordering::Relaxed) {
                         let body = &bodies[i % bodies.len()];
                         let r0 = Instant::now();
-                        let resp =
-                            c.request("POST", "/annotate", body.as_bytes()).expect("annotate");
-                        assert_eq!(resp.status, 200, "daemon must answer 200 under load");
-                        lats.push(r0.elapsed().as_micros() as u64);
-                        i += 1;
+                        match c.request("POST", "/annotate", body.as_bytes()) {
+                            Ok(resp) => {
+                                assert_eq!(resp.status, 200, "daemon must answer 200 under load");
+                                lats.push(r0.elapsed().as_micros() as u64);
+                                i += 1;
+                            }
+                            // A dropped connection (e.g. server-side idle
+                            // close) is re-dialed, and counted.
+                            Err(_) => c = connect(),
+                        }
                     }
                     lats
                 })
@@ -77,15 +116,69 @@ fn run_cell(
     });
     let secs = t0.elapsed().as_secs_f64();
     let all: Vec<u64> = lat_us.into_iter().flatten().collect();
-    let p = percentiles(&all);
-    let p_ms = Percentiles {
-        count: p.count,
-        mean: p.mean / 1e3,
-        p50: p.p50 / 1e3,
-        p99: p.p99 / 1e3,
-        max: p.max / 1e3,
-    };
-    (p_ms.count, secs, p_ms)
+    let p = to_ms(percentiles(&all));
+    (p.count, connects.load(Ordering::Relaxed), secs, p)
+}
+
+/// One stream-mode cell: each client sends `per_client` tables down a
+/// single `/annotate_stream` connection with a pipelining window, and
+/// latency is measured per table from send to result arrival.
+fn run_stream_cell(
+    addr: &str,
+    bodies: &[String],
+    clients: usize,
+    per_client: usize,
+) -> (usize, usize, f64, Percentiles) {
+    let t0 = Instant::now();
+    let lat_us: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|k| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr, Some(Duration::from_secs(30)))
+                        .expect("connect to daemon");
+                    c.stream_open("/annotate_stream").expect("open stream");
+                    assert_eq!(c.stream_status().expect("status"), 200);
+                    let mut sent = 0usize;
+                    let mut recvd = 0usize;
+                    let mut send_at = vec![Instant::now(); per_client];
+                    let mut lats = Vec::with_capacity(per_client);
+                    while recvd < per_client {
+                        while sent < per_client && sent - recvd < STREAM_CLIENT_WINDOW {
+                            let mut doc = bodies[(k + sent) % bodies.len()].clone();
+                            doc.push('\n');
+                            send_at[sent] = Instant::now();
+                            c.stream_send(doc.as_bytes()).expect("send table");
+                            sent += 1;
+                            if sent == per_client {
+                                c.stream_finish().expect("finish upload");
+                            }
+                        }
+                        let line = c.stream_next_line().expect("read").expect("result per table");
+                        assert!(
+                            line.starts_with("{\"types\""),
+                            "stream answered with an error: {line}"
+                        );
+                        lats.push(send_at[recvd].elapsed().as_micros() as u64);
+                        recvd += 1;
+                    }
+                    assert_eq!(c.stream_next_line().expect("eof"), None, "stream ends cleanly");
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stream client ok")).collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let all: Vec<u64> = lat_us.into_iter().flatten().collect();
+    let p = to_ms(percentiles(&all));
+    (p.count, clients, secs, p)
+}
+
+struct Topology {
+    name: &'static str,
+    workers: usize,
+    policy: &'static str,
+    delay_ms: u64,
 }
 
 fn main() {
@@ -103,71 +196,202 @@ fn main() {
     );
 
     let (cell_secs, client_grid): (f64, Vec<usize>) =
-        if quick { (0.6, vec![1, 4, 16]) } else { (2.0, vec![1, 2, 4, 8, 16, 32]) };
-    let policies: [(&'static str, u64); 2] = [("eager", 0), ("coalesce", 5)];
+        if quick { (1.0, vec![1, 4, 16, 64]) } else { (2.0, vec![1, 2, 4, 8, 16, 32, 64]) };
+    let stream_clients: Vec<usize> = if quick { vec![1, 4, 16] } else { vec![1, 4, 16, 64] };
+    let stream_per_client = if quick { 48 } else { 128 };
+    let pool_workers = ServeConfig::default().workers;
+    let topologies = [
+        Topology { name: "pool", workers: pool_workers, policy: "eager", delay_ms: 0 },
+        Topology { name: "thread_per_conn", workers: 0, policy: "eager", delay_ms: 0 },
+        Topology { name: "pool", workers: pool_workers, policy: "coalesce", delay_ms: 5 },
+    ];
+
+    // All three daemons run simultaneously (each on its own ephemeral
+    // port) and trials are interleaved across topologies at every client
+    // count, taking the best of two rounds per cell. Sequential
+    // per-topology runs would hand the later topology a systematically
+    // warmer process (CPU frequency, allocator, page cache) — on a 1-core
+    // container that drift is the same magnitude as the effect being
+    // measured.
+    let servers: Vec<Server> = topologies
+        .iter()
+        .map(|topo| {
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                policy: BatchPolicy {
+                    max_delay: Duration::from_millis(topo.delay_ms),
+                    ..BatchPolicy::default()
+                },
+                engine: BatchConfig { threads: n_threads, ..BatchConfig::default() },
+                workers: topo.workers,
+                ..ServeConfig::default()
+            };
+            Server::bind(cfg).expect("bind ephemeral port")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
 
     let mut cells: Vec<Cell> = Vec::new();
-    for (policy_name, delay_ms) in policies {
-        let cfg = ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            policy: BatchPolicy {
-                max_delay: Duration::from_millis(delay_ms),
-                ..BatchPolicy::default()
-            },
-            engine: BatchConfig { threads: n_threads, ..BatchConfig::default() },
-            ..ServeConfig::default()
-        };
-        let server = Server::bind(cfg).expect("bind ephemeral port");
-        let addr = server.addr().to_string();
-        let handle = server.handle();
-        std::thread::scope(|scope| {
-            let runner = scope.spawn(|| server.run(&world.bundle));
-            // Warm-up pass: fill the tokenization cache, fault pages.
-            let (_, _, _) = run_cell(&addr, &bodies, 2, Duration::from_secs_f64(cell_secs / 2.0));
-            for &clients in &client_grid {
-                let (requests, secs, lat) =
-                    run_cell(&addr, &bodies, clients, Duration::from_secs_f64(cell_secs));
+    std::thread::scope(|scope| {
+        let runners: Vec<_> = servers
+            .iter()
+            .map(|server| {
+                let bundle = &world.bundle;
+                scope.spawn(move || server.run(bundle))
+            })
+            .collect();
+        // Warm-up pass per daemon: fill its tokenization cache, fault pages.
+        for addr in &addrs {
+            let _ = run_request_cell(addr, &bodies, 2, Duration::from_secs_f64(cell_secs / 2.0));
+        }
+        for &clients in &client_grid {
+            let mut best: Vec<Option<(usize, usize, f64, Percentiles)>> =
+                vec![None; topologies.len()];
+            for _round in 0..2 {
+                for (t, addr) in addrs.iter().enumerate() {
+                    let trial = run_request_cell(
+                        addr,
+                        &bodies,
+                        clients,
+                        Duration::from_secs_f64(cell_secs),
+                    );
+                    let better = best[t]
+                        .as_ref()
+                        .is_none_or(|b| trial.0 as f64 / trial.2 > b.0 as f64 / b.2);
+                    if better {
+                        best[t] = Some(trial);
+                    }
+                }
+            }
+            for (topo, trial) in topologies.iter().zip(best) {
+                let (requests, connects, secs, lat) = trial.expect("two rounds ran");
                 let cell = Cell {
-                    policy: policy_name,
-                    max_delay_ms: delay_ms,
+                    topology: topo.name,
+                    mode: "request",
+                    workers: topo.workers,
+                    policy: topo.policy,
+                    max_delay_ms: topo.delay_ms,
                     clients,
                     requests,
+                    connects,
                     secs,
                     tables_per_sec: requests as f64 / secs,
                     latency_ms: lat,
                 };
                 eprintln!(
-                    "[serve_load] {policy_name:>8} clients {clients:>2}: {:>7.1} tables/sec, \
-                     p50 {:>6.2} ms, p99 {:>7.2} ms ({} reqs)",
-                    cell.tables_per_sec, cell.latency_ms.p50, cell.latency_ms.p99, requests
+                    "[serve_load] {:>15}/{:<8} clients {clients:>2}: {:>7.1} tables/sec, \
+                     p50 {:>6.2} ms, p99 {:>7.2} ms, reuse {:.3} ({} reqs)",
+                    topo.name,
+                    topo.policy,
+                    cell.tables_per_sec,
+                    cell.latency_ms.p50,
+                    cell.latency_ms.p99,
+                    reuse_rate(&cell),
+                    requests
                 );
                 cells.push(cell);
             }
-            handle.shutdown();
+        }
+        // Stream mode rides the eager pool daemon (topology 0).
+        let (stream_topo, stream_addr) = (&topologies[0], &addrs[0]);
+        for &clients in &stream_clients {
+            let (requests, connects, secs, lat) = (0..2)
+                .map(|_| run_stream_cell(stream_addr, &bodies, clients, stream_per_client))
+                .max_by(|a, b| (a.0 as f64 / a.2).total_cmp(&(b.0 as f64 / b.2)))
+                .expect("two trials");
+            let cell = Cell {
+                topology: stream_topo.name,
+                mode: "stream",
+                workers: stream_topo.workers,
+                policy: stream_topo.policy,
+                max_delay_ms: stream_topo.delay_ms,
+                clients,
+                requests,
+                connects,
+                secs,
+                tables_per_sec: requests as f64 / secs,
+                latency_ms: lat,
+            };
+            eprintln!(
+                "[serve_load] {:>15}/{:<8} clients {clients:>2}: {:>7.1} tables/sec, \
+                 p50 {:>6.2} ms, p99 {:>7.2} ms ({} tables)",
+                "stream",
+                stream_topo.policy,
+                cell.tables_per_sec,
+                cell.latency_ms.p50,
+                cell.latency_ms.p99,
+                requests
+            );
+            cells.push(cell);
+        }
+        for server in &servers {
+            server.handle().shutdown();
+        }
+        for runner in runners {
             runner.join().expect("daemon thread exits");
-        });
-    }
+        }
+    });
 
     let mut r = Report::new(
         "Online serving load (doduo-served, closed-loop clients)",
-        &["policy", "delay ms", "clients", "tables/sec", "p50 ms", "p99 ms"],
+        &["topology", "mode", "policy", "clients", "tables/sec", "p50 ms", "p99 ms", "reuse"],
     );
     for c in &cells {
         r.row(&[
+            c.topology.to_string(),
+            c.mode.to_string(),
             c.policy.to_string(),
-            c.max_delay_ms.to_string(),
             c.clients.to_string(),
             format!("{:.1}", c.tables_per_sec),
             format!("{:.2}", c.latency_ms.p50),
             format!("{:.2}", c.latency_ms.p99),
+            format!("{:.3}", reuse_rate(c)),
         ]);
     }
     r.check("every cell answered requests", cells.iter().all(|c| c.requests > 0));
+    let tps = |topology: &str, mode: &str, policy: &str, clients: usize| {
+        cells
+            .iter()
+            .find(|c| {
+                c.topology == topology
+                    && c.mode == mode
+                    && c.policy == policy
+                    && c.clients == clients
+            })
+            .map(|c| c.tables_per_sec)
+            .unwrap_or(0.0)
+    };
+    // The PR's acceptance bar: the pool with keep-alive must sustain at
+    // least the thread-per-connection eager baseline at 16 clients.
+    let baseline = tps("thread_per_conn", "request", "eager", 16);
+    let pooled = tps("pool", "request", "eager", 16);
+    r.check(
+        format!(
+            "pool sustains thread-per-conn eager at 16 clients ({pooled:.1} vs {baseline:.1} t/s)"
+        )
+        .as_str(),
+        pooled >= baseline * 0.95,
+    );
+    // `connects == clients` means every client kept its one connection for
+    // the whole cell — keep-alive never dropped it (the absolute reuse
+    // rate also reflects each client's unavoidable first dial, so short
+    // cells with many clients sit well below 1.0 by construction).
+    r.check(
+        "keep-alive holds connections (no client re-dials in request cells)",
+        cells.iter().filter(|c| c.mode == "request").all(|c| c.connects == c.clients),
+    );
     r.print();
 
     let json = render_json(&opts, bodies.len(), n_threads, &cells);
     std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
     eprintln!("[serve_load] wrote BENCH_serve.json, total elapsed {:?}", started.elapsed());
+}
+
+fn reuse_rate(c: &Cell) -> f64 {
+    if c.requests == 0 {
+        return 0.0;
+    }
+    1.0 - (c.connects as f64 / c.requests as f64).min(1.0)
 }
 
 fn render_json(
@@ -185,13 +409,20 @@ fn render_json(
     out.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"max_delay_ms\": {}, \"clients\": {}, \"requests\": {}, \
-             \"secs\": {:.3}, \"tables_per_sec\": {:.3}, \"latency_ms\": {{\"mean\": {:.3}, \
-             \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}}}{}\n",
+            "    {{\"topology\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"policy\": \"{}\", \
+             \"max_delay_ms\": {}, \"clients\": {}, \"requests\": {}, \"connects\": {}, \
+             \"conn_reuse_rate\": {:.4}, \"secs\": {:.3}, \"tables_per_sec\": {:.3}, \
+             \"latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}, \
+             \"max\": {:.3}}}}}{}\n",
+            c.topology,
+            c.mode,
+            c.workers,
             c.policy,
             c.max_delay_ms,
             c.clients,
             c.requests,
+            c.connects,
+            reuse_rate(c),
             c.secs,
             c.tables_per_sec,
             c.latency_ms.mean,

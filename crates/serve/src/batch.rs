@@ -111,8 +111,33 @@ impl<'a> BatchAnnotator<'a> {
     /// connection threads, then batches whatever the dispatcher drained —
     /// reuse the exact same scheduling and keep its bit-identical guarantee.
     pub fn annotate_groups(&self, groups: &[Vec<SerializedTable>]) -> Vec<TableAnnotation> {
+        let slots: Vec<Mutex<Option<TableAnnotation>>> =
+            (0..groups.len()).map(|_| Mutex::new(None)).collect();
+        self.annotate_groups_each(groups, &|i, ann| {
+            *slots[i].lock().expect("slot lock") = Some(ann);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot lock").expect("every table annotated"))
+            .collect()
+    }
+
+    /// Like [`BatchAnnotator::annotate_groups`], but delivers each group's
+    /// annotation through `on_done(group_index, annotation)` *as soon as its
+    /// micro-batch finishes* instead of waiting for the whole call. The
+    /// callback runs on whichever worker thread completed the micro-batch
+    /// (hence `Sync`), at most once per group, with indices into `groups`.
+    /// Streaming front ends (the daemon's `/annotate_stream`) use this to
+    /// push per-table results while later micro-batches are still running;
+    /// the annotations themselves are bit-identical to
+    /// `Annotator::annotate`, exactly as in the collecting variant.
+    pub fn annotate_groups_each(
+        &self,
+        groups: &[Vec<SerializedTable>],
+        on_done: &(dyn Fn(usize, TableAnnotation) + Sync),
+    ) {
         if groups.is_empty() {
-            return Vec::new();
+            return;
         }
         // Stage 2: longest-first order groups similar lengths together so
         // micro-batches are comparable units of work for the stripe.
@@ -144,33 +169,30 @@ impl<'a> BatchAnnotator<'a> {
         }
 
         // Stage 4: stripe micro-batches across scoped workers sharing the
-        // read-only parameter store, then scatter back into input order.
+        // read-only parameter store, delivering each group's annotation the
+        // moment its micro-batch completes.
         let threads = self.cfg.threads.clamp(1, batches.len());
         let batches = &batches;
         let annotator = &self.annotator;
-        let done: Vec<Vec<(usize, TableAnnotation)>> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
-                        let mut out = Vec::new();
                         for batch in batches.iter().skip(w).step_by(threads) {
                             let sliced: Vec<&[SerializedTable]> =
                                 batch.iter().map(|&i| groups[i].as_slice()).collect();
                             let anns = annotator.annotate_serialized(&sliced);
-                            out.extend(batch.iter().copied().zip(anns));
+                            for (&i, ann) in batch.iter().zip(anns) {
+                                on_done(i, ann);
+                            }
                         }
-                        out
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("annotation worker panicked")).collect()
+            for h in handles {
+                h.join().expect("annotation worker panicked");
+            }
         });
-
-        let mut slots: Vec<Option<TableAnnotation>> = (0..groups.len()).map(|_| None).collect();
-        for (i, ann) in done.into_iter().flatten() {
-            slots[i] = Some(ann);
-        }
-        slots.into_iter().map(|s| s.expect("every table annotated exactly once")).collect()
     }
 
     /// Serializes one table exactly as `DoduoModel::serialize_for_types`

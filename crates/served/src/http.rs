@@ -1,20 +1,57 @@
 //! Minimal HTTP/1.1 on blocking std sockets — just enough of RFC 9112 for
-//! the daemon's four endpoints: request-line + header parsing,
-//! `Content-Length` bodies, keep-alive, and response writing. Hand-rolled
-//! because the workspace is offline-only (no hyper/axum); the surface is
-//! deliberately tiny and strict (no chunked encoding, no pipelining
-//! guarantees beyond serial request/response per connection).
+//! the daemon's endpoints: request-line + header parsing, `Content-Length`
+//! *and* chunked transfer-encoded bodies, keep-alive, `Expect:
+//! 100-continue`, and response writing (fixed-length and chunked).
+//! Hand-rolled because the workspace is offline-only (no hyper/axum); the
+//! surface is deliberately tiny and strict.
+//!
+//! The parser is split head/body so the daemon can route *before* buffering
+//! a body: `/annotate_stream` consumes its (usually chunked) body
+//! incrementally through [`BodyReader`] while results stream back, whereas
+//! the plain endpoints read the whole body with [`read_body`]. Size limits
+//! are enforced incrementally ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`] →
+//! HTTP 413) and every read carries a wall-clock deadline so a byte-dripping
+//! client cannot pin a pool worker (→ HTTP 408).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Upper bound on the request line + headers (DoS guard).
+/// Upper bound on the request line + headers (DoS guard → 413).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a request body (DoS guard).
+/// Upper bound on a request body (DoS guard → 413).
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
-/// One parsed HTTP request.
+/// How a request's body bytes are framed on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// No body (no `Content-Length`, no `Transfer-Encoding`).
+    None,
+    /// `Content-Length: n`.
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// One parsed request head (everything before the body).
+#[derive(Debug)]
+pub struct Head {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string stripped).
+    pub path: String,
+    /// Raw query string (without `?`), empty if absent.
+    pub query: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+    /// Whether the client sent `Expect: 100-continue` and is waiting for an
+    /// interim response before transmitting the body.
+    pub expect_continue: bool,
+    /// How the body is framed.
+    pub framing: BodyFraming,
+}
+
+/// One parsed HTTP request (head + fully buffered body).
 #[derive(Debug)]
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, ...).
@@ -23,7 +60,7 @@ pub struct Request {
     pub path: String,
     /// Raw query string (without `?`), empty if absent.
     pub query: String,
-    /// Body bytes (empty unless `Content-Length` said otherwise).
+    /// Body bytes.
     pub body: Vec<u8>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
@@ -40,6 +77,10 @@ pub enum ReadError {
     /// Malformed request; the payload is a human-readable reason to send
     /// back as 400.
     Bad(String),
+    /// The head or body exceeded a size limit; send back 413.
+    TooLarge(String),
+    /// The request dribbled in past its wall-clock deadline; send back 408.
+    TooSlow,
     /// Underlying socket error.
     Io(std::io::Error),
 }
@@ -52,13 +93,16 @@ fn io_err(e: std::io::Error) -> ReadError {
     }
 }
 
-/// Reads one request from a buffered stream. With a read timeout set on the
-/// underlying socket, returns [`ReadError::TimedOut`] when the peer is idle
-/// so callers can poll a shutdown flag between requests.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+/// Reads one request head. With a read timeout set on the underlying
+/// socket, returns [`ReadError::TimedOut`] when the peer is idle *before
+/// the first byte* so callers can poll a shutdown flag between requests; a
+/// timeout after partial data is fatal for the connection. `deadline`
+/// bounds the total wall time the head may take once its first byte has
+/// arrived.
+pub fn read_head(reader: &mut BufReader<TcpStream>, deadline: Instant) -> Result<Head, ReadError> {
     let mut line = String::new();
     let mut head_bytes = 0usize;
-    let n = match read_line_capped(reader, &mut line, &mut head_bytes) {
+    let n = match read_line_capped(reader, &mut line, &mut head_bytes, deadline) {
         Ok(n) => n,
         // A timeout before any byte of the request line is an idle
         // keep-alive connection — retryable. A timeout after partial data
@@ -97,11 +141,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         )),
         other => other,
     };
-    let mut content_length = 0usize;
+    let mut framing = BodyFraming::None;
     let mut keep_alive = http11; // HTTP/1.1 defaults to persistent.
+    let mut expect_continue = false;
     loop {
         line.clear();
-        read_line_capped(reader, &mut line, &mut head_bytes).map_err(&fatal_timeout)?;
+        read_line_capped(reader, &mut line, &mut head_bytes, deadline).map_err(&fatal_timeout)?;
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             break;
@@ -111,9 +156,25 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            // Ambiguous framing is a request-smuggling vector (the peer
+            // and any intermediary may disagree on where the body ends),
+            // so chunked + Content-Length and repeated Content-Length are
+            // rejected outright rather than resolved.
+            match framing {
+                BodyFraming::Chunked => {
+                    return Err(ReadError::Bad(
+                        "both transfer-encoding and content-length present".into(),
+                    ))
+                }
+                BodyFraming::Length(_) => {
+                    return Err(ReadError::Bad("duplicate content-length header".into()))
+                }
+                BodyFraming::None => {}
+            }
+            let n: usize = value
                 .parse()
                 .map_err(|_| ReadError::Bad(format!("bad content-length: {value}")))?;
+            framing = BodyFraming::Length(n);
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
@@ -121,27 +182,263 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
                 keep_alive = true;
             }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(ReadError::Bad("transfer-encoding is not supported".into()));
+            if !value.eq_ignore_ascii_case("chunked") {
+                return Err(ReadError::Bad(format!("unsupported transfer-encoding: {value}")));
+            }
+            if matches!(framing, BodyFraming::Length(_)) {
+                return Err(ReadError::Bad(
+                    "both transfer-encoding and content-length present".into(),
+                ));
+            }
+            framing = BodyFraming::Chunked;
+        } else if name.eq_ignore_ascii_case("expect") {
+            if !value.eq_ignore_ascii_case("100-continue") {
+                return Err(ReadError::Bad(format!("unsupported expectation: {value}")));
+            }
+            expect_continue = true;
+        }
+    }
+    Ok(Head { method, path, query, keep_alive, expect_continue, framing })
+}
+
+/// Reads one full request (head + buffered body) — the convenience form
+/// used by tests and simple callers. Does **not** send `100 Continue`; the
+/// daemon handles that itself because it needs the write half.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let head = read_head(reader, deadline)?;
+    let body = read_body(reader, head.framing, deadline)?;
+    Ok(Request {
+        method: head.method,
+        path: head.path,
+        query: head.query,
+        body,
+        keep_alive: head.keep_alive,
+    })
+}
+
+/// Buffers a whole request body under [`MAX_BODY_BYTES`]. Mid-body
+/// timeouts are fatal (the connection is out of sync); `deadline` bounds
+/// total wall time.
+pub fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    framing: BodyFraming,
+    deadline: Instant,
+) -> Result<Vec<u8>, ReadError> {
+    if let BodyFraming::Length(n) = framing {
+        // Reject a declared-oversized body before buffering any of it.
+        if n > MAX_BODY_BYTES {
+            return Err(ReadError::TooLarge(format!("body of {n} bytes exceeds limit")));
+        }
+    }
+    let mut body = Vec::new();
+    let mut r = BodyReader::new(framing);
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match r.read_some(reader, &mut buf) {
+            Ok(0) => return Ok(body),
+            Ok(n) => {
+                if body.len() + n > MAX_BODY_BYTES {
+                    return Err(ReadError::TooLarge("body exceeds limit".into()));
+                }
+                body.extend_from_slice(&buf[..n]);
+                if Instant::now() > deadline {
+                    return Err(ReadError::TooSlow);
+                }
+            }
+            Err(ReadError::TimedOut) => {
+                return Err(ReadError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "timed out mid-body",
+                )))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Incremental request-body reader: decodes `Content-Length` or chunked
+/// framing one slice at a time, preserving its state across socket read
+/// timeouts so a caller can interleave other work (the streaming endpoint
+/// polls annotation results between reads). `Ok(0)` means the body is
+/// complete; [`ReadError::TimedOut`] is always retryable here.
+#[derive(Debug)]
+pub struct BodyReader {
+    framing: BodyFraming,
+    /// Bytes left in the current content-length body or chunk payload.
+    remaining: usize,
+    /// Chunked state machine position.
+    state: ChunkState,
+    /// Partial chunk-header line carried across timeouts.
+    partial: Vec<u8>,
+    /// Total body bytes produced so far.
+    produced: usize,
+    /// Cap on `produced` (→ 413), or `None` for endpoints that consume the
+    /// body incrementally and bound their memory another way (the
+    /// streaming endpoint caps per-document size and read-ahead instead —
+    /// a stream's *total* length is legitimately unbounded).
+    total_cap: Option<usize>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ChunkState {
+    /// Expecting a `<hex-size>\r\n` line.
+    Size,
+    /// Mid-payload (`remaining` bytes left, then a CRLF).
+    Data,
+    /// Expecting the CRLF that terminates a chunk payload.
+    DataEnd,
+    /// Expecting trailer lines after the `0` chunk (ended by a blank line).
+    Trailer,
+    /// Body fully consumed.
+    Done,
+}
+
+impl BodyReader {
+    /// A reader at the start of a body framed as `framing`, capped at
+    /// [`MAX_BODY_BYTES`] total (the right default for buffered bodies).
+    pub fn new(framing: BodyFraming) -> BodyReader {
+        Self::with_cap(framing, Some(MAX_BODY_BYTES))
+    }
+
+    /// A reader without the total-size cap, for callers that consume the
+    /// body incrementally and bound memory themselves.
+    pub fn unbounded(framing: BodyFraming) -> BodyReader {
+        Self::with_cap(framing, None)
+    }
+
+    fn with_cap(framing: BodyFraming, total_cap: Option<usize>) -> BodyReader {
+        let (remaining, state) = match framing {
+            BodyFraming::None => (0, ChunkState::Done),
+            BodyFraming::Length(n) => (n, if n == 0 { ChunkState::Done } else { ChunkState::Data }),
+            BodyFraming::Chunked => (0, ChunkState::Size),
+        };
+        BodyReader { framing, remaining, state, partial: Vec::new(), produced: 0, total_cap }
+    }
+
+    /// True once the body has been fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.state == ChunkState::Done
+    }
+
+    /// Reads some body bytes into `buf`. Returns `Ok(0)` when the body is
+    /// complete. [`ReadError::TimedOut`] leaves the reader in a resumable
+    /// state (call again later); other errors are fatal.
+    pub fn read_some(
+        &mut self,
+        reader: &mut BufReader<TcpStream>,
+        buf: &mut [u8],
+    ) -> Result<usize, ReadError> {
+        loop {
+            match self.state {
+                ChunkState::Done => return Ok(0),
+                ChunkState::Data => {
+                    let want = self.remaining.min(buf.len());
+                    let n = match reader.read(&mut buf[..want]) {
+                        Ok(0) => return Err(ReadError::Eof),
+                        Ok(n) => n,
+                        Err(e) => return Err(io_err(e)),
+                    };
+                    self.remaining -= n;
+                    self.produced += n;
+                    if self.total_cap.is_some_and(|cap| self.produced > cap) {
+                        return Err(ReadError::TooLarge("body exceeds limit".into()));
+                    }
+                    if self.remaining == 0 {
+                        self.state = match self.framing {
+                            BodyFraming::Length(_) => ChunkState::Done,
+                            BodyFraming::Chunked => ChunkState::DataEnd,
+                            BodyFraming::None => unreachable!("no-body framing has no data"),
+                        };
+                    }
+                    return Ok(n);
+                }
+                ChunkState::Size => {
+                    let Some(line) = self.try_line(reader)? else { continue };
+                    let hex = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(hex, 16)
+                        .map_err(|_| ReadError::Bad(format!("bad chunk size: {hex:?}")))?;
+                    if size == 0 {
+                        self.state = ChunkState::Trailer;
+                    } else {
+                        if self.total_cap.is_some_and(|cap| self.produced + size > cap) {
+                            return Err(ReadError::TooLarge("chunked body exceeds limit".into()));
+                        }
+                        self.remaining = size;
+                        self.state = ChunkState::Data;
+                    }
+                }
+                ChunkState::DataEnd => {
+                    let Some(line) = self.try_line(reader)? else { continue };
+                    if !line.is_empty() {
+                        return Err(ReadError::Bad("missing CRLF after chunk data".into()));
+                    }
+                    self.state = ChunkState::Size;
+                }
+                ChunkState::Trailer => {
+                    let Some(line) = self.try_line(reader)? else { continue };
+                    if line.is_empty() {
+                        self.state = ChunkState::Done;
+                        return Ok(0);
+                    }
+                    // Trailer fields are read and discarded.
+                }
+            }
         }
     }
 
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::Bad(format!("body of {content_length} bytes exceeds limit")));
+    /// Reads one CRLF-terminated framing line, accumulating partial bytes
+    /// across timeouts. `Ok(None)` never happens (loops internally until a
+    /// full line, timeout, or error) — it returns `Some(line)` without the
+    /// terminator.
+    fn try_line(&mut self, reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ReadError> {
+        loop {
+            let (used, done) = {
+                let chunk = match reader.fill_buf() {
+                    Ok(b) => b,
+                    Err(e) => return Err(io_err(e)),
+                };
+                if chunk.is_empty() {
+                    return Err(ReadError::Eof);
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        self.partial.extend_from_slice(&chunk[..=pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        self.partial.extend_from_slice(chunk);
+                        (chunk.len(), false)
+                    }
+                }
+            };
+            reader.consume(used);
+            if self.partial.len() > 256 {
+                return Err(ReadError::Bad("chunk framing line too long".into()));
+            }
+            if done {
+                let line = std::str::from_utf8(&self.partial)
+                    .map_err(|_| ReadError::Bad("chunk framing is not valid UTF-8".into()))?
+                    .trim_end()
+                    .to_string();
+                self.partial.clear();
+                return Ok(Some(line));
+            }
+        }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| fatal_timeout(io_err(e)))?;
-    Ok(Request { method, path, query, body, keep_alive })
 }
 
 /// `read_line` with the head cap enforced *incrementally*: a peer that
 /// streams an endless header line without `\n` is cut off at
 /// [`MAX_HEAD_BYTES`] instead of buffering unbounded memory. On timeout,
 /// bytes consumed so far are preserved in `line` so the caller can tell an
-/// idle connection (empty) from a stalled mid-request one.
+/// idle connection (empty) from a stalled mid-request one. `deadline`
+/// bounds total wall time across reads.
 fn read_line_capped(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
     head_bytes: &mut usize,
+    deadline: Instant,
 ) -> Result<usize, ReadError> {
     let mut bytes: Vec<u8> = Vec::new();
     let total = loop {
@@ -170,7 +467,10 @@ fn read_line_capped(
         reader.consume(used);
         *head_bytes += used;
         if *head_bytes > MAX_HEAD_BYTES {
-            return Err(ReadError::Bad("request head too large".into()));
+            return Err(ReadError::TooLarge("request head too large".into()));
+        }
+        if Instant::now() > deadline {
+            return Err(ReadError::TooSlow);
         }
         if done {
             break bytes.len();
@@ -217,11 +517,59 @@ pub fn write_error(
     write_response(stream, status, reason, "application/json", &body, keep_alive)
 }
 
+/// Sends the `100 Continue` interim response an `Expect: 100-continue`
+/// client waits for before transmitting its body.
+pub fn write_continue(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Starts a chunked (streaming) response: status line + headers, no body
+/// yet. Follow with [`write_chunk`] calls and one [`write_last_chunk`].
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ntransfer-encoding: \
+         chunked\r\nconnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one response chunk (no-op for empty data, which would terminate
+/// the stream early).
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (`0\r\n\r\n`).
+pub fn write_last_chunk(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 /// A very small blocking HTTP client — shared by the `serve_load` bench and
 /// the integration tests so they exercise the daemon over real sockets.
+/// One persistent connection; [`Client::request`] for plain
+/// request/response, the `stream_*` family for chunked uploads with
+/// incrementally read chunked responses.
 pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Dechunking state for an in-flight streaming response.
+    resp_chunk_left: usize,
+    resp_done: bool,
+    resp_buf: Vec<u8>,
 }
 
 /// A decoded client-side response.
@@ -240,46 +588,173 @@ impl Client {
         stream.set_read_timeout(timeout)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+        Ok(Client { stream, reader, resp_chunk_left: 0, resp_done: true, resp_buf: Vec::new() })
     }
 
     /// Issues one request on the persistent connection and reads the full
     /// response.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: keep-alive\r\n\
+             content-length: {}\r\n\r\n",
             body.len()
         );
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;
 
-        let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        let status: u16 = line
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
-        let mut content_length = 0usize;
-        loop {
-            line.clear();
-            let n = self.reader.read_line(&mut line)?;
-            if n == 0 {
-                return Err(std::io::Error::other("connection closed mid-headers"));
-            }
-            let t = line.trim_end();
-            if t.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = t.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().unwrap_or(0);
-                }
-            }
-        }
+        let (status, content_length, _chunked) = self.read_response_head()?;
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         Ok(Response { status, body })
+    }
+
+    fn read_response_head(&mut self) -> std::io::Result<(u16, usize, bool)> {
+        let mut line = String::new();
+        // Skip interim 1xx responses (100 Continue) transparently.
+        let status = loop {
+            line.clear();
+            self.reader.read_line(&mut line)?;
+            let status: u16 = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
+            let interim = (100..200).contains(&status);
+            // Headers (1xx interim responses have none of interest).
+            let mut content_length = 0usize;
+            let mut chunked = false;
+            loop {
+                line.clear();
+                let n = self.reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(std::io::Error::other("connection closed mid-headers"));
+                }
+                let t = line.trim_end();
+                if t.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = t.split_once(':') {
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    } else if name.eq_ignore_ascii_case("transfer-encoding")
+                        && value.trim().eq_ignore_ascii_case("chunked")
+                    {
+                        chunked = true;
+                    }
+                }
+            }
+            if !interim {
+                break (status, content_length, chunked);
+            }
+        };
+        Ok(status)
+    }
+
+    /// Opens a chunked-upload request (e.g. to `/annotate_stream`). Send
+    /// body pieces with [`Client::stream_send`], end the upload with
+    /// [`Client::stream_finish`], and read results with
+    /// [`Client::stream_status`] / [`Client::stream_next_line`] — reading
+    /// may be interleaved with sending to observe true streaming.
+    pub fn stream_open(&mut self, path: &str) -> std::io::Result<()> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nhost: localhost\r\ntransfer-encoding: chunked\r\n\r\n"
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.flush()?;
+        self.resp_chunk_left = 0;
+        self.resp_done = false;
+        self.resp_buf.clear();
+        Ok(())
+    }
+
+    /// Sends one request-body chunk.
+    pub fn stream_send(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked upload.
+    pub fn stream_finish(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Reads the streaming response's status line + headers (call once,
+    /// any time after [`Client::stream_open`]).
+    pub fn stream_status(&mut self) -> std::io::Result<u16> {
+        let (status, _, chunked) = self.read_response_head()?;
+        if !chunked {
+            self.resp_done = true;
+        }
+        Ok(status)
+    }
+
+    /// Returns the next newline-terminated line of the dechunked response
+    /// body (with its `\n`), or `None` once the final chunk has been read.
+    /// Call after [`Client::stream_status`].
+    pub fn stream_next_line(&mut self) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.resp_buf.iter().position(|&b| b == b'\n') {
+                let rest = self.resp_buf.split_off(pos + 1);
+                let line = std::mem::replace(&mut self.resp_buf, rest);
+                let line = String::from_utf8(line)
+                    .map_err(|_| std::io::Error::other("response is not valid UTF-8"))?;
+                return Ok(Some(line));
+            }
+            if self.resp_done {
+                if self.resp_buf.is_empty() {
+                    return Ok(None);
+                }
+                let line = String::from_utf8(std::mem::take(&mut self.resp_buf))
+                    .map_err(|_| std::io::Error::other("response is not valid UTF-8"))?;
+                return Ok(Some(line));
+            }
+            if self.resp_chunk_left == 0 {
+                let mut line = String::new();
+                self.reader.read_line(&mut line)?;
+                let hex = line.trim();
+                let size = usize::from_str_radix(hex, 16).map_err(|_| {
+                    std::io::Error::other(format!("bad response chunk size: {hex:?}"))
+                })?;
+                if size == 0 {
+                    // Trailer: consume through the blank line.
+                    loop {
+                        line.clear();
+                        self.reader.read_line(&mut line)?;
+                        if line.trim_end().is_empty() {
+                            break;
+                        }
+                    }
+                    self.resp_done = true;
+                    continue;
+                }
+                self.resp_chunk_left = size;
+            }
+            let mut buf = vec![0u8; self.resp_chunk_left];
+            self.reader.read_exact(&mut buf)?;
+            self.resp_buf.extend_from_slice(&buf);
+            self.resp_chunk_left = 0;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(std::io::Error::other("missing CRLF after response chunk"));
+            }
+        }
+    }
+
+    /// Drains a whole streaming response: status plus every dechunked line.
+    pub fn stream_collect(&mut self) -> std::io::Result<(u16, Vec<String>)> {
+        let status = self.stream_status()?;
+        let mut lines = Vec::new();
+        while let Some(line) = self.stream_next_line()? {
+            lines.push(line);
+        }
+        Ok((status, lines))
     }
 }

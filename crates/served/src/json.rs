@@ -84,6 +84,132 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Encodes this value back to compact JSON text. Numbers use Rust's
+    /// shortest-round-trip `Display`, so `parse(encode(v)) == v` and
+    /// `encode(parse(s))` is a canonical form that is byte-stable under
+    /// further round trips (the property the daemon's byte-identity
+    /// contract rests on).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                write!(out, "{n}").expect("write to String");
+            }
+            Json::Str(s) => push_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_escaped(out, k);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Splits a byte stream into complete top-level JSON objects, fed
+/// incrementally in arbitrarily small pieces (the `/annotate_stream` body
+/// arrives in whatever chunks the client sent). Purely structural: it
+/// tracks brace/bracket depth and string/escape state, leaving validation
+/// of each completed document to [`Json::parse`]. Documents may be
+/// separated by any amount of whitespace (newline-delimited JSON works).
+#[derive(Debug)]
+pub struct StreamSplitter {
+    buf: Vec<u8>,
+    depth: usize,
+    in_str: bool,
+    escaped: bool,
+    max_doc: usize,
+}
+
+impl StreamSplitter {
+    /// A splitter rejecting any single document larger than `max_doc`
+    /// bytes.
+    pub fn new(max_doc: usize) -> StreamSplitter {
+        StreamSplitter { buf: Vec::new(), depth: 0, in_str: false, escaped: false, max_doc }
+    }
+
+    /// Feeds more bytes; returns every document completed by them, in
+    /// order. Errors (non-object top level, oversized document, invalid
+    /// UTF-8) are fatal for the stream.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        for &b in bytes {
+            if self.depth == 0 {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                if b != b'{' {
+                    return Err(format!(
+                        "stream elements must be JSON objects (got {:?})",
+                        b as char
+                    ));
+                }
+                self.buf.push(b);
+                self.depth = 1;
+                continue;
+            }
+            self.buf.push(b);
+            if self.buf.len() > self.max_doc {
+                return Err(format!("stream element exceeds {} bytes", self.max_doc));
+            }
+            if self.in_str {
+                if self.escaped {
+                    self.escaped = false;
+                } else if b == b'\\' {
+                    self.escaped = true;
+                } else if b == b'"' {
+                    self.in_str = false;
+                }
+            } else {
+                match b {
+                    b'"' => self.in_str = true,
+                    b'{' | b'[' => self.depth += 1,
+                    b'}' | b']' => {
+                        // Mismatched closers (e.g. `{]`) still balance here;
+                        // Json::parse rejects the completed document.
+                        self.depth -= 1;
+                        if self.depth == 0 {
+                            let doc = String::from_utf8(std::mem::take(&mut self.buf))
+                                .map_err(|_| "stream element is not valid UTF-8".to_string())?;
+                            out.push(doc);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True when bytes of an unfinished document are pending — EOF in this
+    /// state means the stream was truncated.
+    pub fn mid_document(&self) -> bool {
+        self.depth > 0
+    }
 }
 
 struct Parser<'a> {
@@ -572,6 +698,158 @@ mod tests {
         assert!(wrapped);
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[1].n_cols(), 2);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A finite random double drawn from raw bit patterns, so the whole
+    /// representable range (subnormals, extremes, negative zero) stresses
+    /// the shortest-round-trip formatter — not just [0, 1) uniforms.
+    fn arb_finite_f64(rng: &mut StdRng) -> f64 {
+        loop {
+            let v = f64::from_bits(rng.gen::<u64>());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+
+    fn arb_string(rng: &mut StdRng) -> String {
+        let len = rng.gen_range(0..12usize);
+        (0..len)
+            .map(|_| match rng.gen_range(0..6u32) {
+                0 => char::from(rng.gen_range(0x20u8..0x7f)), // printable ASCII
+                1 => ['"', '\\', '/', '\n', '\r', '\t'][rng.gen_range(0..6usize)],
+                2 => char::from(rng.gen_range(0u8..0x20)), // control chars
+                3 => '☃',
+                4 => '𝄞', // astral plane: needs a surrogate pair in \u form
+                _ => char::from(rng.gen_range(b'a'..b'z' + 1)),
+            })
+            .collect()
+    }
+
+    fn arb_json(rng: &mut StdRng, depth: usize) -> Json {
+        let top = if depth == 0 { 4 } else { 6 };
+        match rng.gen_range(0..top) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen::<bool>()),
+            2 => Json::Num(match rng.gen_range(0..3u32) {
+                0 => rng.gen_range(-1000i64..1000) as f64,
+                1 => rng.gen::<f64>(),
+                _ => arb_finite_f64(rng),
+            }),
+            3 => Json::Str(arb_string(rng)),
+            4 => {
+                Json::Arr((0..rng.gen_range(0..4usize)).map(|_| arb_json(rng, depth - 1)).collect())
+            }
+            _ => Json::Obj(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| (arb_string(rng), arb_json(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Property: `parse(encode(v)) == v` for arbitrary value trees, and the
+    /// encoding is byte-stable under a second round trip — the foundation
+    /// of the daemon's byte-identity contract.
+    #[test]
+    fn prop_round_trip_is_identity_and_byte_stable() {
+        let mut rng = StdRng::seed_from_u64(0xD0D0);
+        for case in 0..256 {
+            let v = arb_json(&mut rng, 3);
+            let enc = v.encode();
+            let back = Json::parse(&enc).unwrap_or_else(|e| panic!("case {case}: {e}\n{enc}"));
+            assert_eq!(back, v, "case {case}: round trip changed the value\n{enc}");
+            assert_eq!(back.encode(), enc, "case {case}: re-encoding changed bytes\n{enc}");
+        }
+    }
+
+    /// Property: shortest-round-trip float formatting is bit-faithful for
+    /// arbitrary finite doubles (not just friendly ones).
+    #[test]
+    fn prop_float_format_round_trips_bits() {
+        let mut rng = StdRng::seed_from_u64(0xF10A7);
+        for _ in 0..512 {
+            let x = arb_finite_f64(&mut rng);
+            let s = format!("{x}");
+            let y: f64 = s.parse().expect("formatted float parses");
+            assert_eq!(x.to_bits(), y.to_bits(), "{x:?} -> {s} -> {y:?}");
+        }
+    }
+
+    /// Property: every strict prefix of a well-formed top-level object
+    /// document is rejected with an error — never accepted, never a panic.
+    /// (Truncation mid-stream must surface as a clean 400/stream error.)
+    #[test]
+    fn prop_truncated_documents_error_at_every_prefix() {
+        let mut rng = StdRng::seed_from_u64(0x7245);
+        for case in 0..64 {
+            // Top-level object: strict prefixes cannot themselves be
+            // complete documents (unbalanced brace).
+            let v = Json::Obj(
+                (0..rng.gen_range(1..4usize))
+                    .map(|_| (arb_string(&mut rng), arb_json(&mut rng, 2)))
+                    .collect(),
+            );
+            let enc = v.encode();
+            for (i, _) in enc.char_indices() {
+                assert!(
+                    Json::parse(&enc[..i]).is_err(),
+                    "case {case}: prefix of {i} bytes of {enc:?} parsed"
+                );
+            }
+            assert!(Json::parse(&enc).is_ok(), "case {case}: full document parses");
+        }
+    }
+
+    #[test]
+    fn stream_splitter_handles_arbitrary_chunking() {
+        let mut rng = StdRng::seed_from_u64(0x57EA);
+        for case in 0..64 {
+            // A stream of 1–5 random top-level objects with random
+            // whitespace between, pushed in random-size pieces.
+            let n = rng.gen_range(1..6usize);
+            let docs: Vec<String> = (0..n)
+                .map(|_| {
+                    Json::Obj(
+                        (0..rng.gen_range(0..3usize))
+                            .map(|_| (arb_string(&mut rng), arb_json(&mut rng, 2)))
+                            .collect(),
+                    )
+                    .encode()
+                })
+                .collect();
+            let mut wire = String::new();
+            for d in &docs {
+                wire.push_str(d);
+                wire.push_str([" ", "\n", "\r\n", "\t"][rng.gen_range(0..4usize)]);
+            }
+            let mut splitter = StreamSplitter::new(1 << 20);
+            let mut got: Vec<String> = Vec::new();
+            let bytes = wire.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                let step = rng.gen_range(1..8usize).min(bytes.len() - i);
+                got.extend(splitter.push(&bytes[i..i + step]).expect("split ok"));
+                i += step;
+            }
+            assert!(!splitter.mid_document(), "case {case}: stream ended cleanly");
+            assert_eq!(got, docs, "case {case}: split documents match");
+        }
+    }
+
+    #[test]
+    fn stream_splitter_rejects_garbage_and_oversize() {
+        let mut s = StreamSplitter::new(1 << 20);
+        assert!(s.push(b"[1, 2]").is_err(), "top-level arrays are not tables");
+        let mut s = StreamSplitter::new(16);
+        assert!(s.push(b"{\"k\": \"0123456789abcdef...\"}").is_err(), "oversized doc");
+        // Braces inside strings never affect depth.
+        let mut s = StreamSplitter::new(1 << 20);
+        let docs = s.push(b"{\"k\": \"}}{{\"} {\"j\": 1}").expect("split ok");
+        assert_eq!(docs, vec!["{\"k\": \"}}{{\"}".to_string(), "{\"j\": 1}".to_string()]);
     }
 
     #[test]

@@ -16,22 +16,30 @@
 //! shortest-round-trip float formatting, so "bit-identical" is observable
 //! as *byte*-identical response bodies.
 //!
+//! Connections are served by a **fixed worker pool**: W workers multiplex
+//! any number of HTTP/1.1 keep-alive connections by probing parked sockets
+//! for readiness and requeueing idle ones, so fan-in no longer costs one
+//! thread per client. `POST /annotate_stream` adds a streaming multi-table
+//! mode — a chunked upload of table objects answered by a chunked NDJSON
+//! stream of per-table results, each emitted as its micro-batch flushes
+//! and each byte-identical to the single-table `/annotate` response.
+//!
 //! Everything is hand-rolled on `std` (TCP, HTTP, JSON, threads): the
 //! workspace is offline-only by policy, and the daemon inherits that.
 //!
 //! * [`json`] — JSON value parser + the wire codecs (tables in,
-//!   annotations out).
-//! * [`http`] — minimal HTTP/1.1 request/response plus a tiny blocking
-//!   client for tests and load benches.
+//!   annotations out) + the incremental stream splitter.
+//! * [`http`] — minimal HTTP/1.1 request/response with chunked framing,
+//!   plus a tiny blocking client for tests and load benches.
 //! * [`queue`] — the deterministic batching core and its `Condvar` wrapper.
 //! * [`stats`] — latency percentiles and aggregate counters (`/stats`).
-//! * [`server`] — accept loop, connection handlers, dispatcher, graceful
+//! * [`server`] — accept loop, worker pool, dispatcher, streaming, graceful
 //!   shutdown.
 //! * [`bootstrap`] — the deterministic synthetic serving world shared by
 //!   the daemon's `--synthetic` mode, the `serve_load` bench, and CI.
 //!
-//! Endpoints: `POST /annotate`, `GET /healthz`, `GET /stats`,
-//! `POST /shutdown`.
+//! Endpoints: `POST /annotate`, `POST /annotate_stream`, `GET /healthz`,
+//! `GET /stats`, `POST /shutdown`.
 #![warn(missing_docs)]
 
 pub mod bootstrap;

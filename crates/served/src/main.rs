@@ -29,6 +29,8 @@ struct Args {
     max_batch_tokens: usize,
     max_delay_ms: u64,
     threads: usize,
+    workers: usize,
+    keep_alive: bool,
 }
 
 fn usage() -> ! {
@@ -47,6 +49,9 @@ fn usage() -> ! {
            --max-batch-tokens N    flush at N pending tokens (default 192)\n\
            --max-delay-ms T        flush when the oldest request waited T ms (default 2)\n\
            --threads K             engine worker threads (default: all cores)\n\
+           --workers W             connection-pool workers; 0 = one thread per\n\
+                                   connection (default 16)\n\
+           --keep-alive on|off     honor HTTP keep-alive (default on)\n\
          \n\
          other:\n\
            --oneshot FILE          annotate request FILE offline, print the exact\n\
@@ -67,6 +72,8 @@ fn parse_args() -> Args {
         max_batch_tokens: 192,
         max_delay_ms: 2,
         threads: doduo_tensor::default_threads(),
+        workers: ServeConfig::default().workers,
+        keep_alive: true,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -98,6 +105,14 @@ fn parse_args() -> Args {
                 args.max_delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--keep-alive" => {
+                args.keep_alive = match value(&mut i).as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -175,6 +190,8 @@ fn main() {
             threads: args.threads.max(1),
             ..BatchConfig::default()
         },
+        workers: args.workers,
+        keep_alive: args.keep_alive,
         ..ServeConfig::default()
     };
     let server = Server::bind(cfg).unwrap_or_else(|e| {
@@ -182,12 +199,19 @@ fn main() {
         std::process::exit(1)
     });
     eprintln!(
-        "[served] listening on {} (flush at {} seqs / {} tokens / {} ms; {} engine threads)",
+        "[served] listening on {} (flush at {} seqs / {} tokens / {} ms; {} engine threads; \
+         {}; keep-alive {})",
         server.addr(),
         args.max_batch_seqs,
         args.max_batch_tokens,
         args.max_delay_ms,
         args.threads.max(1),
+        if args.workers == 0 {
+            "thread-per-connection".to_string()
+        } else {
+            format!("{} pool workers", args.workers)
+        },
+        if args.keep_alive { "on" } else { "off" },
     );
     server.run(&bundle);
     eprintln!("[served] shut down cleanly");

@@ -193,8 +193,10 @@ impl<T> SharedBatcher<T> {
         }
     }
 
-    /// Enqueues a job and wakes the dispatcher.
-    pub fn push(&self, payload: T, seqs: usize, tokens: usize) -> Result<(), PushRejected> {
+    /// Enqueues a job and wakes the dispatcher. A rejected push hands the
+    /// payload back so callers under backpressure can retry it without
+    /// rebuilding (or cloning) the job.
+    pub fn push(&self, payload: T, seqs: usize, tokens: usize) -> Result<(), (PushRejected, T)> {
         let mut guard = self.inner.lock().expect("queue lock");
         // Checked under the queue lock: `close()` happens strictly before
         // the dispatcher can observe shutdown (which it also reads under
@@ -202,15 +204,17 @@ impl<T> SharedBatcher<T> {
         // be seen by the dispatcher's final drain — no job can be queued
         // after the last drain and left unanswered.
         if self.closed.load(std::sync::atomic::Ordering::SeqCst) {
-            return Err(PushRejected::Closed);
+            return Err((PushRejected::Closed, payload));
         }
         let r = guard.push(payload, seqs, tokens, Instant::now());
         drop(guard);
-        if r.is_err() {
-            return Err(PushRejected::Full);
+        match r {
+            Ok(()) => {
+                self.wake.notify_one();
+                Ok(())
+            }
+            Err(payload) => Err((PushRejected::Full, payload)),
         }
-        self.wake.notify_one();
-        Ok(())
     }
 
     /// Closes the queue: subsequent pushes are rejected with

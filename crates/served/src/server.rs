@@ -1,44 +1,80 @@
-//! The daemon: a `TcpListener` accept loop, one handler thread per
-//! connection, and a single dispatcher thread that drains the batching
-//! queue into the batched annotation engine.
+//! The daemon: an accept loop, a fixed pool of connection workers
+//! multiplexing keep-alive connections, and a single dispatcher thread that
+//! drains the batching queue into the batched annotation engine.
 //!
-//! ## Thread topology
+//! ## Thread topology (worker pool, the default)
 //!
 //! ```text
 //! accept loop (caller's thread, non-blocking poll)
-//!   ├── conn handler × N   parse HTTP → decode tables → serialize (cache)
-//!   │                      → push job → block on response channel
-//!   └── dispatcher × 1     wait for budget/deadline → annotate_groups
-//!                          (fans micro-batches across engine threads)
-//!                          → send annotations back per job
+//!   │    admit / 503 → push socket into the connection queue
+//!   ├── connection worker × W   pop a connection, check readiness
+//!   │        (buffered bytes or a non-blocking peek); idle → requeue,
+//!   │        ready → parse HTTP → decode tables → serialize (cache)
+//!   │        → push job → block on reply channel → write → requeue
+//!   └── dispatcher × 1          wait for budget/deadline → flatten jobs
+//!            → annotate_groups_each (fans micro-batches across engine
+//!              threads) → route each table's annotation back as its
+//!              micro-batch completes (streams get per-table sends)
 //! ```
 //!
-//! Handlers do the per-request work (parsing, tokenization through the
+//! The pool bounds thread count at high fan-in: W workers serve any number
+//! of keep-alive connections by *requeueing idle ones* — a worker peeks a
+//! popped connection without blocking and only commits to a blocking
+//! request parse when bytes are already waiting. `workers: 0` selects the
+//! pre-pool thread-per-connection topology (kept for A/B benchmarking in
+//! `serve_load`).
+//!
+//! Workers do the per-request work (parsing, tokenization through the
 //! LRU cache) so the dispatcher's serial section is just the packed forward
 //! passes. All threads are scoped: [`Server::run`] returns only after every
-//! handler and the dispatcher have exited, so shutdown is a real barrier —
+//! worker and the dispatcher have exited, so shutdown is a real barrier —
 //! in-flight requests get answers, queued jobs get drained, and the process
 //! can exit 0.
+//!
+//! ## Streaming
+//!
+//! `POST /annotate_stream` reads a chunked (or length-framed) body carrying
+//! a whitespace-separated sequence of table JSON objects and writes back a
+//! chunked NDJSON response: one annotation object per table, in input
+//! order, each emitted as soon as its micro-batch flushes. Every result
+//! line is byte-identical to the single-table `/annotate` (and offline
+//! `--oneshot`) body for the same table. The handling worker multiplexes
+//! reading, queue pushes (with backpressure), and result writes on one
+//! thread using short read timeouts.
 //!
 //! ## Shutdown
 //!
 //! `POST /shutdown` (or [`ServerHandle::shutdown`]) sets one atomic flag.
-//! The accept loop stops accepting; handlers notice at their next read
-//! timeout (or after the in-flight response) and close; the dispatcher
-//! drains what is queued, answers it, and exits.
+//! The accept loop stops accepting; workers notice at their next queue pop
+//! (or after the in-flight response) and exit; the dispatcher drains what
+//! is queued, answers it, and exits.
 
-use crate::http::{read_request, write_error, write_response, ReadError, Request};
-use crate::json::{annotations_response, tables_from_request};
+use crate::http::{
+    read_body, read_head, write_chunk, write_chunked_head, write_continue, write_error,
+    write_last_chunk, write_response, BodyFraming, BodyReader, Head, ReadError, MAX_BODY_BYTES,
+};
+use crate::json::{
+    annotation_to_json, annotations_response, table_from_json, Json, StreamSplitter,
+};
 use crate::queue::{BatchPolicy, PushRejected, SharedBatcher};
 use crate::stats::ServerStats;
 use doduo_core::{AnnotatorBundle, TableAnnotation};
 use doduo_serve::{BatchAnnotator, BatchConfig};
-use doduo_table::SerializedTable;
+use doduo_table::{SerializedTable, Table};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Close a parked keep-alive connection after this much idle time.
+const CONN_IDLE_TIMEOUT: Duration = Duration::from_secs(75);
+/// Read timeout while multiplexing a stream (low so queued results flush
+/// promptly even when the client pauses between tables).
+const STREAM_POLL: Duration = Duration::from_millis(20);
+/// Parsed-but-not-yet-queued tables a stream may buffer (read-ahead cap).
+const STREAM_WINDOW: usize = 64;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -49,11 +85,26 @@ pub struct ServeConfig {
     pub policy: BatchPolicy,
     /// Engine knobs (micro-batch cuts, worker threads, tokenization cache).
     pub engine: BatchConfig,
-    /// Socket read timeout; also the granularity at which idle handler
-    /// threads notice shutdown.
+    /// Socket read timeout; also the granularity at which idle
+    /// thread-per-connection handlers notice shutdown.
     pub read_timeout: Duration,
     /// Maximum concurrent connections; beyond it new ones get 503+close.
     pub max_connections: usize,
+    /// Connection worker threads. `0` selects the legacy
+    /// thread-per-connection topology (one scoped thread per accepted
+    /// socket) instead of the pool.
+    pub workers: usize,
+    /// Whether to honor HTTP keep-alive. `false` forces `connection:
+    /// close` after every response — the pre-keep-alive behavior, kept as
+    /// a benchmark baseline.
+    pub keep_alive: bool,
+    /// Wall-clock bound on reading one request (head + body) once its
+    /// first byte has arrived; a slower client gets 408 and is closed so
+    /// it cannot pin a worker.
+    pub request_deadline: Duration,
+    /// Abort an `/annotate_stream` connection after this long without
+    /// input progress or pending results.
+    pub stream_idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -63,24 +114,157 @@ impl Default for ServeConfig {
             policy: BatchPolicy::default(),
             engine: BatchConfig::default(),
             read_timeout: Duration::from_millis(200),
-            max_connections: 256,
+            max_connections: 1024,
+            workers: 16,
+            keep_alive: true,
+            request_deadline: Duration::from_secs(10),
+            stream_idle_timeout: Duration::from_secs(30),
         }
     }
 }
 
-/// One queued annotation job: a request's serialized tables plus the
-/// channel its handler thread is blocked on.
+/// How a queued job's annotations are delivered.
+enum Reply {
+    /// One send with every table of the request, in request order
+    /// (`/annotate`).
+    Batch(mpsc::Sender<Vec<TableAnnotation>>),
+    /// One `(stream_index, annotation)` send for this job's single table,
+    /// fired as soon as its micro-batch completes (`/annotate_stream`).
+    Stream {
+        /// The table's position in its stream (for in-order emission).
+        index: usize,
+        tx: mpsc::Sender<(usize, TableAnnotation)>,
+    },
+}
+
+/// One queued annotation job: serialized tables plus the delivery route.
 struct Job {
     groups: Vec<Vec<SerializedTable>>,
-    reply: mpsc::Sender<Vec<TableAnnotation>>,
+    reply: Reply,
+}
+
+/// One pooled connection between requests.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Requests already served on this connection (keep-alive reuse).
+    requests: u64,
+    /// When the connection last finished a request (idle-timeout clock).
+    idle_since: Instant,
+}
+
+/// What a readiness probe of a parked connection found.
+enum Readiness {
+    /// Bytes are waiting (buffered or on the socket) — parse a request.
+    Ready,
+    /// No bytes; park it again.
+    Idle,
+    /// Peer closed (or the socket errored).
+    Gone,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn { stream, reader, requests: 0, idle_since: Instant::now() })
+    }
+
+    /// Non-blocking readiness probe: buffered bytes count as ready; else a
+    /// zero-timeout peek distinguishes waiting data / idle / closed.
+    fn readiness(&mut self) -> Readiness {
+        if !self.reader.buffer().is_empty() {
+            return Readiness::Ready;
+        }
+        if self.stream.set_nonblocking(true).is_err() {
+            return Readiness::Gone;
+        }
+        let mut probe = [0u8; 1];
+        let r = self.stream.peek(&mut probe);
+        if self.stream.set_nonblocking(false).is_err() {
+            return Readiness::Gone;
+        }
+        match r {
+            Ok(0) => Readiness::Gone,
+            Ok(_) => Readiness::Ready,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Readiness::Idle
+            }
+            Err(_) => Readiness::Gone,
+        }
+    }
+}
+
+/// The connection queue the accept loop feeds and workers drain.
+struct ConnQueue {
+    q: Mutex<VecDeque<Conn>>,
+    wake: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue { q: Mutex::new(VecDeque::new()), wake: Condvar::new() }
+    }
+
+    fn push(&self, conn: Conn) {
+        self.q.lock().expect("conn queue lock").push_back(conn);
+        self.wake.notify_one();
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<Conn> {
+        let mut guard = self.q.lock().expect("conn queue lock");
+        if let Some(c) = guard.pop_front() {
+            return Some(c);
+        }
+        let (mut guard, _) = self.wake.wait_timeout(guard, timeout).expect("conn queue lock");
+        guard.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.q.lock().expect("conn queue lock").len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn clear(&self) {
+        self.q.lock().expect("conn queue lock").clear();
+    }
+
+    fn notify_all(&self) {
+        self.wake.notify_all();
+    }
 }
 
 struct Shared {
     shutdown: AtomicBool,
     connections: AtomicUsize,
     queue: SharedBatcher<Job>,
+    conns: ConnQueue,
     stats: ServerStats,
     started: Instant,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Accounting for a connection leaving the daemon (any path).
+    fn end_conn(&self) {
+        self.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Close-before-flag shutdown ordering (see `ServerHandle::shutdown`).
+    fn request_shutdown(&self) {
+        self.queue.close();
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.notify();
+        self.conns.notify_all();
+    }
 }
 
 /// A clonable remote control for a running server (shutdown + stats).
@@ -95,14 +279,12 @@ impl ServerHandle {
     pub fn shutdown(&self) {
         // Order matters: close the queue *before* raising the flag the
         // dispatcher polls, so every job that was accepted is also drained.
-        self.shared.queue.close();
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.notify();
+        self.shared.request_shutdown();
     }
 
     /// True once shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
-        self.shared.shutdown.load(Ordering::SeqCst)
+        self.shared.shutting_down()
     }
 
     /// Aggregate serving counters.
@@ -128,7 +310,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             queue: SharedBatcher::new(cfg.policy.clone()),
-            stats: ServerStats::default(),
+            conns: ConnQueue::new(),
+            stats: ServerStats::with_workers(cfg.workers),
             started: Instant::now(),
         });
         Ok(Server { listener, addr, cfg, shared })
@@ -144,6 +327,47 @@ impl Server {
         ServerHandle { shared: Arc::clone(&self.shared) }
     }
 
+    /// Accepts one pending socket, applies socket options and the
+    /// connection cap, and returns it ready for serving.
+    fn admit(&self) -> Option<TcpStream> {
+        let shared = &self.shared;
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(Some(self.cfg.read_timeout)).is_err()
+                    || stream.set_write_timeout(Some(Duration::from_secs(30))).is_err()
+                    || stream.set_nodelay(true).is_err()
+                {
+                    return None;
+                }
+                if shared.connections.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                    shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = write_error(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "too many connections",
+                        false,
+                    );
+                    return None;
+                }
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                Some(stream)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+                None
+            }
+            Err(e) => {
+                eprintln!("[served] accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+                None
+            }
+        }
+    }
+
     /// Serves until shutdown. Blocks the calling thread; all worker threads
     /// are scoped inside, so when this returns the daemon is fully stopped.
     pub fn run(&self, bundle: &AnnotatorBundle) {
@@ -151,148 +375,568 @@ impl Server {
         self.listener.set_nonblocking(true).expect("nonblocking listener");
         let shared = &self.shared;
         let engine = &engine;
+        let cfg = &self.cfg;
         std::thread::scope(|scope| {
             scope.spawn(move || dispatcher_loop(shared, engine));
-            while !shared.shutdown.load(Ordering::SeqCst) {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        let cfg = &self.cfg;
-                        scope.spawn(move || handle_connection(stream, shared, engine, cfg));
+            if cfg.workers == 0 {
+                // Legacy topology: one scoped handler thread per connection.
+                while !shared.shutting_down() {
+                    if let Some(stream) = self.admit() {
+                        scope.spawn(move || {
+                            if let Ok(mut conn) = Conn::new(stream) {
+                                thread_per_conn_loop(&mut conn, shared, engine, cfg);
+                            }
+                            shared.end_conn();
+                        });
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(e) => {
-                        eprintln!("[served] accept error: {e}");
-                        std::thread::sleep(Duration::from_millis(50));
+                }
+            } else {
+                for w in 0..cfg.workers {
+                    scope.spawn(move || worker_loop(shared, engine, cfg, w));
+                }
+                while !shared.shutting_down() {
+                    if let Some(stream) = self.admit() {
+                        match Conn::new(stream) {
+                            Ok(conn) => shared.conns.push(conn),
+                            Err(_) => shared.end_conn(),
+                        }
                     }
                 }
             }
             shared.queue.notify();
+            shared.conns.notify_all();
+        });
+        // Parked connections left in the queue at shutdown are closed now,
+        // so a stopped daemon holds no sockets.
+        self.shared.conns.clear();
+    }
+}
+
+// ------------------------------------------------------------- dispatcher
+
+/// The dispatcher: waits until the queue policy releases a batch, runs the
+/// packed forward passes, and routes each table's annotation back the
+/// moment its micro-batch completes — streams get per-table sends,
+/// `/annotate` jobs get one send when their last table finishes. Exits when
+/// shutdown is set and the queue is drained.
+fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
+    let stop = || shared.shutting_down();
+    while let Some((mut jobs, reason)) = shared.queue.wait_for_batch(stop) {
+        let counts: Vec<usize> = jobs.iter().map(|j| j.groups.len()).collect();
+        // Move (not clone) the serialized groups out of the jobs; record
+        // which (job, slot) each flattened group routes back to.
+        let mut flat: Vec<Vec<SerializedTable>> = Vec::new();
+        let mut routes: Vec<(usize, usize)> = Vec::new();
+        for (ji, job) in jobs.iter_mut().enumerate() {
+            for (li, g) in job.groups.drain(..).enumerate() {
+                routes.push((ji, li));
+                flat.push(g);
+            }
+        }
+        shared.stats.record_batch(reason, flat.len() as u64);
+
+        // Per-`Batch`-job collectors: slots filled by whichever engine
+        // thread finishes each table, one send when the count hits zero.
+        struct Collect {
+            slots: Mutex<Vec<Option<TableAnnotation>>>,
+            left: AtomicUsize,
+        }
+        let collectors: Vec<Option<Collect>> = jobs
+            .iter()
+            .zip(&counts)
+            .map(|(job, &n)| match &job.reply {
+                Reply::Batch(_) => Some(Collect {
+                    slots: Mutex::new((0..n).map(|_| None).collect()),
+                    left: AtomicUsize::new(n),
+                }),
+                Reply::Stream { .. } => None,
+            })
+            .collect();
+        let jobs = &jobs;
+        let collectors = &collectors;
+        let routes = &routes;
+        engine.annotate_groups_each(&flat, &|fi, ann| {
+            let (ji, li) = routes[fi];
+            match &jobs[ji].reply {
+                // A dead receiver means the handler gave up (client
+                // vanished); dropping its annotations is the right outcome.
+                Reply::Stream { index, tx } => {
+                    let _ = tx.send((*index, ann));
+                }
+                Reply::Batch(tx) => {
+                    let c = collectors[ji].as_ref().expect("collector exists for batch job");
+                    c.slots.lock().expect("collector lock")[li] = Some(ann);
+                    if c.left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let anns: Vec<TableAnnotation> = c
+                            .slots
+                            .lock()
+                            .expect("collector lock")
+                            .iter_mut()
+                            .map(|s| s.take().expect("slot filled"))
+                            .collect();
+                        let _ = tx.send(anns);
+                    }
+                }
+            }
         });
     }
 }
 
-/// The dispatcher: waits until the queue policy releases a batch, runs the
-/// packed forward passes, and fans annotations back to the blocked
-/// handlers. Exits when shutdown is set and the queue is drained.
-fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
-    let stop = || shared.shutdown.load(Ordering::SeqCst);
-    while let Some((mut jobs, reason)) = shared.queue.wait_for_batch(stop) {
-        let counts: Vec<usize> = jobs.iter().map(|j| j.groups.len()).collect();
-        // Move (not clone) the serialized groups out of the jobs: this is
-        // the daemon's one serial section, and it should only compute.
-        let flat: Vec<Vec<SerializedTable>> =
-            jobs.iter_mut().flat_map(|j| j.groups.drain(..)).collect();
-        shared.stats.record_batch(reason, flat.len() as u64);
-        let mut anns = engine.annotate_groups(&flat);
-        // Split back per job, front to back (annotations are in input order).
-        let mut rest = anns.drain(..);
-        for (job, n) in jobs.iter().zip(counts) {
-            let part: Vec<TableAnnotation> = rest.by_ref().take(n).collect();
-            // A dead receiver means the handler gave up (client vanished);
-            // dropping its annotations is the right outcome.
-            let _ = job.reply.send(part);
+// ---------------------------------------------------------------- workers
+
+/// One pool worker: pop a connection, probe readiness, serve one request if
+/// bytes are waiting, park it again otherwise. Backs off briefly when a
+/// scan finds nothing but idle connections so an idle daemon doesn't spin.
+fn worker_loop(shared: &Shared, engine: &BatchAnnotator<'_>, cfg: &ServeConfig, worker: usize) {
+    let mut idle_streak = 0usize;
+    while !shared.shutting_down() {
+        let Some(mut conn) = shared.conns.pop(Duration::from_millis(10)) else {
+            idle_streak = 0;
+            continue;
+        };
+        if shared.shutting_down() {
+            shared.end_conn();
+            return;
+        }
+        match conn.readiness() {
+            Readiness::Ready => {
+                idle_streak = 0;
+                // Sticky serving: while no other connection is waiting,
+                // keep this one and block on its next request directly
+                // (the read timeout bounds each wait, so a conn arriving
+                // for a fully-sticky pool is picked up within one cycle).
+                // This makes the pool behave like thread-per-connection
+                // whenever connections ≤ workers — no requeue/probe churn
+                // on the closed-loop hot path — and multiplex beyond that.
+                loop {
+                    match serve_one_request(&mut conn, shared, engine, cfg, Some(worker)) {
+                        Next::Close => {
+                            shared.end_conn();
+                            break;
+                        }
+                        Next::Served => conn.idle_since = Instant::now(),
+                        Next::Idle => {}
+                    }
+                    if shared.shutting_down() || conn.idle_since.elapsed() > CONN_IDLE_TIMEOUT {
+                        shared.end_conn();
+                        break;
+                    }
+                    if !shared.conns.is_empty() {
+                        shared.conns.push(conn);
+                        break;
+                    }
+                }
+            }
+            Readiness::Idle => {
+                if conn.idle_since.elapsed() > CONN_IDLE_TIMEOUT {
+                    shared.end_conn();
+                } else {
+                    shared.conns.push(conn);
+                    idle_streak += 1;
+                    // A full lap of idle-only connections: sleep so the
+                    // probe loop doesn't busy-spin on a quiet daemon.
+                    if idle_streak > shared.conns.len().max(8) {
+                        idle_streak = 0;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            Readiness::Gone => shared.end_conn(),
         }
     }
 }
 
-/// Per-connection keep-alive loop.
-fn handle_connection(
-    stream: TcpStream,
+/// Legacy thread-per-connection handler: blockingly serve requests until
+/// the connection closes or shutdown is requested. Idle read timeouts poll
+/// the shutdown flag, exactly as in the pre-pool daemon.
+fn thread_per_conn_loop(
+    conn: &mut Conn,
     shared: &Shared,
     engine: &BatchAnnotator<'_>,
     cfg: &ServeConfig,
 ) {
-    shared.connections.fetch_add(1, Ordering::SeqCst);
-    serve_connection(stream, shared, engine, cfg);
-    shared.connections.fetch_sub(1, Ordering::SeqCst);
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    shared: &Shared,
-    engine: &BatchAnnotator<'_>,
-    cfg: &ServeConfig,
-) {
-    let mut stream = stream;
-    if stream.set_nonblocking(false).is_err()
-        || stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
-    if shared.connections.load(Ordering::SeqCst) > cfg.max_connections {
-        let _ = write_error(&mut stream, 503, "Service Unavailable", "too many connections", false);
-        return;
-    }
-    let Ok(clone) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(clone);
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.shutting_down() {
             return;
         }
-        let req = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(ReadError::TimedOut) => continue, // idle keep-alive; re-check shutdown
-            Err(ReadError::Eof) => return,
-            Err(ReadError::Bad(msg)) => {
-                shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
-                let _ = write_error(&mut stream, 400, "Bad Request", &msg, false);
-                return;
-            }
-            Err(ReadError::Io(_)) => return,
-        };
-        let keep_alive = req.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
-        let ok = match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => {
-                let body = format!(
-                    "{{\"status\":\"ok\",\"uptime_secs\":{:.3}}}\n",
-                    shared.started.elapsed().as_secs_f64()
-                );
-                write_response(&mut stream, 200, "OK", "application/json", &body, keep_alive)
-            }
-            ("GET", "/stats") => {
-                let body = shared.stats.to_json(
-                    shared.started.elapsed(),
-                    shared.queue.depth(),
-                    engine.cache_stats().hit_rate(),
-                );
-                write_response(&mut stream, 200, "OK", "application/json", &body, keep_alive)
-            }
-            ("POST", "/shutdown") => {
-                let body = "{\"status\":\"shutting down\"}\n";
-                let r = write_response(&mut stream, 200, "OK", "application/json", body, false);
-                // Close-before-flag, as in ServerHandle::shutdown.
-                shared.queue.close();
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.queue.notify();
-                let _ = r;
-                return;
-            }
-            ("POST", "/annotate") => handle_annotate(&mut stream, shared, engine, &req, keep_alive),
-            _ => {
-                shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
-                write_error(
-                    &mut stream,
-                    404,
-                    "Not Found",
-                    &format!("no route for {} {}", req.method, req.path),
-                    keep_alive,
-                )
-            }
-        };
-        if ok.is_err() || !keep_alive {
-            return;
+        match serve_one_request(conn, shared, engine, cfg, None) {
+            Next::Served | Next::Idle => continue,
+            Next::Close => return,
         }
     }
+}
+
+/// What happened on one serve attempt.
+enum Next {
+    /// A request was answered and the connection stays open.
+    Served,
+    /// No request arrived before the read timeout (idle keep-alive).
+    Idle,
+    /// The connection is finished (error, `connection: close`, stream end).
+    Close,
+}
+
+/// Reads and answers exactly one request on `conn`. An idle read timeout
+/// before the first byte returns [`Next::Idle`] (the caller parks or
+/// retries); every error path answers with the right status where the wire
+/// still permits one, then closes.
+fn serve_one_request(
+    conn: &mut Conn,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+    worker: Option<usize>,
+) -> Next {
+    let deadline = Instant::now() + cfg.request_deadline;
+    let head = match read_head(&mut conn.reader, deadline) {
+        Ok(h) => h,
+        Err(ReadError::TimedOut) => return Next::Idle, // idle keep-alive
+        Err(ReadError::Eof) => return Next::Close,
+        Err(ReadError::Bad(msg)) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(&mut conn.stream, 400, "Bad Request", &msg, false);
+            return Next::Close;
+        }
+        Err(ReadError::TooLarge(msg)) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(&mut conn.stream, 413, "Payload Too Large", &msg, false);
+            return Next::Close;
+        }
+        Err(ReadError::TooSlow) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                write_error(&mut conn.stream, 408, "Request Timeout", "request too slow", false);
+            return Next::Close;
+        }
+        Err(ReadError::Io(_)) => return Next::Close,
+    };
+    conn.requests += 1;
+    if conn.requests > 1 {
+        shared.stats.keepalive_reused.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(w) = worker {
+        shared.stats.record_worker(w);
+    }
+
+    // The streaming endpoint consumes its body incrementally and owns its
+    // connection to the end; everything else buffers the body first.
+    if head.method == "POST" && head.path == "/annotate_stream" {
+        return handle_stream(conn, shared, engine, cfg, &head);
+    }
+
+    if head.expect_continue
+        && head.framing != BodyFraming::None
+        && write_continue(&mut conn.stream).is_err()
+    {
+        return Next::Close;
+    }
+    let body = match read_body(&mut conn.reader, head.framing, deadline) {
+        Ok(b) => b,
+        Err(ReadError::TooLarge(msg)) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(&mut conn.stream, 413, "Payload Too Large", &msg, false);
+            return Next::Close;
+        }
+        Err(ReadError::Bad(msg)) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(&mut conn.stream, 400, "Bad Request", &msg, false);
+            return Next::Close;
+        }
+        Err(ReadError::TooSlow) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                write_error(&mut conn.stream, 408, "Request Timeout", "request too slow", false);
+            return Next::Close;
+        }
+        Err(_) => return Next::Close,
+    };
+
+    let keep_alive = head.keep_alive && cfg.keep_alive && !shared.shutting_down();
+    let stream = &mut conn.stream;
+    let ok = match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_secs\":{:.3}}}\n",
+                shared.started.elapsed().as_secs_f64()
+            );
+            write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+        }
+        ("GET", "/stats") => {
+            let body = shared.stats.to_json(
+                shared.started.elapsed(),
+                shared.queue.depth(),
+                engine.cache_stats().hit_rate(),
+            );
+            write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+        }
+        ("POST", "/shutdown") => {
+            let body = "{\"status\":\"shutting down\"}\n";
+            let r = write_response(stream, 200, "OK", "application/json", body, false);
+            shared.request_shutdown();
+            let _ = r;
+            return Next::Close;
+        }
+        ("POST", "/annotate") => handle_annotate(stream, shared, engine, &body, keep_alive),
+        _ => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            write_error(
+                stream,
+                404,
+                "Not Found",
+                &format!("no route for {} {}", head.method, head.path),
+                keep_alive,
+            )
+        }
+    };
+    if ok.is_err() || !keep_alive {
+        Next::Close
+    } else {
+        Next::Served
+    }
+}
+
+// --------------------------------------------------------------- annotate
+
+/// Decodes one stream-element document into a serialized group plus its
+/// queue cost, applying the same validation as `/annotate`.
+fn decode_stream_table(
+    engine: &BatchAnnotator<'_>,
+    doc: &str,
+) -> Result<(Vec<SerializedTable>, usize, usize), String> {
+    let v = Json::parse(doc)?;
+    let table: Table = table_from_json(&v)?;
+    let max_cols = engine.annotator().model.config().serialize.max_supported_cols();
+    if table.n_cols() > max_cols {
+        return Err(format!(
+            "table {:?} has {} columns; this model serves at most {max_cols}",
+            table.id,
+            table.n_cols()
+        ));
+    }
+    let group = engine.serialize_table(&table);
+    let seqs = group.len();
+    let tokens = group.iter().map(SerializedTable::len).sum();
+    Ok((group, seqs, tokens))
+}
+
+/// `POST /annotate_stream`: multiplexes body reads, queue pushes, and
+/// in-order result writes on the handling worker's thread. The connection
+/// always closes afterwards (the chunked response is terminated either
+/// cleanly or after an in-band `{"error": ...}` object).
+fn handle_stream(
+    conn: &mut Conn,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+    head: &Head,
+) -> Next {
+    let _ = handle_stream_inner(conn, shared, engine, cfg, head);
+    let _ = conn.stream.set_read_timeout(Some(cfg.read_timeout));
+    Next::Close
+}
+
+fn handle_stream_inner(
+    conn: &mut Conn,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+    head: &Head,
+) -> std::io::Result<()> {
+    if head.framing == BodyFraming::None {
+        shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+        shared.stats.record_stream(0, false);
+        return write_error(
+            &mut conn.stream,
+            400,
+            "Bad Request",
+            "streaming requires a chunked or content-length body",
+            false,
+        );
+    }
+    if head.expect_continue {
+        write_continue(&mut conn.stream)?;
+    }
+    write_chunked_head(&mut conn.stream, 200, "OK", "application/x-ndjson")?;
+    // Short poll timeout: the loop below alternates between reading input
+    // and flushing results, so neither side can stall the other for long.
+    let _ = conn.stream.set_read_timeout(Some(STREAM_POLL));
+
+    let (tx, rx) = mpsc::channel::<(usize, TableAnnotation)>();
+    // Unbounded total length: a stream may legitimately carry any number
+    // of tables. Memory stays bounded by the per-document cap below and
+    // the STREAM_WINDOW read-ahead limit.
+    let mut body = BodyReader::unbounded(head.framing);
+    let mut splitter = StreamSplitter::new(MAX_BODY_BYTES);
+    let mut pending: VecDeque<(usize, Vec<SerializedTable>, usize, usize)> = VecDeque::new();
+    let mut done: BTreeMap<usize, TableAnnotation> = BTreeMap::new();
+    let mut parsed = 0usize;
+    let mut emitted = 0usize;
+    let (mut seqs_total, mut tokens_total) = (0u64, 0u64);
+    let mut input_done = false;
+    // A decode/validation error ends intake but lets every table parsed
+    // before it finish, so the client gets all usable results before the
+    // in-band error object; a fatal error (dead queue, idle timeout, lost
+    // connection) stops the loop immediately.
+    let mut error: Option<String> = None;
+    let mut fatal = false;
+    let mut last_progress = Instant::now();
+    let mut buf = [0u8; 8 * 1024];
+
+    loop {
+        // 1. Flush finished annotations, in input order.
+        while let Ok((i, ann)) = rx.try_recv() {
+            done.insert(i, ann);
+        }
+        while let Some(ann) = done.remove(&emitted) {
+            let mut line = annotation_to_json(&ann);
+            line.push('\n');
+            write_chunk(&mut conn.stream, line.as_bytes())?;
+            emitted += 1;
+            last_progress = Instant::now();
+        }
+
+        // 2. Submit parsed tables, respecting queue backpressure (a full
+        //    queue simply pauses the stream's intake; the rejected job is
+        //    handed back, so retries never clone the serialized group).
+        while let Some((index, group, seqs, tokens)) = pending.pop_front() {
+            let job = Job { groups: vec![group], reply: Reply::Stream { index, tx: tx.clone() } };
+            match shared.queue.push(job, seqs, tokens) {
+                Ok(()) => {
+                    seqs_total += seqs as u64;
+                    tokens_total += tokens as u64;
+                    last_progress = Instant::now();
+                }
+                Err((PushRejected::Full, mut job)) => {
+                    let group = job.groups.pop().expect("stream job has one group");
+                    pending.push_front((index, group, seqs, tokens));
+                    break;
+                }
+                Err((PushRejected::Closed, _)) => {
+                    error = Some("server is shutting down".into());
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        if fatal {
+            break;
+        }
+        if input_done && pending.is_empty() && emitted == parsed {
+            break;
+        }
+        // Shutdown is fatal for streams: their worker must exit so
+        // `Server::run`'s scoped join can complete. What was already
+        // submitted is still drained and flushed below.
+        if shared.shutting_down() {
+            error = Some("server is shutting down".into());
+            break;
+        }
+        if last_progress.elapsed() > cfg.stream_idle_timeout {
+            error = Some("stream idle timeout".into());
+            break;
+        }
+
+        // 3. Pull more input (bounded read-ahead), or wait for results.
+        if !input_done && pending.len() < STREAM_WINDOW {
+            match body.read_some(&mut conn.reader, &mut buf) {
+                Ok(0) => {
+                    input_done = true;
+                    if splitter.mid_document() {
+                        error = Some("stream ended mid-table".into());
+                    }
+                }
+                Ok(n) => {
+                    // Deliberately NOT progress by itself: only a completed
+                    // document (below) resets the idle clock, so a client
+                    // dribbling meaningless bytes cannot pin this worker
+                    // past stream_idle_timeout.
+                    match splitter.push(&buf[..n]) {
+                        Ok(docs) => {
+                            for doc in docs {
+                                last_progress = Instant::now();
+                                match decode_stream_table(engine, &doc) {
+                                    Ok((group, seqs, tokens)) => {
+                                        pending.push_back((parsed, group, seqs, tokens));
+                                        parsed += 1;
+                                    }
+                                    Err(msg) => {
+                                        error = Some(msg);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Err(msg) => error = Some(msg),
+                    }
+                    if error.is_some() {
+                        input_done = true; // finish prior tables, then report
+                    }
+                }
+                Err(ReadError::TimedOut) => {}
+                Err(ReadError::Eof) => {
+                    error = Some("connection closed mid-stream".into());
+                    break;
+                }
+                Err(ReadError::Bad(msg)) | Err(ReadError::TooLarge(msg)) => {
+                    error = Some(msg);
+                    input_done = true;
+                }
+                Err(ReadError::TooSlow) => {
+                    error = Some("stream too slow".into());
+                    input_done = true;
+                }
+                Err(ReadError::Io(e)) => return Err(e),
+            }
+        } else {
+            match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok((i, ann)) => {
+                    done.insert(i, ann);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!("tx held locally"),
+            }
+        }
+    }
+
+    // A fatal exit may leave submitted jobs in flight; they are still
+    // drained (the queue closes before the dispatcher stops), so wait
+    // briefly and flush them — the error object lands after every result
+    // the client can still use.
+    if error.is_some() {
+        let submitted = parsed - pending.len();
+        let give_up = Instant::now() + Duration::from_secs(5);
+        while emitted < submitted && Instant::now() < give_up {
+            if let Ok((i, ann)) = rx.recv_timeout(Duration::from_millis(50)) {
+                done.insert(i, ann);
+            }
+            while let Some(ann) = done.remove(&emitted) {
+                let mut line = annotation_to_json(&ann);
+                line.push('\n');
+                write_chunk(&mut conn.stream, line.as_bytes())?;
+                emitted += 1;
+            }
+        }
+    }
+    shared.stats.seqs.fetch_add(seqs_total, Ordering::Relaxed);
+    shared.stats.tokens.fetch_add(tokens_total, Ordering::Relaxed);
+    shared.stats.record_stream(emitted as u64, error.is_none());
+    if let Some(msg) = error {
+        shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::from("{\"error\":");
+        crate::json::push_escaped(&mut line, &msg);
+        line.push_str("}\n");
+        write_chunk(&mut conn.stream, line.as_bytes())?;
+    } else {
+        shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed);
+    }
+    write_last_chunk(&mut conn.stream)
 }
 
 fn handle_annotate(
     stream: &mut TcpStream,
     shared: &Shared,
     engine: &BatchAnnotator<'_>,
-    req: &Request,
+    body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let t0 = Instant::now();
@@ -300,11 +944,11 @@ fn handle_annotate(
         shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
         write_error(stream, status, reason, msg, keep_alive)
     };
-    let body = match std::str::from_utf8(&req.body) {
+    let body = match std::str::from_utf8(body) {
         Ok(s) => s,
         Err(_) => return fail(stream, 400, "Bad Request", "body is not valid UTF-8"),
     };
-    let (tables, wrapped) = match tables_from_request(body) {
+    let (tables, wrapped) = match crate::json::tables_from_request(body) {
         Ok(t) => t,
         Err(msg) => return fail(stream, 400, "Bad Request", &msg),
     };
@@ -320,7 +964,7 @@ fn handle_annotate(
         return fail(stream, 400, "Bad Request", &msg);
     }
 
-    // Tokenize on the handler thread (warms the shared LRU cache) so the
+    // Tokenize on the worker thread (warms the shared LRU cache) so the
     // queue can count real tokens and the dispatcher stays compute-only.
     let groups: Vec<Vec<SerializedTable>> =
         tables.iter().map(|t| engine.serialize_table(t)).collect();
@@ -329,12 +973,12 @@ fn handle_annotate(
     let tokens: usize = groups.iter().flat_map(|g| g.iter()).map(SerializedTable::len).sum();
 
     let (tx, rx) = mpsc::channel();
-    match shared.queue.push(Job { groups, reply: tx }, seqs, tokens) {
+    match shared.queue.push(Job { groups, reply: Reply::Batch(tx) }, seqs, tokens) {
         Ok(()) => {}
-        Err(PushRejected::Closed) => {
+        Err((PushRejected::Closed, _)) => {
             return fail(stream, 503, "Service Unavailable", "server is shutting down");
         }
-        Err(PushRejected::Full) => {
+        Err((PushRejected::Full, _)) => {
             shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
             return fail(stream, 503, "Service Unavailable", "annotation queue is full");
         }

@@ -33,6 +33,21 @@ pub struct ServerStats {
     pub flush_shutdown: AtomicU64,
     /// Jobs bounced off the full queue (HTTP 503).
     pub rejected_full: AtomicU64,
+    /// Connections accepted into the pool (or handler threads).
+    pub conns_accepted: AtomicU64,
+    /// Connections turned away with 503 at the accept loop.
+    pub conns_rejected: AtomicU64,
+    /// Requests served on an already-used connection (keep-alive reuse).
+    pub keepalive_reused: AtomicU64,
+    /// `/annotate_stream` streams completed without a stream-level error.
+    pub streams_ok: AtomicU64,
+    /// Streams that ended with an in-band error object.
+    pub streams_failed: AtomicU64,
+    /// Tables annotated through streams (also counted in `tables`).
+    pub stream_tables: AtomicU64,
+    /// Requests handled per pool worker (empty in thread-per-connection
+    /// mode).
+    worker_requests: Vec<AtomicU64>,
     latencies_us: Mutex<Ring>,
     batch_tables: Mutex<Ring>,
 }
@@ -96,6 +111,37 @@ pub fn percentiles(samples: &[u64]) -> Percentiles {
 }
 
 impl ServerStats {
+    /// Stats for a daemon with `workers` pool workers (0 for the
+    /// thread-per-connection topology).
+    pub fn with_workers(workers: usize) -> ServerStats {
+        ServerStats {
+            worker_requests: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            ..ServerStats::default()
+        }
+    }
+
+    /// Credits one handled request to pool worker `id` (no-op when out of
+    /// range, i.e. in thread-per-connection mode).
+    pub fn record_worker(&self, id: usize) {
+        if let Some(w) = self.worker_requests.get(id) {
+            w.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-worker handled-request counts (empty in thread-per-connection
+    /// mode).
+    pub fn worker_requests(&self) -> Vec<u64> {
+        self.worker_requests.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Records one completed (or failed) `/annotate_stream` stream of
+    /// `tables` annotated tables.
+    pub fn record_stream(&self, tables: u64, ok: bool) {
+        if ok { &self.streams_ok } else { &self.streams_failed }.fetch_add(1, Ordering::Relaxed);
+        self.stream_tables.fetch_add(tables, Ordering::Relaxed);
+        self.tables.fetch_add(tables, Ordering::Relaxed);
+    }
+
     /// Records one successfully answered annotation request.
     pub fn record_request(&self, latency: Duration, tables: u64, seqs: u64, tokens: u64) {
         self.requests_ok.fetch_add(1, Ordering::Relaxed);
@@ -138,10 +184,15 @@ impl ServerStats {
     pub fn to_json(&self, uptime: Duration, queue_depth: usize, cache_hit_rate: f64) -> String {
         let lat = self.latency_ms();
         let bat = self.batch_tables_stats();
+        let workers = self.worker_requests();
+        let worker_json = workers.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
             "{{\"uptime_secs\":{:.3},\"requests_ok\":{},\"requests_failed\":{},\
              \"rejected_queue_full\":{},\"tables\":{},\"sequences\":{},\"tokens\":{},\
              \"queue_depth\":{queue_depth},\"cache_hit_rate\":{cache_hit_rate:.4},\
+             \"connections\":{{\"accepted\":{},\"rejected\":{},\"keepalive_reused\":{}}},\
+             \"streams\":{{\"ok\":{},\"failed\":{},\"tables\":{}}},\
+             \"workers\":{{\"count\":{},\"requests\":[{worker_json}]}},\
              \"flushes\":{{\"budget\":{},\"deadline\":{},\"shutdown\":{}}},\
              \"latency_ms\":{{\"window\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3},\
              \"max\":{:.3}}},\
@@ -153,6 +204,13 @@ impl ServerStats {
             self.tables.load(Ordering::Relaxed),
             self.seqs.load(Ordering::Relaxed),
             self.tokens.load(Ordering::Relaxed),
+            self.conns_accepted.load(Ordering::Relaxed),
+            self.conns_rejected.load(Ordering::Relaxed),
+            self.keepalive_reused.load(Ordering::Relaxed),
+            self.streams_ok.load(Ordering::Relaxed),
+            self.streams_failed.load(Ordering::Relaxed),
+            self.stream_tables.load(Ordering::Relaxed),
+            workers.len(),
             self.flush_budget.load(Ordering::Relaxed),
             self.flush_deadline.load(Ordering::Relaxed),
             self.flush_shutdown.load(Ordering::Relaxed),

@@ -1,0 +1,331 @@
+//! Adversarial tests for the daemon's hand-rolled HTTP stack, over raw TCP
+//! sockets: malformed request lines, oversized heads/bodies, premature
+//! EOF, byte-at-a-time split writes, pipelining, wrong `Content-Length`,
+//! and bad chunked framing. Error-class requests must get the right status
+//! (400/413), and a poisoned connection must never wedge a pool worker —
+//! after any of these, a well-formed request is still answered promptly.
+
+use doduo_served::bootstrap::{synthetic_world, SyntheticWorld};
+use doduo_served::http::Client;
+use doduo_served::json::table_to_json;
+use doduo_served::{BatchPolicy, ServeConfig, Server, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A small pool (2 workers) with short timeouts, so wedged-worker bugs
+/// surface as test timeouts quickly.
+fn hardened_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        policy: BatchPolicy::default(),
+        read_timeout: Duration::from_millis(50),
+        request_deadline: Duration::from_secs(2),
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+struct ShutdownOnDrop(ServerHandle);
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn with_server<R>(world: &SyntheticWorld, body: impl FnOnce(&str) -> R + Send) -> R {
+    let server = Server::bind(hardened_config()).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(server.handle());
+        let runner = scope.spawn(|| server.run(&world.bundle));
+        let out = body(&addr);
+        drop(guard);
+        runner.join().expect("server thread exits cleanly");
+        out
+    })
+}
+
+/// Raw connection: write whatever bytes, read whatever comes back.
+fn raw(addr: &str) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    s.set_nodelay(true).expect("nodelay");
+    s
+}
+
+/// Reads until EOF or read timeout; returns everything received.
+fn read_all(s: &mut TcpStream) -> String {
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Asserts the daemon still answers a good request quickly — the "no
+/// worker is wedged" check used after every poisoning scenario.
+fn assert_still_serving(addr: &str) {
+    let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
+    let r = c.request("GET", "/healthz", b"").expect("healthz answered");
+    assert_eq!(r.status, 200, "daemon must still serve after adversarial input");
+}
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /healthz\r\n\r\n",          // missing version
+            "GET /healthz SMTP/1.0\r\n\r\n", // wrong protocol
+            "\r\nGET /healthz HTTP/1.1\r\n\r\n",
+        ] {
+            let mut s = raw(addr);
+            s.write_all(bad.as_bytes()).expect("write");
+            let resp = read_all(&mut s);
+            assert!(resp.starts_with("HTTP/1.1 400"), "{bad:?} => {resp:?}");
+        }
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn malformed_headers_get_400() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        for bad in [
+            "GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST /annotate HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            "POST /annotate HTTP/1.1\r\ntransfer-encoding: gzip\r\n\r\n",
+            "POST /annotate HTTP/1.1\r\nexpect: 200-maybe\r\n\r\n",
+        ] {
+            let mut s = raw(addr);
+            s.write_all(bad.as_bytes()).expect("write");
+            let resp = read_all(&mut s);
+            assert!(resp.starts_with("HTTP/1.1 400"), "{bad:?} => {resp:?}");
+        }
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn oversized_head_gets_413_without_unbounded_buffering() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        // One endless header line, no newline: the incremental cap must cut
+        // it off at MAX_HEAD_BYTES, not buffer until the writer stops.
+        let mut s = raw(addr);
+        s.write_all(b"GET /healthz HTTP/1.1\r\nx-junk: ").expect("write");
+        let junk = vec![b'a'; 64 * 1024];
+        let _ = s.write_all(&junk); // may fail once the server answers+closes
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 413"), "got {resp:?}");
+
+        // Many well-formed headers adding past the cap: same outcome.
+        let mut s = raw(addr);
+        s.write_all(b"GET /healthz HTTP/1.1\r\n").expect("write");
+        for i in 0..300 {
+            if s.write_all(format!("x-h{i}: {}\r\n", "v".repeat(100)).as_bytes()).is_err() {
+                break;
+            }
+        }
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 413"), "got {resp:?}");
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn oversized_body_gets_413_before_upload() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut s = raw(addr);
+        // Declared 9 MB: rejected from the declaration alone, no body sent.
+        s.write_all(b"POST /annotate HTTP/1.1\r\ncontent-length: 9437184\r\n\r\n").expect("write");
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 413"), "got {resp:?}");
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn premature_eof_mid_body_never_wedges() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut s = raw(addr);
+        s.write_all(b"POST /annotate HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"colu")
+            .expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        // The server cannot answer a request it never fully received; it
+        // must just close. Reading drains to EOF without a 200.
+        let resp = read_all(&mut s);
+        assert!(!resp.contains("200 OK"), "truncated request must not succeed: {resp:?}");
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn byte_at_a_time_request_still_parses() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let t = &world.tables[0];
+        let body = table_to_json(t);
+        let req = format!(
+            "POST /annotate HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let mut s = raw(addr);
+        for b in req.as_bytes() {
+            s.write_all(std::slice::from_ref(b)).expect("write one byte");
+            s.flush().expect("flush");
+        }
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 200"), "split writes must still parse: {resp:?}");
+        assert!(resp.contains("\"types\""), "got a real annotation body");
+    });
+}
+
+#[test]
+fn pipelined_requests_are_all_answered() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut s = raw(addr);
+        // Three requests in one write; the last closes the connection so
+        // read_all terminates deterministically.
+        s.write_all(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\nGET /healthz \
+              HTTP/1.1\r\nconnection: close\r\n\r\n",
+        )
+        .expect("write");
+        let resp = read_all(&mut s);
+        let answers = resp.matches("HTTP/1.1 200").count();
+        assert_eq!(answers, 3, "all pipelined requests answered: {resp:?}");
+    });
+}
+
+#[test]
+fn wrong_content_length_poisons_only_its_connection() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        // Declared length smaller than the JSON actually sent: the request
+        // parses a truncated body (400), and the trailing bytes must not be
+        // misread as a second valid request.
+        let body = b"{\"columns\": [[\"a\"]]}";
+        let mut s = raw(addr);
+        s.write_all(b"POST /annotate HTTP/1.1\r\ncontent-length: 5\r\n\r\n").expect("write");
+        s.write_all(body).expect("write");
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 400"), "truncated JSON is a 400: {resp:?}");
+        assert_eq!(resp.matches("HTTP/1.1").count(), 1, "error closes the connection");
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn conflicting_body_framings_get_400() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        // Content-Length alongside Transfer-Encoding (in either order) is
+        // the classic request-smuggling vector: peers that resolve the
+        // conflict differently disagree on where the body ends. The daemon
+        // refuses to resolve it at all.
+        for bad in [
+            "POST /annotate HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: \
+             5\r\n\r\n0\r\n\r\n",
+            "POST /annotate HTTP/1.1\r\ncontent-length: 5\r\ntransfer-encoding: \
+             chunked\r\n\r\n0\r\n\r\n",
+        ] {
+            let mut s = raw(addr);
+            s.write_all(bad.as_bytes()).expect("write");
+            let resp = read_all(&mut s);
+            assert!(resp.starts_with("HTTP/1.1 400"), "{bad:?} => {resp:?}");
+        }
+        // Duplicate Content-Length is the same smuggling class.
+        let mut s = raw(addr);
+        s.write_all(
+            b"POST /annotate HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 500\r\n\r\nhello",
+        )
+        .expect("write");
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 400"), "duplicate content-length: {resp:?}");
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn bad_chunked_framing_gets_400() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut s = raw(addr);
+        s.write_all(b"POST /annotate HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n")
+            .expect("write");
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 400"), "bad chunk size is a 400: {resp:?}");
+        assert_still_serving(addr);
+    });
+}
+
+#[test]
+fn chunked_annotate_body_is_byte_identical() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let t = &world.tables[1];
+        let body = table_to_json(t);
+        let mut s = raw(addr);
+        s.write_all(
+            b"POST /annotate HTTP/1.1\r\ntransfer-encoding: chunked\r\nconnection: \
+                      close\r\n\r\n",
+        )
+        .expect("write");
+        // Upload in two chunks split mid-document.
+        let (a, b) = body.as_bytes().split_at(body.len() / 2);
+        for piece in [a, b] {
+            s.write_all(format!("{:x}\r\n", piece.len()).as_bytes()).expect("size");
+            s.write_all(piece).expect("data");
+            s.write_all(b"\r\n").expect("crlf");
+        }
+        s.write_all(b"0\r\n\r\n").expect("last chunk");
+        let resp = read_all(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 200"), "chunked /annotate works: {resp:?}");
+        let offline = {
+            let ann = world.annotator().annotate(t);
+            doduo_served::json::annotations_response(&[ann], false)
+        };
+        let payload = resp.split("\r\n\r\n").nth(1).expect("body present");
+        assert_eq!(payload.as_bytes(), offline.as_bytes(), "byte-identical to offline");
+    });
+}
+
+#[test]
+fn poisoned_connections_never_wedge_the_pool() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        // More slow/partial connections than pool workers (2), all holding
+        // a half-sent request head open.
+        let mut poison = Vec::new();
+        for _ in 0..4 {
+            let mut s = raw(addr);
+            s.write_all(b"POST /annotate HTTP/1.1\r\ncontent-len").expect("write partial");
+            poison.push(s); // keep sockets open
+        }
+        // A well-formed request must still be answered promptly: stalled
+        // reads are cut off at the read timeout, freeing their workers.
+        let start = std::time::Instant::now();
+        assert_still_serving(addr);
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "good request waited {:?} behind poisoned connections",
+            start.elapsed()
+        );
+        drop(poison);
+    });
+}
