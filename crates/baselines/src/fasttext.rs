@@ -96,9 +96,12 @@ impl FastText {
         words.sort_unstable();
         let vocab: HashMap<String, usize> =
             words.iter().enumerate().map(|(i, w)| (w.clone(), i)).collect();
-        // Unigram^0.75 negative-sampling table.
+        // Unigram^0.75 negative-sampling table, built in word-id order:
+        // iterating the HashMap here would randomize the table layout per
+        // process (RandomState) and with it every negative draw, making
+        // training non-reproducible despite the seeded RNG.
         let mut neg_table = Vec::with_capacity(4096);
-        for (w, &id) in &vocab {
+        for (id, w) in words.iter().enumerate() {
             let f = (counts[w] as f64).powf(0.75);
             let slots = (f.ceil() as usize).min(64);
             for _ in 0..slots {
@@ -316,6 +319,18 @@ mod tests {
         let a = ft.embed_text("goal in the match");
         let b = ft.embed_text("goal in the match");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        // Two trainings must agree bitwise. This fails if any HashMap
+        // iteration order leaks into training (each HashMap instance gets
+        // its own RandomState, even within one thread).
+        let a = FastText::train(&corpus(), FastTextConfig::default());
+        let b = FastText::train(&corpus(), FastTextConfig::default());
+        for w in ["goal", "football", "rate", "unseen-word"] {
+            assert_eq!(a.embed_word(w), b.embed_word(w), "embeddings for {w:?} must match");
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use doduo_core::{evaluate, prepare, Task};
 use doduo_datagen::{corrupt_dataset, corruption_rate, DirtyConfig};
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for(
+        "Dirty-cell robustness ablation (noise injected at increasing rates)",
+    );
     let world = World::bootstrap(opts);
     let splits = world.wikitable();
     let cfg = world.train_config();

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Figure 4: F1 vs training-set fraction curves");
     let world = World::bootstrap(opts);
     let splits = world.wikitable();
     let cfg = world.train_config();

@@ -45,7 +45,7 @@ fn variant(world: &World, splits: &Splits, tag: &str) -> (Vec<f64>, Vec<f64>, Ve
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Figure 5: F1 vs sequence budget curves");
     let world = World::bootstrap(opts);
     let full = world.viznet();
     let multi = Splits {

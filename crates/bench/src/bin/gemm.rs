@@ -85,7 +85,9 @@ fn time_per_call(mut f: impl FnMut(), min_total_secs: f64) -> f64 {
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for(
+        "GEMM kernel bench: naive vs blocked vs threaded, writes BENCH_gemm.json",
+    );
     let started = Instant::now();
     let min_secs = match opts.scale {
         Scale::Full => 0.4,
@@ -250,6 +252,7 @@ fn render_json(
     out.push_str("  \"bench\": \"gemm\",\n");
     out.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale).to_lowercase());
     out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&doduo_bench::stages::HostMeta::detect(opts.scale).json_line());
     out.push_str(&format!("  \"max_threads\": {max_threads},\n"));
     out.push_str(&format!(
         "  \"thread_grid\": [{}],\n",

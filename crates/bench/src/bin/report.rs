@@ -1,19 +1,22 @@
 //! Bench-artifact report and schema gate.
 //!
 //! The committed `BENCH_*.json` files are the repo's performance evidence;
-//! CI regenerates some of them on every push and downstream tooling (and
-//! the ROADMAP) reads them. This binary keeps them honest:
+//! CI regenerates them on every push and downstream tooling (and the
+//! ROADMAP) reads them. This binary keeps them honest:
 //!
 //! * `report` — list every `BENCH_*.json` in the working directory with its
 //!   headline numbers;
 //! * `report --check` — validate each file against the expected schema for
-//!   its `"bench"` kind (`throughput`, `gemm`, `serve`) and exit non-zero
-//!   on any violation. Wired into the CI build job, so a binary that
-//!   silently changes its JSON shape fails the push that does it.
+//!   its `"bench"` kind (`throughput`, `gemm`, `serve`) — including the
+//!   required `host` metadata block — and exit non-zero on any violation.
+//!   Wired into CI's repro job, so a binary that silently changes its JSON
+//!   shape (or an artifact measured on an undisclosed host) fails the push
+//!   that does it.
 //!
-//! JSON parsing reuses the daemon's hand-rolled parser — no new deps.
+//! The validation itself lives in `doduo_bench::artifact` so the `repro`
+//! harness and unit tests share it.
 
-use doduo_served::json::Json;
+use doduo_bench::artifact::check_bench_file;
 use std::path::{Path, PathBuf};
 
 /// One validation problem in one file.
@@ -27,6 +30,15 @@ fn main() {
     let check = match args.get(1).map(String::as_str) {
         None => false,
         Some("--check") => true,
+        Some("--help") | Some("-h") => {
+            println!(
+                "usage: report [--check]\n\n\
+                 Lists every BENCH_*.json in the working directory with its headline\n\
+                 numbers. With --check, validates each file's schema and required\n\
+                 host metadata block and exits non-zero on any violation."
+            );
+            return;
+        }
         Some(other) => {
             eprintln!("unknown argument {other} (expected --check)");
             std::process::exit(2);
@@ -51,7 +63,7 @@ fn main() {
 
     let mut violations: Vec<Violation> = Vec::new();
     for path in &files {
-        match check_file(path) {
+        match check_bench_file(path) {
             Ok(headline) => {
                 println!("[report] {:<24} OK   {headline}", display_name(path));
             }
@@ -79,194 +91,4 @@ fn main() {
 
 fn display_name(p: &Path) -> String {
     p.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string()
-}
-
-/// Validates one file, returning a one-line headline on success.
-fn check_file(path: &Path) -> Result<String, Vec<String>> {
-    let text = std::fs::read_to_string(path).map_err(|e| vec![format!("unreadable: {e}")])?;
-    let v = Json::parse(&text).map_err(|e| vec![format!("not valid JSON: {e}")])?;
-    let mut c = Checker::default();
-    c.str_in(&v, "scale", &["quick", "full"]);
-    c.num(&v, "seed");
-    let kind = match v.get("bench").and_then(Json::as_str) {
-        Some(k) => k.to_string(),
-        None => {
-            c.errs.push("missing string field \"bench\"".into());
-            return Err(c.errs);
-        }
-    };
-    let headline = match kind.as_str() {
-        "throughput" => check_throughput(&v, &mut c),
-        "gemm" => check_gemm(&v, &mut c),
-        "serve" => check_serve(&v, &mut c),
-        other => {
-            c.errs.push(format!("unknown bench kind {other:?}"));
-            String::new()
-        }
-    };
-    if c.errs.is_empty() {
-        Ok(headline)
-    } else {
-        Err(c.errs)
-    }
-}
-
-#[derive(Default)]
-struct Checker {
-    errs: Vec<String>,
-}
-
-impl Checker {
-    fn num(&mut self, v: &Json, key: &str) -> f64 {
-        match v.get(key).and_then(Json::as_f64) {
-            Some(n) if n.is_finite() => n,
-            _ => {
-                self.errs.push(format!("missing/non-finite number field {key:?}"));
-                0.0
-            }
-        }
-    }
-
-    fn str_in(&mut self, v: &Json, key: &str, allowed: &[&str]) {
-        match v.get(key).and_then(Json::as_str) {
-            Some(s) if allowed.contains(&s) => {}
-            Some(s) => self.errs.push(format!("{key:?} is {s:?}, expected one of {allowed:?}")),
-            None => self.errs.push(format!("missing string field {key:?}")),
-        }
-    }
-
-    fn str_any(&mut self, v: &Json, key: &str) {
-        if v.get(key).and_then(Json::as_str).is_none() {
-            self.errs.push(format!("missing string field {key:?}"));
-        }
-    }
-
-    fn arr<'a>(&mut self, v: &'a Json, key: &str) -> &'a [Json] {
-        match v.get(key).and_then(Json::as_array) {
-            Some(a) if !a.is_empty() => a,
-            Some(_) => {
-                self.errs.push(format!("array field {key:?} must not be empty"));
-                &[]
-            }
-            None => {
-                self.errs.push(format!("missing array field {key:?}"));
-                &[]
-            }
-        }
-    }
-}
-
-fn check_throughput(v: &Json, c: &mut Checker) -> String {
-    c.num(v, "corpus_tables");
-    let threads = c.num(v, "max_threads");
-    let results = c.arr(v, "results").to_vec();
-    let mut best = 0.0f64;
-    let mut has_sequential = false;
-    for (i, r) in results.iter().enumerate() {
-        c.str_in(r, "mode", &["sequential", "batched", "batched_gemm_stripes"]);
-        for k in ["batch_size", "threads", "tables", "elapsed_ms", "tables_per_sec"] {
-            c.num(r, k);
-        }
-        c.num(r, "cache_hit_rate");
-        if r.get("mode").and_then(Json::as_str) == Some("sequential") {
-            has_sequential = true;
-        }
-        best = best.max(r.get("tables_per_sec").and_then(Json::as_f64).unwrap_or(0.0));
-        if c.errs.len() > 16 {
-            c.errs.push(format!("... giving up at results[{i}]"));
-            break;
-        }
-    }
-    if !has_sequential {
-        c.errs.push("no \"sequential\" baseline cell in results".into());
-    }
-    for t in c.arr(v, "thread_scaling").to_vec() {
-        c.num(&t, "threads");
-        c.num(&t, "best_tables_per_sec");
-    }
-    match v.get("speedup") {
-        Some(s) => {
-            c.num(s, "value");
-            for side in ["numerator", "denominator"] {
-                match s.get(side) {
-                    Some(side_v) => {
-                        c.str_any(side_v, "mode");
-                        c.num(side_v, "batch_size");
-                        c.num(side_v, "threads");
-                    }
-                    None => c.errs.push(format!("speedup is missing {side:?}")),
-                }
-            }
-        }
-        None => c.errs.push("missing object field \"speedup\"".into()),
-    }
-    format!("{} cells, best {best:.0} tables/sec, {threads:.0} threads", results.len())
-}
-
-fn check_gemm(v: &Json, c: &mut Checker) -> String {
-    c.num(v, "max_threads");
-    c.arr(v, "thread_grid");
-    let shapes = c.arr(v, "shapes").to_vec();
-    for s in &shapes {
-        c.str_any(s, "label");
-        c.str_in(s, "variant", &["nn", "nt", "tn"]);
-        for k in ["m", "k", "n", "naive_gflops", "speedup_blocked_1t_vs_naive"] {
-            c.num(s, k);
-        }
-        for b in c.arr(s, "blocked").to_vec() {
-            c.num(&b, "threads");
-            c.num(&b, "gflops");
-        }
-        if c.errs.len() > 16 {
-            c.errs.push("... giving up".into());
-            break;
-        }
-    }
-    let min = c.num(v, "min_speedup_blocked_1t_vs_naive_mini_shapes");
-    format!("{} shapes, min mini-shape speedup {min:.2}x", shapes.len())
-}
-
-fn check_serve(v: &Json, c: &mut Checker) -> String {
-    c.num(v, "corpus_tables");
-    c.num(v, "max_threads");
-    let results = c.arr(v, "results").to_vec();
-    let mut best = 0.0f64;
-    for r in &results {
-        c.str_in(r, "topology", &["thread_per_conn", "pool"]);
-        c.str_in(r, "mode", &["request", "stream"]);
-        c.str_in(r, "policy", &["eager", "coalesce"]);
-        for k in [
-            "workers",
-            "max_delay_ms",
-            "clients",
-            "requests",
-            "connects",
-            "conn_reuse_rate",
-            "secs",
-            "tables_per_sec",
-        ] {
-            c.num(r, k);
-        }
-        match r.get("latency_ms") {
-            Some(l) => {
-                for k in ["mean", "p50", "p99", "max"] {
-                    c.num(l, k);
-                }
-                let (p50, p99) = (
-                    l.get("p50").and_then(Json::as_f64).unwrap_or(0.0),
-                    l.get("p99").and_then(Json::as_f64).unwrap_or(0.0),
-                );
-                if p99 + 1e-9 < p50 {
-                    c.errs.push(format!("latency p99 {p99} < p50 {p50}"));
-                }
-            }
-            None => c.errs.push("cell is missing \"latency_ms\"".into()),
-        }
-        best = best.max(r.get("tables_per_sec").and_then(Json::as_f64).unwrap_or(0.0));
-        if c.errs.len() > 16 {
-            c.errs.push("... giving up".into());
-            break;
-        }
-    }
-    format!("{} cells, best {best:.0} tables/sec", results.len())
 }

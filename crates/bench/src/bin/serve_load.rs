@@ -182,7 +182,9 @@ struct Topology {
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for(
+        "Serving load bench: daemon topologies under concurrent clients, writes BENCH_serve.json",
+    );
     let started = Instant::now();
     let quick = opts.scale == Scale::Quick;
     let world = synthetic_world(quick, opts.seed);
@@ -404,6 +406,7 @@ fn render_json(
     out.push_str("  \"bench\": \"serve\",\n");
     out.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale).to_lowercase());
     out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&doduo_bench::stages::HostMeta::detect(opts.scale).json_line());
     out.push_str(&format!("  \"corpus_tables\": {corpus_tables},\n"));
     out.push_str(&format!("  \"max_threads\": {n_threads},\n"));
     out.push_str("  \"results\": [\n");

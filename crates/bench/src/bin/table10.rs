@@ -11,7 +11,7 @@ use doduo_core::{predict_rels, predict_types, prepare, Task};
 use doduo_eval::per_class_prf_multi;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Table 10: label-efficiency under reduced training data");
     let world = World::bootstrap(opts);
     let splits = world.wikitable();
     let cfg = world.train_config();

@@ -12,7 +12,8 @@ use doduo_core::{predict_types, prepare, Task};
 use doduo_eval::macro_f1;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts =
+        ExpOptions::from_args_for("Table 11: per-type breakdown on frequent WikiTable types");
     let world = World::bootstrap(opts);
     let splits = world.viznet();
     let cfg = world.train_config();

@@ -27,7 +27,8 @@ use rand::{Rng, SeedableRng};
 const SAMPLES_PER_CLASS: usize = 6;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts =
+        ExpOptions::from_args_for("Table 12: qualitative win/loss cases vs the Sherlock baseline");
     let world = World::bootstrap(opts);
     let (store, encoder, head) = instantiate_lm(&world.lm);
     let tok = &world.lm.tokenizer;

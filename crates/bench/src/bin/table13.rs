@@ -21,7 +21,7 @@ use rand::SeedableRng;
 const SAMPLES_PER_TYPE: usize = 3;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Table 13: error analysis by column cardinality");
     let world = World::bootstrap(opts);
     let (store, encoder, head) = instantiate_lm(&world.lm);
     let tok = &world.lm.tokenizer;

@@ -63,7 +63,9 @@ fn eval_variant(world: &World, splits: &Splits, tag: &str) -> [(String, f64, f64
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for(
+        "Table 4: micro/macro-F1 on VizNet column types (Doduo vs Sherlock)",
+    );
     let world = World::bootstrap(opts);
     let full = world.viznet();
     let multi = Splits {

@@ -13,7 +13,7 @@ use doduo_eval::per_class_prf;
 use doduo_table::is_numeric_like;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Table 5: ablation of table serialization components");
     let world = World::bootstrap(opts);
     let splits = world.viznet();
     let cfg = world.train_config();

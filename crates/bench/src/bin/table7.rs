@@ -11,7 +11,7 @@ use doduo_core::{predict_types, prepare, Task};
 use doduo_eval::macro_f1;
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Table 7: single-column vs multi-column input");
     let world = World::bootstrap(opts);
     let splits = world.viznet();
     let cfg = world.train_config();

@@ -27,7 +27,7 @@ fn scores(gold: &[usize], pred: &[usize]) -> Hcv {
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for("Table 9: multi-task vs single-task training");
     let world = World::bootstrap(opts);
 
     // The Doduo model is trained on WikiTable (a *different domain*, §7).

@@ -93,7 +93,9 @@ fn annotate_sequential_reference(ann: &Annotator<'_>, table: &Table) -> TableAnn
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let opts = ExpOptions::from_args_for(
+        "Annotation throughput bench: batching and thread scaling, writes BENCH_throughput.json",
+    );
     let started = Instant::now();
 
     // A seeded corpus plus a randomly initialized model: annotation cost is
@@ -329,6 +331,7 @@ fn render_json(
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str(&format!("  \"scale\": \"{:?}\",\n", opts.scale).to_lowercase());
     out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    out.push_str(&doduo_bench::stages::HostMeta::detect(opts.scale).json_line());
     out.push_str(&format!("  \"corpus_tables\": {corpus_tables},\n"));
     out.push_str(&format!("  \"max_threads\": {n_threads},\n"));
     out.push_str("  \"results\": [\n");

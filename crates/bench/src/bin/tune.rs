@@ -5,7 +5,9 @@ use doduo_bench::{ExpOptions, ModelSpec, World};
 use doduo_core::Task;
 
 fn main() {
-    let mut opts = ExpOptions::from_args();
+    let mut opts = ExpOptions::from_args_for(
+        "Hyper-parameter sweep helper (not a paper experiment; always uncached)",
+    );
     opts.no_cache = true;
     let world = World::bootstrap(opts);
     let splits = world.wikitable();

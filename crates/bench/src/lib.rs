@@ -27,7 +27,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+pub mod artifact;
 pub mod report;
+pub mod stages;
 
 /// Experiment scale, selectable with `--scale`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,7 +52,7 @@ impl Scale {
 }
 
 /// Command-line options shared by all experiment binaries.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExpOptions {
     pub scale: Scale,
     pub seed: u64,
@@ -64,32 +66,93 @@ impl Default for ExpOptions {
     }
 }
 
+/// Outcome of [`ExpOptions::parse`]: the caller distinguishes a usage
+/// request from a malformed command line (different exit codes, same text).
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--help`/`-h` was passed.
+    Help,
+    /// A flag was unknown or had a bad value.
+    Bad(String),
+}
+
+/// The flags every experiment binary shares, for a unified `--help`. The
+/// one-line `about` comes from the binary; everything below it means the
+/// same thing in every bin (including the `repro` harness, which forwards
+/// these to the binaries it orchestrates).
+pub fn shared_usage(bin: &str, about: &str) -> String {
+    format!(
+        "{bin} — {about}\n\
+         \n\
+         usage: {bin} [options]\n\
+         \n\
+         shared options (identical across all doduo-bench binaries):\n\
+         \x20 --scale quick|full   experiment scale (default full; quick is the CI\n\
+         \x20                      smoke scale — same shape, minutes not hours)\n\
+         \x20 --seed N             world seed (default 42)\n\
+         \x20 --no-cache           ignore and do not write target/doduo-cache/\n\
+         \x20 --help, -h           this text"
+    )
+}
+
 impl ExpOptions {
-    /// Parses `--scale full|quick`, `--seed N`, `--no-cache` from argv.
-    pub fn from_args() -> ExpOptions {
+    /// Parses the shared flags (`--scale full|quick`, `--seed N`,
+    /// `--no-cache`, `--help`) from an argument list (without `argv[0]`).
+    pub fn parse(args: &[String]) -> Result<ExpOptions, ArgError> {
         let mut opts = ExpOptions::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
                     i += 1;
                     opts.scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or(""))
-                        .unwrap_or_else(|| panic!("--scale must be full|quick"));
+                        .ok_or_else(|| ArgError::Bad("--scale must be full|quick".into()))?;
                 }
                 "--seed" => {
                     i += 1;
                     opts.seed = args
                         .get(i)
                         .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| panic!("--seed must be an integer"));
+                        .ok_or_else(|| ArgError::Bad("--seed must be an integer".into()))?;
                 }
                 "--no-cache" => opts.no_cache = true,
-                other => panic!("unknown argument {other} (expected --scale/--seed/--no-cache)"),
+                "--help" | "-h" => return Err(ArgError::Help),
+                other => {
+                    return Err(ArgError::Bad(format!(
+                        "unknown argument {other} (expected --scale/--seed/--no-cache)"
+                    )))
+                }
             }
             i += 1;
         }
-        opts
+        Ok(opts)
+    }
+
+    /// Standard entry point for experiment binaries: parses
+    /// `std::env::args()`, printing the unified usage text (with the bin's
+    /// one-line `about`) on `--help` (exit 0) or a parse error (exit 2).
+    pub fn from_args_for(about: &str) -> ExpOptions {
+        let argv: Vec<String> = std::env::args().collect();
+        let bin = argv
+            .first()
+            .map(|p| {
+                std::path::Path::new(p)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.clone())
+            })
+            .unwrap_or_else(|| "doduo-bench".into());
+        match Self::parse(&argv[1..]) {
+            Ok(opts) => opts,
+            Err(ArgError::Help) => {
+                println!("{}", shared_usage(&bin, about));
+                std::process::exit(0)
+            }
+            Err(ArgError::Bad(msg)) => {
+                eprintln!("{msg}\n\n{}", shared_usage(&bin, about));
+                std::process::exit(2)
+            }
+        }
     }
 }
 
@@ -460,6 +523,50 @@ mod tests {
         assert_eq!(Scale::parse("full"), Some(Scale::Full));
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("medium"), None);
+    }
+
+    fn args(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shared_args_parse() {
+        let o = ExpOptions::parse(&args(&["--scale", "quick", "--seed", "7", "--no-cache"]))
+            .expect("valid args");
+        assert_eq!(o.scale, Scale::Quick);
+        assert_eq!(o.seed, 7);
+        assert!(o.no_cache);
+        let d = ExpOptions::parse(&[]).expect("empty args are the defaults");
+        assert_eq!(d.scale, Scale::Full);
+        assert_eq!(d.seed, 42);
+        assert!(!d.no_cache);
+    }
+
+    #[test]
+    fn bad_shared_args_are_errors_not_panics() {
+        assert!(matches!(
+            ExpOptions::parse(&args(&["--scale", "medium"])),
+            Err(ArgError::Bad(m)) if m.contains("--scale")
+        ));
+        assert!(matches!(
+            ExpOptions::parse(&args(&["--seed", "many"])),
+            Err(ArgError::Bad(m)) if m.contains("--seed")
+        ));
+        assert!(matches!(
+            ExpOptions::parse(&args(&["--frobnicate"])),
+            Err(ArgError::Bad(m)) if m.contains("--frobnicate")
+        ));
+        assert_eq!(ExpOptions::parse(&args(&["--help"])), Err(ArgError::Help));
+        assert_eq!(ExpOptions::parse(&args(&["-h"])), Err(ArgError::Help));
+    }
+
+    #[test]
+    fn usage_text_names_the_shared_flags() {
+        let u = shared_usage("table3", "WikiTable micro-F1");
+        for needle in ["table3", "WikiTable micro-F1", "--scale quick|full", "--seed", "--no-cache"]
+        {
+            assert!(u.contains(needle), "usage must mention {needle}");
+        }
     }
 
     #[test]

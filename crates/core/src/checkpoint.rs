@@ -330,6 +330,22 @@ impl AnnotatorBundle {
         serialize::load(&mut store, weights).map_err(BundleError::Weights)?;
         Ok(AnnotatorBundle { store, model, tokenizer, type_vocab, rel_vocab, prefix })
     }
+
+    /// Writes [`AnnotatorBundle::save`]'s blob to `path`. The file is what
+    /// `doduo-served --checkpoint` and the repro harness exchange.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.save())
+    }
+
+    /// Reads and decodes a checkpoint file, folding I/O and decode failures
+    /// into one displayable error that names the path.
+    pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<AnnotatorBundle, String> {
+        let path = path.as_ref();
+        let blob = std::fs::read(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        AnnotatorBundle::load(&blob)
+            .map_err(|e| format!("cannot load checkpoint {}: {e}", path.display()))
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,8 @@
 //!   shutdown.
 //! * [`bootstrap`] — the deterministic synthetic serving world shared by
 //!   the daemon's `--synthetic` mode, the `serve_load` bench, and CI.
+//! * [`validate`] — the online == offline equivalence check and the
+//!   response decoder the repro harness scores served checkpoints with.
 //!
 //! Endpoints: `POST /annotate`, `POST /annotate_stream`, `GET /healthz`,
 //! `GET /stats`, `POST /shutdown`.
@@ -48,6 +50,7 @@ pub mod json;
 pub mod queue;
 pub mod server;
 pub mod stats;
+pub mod validate;
 
 pub use queue::{BatchPolicy, Batcher, FlushReason, PushRejected, SharedBatcher};
 pub use server::{ServeConfig, Server, ServerHandle};

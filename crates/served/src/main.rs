@@ -14,7 +14,7 @@
 use doduo_core::AnnotatorBundle;
 use doduo_serve::BatchConfig;
 use doduo_served::bootstrap::synthetic_world;
-use doduo_served::json::{annotations_response, tables_from_request};
+use doduo_served::validate::offline_response;
 use doduo_served::{BatchPolicy, ServeConfig, Server};
 use std::time::Duration;
 
@@ -132,12 +132,8 @@ fn main() {
     let args = parse_args();
     let t0 = std::time::Instant::now();
     let bundle: AnnotatorBundle = if let Some(path) = &args.checkpoint {
-        let bytes = std::fs::read(path).unwrap_or_else(|e| {
-            eprintln!("[served] cannot read checkpoint {path}: {e}");
-            std::process::exit(1)
-        });
-        AnnotatorBundle::load(&bytes).unwrap_or_else(|e| {
-            eprintln!("[served] cannot load checkpoint {path}: {e}");
+        AnnotatorBundle::load_from(path).unwrap_or_else(|e| {
+            eprintln!("[served] {e}");
             std::process::exit(1)
         })
     } else {
@@ -152,7 +148,7 @@ fn main() {
         bundle.rel_vocab.len(),
     );
     if let Some(path) = &args.save_checkpoint {
-        std::fs::write(path, bundle.save()).unwrap_or_else(|e| {
+        bundle.save_to(path).unwrap_or_else(|e| {
             eprintln!("[served] cannot write checkpoint {path}: {e}");
             std::process::exit(1)
         });
@@ -164,15 +160,13 @@ fn main() {
             eprintln!("[served] cannot read request {path}: {e}");
             std::process::exit(1)
         });
-        let (tables, wrapped) = tables_from_request(&body).unwrap_or_else(|e| {
+        // The offline reference path: per-table Annotator::annotate through
+        // the same codec — the daemon's equivalence target.
+        let resp = offline_response(&bundle, &body).unwrap_or_else(|e| {
             eprintln!("[served] bad request body: {e}");
             std::process::exit(1)
         });
-        // The offline reference path: per-table Annotator::annotate, the
-        // daemon's equivalence target.
-        let ann = bundle.annotator();
-        let anns: Vec<_> = tables.iter().map(|t| ann.annotate(t)).collect();
-        print!("{}", annotations_response(&anns, wrapped));
+        print!("{resp}");
         return;
     }
 

@@ -1,0 +1,171 @@
+//! Checkpoint-serving validation hooks.
+//!
+//! The daemon's correctness contract is *byte-identity to offline*: a
+//! `/annotate` response must match what [`doduo_core::Annotator::annotate`]
+//! produces through the same JSON codec, byte for byte. This module is the
+//! library form of that check — [`offline_response`] is the reference the
+//! `--oneshot` flag prints and the repro harness diffs live responses
+//! against, and [`check_online_equivalence`] runs the comparison over a
+//! real TCP connection.
+//!
+//! It also hosts the decode side of the quality gate: the daemon answers
+//! with sigmoid-scored label lists, and [`decode_annotation`] reconstructs
+//! the trainer's prediction *sets* from them (every label scoring above
+//! 0.5, falling back to the top-scored one — exactly the trainer's
+//! `z > 0` / argmax rule, since `sigmoid(z) > 0.5 ⇔ z > 0`). That lets the
+//! repro harness compute micro-F1 from daemon responses alone and re-run
+//! the Table-3 qualitative checks against a *served* checkpoint.
+
+use crate::http::Client;
+use crate::json::{annotations_response, tables_from_request, Json};
+use doduo_core::AnnotatorBundle;
+use std::time::Duration;
+
+/// Annotates a request body offline through the same codec the HTTP path
+/// uses and returns the exact bytes `/annotate` would respond with. This
+/// is what `doduo-served --oneshot` prints.
+pub fn offline_response(bundle: &AnnotatorBundle, body: &str) -> Result<String, String> {
+    let (tables, wrapped) = tables_from_request(body)?;
+    let ann = bundle.annotator();
+    let anns: Vec<_> = tables.iter().map(|t| ann.annotate(t)).collect();
+    Ok(annotations_response(&anns, wrapped))
+}
+
+/// POSTs each body to a live daemon's `/annotate` and verifies every
+/// response is byte-identical to [`offline_response`] over the same
+/// bundle. Returns the number of bodies checked; the error names the first
+/// diverging request.
+pub fn check_online_equivalence(
+    addr: &str,
+    bundle: &AnnotatorBundle,
+    bodies: &[String],
+) -> Result<usize, String> {
+    let mut client = Client::connect(addr, Some(Duration::from_secs(60)))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    for (i, body) in bodies.iter().enumerate() {
+        let resp = client
+            .request("POST", "/annotate", body.as_bytes())
+            .map_err(|e| format!("request {i}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("request {i}: HTTP {}", resp.status));
+        }
+        let offline = offline_response(bundle, body)?;
+        if resp.body != offline.as_bytes() {
+            return Err(format!(
+                "request {i}: daemon response ({} bytes) diverges from offline ({} bytes)",
+                resp.body.len(),
+                offline.len()
+            ));
+        }
+    }
+    Ok(bodies.len())
+}
+
+/// The prediction sets decoded from one table's `/annotate` response.
+#[derive(Debug)]
+pub struct DecodedAnnotation {
+    /// Chosen type label names per annotated column, in response order as
+    /// `(column index, labels)`.
+    pub col_types: Vec<(usize, Vec<String>)>,
+    /// Chosen relation label names per `(subject, object)` column pair.
+    pub relations: Vec<(usize, usize, Vec<String>)>,
+}
+
+/// Decodes the prediction sets out of one table's annotation JSON (the
+/// unwrapped single-table `/annotate` response body) using the trainer's
+/// rule: every label with score > 0.5; the top-scored label when none
+/// clears the threshold.
+pub fn decode_annotation(body: &str) -> Result<DecodedAnnotation, String> {
+    let v = Json::parse(body)?;
+    let mut col_types = Vec::new();
+    for t in v.get("types").and_then(Json::as_array).ok_or("response has no \"types\" array")? {
+        let col = t.get("column").and_then(Json::as_f64).ok_or("type entry has no column")?;
+        col_types.push((col as usize, chosen_labels(t)?));
+    }
+    let mut relations = Vec::new();
+    if let Some(rels) = v.get("relations").and_then(Json::as_array) {
+        for r in rels {
+            let s = r.get("subject").and_then(Json::as_f64).ok_or("relation has no subject")?;
+            let o = r.get("object").and_then(Json::as_f64).ok_or("relation has no object")?;
+            relations.push((s as usize, o as usize, chosen_labels(r)?));
+        }
+    }
+    Ok(DecodedAnnotation { col_types, relations })
+}
+
+/// Applies the threshold/argmax rule to one entry's scored label list
+/// (sorted descending by score, by construction).
+fn chosen_labels(entry: &Json) -> Result<Vec<String>, String> {
+    let labels =
+        entry.get("labels").and_then(Json::as_array).ok_or("entry has no \"labels\" array")?;
+    let mut out = Vec::new();
+    for l in labels {
+        let name = l.get("label").and_then(Json::as_str).ok_or("label entry has no name")?;
+        let score = l.get("score").and_then(Json::as_f64).ok_or("label entry has no score")?;
+        if score > 0.5 {
+            out.push(name.to_string());
+        }
+    }
+    if out.is_empty() {
+        if let Some(first) = labels.first() {
+            let name = first.get("label").and_then(Json::as_str).ok_or("label has no name")?;
+            out.push(name.to_string());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::synthetic_world;
+    use crate::json::table_to_json;
+
+    #[test]
+    fn offline_response_matches_oneshot_shape() {
+        let w = synthetic_world(true, 42);
+        let body = table_to_json(&w.tables[0]);
+        let resp = offline_response(&w.bundle, &body).expect("annotates");
+        assert!(resp.ends_with('\n'));
+        assert!(resp.contains("\"types\""));
+        let wrapped = format!("{{\"tables\": [{}]}}", body.trim_end());
+        let multi = offline_response(&w.bundle, &wrapped).expect("annotates wrapped");
+        assert!(multi.starts_with("{\"annotations\""));
+    }
+
+    #[test]
+    fn decode_applies_threshold_with_argmax_fallback() {
+        let body = r#"{
+            "types": [
+                {"column": 0, "labels": [
+                    {"label": "a", "score": 0.9},
+                    {"label": "b", "score": 0.6},
+                    {"label": "c", "score": 0.2}
+                ]},
+                {"column": 1, "labels": [
+                    {"label": "x", "score": 0.4},
+                    {"label": "y", "score": 0.1}
+                ]}
+            ],
+            "relations": [
+                {"subject": 0, "object": 1, "labels": [{"label": "r", "score": 0.3}]}
+            ]
+        }"#;
+        let d = decode_annotation(body).expect("decodes");
+        assert_eq!(d.col_types[0], (0, vec!["a".to_string(), "b".to_string()]));
+        assert_eq!(d.col_types[1], (1, vec!["x".to_string()]), "argmax fallback below threshold");
+        assert_eq!(d.relations, vec![(0, 1, vec!["r".to_string()])]);
+    }
+
+    #[test]
+    fn decode_round_trips_a_real_response() {
+        let w = synthetic_world(true, 7);
+        let body = table_to_json(&w.tables[1]);
+        let resp = offline_response(&w.bundle, &body).expect("annotates");
+        let d = decode_annotation(&resp).expect("decodes the daemon's own output");
+        assert_eq!(d.col_types.len(), w.tables[1].columns.len());
+        for (_, labels) in &d.col_types {
+            assert!(!labels.is_empty(), "threshold/argmax rule always picks at least one");
+        }
+    }
+}
