@@ -131,7 +131,7 @@ fn check_throughput(v: &Json, c: &mut Checker) -> String {
     let mut best = 0.0f64;
     let mut has_sequential = false;
     for (i, r) in results.iter().enumerate() {
-        c.str_in(r, "mode", &["sequential", "batched", "batched_gemm_stripes"]);
+        c.str_in(r, "mode", &["sequential", "batched", "batched_gemm_stripes", "batched_int8"]);
         for k in ["batch_size", "threads", "tables", "elapsed_ms", "tables_per_sec"] {
             c.num(r, k);
         }
@@ -168,6 +168,15 @@ fn check_throughput(v: &Json, c: &mut Checker) -> String {
         }
         None => c.errs.push("missing object field \"speedup\"".into()),
     }
+    // The int8 engine comparison is newer than the speedup block; require
+    // only its value when the object is present so older artifacts still
+    // report a single clear "missing" error.
+    match v.get("int8_vs_f32") {
+        Some(s) => {
+            c.num(s, "value");
+        }
+        None => c.errs.push("missing object field \"int8_vs_f32\"".into()),
+    }
     format!("{} cells, best {best:.0} tables/sec, {threads:.0} threads", results.len())
 }
 
@@ -185,13 +194,23 @@ fn check_gemm(v: &Json, c: &mut Checker) -> String {
             c.num(&b, "threads");
             c.num(&b, "gflops");
         }
+        // Forward (`nn`) shapes carry the int8 cell; its speedup must ride
+        // along with it.
+        if s.get("int8_gops_1t").is_some() {
+            c.num(s, "int8_gops_1t");
+            c.num(s, "speedup_int8_1t_vs_blocked_1t");
+        }
         if c.errs.len() > 16 {
             c.errs.push("... giving up".into());
             break;
         }
     }
     let min = c.num(v, "min_speedup_blocked_1t_vs_naive_mini_shapes");
-    format!("{} shapes, min mini-shape speedup {min:.2}x", shapes.len())
+    let int8 = c.num(v, "max_speedup_int8_1t_vs_blocked_1t_mini_shapes");
+    format!(
+        "{} shapes, min mini-shape speedup {min:.2}x, best mini-shape int8 speedup {int8:.2}x",
+        shapes.len()
+    )
 }
 
 fn check_serve(v: &Json, c: &mut Checker) -> String {
@@ -253,8 +272,10 @@ mod tests {
              \"max_threads\": 1,\n  \"thread_grid\": [1],\n  \"shapes\": [\n    \
              {{\"label\": \"s\", \"variant\": \"nn\", \"m\": 4, \"k\": 4, \"n\": 4, \
              \"naive_gflops\": 1.0, \"blocked\": [{{\"threads\": 1, \"gflops\": 2.0}}], \
-             \"speedup_blocked_1t_vs_naive\": 2.0}}\n  ],\n  \
-             \"min_speedup_blocked_1t_vs_naive_mini_shapes\": 2.0\n}}\n"
+             \"speedup_blocked_1t_vs_naive\": 2.0, \"int8_gops_1t\": 5.0, \
+             \"speedup_int8_1t_vs_blocked_1t\": 2.5}}\n  ],\n  \
+             \"min_speedup_blocked_1t_vs_naive_mini_shapes\": 2.0,\n  \
+             \"max_speedup_int8_1t_vs_blocked_1t_mini_shapes\": 2.5\n}}\n"
         )
     }
 

@@ -5,9 +5,13 @@
 //! kernel layer (`doduo_tensor::kernels`) at transformer-relevant shapes —
 //! the mini encoder's projections, FFN halves, per-head attention scores,
 //! and backward dW/dX products — across all three matmul variants and a
-//! thread grid `{1, 2, 4, …, N}`. Writes the measurements to
-//! `BENCH_gemm.json` and checks the acceptance bar: blocked single-thread
-//! ≥ 2x naive at the mini-encoder shapes.
+//! thread grid `{1, 2, 4, …, N}`. Forward (`nn`) shapes additionally
+//! measure the int8 `QuantizedLinear` path (Gop/s, counting one
+//! multiply-accumulate as two ops like the f32 cells) and its speedup over
+//! the blocked f32 kernel. Writes the measurements to `BENCH_gemm.json`
+//! and checks two acceptance bars: blocked single-thread ≥ 2x naive at the
+//! mini-encoder shapes, and int8 ≥ 2x blocked f32 at one or more
+//! mini-encoder shapes.
 //!
 //! Run: `cargo run --release -p doduo-bench --bin gemm -- --scale quick`
 
@@ -17,7 +21,7 @@ use doduo_tensor::kernels::{
     matmul_blocked, matmul_naive, matmul_nt_blocked, matmul_nt_naive, matmul_tn_blocked,
     matmul_tn_naive,
 };
-use doduo_tensor::{default_threads, Tensor};
+use doduo_tensor::{default_threads, QuantizedLinear, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -61,6 +65,10 @@ struct Cell {
     naive_gflops: f64,
     /// `(threads, gflops)` per thread-grid point.
     blocked_gflops: Vec<(usize, f64)>,
+    /// Single-thread int8 `QuantizedLinear` forward, in Gop/s (same op
+    /// count as the f32 cells). `None` for shapes the quantized layer does
+    /// not serve (`nt`/`tn` are training-only products).
+    int8_gops: Option<f64>,
 }
 
 /// Median seconds per call of `f`, batching calls so each timed sample
@@ -171,15 +179,28 @@ fn main() {
                 (threads, gflops(secs))
             })
             .collect();
+        // The inference-path int8 layer only computes `x·W + b` (`nn`); the
+        // transposed variants are training-only, so they have no int8 cell.
+        let int8_gops = (s.variant == Variant::Nn).then(|| {
+            let bias = Tensor::zeros(1, s.n);
+            let q = QuantizedLinear::from_f32(&b, &bias);
+            gflops(time_per_call(
+                || {
+                    std::hint::black_box(q.forward_with_threads(&a, 1));
+                },
+                min_secs,
+            ))
+        });
         eprintln!(
-            "[gemm] {:<16} {} {}x{}x{}: naive {:>6.2} GFLOP/s, blocked {:?}",
+            "[gemm] {:<16} {} {}x{}x{}: naive {:>6.2} GFLOP/s, blocked {:?}, int8 {}",
             s.label,
             s.variant.name(),
             s.m,
             s.k,
             s.n,
             naive_gflops,
-            blocked_gflops.iter().map(|(t, g)| format!("{t}t:{g:.2}")).collect::<Vec<_>>()
+            blocked_gflops.iter().map(|(t, g)| format!("{t}t:{g:.2}")).collect::<Vec<_>>(),
+            int8_gops.map(|g| format!("{g:.2} Gop/s")).unwrap_or_else(|| "-".into()),
         );
         cells.push(Cell {
             label: s.label,
@@ -190,11 +211,12 @@ fn main() {
             mini: s.mini,
             naive_gflops,
             blocked_gflops,
+            int8_gops,
         });
     }
 
     let mut r = Report::new(
-        "GEMM kernels (naive vs cache-blocked)",
+        "GEMM kernels (naive vs cache-blocked vs int8)",
         &[
             "shape",
             "variant",
@@ -205,14 +227,20 @@ fn main() {
             "blocked 1t GF/s",
             "speedup 1t",
             "best threaded GF/s",
+            "int8 1t Gop/s",
+            "int8 vs f32 1t",
         ],
     );
     let mut min_mini_speedup = f64::INFINITY;
+    let mut max_mini_int8_speedup = 0.0f64;
     for c in &cells {
         let one_t = c.blocked_gflops[0].1;
         let speedup = one_t / c.naive_gflops;
         if c.mini {
             min_mini_speedup = min_mini_speedup.min(speedup);
+            if let Some(gops) = c.int8_gops {
+                max_mini_int8_speedup = max_mini_int8_speedup.max(gops / one_t);
+            }
         }
         let best = c.blocked_gflops.iter().map(|(_, g)| *g).fold(0.0f64, f64::max);
         r.row(&[
@@ -225,15 +253,30 @@ fn main() {
             format!("{:.2}", one_t),
             format!("{speedup:.2}x"),
             format!("{best:.2}"),
+            c.int8_gops.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".into()),
+            c.int8_gops.map(|g| format!("{:.2}x", g / one_t)).unwrap_or_else(|| "-".into()),
         ]);
     }
     r.check(
         format!("blocked 1-thread >= 2x naive at mini-encoder shapes (min {min_mini_speedup:.2}x)"),
         min_mini_speedup >= 2.0,
     );
+    r.check(
+        format!(
+            "int8 >= 2x blocked f32 at >= 1 mini-encoder shape (max {max_mini_int8_speedup:.2}x)"
+        ),
+        max_mini_int8_speedup >= 2.0,
+    );
     r.print();
 
-    let json = render_json(&opts, max_threads, &thread_grid, &cells, min_mini_speedup);
+    let json = render_json(
+        &opts,
+        max_threads,
+        &thread_grid,
+        &cells,
+        min_mini_speedup,
+        max_mini_int8_speedup,
+    );
     std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
     eprintln!("[gemm] wrote BENCH_gemm.json, total elapsed {:?}", started.elapsed());
     // Like the throughput bench, the 2x check is recorded but does not fail
@@ -247,6 +290,7 @@ fn render_json(
     thread_grid: &[usize],
     cells: &[Cell],
     min_mini_speedup: f64,
+    max_mini_int8_speedup: f64,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"gemm\",\n");
@@ -266,10 +310,17 @@ fn render_json(
             .map(|(t, g)| format!("{{\"threads\": {t}, \"gflops\": {g:.3}}}"))
             .collect::<Vec<_>>()
             .join(", ");
+        let int8 = match c.int8_gops {
+            Some(g) => format!(
+                ", \"int8_gops_1t\": {g:.3}, \"speedup_int8_1t_vs_blocked_1t\": {:.3}",
+                g / c.blocked_gflops[0].1
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"variant\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
              \"mini_encoder\": {}, \"naive_gflops\": {:.3}, \"blocked\": [{}], \
-             \"speedup_blocked_1t_vs_naive\": {:.3}}}{}\n",
+             \"speedup_blocked_1t_vs_naive\": {:.3}{}}}{}\n",
             c.label,
             c.variant,
             c.m,
@@ -279,12 +330,16 @@ fn render_json(
             c.naive_gflops,
             blocked,
             c.blocked_gflops[0].1 / c.naive_gflops,
+            int8,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"min_speedup_blocked_1t_vs_naive_mini_shapes\": {min_mini_speedup:.3}\n"
+        "  \"min_speedup_blocked_1t_vs_naive_mini_shapes\": {min_mini_speedup:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"max_speedup_int8_1t_vs_blocked_1t_mini_shapes\": {max_mini_int8_speedup:.3}\n"
     ));
     out.push_str("}\n");
     out

@@ -35,12 +35,12 @@ use doduo_bench::report::{pct, Report};
 use doduo_bench::stages::{select_stages, StageDef};
 use doduo_bench::{run_sherlock, shared_usage, ArgError, ExpOptions, ModelSpec, Scale, World};
 use doduo_core::{AnnotatorBundle, Task, ENC_PREFIX};
-use doduo_eval::multi_label_micro;
+use doduo_eval::{multi_label_micro, Prf};
 use doduo_served::http::Client;
 use doduo_served::json::table_to_json;
-use doduo_served::validate::{check_online_equivalence, decode_annotation};
+use doduo_served::validate::{check_online_equivalence, offline_response_quant};
 use doduo_served::{ServeConfig, Server};
-use doduo_table::LabelVocab;
+use doduo_table::{AnnotatedTable, LabelVocab};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::{Duration, Instant};
@@ -318,45 +318,42 @@ impl Harness {
                 // sets and score them against gold.
                 let mut client = Client::connect(&addr, Some(Duration::from_secs(60)))
                     .map_err(|e| format!("cannot connect: {e}"))?;
-                let mut type_pred = Vec::new();
-                let mut type_gold = Vec::new();
-                let mut rel_pred = Vec::new();
-                let mut rel_gold = Vec::new();
-                for (at, body) in splits.test.tables.iter().zip(&bodies) {
+                let mut texts = Vec::new();
+                for body in &bodies {
                     let resp = client
                         .request("POST", "/annotate", body.as_bytes())
                         .map_err(|e| format!("annotate: {e}"))?;
-                    let text = String::from_utf8(resp.body)
-                        .map_err(|_| "non-UTF-8 response".to_string())?;
-                    let dec = decode_annotation(&text)?;
-                    for (col, labels) in &dec.col_types {
-                        type_pred.push(to_ids(labels, &splits.test.type_vocab)?);
-                        type_gold.push(at.col_types[*col].clone());
-                    }
-                    for gold_rel in &at.relations {
-                        let pred = dec
-                            .relations
-                            .iter()
-                            .find(|(s, o, _)| {
-                                *s == gold_rel.subject_col && *o == gold_rel.object_col
-                            })
-                            .map(|(_, _, labels)| to_ids(labels, &splits.test.rel_vocab))
-                            .transpose()?
-                            .unwrap_or_default();
-                        rel_pred.push(pred);
-                        rel_gold.push(vec![gold_rel.relation]);
-                    }
+                    texts.push(
+                        String::from_utf8(resp.body)
+                            .map_err(|_| "non-UTF-8 response".to_string())?,
+                    );
                 }
-                Ok((
-                    identical,
-                    multi_label_micro(&type_pred, &type_gold),
-                    multi_label_micro(&rel_pred, &rel_gold),
-                ))
+                let (t, rel) = score_responses(
+                    &splits.test.tables,
+                    &texts,
+                    &splits.test.type_vocab,
+                    &splits.test.rel_vocab,
+                )?;
+                Ok((identical, t, rel))
             })();
             handle.shutdown();
             srv.join().expect("server thread");
             result
         })?;
+
+        // Gate 3: the int8 tier over the same trained checkpoint. Offline
+        // responses stand in for an int8 daemon — the quantized path is
+        // batch-composition invariant, so a `--quant int8` daemon would
+        // return these exact bytes (CI's serve-smoke proves that end to
+        // end over TCP).
+        let quant_texts: Vec<String> =
+            bodies.iter().map(|b| offline_response_quant(&bundle, b)).collect::<Result<_, _>>()?;
+        let (quant_type, quant_rel) = score_responses(
+            &splits.test.tables,
+            &quant_texts,
+            &splits.test.type_vocab,
+            &splits.test.rel_vocab,
+        )?;
 
         let mut r = Report::new(
             "Serve: Table-3 checks against the daemon-served checkpoint",
@@ -370,6 +367,7 @@ impl Harness {
             "offline".into(),
         ]);
         r.row(&["Doduo (served)".into(), pct(daemon_type.f1), pct(daemon_rel.f1), "daemon".into()]);
+        r.row(&["Doduo (int8)".into(), pct(quant_type.f1), pct(quant_rel.f1), "quant".into()]);
         r.row(&[
             "TURL+metadata".into(),
             pct(turl_meta.scores.type_micro.f1),
@@ -415,15 +413,51 @@ impl Harness {
             (turl_meta.scores.type_micro.f1 - turl.scores.type_micro.f1)
                 > (doduo_meta.scores.type_micro.f1 - daemon_type.f1) - 0.01,
         );
+        // The int8 accuracy gate: quantization may drift scores in the low
+        // bits but must not move micro-F1 beyond the pinned tolerance, and
+        // every Table-3 qualitative conclusion must survive the int8 tier.
+        const QUANT_F1_TOL: f64 = 0.02;
+        r.check(
+            format!("int8 type F1 within {QUANT_F1_TOL} of f32 (accuracy gate)"),
+            (quant_type.f1 - daemon_type.f1).abs() <= QUANT_F1_TOL,
+        );
+        r.check(
+            format!("int8 rel F1 within {QUANT_F1_TOL} of f32 (accuracy gate)"),
+            (quant_rel.f1 - daemon_rel.f1).abs() <= QUANT_F1_TOL,
+        );
+        r.check(
+            "int8: Doduo type F1 > TURL type F1 (Table-3 check survives quantization)",
+            quant_type.f1 > turl.scores.type_micro.f1,
+        );
+        r.check(
+            "int8: Doduo type F1 > Sherlock type F1 (Table-3 check survives quantization)",
+            quant_type.f1 > sherlock.f1,
+        );
+        r.check(
+            "int8: Doduo rel F1 >= TURL rel F1 (Table-3 check survives quantization)",
+            quant_rel.f1 >= turl.scores.rel_micro.map(|x| x.f1).unwrap_or(0.0),
+        );
+        r.check(
+            "int8: metadata helps or ties Doduo type F1 (Table-3 check survives quantization)",
+            doduo_meta.scores.type_micro.f1 >= quant_type.f1 - 0.01,
+        );
+        r.check(
+            "int8: metadata helps TURL more than Doduo (Table-3 check survives quantization)",
+            (turl_meta.scores.type_micro.f1 - turl.scores.type_micro.f1)
+                > (doduo_meta.scores.type_micro.f1 - quant_type.f1) - 0.01,
+        );
         r.print();
         if !r.all_checks_pass() {
             return Err("serve-stage checks failed".into());
         }
         Ok(format!(
-            "{} responses byte-identical, daemon type F1 {} / rel F1 {}, Table-3 checks pass",
+            "{} responses byte-identical, daemon type F1 {} / rel F1 {}, int8 type F1 {} / rel \
+             F1 {}, Table-3 checks pass in both tiers",
             bodies.len(),
             pct(daemon_type.f1),
             pct(daemon_rel.f1),
+            pct(quant_type.f1),
+            pct(quant_rel.f1),
         ))
     }
 
@@ -465,6 +499,41 @@ impl Harness {
             other => Err(format!("stage {other} has no implementation")),
         }
     }
+}
+
+/// Decodes per-table `/annotate` response bodies into prediction sets
+/// (threshold/argmax rule) and scores them micro-averaged against gold,
+/// returning `(type, relation)` scores. Shared between the f32 daemon gate
+/// and the int8 accuracy gate so both tiers are judged by the same rule.
+fn score_responses(
+    tables: &[AnnotatedTable],
+    texts: &[String],
+    type_vocab: &LabelVocab,
+    rel_vocab: &LabelVocab,
+) -> Result<(Prf, Prf), String> {
+    let mut type_pred = Vec::new();
+    let mut type_gold = Vec::new();
+    let mut rel_pred = Vec::new();
+    let mut rel_gold = Vec::new();
+    for (at, text) in tables.iter().zip(texts) {
+        let dec = doduo_served::validate::decode_annotation(text)?;
+        for (col, labels) in &dec.col_types {
+            type_pred.push(to_ids(labels, type_vocab)?);
+            type_gold.push(at.col_types[*col].clone());
+        }
+        for gold_rel in &at.relations {
+            let pred = dec
+                .relations
+                .iter()
+                .find(|(s, o, _)| *s == gold_rel.subject_col && *o == gold_rel.object_col)
+                .map(|(_, _, labels)| to_ids(labels, rel_vocab))
+                .transpose()?
+                .unwrap_or_default();
+            rel_pred.push(pred);
+            rel_gold.push(vec![gold_rel.relation]);
+        }
+    }
+    Ok((multi_label_micro(&type_pred, &type_gold), multi_label_micro(&rel_pred, &rel_gold)))
 }
 
 /// Maps decoded label names back to ids under the dataset's vocabulary.

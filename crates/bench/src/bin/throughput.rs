@@ -5,9 +5,13 @@
 //! Annotates a seeded WikiTable-style corpus through `BatchAnnotator` at
 //! batch sizes {1, 8, 32} and thread counts {1, N}, reports tables/sec,
 //! and writes the measurements — including the per-thread-count scaling
-//! curve and, on multi-core hosts, a single-stream cell that fans the GEMM
-//! layer's row stripes across the cores instead — to
-//! `BENCH_throughput.json`.
+//! curve, the int8 engine (`BatchConfig::quant`) at the serving
+//! configuration, and, on multi-core hosts, a single-stream cell that fans
+//! the GEMM layer's row stripes across the cores instead — to
+//! `BENCH_throughput.json`. The int8 cells record end-to-end serving
+//! speedup over the f32 engine at the same batch/thread point (smaller
+//! than the kernel-level speedup in `BENCH_gemm.json`: attention,
+//! layer-norm, GELU, and tokenization stay f32).
 //!
 //! The `batch 1 / 1 thread` baseline cell reproduces the pre-batching
 //! toolbox algorithm (tokenize every call, one forward pass for the type
@@ -153,7 +157,7 @@ fn main() {
     // batch 1 / 1 thread baseline, then the engine across batch × thread
     // cells (on a single-core host the {1, N} thread grids coincide).
     let thread_grid: Vec<usize> = if n_threads == 1 { vec![1] } else { vec![1, n_threads] };
-    let server_store: Vec<(usize, usize, BatchAnnotator<'_>)> = thread_grid
+    let mut server_store: Vec<(&'static str, usize, usize, BatchAnnotator<'_>)> = thread_grid
         .iter()
         .flat_map(|&threads| {
             [1usize, 8, 32].into_iter().map(move |batch| {
@@ -166,10 +170,25 @@ fn main() {
                         ..BatchConfig::default()
                     },
                 );
-                (batch, threads, server)
+                ("batched", batch, threads, server)
             })
         })
         .collect();
+    // The int8 engine at the serving configuration (batch 32, each thread
+    // count): same scheduling, quantized dense layers.
+    for &threads in &thread_grid {
+        let server = BatchAnnotator::with_config(
+            annotator(),
+            BatchConfig {
+                max_batch: 32,
+                threads,
+                cache_capacity: 4096,
+                quant: true,
+                ..BatchConfig::default()
+            },
+        );
+        server_store.push(("batched_int8", 32, threads, server));
+    }
     let mut cells: Vec<Cell<'_>> = Vec::new();
     {
         let ann = annotator();
@@ -185,12 +204,12 @@ fn main() {
             }),
         ));
     }
-    let mut servers: Vec<(usize, usize, &BatchAnnotator<'_>)> = Vec::new();
-    for (batch, threads, server) in &server_store {
-        servers.push((*batch, *threads, server));
+    let mut servers: Vec<(&'static str, usize, usize, &BatchAnnotator<'_>)> = Vec::new();
+    for (mode, batch, threads, server) in &server_store {
+        servers.push((mode, *batch, *threads, server));
         let tables = &tables;
         cells.push((
-            "batched",
+            mode,
             *batch,
             *threads,
             Box::new(move || {
@@ -202,8 +221,9 @@ fn main() {
     // (engine threads = 1) with the GEMM layer's row stripes fanned across
     // the cores instead — the latency-oriented configuration.
     if n_threads > 1 {
-        if let Some((_, _, server)) =
-            server_store.iter().find(|(batch, threads, _)| *batch == 32 && *threads == 1)
+        if let Some((_, _, _, server)) = server_store
+            .iter()
+            .find(|(mode, batch, threads, _)| *mode == "batched" && *batch == 32 && *threads == 1)
         {
             let tables = &tables;
             cells.push((
@@ -243,8 +263,8 @@ fn main() {
         let median_secs = ts[ts.len() / 2];
         let hit_rate = servers
             .iter()
-            .find(|(b, t, _)| mode == &"batched" && b == batch && t == threads)
-            .map_or(0.0, |(_, _, s)| s.cache_stats().hit_rate());
+            .find(|(md, b, t, _)| md == mode && b == batch && t == threads)
+            .map_or(0.0, |(_, _, _, s)| s.cache_stats().hit_rate());
         let m = Measurement {
             mode,
             batch: *batch,
@@ -275,6 +295,13 @@ fn main() {
         .find(|m| m.mode == "batched" && m.batch == 32 && m.threads == n_threads)
         .expect("batch-32 N-thread cell measured");
     let speedup = best_cell.tables_per_sec / baseline;
+    // End-to-end int8 speedup at the serving configuration, against the
+    // f32 engine at the same batch/thread point.
+    let int8_cell = results
+        .iter()
+        .find(|m| m.mode == "batched_int8" && m.batch == 32 && m.threads == n_threads)
+        .expect("int8 cell measured");
+    let int8_speedup = int8_cell.tables_per_sec / best_cell.tables_per_sec;
     // Thread-scaling curve: the best batched cell at each measured thread
     // count (a single point on 1-core hosts; the ROADMAP's serving item
     // wants the multi-core curve recorded whenever one is available).
@@ -309,9 +336,23 @@ fn main() {
         ]);
     }
     r.check(format!("batch 32 / {n_threads} threads >= 2x batch 1 / 1 thread"), speedup >= 2.0);
+    r.check(
+        format!(
+            "int8 engine >= 1x f32 engine at batch 32 / {n_threads} threads ({int8_speedup:.2}x)"
+        ),
+        int8_speedup >= 1.0,
+    );
     r.print();
 
-    let json = render_json(&opts, tables.len(), n_threads, &results, speedup, &thread_scaling);
+    let json = render_json(
+        &opts,
+        tables.len(),
+        n_threads,
+        &results,
+        speedup,
+        int8_speedup,
+        &thread_scaling,
+    );
     std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
     eprintln!("[throughput] wrote BENCH_throughput.json, total elapsed {:?}", started.elapsed());
     // The speedup check is recorded (report + JSON) but deliberately does
@@ -325,6 +366,7 @@ fn render_json(
     n_threads: usize,
     results: &[Measurement],
     speedup: f64,
+    int8_speedup: f64,
     thread_scaling: &[(usize, f64)],
 ) -> String {
     let mut out = String::from("{\n");
@@ -370,6 +412,16 @@ fn render_json(
         "    \"denominator\": {\"mode\": \"sequential\", \"batch_size\": 1, \"threads\": 1},\n",
     );
     out.push_str(&format!("    \"value\": {speedup:.3}\n"));
+    out.push_str("  },\n");
+    // End-to-end int8 vs f32 at the serving configuration (same scheduling,
+    // quantized dense layers; non-GEMM stages stay f32, so this is the
+    // Amdahl-limited system-level view of BENCH_gemm.json's kernel speedup).
+    out.push_str("  \"int8_vs_f32\": {\n");
+    out.push_str("    \"numerator\": {\"mode\": \"batched_int8\", \"batch_size\": 32, ");
+    out.push_str(&format!("\"threads\": {n_threads}}},\n"));
+    out.push_str("    \"denominator\": {\"mode\": \"batched\", \"batch_size\": 32, ");
+    out.push_str(&format!("\"threads\": {n_threads}}},\n"));
+    out.push_str(&format!("    \"value\": {int8_speedup:.3}\n"));
     out.push_str("  }\n");
     out.push_str("}\n");
     out

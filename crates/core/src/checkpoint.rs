@@ -211,6 +211,14 @@ impl AnnotatorBundle {
         }
     }
 
+    /// Builds the opt-in int8 serving twin of this bundle's model — done
+    /// once at load, reused for every forward pass. Quantization happens
+    /// strictly *after* the bundle's structural and CRC integrity checks,
+    /// so a corrupt checkpoint can never reach the quantizer.
+    pub fn quantized(&self) -> crate::quant::QuantizedModel {
+        crate::quant::QuantizedModel::from_model(&self.model, &self.store)
+    }
+
     /// Serializes the whole bundle into one self-describing blob: magic,
     /// CRC32 of everything after the checksum field, then the sections
     /// (config scalars, prefix, tokenizer, label vocabularies, weights).

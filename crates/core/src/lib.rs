@@ -18,6 +18,9 @@
 //! * [`checkpoint`] — self-contained [`AnnotatorBundle`] checkpoints
 //!   (weights + config + tokenizer + label vocabularies in one artifact)
 //!   for serving processes that restart from disk.
+//! * [`quant`] — the opt-in int8 serving twin ([`QuantizedModel`]), built
+//!   once from a loaded bundle's f32 weights and accuracy-gated by the
+//!   repro harness (two-tier numerics policy, see `doduo_tensor::quant`).
 //!
 //! The paper's model variants map to configurations of the same structs:
 //!
@@ -36,6 +39,7 @@ pub mod checkpoint;
 pub mod model;
 pub mod pipeline;
 pub mod predictor;
+pub mod quant;
 pub mod trainer;
 
 pub use analysis::attention_dependency;
@@ -48,6 +52,7 @@ pub use pipeline::{
 pub use predictor::{
     scored_labels, Annotator, ColumnTypePrediction, RelationPrediction, TableAnnotation,
 };
+pub use quant::QuantizedModel;
 pub use trainer::{
     decode_labels, evaluate, predict_rels, predict_rels_single, predict_types, prepare, train,
     EpochRecord, EvalScores, Predictions, Prepared, RelExample, RelSingleExample, Task,

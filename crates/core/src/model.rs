@@ -104,14 +104,14 @@ pub struct DoduoModel {
     cfg: DoduoConfig,
     /// The shared Transformer encoder (`LM` in `M = (LM, {g_type, g_rel})`).
     pub encoder: Encoder,
-    type_dense_w: ParamId,
-    type_dense_b: ParamId,
-    type_out_w: ParamId,
-    type_out_b: ParamId,
-    rel_dense_w: ParamId,
-    rel_dense_b: ParamId,
-    rel_out_w: ParamId,
-    rel_out_b: ParamId,
+    pub(crate) type_dense_w: ParamId,
+    pub(crate) type_dense_b: ParamId,
+    pub(crate) type_out_w: ParamId,
+    pub(crate) type_out_b: ParamId,
+    pub(crate) rel_dense_w: ParamId,
+    pub(crate) rel_dense_b: ParamId,
+    pub(crate) rel_out_w: ParamId,
+    pub(crate) rel_out_b: ParamId,
 }
 
 impl DoduoModel {

@@ -1,0 +1,320 @@
+//! The int8-quantized serving twin of [`DoduoModel`] — opt-in, built once
+//! from trained f32 weights at bundle load.
+//!
+//! [`QuantizedModel`] pairs a [`QuantEncoder`] with quantized
+//! versions of both classification heads and mirrors
+//! [`Annotator::annotate_serialized`] op for op: the same ragged batch
+//! packing, `[CLS]` row selection, head order and output scatter, with
+//! every dense layer running the int8 kernels. The numerics contract is
+//! the accuracy-gated tier of the two-tier policy (`doduo_tensor::quant`):
+//! outputs are not bit-equal to f32 — the repro harness gates them on the
+//! paper's qualitative checks and pinned micro-F1 drift — but they are
+//! bit-stable across kernels, thread counts, and batch compositions on a
+//! host, so batched quantized annotation still equals one-by-one
+//! quantized annotation exactly.
+
+use crate::model::{DoduoModel, InputMode};
+use crate::predictor::{
+    scored_labels, Annotator, ColumnTypePrediction, RelationPrediction, TableAnnotation,
+};
+use doduo_table::SerializedTable;
+use doduo_tensor::{AttnMask, ParamStore, QuantizedLinear, Tape};
+use doduo_transformer::{BatchSeq, QuantEncoder};
+
+/// Int8-quantized encoder + heads, reusable across forward passes.
+pub struct QuantizedModel {
+    encoder: QuantEncoder,
+    type_dense: QuantizedLinear,
+    type_out: QuantizedLinear,
+    rel_dense: QuantizedLinear,
+    rel_out: QuantizedLinear,
+}
+
+impl QuantizedModel {
+    /// Quantizes every dense layer of `model` (encoder projections, FFNs,
+    /// and both heads) from the f32 weights in `store`. Embeddings and
+    /// LayerNorms stay f32 and are shared with the source model by
+    /// parameter id.
+    pub fn from_model(model: &DoduoModel, store: &ParamStore) -> QuantizedModel {
+        QuantizedModel {
+            encoder: QuantEncoder::from_encoder(&model.encoder, store),
+            type_dense: QuantizedLinear::from_f32(
+                store.get(model.type_dense_w),
+                store.get(model.type_dense_b),
+            ),
+            type_out: QuantizedLinear::from_f32(
+                store.get(model.type_out_w),
+                store.get(model.type_out_b),
+            ),
+            rel_dense: QuantizedLinear::from_f32(
+                store.get(model.rel_dense_w),
+                store.get(model.rel_dense_b),
+            ),
+            rel_out: QuantizedLinear::from_f32(
+                store.get(model.rel_out_w),
+                store.get(model.rel_out_b),
+            ),
+        }
+    }
+
+    /// The quantized mirror of [`Annotator::annotate_serialized`]: same
+    /// inputs, same output structure and ordering, int8 dense layers.
+    /// `ann` supplies the configuration, f32 parameter store (for the
+    /// shared embeddings/LayerNorms), and label vocabularies.
+    pub fn annotate_serialized(
+        &self,
+        ann: &Annotator<'_>,
+        groups: &[&[SerializedTable]],
+    ) -> Vec<TableAnnotation> {
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let cfg = ann.model.config();
+        let ml = cfg.multi_label;
+        let table_wise = cfg.input_mode == InputMode::TableWise;
+
+        let sts: Vec<&SerializedTable> = groups.iter().flat_map(|g| g.iter()).collect();
+        assert!(!sts.is_empty(), "every table serializes to at least one sequence");
+        let vis: Vec<Option<AttnMask>> =
+            sts.iter().map(|st| ann.model.visibility_mask(st)).collect();
+        let seqs: Vec<BatchSeq<'_>> = sts
+            .iter()
+            .zip(vis.iter())
+            .map(|(st, m)| BatchSeq { ids: &st.ids, mask: m.as_ref() })
+            .collect();
+
+        let mut tape = Tape::inference(ann.store);
+        let enc = self.encoder.forward_batch(&mut tape, &seqs);
+
+        let mut cls_rows: Vec<u32> = Vec::new();
+        let mut col_row0: Vec<usize> = Vec::with_capacity(sts.len());
+        for (b, st) in sts.iter().enumerate() {
+            col_row0.push(cls_rows.len());
+            cls_rows.extend(st.cls_positions.iter().map(|&p| enc.row_of(b, p as usize) as u32));
+        }
+        let cols = tape.row_select(enc.node, &cls_rows);
+
+        // Type head: dense → GELU → out, both dense layers int8.
+        let h = {
+            let t = self.type_dense.forward(tape.value(cols));
+            tape.input(t)
+        };
+        let a = tape.gelu(h);
+        let type_logits = {
+            let t = self.type_out.forward(tape.value(a));
+            tape.input(t)
+        };
+
+        // Relation pairs (0, j) per table-wise sequence with 2+ columns.
+        let mut subj: Vec<u32> = Vec::new();
+        let mut obj: Vec<u32> = Vec::new();
+        if table_wise && !ann.rel_vocab.is_empty() {
+            for (b, st) in sts.iter().enumerate() {
+                for j in 1..st.n_cols() {
+                    subj.push(col_row0[b] as u32);
+                    obj.push((col_row0[b] + j) as u32);
+                }
+            }
+        }
+        let rel_logits = (!subj.is_empty()).then(|| {
+            let s = tape.row_select(cols, &subj);
+            let o = tape.row_select(cols, &obj);
+            let pair = tape.concat_cols(s, o);
+            let h = {
+                let t = self.rel_dense.forward(tape.value(pair));
+                tape.input(t)
+            };
+            let act = tape.gelu(h);
+            let t = self.rel_out.forward(tape.value(act));
+            tape.input(t)
+        });
+
+        // Scatter head outputs back into per-table annotations — the same
+        // walk as the f32 path.
+        let tv = tape.value(type_logits);
+        let rv = rel_logits.map(|n| tape.value(n));
+        let mut out = Vec::with_capacity(groups.len());
+        let mut seq = 0usize;
+        let mut rel_row = 0usize;
+        for group in groups {
+            let mut types = Vec::new();
+            let mut relations = Vec::new();
+            for st in group.iter() {
+                let row0 = col_row0[seq];
+                for c in 0..st.n_cols() {
+                    types.push(ColumnTypePrediction {
+                        column: types.len(),
+                        labels: scored_labels(tv.row(row0 + c), ann.type_vocab, ml),
+                    });
+                }
+                if table_wise && !ann.rel_vocab.is_empty() {
+                    for j in 1..st.n_cols() {
+                        let v = rv.expect("relation logits exist when pairs do");
+                        relations.push(RelationPrediction {
+                            subject: 0,
+                            object: j,
+                            labels: scored_labels(v.row(rel_row), ann.rel_vocab, ml),
+                        });
+                        rel_row += 1;
+                    }
+                }
+                seq += 1;
+            }
+            out.push(TableAnnotation { types, relations });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AttentionMode, DoduoConfig};
+    use doduo_table::{Column, LabelVocab, SerializeConfig, Table};
+    use doduo_tokenizer::{TrainConfig as TokTrain, WordPiece};
+    use doduo_transformer::EncoderConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, DoduoModel, WordPiece, LabelVocab, LabelVocab) {
+        let tok = WordPiece::train(
+            ["alpha beta gamma one two three"],
+            &TokTrain { merges: 60, min_pair_count: 1, max_word_len: 16 },
+        );
+        let mut tv = LabelVocab::new();
+        tv.intern("t.a");
+        tv.intern("t.b");
+        tv.intern("t.c");
+        let mut rv = LabelVocab::new();
+        rv.intern("r.x");
+        rv.intern("r.y");
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = EncoderConfig::tiny(tok.vocab_size());
+        let max_seq = enc.max_seq;
+        let cfg = DoduoConfig::new(enc, 3, 2, true)
+            .with_attention(AttentionMode::Full)
+            .with_serialize(SerializeConfig::new(8, max_seq));
+        let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
+        (store, model, tok, tv, rv)
+    }
+
+    fn tables() -> Vec<Table> {
+        vec![
+            Table::new(
+                "t",
+                vec![
+                    Column::new(vec!["alpha".into(), "beta".into()]),
+                    Column::new(vec!["one".into(), "two".into()]),
+                ],
+            ),
+            Table::new("u", vec![Column::new(vec!["gamma".into()])]),
+            Table::new(
+                "v",
+                vec![
+                    Column::new(vec!["one two three".into(), "alpha".into()]),
+                    Column::new(vec!["beta".into()]),
+                    Column::new(vec!["two".into(), "three".into()]),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn quant_annotation_mirrors_f32_structure() {
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        let qm = QuantizedModel::from_model(&model, &store);
+        let tabs = tables();
+        let groups: Vec<Vec<SerializedTable>> =
+            tabs.iter().map(|t| model.serialize_for_types(t, &tok)).collect();
+        let borrowed: Vec<&[SerializedTable]> = groups.iter().map(Vec::as_slice).collect();
+        let f = ann.annotate_serialized(&borrowed);
+        let q = qm.annotate_serialized(&ann, &borrowed);
+        assert_eq!(f.len(), q.len());
+        for (ft, qt) in f.iter().zip(&q) {
+            assert_eq!(ft.types.len(), qt.types.len());
+            assert_eq!(ft.relations.len(), qt.relations.len());
+            for (a, b) in ft.types.iter().zip(&qt.types) {
+                assert_eq!(a.column, b.column);
+                for (name, p) in &b.labels {
+                    assert!(tv.id(name).is_some());
+                    assert!((0.0..=1.0).contains(p));
+                }
+            }
+            for (a, b) in ft.relations.iter().zip(&qt.relations) {
+                assert_eq!((a.subject, a.object), (b.subject, b.object));
+            }
+        }
+    }
+
+    #[test]
+    fn quant_batched_equals_one_by_one_bitwise() {
+        // The invariance the f32 path proves must survive quantization:
+        // batching cannot change quantized scores, because activation
+        // quantization is per row and integer accumulation is associative.
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        let qm = QuantizedModel::from_model(&model, &store);
+        let tabs = tables();
+        let groups: Vec<Vec<SerializedTable>> =
+            tabs.iter().map(|t| model.serialize_for_types(t, &tok)).collect();
+        let borrowed: Vec<&[SerializedTable]> = groups.iter().map(Vec::as_slice).collect();
+        let batched = qm.annotate_serialized(&ann, &borrowed);
+        for (g, b) in borrowed.iter().zip(&batched) {
+            let single = qm.annotate_serialized(&ann, &[g]).pop().expect("one in, one out");
+            assert_eq!(single.types.len(), b.types.len());
+            for (x, y) in single.types.iter().zip(&b.types) {
+                for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+                    assert_eq!(n1, n2);
+                    assert_eq!(s1.to_bits(), s2.to_bits(), "quant type scores must be bit-stable");
+                }
+            }
+            for (x, y) in single.relations.iter().zip(&b.relations) {
+                for ((n1, s1), (n2, s2)) in x.labels.iter().zip(&y.labels) {
+                    assert_eq!(n1, n2);
+                    assert_eq!(s1.to_bits(), s2.to_bits(), "quant rel scores must be bit-stable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_annotation_is_deterministic() {
+        let (store, model, tok, tv, rv) = setup();
+        let ann = Annotator {
+            model: &model,
+            store: &store,
+            tokenizer: &tok,
+            type_vocab: &tv,
+            rel_vocab: &rv,
+        };
+        let qm = QuantizedModel::from_model(&model, &store);
+        let tabs = tables();
+        let groups: Vec<Vec<SerializedTable>> =
+            tabs.iter().map(|t| model.serialize_for_types(t, &tok)).collect();
+        let borrowed: Vec<&[SerializedTable]> = groups.iter().map(Vec::as_slice).collect();
+        let a = qm.annotate_serialized(&ann, &borrowed);
+        let b = qm.annotate_serialized(&ann, &borrowed);
+        for (x, y) in a.iter().zip(&b) {
+            for (tx, ty) in x.types.iter().zip(&y.types) {
+                for ((n1, s1), (n2, s2)) in tx.labels.iter().zip(&ty.labels) {
+                    assert_eq!(n1, n2);
+                    assert_eq!(s1.to_bits(), s2.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -171,6 +171,65 @@ fn weight_bit_flips_cannot_silently_change_the_model() {
     }
 }
 
+/// The int8 serving path (`load` then [`AnnotatorBundle::quantized`]) must
+/// reject exactly what the f32 path rejects: quantization happens strictly
+/// after the structural checks and the payload CRC, so no corrupted blob
+/// can ever reach the weight-quantization step. This asserts the coupling
+/// — every truncation and bit flip that fails `load` fails the quantized
+/// pipeline with the *same* error, before `quantized()` runs.
+#[test]
+fn quantized_mode_rejects_the_same_corruptions() {
+    let b = bundle();
+    let blob = b.save();
+    // The quantized load pipeline: same entry point, quantize on success.
+    let quant_load = |bytes: &[u8]| AnnotatorBundle::load(bytes).map(|b| b.quantized());
+    for (name, lo, hi) in section_ranges(&b, blob.len()) {
+        let cut = (lo + hi) / 2;
+        let f32_err = AnnotatorBundle::load(&blob[..cut]).err();
+        let quant_err = quant_load(&blob[..cut]).err();
+        assert_eq!(
+            f32_err.map(|e| e.to_string()),
+            quant_err.map(|e| e.to_string()),
+            "truncation in {name}: quantized load must fail exactly like f32"
+        );
+        for pos in [lo, (lo + hi) / 2, hi - 1] {
+            let mut bad = blob.clone();
+            bad[pos] ^= 1 << 3;
+            let f32_err = AnnotatorBundle::load(&bad).err();
+            let quant_err = quant_load(&bad).err();
+            assert!(quant_err.is_some(), "flip at byte {pos} ({name}) reached quantization");
+            assert_eq!(
+                f32_err.map(|e| e.to_string()),
+                quant_err.map(|e| e.to_string()),
+                "flip in {name}: quantized load must fail exactly like f32"
+            );
+        }
+    }
+}
+
+/// A clean blob quantizes identically whether the bundle was freshly built
+/// or round-tripped through checkpoint bytes: the weights the CRC protects
+/// are the weights the int8 packer reads.
+#[test]
+fn clean_blob_quantizes_identically_after_round_trip() {
+    let b = bundle();
+    let loaded = AnnotatorBundle::load(&b.save()).expect("clean blob loads");
+    let t = table();
+    let groups = [b.model.serialize_for_types(&t, &b.tokenizer)];
+    let refs: Vec<&[_]> = groups.iter().map(Vec::as_slice).collect();
+    let fresh = b.quantized().annotate_serialized(&b.annotator(), &refs);
+    let reloaded = loaded.quantized().annotate_serialized(&loaded.annotator(), &refs);
+    for (x, y) in fresh.iter().zip(&reloaded) {
+        assert_eq!(x.types.len(), y.types.len());
+        for (p, q) in x.types.iter().zip(&y.types) {
+            for ((n1, s1), (n2, s2)) in p.labels.iter().zip(&q.labels) {
+                assert_eq!(n1, n2);
+                assert_eq!(s1.to_bits(), s2.to_bits(), "int8 scores must survive the round trip");
+            }
+        }
+    }
+}
+
 #[test]
 fn sampled_bit_flips_never_panic() {
     let b = bundle();

@@ -16,9 +16,15 @@
 //!
 //! Stages 2–4 never change the numbers — only how they are scheduled — so
 //! the output is bit-identical to sequential `Annotator::annotate` calls.
+//!
+//! With [`BatchConfig::quant`] set, stage 4 dispatches through an int8
+//! [`QuantizedModel`] instead. The scheduling guarantee is unchanged —
+//! quantized activations are per-row and integer accumulation is exact, so
+//! batch composition and thread count still never change the numbers — but
+//! the numbers themselves are the quantized tier's, not the f32 reference's.
 
 use crate::cache::{CacheStats, TokenCache};
-use doduo_core::{Annotator, InputMode, TableAnnotation};
+use doduo_core::{Annotator, InputMode, QuantizedModel, TableAnnotation};
 use doduo_table::{
     assemble_single_column, assemble_table_wise, column_tokens, single_column_budget,
     table_wise_budget, SerializedTable, Table,
@@ -45,6 +51,12 @@ pub struct BatchConfig {
     pub threads: usize,
     /// Columns the tokenization cache keeps resident.
     pub cache_capacity: usize,
+    /// Opt-in int8 inference: when `true`, the dense layers run the
+    /// quantized kernels (built once from the f32 weights at construction)
+    /// instead of the bit-identical f32 path. Accuracy-gated rather than
+    /// bit-equal — see the two-tier numerics policy in
+    /// `doduo_tensor::quant`.
+    pub quant: bool,
 }
 
 impl Default for BatchConfig {
@@ -54,6 +66,7 @@ impl Default for BatchConfig {
             max_batch_tokens: 192,
             threads: doduo_tensor::default_threads(),
             cache_capacity: 4096,
+            quant: false,
         }
     }
 }
@@ -64,6 +77,9 @@ pub struct BatchAnnotator<'a> {
     annotator: Annotator<'a>,
     cfg: BatchConfig,
     cache: Mutex<TokenCache>,
+    /// Present iff [`BatchConfig::quant`]: the int8 twin every micro-batch
+    /// dispatches through instead of the f32 annotator.
+    quant: Option<QuantizedModel>,
 }
 
 impl<'a> BatchAnnotator<'a> {
@@ -73,9 +89,12 @@ impl<'a> BatchAnnotator<'a> {
     }
 
     /// Wraps an annotator with explicit batching/threading/caching knobs.
+    /// When [`BatchConfig::quant`] is set, the int8 model is quantized
+    /// here, once, from the annotator's f32 weights.
     pub fn with_config(annotator: Annotator<'a>, cfg: BatchConfig) -> Self {
         let cache = Mutex::new(TokenCache::new(cfg.cache_capacity));
-        BatchAnnotator { annotator, cfg, cache }
+        let quant = cfg.quant.then(|| QuantizedModel::from_model(annotator.model, annotator.store));
+        BatchAnnotator { annotator, cfg, cache, quant }
     }
 
     /// The wrapped single-table annotator.
@@ -91,6 +110,11 @@ impl<'a> BatchAnnotator<'a> {
     /// Tokenization-cache counters (hits, misses, occupancy).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Whether micro-batches run the int8 path instead of f32.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
     }
 
     /// Annotates every table, returning annotations in input order that are
@@ -174,6 +198,7 @@ impl<'a> BatchAnnotator<'a> {
         let threads = self.cfg.threads.clamp(1, batches.len());
         let batches = &batches;
         let annotator = &self.annotator;
+        let quant = self.quant.as_ref();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
@@ -181,7 +206,10 @@ impl<'a> BatchAnnotator<'a> {
                         for batch in batches.iter().skip(w).step_by(threads) {
                             let sliced: Vec<&[SerializedTable]> =
                                 batch.iter().map(|&i| groups[i].as_slice()).collect();
-                            let anns = annotator.annotate_serialized(&sliced);
+                            let anns = match quant {
+                                Some(qm) => qm.annotate_serialized(annotator, &sliced),
+                                None => annotator.annotate_serialized(&sliced),
+                            };
                             for (&i, ann) in batch.iter().zip(anns) {
                                 on_done(i, ann);
                             }

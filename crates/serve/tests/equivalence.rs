@@ -96,7 +96,7 @@ fn check_equivalence_with_tokens(
         w.tables.iter().map(|t| annotator(&w).annotate(t)).collect();
     let server = BatchAnnotator::with_config(
         annotator(&w),
-        BatchConfig { max_batch, max_batch_tokens, threads, cache_capacity: 512 },
+        BatchConfig { max_batch, max_batch_tokens, threads, cache_capacity: 512, quant: false },
     );
     let batched = server.annotate_batch(&w.tables);
     assert_eq!(batched.len(), sequential.len());
@@ -125,6 +125,52 @@ fn batch_of_everything_in_one_forward() {
     // Both bounds larger than the corpus: the whole slice becomes one
     // packed forward pass and must still match.
     check_equivalence_with_tokens(InputMode::TableWise, 2, 1024, usize::MAX);
+}
+
+/// The quantized engine has the same scheduling invariance as f32: batched
+/// multi-threaded annotation is bit-identical to one-table-at-a-time
+/// quantized annotation, at every thread count and batch size.
+#[test]
+fn quant_batched_equals_quant_sequential_bitwise() {
+    let w = world(InputMode::TableWise);
+    let qm = doduo_core::QuantizedModel::from_model(&w.model, &w.store);
+    let ann = annotator(&w);
+    let sequential: Vec<TableAnnotation> = w
+        .tables
+        .iter()
+        .map(|t| {
+            let groups = [w.model.serialize_for_types(t, ann.tokenizer)];
+            let refs: Vec<&[_]> = groups.iter().map(Vec::as_slice).collect();
+            qm.annotate_serialized(&ann, &refs).into_iter().next().expect("one table")
+        })
+        .collect();
+    for (threads, max_batch) in [(1usize, 8usize), (4, 8), (2, 1024)] {
+        let server = BatchAnnotator::with_config(
+            annotator(&w),
+            BatchConfig { max_batch, threads, quant: true, ..BatchConfig::default() },
+        );
+        assert!(server.is_quantized());
+        let batched = server.annotate_batch(&w.tables);
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+            assert_bit_identical(s, b, i);
+        }
+    }
+}
+
+/// Turning quant on must not silently alter the f32 path: a default-config
+/// engine stays f32 and still matches sequential annotation exactly.
+#[test]
+fn default_config_is_not_quantized() {
+    let w = world(InputMode::TableWise);
+    let server = BatchAnnotator::new(annotator(&w));
+    assert!(!server.is_quantized());
+    let batched = server.annotate_batch(&w.tables[..4]);
+    let sequential: Vec<TableAnnotation> =
+        w.tables[..4].iter().map(|t| annotator(&w).annotate(t)).collect();
+    for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+        assert_bit_identical(s, b, i);
+    }
 }
 
 #[test]

@@ -14,7 +14,7 @@
 use doduo_core::AnnotatorBundle;
 use doduo_serve::BatchConfig;
 use doduo_served::bootstrap::synthetic_world;
-use doduo_served::validate::offline_response;
+use doduo_served::validate::{check_label_equivalence, offline_response, offline_response_quant};
 use doduo_served::{BatchPolicy, ServeConfig, Server};
 use std::time::Duration;
 
@@ -25,6 +25,8 @@ struct Args {
     seed: u64,
     save_checkpoint: Option<String>,
     oneshot: Option<String>,
+    compare_labels: Option<(String, String)>,
+    quant: bool,
     max_batch_seqs: usize,
     max_batch_tokens: usize,
     max_delay_ms: u64,
@@ -49,13 +51,17 @@ fn usage() -> ! {
            --max-batch-tokens N    flush at N pending tokens (default 192)\n\
            --max-delay-ms T        flush when the oldest request waited T ms (default 2)\n\
            --threads K             engine worker threads (default: all cores)\n\
+           --quant int8|off        int8 inference (accuracy-gated; default off)\n\
            --workers W             connection-pool workers; 0 = one thread per\n\
                                    connection (default 16)\n\
            --keep-alive on|off     honor HTTP keep-alive (default on)\n\
          \n\
          other:\n\
            --oneshot FILE          annotate request FILE offline, print the exact\n\
-                                   /annotate response bytes, and exit"
+                                   /annotate response bytes, and exit\n\
+           --compare-labels A B    exit 0 iff response files A and B decode to\n\
+                                   identical prediction sets (the int8 gate:\n\
+                                   scores may differ, labels must not flip)"
     );
     std::process::exit(2)
 }
@@ -68,6 +74,8 @@ fn parse_args() -> Args {
         seed: 42,
         save_checkpoint: None,
         oneshot: None,
+        compare_labels: None,
+        quant: false,
         max_batch_seqs: 32,
         max_batch_tokens: 192,
         max_delay_ms: 2,
@@ -95,6 +103,18 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--save-checkpoint" => args.save_checkpoint = Some(value(&mut i)),
             "--oneshot" => args.oneshot = Some(value(&mut i)),
+            "--compare-labels" => {
+                let a = value(&mut i);
+                let b = value(&mut i);
+                args.compare_labels = Some((a, b));
+            }
+            "--quant" => {
+                args.quant = match value(&mut i).as_str() {
+                    "int8" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
+            }
             "--max-batch" => {
                 args.max_batch_seqs = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
@@ -121,7 +141,7 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    if args.checkpoint.is_some() == args.synthetic.is_some() {
+    if args.compare_labels.is_none() && args.checkpoint.is_some() == args.synthetic.is_some() {
         eprintln!("exactly one of --checkpoint / --synthetic is required");
         usage()
     }
@@ -130,6 +150,24 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some((a, b)) = &args.compare_labels {
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("[served] cannot read {path}: {e}");
+                std::process::exit(1)
+            })
+        };
+        match check_label_equivalence(&read(a), &read(b)) {
+            Ok(n) => {
+                eprintln!("[served] label sets identical across {n} table(s)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("[served] label divergence: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
     let t0 = std::time::Instant::now();
     let bundle: AnnotatorBundle = if let Some(path) = &args.checkpoint {
         AnnotatorBundle::load_from(path).unwrap_or_else(|e| {
@@ -160,9 +198,14 @@ fn main() {
             eprintln!("[served] cannot read request {path}: {e}");
             std::process::exit(1)
         });
-        // The offline reference path: per-table Annotator::annotate through
-        // the same codec — the daemon's equivalence target.
-        let resp = offline_response(&bundle, &body).unwrap_or_else(|e| {
+        // The offline reference path through the selected numeric tier —
+        // the daemon's equivalence target for the same `--quant` setting.
+        let resp = if args.quant {
+            offline_response_quant(&bundle, &body)
+        } else {
+            offline_response(&bundle, &body)
+        }
+        .unwrap_or_else(|e| {
             eprintln!("[served] bad request body: {e}");
             std::process::exit(1)
         });
@@ -182,6 +225,7 @@ fn main() {
             max_batch: args.max_batch_seqs,
             max_batch_tokens: args.max_batch_tokens,
             threads: args.threads.max(1),
+            quant: args.quant,
             ..BatchConfig::default()
         },
         workers: args.workers,
@@ -193,9 +237,10 @@ fn main() {
         std::process::exit(1)
     });
     eprintln!(
-        "[served] listening on {} (flush at {} seqs / {} tokens / {} ms; {} engine threads; \
+        "[served] listening on {} ({}; flush at {} seqs / {} tokens / {} ms; {} engine threads; \
          {}; keep-alive {})",
         server.addr(),
+        if args.quant { "int8" } else { "f32" },
         args.max_batch_seqs,
         args.max_batch_tokens,
         args.max_delay_ms,

@@ -31,6 +31,26 @@ pub fn offline_response(bundle: &AnnotatorBundle, body: &str) -> Result<String, 
     Ok(annotations_response(&anns, wrapped))
 }
 
+/// [`offline_response`] through the int8 tier: the reference a daemon
+/// running with `--quant int8` is compared against. Quantized annotation is
+/// batch-composition invariant (per-row activation scales, exact integer
+/// accumulation), so annotating one table at a time here is bit-identical
+/// to whatever micro-batches the daemon cut.
+pub fn offline_response_quant(bundle: &AnnotatorBundle, body: &str) -> Result<String, String> {
+    let (tables, wrapped) = tables_from_request(body)?;
+    let ann = bundle.annotator();
+    let qm = bundle.quantized();
+    let anns: Vec<_> = tables
+        .iter()
+        .map(|t| {
+            let groups = [bundle.model.serialize_for_types(t, &bundle.tokenizer)];
+            let refs: Vec<&[_]> = groups.iter().map(Vec::as_slice).collect();
+            qm.annotate_serialized(&ann, &refs).into_iter().next().expect("one table in")
+        })
+        .collect();
+    Ok(annotations_response(&anns, wrapped))
+}
+
 /// POSTs each body to a live daemon's `/annotate` and verifies every
 /// response is byte-identical to [`offline_response`] over the same
 /// bundle. Returns the number of bodies checked; the error names the first
@@ -76,7 +96,10 @@ pub struct DecodedAnnotation {
 /// rule: every label with score > 0.5; the top-scored label when none
 /// clears the threshold.
 pub fn decode_annotation(body: &str) -> Result<DecodedAnnotation, String> {
-    let v = Json::parse(body)?;
+    decode_annotation_value(&Json::parse(body)?)
+}
+
+fn decode_annotation_value(v: &Json) -> Result<DecodedAnnotation, String> {
     let mut col_types = Vec::new();
     for t in v.get("types").and_then(Json::as_array).ok_or("response has no \"types\" array")? {
         let col = t.get("column").and_then(Json::as_f64).ok_or("type entry has no column")?;
@@ -91,6 +114,53 @@ pub fn decode_annotation(body: &str) -> Result<DecodedAnnotation, String> {
         }
     }
     Ok(DecodedAnnotation { col_types, relations })
+}
+
+/// Verifies two `/annotate` response bodies (single-table or wrapped
+/// multi-table) decode to identical prediction sets under the trainer's
+/// threshold/argmax rule. This is the int8 serving gate: a `--quant int8`
+/// daemon need not be byte-identical to f32 (scores differ in low bits),
+/// but the *labels it commits to* must not flip. Label lists are compared
+/// as sets, so score-driven reordering within a prediction set is not a
+/// divergence. Returns the number of tables compared.
+pub fn check_label_equivalence(a: &str, b: &str) -> Result<usize, String> {
+    let (va, vb) = (Json::parse(a)?, Json::parse(b)?);
+    let (ta, tb) = (table_entries(&va), table_entries(&vb));
+    if ta.len() != tb.len() {
+        return Err(format!("responses cover {} vs {} tables", ta.len(), tb.len()));
+    }
+    for (i, (x, y)) in ta.iter().zip(&tb).enumerate() {
+        let (mut dx, mut dy) = (decode_annotation_value(x)?, decode_annotation_value(y)?);
+        for (_, labels) in dx.col_types.iter_mut().chain(dy.col_types.iter_mut()) {
+            labels.sort();
+        }
+        for (_, _, labels) in dx.relations.iter_mut().chain(dy.relations.iter_mut()) {
+            labels.sort();
+        }
+        if dx.col_types != dy.col_types {
+            return Err(format!(
+                "table {i}: column-type labels diverge ({:?} vs {:?})",
+                dx.col_types, dy.col_types
+            ));
+        }
+        if dx.relations != dy.relations {
+            return Err(format!(
+                "table {i}: relation labels diverge ({:?} vs {:?})",
+                dx.relations, dy.relations
+            ));
+        }
+    }
+    Ok(ta.len())
+}
+
+/// The per-table annotation objects inside a response body: the elements of
+/// the `annotations` array for wrapped multi-table responses, the document
+/// itself for single-table ones.
+fn table_entries(v: &Json) -> Vec<&Json> {
+    match v.get("annotations").and_then(Json::as_array) {
+        Some(arr) => arr.iter().collect(),
+        None => vec![v],
+    }
 }
 
 /// Applies the threshold/argmax rule to one entry's scored label list
@@ -155,6 +225,44 @@ mod tests {
         assert_eq!(d.col_types[0], (0, vec!["a".to_string(), "b".to_string()]));
         assert_eq!(d.col_types[1], (1, vec!["x".to_string()]), "argmax fallback below threshold");
         assert_eq!(d.relations, vec![(0, 1, vec!["r".to_string()])]);
+    }
+
+    /// The int8 offline path is well-formed, decodable, and deterministic.
+    /// It is NOT asserted label-identical to f32 here: this world's model is
+    /// randomly initialized, so half the vocabulary sits at sigmoid ≈ 0.5
+    /// where any numeric tier disagrees on threshold membership. Label
+    /// identity is a *trained-model* contract, gated by the repro harness
+    /// and the CI serve-smoke over a fine-tuned checkpoint.
+    #[test]
+    fn quant_offline_response_is_well_formed_and_deterministic() {
+        let w = synthetic_world(true, 42);
+        for t in w.tables.iter().take(4) {
+            let body = table_to_json(t);
+            let q = offline_response_quant(&w.bundle, &body).expect("int8 annotates");
+            assert!(q.contains("\"types\""));
+            assert!(q.ends_with('\n'));
+            decode_annotation(&q).expect("int8 response decodes");
+            let again = offline_response_quant(&w.bundle, &body).expect("int8 annotates again");
+            assert_eq!(q, again, "int8 tier is bit-stable run to run");
+            let f = offline_response(&w.bundle, &body).expect("f32 annotates");
+            assert_eq!(
+                decode_annotation(&q).expect("decodes").col_types.len(),
+                decode_annotation(&f).expect("decodes").col_types.len(),
+                "both tiers annotate every column"
+            );
+        }
+    }
+
+    #[test]
+    fn label_equivalence_accepts_score_drift_and_rejects_flips() {
+        let a = r#"{"types": [{"column": 0, "labels": [
+            {"label": "a", "score": 0.91}, {"label": "b", "score": 0.62}]}]}"#;
+        let drifted = r#"{"types": [{"column": 0, "labels": [
+            {"label": "b", "score": 0.63}, {"label": "a", "score": 0.89}]}]}"#;
+        let flipped = r#"{"types": [{"column": 0, "labels": [
+            {"label": "a", "score": 0.91}, {"label": "b", "score": 0.44}]}]}"#;
+        assert_eq!(check_label_equivalence(a, drifted).expect("same sets"), 1);
+        assert!(check_label_equivalence(a, flipped).is_err(), "b dropped below threshold");
     }
 
     #[test]

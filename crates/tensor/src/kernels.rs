@@ -310,7 +310,7 @@ fn microkernel_avx2(
 /// True once per process if the host has AVX2 (the fast micro-kernel's
 /// requirement; detection result is cached by the stdlib).
 #[inline]
-fn has_avx2() -> bool {
+pub(crate) fn has_avx2() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2")

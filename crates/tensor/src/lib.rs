@@ -9,6 +9,10 @@
 //! * [`kernels`] — the cache-blocked, register-tiled GEMM layer those entry
 //!   points dispatch to (packed panels, row-stripe threading, bit-identical
 //!   to the naive loops by construction).
+//! * [`quant`] — the opt-in int8 serving path ([`QuantizedLinear`]):
+//!   per-output-channel symmetric weight quantization with dynamic per-row
+//!   activation scales, accuracy-gated rather than bit-identical (see the
+//!   two-tier numerics policy in that module).
 //! * [`Tape`] — an eager autograd tape recording one forward pass; ops cover
 //!   dense layers, LayerNorm, GELU, embedding gather, fused multi-head
 //!   attention with optional visibility masks (for the TURL baseline),
@@ -29,6 +33,7 @@ pub mod kernels;
 pub mod optim;
 pub mod parallel;
 pub mod params;
+pub mod quant;
 pub mod serialize;
 pub mod tape;
 pub mod tensor;
@@ -37,5 +42,6 @@ pub use kernels::{gemm_threads, set_gemm_threads};
 pub use optim::{Adam, LrSchedule};
 pub use parallel::{accumulate_parallel, default_threads};
 pub use params::{Gradients, Param, ParamId, ParamStore};
+pub use quant::{quantize_row_i8, QuantizedLinear};
 pub use tape::{softmax_row, AttnMask, NodeId, Tape, MASK_NEG};
 pub use tensor::{matmul, matmul_nt, matmul_tn, Tensor};

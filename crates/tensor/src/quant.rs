@@ -1,0 +1,805 @@
+//! Opt-in int8 quantized linear kernels — the serving fast path.
+//!
+//! ## Scheme
+//!
+//! Weights are quantized **per output channel** (one symmetric scale per
+//! output column: `scale_j = max_i |w[i][j]| / 127`, `q =
+//! round_ties_even(w / scale_j)` clamped to `[-127, 127]`); activations
+//! are quantized **per row** with a dynamic scale computed at forward time
+//! (`scale_r = max_c |x[r][c]| / 127`). The inner product runs entirely in
+//! integers — packed `i8 × i8` products accumulated into `i32` — and is
+//! dequantized in one f32 multiply-add per output element:
+//!
+//! ```text
+//! y[r][j] = (acc as f32) * (a_scale_r * w_scale_j) + bias[j]
+//! ```
+//!
+//! ## Two-tier numerics policy
+//!
+//! The f32 GEMMs in [`crate::kernels`] are the **bit-identical reference**:
+//! every f32 execution strategy (naive, blocked, threaded) produces the
+//! same bits. The quantized path is *not* bit-equal to f32 — it is
+//! **accuracy-gated** instead (the repro harness re-runs the paper's
+//! qualitative checks and pins micro-F1 drift under quantization). What
+//! *is* exact here: integer accumulation is associative, so every SIMD
+//! kernel, the scalar fallback, and every thread count produce
+//! **bit-identical quantized outputs** — the same invariance contract the
+//! f32 layer has, one tier down. (Inputs are assumed finite; rows
+//! containing NaN are a degenerate case with unspecified codes, exactly as
+//! they are garbage under the f32 path.)
+//!
+//! ## Kernels
+//!
+//! Three tiers behind runtime feature detection, fastest available wins:
+//!
+//! * **AVX-512 VNNI** — quantized columns packed into panels of 16 with
+//!   `k`-quads interleaved across lanes, the operand order `vpdpbusd`
+//!   consumes: one instruction multiplies four `u8 × i8` lanes per output
+//!   column and accumulates straight into that column's i32 lane.
+//!   `vpdpbusd` wants unsigned activations, so activation codes are biased
+//!   by +128 into `u8` and each accumulator starts at `-128 · Σ_i w[i][j]`
+//!   (precomputed at pack time) — an exact integer identity, so the result
+//!   equals the signed dot product bit for bit.
+//! * **AVX2** — panels of [`NR`] columns with `k`-pairs interleaved, the
+//!   layout `vpmaddwd` consumes directly: sign-extend a 16-byte half-panel
+//!   from i8 (`vpmovsxbw` — the exact-arithmetic variant of the classic
+//!   saturating `maddubs` idiom), multiply-add against a broadcast
+//!   activation pair, accumulate per-lane. No horizontal reductions.
+//! * **Scalar** — a portable loop over the packed layout; both the
+//!   fallback and the reference oracle for the property tests.
+
+use crate::kernels::{self, MIN_FLOPS_PER_THREAD};
+use crate::tensor::Tensor;
+
+/// Packed columns per AVX2 weight panel — one i32 accumulator lane per
+/// column.
+pub const NR: usize = 8;
+
+/// Packed columns per AVX-512 VNNI weight panel (16 i32 lanes per zmm).
+const NV: usize = 16;
+
+/// `k`-padding quantum: packed weight columns and quantized activation
+/// rows are zero-padded to a multiple of this many lanes so the SIMD inner
+/// loops have no remainder pass. Zero lanes contribute exactly 0 to the
+/// integer accumulator, so padding never changes the output.
+pub const QK: usize = 32;
+
+/// Quantizes one f32 row symmetrically to i8 into `out` (which may be
+/// longer than `row`; the tail is zero-filled) and returns the scale such
+/// that `row[i] ≈ out[i] as f32 * scale`. Rounding is to nearest, ties to
+/// even — the same rule the vectorized activation quantizer uses, so codes
+/// are identical across implementations. An all-zero (or empty) row gets
+/// scale `0.0` and all-zero codes, so dequantization reproduces exact
+/// zeros.
+pub fn quantize_row_i8(row: &[f32], out: &mut [i8]) -> f32 {
+    assert!(out.len() >= row.len(), "quantize output buffer too small");
+    let mut amax = 0f32;
+    for &v in row {
+        amax = amax.max(v.abs());
+    }
+    if amax == 0.0 || !amax.is_finite() {
+        for o in out.iter_mut() {
+            *o = 0;
+        }
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    for (o, &v) in out.iter_mut().zip(row.iter()) {
+        *o = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+    }
+    for o in out[row.len()..].iter_mut() {
+        *o = 0;
+    }
+    amax / 127.0
+}
+
+/// Same quantization as [`quantize_row_i8`] but written into an i16 buffer
+/// (the codes still lie in `[-127, 127]`) — the layout the AVX2 kernel's
+/// pair broadcasts consume without widening activations in the inner loop.
+/// Dispatches to a vectorized implementation when the host has AVX2; both
+/// implementations produce identical codes for finite inputs.
+fn quantize_row_i16(row: &[f32], out: &mut [i16]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kernels::has_avx2() {
+        // SAFETY: AVX2 presence was just checked at runtime.
+        return unsafe { quantize_row_i16_avx2(row, out) };
+    }
+    quantize_row_i16_scalar(row, out)
+}
+
+fn quantize_row_i16_scalar(row: &[f32], out: &mut [i16]) -> f32 {
+    let mut amax = 0f32;
+    for &v in row {
+        amax = amax.max(v.abs());
+    }
+    if amax == 0.0 || !amax.is_finite() {
+        for o in out.iter_mut() {
+            *o = 0;
+        }
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    for (o, &v) in out.iter_mut().zip(row.iter()) {
+        *o = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i16;
+    }
+    for o in out[row.len()..].iter_mut() {
+        *o = 0;
+    }
+    amax / 127.0
+}
+
+/// Vectorized [`quantize_row_i16_scalar`]: 8-wide abs-max scan, then a
+/// 16-wide multiply / round-to-nearest-even / clamp / pack pass. Every
+/// lane performs exactly the scalar op sequence (`mul`, `roundps` nearest
+/// ties-even, min/max selection, exact int conversion), so codes match
+/// the scalar implementation bit for bit on finite inputs.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_row_i16_avx2(row: &[f32], out: &mut [i16]) -> f32 {
+    use std::arch::x86_64::*;
+    let k = row.len();
+    let rp = row.as_ptr();
+    let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    let mut vmax = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= k {
+        vmax = _mm256_max_ps(vmax, _mm256_and_ps(absmask, _mm256_loadu_ps(rp.add(i))));
+        i += 8;
+    }
+    let mut lanes = [0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+    let mut amax = 0f32;
+    for &l in &lanes {
+        amax = amax.max(l);
+    }
+    while i < k {
+        amax = amax.max((*rp.add(i)).abs());
+        i += 1;
+    }
+    if amax == 0.0 || !amax.is_finite() {
+        for o in out.iter_mut() {
+            *o = 0;
+        }
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    let vinv = _mm256_set1_ps(inv);
+    let lo = _mm256_set1_ps(-127.0);
+    let hi = _mm256_set1_ps(127.0);
+    let op = out.as_mut_ptr();
+    const ROUND: i32 = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    let mut i = 0usize;
+    while i + 16 <= k {
+        let t0 = _mm256_mul_ps(_mm256_loadu_ps(rp.add(i)), vinv);
+        let t1 = _mm256_mul_ps(_mm256_loadu_ps(rp.add(i + 8)), vinv);
+        let c0 = _mm256_max_ps(lo, _mm256_min_ps(hi, _mm256_round_ps::<ROUND>(t0)));
+        let c1 = _mm256_max_ps(lo, _mm256_min_ps(hi, _mm256_round_ps::<ROUND>(t1)));
+        let packed = _mm256_packs_epi32(_mm256_cvtps_epi32(c0), _mm256_cvtps_epi32(c1));
+        // packs interleaves 128-bit lanes; restore ascending order.
+        let fixed = _mm256_permute4x64_epi64::<0b11_01_10_00>(packed);
+        _mm256_storeu_si256(op.add(i) as *mut __m256i, fixed);
+        i += 16;
+    }
+    while i < k {
+        let v = *rp.add(i);
+        *op.add(i) = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i16;
+        i += 1;
+    }
+    for o in out[k..].iter_mut() {
+        *o = 0;
+    }
+    amax / 127.0
+}
+
+/// Which inner kernel a forward pass runs with. Selected once per call;
+/// all variants produce bit-identical outputs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+enum Kern {
+    Scalar,
+    Avx2,
+    Vnni,
+}
+
+/// Runtime check for the AVX-512 VNNI tier (`vpdpbusd` on zmm).
+fn has_vnni() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vnni")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Fastest kernel the host supports.
+fn best_kern() -> Kern {
+    if has_vnni() {
+        Kern::Vnni
+    } else if kernels::has_avx2() {
+        Kern::Avx2
+    } else {
+        Kern::Scalar
+    }
+}
+
+/// A dense layer (`y = x·W + b`) with per-output-channel symmetric int8
+/// weights, built once from f32 weights and reused for every forward pass.
+///
+/// Weights are packed twice (they are tiny next to activations): panels of
+/// [`NR`] columns with `k`-pairs interleaved for the AVX2/scalar kernels,
+/// and panels of 16 columns with `k`-quads interleaved for the VNNI
+/// kernel, each the exact operand order its multiply-add consumes.
+pub struct QuantizedLinear {
+    /// Input width (f32 columns of `x`, rows of `W`).
+    k: usize,
+    /// Output width.
+    n: usize,
+    /// `k` rounded up to a multiple of [`QK`] (the packed column length).
+    kp: usize,
+    /// `n` rounded up to a multiple of the VNNI panel width (which is also
+    /// a multiple of [`NR`], so both layouts share it). Padded columns are
+    /// all-zero with zero scale and bias.
+    np: usize,
+    /// Pair-interleaved packed weights: panel `g` at `[g*kp*NR, (g+1)*kp*NR)`.
+    w: Vec<i8>,
+    /// Quad-interleaved packed weights for `vpdpbusd`: panel `g` at
+    /// `[g*kp*NV, (g+1)*kp*NV)`.
+    w4: Vec<i8>,
+    /// Per-column `-128 · Σ_i w[i][j]` — the exact correction that cancels
+    /// the +128 activation bias of the VNNI kernel; accumulators start
+    /// here instead of zero.
+    corr: Vec<i32>,
+    /// Per-output-channel weight scales, padded to `np` with zeros.
+    w_scales: Vec<f32>,
+    /// f32 bias applied after dequantization, padded to `np` with zeros.
+    bias: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an `[k, n]` f32 weight matrix and `[1, n]` bias.
+    pub fn from_f32(w: &Tensor, bias: &Tensor) -> QuantizedLinear {
+        QuantizedLinear::from_concat(&[(w, bias)])
+    }
+
+    /// Quantizes several `[k, n_i]` weight/bias pairs into one fused
+    /// `[k, Σn_i]` layer (columns concatenated in order). Because scales
+    /// are per output channel, the fused layer is numerically identical to
+    /// quantizing each part separately — this is how the encoder fuses its
+    /// Q/K/V projections into one kernel call.
+    pub fn from_concat(parts: &[(&Tensor, &Tensor)]) -> QuantizedLinear {
+        assert!(!parts.is_empty(), "cannot build a quantized layer from no parts");
+        let k = parts[0].0.rows();
+        // i32 accumulator headroom. The VNNI kernel's running value is
+        // bounded by |−128·Σw| + Σ(a+128)·|w| ≤ k·127·128 + k·255·127
+        // = k·127·383, the loosest of the three kernels.
+        assert!(
+            k <= i32::MAX as usize / (127 * 383),
+            "input width {k} too large for i32 accumulation"
+        );
+        let n: usize = parts.iter().map(|(w, _)| w.cols()).sum();
+        for (w, b) in parts {
+            assert_eq!(w.rows(), k, "fused parts must share the input width");
+            assert_eq!(b.shape(), (1, w.cols()), "bias must be [1, n] matching its weight");
+        }
+        let kp = k.div_ceil(QK) * QK;
+        let np = n.div_ceil(NV) * NV;
+        let mut wq = vec![0i8; np * kp];
+        let mut w4 = vec![0i8; np * kp];
+        let mut corr = vec![0i32; np];
+        let mut w_scales = vec![0f32; np];
+        let mut bias_all = vec![0f32; np];
+        let mut colbuf = vec![0f32; k];
+        let mut qcol = vec![0i8; kp];
+        let mut col = 0usize;
+        for (w, b) in parts {
+            for j in 0..w.cols() {
+                for (i, c) in colbuf.iter_mut().enumerate() {
+                    *c = w.get(i, j);
+                }
+                w_scales[col] = quantize_row_i8(&colbuf, &mut qcol);
+                bias_all[col] = b.get(0, j);
+                corr[col] = -128 * qcol.iter().map(|&c| i32::from(c)).sum::<i32>();
+                // Scatter the column into its AVX2 panel, pair-interleaved.
+                let base = (col / NR) * kp * NR + (col % NR) * 2;
+                for p in 0..kp / 2 {
+                    wq[base + p * NR * 2] = qcol[2 * p];
+                    wq[base + p * NR * 2 + 1] = qcol[2 * p + 1];
+                }
+                // And into its VNNI panel, quad-interleaved.
+                let base4 = (col / NV) * kp * NV + (col % NV) * 4;
+                for q in 0..kp / 4 {
+                    for t in 0..4 {
+                        w4[base4 + q * NV * 4 + t] = qcol[4 * q + t];
+                    }
+                }
+                col += 1;
+            }
+        }
+        QuantizedLinear { k, n, kp, np, w: wq, w4, corr, w_scales, bias: bias_all }
+    }
+
+    /// Input width the layer consumes.
+    pub fn in_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Output width the layer produces.
+    pub fn out_dim(&self) -> usize {
+        self.n
+    }
+
+    /// The per-output-channel weight scales (the property tests derive the
+    /// analytic error bound from these). Only the first
+    /// [`QuantizedLinear::out_dim`] entries are real columns.
+    pub fn weight_scales(&self) -> &[f32] {
+        &self.w_scales[..self.n]
+    }
+
+    /// `y = x·W + b` for `x: [m, k]`, under the process-global
+    /// [`crate::kernels::gemm_threads`] budget, with the fastest available
+    /// kernel (AVX-512 VNNI, then AVX2, then scalar). Bit-identical to
+    /// [`QuantizedLinear::forward_scalar`] for any thread count.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_with_threads(x, kernels::gemm_threads())
+    }
+
+    /// [`QuantizedLinear::forward`] with an explicit thread budget (each
+    /// output row is computed independently, so the result is bitwise
+    /// invariant to the split).
+    pub fn forward_with_threads(&self, x: &Tensor, threads: usize) -> Tensor {
+        self.run(x, threads, best_kern())
+    }
+
+    /// The portable scalar kernel, single-threaded — the reference oracle
+    /// the SIMD paths must match bit for bit.
+    pub fn forward_scalar(&self, x: &Tensor) -> Tensor {
+        self.run(x, 1, Kern::Scalar)
+    }
+
+    /// The AVX2 kernel, single-threaded; `None` when the host lacks AVX2.
+    /// Exists so tests can force-compare kernels on one machine.
+    pub fn forward_simd(&self, x: &Tensor) -> Option<Tensor> {
+        kernels::has_avx2().then(|| self.run(x, 1, Kern::Avx2))
+    }
+
+    /// The AVX-512 VNNI kernel, single-threaded; `None` when the host
+    /// lacks it. Exists so tests can force-compare kernels on one machine.
+    pub fn forward_vnni(&self, x: &Tensor) -> Option<Tensor> {
+        has_vnni().then(|| self.run(x, 1, Kern::Vnni))
+    }
+
+    fn run(&self, x: &Tensor, threads: usize, kern: Kern) -> Tensor {
+        let (m, xk) = x.shape();
+        assert_eq!(xk, self.k, "quantized linear expects [m, {}] input", self.k);
+        let mut out = Tensor::zeros(m, self.n);
+        if m == 0 || self.n == 0 {
+            return out;
+        }
+        // Dynamic per-row activation quantization (row-independent, so it
+        // cannot break thread invariance), shared by every kernel.
+        let mut qa = vec![0i16; m * self.kp];
+        let mut a_scales = vec![0f32; m];
+        for r in 0..m {
+            a_scales[r] = quantize_row_i16(x.row(r), &mut qa[r * self.kp..(r + 1) * self.kp]);
+        }
+        // The VNNI kernel consumes the same codes biased into u8.
+        let mut qa8 = Vec::new();
+        if kern == Kern::Vnni {
+            qa8 = qa.iter().map(|&c| (i32::from(c) + 128) as u8).collect();
+        }
+        let t = effective_threads(m, self.n, self.k, threads);
+        if t <= 1 {
+            self.stripe(&qa, &qa8, &a_scales, 0, out.data_mut(), kern);
+            return out;
+        }
+        let rows_per = m.div_ceil(t);
+        let (qa, qa8, a_scales) = (&qa, &qa8, &a_scales);
+        let n = self.n;
+        std::thread::scope(|scope| {
+            for (i, chunk) in out.data_mut().chunks_mut(rows_per * n).enumerate() {
+                scope.spawn(move || self.stripe(qa, qa8, a_scales, i * rows_per, chunk, kern));
+            }
+        });
+        out
+    }
+
+    /// Computes output rows `[row0, row0 + chunk_rows)` into `out`.
+    fn stripe(
+        &self,
+        qa: &[i16],
+        qa8: &[u8],
+        a_scales: &[f32],
+        row0: usize,
+        out: &mut [f32],
+        kern: Kern,
+    ) {
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = (qa8, kern);
+        let rows = out.len() / self.n;
+        for r in 0..rows {
+            let row = row0 + r;
+            let orow = &mut out[r * self.n..(r + 1) * self.n];
+            // SAFETY: each SIMD variant is only ever selected when its
+            // feature set was detected at runtime (see `best_kern`,
+            // `forward_simd`, `forward_vnni`).
+            #[cfg(target_arch = "x86_64")]
+            match kern {
+                Kern::Vnni => {
+                    let a8 = &qa8[row * self.kp..(row + 1) * self.kp];
+                    unsafe { self.row_forward_vnni(a8, a_scales[row], orow) };
+                    continue;
+                }
+                Kern::Avx2 => {
+                    let a = &qa[row * self.kp..(row + 1) * self.kp];
+                    unsafe { self.row_forward_avx2(a, a_scales[row], orow) };
+                    continue;
+                }
+                Kern::Scalar => {}
+            }
+            let a = &qa[row * self.kp..(row + 1) * self.kp];
+            self.row_forward_scalar(a, a_scales[row], orow);
+        }
+    }
+
+    /// Portable reference kernel: walks the pair-interleaved panel layout
+    /// with plain i32 accumulation, in ascending-`k` order.
+    fn row_forward_scalar(&self, a: &[i16], a_scale: f32, out: &mut [f32]) {
+        let kp = self.kp;
+        for (j, o) in out.iter_mut().enumerate() {
+            let base = (j / NR) * kp * NR + (j % NR) * 2;
+            let mut acc = 0i32;
+            for p in 0..kp / 2 {
+                let idx = base + p * NR * 2;
+                acc += i32::from(a[2 * p]) * i32::from(self.w[idx]);
+                acc += i32::from(a[2 * p + 1]) * i32::from(self.w[idx + 1]);
+            }
+            *o = dequant(acc, a_scale, self.w_scales[j], self.bias[j]);
+        }
+    }
+
+    /// AVX2 kernel: one activation row against two weight panels at a
+    /// time. Each 32-byte panel load carries two `k`-pairs of all [`NR`]
+    /// columns; sign-extend to i16, `vpmaddwd` against the broadcast
+    /// activation pair, accumulate per-lane. Integer adds are associative,
+    /// so the result is bit-identical to the scalar kernel.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn row_forward_avx2(&self, a: &[i16], a_scale: f32, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let kp = self.kp;
+        debug_assert_eq!(kp % 4, 0);
+        debug_assert_eq!(a.len(), kp);
+        let pairs = kp / 2;
+        let groups = self.np / NR;
+        let ap = a.as_ptr();
+        let mut g = 0usize;
+        while g + 2 <= groups {
+            let pa = self.w.as_ptr().add(g * kp * NR);
+            let pb = self.w.as_ptr().add((g + 1) * kp * NR);
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut c = 0usize;
+            while c < pairs {
+                let b0 = _mm256_set1_epi32((ap.add(2 * c) as *const i32).read_unaligned());
+                let b1 = _mm256_set1_epi32((ap.add(2 * c + 2) as *const i32).read_unaligned());
+                let wa = _mm256_loadu_si256(pa.add(c * NR * 2) as *const __m256i);
+                let wb = _mm256_loadu_si256(pb.add(c * NR * 2) as *const __m256i);
+                let wa_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wa));
+                let wa_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wa, 1));
+                let wb_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wb));
+                let wb_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wb, 1));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(b0, wa_lo));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(b1, wa_hi));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(b0, wb_lo));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(b1, wb_hi));
+                c += 2;
+            }
+            self.dequant_store(acc0, a_scale, g * NR, out);
+            self.dequant_store(acc1, a_scale, (g + 1) * NR, out);
+            g += 2;
+        }
+        if g < groups {
+            let pa = self.w.as_ptr().add(g * kp * NR);
+            let mut acc = _mm256_setzero_si256();
+            let mut c = 0usize;
+            while c < pairs {
+                let b0 = _mm256_set1_epi32((ap.add(2 * c) as *const i32).read_unaligned());
+                let b1 = _mm256_set1_epi32((ap.add(2 * c + 2) as *const i32).read_unaligned());
+                let wa = _mm256_loadu_si256(pa.add(c * NR * 2) as *const __m256i);
+                let wa_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wa));
+                let wa_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wa, 1));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(b0, wa_lo));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(b1, wa_hi));
+                c += 2;
+            }
+            self.dequant_store(acc, a_scale, g * NR, out);
+        }
+    }
+
+    /// AVX-512 VNNI kernel: one biased-u8 activation row against two
+    /// 16-column weight panels at a time. Each 64-byte panel load carries
+    /// one `k`-quad of all 16 columns; `vpdpbusd` multiplies it against a
+    /// broadcast activation quad and accumulates per-lane. Accumulators
+    /// start at the pack-time `-128·Σw` correction, so the final integers
+    /// equal the signed dot product exactly — bit-identical to the scalar
+    /// kernel.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    unsafe fn row_forward_vnni(&self, a: &[u8], a_scale: f32, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let kp = self.kp;
+        debug_assert_eq!(kp % 8, 0);
+        debug_assert_eq!(a.len(), kp);
+        let quads = kp / 4;
+        let panels = self.np / NV;
+        let ap = a.as_ptr();
+        let wp = self.w4.as_ptr();
+        let cp = self.corr.as_ptr();
+        let mut g = 0usize;
+        while g + 2 <= panels {
+            let pa = wp.add(g * kp * NV);
+            let pb = wp.add((g + 1) * kp * NV);
+            let mut acc0 = _mm512_loadu_si512(cp.add(g * NV) as *const _);
+            let mut acc1 = _mm512_loadu_si512(cp.add((g + 1) * NV) as *const _);
+            let mut q = 0usize;
+            while q < quads {
+                let b0 = _mm512_set1_epi32((ap.add(4 * q) as *const i32).read_unaligned());
+                let b1 = _mm512_set1_epi32((ap.add(4 * q + 4) as *const i32).read_unaligned());
+                let w0a = _mm512_loadu_si512(pa.add(q * NV * 4) as *const _);
+                let w0b = _mm512_loadu_si512(pb.add(q * NV * 4) as *const _);
+                let w1a = _mm512_loadu_si512(pa.add((q + 1) * NV * 4) as *const _);
+                let w1b = _mm512_loadu_si512(pb.add((q + 1) * NV * 4) as *const _);
+                acc0 = _mm512_dpbusd_epi32(acc0, b0, w0a);
+                acc1 = _mm512_dpbusd_epi32(acc1, b0, w0b);
+                acc0 = _mm512_dpbusd_epi32(acc0, b1, w1a);
+                acc1 = _mm512_dpbusd_epi32(acc1, b1, w1b);
+                q += 2;
+            }
+            self.dequant_store_512(acc0, a_scale, g * NV, out);
+            self.dequant_store_512(acc1, a_scale, (g + 1) * NV, out);
+            g += 2;
+        }
+        if g < panels {
+            let pa = wp.add(g * kp * NV);
+            let mut acc = _mm512_loadu_si512(cp.add(g * NV) as *const _);
+            let mut q = 0usize;
+            while q < quads {
+                let b0 = _mm512_set1_epi32((ap.add(4 * q) as *const i32).read_unaligned());
+                let b1 = _mm512_set1_epi32((ap.add(4 * q + 4) as *const i32).read_unaligned());
+                let w0 = _mm512_loadu_si512(pa.add(q * NV * 4) as *const _);
+                let w1 = _mm512_loadu_si512(pa.add((q + 1) * NV * 4) as *const _);
+                acc = _mm512_dpbusd_epi32(acc, b0, w0);
+                acc = _mm512_dpbusd_epi32(acc, b1, w1);
+                q += 2;
+            }
+            self.dequant_store_512(acc, a_scale, g * NV, out);
+        }
+    }
+
+    /// Dequantizes one AVX2 panel's accumulator lanes and stores them into
+    /// the (possibly shorter-than-[`NR`]) tail of `out`. The lane-wise f32
+    /// chain — `(acc as f32) * (a_scale * w_scale) + bias` — performs
+    /// exactly the three roundings of the scalar [`dequant`], so the bits
+    /// match.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequant_store(
+        &self,
+        acc: std::arch::x86_64::__m256i,
+        a_scale: f32,
+        j0: usize,
+        out: &mut [f32],
+    ) {
+        use std::arch::x86_64::*;
+        if j0 >= out.len() {
+            return; // an all-padding panel past the real columns
+        }
+        let accf = _mm256_cvtepi32_ps(acc);
+        let comb =
+            _mm256_mul_ps(_mm256_set1_ps(a_scale), _mm256_loadu_ps(self.w_scales.as_ptr().add(j0)));
+        let y =
+            _mm256_add_ps(_mm256_mul_ps(accf, comb), _mm256_loadu_ps(self.bias.as_ptr().add(j0)));
+        if out.len() - j0 >= NR {
+            _mm256_storeu_ps(out.as_mut_ptr().add(j0), y);
+        } else {
+            let mut tmp = [0f32; NR];
+            _mm256_storeu_ps(tmp.as_mut_ptr(), y);
+            let rest = out.len() - j0;
+            out[j0..].copy_from_slice(&tmp[..rest]);
+        }
+    }
+
+    /// [`QuantizedLinear::dequant_store`] for one VNNI panel (16 lanes),
+    /// same three-rounding chain.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dequant_store_512(
+        &self,
+        acc: std::arch::x86_64::__m512i,
+        a_scale: f32,
+        j0: usize,
+        out: &mut [f32],
+    ) {
+        use std::arch::x86_64::*;
+        if j0 >= out.len() {
+            return; // an all-padding panel past the real columns
+        }
+        let accf = _mm512_cvtepi32_ps(acc);
+        let comb =
+            _mm512_mul_ps(_mm512_set1_ps(a_scale), _mm512_loadu_ps(self.w_scales.as_ptr().add(j0)));
+        let y =
+            _mm512_add_ps(_mm512_mul_ps(accf, comb), _mm512_loadu_ps(self.bias.as_ptr().add(j0)));
+        if out.len() - j0 >= NV {
+            _mm512_storeu_ps(out.as_mut_ptr().add(j0), y);
+        } else {
+            let mut tmp = [0f32; NV];
+            _mm512_storeu_ps(tmp.as_mut_ptr(), y);
+            let rest = out.len() - j0;
+            out[j0..].copy_from_slice(&tmp[..rest]);
+        }
+    }
+}
+
+/// Threads actually worth spawning for one `m`×`n`×`k` quantized GEMM
+/// under `budget` (same work floor as the f32 layer).
+fn effective_threads(m: usize, n: usize, k: usize, budget: usize) -> usize {
+    let ops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    budget.min(m).min((ops / MIN_FLOPS_PER_THREAD).max(1)).max(1)
+}
+
+/// The one dequantization expression, shared verbatim by every kernel so
+/// the f32 rounding is identical across scalar/SIMD/threaded executions.
+#[inline]
+fn dequant(acc: i32, a_scale: f32, w_scale: f32, bias: f32) -> f32 {
+    (acc as f32) * (a_scale * w_scale) + bias
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_linear(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(x.rows(), w.cols());
+        for r in 0..x.rows() {
+            for j in 0..w.cols() {
+                let mut acc = 0f64;
+                for i in 0..x.cols() {
+                    acc += f64::from(x.get(r, i)) * f64::from(w.get(i, j));
+                }
+                out.set(r, j, (acc + f64::from(b.get(0, j))) as f32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn quantize_round_trips_within_half_step() {
+        let row = [0.5f32, -1.25, 0.0, 2.0, -2.0];
+        let mut q = [0i8; 5];
+        let s = quantize_row_i8(&row, &mut q);
+        for (&v, &c) in row.iter().zip(&q) {
+            assert!((v - f32::from(c) * s).abs() <= s / 2.0 + 1e-6, "v={v} c={c} s={s}");
+        }
+        // The max-magnitude element hits ±127 exactly.
+        assert_eq!(q[3], 127);
+        assert_eq!(q[4], -127);
+    }
+
+    #[test]
+    fn zero_and_empty_rows_quantize_to_zero_scale() {
+        let mut q = [7i8; 4];
+        assert_eq!(quantize_row_i8(&[0.0, 0.0], &mut q), 0.0);
+        assert_eq!(q, [0i8; 4]);
+        let mut q2 = [3i8; 2];
+        assert_eq!(quantize_row_i8(&[], &mut q2), 0.0);
+        assert_eq!(q2, [0i8; 2]);
+    }
+
+    #[test]
+    fn vectorized_quantize_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in [0usize, 1, 7, 8, 15, 16, 17, 96, 100] {
+            let row = Tensor::randn(1, k, 1.0, &mut rng);
+            let kp = k.div_ceil(QK) * QK;
+            let mut a = vec![0i16; kp];
+            let mut b = vec![0i16; kp];
+            let sa = quantize_row_i16_scalar(row.data(), &mut a);
+            let sb = quantize_row_i16(row.data(), &mut b);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "scale mismatch at k={k}");
+            assert_eq!(a, b, "codes mismatch at k={k}");
+        }
+    }
+
+    #[test]
+    fn forward_is_close_to_f32_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(5, 40, 1.0, &mut rng);
+        let w = Tensor::randn(40, 9, 0.1, &mut rng);
+        let b = Tensor::randn(1, 9, 0.1, &mut rng);
+        let q = QuantizedLinear::from_f32(&w, &b);
+        let exact = naive_linear(&x, &w, &b);
+        let got = q.forward(&x);
+        for (e, g) in exact.data().iter().zip(got.data()) {
+            assert!((e - g).abs() < 0.05, "exact={e} quant={g}");
+        }
+    }
+
+    #[test]
+    fn fused_concat_matches_separate_parts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Tensor::randn(3, 16, 1.0, &mut rng);
+        let w1 = Tensor::randn(16, 4, 0.2, &mut rng);
+        let b1 = Tensor::randn(1, 4, 0.2, &mut rng);
+        let w2 = Tensor::randn(16, 6, 0.2, &mut rng);
+        let b2 = Tensor::randn(1, 6, 0.2, &mut rng);
+        let fused = QuantizedLinear::from_concat(&[(&w1, &b1), (&w2, &b2)]);
+        let p1 = QuantizedLinear::from_f32(&w1, &b1).forward(&x);
+        let p2 = QuantizedLinear::from_f32(&w2, &b2).forward(&x);
+        let f = fused.forward(&x);
+        assert_eq!(f.shape(), (3, 10));
+        for r in 0..3 {
+            for j in 0..4 {
+                assert_eq!(f.get(r, j).to_bits(), p1.get(r, j).to_bits());
+            }
+            for j in 0..6 {
+                assert_eq!(f.get(r, 4 + j).to_bits(), p2.get(r, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_bitwise_when_available() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Deliberately awkward shapes: n not a multiple of either panel
+        // width, k not a multiple of the padding quantum.
+        let x = Tensor::randn(7, 100, 1.0, &mut rng);
+        let w = Tensor::randn(100, 13, 0.2, &mut rng);
+        let b = Tensor::randn(1, 13, 0.2, &mut rng);
+        let q = QuantizedLinear::from_f32(&w, &b);
+        let scalar = q.forward_scalar(&x);
+        if let Some(simd) = q.forward_simd(&x) {
+            for (a, b) in scalar.data().iter().zip(simd.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        if let Some(vnni) = q.forward_vnni(&x) {
+            for (a, b) in scalar.data().iter().zip(vnni.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let dispatched = q.forward(&x);
+        for (a, b) in scalar.data().iter().zip(dispatched.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_work() {
+        let q = QuantizedLinear::from_f32(&Tensor::zeros(0, 3), &Tensor::zeros(1, 3));
+        let y = q.forward(&Tensor::zeros(2, 0));
+        assert_eq!(y.shape(), (2, 3));
+        assert!(y.data().iter().all(|&v| v == 0.0));
+        let q2 = QuantizedLinear::from_f32(&Tensor::zeros(4, 0), &Tensor::zeros(1, 0));
+        assert_eq!(q2.forward(&Tensor::zeros(3, 4)).shape(), (3, 0));
+        let empty = QuantizedLinear::from_f32(&Tensor::zeros(2, 2), &Tensor::zeros(1, 2));
+        assert_eq!(empty.forward(&Tensor::zeros(0, 2)).shape(), (0, 2));
+    }
+
+    #[test]
+    fn bias_survives_zero_inputs_exactly() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = Tensor::randn(8, 5, 0.3, &mut rng);
+        let b = Tensor::randn(1, 5, 1.0, &mut rng);
+        let q = QuantizedLinear::from_f32(&w, &b);
+        let y = q.forward(&Tensor::zeros(2, 8));
+        for r in 0..2 {
+            for j in 0..5 {
+                assert_eq!(y.get(r, j).to_bits(), b.get(0, j).to_bits());
+            }
+        }
+    }
+}

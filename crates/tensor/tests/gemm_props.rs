@@ -11,7 +11,7 @@ use doduo_tensor::kernels::{
     matmul_blocked, matmul_masked, matmul_naive, matmul_nt_blocked, matmul_nt_naive,
     matmul_tn_blocked, matmul_tn_naive,
 };
-use doduo_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use doduo_tensor::{matmul, matmul_nt, matmul_tn, QuantizedLinear, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +87,23 @@ proptest! {
         for threads in [2usize, 3, 7, 16] {
             prop_assert!(
                 assert_bits_eq(&matmul_blocked(&a, &b, threads), &one, "threads").is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_forward_is_thread_count_invariant(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        // The int8 layer shares the f32 GEMM's threading contract: each
+        // output row is quantized and reduced independently, so any worker
+        // count must reproduce the single-threaded scalar oracle's bits.
+        let x = tensor(m, k, seed);
+        let w = tensor(k, n, seed.wrapping_add(1));
+        let bias = tensor(1, n, seed.wrapping_add(2));
+        let q = QuantizedLinear::from_f32(&w, &bias);
+        let one = q.forward_scalar(&x);
+        for threads in [2usize, 3, 7, 16] {
+            prop_assert!(
+                assert_bits_eq(&q.forward_with_threads(&x, threads), &one, "quant threads").is_ok()
             );
         }
     }

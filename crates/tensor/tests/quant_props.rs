@@ -1,0 +1,166 @@
+//! Property tests pinning the int8 quantized linear layer.
+//!
+//! Two contracts, one per numeric tier (see `doduo_tensor::quant`):
+//!
+//! * **bit-identity within the tier** — the AVX2 and AVX-512 VNNI kernels,
+//!   the dispatching entry point, and every thread count must reproduce the
+//!   portable scalar kernel exactly (`f32::to_bits`), across randomly drawn
+//!   ragged shapes with the degenerate edges (`k = 0`, one row, one column,
+//!   non-multiples of the 8/16-column tiles) forced into the distribution;
+//! * **bounded distance to f32** — the dequantized output must sit within
+//!   an analytic bound of the exact (f64) product, derived from the
+//!   per-output-channel weight scales and the per-row activation scale.
+//!
+//! The error bound: writing `a = sa·qa + ea` (|ea| ≤ sa/2) and
+//! `w = sw·qw + ew` (|ew| ≤ sw/2), each term's quantization error is
+//! `|a·w − sa·sw·qa·qw| ≤ |a|·sw/2 + |w|·sa/2 + 3/4·sa·sw`, summed over
+//! the k reduction terms, plus a small allowance for the f32 dequantization
+//! arithmetic itself (integer accumulation is exact).
+
+use doduo_tensor::{quantize_row_i8, QuantizedLinear, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic random tensor for a sampled `(shape, seed)`.
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(rows, cols, 1.0, &mut rng)
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) -> Result<(), String> {
+    if a.shape() != b.shape() {
+        return Err(format!("{what}: shape {:?} vs {:?}", a.shape(), b.shape()));
+    }
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("{what}: element {i}: {x} vs {y}"));
+        }
+    }
+    Ok(())
+}
+
+/// Dimension strategy biased toward the quantized kernels' edges: 0
+/// (`k = 0` reduces to pure bias), 1 (single row/column), sizes straddling
+/// the NR = 8 pair-panel and NV = 16 quad-panel tiles, and a ragged range.
+fn dim() -> BoxedStrategy<usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(7usize),
+        Just(8usize),
+        Just(15usize),
+        Just(16usize),
+        Just(17usize),
+        2usize..100,
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every kernel tier the host offers — and the dispatching `forward` —
+    /// reproduces the scalar oracle bit for bit on ragged shapes.
+    #[test]
+    fn all_kernel_tiers_match_scalar_bitwise(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let x = tensor(m, k, seed);
+        let w = tensor(k, n, seed.wrapping_add(1));
+        let bias = tensor(1, n, seed.wrapping_add(2));
+        let q = QuantizedLinear::from_f32(&w, &bias);
+        let reference = q.forward_scalar(&x);
+        if let Some(avx2) = q.forward_simd(&x) {
+            prop_assert!(assert_bits_eq(&avx2, &reference, "avx2").is_ok());
+        }
+        if let Some(vnni) = q.forward_vnni(&x) {
+            prop_assert!(assert_bits_eq(&vnni, &reference, "vnni").is_ok());
+        }
+        prop_assert!(assert_bits_eq(&q.forward(&x), &reference, "dispatched").is_ok());
+    }
+
+    /// The dequantized output stays within the analytic per-channel bound
+    /// of the exact f64 product.
+    #[test]
+    fn dequantized_error_is_within_analytic_bound(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let x = tensor(m, k, seed);
+        let w = tensor(k, n, seed.wrapping_add(1));
+        let bias = tensor(1, n, seed.wrapping_add(2));
+        let q = QuantizedLinear::from_f32(&w, &bias);
+        let y = q.forward_scalar(&x);
+        let sw = q.weight_scales();
+        let mut codes = vec![0i8; k];
+        for r in 0..m {
+            let row = &x.data()[r * k..(r + 1) * k];
+            // Same formula (amax/127) and rounding as the kernel's internal
+            // activation quantizer, so this is the row's exact sa.
+            let sa = f64::from(quantize_row_i8(row, &mut codes));
+            for (j, &swj) in sw.iter().enumerate().take(n) {
+                let mut exact = f64::from(bias.data()[j]);
+                let mut bound = 0f64;
+                let swj = f64::from(swj);
+                for (i, &a) in row.iter().enumerate().take(k) {
+                    let (a, wv) = (f64::from(a), f64::from(w.data()[i * n + j]));
+                    exact += a * wv;
+                    bound += a.abs() * swj / 2.0 + wv.abs() * sa / 2.0 + 0.75 * sa * swj;
+                }
+                // Allowance for the f32 dequantization chain (three
+                // roundings at ~2^-24 relative) on top of the exact
+                // integer accumulation.
+                let got = f64::from(y.data()[r * n + j]);
+                let slack = (exact.abs() + bound) * 1e-5 + 1e-6;
+                prop_assert!(
+                    (got - exact).abs() <= bound + slack,
+                    "row {r} col {j}: |{got} - {exact}| > {bound} + {slack}"
+                );
+            }
+        }
+    }
+
+    /// Per-channel scales make the fused concatenation of several parts
+    /// bit-identical to quantizing each part separately (the property the
+    /// encoder's fused Q/K/V projection relies on).
+    #[test]
+    fn fused_concat_matches_parts_bitwise(m in dim(), k in dim(), widths in proptest::collection::vec(dim(), 1..4), seed in 0u64..1000) {
+        let x = tensor(m, k, seed);
+        let parts: Vec<(Tensor, Tensor)> = widths
+            .iter()
+            .enumerate()
+            .map(|(p, &n)| {
+                let s = seed.wrapping_add(10 + 2 * p as u64);
+                (tensor(k, n, s), tensor(1, n, s.wrapping_add(1)))
+            })
+            .collect();
+        let refs: Vec<(&Tensor, &Tensor)> = parts.iter().map(|(w, b)| (w, b)).collect();
+        let fused = QuantizedLinear::from_concat(&refs).forward_scalar(&x);
+        let mut col0 = 0usize;
+        for (w, b) in &parts {
+            let part = QuantizedLinear::from_f32(w, b).forward_scalar(&x);
+            let n_total: usize = widths.iter().sum();
+            for r in 0..m {
+                for j in 0..w.cols() {
+                    let f = fused.data()[r * n_total + col0 + j];
+                    let p = part.data()[r * w.cols() + j];
+                    prop_assert!(f.to_bits() == p.to_bits(), "row {r} col {j}: {f} vs {p}");
+                }
+            }
+            col0 += w.cols();
+        }
+    }
+
+    /// Round-trip: every dequantized code lands within half a step of its
+    /// source, and codes stay in the symmetric [-127, 127] range.
+    #[test]
+    fn quantize_round_trip_is_within_half_step(k in dim(), seed in 0u64..1000) {
+        let row = tensor(1, k, seed);
+        let mut codes = vec![0i8; k];
+        let scale = quantize_row_i8(row.data(), &mut codes);
+        for (i, (&v, &c)) in row.data().iter().zip(&codes).enumerate() {
+            prop_assert!((-127..=127).contains(&i32::from(c)), "code {c} out of range");
+            let err = f64::from(v) - f64::from(c) * f64::from(scale);
+            prop_assert!(
+                err.abs() <= f64::from(scale) * 0.5 + 1e-12,
+                "element {i}: residual {err} exceeds half step {scale}"
+            );
+        }
+    }
+}

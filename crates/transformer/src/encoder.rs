@@ -23,33 +23,33 @@ use doduo_tensor::{AttnMask, NodeId, ParamId, ParamStore, Tape, MASK_NEG};
 use rand::Rng;
 use std::sync::Arc;
 
-struct LayerParams {
-    wq: ParamId,
-    bq: ParamId,
-    wk: ParamId,
-    bk: ParamId,
-    wv: ParamId,
-    bv: ParamId,
-    wo: ParamId,
-    bo: ParamId,
-    ln1_g: ParamId,
-    ln1_b: ParamId,
-    w1: ParamId,
-    b1: ParamId,
-    w2: ParamId,
-    b2: ParamId,
-    ln2_g: ParamId,
-    ln2_b: ParamId,
+pub(crate) struct LayerParams {
+    pub(crate) wq: ParamId,
+    pub(crate) bq: ParamId,
+    pub(crate) wk: ParamId,
+    pub(crate) bk: ParamId,
+    pub(crate) wv: ParamId,
+    pub(crate) bv: ParamId,
+    pub(crate) wo: ParamId,
+    pub(crate) bo: ParamId,
+    pub(crate) ln1_g: ParamId,
+    pub(crate) ln1_b: ParamId,
+    pub(crate) w1: ParamId,
+    pub(crate) b1: ParamId,
+    pub(crate) w2: ParamId,
+    pub(crate) b2: ParamId,
+    pub(crate) ln2_g: ParamId,
+    pub(crate) ln2_b: ParamId,
 }
 
 /// A BERT-style encoder whose weights live in a shared [`ParamStore`].
 pub struct Encoder {
     cfg: EncoderConfig,
-    tok_emb: ParamId,
-    pos_emb: ParamId,
-    emb_ln_g: ParamId,
-    emb_ln_b: ParamId,
-    layers: Vec<LayerParams>,
+    pub(crate) tok_emb: ParamId,
+    pub(crate) pos_emb: ParamId,
+    pub(crate) emb_ln_g: ParamId,
+    pub(crate) emb_ln_b: ParamId,
+    pub(crate) layers: Vec<LayerParams>,
 }
 
 const INIT_STD: f32 = 0.02;
@@ -258,7 +258,7 @@ pub struct BatchEncoding {
     /// sequence `b`'s token `t` lives at row `offsets[b] + t`.
     pub node: NodeId,
     /// Starting activation row of each packed sequence.
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
 }
 
 impl BatchEncoding {

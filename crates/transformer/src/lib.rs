@@ -13,13 +13,18 @@
 //!   knowledge from its pretraining corpus.
 //! * [`pseudo_perplexity`] — the sequence-scoring function behind the
 //!   paper's LM-probing analysis (Tables 12-13, eq. 3).
+//! * [`QuantEncoder`] — the opt-in int8 serving twin of [`Encoder`],
+//!   built once from trained f32 weights (accuracy-gated, see
+//!   `doduo_tensor::quant`).
 
 pub mod config;
 pub mod encoder;
 pub mod mlm;
+pub mod quant;
 
 pub use config::EncoderConfig;
 pub use encoder::{mask_from_fn, BatchEncoding, BatchSeq, Encoder};
 pub use mlm::{
     mask_tokens, mlm_eval_loss, pretrain_mlm, pseudo_perplexity, MaskedExample, MlmConfig, MlmHead,
 };
+pub use quant::QuantEncoder;

@@ -1,0 +1,221 @@
+//! The int8-quantized serving twin of [`Encoder`].
+//!
+//! [`QuantEncoder`] is built once from a trained f32 encoder and mirrors
+//! [`Encoder::forward_batch`](crate::Encoder::forward_batch) op for op,
+//! swapping only the dense layers for
+//! [`QuantizedLinear`] kernels: embeddings,
+//! LayerNorm, GELU, residual adds and the fused multi-head attention stay
+//! in exact f32 on the tape, while the four GEMMs per layer (fused Q|K|V,
+//! attention output, and both FFN matrices) run in int8 and inject their
+//! dequantized outputs back as tape inputs. Because quantization scales
+//! are per output channel, fusing Q/K/V into one kernel call is
+//! numerically identical to three separate quantized projections.
+//!
+//! Inference only: the tape records no gradient path through the injected
+//! nodes, and dropout (a no-op on inference tapes anyway) is skipped. The
+//! numerics contract is the accuracy-gated tier of the two-tier policy
+//! described in `doduo_tensor::quant` — not bit-equal to f32, but
+//! bit-stable across kernels and thread counts on a host.
+
+use crate::config::EncoderConfig;
+use crate::encoder::{BatchEncoding, BatchSeq, Encoder};
+use doduo_tensor::{AttnMask, ParamId, ParamStore, QuantizedLinear, Tape};
+use std::sync::Arc;
+
+struct QuantLayer {
+    /// Fused `[d, 3d]` Q|K|V projection (columns in the order
+    /// `Tape::fused_qkv` emits).
+    qkv: QuantizedLinear,
+    /// Attention output projection `[d, d]`.
+    wo: QuantizedLinear,
+    /// FFN up-projection `[d, ffn]`.
+    w1: QuantizedLinear,
+    /// FFN down-projection `[ffn, d]`.
+    w2: QuantizedLinear,
+    ln1_g: ParamId,
+    ln1_b: ParamId,
+    ln2_g: ParamId,
+    ln2_b: ParamId,
+}
+
+/// An inference-only encoder whose dense layers were quantized to int8
+/// from a trained f32 [`Encoder`].
+pub struct QuantEncoder {
+    cfg: EncoderConfig,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    emb_ln_g: ParamId,
+    emb_ln_b: ParamId,
+    layers: Vec<QuantLayer>,
+}
+
+impl QuantEncoder {
+    /// Quantizes every dense layer of `enc` (whose weights live in
+    /// `store`). The embedding tables and LayerNorm parameters are shared
+    /// with the f32 encoder by id, not copied.
+    pub fn from_encoder(enc: &Encoder, store: &ParamStore) -> QuantEncoder {
+        let layers = enc
+            .layers
+            .iter()
+            .map(|l| QuantLayer {
+                qkv: QuantizedLinear::from_concat(&[
+                    (store.get(l.wq), store.get(l.bq)),
+                    (store.get(l.wk), store.get(l.bk)),
+                    (store.get(l.wv), store.get(l.bv)),
+                ]),
+                wo: QuantizedLinear::from_f32(store.get(l.wo), store.get(l.bo)),
+                w1: QuantizedLinear::from_f32(store.get(l.w1), store.get(l.b1)),
+                w2: QuantizedLinear::from_f32(store.get(l.w2), store.get(l.b2)),
+                ln1_g: l.ln1_g,
+                ln1_b: l.ln1_b,
+                ln2_g: l.ln2_g,
+                ln2_b: l.ln2_b,
+            })
+            .collect();
+        QuantEncoder {
+            cfg: enc.config().clone(),
+            tok_emb: enc.tok_emb,
+            pos_emb: enc.pos_emb,
+            emb_ln_g: enc.emb_ln_g,
+            emb_ln_b: enc.emb_ln_b,
+            layers,
+        }
+    }
+
+    /// The configuration inherited from the f32 encoder.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// The quantized mirror of
+    /// [`Encoder::forward_batch`](crate::Encoder::forward_batch): same
+    /// ragged packing, same op sequence, int8 dense layers. `tape` must be
+    /// an inference tape.
+    pub fn forward_batch(&self, tape: &mut Tape<'_>, seqs: &[BatchSeq<'_>]) -> BatchEncoding {
+        assert!(!seqs.is_empty(), "cannot encode an empty batch");
+        let total: usize = seqs.iter().map(|q| q.ids.len()).sum();
+        let mut ids = Vec::with_capacity(total);
+        let mut positions = Vec::with_capacity(total);
+        let mut masks: Vec<Option<AttnMask>> = Vec::with_capacity(seqs.len());
+        let mut lens = Vec::with_capacity(seqs.len());
+        let mut offsets = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let len = seq.ids.len();
+            assert!(len > 0, "cannot encode an empty sequence");
+            assert!(
+                len <= self.cfg.max_seq,
+                "sequence length {len} exceeds max_seq {}",
+                self.cfg.max_seq
+            );
+            offsets.push(ids.len());
+            ids.extend_from_slice(seq.ids);
+            positions.extend(0..len as u32);
+            masks.push(seq.mask.map(Arc::clone));
+            lens.push(len);
+        }
+
+        let tok = tape.embedding(self.tok_emb, &ids);
+        let pos = tape.embedding(self.pos_emb, &positions);
+        let sum = tape.add(tok, pos);
+        let mut x = tape.layer_norm(sum, self.emb_ln_g, self.emb_ln_b);
+
+        for layer in &self.layers {
+            let qkv_t = layer.qkv.forward(tape.value(x));
+            let qkv = tape.input(qkv_t);
+            let att = tape.mha_batch_qkv(qkv, self.cfg.heads, &masks, Some(&lens));
+            let proj_t = layer.wo.forward(tape.value(att));
+            let proj = tape.input(proj_t);
+            let res1 = tape.add(x, proj);
+            let h = tape.layer_norm(res1, layer.ln1_g, layer.ln1_b);
+
+            let f1_t = layer.w1.forward(tape.value(h));
+            let f1 = tape.input(f1_t);
+            let act = tape.gelu(f1);
+            let f2_t = layer.w2.forward(tape.value(act));
+            let f2 = tape.input(f2_t);
+            let res2 = tape.add(h, f2);
+            x = tape.layer_norm(res2, layer.ln2_g, layer.ln2_b);
+        }
+        BatchEncoding { node: x, offsets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::mask_from_fn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> (ParamStore, Encoder) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let enc = Encoder::new(&mut store, EncoderConfig::tiny(50), "enc", &mut rng);
+        (store, enc)
+    }
+
+    #[test]
+    fn quant_batch_close_to_f32_batch() {
+        let (store, enc) = build();
+        let qenc = QuantEncoder::from_encoder(&enc, &store);
+        let seqs: Vec<Vec<u32>> = vec![vec![2, 7, 8, 9, 3], vec![2, 10, 3]];
+        let mask1 = mask_from_fn(seqs[1].len(), |i, j| i == j || j == 0);
+        let masks = [None, Some(&mask1)];
+        let batch: Vec<BatchSeq<'_>> = seqs
+            .iter()
+            .zip(masks.iter())
+            .map(|(ids, mask)| BatchSeq { ids, mask: *mask })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ft = Tape::inference(&store);
+        let f = enc.forward_batch(&mut ft, &batch, &mut rng);
+        let mut qt = Tape::inference(&store);
+        let q = qenc.forward_batch(&mut qt, &batch);
+
+        let fv = ft.value(f.node);
+        let qv = qt.value(q.node);
+        assert_eq!(fv.shape(), qv.shape());
+        assert!(!qv.has_non_finite());
+        // Freshly initialized weights, LayerNorm-bounded activations:
+        // int8 per-channel quantization stays close to f32. This is a
+        // sanity bound, not the accuracy gate (the repro harness pins
+        // task-level drift on trained weights).
+        let mut max_abs = 0f32;
+        for (a, b) in fv.data().iter().zip(qv.data()) {
+            max_abs = max_abs.max((a - b).abs());
+        }
+        assert!(max_abs < 0.35, "quantized encoder drifted too far: {max_abs}");
+        // And it must not be exactly f32 — that would mean the quantized
+        // kernels were silently bypassed.
+        assert!(max_abs > 0.0, "quantized forward is suspiciously bit-equal to f32");
+    }
+
+    #[test]
+    fn quant_forward_is_deterministic() {
+        let (store, enc) = build();
+        let qenc = QuantEncoder::from_encoder(&enc, &store);
+        let ids = [2u32, 5, 6, 7, 3];
+        let run = || {
+            let mut tape = Tape::inference(&store);
+            let out = qenc.forward_batch(&mut tape, &[BatchSeq { ids: &ids, mask: None }]);
+            tape.value(out.node).clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quant_offsets_match_f32_packing() {
+        let (store, enc) = build();
+        let qenc = QuantEncoder::from_encoder(&enc, &store);
+        let seqs: Vec<Vec<u32>> = vec![vec![2, 3], vec![2, 4, 5, 3], vec![2, 3]];
+        let batch: Vec<BatchSeq<'_>> =
+            seqs.iter().map(|ids| BatchSeq { ids, mask: None }).collect();
+        let mut tape = Tape::inference(&store);
+        let out = qenc.forward_batch(&mut tape, &batch);
+        assert_eq!(out.row_of(0, 0), 0);
+        assert_eq!(out.row_of(1, 0), 2);
+        assert_eq!(out.row_of(2, 0), 6);
+        assert_eq!(tape.value(out.node).shape(), (8, enc.config().hidden));
+    }
+}
