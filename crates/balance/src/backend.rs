@@ -1,0 +1,164 @@
+//! One keep-alive connection from the balancer to a replica, with the
+//! failure classification the whole retry policy hangs on.
+//!
+//! [`Backend::forward`] distinguishes two failure classes:
+//!
+//! * **Before-response** — connect refused, write failed, timeout or EOF
+//!   before the *first byte* of the status line. The replica cannot have
+//!   committed to an answer the client saw, and `/annotate` is
+//!   deterministic and side-effect-free, so the request is safe to retry
+//!   on another replica.
+//! * **Mid-response** — any error after at least one response byte was
+//!   read. The answer started flowing; retrying could double-deliver a
+//!   response or hand the client bytes from two different attempts. The
+//!   balancer converts this to a `502` and never re-dispatches.
+//!
+//! A complete response — any status — is not a transport failure; the
+//! *proxy* decides whether a complete `5xx` is worth retrying elsewhere.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why forwarding to a replica failed.
+#[derive(Debug)]
+pub enum ForwardError {
+    /// The replica never produced a response byte — safe to retry.
+    BeforeResponse(String),
+    /// Response bytes began flowing and then the connection died — the
+    /// request must NOT be retried.
+    MidResponse(String),
+}
+
+/// One complete response read back from a replica.
+#[derive(Debug)]
+pub struct BackendResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value (defaults to `application/json`).
+    pub content_type: String,
+    /// `Retry-After` seconds, when the replica sent one (503 backpressure).
+    pub retry_after: Option<u64>,
+    /// The full body.
+    pub body: Vec<u8>,
+    /// Whether the replica will keep this connection open.
+    pub keep_alive: bool,
+}
+
+/// A pooled balancer→replica connection.
+#[derive(Debug)]
+pub struct Backend {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Backend {
+    /// Connects with a bounded connect timeout and a per-read timeout
+    /// (which bounds each wait for response bytes, i.e. detects a stalled
+    /// replica).
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> std::io::Result<Backend> {
+        let sock: SocketAddr = addr
+            .parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(connect_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Backend { stream, reader })
+    }
+
+    /// Sends one request and reads the full response, classifying any
+    /// failure as before- or mid-response (see module docs).
+    pub fn forward(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<BackendResponse, ForwardError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: keep-alive\r\n\
+             content-length: {}\r\n\r\n",
+            body.len()
+        );
+        // A write failure means the replica died while receiving the
+        // request; it cannot have answered, so this stays retryable.
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(body))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ForwardError::BeforeResponse(format!("write: {e}")))?;
+
+        // The first-byte probe is the before/mid boundary: an error or EOF
+        // here is retryable, anything after it is not.
+        let started = loop {
+            match self.reader.fill_buf() {
+                Ok([]) => {
+                    return Err(ForwardError::BeforeResponse("closed before response".into()))
+                }
+                Ok(_) => break true,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(ForwardError::BeforeResponse("timed out awaiting response".into()))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ForwardError::BeforeResponse(format!("read: {e}"))),
+            }
+        };
+        debug_assert!(started);
+        let mid = |e: std::io::Error| ForwardError::MidResponse(format!("{e}"));
+
+        let mut line = String::new();
+        self.reader.read_line(&mut line).map_err(mid)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ForwardError::MidResponse(format!("bad status line: {line:?}")))?;
+
+        let mut content_length = 0usize;
+        let mut content_type = String::from("application/json");
+        let mut retry_after = None;
+        let mut keep_alive = true;
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line).map_err(mid)?;
+            if n == 0 {
+                return Err(ForwardError::MidResponse("closed mid-headers".into()));
+            }
+            let t = line.trim_end();
+            if t.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = t.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("content-type") {
+                    content_type = value.to_string();
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.parse().ok();
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    keep_alive = false;
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    // Replicas only chunk `/annotate_stream`, which the
+                    // balancer never proxies; treat it as a torn response.
+                    return Err(ForwardError::MidResponse("unexpected chunked response".into()));
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| ForwardError::MidResponse(format!("body: {e}")))?;
+        Ok(BackendResponse { status, content_type, retry_after, body, keep_alive })
+    }
+}

@@ -1,0 +1,309 @@
+//! The chaos suite: real balancer + real replica processes with
+//! deterministic fault injection, asserting the two invariants the whole
+//! design exists for —
+//!
+//! 1. **zero client-visible errors for retryable faults** (crashes and
+//!    stalls strike before a response byte, so failover hides them), and
+//! 2. **byte-identity**: every `200` the balancer returns is byte-identical
+//!    to the offline annotation of the same table, no matter which replica
+//!    answered or how many died along the way.
+//!
+//! Replicas are spawned by self-exec (`doduo-balance replica …`), so the
+//! only binary these tests need is the one cargo builds for this package.
+
+use doduo_served::bootstrap::{synthetic_world, SyntheticWorld};
+use doduo_served::http::Client;
+use doduo_served::json::{annotations_response, table_to_json};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BALANCE_BIN: &str = env!("CARGO_BIN_EXE_doduo-balance");
+
+/// A scratch dir unique to this test process + test name.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("doduo-chaos-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The quick synthetic world, with its bundle checkpointed to disk so the
+/// replica processes load the exact same weights the test compares against.
+fn world_with_checkpoint(dir: &std::path::Path) -> (SyntheticWorld, PathBuf) {
+    let world = synthetic_world(true, 42);
+    let ckpt = dir.join("bundle.ckpt");
+    world.bundle.save_to(ckpt.to_str().expect("utf8 path")).expect("save checkpoint");
+    (world, ckpt)
+}
+
+/// Offline reference bytes for one table — the byte-identity target.
+fn offline_bytes(world: &SyntheticWorld, idx: usize) -> Vec<u8> {
+    let ann = world.annotator().annotate(&world.tables[idx]);
+    annotations_response(&[ann], false).into_bytes()
+}
+
+struct BalancerProc {
+    child: Child,
+    addr: String,
+}
+
+impl BalancerProc {
+    /// Spawns `doduo-balance` with `extra` flags on top of the common fleet
+    /// flags, waits for its port file, and waits until `/readyz` is 200.
+    fn start(dir: &std::path::Path, ckpt: &std::path::Path, extra: &[&str]) -> BalancerProc {
+        let port_file = dir.join("balance.port");
+        let _ = std::fs::remove_file(&port_file);
+        let mut cmd = Command::new(BALANCE_BIN);
+        cmd.args([
+            "--checkpoint",
+            ckpt.to_str().expect("utf8"),
+            "--addr",
+            "127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().expect("utf8"),
+            "--port-dir",
+            dir.to_str().expect("utf8"),
+            "--workers",
+            "2",
+            "--threads",
+            "1",
+            "--seed",
+            "7",
+        ])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+        let child = cmd.spawn().expect("spawn doduo-balance");
+
+        // Port file, then readiness (replicas load the checkpoint first).
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let addr = loop {
+            assert!(Instant::now() < deadline, "balancer never wrote its port file");
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        loop {
+            assert!(Instant::now() < deadline, "balancer never became ready");
+            if let Ok(mut c) = Client::connect(&addr, Some(Duration::from_millis(500))) {
+                if let Ok(resp) = c.request("GET", "/readyz", b"") {
+                    if resp.status == 200 {
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        BalancerProc { child, addr }
+    }
+
+    fn stats(&self) -> String {
+        let mut c =
+            Client::connect(&self.addr, Some(Duration::from_secs(5))).expect("connect for stats");
+        let resp = c.request("GET", "/stats", b"").expect("stats");
+        assert_eq!(resp.status, 200);
+        String::from_utf8(resp.body).expect("utf8 stats")
+    }
+}
+
+impl Drop for BalancerProc {
+    fn drop(&mut self) {
+        // Graceful first: the balancer stops its replica children on the
+        // way out; a bare kill would orphan them.
+        if let Ok(mut c) = Client::connect(&self.addr, Some(Duration::from_millis(500))) {
+            let _ = c.request("POST", "/shutdown", b"");
+        }
+        let deadline = Instant::now() + Duration::from_secs(15);
+        while Instant::now() < deadline {
+            if let Ok(Some(_)) = self.child.try_wait() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn stat(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = &stats[stats.find(&pat).unwrap_or_else(|| panic!("{key} in {stats}")) + pat.len()..];
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("number")
+}
+
+/// A crashing replica is invisible to clients: crashes strike before any
+/// response byte, so every request fails over and every answer stays
+/// byte-identical to offline annotation. The supervisor restarts the
+/// crashed replica (restart counter moves).
+#[test]
+fn crash_faults_are_invisible_and_the_replica_is_restarted() {
+    let dir = scratch("crash");
+    let (world, ckpt) = world_with_checkpoint(&dir);
+    let proc = BalancerProc::start(
+        &dir,
+        &ckpt,
+        &["--replicas", "3", "--chaos-replica", "0:crash_after=8,seed=11"],
+    );
+
+    let mut client = Client::connect(&proc.addr, Some(Duration::from_secs(30))).expect("connect");
+    let n_tables = world.tables.len().min(4);
+    for i in 0..40 {
+        let idx = i % n_tables;
+        let body = table_to_json(&world.tables[idx]);
+        let resp = client.request("POST", "/annotate", body.as_bytes()).expect("request");
+        assert_eq!(resp.status, 200, "request {i}: retryable faults must be client-invisible");
+        assert_eq!(
+            resp.body,
+            offline_bytes(&world, idx),
+            "request {i}: byte-identity must survive failover"
+        );
+    }
+
+    // The crash actually happened and was healed, not merely avoided.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = proc.stats();
+        if stat(&stats, "restarts") >= 1 {
+            assert_eq!(stat(&stats, "requests_failed"), 0, "stats: {stats}");
+            assert_eq!(stat(&stats, "permanent_failures"), 0, "stats: {stats}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "crashed replica was never restarted: {stats}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// A stalled replica (chaos delay far above the balancer's response
+/// timeout) never blocks clients: the first-byte timeout is a
+/// before-response fault, so requests fail over to the healthy replica.
+#[test]
+fn stalled_replica_times_out_and_fails_over() {
+    let dir = scratch("delay");
+    let (world, ckpt) = world_with_checkpoint(&dir);
+    let proc = BalancerProc::start(
+        &dir,
+        &ckpt,
+        &[
+            "--replicas",
+            "2",
+            "--chaos-replica",
+            "0:delay_ms=5000,seed=3",
+            "--response-timeout-ms",
+            "400",
+        ],
+    );
+
+    let mut client = Client::connect(&proc.addr, Some(Duration::from_secs(30))).expect("connect");
+    for i in 0..8 {
+        let idx = i % world.tables.len().min(3);
+        let body = table_to_json(&world.tables[idx]);
+        let t0 = Instant::now();
+        let resp = client.request("POST", "/annotate", body.as_bytes()).expect("request");
+        assert_eq!(resp.status, 200, "request {i}: a stalled replica must not surface errors");
+        assert_eq!(resp.body, offline_bytes(&world, idx), "request {i}: byte-identity");
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "request {i} took {:?}: the 5s stall must never be waited out",
+            t0.elapsed()
+        );
+    }
+    let stats = proc.stats();
+    assert_eq!(stat(&stats, "requests_failed"), 0, "stats: {stats}");
+}
+
+/// A replica that tears connections mid-response produces 502s (never a
+/// silent retry — the response started flowing), while requests landing on
+/// the healthy replica still come back byte-identical. Both outcomes must
+/// occur, and nothing else.
+#[test]
+fn mid_response_resets_surface_as_502_without_redispatch() {
+    let dir = scratch("reset");
+    let (world, ckpt) = world_with_checkpoint(&dir);
+    let proc = BalancerProc::start(
+        &dir,
+        &ckpt,
+        &["--replicas", "2", "--chaos-replica", "0:reset_prob=1.0,seed=5"],
+    );
+
+    let mut torn = 0u32;
+    let mut clean = 0u32;
+    for i in 0..16 {
+        let idx = i % world.tables.len().min(3);
+        let body = table_to_json(&world.tables[idx]);
+        // The 502 arrives with connection intact, but reconnect per request
+        // to keep the schedule independent of keep-alive pooling.
+        let mut client =
+            Client::connect(&proc.addr, Some(Duration::from_secs(30))).expect("connect");
+        let resp = client.request("POST", "/annotate", body.as_bytes()).expect("request");
+        match resp.status {
+            200 => {
+                assert_eq!(resp.body, offline_bytes(&world, idx), "request {i}: byte-identity");
+                clean += 1;
+            }
+            502 => torn += 1,
+            other => panic!("request {i}: unexpected status {other}"),
+        }
+    }
+    assert!(torn >= 1, "the resetting replica was never hit");
+    assert!(clean >= 1, "the healthy replica was never hit");
+    let stats = proc.stats();
+    assert_eq!(stat(&stats, "mid_response_aborts"), u64::from(torn), "stats: {stats}");
+}
+
+/// A crash-looping replica exhausts its restart budget and is escalated to
+/// permanent failure; the survivor keeps answering every request.
+#[test]
+fn crash_loop_exhausts_the_restart_budget_and_is_escalated() {
+    let dir = scratch("budget");
+    let (world, ckpt) = world_with_checkpoint(&dir);
+    let proc = BalancerProc::start(
+        &dir,
+        &ckpt,
+        &[
+            "--replicas",
+            "2",
+            "--chaos-replica",
+            "0:crash_after=1,seed=9",
+            "--restart-budget",
+            "2",
+            "--restart-window-secs",
+            "300",
+        ],
+    );
+
+    // Keep traffic flowing: each time the crash-looping replica comes back
+    // it dies on its next request, until the budget trips.
+    let mut client = Client::connect(&proc.addr, Some(Duration::from_secs(30))).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let mut sent = 0u32;
+    loop {
+        let idx = (sent as usize) % world.tables.len().min(3);
+        let body = table_to_json(&world.tables[idx]);
+        let resp = client.request("POST", "/annotate", body.as_bytes()).expect("request");
+        assert_eq!(resp.status, 200, "request {sent}: crashes stay client-invisible");
+        assert_eq!(resp.body, offline_bytes(&world, idx), "request {sent}: byte-identity");
+        sent += 1;
+        let stats = proc.stats();
+        if stat(&stats, "permanent_failures") >= 1 {
+            assert_eq!(stat(&stats, "permanent_failures"), 1, "stats: {stats}");
+            assert!(stats.contains("\"state\":\"failed\""), "stats: {stats}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "budget never tripped after {sent} requests: {stats}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The fleet is degraded but alive: the survivor answers alone.
+    for i in 0..5 {
+        let idx = i % world.tables.len().min(3);
+        let body = table_to_json(&world.tables[idx]);
+        let resp = client.request("POST", "/annotate", body.as_bytes()).expect("request");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, offline_bytes(&world, idx));
+    }
+}

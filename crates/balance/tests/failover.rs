@@ -1,0 +1,382 @@
+//! Balancer failover semantics against scripted mock backends.
+//!
+//! These tests pin the retry contract without real daemons in the loop:
+//! before-response failures and complete 5xxs fail over; mid-response
+//! failures abort with 502 after exactly one dispatch; 4xxs are forwarded
+//! untouched; overload sheds with `503 + Retry-After`; slow-loris clients
+//! are cut off with 408.
+
+use doduo_balance::{BalanceConfig, BalanceHandle, Balancer};
+use doduo_served::http::Client;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a mock backend does with each fully received request.
+#[derive(Clone, Copy)]
+enum Behavior {
+    /// Complete `status` response with a tiny JSON body; keep-alive.
+    Status(u16),
+    /// Advertise a 20-byte body, send 5 bytes, sever the connection.
+    PartialThenClose,
+    /// Read the request, close without writing a byte.
+    CloseBeforeResponse,
+}
+
+struct Mock {
+    addr: String,
+    /// Requests fully received (each one is a dispatch from the balancer).
+    hits: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Mock {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads one request (head + content-length body) off `reader`. Returns
+/// false on EOF.
+fn read_mock_request(reader: &mut BufReader<TcpStream>) -> bool {
+    let mut line = String::new();
+    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        return false;
+    }
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return false;
+        }
+        let t = line.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = t.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).is_ok()
+}
+
+fn mock(behavior: Behavior) -> Mock {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind mock");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let (hits, stop) = (Arc::clone(&hits), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut conns = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).expect("blocking");
+                        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+                        let hits = Arc::clone(&hits);
+                        conns.push(std::thread::spawn(move || {
+                            let mut stream = stream;
+                            let mut reader =
+                                BufReader::new(stream.try_clone().expect("clone"));
+                            while read_mock_request(&mut reader) {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                                match behavior {
+                                    Behavior::Status(status) => {
+                                        let body = format!("{{\"mock\":{status}}}\n");
+                                        let resp = format!(
+                                            "HTTP/1.1 {status} Mock\r\ncontent-type: application/json\r\n\
+                                             content-length: {}\r\nconnection: keep-alive\r\n\r\n{body}",
+                                            body.len()
+                                        );
+                                        if stream.write_all(resp.as_bytes()).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Behavior::PartialThenClose => {
+                                        let head = "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+                                                    content-length: 20\r\nconnection: keep-alive\r\n\r\n";
+                                        let _ = stream.write_all(head.as_bytes());
+                                        let _ = stream.write_all(b"{\"tor");
+                                        let _ = stream.flush();
+                                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                                        return;
+                                    }
+                                    Behavior::CloseBeforeResponse => {
+                                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                                        return;
+                                    }
+                                }
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        })
+    };
+    Mock { addr, hits, stop, thread: Some(thread) }
+}
+
+/// An address that refuses connections (bound then immediately released).
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.local_addr().expect("addr").to_string()
+}
+
+fn start_balancer(
+    cfg: BalanceConfig,
+) -> (SocketAddr, BalanceHandle, std::thread::JoinHandle<Result<(), String>>) {
+    let balancer = Balancer::bind(cfg).expect("bind balancer");
+    let addr = balancer.addr();
+    let handle = balancer.handle();
+    let thread = std::thread::spawn(move || balancer.run());
+    (addr, handle, thread)
+}
+
+fn cfg_with_backends(backends: Vec<String>) -> BalanceConfig {
+    BalanceConfig {
+        addr: "127.0.0.1:0".into(),
+        static_backends: backends,
+        retry_rounds: 2,
+        connect_timeout: Duration::from_millis(500),
+        response_timeout: Duration::from_millis(2_000),
+        retry_backoff_base: Duration::from_millis(5),
+        retry_backoff_cap: Duration::from_millis(20),
+        ..BalanceConfig::default()
+    }
+}
+
+fn get_stats(addr: &SocketAddr) -> String {
+    let mut client = Client::connect(&addr.to_string(), Some(Duration::from_secs(5)))
+        .expect("connect for stats");
+    let resp = client.request("GET", "/stats", b"").expect("stats");
+    assert_eq!(resp.status, 200);
+    String::from_utf8(resp.body).expect("utf8 stats")
+}
+
+fn stat(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = &stats[stats.find(&pat).unwrap_or_else(|| panic!("{key} in {stats}")) + pat.len()..];
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("number")
+}
+
+#[test]
+fn connect_refused_fails_over_to_the_next_replica() {
+    let live = mock(Behavior::Status(200));
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![dead_addr(), live.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"{\"mock\":200}\n");
+    assert_eq!(live.hits.load(Ordering::SeqCst), 1);
+
+    let stats = get_stats(&addr);
+    assert_eq!(stat(&stats, "requests_ok"), 1, "stats: {stats}");
+    assert_eq!(stat(&stats, "retries"), 1, "the dead replica cost one attempt: {stats}");
+    assert_eq!(stat(&stats, "requests_failed"), 0, "stats: {stats}");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn close_before_response_is_retried_elsewhere() {
+    let flaky = mock(Behavior::CloseBeforeResponse);
+    let live = mock(Behavior::Status(200));
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![flaky.addr.clone(), live.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 200, "zero response bytes flowed, so the request was retryable");
+    assert_eq!(flaky.hits.load(Ordering::SeqCst), 1);
+    assert_eq!(live.hits.load(Ordering::SeqCst), 1);
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn complete_5xx_fails_over_and_exhaustion_forwards_the_last_5xx() {
+    let sick = mock(Behavior::Status(500));
+    let live = mock(Behavior::Status(200));
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![sick.addr.clone(), live.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 200, "the healthy replica's answer wins over the 500");
+    assert_eq!(sick.hits.load(Ordering::SeqCst), 1);
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+
+    // All replicas 5xx: the last one is forwarded honestly after the
+    // retry rounds are exhausted.
+    let sick2 = mock(Behavior::Status(500));
+    let (addr, handle, thread) = start_balancer(cfg_with_backends(vec![sick2.addr.clone()]));
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 500);
+    assert_eq!(resp.body, b"{\"mock\":500}\n", "the replica's own 5xx body is preserved");
+    assert_eq!(sick2.hits.load(Ordering::SeqCst), 2, "one dispatch per retry round");
+    let stats = get_stats(&addr);
+    assert_eq!(stat(&stats, "requests_failed"), 1, "stats: {stats}");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn mid_response_failure_aborts_with_502_after_exactly_one_dispatch() {
+    let torn = mock(Behavior::PartialThenClose);
+    let live = mock(Behavior::Status(200));
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![torn.addr.clone(), live.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 502, "response bytes flowed, so no retry is allowed");
+    assert_eq!(torn.hits.load(Ordering::SeqCst), 1, "exactly one dispatch");
+    assert_eq!(live.hits.load(Ordering::SeqCst), 0, "never re-dispatched to the healthy replica");
+
+    let stats = get_stats(&addr);
+    assert_eq!(stat(&stats, "mid_response_aborts"), 1, "stats: {stats}");
+    assert_eq!(stat(&stats, "requests_failed"), 1, "stats: {stats}");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn complete_4xx_is_forwarded_without_retry() {
+    let strict = mock(Behavior::Status(400));
+    let live = mock(Behavior::Status(200));
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![strict.addr.clone(), live.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"not json").expect("request");
+    assert_eq!(resp.status, 400, "a complete 4xx means the request is bad, not the replica");
+    assert_eq!(resp.body, b"{\"mock\":400}\n");
+    assert_eq!(strict.hits.load(Ordering::SeqCst), 1);
+    assert_eq!(live.hits.load(Ordering::SeqCst), 0, "4xx is never retried");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn overload_sheds_with_503_and_retry_after() {
+    let live = mock(Behavior::Status(200));
+    let cfg = BalanceConfig {
+        max_inflight: 0, // every proxied request is over the cap
+        ..cfg_with_backends(vec![live.addr.clone()])
+    };
+    let (addr, handle, thread) = start_balancer(cfg);
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.retry_after, Some(1), "sheds carry a Retry-After hint");
+    assert_eq!(live.hits.load(Ordering::SeqCst), 0, "shed requests never reach a replica");
+
+    let stats = get_stats(&addr);
+    assert_eq!(stat(&stats, "sheds"), 1, "stats: {stats}");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn slow_loris_client_is_cut_off_with_408() {
+    let live = mock(Behavior::Status(200));
+    let cfg = BalanceConfig {
+        request_deadline: Duration::from_millis(300),
+        ..cfg_with_backends(vec![live.addr.clone()])
+    };
+    let (addr, handle, thread) = start_balancer(cfg);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    stream.write_all(b"POST /annotate HTTP/1.1\r\n").expect("request line");
+    // Dribble header bytes slower than the request deadline allows.
+    for chunk in ["content-", "length", ": 2", "\r\n", "ho"] {
+        std::thread::sleep(Duration::from_millis(120));
+        if stream.write_all(chunk.as_bytes()).is_err() {
+            break; // balancer already gave up on us — fine
+        }
+    }
+    let mut reply = String::new();
+    let mut reader = BufReader::new(&stream);
+    reader.read_line(&mut reply).expect("read status line");
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "slow request must be rejected with 408, got {reply:?}"
+    );
+    assert_eq!(live.hits.load(Ordering::SeqCst), 0);
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+#[test]
+fn local_endpoints_report_health_and_readiness() {
+    // No ready replica at all: liveness stays 200, readiness is 503.
+    let (addr, handle, thread) = start_balancer(cfg_with_backends(Vec::new()));
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+
+    let resp = client.request("GET", "/healthz", b"").expect("healthz");
+    assert_eq!(resp.status, 200, "the balancer itself is alive");
+    let body = String::from_utf8(resp.body).expect("utf8");
+    assert!(body.contains("\"ready_replicas\":0"), "healthz: {body}");
+
+    let resp = client.request("GET", "/readyz", b"").expect("readyz");
+    assert_eq!(resp.status, 503, "nowhere to route traffic");
+    assert_eq!(resp.retry_after, Some(1));
+
+    // Streaming is not proxied.
+    let resp = client.request("POST", "/annotate_stream", b"{}").expect("stream");
+    assert_eq!(resp.status, 501);
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+
+    // With a live backend the balancer reports ready.
+    let live = mock(Behavior::Status(200));
+    let (addr, handle, thread) = start_balancer(cfg_with_backends(vec![live.addr.clone()]));
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("GET", "/readyz", b"").expect("readyz");
+    assert_eq!(resp.status, 200);
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}

@@ -219,20 +219,29 @@ fn check_serve(v: &Json, c: &mut Checker) -> String {
     let results = c.arr(v, "results").to_vec();
     let mut best = 0.0f64;
     for r in &results {
-        c.str_in(r, "topology", &["thread_per_conn", "pool"]);
-        c.str_in(r, "mode", &["request", "stream"]);
+        c.str_in(r, "topology", &["thread_per_conn", "pool", "replicated"]);
+        c.str_in(r, "mode", &["request", "stream", "chaos"]);
         c.str_in(r, "policy", &["eager", "coalesce"]);
         for k in [
             "workers",
             "max_delay_ms",
+            "replicas",
             "clients",
             "requests",
             "connects",
+            "sheds",
+            "errors",
+            "restarts",
+            "availability",
             "conn_reuse_rate",
             "secs",
             "tables_per_sec",
         ] {
             c.num(r, k);
+        }
+        let avail = r.get("availability").and_then(Json::as_f64).unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&avail) {
+            c.errs.push(format!("availability {avail} outside [0, 1]"));
         }
         match r.get("latency_ms") {
             Some(l) => {
@@ -317,5 +326,46 @@ mod tests {
         );
         let errs = check_bench_text(&text).expect_err("unknown kind fails");
         assert!(errs.iter().any(|e| e.contains("mystery")), "{errs:?}");
+    }
+
+    /// A minimal valid serve artifact with one cell of the given topology,
+    /// mode, and availability.
+    fn serve_json(topology: &str, mode: &str, availability: f64) -> String {
+        let host = HostMeta::detect(Scale::Quick).to_json();
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"scale\": \"quick\",\n  \"seed\": 42,\n  \
+             \"host\": {host},\n  \"corpus_tables\": 8,\n  \"max_threads\": 1,\n  \
+             \"results\": [\n    {{\"topology\": \"{topology}\", \"mode\": \"{mode}\", \
+             \"workers\": 2, \"policy\": \"eager\", \"max_delay_ms\": 0, \"replicas\": 3, \
+             \"clients\": 4, \"requests\": 100, \"connects\": 4, \"sheds\": 1, \
+             \"errors\": 0, \"restarts\": 1, \"availability\": {availability}, \
+             \"conn_reuse_rate\": 0.96, \"secs\": 1.0, \"tables_per_sec\": 100.0, \
+             \"latency_ms\": {{\"mean\": 1.0, \"p50\": 1.0, \"p99\": 2.0, \"max\": 3.0}}}}\n  \
+             ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn serve_artifact_with_replicated_chaos_cell_passes() {
+        let headline =
+            check_bench_text(&serve_json("replicated", "chaos", 1.0)).expect("valid serve passes");
+        assert!(headline.contains("1 cells"), "{headline}");
+    }
+
+    #[test]
+    fn serve_cell_missing_fault_fields_is_rejected() {
+        let text = serve_json("replicated", "request", 1.0)
+            .replace("\"sheds\": 1, ", "")
+            .replace("\"restarts\": 1, ", "");
+        let errs = check_bench_text(&text).expect_err("missing fields must fail");
+        assert!(errs.iter().any(|e| e.contains("sheds")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("restarts")), "{errs:?}");
+    }
+
+    #[test]
+    fn serve_availability_outside_unit_interval_is_rejected() {
+        let errs =
+            check_bench_text(&serve_json("replicated", "chaos", 1.5)).expect_err("1.5 must fail");
+        assert!(errs.iter().any(|e| e.contains("outside [0, 1]")), "{errs:?}");
     }
 }

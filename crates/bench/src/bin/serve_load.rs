@@ -27,6 +27,7 @@
 //!
 //! Run: `cargo run --release -p doduo-bench --bin serve_load -- --scale quick`
 
+use doduo_balance::{BalanceConfig, Balancer, SupervisorConfig};
 use doduo_bench::report::Report;
 use doduo_bench::{ExpOptions, Scale};
 use doduo_serve::BatchConfig;
@@ -35,11 +36,16 @@ use doduo_served::http::Client;
 use doduo_served::json::table_to_json;
 use doduo_served::{percentiles, BatchPolicy, Percentiles, ServeConfig, Server};
 use doduo_tensor::default_threads;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Pipelined tables in flight per streaming client.
 const STREAM_CLIENT_WINDOW: usize = 16;
+
+/// Cap on how long a shed client honors a server `Retry-After` hint — the
+/// hints are in whole seconds, far coarser than bench cell durations.
+const MAX_RETRY_AFTER_WAIT: Duration = Duration::from_millis(250);
 
 struct Cell {
     topology: &'static str,
@@ -47,12 +53,41 @@ struct Cell {
     workers: usize,
     policy: &'static str,
     max_delay_ms: u64,
+    /// Replica processes behind the balancer; `0` = direct daemon.
+    replicas: usize,
     clients: usize,
     requests: usize,
     connects: usize,
+    /// 503 backpressure responses (each honored via `Retry-After`).
+    sheds: usize,
+    /// Client-visible failures (non-200, non-503).
+    errors: usize,
+    /// Replica respawns performed by the supervisor during the cell.
+    restarts: u64,
     secs: f64,
     tables_per_sec: f64,
     latency_ms: Percentiles,
+}
+
+impl Cell {
+    /// Fraction of answered (non-shed) requests that succeeded.
+    fn availability(&self) -> f64 {
+        if self.requests + self.errors == 0 {
+            return 1.0;
+        }
+        self.requests as f64 / (self.requests + self.errors) as f64
+    }
+}
+
+/// What one closed-loop trial observed.
+#[derive(Clone, Copy)]
+struct Trial {
+    requests: usize,
+    connects: usize,
+    sheds: usize,
+    errors: usize,
+    secs: f64,
+    lat: Percentiles,
 }
 
 fn to_ms(p: Percentiles) -> Percentiles {
@@ -67,17 +102,18 @@ fn to_ms(p: Percentiles) -> Percentiles {
 
 /// One request-mode cell: `clients` closed-loop threads hammering `addr`
 /// for `duration` on persistent connections, each cycling through its own
-/// slice of the corpus. Returns (requests, connects, secs, latency).
-fn run_request_cell(
-    addr: &str,
-    bodies: &[String],
-    clients: usize,
-    duration: Duration,
-) -> (usize, usize, f64, Percentiles) {
+/// slice of the corpus. 503 backpressure is not an error: the client backs
+/// off for the server's `Retry-After` hint (capped — the hints are whole
+/// seconds) and the shed is counted separately.
+fn run_request_cell(addr: &str, bodies: &[String], clients: usize, duration: Duration) -> Trial {
     let stop = AtomicBool::new(false);
     let stop = &stop;
     let connects = AtomicUsize::new(0);
     let connects = &connects;
+    let sheds = AtomicUsize::new(0);
+    let sheds = &sheds;
+    let errors = AtomicUsize::new(0);
+    let errors = &errors;
     let t0 = Instant::now();
     let lat_us: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -95,9 +131,21 @@ fn run_request_cell(
                         let body = &bodies[i % bodies.len()];
                         let r0 = Instant::now();
                         match c.request("POST", "/annotate", body.as_bytes()) {
-                            Ok(resp) => {
-                                assert_eq!(resp.status, 200, "daemon must answer 200 under load");
+                            Ok(resp) if resp.status == 200 => {
                                 lats.push(r0.elapsed().as_micros() as u64);
+                                i += 1;
+                            }
+                            Ok(resp) if resp.status == 503 => {
+                                // Backpressure: honor the Retry-After hint.
+                                sheds.fetch_add(1, Ordering::Relaxed);
+                                let hint = resp
+                                    .retry_after
+                                    .map_or(MAX_RETRY_AFTER_WAIT, Duration::from_secs)
+                                    .min(MAX_RETRY_AFTER_WAIT);
+                                std::thread::sleep(hint);
+                            }
+                            Ok(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
                                 i += 1;
                             }
                             // A dropped connection (e.g. server-side idle
@@ -117,18 +165,20 @@ fn run_request_cell(
     let secs = t0.elapsed().as_secs_f64();
     let all: Vec<u64> = lat_us.into_iter().flatten().collect();
     let p = to_ms(percentiles(&all));
-    (p.count, connects.load(Ordering::Relaxed), secs, p)
+    Trial {
+        requests: p.count,
+        connects: connects.load(Ordering::Relaxed),
+        sheds: sheds.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        secs,
+        lat: p,
+    }
 }
 
 /// One stream-mode cell: each client sends `per_client` tables down a
 /// single `/annotate_stream` connection with a pipelining window, and
 /// latency is measured per table from send to result arrival.
-fn run_stream_cell(
-    addr: &str,
-    bodies: &[String],
-    clients: usize,
-    per_client: usize,
-) -> (usize, usize, f64, Percentiles) {
+fn run_stream_cell(addr: &str, bodies: &[String], clients: usize, per_client: usize) -> Trial {
     let t0 = Instant::now();
     let lat_us: Vec<Vec<u64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -171,7 +221,7 @@ fn run_stream_cell(
     let secs = t0.elapsed().as_secs_f64();
     let all: Vec<u64> = lat_us.into_iter().flatten().collect();
     let p = to_ms(percentiles(&all));
-    (p.count, clients, secs, p)
+    Trial { requests: p.count, connects: clients, sheds: 0, errors: 0, secs, lat: p }
 }
 
 struct Topology {
@@ -247,8 +297,7 @@ fn main() {
             let _ = run_request_cell(addr, &bodies, 2, Duration::from_secs_f64(cell_secs / 2.0));
         }
         for &clients in &client_grid {
-            let mut best: Vec<Option<(usize, usize, f64, Percentiles)>> =
-                vec![None; topologies.len()];
+            let mut best: Vec<Option<Trial>> = vec![None; topologies.len()];
             for _round in 0..2 {
                 for (t, addr) in addrs.iter().enumerate() {
                     let trial = run_request_cell(
@@ -257,28 +306,32 @@ fn main() {
                         clients,
                         Duration::from_secs_f64(cell_secs),
                     );
-                    let better = best[t]
-                        .as_ref()
-                        .is_none_or(|b| trial.0 as f64 / trial.2 > b.0 as f64 / b.2);
+                    let better = best[t].as_ref().is_none_or(|b| {
+                        trial.requests as f64 / trial.secs > b.requests as f64 / b.secs
+                    });
                     if better {
                         best[t] = Some(trial);
                     }
                 }
             }
             for (topo, trial) in topologies.iter().zip(best) {
-                let (requests, connects, secs, lat) = trial.expect("two rounds ran");
+                let t = trial.expect("two rounds ran");
                 let cell = Cell {
                     topology: topo.name,
                     mode: "request",
                     workers: topo.workers,
                     policy: topo.policy,
                     max_delay_ms: topo.delay_ms,
+                    replicas: 0,
                     clients,
-                    requests,
-                    connects,
-                    secs,
-                    tables_per_sec: requests as f64 / secs,
-                    latency_ms: lat,
+                    requests: t.requests,
+                    connects: t.connects,
+                    sheds: t.sheds,
+                    errors: t.errors,
+                    restarts: 0,
+                    secs: t.secs,
+                    tables_per_sec: t.requests as f64 / t.secs,
+                    latency_ms: t.lat,
                 };
                 eprintln!(
                     "[serve_load] {:>15}/{:<8} clients {clients:>2}: {:>7.1} tables/sec, \
@@ -289,7 +342,7 @@ fn main() {
                     cell.latency_ms.p50,
                     cell.latency_ms.p99,
                     reuse_rate(&cell),
-                    requests
+                    t.requests
                 );
                 cells.push(cell);
             }
@@ -297,9 +350,11 @@ fn main() {
         // Stream mode rides the eager pool daemon (topology 0).
         let (stream_topo, stream_addr) = (&topologies[0], &addrs[0]);
         for &clients in &stream_clients {
-            let (requests, connects, secs, lat) = (0..2)
+            let t = (0..2)
                 .map(|_| run_stream_cell(stream_addr, &bodies, clients, stream_per_client))
-                .max_by(|a, b| (a.0 as f64 / a.2).total_cmp(&(b.0 as f64 / b.2)))
+                .max_by(|a, b| {
+                    (a.requests as f64 / a.secs).total_cmp(&(b.requests as f64 / b.secs))
+                })
                 .expect("two trials");
             let cell = Cell {
                 topology: stream_topo.name,
@@ -307,12 +362,16 @@ fn main() {
                 workers: stream_topo.workers,
                 policy: stream_topo.policy,
                 max_delay_ms: stream_topo.delay_ms,
+                replicas: 0,
                 clients,
-                requests,
-                connects,
-                secs,
-                tables_per_sec: requests as f64 / secs,
-                latency_ms: lat,
+                requests: t.requests,
+                connects: t.connects,
+                sheds: t.sheds,
+                errors: t.errors,
+                restarts: 0,
+                secs: t.secs,
+                tables_per_sec: t.requests as f64 / t.secs,
+                latency_ms: t.lat,
             };
             eprintln!(
                 "[serve_load] {:>15}/{:<8} clients {clients:>2}: {:>7.1} tables/sec, \
@@ -322,7 +381,7 @@ fn main() {
                 cell.tables_per_sec,
                 cell.latency_ms.p50,
                 cell.latency_ms.p99,
-                requests
+                t.requests
             );
             cells.push(cell);
         }
@@ -334,23 +393,155 @@ fn main() {
         }
     });
 
+    // ------------------------------------------------------------------
+    // Replicated serving: real replica processes behind the in-process
+    // balancer (doduo-balance as a library). Runs after the direct-daemon
+    // grid so the replica fleets don't contend with it for cores.
+    // ------------------------------------------------------------------
+    let served_bin = served_binary();
+    let scratch = std::env::temp_dir().join(format!("serve_load-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+    let ckpt = scratch.join("bundle.ckpt");
+    world.bundle.save_to(ckpt.to_str().expect("utf8 path")).expect("save checkpoint");
+
+    let replicated_clients = if quick { 8 } else { 16 };
+    for &replicas in &[1usize, 2, 4] {
+        let (trial, restarts) = run_balanced_cell(
+            &served_bin,
+            &ckpt,
+            &scratch,
+            &bodies,
+            replicas,
+            &[],
+            replicated_clients,
+            Duration::from_secs_f64(cell_secs),
+        );
+        let cell = Cell {
+            topology: "replicated",
+            mode: "request",
+            workers: 2,
+            policy: "eager",
+            max_delay_ms: 0,
+            replicas,
+            clients: replicated_clients,
+            requests: trial.requests,
+            connects: trial.connects,
+            sheds: trial.sheds,
+            errors: trial.errors,
+            restarts,
+            secs: trial.secs,
+            tables_per_sec: trial.requests as f64 / trial.secs,
+            latency_ms: trial.lat,
+        };
+        eprintln!(
+            "[serve_load] {:>15}/{:<8} clients {replicated_clients:>2}: {:>7.1} tables/sec, \
+             p50 {:>6.2} ms, p99 {:>7.2} ms ({} reqs, {} replicas)",
+            "replicated",
+            "eager",
+            cell.tables_per_sec,
+            cell.latency_ms.p50,
+            cell.latency_ms.p99,
+            trial.requests,
+            replicas,
+        );
+        cells.push(cell);
+    }
+
+    // The chaos availability cell: three replicas, one crash-looping under
+    // deterministic fault injection. Availability must stay flat at 1.0 —
+    // crashes strike before any response byte, so failover hides them.
+    let chaos_clients = if quick { 4 } else { 8 };
+    let (trial, restarts) = run_balanced_cell(
+        &served_bin,
+        &ckpt,
+        &scratch,
+        &bodies,
+        3,
+        &[(0, "crash_after=25,seed=7")],
+        chaos_clients,
+        Duration::from_secs_f64(cell_secs * 3.0),
+    );
+    let chaos_cell = Cell {
+        topology: "replicated",
+        mode: "chaos",
+        workers: 2,
+        policy: "eager",
+        max_delay_ms: 0,
+        replicas: 3,
+        clients: chaos_clients,
+        requests: trial.requests,
+        connects: trial.connects,
+        sheds: trial.sheds,
+        errors: trial.errors,
+        restarts,
+        secs: trial.secs,
+        tables_per_sec: trial.requests as f64 / trial.secs,
+        latency_ms: trial.lat,
+    };
+    eprintln!(
+        "[serve_load] {:>15}/{:<8} clients {chaos_clients:>2}: {:>7.1} tables/sec, \
+         availability {:.4}, {} restarts, {} sheds",
+        "replicated",
+        "chaos",
+        chaos_cell.tables_per_sec,
+        chaos_cell.availability(),
+        restarts,
+        trial.sheds,
+    );
+    cells.push(chaos_cell);
+    let _ = std::fs::remove_dir_all(&scratch);
+
     let mut r = Report::new(
         "Online serving load (doduo-served, closed-loop clients)",
-        &["topology", "mode", "policy", "clients", "tables/sec", "p50 ms", "p99 ms", "reuse"],
+        &[
+            "topology",
+            "mode",
+            "policy",
+            "repl",
+            "clients",
+            "tables/sec",
+            "p50 ms",
+            "p99 ms",
+            "reuse",
+            "avail",
+        ],
     );
     for c in &cells {
         r.row(&[
             c.topology.to_string(),
             c.mode.to_string(),
             c.policy.to_string(),
+            c.replicas.to_string(),
             c.clients.to_string(),
             format!("{:.1}", c.tables_per_sec),
             format!("{:.2}", c.latency_ms.p50),
             format!("{:.2}", c.latency_ms.p99),
             format!("{:.3}", reuse_rate(c)),
+            format!("{:.4}", c.availability()),
         ]);
     }
     r.check("every cell answered requests", cells.iter().all(|c| c.requests > 0));
+    // Fault tolerance: under deterministic crash injection the replicated
+    // fleet must stay fully available (crashes strike before any response
+    // byte, so the balancer's failover hides every one), the supervisor
+    // must actually have healed the crash-looping replica, and no direct
+    // cell may report client-visible errors either.
+    let chaos = cells.iter().find(|c| c.mode == "chaos").expect("chaos cell ran");
+    r.check(
+        format!(
+            "chaos cell availability is flat at 1.0 ({:.4}, {} errors, {} sheds)",
+            chaos.availability(),
+            chaos.errors,
+            chaos.sheds
+        )
+        .as_str(),
+        chaos.errors == 0,
+    );
+    r.check(
+        format!("chaos cell healed crashes ({} restarts)", chaos.restarts).as_str(),
+        chaos.restarts >= 1,
+    );
+    r.check("no cell saw client-visible errors", cells.iter().all(|c| c.errors == 0));
     let tps = |topology: &str, mode: &str, policy: &str, clients: usize| {
         cells
             .iter()
@@ -389,6 +580,93 @@ fn main() {
     eprintln!("[serve_load] wrote BENCH_serve.json, total elapsed {:?}", started.elapsed());
 }
 
+/// Locates the `doduo-served` binary the replica fleets spawn:
+/// `DODUO_SERVED_BIN`, then a sibling of this executable, then a cargo
+/// build of it (offline workspace build) as a last resort.
+fn served_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("DODUO_SERVED_BIN") {
+        return PathBuf::from(p);
+    }
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let sibling = dir.join(format!("doduo-served{}", std::env::consts::EXE_SUFFIX));
+    if sibling.exists() {
+        return sibling;
+    }
+    eprintln!("[serve_load] building doduo-served for the replicated cells ...");
+    let release = dir.ends_with("release");
+    let mut cmd = std::process::Command::new("cargo");
+    cmd.args(["build", "-p", "doduo-served"]);
+    if release {
+        cmd.arg("--release");
+    }
+    let built = cmd.status().map(|s| s.success()).unwrap_or(false);
+    assert!(
+        built && sibling.exists(),
+        "cannot find or build a doduo-served binary for the replicated cells; \
+         set DODUO_SERVED_BIN or `cargo build --release -p doduo-served` first"
+    );
+    sibling
+}
+
+/// One replicated cell: `replicas` real daemon processes (same checkpoint)
+/// behind an in-process balancer, driven by the closed-loop clients.
+/// `chaos` assigns per-replica fault specs. Returns the trial plus the
+/// supervisor's restart count.
+#[allow(clippy::too_many_arguments)]
+fn run_balanced_cell(
+    served_bin: &std::path::Path,
+    ckpt: &std::path::Path,
+    port_dir: &std::path::Path,
+    bodies: &[String],
+    replicas: usize,
+    chaos: &[(usize, &str)],
+    clients: usize,
+    duration: Duration,
+) -> (Trial, u64) {
+    let mut per_replica_args: Vec<Vec<String>> = vec![Vec::new(); replicas];
+    for (idx, spec) in chaos {
+        per_replica_args[*idx].extend(["--chaos".to_string(), (*spec).to_string()]);
+    }
+    let sup = SupervisorConfig {
+        common_args: vec![
+            "--checkpoint".into(),
+            ckpt.to_str().expect("utf8").into(),
+            "--workers".into(),
+            "2".into(),
+            "--threads".into(),
+            "1".into(),
+        ],
+        per_replica_args,
+        port_dir: port_dir.to_path_buf(),
+        seed: 7,
+        ..SupervisorConfig::new(served_bin.to_path_buf(), replicas)
+    };
+    let cfg = BalanceConfig {
+        addr: "127.0.0.1:0".into(),
+        supervisor: Some(sup),
+        seed: 7,
+        ..BalanceConfig::default()
+    };
+    let balancer = Balancer::bind(cfg).expect("bind balancer");
+    let addr = balancer.addr().to_string();
+    let handle = balancer.handle();
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| balancer.run());
+        // Wait for the fleet to come up before opening the floodgates.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while handle.ready_replicas() < replicas {
+            assert!(Instant::now() < deadline, "replica fleet never became ready");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let trial = run_request_cell(&addr, bodies, clients, duration);
+        let restarts = handle.total_restarts();
+        handle.shutdown();
+        runner.join().expect("balancer thread").expect("balancer ran cleanly");
+        (trial, restarts)
+    })
+}
+
 fn reuse_rate(c: &Cell) -> f64 {
     if c.requests == 0 {
         return 0.0;
@@ -413,8 +691,10 @@ fn render_json(
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"topology\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"policy\": \"{}\", \
-             \"max_delay_ms\": {}, \"clients\": {}, \"requests\": {}, \"connects\": {}, \
-             \"conn_reuse_rate\": {:.4}, \"secs\": {:.3}, \"tables_per_sec\": {:.3}, \
+             \"max_delay_ms\": {}, \"replicas\": {}, \"clients\": {}, \"requests\": {}, \
+             \"connects\": {}, \"sheds\": {}, \"errors\": {}, \"restarts\": {}, \
+             \"availability\": {:.4}, \"conn_reuse_rate\": {:.4}, \"secs\": {:.3}, \
+             \"tables_per_sec\": {:.3}, \
              \"latency_ms\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}, \
              \"max\": {:.3}}}}}{}\n",
             c.topology,
@@ -422,9 +702,14 @@ fn render_json(
             c.workers,
             c.policy,
             c.max_delay_ms,
+            c.replicas,
             c.clients,
             c.requests,
             c.connects,
+            c.sheds,
+            c.errors,
+            c.restarts,
+            c.availability(),
             reuse_rate(c),
             c.secs,
             c.tables_per_sec,

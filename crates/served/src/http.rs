@@ -492,9 +492,23 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_extra(stream, status, reason, content_type, "", body, keep_alive)
+}
+
+/// [`write_response`] with extra pre-formatted header lines (each
+/// `name: value\r\n`) spliced in before the blank line.
+fn write_response_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: \
-         {}\r\nconnection: {}\r\n\r\n",
+         {}\r\nconnection: {}\r\n{extra}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -515,6 +529,30 @@ pub fn write_error(
     crate::json::push_escaped(&mut body, message);
     body.push_str("}\n");
     write_response(stream, status, reason, "application/json", &body, keep_alive)
+}
+
+/// The daemon's standard backpressure response: `503 Service Unavailable`
+/// with a `Retry-After` hint so well-behaved clients (the balancer, the
+/// `serve_load` closed-loop clients) back off instead of hammering.
+pub fn write_unavailable(
+    stream: &mut TcpStream,
+    message: &str,
+    keep_alive: bool,
+    retry_after_secs: u64,
+) -> std::io::Result<()> {
+    let mut body = String::from("{\"error\":");
+    crate::json::push_escaped(&mut body, message);
+    body.push_str("}\n");
+    let extra = format!("retry-after: {retry_after_secs}\r\n");
+    write_response_extra(
+        stream,
+        503,
+        "Service Unavailable",
+        "application/json",
+        &extra,
+        &body,
+        keep_alive,
+    )
 }
 
 /// Sends the `100 Continue` interim response an `Expect: 100-continue`
@@ -579,6 +617,9 @@ pub struct Response {
     pub status: u16,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Seconds from a `Retry-After` header, if the server sent one (the
+    /// backoff hint on 503 backpressure responses).
+    pub retry_after: Option<u64>,
 }
 
 impl Client {
@@ -603,13 +644,13 @@ impl Client {
         self.stream.write_all(body)?;
         self.stream.flush()?;
 
-        let (status, content_length, _chunked) = self.read_response_head()?;
+        let (status, content_length, _chunked, retry_after) = self.read_response_head()?;
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(Response { status, body })
+        Ok(Response { status, body, retry_after })
     }
 
-    fn read_response_head(&mut self) -> std::io::Result<(u16, usize, bool)> {
+    fn read_response_head(&mut self) -> std::io::Result<(u16, usize, bool, Option<u64>)> {
         let mut line = String::new();
         // Skip interim 1xx responses (100 Continue) transparently.
         let status = loop {
@@ -624,6 +665,7 @@ impl Client {
             // Headers (1xx interim responses have none of interest).
             let mut content_length = 0usize;
             let mut chunked = false;
+            let mut retry_after = None;
             loop {
                 line.clear();
                 let n = self.reader.read_line(&mut line)?;
@@ -641,11 +683,13 @@ impl Client {
                         && value.trim().eq_ignore_ascii_case("chunked")
                     {
                         chunked = true;
+                    } else if name.eq_ignore_ascii_case("retry-after") {
+                        retry_after = value.trim().parse().ok();
                     }
                 }
             }
             if !interim {
-                break (status, content_length, chunked);
+                break (status, content_length, chunked, retry_after);
             }
         };
         Ok(status)
@@ -688,7 +732,7 @@ impl Client {
     /// Reads the streaming response's status line + headers (call once,
     /// any time after [`Client::stream_open`]).
     pub fn stream_status(&mut self) -> std::io::Result<u16> {
-        let (status, _, chunked) = self.read_response_head()?;
+        let (status, _, chunked, _) = self.read_response_head()?;
         if !chunked {
             self.resp_done = true;
         }

@@ -39,12 +39,18 @@
 //!   the daemon's `--synthetic` mode, the `serve_load` bench, and CI.
 //! * [`validate`] — the online == offline equivalence check and the
 //!   response decoder the repro harness scores served checkpoints with.
+//! * [`chaos`] — seeded fault injection (`--chaos`) for testing the
+//!   replicated-serving failure paths in `doduo-balance`.
+//! * [`cli`] — the `doduo-served` command line as a library function, so
+//!   the balancer can embed a replica daemon in a child process.
 //!
-//! Endpoints: `POST /annotate`, `POST /annotate_stream`, `GET /healthz`,
-//! `GET /stats`, `POST /shutdown`.
+//! Endpoints: `POST /annotate`, `POST /annotate_stream`, `GET /healthz`
+//! (liveness), `GET /readyz` (readiness), `GET /stats`, `POST /shutdown`.
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod chaos;
+pub mod cli;
 pub mod http;
 pub mod json;
 pub mod queue;

@@ -10,248 +10,12 @@
 //! FILE through the same codec the HTTP path uses, prints the exact bytes
 //! `/annotate` would return, and exits — CI diffs this against a live
 //! response to prove online == offline.
-
-use doduo_core::AnnotatorBundle;
-use doduo_serve::BatchConfig;
-use doduo_served::bootstrap::synthetic_world;
-use doduo_served::validate::{check_label_equivalence, offline_response, offline_response_quant};
-use doduo_served::{BatchPolicy, ServeConfig, Server};
-use std::time::Duration;
-
-struct Args {
-    addr: String,
-    checkpoint: Option<String>,
-    synthetic: Option<bool>, // Some(quick?)
-    seed: u64,
-    save_checkpoint: Option<String>,
-    oneshot: Option<String>,
-    compare_labels: Option<(String, String)>,
-    quant: bool,
-    max_batch_seqs: usize,
-    max_batch_tokens: usize,
-    max_delay_ms: u64,
-    threads: usize,
-    workers: usize,
-    keep_alive: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: doduo-served (--checkpoint FILE | --synthetic quick|full) [options]\n\
-         \n\
-         model source:\n\
-           --checkpoint FILE       load an AnnotatorBundle checkpoint\n\
-           --synthetic quick|full  build the deterministic seeded world\n\
-           --seed N                seed for --synthetic (default 42)\n\
-           --save-checkpoint FILE  write the loaded/built bundle, then continue\n\
-         \n\
-         serving:\n\
-           --addr HOST:PORT        bind address (default 127.0.0.1:7878; port 0 = ephemeral)\n\
-           --max-batch N           flush at N pending sequences (default 32)\n\
-           --max-batch-tokens N    flush at N pending tokens (default 192)\n\
-           --max-delay-ms T        flush when the oldest request waited T ms (default 2)\n\
-           --threads K             engine worker threads (default: all cores)\n\
-           --quant int8|off        int8 inference (accuracy-gated; default off)\n\
-           --workers W             connection-pool workers; 0 = one thread per\n\
-                                   connection (default 16)\n\
-           --keep-alive on|off     honor HTTP keep-alive (default on)\n\
-         \n\
-         other:\n\
-           --oneshot FILE          annotate request FILE offline, print the exact\n\
-                                   /annotate response bytes, and exit\n\
-           --compare-labels A B    exit 0 iff response files A and B decode to\n\
-                                   identical prediction sets (the int8 gate:\n\
-                                   scores may differ, labels must not flip)"
-    );
-    std::process::exit(2)
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        addr: "127.0.0.1:7878".into(),
-        checkpoint: None,
-        synthetic: None,
-        seed: 42,
-        save_checkpoint: None,
-        oneshot: None,
-        compare_labels: None,
-        quant: false,
-        max_batch_seqs: 32,
-        max_batch_tokens: 192,
-        max_delay_ms: 2,
-        threads: doduo_tensor::default_threads(),
-        workers: ServeConfig::default().workers,
-        keep_alive: true,
-    };
-    let argv: Vec<String> = std::env::args().collect();
-    let mut i = 1;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| usage())
-    };
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--addr" => args.addr = value(&mut i),
-            "--checkpoint" => args.checkpoint = Some(value(&mut i)),
-            "--synthetic" => {
-                args.synthetic = Some(match value(&mut i).as_str() {
-                    "quick" => true,
-                    "full" => false,
-                    _ => usage(),
-                })
-            }
-            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--save-checkpoint" => args.save_checkpoint = Some(value(&mut i)),
-            "--oneshot" => args.oneshot = Some(value(&mut i)),
-            "--compare-labels" => {
-                let a = value(&mut i);
-                let b = value(&mut i);
-                args.compare_labels = Some((a, b));
-            }
-            "--quant" => {
-                args.quant = match value(&mut i).as_str() {
-                    "int8" => true,
-                    "off" => false,
-                    _ => usage(),
-                }
-            }
-            "--max-batch" => {
-                args.max_batch_seqs = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--max-batch-tokens" => {
-                args.max_batch_tokens = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--max-delay-ms" => {
-                args.max_delay_ms = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--keep-alive" => {
-                args.keep_alive = match value(&mut i).as_str() {
-                    "on" | "true" | "1" => true,
-                    "off" | "false" | "0" => false,
-                    _ => usage(),
-                }
-            }
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown argument {other}");
-                usage()
-            }
-        }
-        i += 1;
-    }
-    if args.compare_labels.is_none() && args.checkpoint.is_some() == args.synthetic.is_some() {
-        eprintln!("exactly one of --checkpoint / --synthetic is required");
-        usage()
-    }
-    args
-}
+//!
+//! The whole CLI lives in [`doduo_served::cli::run`] so that
+//! `doduo-balance replica <args...>` can embed an identical daemon
+//! in a supervised child process.
 
 fn main() {
-    let args = parse_args();
-    if let Some((a, b)) = &args.compare_labels {
-        let read = |path: &str| {
-            std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("[served] cannot read {path}: {e}");
-                std::process::exit(1)
-            })
-        };
-        match check_label_equivalence(&read(a), &read(b)) {
-            Ok(n) => {
-                eprintln!("[served] label sets identical across {n} table(s)");
-                return;
-            }
-            Err(e) => {
-                eprintln!("[served] label divergence: {e}");
-                std::process::exit(1)
-            }
-        }
-    }
-    let t0 = std::time::Instant::now();
-    let bundle: AnnotatorBundle = if let Some(path) = &args.checkpoint {
-        AnnotatorBundle::load_from(path).unwrap_or_else(|e| {
-            eprintln!("[served] {e}");
-            std::process::exit(1)
-        })
-    } else {
-        let quick = args.synthetic.expect("synthetic set when checkpoint is not");
-        synthetic_world(quick, args.seed).bundle
-    };
-    eprintln!(
-        "[served] model ready in {:?}: vocab {}, {} types, {} relations",
-        t0.elapsed(),
-        bundle.tokenizer.vocab_size(),
-        bundle.type_vocab.len(),
-        bundle.rel_vocab.len(),
-    );
-    if let Some(path) = &args.save_checkpoint {
-        bundle.save_to(path).unwrap_or_else(|e| {
-            eprintln!("[served] cannot write checkpoint {path}: {e}");
-            std::process::exit(1)
-        });
-        eprintln!("[served] checkpoint written to {path}");
-    }
-
-    if let Some(path) = &args.oneshot {
-        let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("[served] cannot read request {path}: {e}");
-            std::process::exit(1)
-        });
-        // The offline reference path through the selected numeric tier —
-        // the daemon's equivalence target for the same `--quant` setting.
-        let resp = if args.quant {
-            offline_response_quant(&bundle, &body)
-        } else {
-            offline_response(&bundle, &body)
-        }
-        .unwrap_or_else(|e| {
-            eprintln!("[served] bad request body: {e}");
-            std::process::exit(1)
-        });
-        print!("{resp}");
-        return;
-    }
-
-    let cfg = ServeConfig {
-        addr: args.addr.clone(),
-        policy: BatchPolicy {
-            max_batch_seqs: args.max_batch_seqs,
-            max_batch_tokens: args.max_batch_tokens,
-            max_delay: Duration::from_millis(args.max_delay_ms),
-            ..BatchPolicy::default()
-        },
-        engine: BatchConfig {
-            max_batch: args.max_batch_seqs,
-            max_batch_tokens: args.max_batch_tokens,
-            threads: args.threads.max(1),
-            quant: args.quant,
-            ..BatchConfig::default()
-        },
-        workers: args.workers,
-        keep_alive: args.keep_alive,
-        ..ServeConfig::default()
-    };
-    let server = Server::bind(cfg).unwrap_or_else(|e| {
-        eprintln!("[served] cannot bind {}: {e}", args.addr);
-        std::process::exit(1)
-    });
-    eprintln!(
-        "[served] listening on {} ({}; flush at {} seqs / {} tokens / {} ms; {} engine threads; \
-         {}; keep-alive {})",
-        server.addr(),
-        if args.quant { "int8" } else { "f32" },
-        args.max_batch_seqs,
-        args.max_batch_tokens,
-        args.max_delay_ms,
-        args.threads.max(1),
-        if args.workers == 0 {
-            "thread-per-connection".to_string()
-        } else {
-            format!("{} pool workers", args.workers)
-        },
-        if args.keep_alive { "on" } else { "off" },
-    );
-    server.run(&bundle);
-    eprintln!("[served] shut down cleanly");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(doduo_served::cli::run(&argv))
 }

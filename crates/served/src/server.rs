@@ -49,9 +49,11 @@
 //! (or after the in-flight response) and exit; the dispatcher drains what
 //! is queued, answers it, and exits.
 
+use crate::chaos::{ChaosConfig, ChaosPlan, ChaosState};
 use crate::http::{
     read_body, read_head, write_chunk, write_chunked_head, write_continue, write_error,
-    write_last_chunk, write_response, BodyFraming, BodyReader, Head, ReadError, MAX_BODY_BYTES,
+    write_last_chunk, write_response, write_unavailable, BodyFraming, BodyReader, Head, ReadError,
+    MAX_BODY_BYTES,
 };
 use crate::json::{
     annotation_to_json, annotations_response, table_from_json, Json, StreamSplitter,
@@ -75,6 +77,8 @@ const CONN_IDLE_TIMEOUT: Duration = Duration::from_secs(75);
 const STREAM_POLL: Duration = Duration::from_millis(20);
 /// Parsed-but-not-yet-queued tables a stream may buffer (read-ahead cap).
 const STREAM_WINDOW: usize = 64;
+/// `Retry-After` hint (seconds) on backpressure 503s.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -105,6 +109,13 @@ pub struct ServeConfig {
     /// Abort an `/annotate_stream` connection after this long without
     /// input progress or pending results.
     pub stream_idle_timeout: Duration,
+    /// Deterministic fault injection (`--chaos`), for exercising the
+    /// replicated-serving failure paths. `None` in production.
+    ///
+    /// **Crash faults call `std::process::exit`** — only enable
+    /// `crash_after` on a daemon running in its own process (the
+    /// `doduo-balance` chaos tests), never on an in-process test server.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +130,7 @@ impl Default for ServeConfig {
             keep_alive: true,
             request_deadline: Duration::from_secs(10),
             stream_idle_timeout: Duration::from_secs(30),
+            chaos: None,
         }
     }
 }
@@ -241,11 +253,15 @@ impl ConnQueue {
 
 struct Shared {
     shutdown: AtomicBool,
+    /// True once the engine is built and the daemon is accepting work —
+    /// the readiness half of the liveness/readiness split (`/readyz`).
+    ready: AtomicBool,
     connections: AtomicUsize,
     queue: SharedBatcher<Job>,
     conns: ConnQueue,
     stats: ServerStats,
     started: Instant,
+    chaos: Option<ChaosState>,
 }
 
 impl Shared {
@@ -308,11 +324,13 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             queue: SharedBatcher::new(cfg.policy.clone()),
             conns: ConnQueue::new(),
             stats: ServerStats::with_workers(cfg.workers),
             started: Instant::now(),
+            chaos: cfg.chaos.clone().map(ChaosState::new),
         });
         Ok(Server { listener, addr, cfg, shared })
     }
@@ -343,12 +361,11 @@ impl Server {
                 if shared.connections.load(Ordering::SeqCst) >= self.cfg.max_connections {
                     shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
                     let mut stream = stream;
-                    let _ = write_error(
+                    let _ = write_unavailable(
                         &mut stream,
-                        503,
-                        "Service Unavailable",
                         "too many connections",
                         false,
+                        RETRY_AFTER_SECS,
                     );
                     return None;
                 }
@@ -373,6 +390,9 @@ impl Server {
     pub fn run(&self, bundle: &AnnotatorBundle) {
         let engine = BatchAnnotator::with_config(bundle.annotator(), self.cfg.engine.clone());
         self.listener.set_nonblocking(true).expect("nonblocking listener");
+        // The engine exists and threads are about to serve: ready for
+        // traffic. `/readyz` flips back to 503 once shutdown is requested.
+        self.shared.ready.store(true, Ordering::SeqCst);
         let shared = &self.shared;
         let engine = &engine;
         let cfg = &self.cfg;
@@ -654,12 +674,36 @@ fn serve_one_request(
     let keep_alive = head.keep_alive && cfg.keep_alive && !shared.shutting_down();
     let stream = &mut conn.stream;
     let ok = match (head.method.as_str(), head.path.as_str()) {
+        // Liveness: always 200 while the process can answer at all. The
+        // `ready` field mirrors `/readyz` for humans; probes that gate
+        // traffic admission must use `/readyz` (which flips to 503).
         ("GET", "/healthz") => {
+            let ready = shared.ready.load(Ordering::SeqCst) && !shared.shutting_down();
             let body = format!(
-                "{{\"status\":\"ok\",\"uptime_secs\":{:.3}}}\n",
+                "{{\"status\":\"ok\",\"ready\":{ready},\"uptime_secs\":{:.3}}}\n",
                 shared.started.elapsed().as_secs_f64()
             );
             write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+        }
+        // Readiness: 200 only while the daemon should receive new traffic
+        // (engine up, not shutting down, queue below capacity). The
+        // balancer re-admits a restarted replica only after this passes.
+        ("GET", "/readyz") => {
+            let ready = shared.ready.load(Ordering::SeqCst)
+                && !shared.shutting_down()
+                && shared.queue.depth() < cfg.policy.max_queue_jobs;
+            if ready {
+                write_response(
+                    stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    "{\"status\":\"ready\"}\n",
+                    keep_alive,
+                )
+            } else {
+                write_unavailable(stream, "not ready", keep_alive, RETRY_AFTER_SECS)
+            }
         }
         ("GET", "/stats") => {
             let body = shared.stats.to_json(
@@ -940,9 +984,21 @@ fn handle_annotate(
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let t0 = Instant::now();
+    // Decide this request's injected faults up front: a crash fault fires
+    // before any byte of a response exists, which is exactly the failure a
+    // balancer may safely retry.
+    let plan: Option<ChaosPlan> = shared.chaos.as_ref().map(ChaosState::on_annotate);
+    if plan.is_some_and(|p| p.crash) {
+        eprintln!("[served] chaos: crash_after reached; exiting before response");
+        std::process::exit(86);
+    }
     let fail = |stream: &mut TcpStream, status, reason, msg: &str| {
         shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
         write_error(stream, status, reason, msg, keep_alive)
+    };
+    let unavailable = |stream: &mut TcpStream, msg: &str| {
+        shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+        write_unavailable(stream, msg, keep_alive, RETRY_AFTER_SECS)
     };
     let body = match std::str::from_utf8(body) {
         Ok(s) => s,
@@ -976,11 +1032,11 @@ fn handle_annotate(
     match shared.queue.push(Job { groups, reply: Reply::Batch(tx) }, seqs, tokens) {
         Ok(()) => {}
         Err((PushRejected::Closed, _)) => {
-            return fail(stream, 503, "Service Unavailable", "server is shutting down");
+            return unavailable(stream, "server is shutting down");
         }
         Err((PushRejected::Full, _)) => {
             shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
-            return fail(stream, 503, "Service Unavailable", "annotation queue is full");
+            return unavailable(stream, "annotation queue is full");
         }
     }
     // An accepted push is always drained (the queue closes before the
@@ -988,9 +1044,36 @@ fn handle_annotate(
     // panicked dispatcher.
     let anns = match rx.recv_timeout(Duration::from_secs(30)) {
         Ok(a) => a,
-        Err(_) => return fail(stream, 503, "Service Unavailable", "annotation timed out"),
+        Err(_) => return unavailable(stream, "annotation timed out"),
     };
     shared.stats.record_request(t0.elapsed(), n_tables, seqs as u64, tokens as u64);
     let body = annotations_response(&anns, wrapped);
+    if let Some(p) = plan {
+        if let Some(d) = p.delay {
+            std::thread::sleep(d);
+        }
+        if p.reset {
+            eprintln!("[served] chaos: severing connection after a partial response");
+            return write_torn_response(stream, &body);
+        }
+    }
     write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+}
+
+/// Chaos `reset_prob` execution: advertise the full `content-length`,
+/// write only half the body, then sever the connection. From the client's
+/// side response bytes *did* start flowing, so this failure must never be
+/// retried by the balancer — the test suites assert exactly that.
+fn write_torn_response(stream: &mut TcpStream, body: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let head = format!(
+        "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: \
+         keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&body.as_bytes()[..body.len() / 2])?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    Err(std::io::Error::other("chaos: connection severed mid-response"))
 }

@@ -329,3 +329,155 @@ fn poisoned_connections_never_wedge_the_pool() {
         drop(poison);
     });
 }
+
+// ---------------------------------------------------------------------------
+// Error-path audit pins and chaos-injection behavior (replicated serving).
+// ---------------------------------------------------------------------------
+
+/// Runs the server with a caller-supplied config (the chaos and
+/// connection-cap tests below need non-default configs).
+fn with_server_cfg<R>(
+    world: &SyntheticWorld,
+    cfg: ServeConfig,
+    body: impl FnOnce(&str) -> R + Send,
+) -> R {
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    std::thread::scope(|scope| {
+        let guard = ShutdownOnDrop(server.handle());
+        let runner = scope.spawn(|| server.run(&world.bundle));
+        let out = body(&addr);
+        drop(guard);
+        runner.join().expect("server thread exits cleanly");
+        out
+    })
+}
+
+/// Audit pin: an empty `tables` array and a table with zero columns are
+/// request errors (400 + clean close), not panics.
+#[test]
+fn empty_tables_and_empty_columns_get_400() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        for body in ["{\"tables\": []}", "{\"id\": \"t\", \"columns\": []}"] {
+            let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
+            let r = c.request("POST", "/annotate", body.as_bytes()).expect("answered");
+            assert_eq!(r.status, 400, "body {body:?} must be a request error");
+        }
+        assert_still_serving(addr);
+    });
+}
+
+/// Audit pin: pathologically nested JSON trips the parser's depth bound
+/// (400), never a recursion stack overflow (which would abort the process).
+#[test]
+fn deeply_nested_json_gets_400_not_a_stack_overflow() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut body = String::from("{\"tables\": ");
+        body.push_str(&"[".repeat(4096));
+        body.push_str(&"]".repeat(4096));
+        body.push('}');
+        let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
+        let r = c.request("POST", "/annotate", body.as_bytes()).expect("answered");
+        assert_eq!(r.status, 400, "deep nesting must hit the depth bound");
+        assert_still_serving(addr);
+    });
+}
+
+/// The liveness/readiness split: `/healthz` reports `ready: true` once the
+/// engine is up, and `/readyz` answers 200 on a serving daemon.
+#[test]
+fn readyz_and_healthz_report_readiness() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
+        let h = c.request("GET", "/healthz", b"").expect("healthz");
+        assert_eq!(h.status, 200);
+        let body = String::from_utf8(h.body).expect("utf8");
+        assert!(body.contains("\"ready\":true"), "healthz: {body}");
+        let r = c.request("GET", "/readyz", b"").expect("readyz");
+        assert_eq!(r.status, 200);
+    });
+}
+
+/// The connection-cap 503 is a *backpressure* signal, so it must carry a
+/// `Retry-After` hint for well-behaved clients (and the balancer).
+#[test]
+fn connection_cap_503_carries_retry_after() {
+    let world = synthetic_world(true, 42);
+    let cfg = ServeConfig { max_connections: 1, ..hardened_config() };
+    with_server_cfg(&world, cfg, |addr| {
+        let _held = raw(addr); // occupies the only connection slot
+        std::thread::sleep(Duration::from_millis(100)); // let it be admitted
+        let mut turned_away = raw(addr);
+        let resp = read_all(&mut turned_away);
+        assert!(resp.starts_with("HTTP/1.1 503"), "over-cap connection: {resp:?}");
+        let lower = resp.to_ascii_lowercase();
+        assert!(lower.contains("retry-after:"), "503 must carry Retry-After: {resp:?}");
+    });
+}
+
+/// Chaos reset faults sever the connection after a *partial* response (the
+/// head advertises the full length), and the daemon keeps serving — this is
+/// the replica-side half of the balancer's mid-response abort tests.
+#[test]
+fn chaos_reset_sends_a_torn_response_and_the_daemon_survives() {
+    let world = synthetic_world(true, 42);
+    let chaos = doduo_served::chaos::ChaosConfig::parse("reset_prob=1.0,seed=3").expect("spec");
+    let cfg = ServeConfig { chaos: Some(chaos), ..hardened_config() };
+    with_server_cfg(&world, cfg, |addr| {
+        let t = &world.tables[0];
+        let body = table_to_json(t);
+        let mut s = raw(addr);
+        s.write_all(
+            format!(
+                "POST /annotate HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write request");
+        let resp = read_all(&mut s); // ends at the chaos-severed EOF
+        assert!(resp.starts_with("HTTP/1.1 200"), "torn response still starts cleanly: {resp:?}");
+        let advertised: usize = resp
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(String::from))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length advertised");
+        let received = resp.split("\r\n\r\n").nth(1).map_or(0, str::len);
+        assert!(
+            received < advertised,
+            "the body must be torn: got {received} of {advertised} bytes"
+        );
+        // The fault is per-connection: the daemon is still healthy.
+        assert_still_serving(addr);
+    });
+}
+
+/// Chaos delay faults hold the response back without corrupting it: the
+/// request takes at least the configured delay and the bytes stay
+/// byte-identical to offline annotation.
+#[test]
+fn chaos_delay_postpones_but_never_corrupts() {
+    let world = synthetic_world(true, 42);
+    let chaos = doduo_served::chaos::ChaosConfig::parse("delay_ms=300,seed=4").expect("spec");
+    let cfg = ServeConfig { chaos: Some(chaos), ..hardened_config() };
+    with_server_cfg(&world, cfg, |addr| {
+        let t = &world.tables[0];
+        let offline = {
+            let ann = world.annotator().annotate(t);
+            doduo_served::json::annotations_response(&[ann], false)
+        };
+        let mut c = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+        let start = std::time::Instant::now();
+        let r = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");
+        assert!(
+            start.elapsed() >= Duration::from_millis(300),
+            "delay fault must hold the response, elapsed {:?}",
+            start.elapsed()
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, offline.as_bytes(), "delayed response must stay byte-identical");
+    });
+}
