@@ -18,6 +18,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
 use std::time::Duration;
 
 /// Why forwarding to a replica failed.
@@ -70,6 +71,23 @@ impl Backend {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Backend { stream, reader })
+    }
+
+    /// Whether a pooled idle link has gone stale. A parked keep-alive
+    /// connection must have *nothing* to read: a zero-timeout readiness
+    /// probe that reports readable means either EOF (the replica
+    /// restarted) or stray bytes — in both cases forwarding on it would
+    /// burn a retry attempt, so the pool drops it and dials fresh. This is
+    /// a pure readiness probe (no bytes consumed) via the same shim the
+    /// daemon's reactor runs on.
+    pub fn is_stale(&self) -> bool {
+        if !self.reader.buffer().is_empty() {
+            return true;
+        }
+        match epoll::poll_one(self.stream.as_raw_fd(), epoll::EPOLLIN, Some(Duration::ZERO)) {
+            Ok(revents) => revents != 0,
+            Err(_) => true,
+        }
     }
 
     /// Sends one request and reads the full response, classifying any

@@ -83,6 +83,7 @@ const PASS_THROUGH_WITH_VALUE: &[&str] = &[
     "--max-delay-ms",
     "--threads",
     "--workers",
+    "--topology",
     "--keep-alive",
 ];
 

@@ -29,9 +29,10 @@
 use crate::backend::{Backend, BackendResponse, ForwardError};
 use crate::backoff::{Backoff, SplitMix64};
 use crate::supervisor::{supervise, Registry, SupervisorConfig};
+use doduo_served::canonical_path;
 use doduo_served::http::{
-    read_body, read_head, write_continue, write_error, write_response, write_unavailable, Head,
-    ReadError,
+    read_body, read_head, reason_for, write_continue, write_error, write_response,
+    write_unavailable, Head, ReadError,
 };
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
@@ -317,6 +318,7 @@ impl Balancer {
                     let mut stream = stream;
                     let _ = write_unavailable(
                         &mut stream,
+                        "overloaded",
                         "too many connections",
                         false,
                         RETRY_AFTER_SECS,
@@ -387,7 +389,7 @@ fn conn_loop(stream: TcpStream, shared: &Shared, cfg: &BalanceConfig) {
         // Streaming is deliberately not proxied: a chunked response has no
         // single commit point, so the balancer's retry semantics cannot
         // apply. Clients stream against a replica directly.
-        if head.method == "POST" && head.path == "/annotate_stream" {
+        if head.method == "POST" && canonical_path(&head.path) == "/annotate_stream" {
             let _ = write_error(
                 &mut stream,
                 501,
@@ -418,7 +420,9 @@ fn conn_loop(stream: TcpStream, shared: &Shared, cfg: &BalanceConfig) {
             Err(_) => return,
         };
 
-        let ok = match (head.method.as_str(), head.path.as_str()) {
+        // Local endpoints answer under `/v1` and the legacy unprefixed
+        // aliases alike, mirroring the replicas.
+        let ok = match (head.method.as_str(), canonical_path(&head.path)) {
             // Balancer liveness: 200 while the front process serves at all.
             ("GET", "/healthz") => {
                 let ready = shared.registry.ready_order().len();
@@ -431,7 +435,13 @@ fn conn_loop(stream: TcpStream, shared: &Shared, cfg: &BalanceConfig) {
             // Balancer readiness: can it actually route traffic somewhere?
             ("GET", "/readyz") => {
                 if shared.registry.ready_order().is_empty() {
-                    write_unavailable(&mut stream, "no ready replica", keep_alive, RETRY_AFTER_SECS)
+                    write_unavailable(
+                        &mut stream,
+                        "no_ready_replica",
+                        "no ready replica",
+                        keep_alive,
+                        RETRY_AFTER_SECS,
+                    )
                 } else {
                     write_response(
                         &mut stream,
@@ -492,7 +502,13 @@ fn proxy_request(
     if shared.inflight.fetch_add(1, Ordering::SeqCst) >= cfg.max_inflight {
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
         shared.stats.sheds.fetch_add(1, Ordering::Relaxed);
-        return write_unavailable(stream, "balancer overloaded", keep_alive, RETRY_AFTER_SECS);
+        return write_unavailable(
+            stream,
+            "overloaded",
+            "balancer overloaded",
+            keep_alive,
+            RETRY_AFTER_SECS,
+        );
     }
     let _guard = InflightGuard(&shared.inflight);
 
@@ -514,9 +530,11 @@ fn proxy_request(
             }
             attempts += 1;
             // Reuse this connection's pooled link to the replica, or dial.
-            // A pooled link can be stale (replica restarted); that surfaces
-            // as a before-response failure and costs only this attempt.
-            let mut be = match backends.remove(&id) {
+            // A zero-timeout readiness probe weeds out links whose replica
+            // restarted while they were parked — those would otherwise
+            // burn a retry attempt as a before-response failure.
+            let pooled = backends.remove(&id).filter(|b| !b.is_stale());
+            let mut be = match pooled {
                 Some(b) => b,
                 None => match Backend::connect(&addr, cfg.connect_timeout, cfg.response_timeout) {
                     Ok(b) => b,
@@ -563,7 +581,13 @@ fn proxy_request(
     match last_5xx {
         // Every replica answered 5xx: forward the last one honestly.
         Some(resp) => relay(stream, &resp, keep_alive),
-        None => write_unavailable(stream, "no healthy replica", keep_alive, RETRY_AFTER_SECS),
+        None => write_unavailable(
+            stream,
+            "no_healthy_replica",
+            "no healthy replica",
+            keep_alive,
+            RETRY_AFTER_SECS,
+        ),
     }
 }
 
@@ -585,18 +609,4 @@ fn relay(stream: &mut TcpStream, resp: &BackendResponse, keep_alive: bool) -> st
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
-}
-
-fn reason_for(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        408 => "Request Timeout",
-        413 => "Payload Too Large",
-        500 => "Internal Server Error",
-        502 => "Bad Gateway",
-        503 => "Service Unavailable",
-        _ => "Response",
-    }
 }

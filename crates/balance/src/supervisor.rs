@@ -296,7 +296,7 @@ fn spawn_child(cfg: &SupervisorConfig, slot: &Slot) -> std::io::Result<Child> {
 /// One `/readyz` probe. Any transport error counts as not ready.
 fn probe_ready(addr: &str, timeout: Duration) -> bool {
     match Client::connect(addr, Some(timeout)) {
-        Ok(mut c) => matches!(c.request("GET", "/readyz", b""), Ok(r) if r.status == 200),
+        Ok(mut c) => matches!(c.request("GET", "/v1/readyz", b""), Ok(r) if r.status == 200),
         Err(_) => false,
     }
 }
@@ -475,7 +475,7 @@ fn stop_children(reg: &Registry) {
         let Some(mut child) = s.child.take() else { continue };
         if let Some(addr) = &s.addr {
             if let Ok(mut c) = Client::connect(addr, Some(Duration::from_millis(500))) {
-                let _ = c.request("POST", "/shutdown", b"");
+                let _ = c.request("POST", "/v1/shutdown", b"");
             }
         }
         let deadline = Instant::now() + Duration::from_secs(3);

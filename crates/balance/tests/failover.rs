@@ -7,8 +7,10 @@
 //! are cut off with 408.
 
 use doduo_balance::{BalanceConfig, BalanceHandle, Balancer};
+use doduo_served::handler::serve_blocking;
 use doduo_served::http::Client;
-use std::io::{BufRead, BufReader, Read, Write};
+use doduo_served::{HttpRequest, HttpResponse};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -42,93 +44,37 @@ impl Drop for Mock {
     }
 }
 
-/// Reads one request (head + content-length body) off `reader`. Returns
-/// false on EOF.
-fn read_mock_request(reader: &mut BufReader<TcpStream>) -> bool {
-    let mut line = String::new();
-    if reader.read_line(&mut line).unwrap_or(0) == 0 {
-        return false;
-    }
-    let mut content_length = 0usize;
-    loop {
-        line.clear();
-        if reader.read_line(&mut line).unwrap_or(0) == 0 {
-            return false;
-        }
-        let t = line.trim_end();
-        if t.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = t.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
-            }
-        }
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).is_ok()
-}
-
+/// A scripted backend over the same [`Handler`]-driven blocking server the
+/// daemon crate ships (`serve_blocking`), so the HTTP plumbing under these
+/// tests is the shared implementation, not a hand-rolled mini-server. The
+/// scripted part is just the response each fully received request earns.
+///
+/// [`Handler`]: doduo_served::Handler
 fn mock(behavior: Behavior) -> Mock {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind mock");
-    listener.set_nonblocking(true).expect("nonblocking");
     let addr = listener.local_addr().expect("addr").to_string();
     let hits = Arc::new(AtomicUsize::new(0));
     let stop = Arc::new(AtomicBool::new(false));
     let thread = {
         let (hits, stop) = (Arc::clone(&hits), Arc::clone(&stop));
         std::thread::spawn(move || {
-            let mut conns = Vec::new();
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nonblocking(false).expect("blocking");
-                        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
-                        let hits = Arc::clone(&hits);
-                        conns.push(std::thread::spawn(move || {
-                            let mut stream = stream;
-                            let mut reader =
-                                BufReader::new(stream.try_clone().expect("clone"));
-                            while read_mock_request(&mut reader) {
-                                hits.fetch_add(1, Ordering::SeqCst);
-                                match behavior {
-                                    Behavior::Status(status) => {
-                                        let body = format!("{{\"mock\":{status}}}\n");
-                                        let resp = format!(
-                                            "HTTP/1.1 {status} Mock\r\ncontent-type: application/json\r\n\
-                                             content-length: {}\r\nconnection: keep-alive\r\n\r\n{body}",
-                                            body.len()
-                                        );
-                                        if stream.write_all(resp.as_bytes()).is_err() {
-                                            return;
-                                        }
-                                    }
-                                    Behavior::PartialThenClose => {
-                                        let head = "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
-                                                    content-length: 20\r\nconnection: keep-alive\r\n\r\n";
-                                        let _ = stream.write_all(head.as_bytes());
-                                        let _ = stream.write_all(b"{\"tor");
-                                        let _ = stream.flush();
-                                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                                        return;
-                                    }
-                                    Behavior::CloseBeforeResponse => {
-                                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                                        return;
-                                    }
-                                }
-                            }
-                        }));
+            let handler = move |_req: &HttpRequest| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                match behavior {
+                    Behavior::Status(status) => {
+                        HttpResponse::json(status, format!("{{\"mock\":{status}}}\n"))
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
+                    Behavior::PartialThenClose => {
+                        let mut torn = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+                              content-length: 20\r\nconnection: keep-alive\r\n\r\n"
+                            .to_vec();
+                        torn.extend_from_slice(b"{\"tor");
+                        HttpResponse::RawThenClose(torn)
                     }
-                    Err(_) => return,
+                    Behavior::CloseBeforeResponse => HttpResponse::Hangup,
                 }
-            }
-            for c in conns {
-                let _ = c.join();
-            }
+            };
+            serve_blocking(listener, &handler, &stop).expect("serve mock");
         })
     };
     Mock { addr, hits, stop, thread: Some(thread) }

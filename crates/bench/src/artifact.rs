@@ -219,8 +219,8 @@ fn check_serve(v: &Json, c: &mut Checker) -> String {
     let results = c.arr(v, "results").to_vec();
     let mut best = 0.0f64;
     for r in &results {
-        c.str_in(r, "topology", &["thread_per_conn", "pool", "replicated"]);
-        c.str_in(r, "mode", &["request", "stream", "chaos"]);
+        c.str_in(r, "topology", &["epoll", "thread_per_conn", "pool", "replicated"]);
+        c.str_in(r, "mode", &["request", "stream", "idle_fleet", "chaos"]);
         c.str_in(r, "policy", &["eager", "coalesce"]);
         for k in [
             "workers",

@@ -321,7 +321,7 @@ impl Harness {
                 let mut texts = Vec::new();
                 for body in &bodies {
                     let resp = client
-                        .request("POST", "/annotate", body.as_bytes())
+                        .request("POST", "/v1/annotate", body.as_bytes())
                         .map_err(|e| format!("annotate: {e}"))?;
                     texts.push(
                         String::from_utf8(resp.body)

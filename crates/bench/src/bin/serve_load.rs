@@ -3,25 +3,32 @@
 //! star).
 //!
 //! Starts the daemon in-process on an ephemeral port, then drives it over
-//! real HTTP across a grid of **connection topologies × client counts**,
-//! and writes per-cell p50/p99 latency, tables/sec, and connection-reuse
-//! rate to `BENCH_serve.json`. Three request-mode configurations:
+//! real HTTP (the versioned `/v1` routes) across a grid of **connection
+//! topologies × client counts**, and writes per-cell p50/p99 latency,
+//! tables/sec, and connection-reuse rate to `BENCH_serve.json`. Four
+//! request-mode configurations:
 //!
+//! * `epoll/eager` — the reactor topology (one event-loop thread owns
+//!   every socket, workers see only parsed requests), the current default;
+//! * `pool/eager` — the fixed worker pool with readiness probes;
 //! * `thread_per_conn` — the pre-pool daemon (one handler thread per
 //!   connection), the PR-4 baseline;
-//! * `pool/eager` — the fixed worker pool with keep-alive;
 //! * `pool/coalesce` — the pool with a 5 ms batching deadline.
 //!
 //! plus a **stream** mode where each client holds one `/annotate_stream`
-//! connection and pipelines tables through it (window of 16), measuring
-//! per-table completion latency — the protocol's answer to "one client,
-//! many tables".
+//! connection and pipelines tables through it (window of 16), and an
+//! **idle_fleet** mode where hundreds-to-thousands of keep-alive
+//! connections park for the whole cell (bookending it with one request
+//! each on the same connection) while a small active set measures latency
+//! — the scenario the epoll rewrite exists for.
 //!
 //! Clients are closed-loop (send → wait → repeat) on persistent
 //! connections; they reconnect only when a request fails, so the reported
-//! `conn_reuse_rate` (1 − connects/requests) is a direct measurement of
-//! keep-alive doing its job. All daemons run simultaneously and trials are
-//! interleaved across topologies (best of two rounds per cell): sequential
+//! `conn_reuse_rate` (1 − (connects − clients)/requests, i.e. excluding
+//! each client's unavoidable first dial) is a direct measurement of
+//! keep-alive doing its job: exactly 1.0 means no connection was ever
+//! re-dialed. All daemons run simultaneously and trials are interleaved
+//! across topologies (best of two rounds per cell): sequential
 //! per-topology runs hand the later one a systematically warmer process,
 //! a drift on the same scale as the effect being measured.
 //!
@@ -34,7 +41,9 @@ use doduo_serve::BatchConfig;
 use doduo_served::bootstrap::synthetic_world;
 use doduo_served::http::Client;
 use doduo_served::json::table_to_json;
-use doduo_served::{percentiles, BatchPolicy, Percentiles, ServeConfig, Server};
+use doduo_served::{
+    percentiles, BatchPolicy, Percentiles, ServeConfig, Server, Topology as ServedTopology,
+};
 use doduo_tensor::default_threads;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -130,7 +139,7 @@ fn run_request_cell(addr: &str, bodies: &[String], clients: usize, duration: Dur
                     while !stop.load(Ordering::Relaxed) {
                         let body = &bodies[i % bodies.len()];
                         let r0 = Instant::now();
-                        match c.request("POST", "/annotate", body.as_bytes()) {
+                        match c.request("POST", "/v1/annotate", body.as_bytes()) {
                             Ok(resp) if resp.status == 200 => {
                                 lats.push(r0.elapsed().as_micros() as u64);
                                 i += 1;
@@ -186,7 +195,7 @@ fn run_stream_cell(addr: &str, bodies: &[String], clients: usize, per_client: us
                 scope.spawn(move || {
                     let mut c = Client::connect(addr, Some(Duration::from_secs(30)))
                         .expect("connect to daemon");
-                    c.stream_open("/annotate_stream").expect("open stream");
+                    c.stream_open("/v1/annotate_stream").expect("open stream");
                     assert_eq!(c.stream_status().expect("status"), 200);
                     let mut sent = 0usize;
                     let mut recvd = 0usize;
@@ -224,8 +233,78 @@ fn run_stream_cell(addr: &str, bodies: &[String], clients: usize, per_client: us
     Trial { requests: p.count, connects: clients, sheds: 0, errors: 0, secs, lat: p }
 }
 
-struct Topology {
+/// One idle-fleet cell: `fleet` keep-alive connections each send a single
+/// request, park untouched for the whole cell, then send one more request
+/// down the *same* connection — proving the daemon holds a large mostly-
+/// idle fleet without dropping anyone — while `active` closed-loop clients
+/// measure latency through the noise. The reported percentiles cover the
+/// active clients only (the fleet's two bookend requests are counted in
+/// `requests`/`connects` but would drown the tail otherwise); any fleet
+/// re-dial or non-200 counts as an error.
+fn run_idle_fleet_cell(
+    addr: &str,
+    bodies: &[String],
+    fleet: usize,
+    active: usize,
+    duration: Duration,
+) -> Trial {
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    let parked = AtomicUsize::new(0);
+    let parked = &parked;
+    let errors = AtomicUsize::new(0);
+    let errors = &errors;
+    let t0 = Instant::now();
+    let (mid, fleet_requests) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..fleet)
+            .map(|k| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr, Some(Duration::from_secs(30)))
+                        .expect("connect fleet member");
+                    let body = &bodies[k % bodies.len()];
+                    let mut answered = 0usize;
+                    for phase in 0..2 {
+                        match c.request("POST", "/v1/annotate", body.as_bytes()) {
+                            Ok(resp) if resp.status == 200 => answered += 1,
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if phase == 0 {
+                            parked.fetch_add(1, Ordering::Relaxed);
+                            while !stop.load(Ordering::Relaxed) {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        // Only measure once the whole fleet is parked: the point is latency
+        // *with* the idle connections resident, not while they dial in.
+        while parked.load(Ordering::Relaxed) < fleet {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mid = run_request_cell(addr, bodies, active, duration);
+        stop.store(true, Ordering::Relaxed);
+        let fleet_requests: usize =
+            handles.into_iter().map(|h| h.join().expect("fleet member ok")).sum();
+        (mid, fleet_requests)
+    });
+    Trial {
+        requests: mid.requests + fleet_requests,
+        connects: mid.connects + fleet,
+        sheds: mid.sheds,
+        errors: mid.errors + errors.load(Ordering::Relaxed),
+        secs: t0.elapsed().as_secs_f64(),
+        lat: mid.lat,
+    }
+}
+
+struct TopoSpec {
     name: &'static str,
+    kind: ServedTopology,
     workers: usize,
     policy: &'static str,
     delay_ms: u64,
@@ -253,12 +332,37 @@ fn main() {
     let stream_per_client = if quick { 48 } else { 128 };
     let pool_workers = ServeConfig::default().workers;
     let topologies = [
-        Topology { name: "pool", workers: pool_workers, policy: "eager", delay_ms: 0 },
-        Topology { name: "thread_per_conn", workers: 0, policy: "eager", delay_ms: 0 },
-        Topology { name: "pool", workers: pool_workers, policy: "coalesce", delay_ms: 5 },
+        TopoSpec {
+            name: "epoll",
+            kind: ServedTopology::Epoll,
+            workers: pool_workers,
+            policy: "eager",
+            delay_ms: 0,
+        },
+        TopoSpec {
+            name: "pool",
+            kind: ServedTopology::Pool,
+            workers: pool_workers,
+            policy: "eager",
+            delay_ms: 0,
+        },
+        TopoSpec {
+            name: "thread_per_conn",
+            kind: ServedTopology::ThreadPerConn,
+            workers: 0,
+            policy: "eager",
+            delay_ms: 0,
+        },
+        TopoSpec {
+            name: "pool",
+            kind: ServedTopology::Pool,
+            workers: pool_workers,
+            policy: "coalesce",
+            delay_ms: 5,
+        },
     ];
 
-    // All three daemons run simultaneously (each on its own ephemeral
+    // All four daemons run simultaneously (each on its own ephemeral
     // port) and trials are interleaved across topologies at every client
     // count, taking the best of two rounds per cell. Sequential
     // per-topology runs would hand the later topology a systematically
@@ -270,12 +374,15 @@ fn main() {
         .map(|topo| {
             let cfg = ServeConfig {
                 addr: "127.0.0.1:0".into(),
+                topology: topo.kind,
                 policy: BatchPolicy {
                     max_delay: Duration::from_millis(topo.delay_ms),
                     ..BatchPolicy::default()
                 },
                 engine: BatchConfig { threads: n_threads, ..BatchConfig::default() },
                 workers: topo.workers,
+                // Room for the 1024-connection idle fleet plus actives.
+                max_connections: 2048,
                 ..ServeConfig::default()
             };
             Server::bind(cfg).expect("bind ephemeral port")
@@ -347,7 +454,7 @@ fn main() {
                 cells.push(cell);
             }
         }
-        // Stream mode rides the eager pool daemon (topology 0).
+        // Stream mode rides the default daemon (topology 0: epoll/eager).
         let (stream_topo, stream_addr) = (&topologies[0], &addrs[0]);
         for &clients in &stream_clients {
             let t = (0..2)
@@ -382,6 +489,50 @@ fn main() {
                 cell.latency_ms.p50,
                 cell.latency_ms.p99,
                 t.requests
+            );
+            cells.push(cell);
+        }
+        // High-connection idle fleets: the epoll reactor at 256 and 1024
+        // parked keep-alive connections, with the probing pool at 256 as
+        // the A/B comparison (the pool's per-pass readiness probes are
+        // exactly the churn the reactor eliminates).
+        let idle_active = 16;
+        for &(t, fleet) in &[(0usize, 256usize), (0, 1024), (1, 256)] {
+            let topo = &topologies[t];
+            let trial = run_idle_fleet_cell(
+                &addrs[t],
+                &bodies,
+                fleet,
+                idle_active,
+                Duration::from_secs_f64(cell_secs),
+            );
+            let cell = Cell {
+                topology: topo.name,
+                mode: "idle_fleet",
+                workers: topo.workers,
+                policy: topo.policy,
+                max_delay_ms: topo.delay_ms,
+                replicas: 0,
+                clients: fleet + idle_active,
+                requests: trial.requests,
+                connects: trial.connects,
+                sheds: trial.sheds,
+                errors: trial.errors,
+                restarts: 0,
+                secs: trial.secs,
+                tables_per_sec: trial.requests as f64 / trial.secs,
+                latency_ms: trial.lat,
+            };
+            eprintln!(
+                "[serve_load] {:>15}/{:<8} fleet {fleet:>4}+{idle_active}: {:>7.1} tables/sec, \
+                 p50 {:>6.2} ms, p99 {:>7.2} ms, reuse {:.3}, {} errors",
+                topo.name,
+                "idle",
+                cell.tables_per_sec,
+                cell.latency_ms.p50,
+                cell.latency_ms.p99,
+                reuse_rate(&cell),
+                cell.errors
             );
             cells.push(cell);
         }
@@ -554,7 +705,7 @@ fn main() {
             .map(|c| c.tables_per_sec)
             .unwrap_or(0.0)
     };
-    // The PR's acceptance bar: the pool with keep-alive must sustain at
+    // The PR-5 acceptance bar: the pool with keep-alive must sustain at
     // least the thread-per-connection eager baseline at 16 clients.
     let baseline = tps("thread_per_conn", "request", "eager", 16);
     let pooled = tps("pool", "request", "eager", 16);
@@ -565,13 +716,49 @@ fn main() {
         .as_str(),
         pooled >= baseline * 0.95,
     );
-    // `connects == clients` means every client kept its one connection for
-    // the whole cell — keep-alive never dropped it (the absolute reuse
-    // rate also reflects each client's unavoidable first dial, so short
-    // cells with many clients sit well below 1.0 by construction).
+    // The reactor's acceptance bar: at 64 clients the epoll loop beats the
+    // probing pool on both throughput and tail latency (this is where the
+    // pool's per-pass readiness probes start costing).
+    let p99 = |topology: &str, mode: &str, clients: usize| {
+        cells
+            .iter()
+            .find(|c| c.topology == topology && c.mode == mode && c.clients == clients)
+            .map(|c| c.latency_ms.p99)
+            .unwrap_or(f64::INFINITY)
+    };
+    let (epoll64, pool64) =
+        (tps("epoll", "request", "eager", 64), tps("pool", "request", "eager", 64));
     r.check(
-        "keep-alive holds connections (no client re-dials in request cells)",
-        cells.iter().filter(|c| c.mode == "request").all(|c| c.connects == c.clients),
+        format!("epoll beats pool on tables/sec at 64 clients ({epoll64:.1} vs {pool64:.1} t/s)")
+            .as_str(),
+        epoll64 >= pool64,
+    );
+    let (ep99, pp99) = (p99("epoll", "request", 64), p99("pool", "request", 64));
+    r.check(
+        format!("epoll beats pool on p99 at 64 clients ({ep99:.2} vs {pp99:.2} ms)").as_str(),
+        ep99 <= pp99,
+    );
+    // `connects == clients` means every client kept its one connection for
+    // the whole cell — keep-alive never dropped it. This covers the idle
+    // fleets too: a reaped parked connection would show up as a fleet
+    // error or an extra dial.
+    r.check(
+        "keep-alive holds connections (no re-dials in request or idle_fleet cells)",
+        cells
+            .iter()
+            .filter(|c| c.mode == "request" || c.mode == "idle_fleet")
+            .all(|c| c.connects == c.clients),
+    );
+    // Flat tail under a 4x larger parked fleet: the reactor's per-turn work
+    // scales with *ready* connections, not resident ones.
+    let (idle256, idle1024) =
+        (p99("epoll", "idle_fleet", 256 + 16), p99("epoll", "idle_fleet", 1024 + 16));
+    r.check(
+        format!(
+            "epoll p99 stays flat from 256 to 1024 parked conns ({idle256:.2} -> {idle1024:.2} ms)"
+        )
+        .as_str(),
+        idle1024 <= idle256 * 3.0 + 10.0,
     );
     r.print();
 
@@ -667,11 +854,15 @@ fn run_balanced_cell(
     })
 }
 
+/// Fraction of requests that rode an already-open connection, not counting
+/// each client's unavoidable first dial: `1 − (connects − clients) /
+/// requests`. Exactly 1.0 means keep-alive never dropped a connection
+/// (zero re-dials); anything lower measures reconnect churn.
 fn reuse_rate(c: &Cell) -> f64 {
     if c.requests == 0 {
         return 0.0;
     }
-    1.0 - (c.connects as f64 / c.requests as f64).min(1.0)
+    1.0 - (c.connects.saturating_sub(c.clients) as f64 / c.requests as f64).min(1.0)
 }
 
 fn render_json(

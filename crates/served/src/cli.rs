@@ -10,7 +10,7 @@
 use crate::bootstrap::synthetic_world;
 use crate::chaos::ChaosConfig;
 use crate::validate::{check_label_equivalence, offline_response, offline_response_quant};
-use crate::{BatchPolicy, ServeConfig, Server};
+use crate::{BatchPolicy, ServeConfig, Server, Topology};
 use doduo_core::AnnotatorBundle;
 use doduo_serve::BatchConfig;
 use std::time::Duration;
@@ -29,6 +29,7 @@ struct Args {
     max_delay_ms: u64,
     threads: usize,
     workers: usize,
+    topology: Topology,
     keep_alive: bool,
     chaos: Option<ChaosConfig>,
     port_file: Option<String>,
@@ -51,8 +52,10 @@ fn usage() -> ! {
            --max-delay-ms T        flush when the oldest request waited T ms (default 2)\n\
            --threads K             engine worker threads (default: all cores)\n\
            --quant int8|off        int8 inference (accuracy-gated; default off)\n\
-           --workers W             connection-pool workers; 0 = one thread per\n\
+           --workers W             request worker threads; 0 = one thread per\n\
                                    connection (default 16)\n\
+           --topology T            connection handling: epoll (reactor; default),\n\
+                                   pool (probe/requeue workers), thread_per_conn\n\
            --keep-alive on|off     honor HTTP keep-alive (default on)\n\
            --port-file FILE        write the bound address to FILE after bind\n\
                                    (how a supervisor discovers an ephemeral port)\n\
@@ -84,6 +87,7 @@ fn parse_args(argv: &[String]) -> Args {
         max_delay_ms: 2,
         threads: doduo_tensor::default_threads(),
         workers: ServeConfig::default().workers,
+        topology: Topology::Epoll,
         keep_alive: true,
         chaos: None,
         port_file: None,
@@ -130,6 +134,12 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--threads" => args.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--workers" => args.workers = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--topology" => {
+                args.topology = value(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("[served] {e}");
+                    usage()
+                })
+            }
             "--keep-alive" => {
                 args.keep_alive = match value(&mut i).as_str() {
                     "on" | "true" | "1" => true,
@@ -252,10 +262,12 @@ pub fn run(argv: &[String]) -> i32 {
             ..BatchConfig::default()
         },
         workers: args.workers,
+        topology: args.topology,
         keep_alive: args.keep_alive,
         chaos: args.chaos.clone(),
         ..ServeConfig::default()
     };
+    let topo = cfg.effective_topology();
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -283,10 +295,9 @@ pub fn run(argv: &[String]) -> i32 {
         args.max_batch_tokens,
         args.max_delay_ms,
         args.threads.max(1),
-        if args.workers == 0 {
-            "thread-per-connection".to_string()
-        } else {
-            format!("{} pool workers", args.workers)
+        match topo {
+            Topology::ThreadPerConn => "thread-per-connection".to_string(),
+            t => format!("{} topology, {} workers", t.name(), args.workers),
         },
         if args.keep_alive { "on" } else { "off" },
         if args.chaos.is_some() { "; CHAOS INJECTION ON" } else { "" },

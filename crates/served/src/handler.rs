@@ -1,0 +1,357 @@
+//! Transport-independent request handling.
+//!
+//! The [`Handler`] trait is the seam between "how bytes arrive" and "what
+//! the response is": the epoll reactor, the legacy worker pool, the
+//! thread-per-connection fallback, and the scripted mock backends in
+//! `doduo-balance`'s failover tests all parse HTTP their own way but
+//! dispatch through the same `fn handle(&self, &HttpRequest) ->
+//! HttpResponse`. Streaming (`POST /annotate_stream`) is the one endpoint
+//! outside this seam — it consumes its body incrementally and owns its
+//! connection to the end, so each transport hands it off explicitly.
+//!
+//! [`canonical_path`] implements the `/v1` API versioning: every route is
+//! mounted under `/v1/` with the legacy unprefixed path kept as an alias,
+//! and handlers match on the canonical (unprefixed) form.
+
+use crate::http::{self, Head};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One fully received request, decoupled from the socket it arrived on.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Uppercased request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path as sent by the client (possibly `/v1`-prefixed; use
+    /// [`canonical_path`] when routing).
+    pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub query: String,
+    /// Fully buffered request body.
+    pub body: Vec<u8>,
+    /// Whether the *client* asked to keep the connection open. Transports
+    /// combine this with their own policy and the response's `close` flag.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// Assembles a request from a parsed [`Head`] and its buffered body.
+    pub fn from_head(head: &Head, body: Vec<u8>) -> HttpRequest {
+        HttpRequest {
+            method: head.method.clone(),
+            path: head.path.clone(),
+            query: head.query.clone(),
+            body,
+            keep_alive: head.keep_alive,
+        }
+    }
+}
+
+/// A normal rendered response: status + headers + complete body.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    /// HTTP status code; the reason phrase comes from
+    /// [`http::reason_for`].
+    pub status: u16,
+    /// `content-type` header value.
+    pub content_type: String,
+    /// Extra pre-formatted header lines (each `name: value\r\n`).
+    pub extra: String,
+    /// Complete response body.
+    pub body: String,
+    /// Force `connection: close` and drop the connection afterwards,
+    /// regardless of what the client asked for.
+    pub close: bool,
+}
+
+/// What a [`Handler`] tells the transport to put on the wire.
+#[derive(Debug, Clone)]
+pub enum HttpResponse {
+    /// A complete response; the common case.
+    Payload(Payload),
+    /// Write these bytes verbatim, then sever the connection — used by
+    /// chaos injection (torn responses) and scripted test backends.
+    RawThenClose(Vec<u8>),
+    /// Sever the connection without writing a byte.
+    Hangup,
+}
+
+impl HttpResponse {
+    /// A `200`-style response with an explicit content type.
+    pub fn text(status: u16, content_type: &str, body: impl Into<String>) -> HttpResponse {
+        HttpResponse::Payload(Payload {
+            status,
+            content_type: content_type.to_string(),
+            extra: String::new(),
+            body: body.into(),
+            close: false,
+        })
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse::text(status, "application/json", body)
+    }
+
+    /// The unified error envelope with the code derived from the status.
+    pub fn error(status: u16, message: &str) -> HttpResponse {
+        HttpResponse::error_code(status, http::code_for_status(status), message)
+    }
+
+    /// The unified error envelope with an explicit `code`.
+    pub fn error_code(status: u16, code: &str, message: &str) -> HttpResponse {
+        HttpResponse::json(status, http::error_envelope(code, message, None))
+    }
+
+    /// The standard `503` backpressure response: `Retry-After` header plus
+    /// `retry_after_ms` in the envelope.
+    pub fn unavailable(code: &str, message: &str, retry_after_secs: u64) -> HttpResponse {
+        HttpResponse::Payload(Payload {
+            status: 503,
+            content_type: "application/json".into(),
+            extra: format!("retry-after: {retry_after_secs}\r\n"),
+            body: http::error_envelope(code, message, Some(retry_after_secs * 1000)),
+            close: false,
+        })
+    }
+
+    /// Marks the response connection-closing (a no-op for the variants
+    /// that already sever).
+    pub fn close(mut self) -> HttpResponse {
+        if let HttpResponse::Payload(p) = &mut self {
+            p.close = true;
+        }
+        self
+    }
+}
+
+/// The request→response core every transport drives.
+pub trait Handler: Sync {
+    /// Produces the response for one fully received request. Implementors
+    /// may block (e.g. `/annotate` waits on the batching queue) but must
+    /// never touch the client socket — the transport owns it.
+    fn handle(&self, req: &HttpRequest) -> HttpResponse;
+}
+
+impl<F: Fn(&HttpRequest) -> HttpResponse + Sync> Handler for F {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self(req)
+    }
+}
+
+/// Strips the `/v1` API-version prefix, mapping versioned routes onto the
+/// canonical unprefixed names handlers match on. Unprefixed (legacy) paths
+/// pass through unchanged, so both `/v1/annotate` and `/annotate` resolve
+/// to `/annotate`.
+pub fn canonical_path(path: &str) -> &str {
+    match path.strip_prefix("/v1") {
+        Some("") => "/",
+        Some(rest) if rest.starts_with('/') => rest,
+        _ => path,
+    }
+}
+
+/// Renders `resp` into wire bytes. Returns `(bytes, keep_open)`:
+/// `keep_open` is false when the response itself demands closing or the
+/// client asked for `connection: close`.
+pub fn render_http_response(resp: &HttpResponse, req_keep_alive: bool) -> (Vec<u8>, bool) {
+    match resp {
+        HttpResponse::Payload(p) => {
+            let keep = req_keep_alive && !p.close;
+            let bytes = http::render_response(
+                p.status,
+                http::reason_for(p.status),
+                &p.content_type,
+                &p.extra,
+                &p.body,
+                keep,
+            );
+            (bytes, keep)
+        }
+        HttpResponse::RawThenClose(bytes) => (bytes.clone(), false),
+        HttpResponse::Hangup => (Vec::new(), false),
+    }
+}
+
+/// Writes `resp` to a blocking stream. `Ok(true)` = connection may serve
+/// another request.
+pub fn write_http_response(
+    stream: &mut impl Write,
+    resp: &HttpResponse,
+    req_keep_alive: bool,
+) -> std::io::Result<bool> {
+    let (bytes, keep) = render_http_response(resp, req_keep_alive);
+    if !bytes.is_empty() {
+        stream.write_all(&bytes)?;
+        stream.flush()?;
+    }
+    Ok(keep)
+}
+
+/// A minimal blocking HTTP server over a [`Handler`]: nonblocking accept
+/// loop, one thread per connection, full head+body parse per request.
+/// This is the scripted-backend driver `doduo-balance`'s failover tests
+/// use in place of hand-rolled mini-servers; the production topologies
+/// live in `server.rs`. Returns when `stop` flips true.
+pub fn serve_blocking<H: Handler>(
+    listener: TcpListener,
+    handler: &H,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    scope.spawn(move || serve_blocking_conn(stream, handler, stop));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(())
+}
+
+/// One connection's request loop for [`serve_blocking`].
+fn serve_blocking_conn<H: Handler>(stream: TcpStream, handler: &H, stop: &AtomicBool) {
+    let mut stream = stream;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    while !stop.load(Ordering::SeqCst) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let head = match http::read_head(&mut reader, deadline) {
+            Ok(h) => h,
+            Err(http::ReadError::TimedOut) => continue, // idle keep-alive
+            Err(http::ReadError::Eof) | Err(http::ReadError::Io(_)) => return,
+            Err(http::ReadError::Bad(msg)) => {
+                let _ = http::write_error(&mut stream, 400, "Bad Request", &msg, false);
+                return;
+            }
+            Err(http::ReadError::TooLarge(msg)) => {
+                let _ = http::write_error(&mut stream, 413, "Payload Too Large", &msg, false);
+                return;
+            }
+            Err(http::ReadError::TooSlow) => {
+                let _ = http::write_error(
+                    &mut stream,
+                    408,
+                    "Request Timeout",
+                    "request too slow",
+                    false,
+                );
+                return;
+            }
+        };
+        if head.expect_continue && http::write_continue(&mut stream).is_err() {
+            return;
+        }
+        let body = match http::read_body(&mut reader, head.framing, deadline) {
+            Ok(b) => b,
+            Err(_) => return,
+        };
+        let req = HttpRequest::from_head(&head, body);
+        let resp = handler.handle(&req);
+        let severs = matches!(resp, HttpResponse::RawThenClose(_) | HttpResponse::Hangup);
+        match write_http_response(&mut stream, &resp, req.keep_alive) {
+            Ok(true) => {}
+            Ok(false) => {
+                if severs {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_path_strips_exactly_the_v1_prefix() {
+        assert_eq!(canonical_path("/v1/annotate"), "/annotate");
+        assert_eq!(canonical_path("/v1/stats"), "/stats");
+        assert_eq!(canonical_path("/annotate"), "/annotate");
+        assert_eq!(canonical_path("/v1"), "/");
+        assert_eq!(canonical_path("/v12/annotate"), "/v12/annotate");
+        assert_eq!(canonical_path("/v1annotate"), "/v1annotate");
+        assert_eq!(canonical_path("/"), "/");
+    }
+
+    #[test]
+    fn render_respects_close_and_client_keep_alive() {
+        let resp = HttpResponse::json(200, "{}\n");
+        let (bytes, keep) = render_http_response(&resp, true);
+        assert!(keep);
+        assert!(String::from_utf8_lossy(&bytes).contains("connection: keep-alive"));
+        let (bytes, keep) = render_http_response(&resp, false);
+        assert!(!keep);
+        assert!(String::from_utf8_lossy(&bytes).contains("connection: close"));
+        let (_, keep) = render_http_response(&resp.clone().close(), true);
+        assert!(!keep);
+        let (bytes, keep) = render_http_response(&HttpResponse::Hangup, true);
+        assert!(bytes.is_empty());
+        assert!(!keep);
+    }
+
+    #[test]
+    fn error_constructors_emit_the_envelope() {
+        let HttpResponse::Payload(p) = HttpResponse::error(404, "no route") else {
+            panic!("payload expected")
+        };
+        assert_eq!(p.status, 404);
+        assert!(p.body.contains("\"code\":\"not_found\""), "{}", p.body);
+        assert!(p.body.contains("\"message\":\"no route\""), "{}", p.body);
+        assert!(!p.body.contains("retry_after_ms"), "{}", p.body);
+
+        let HttpResponse::Payload(p) = HttpResponse::unavailable("overloaded", "busy", 2) else {
+            panic!("payload expected")
+        };
+        assert_eq!(p.status, 503);
+        assert!(p.extra.contains("retry-after: 2"), "{}", p.extra);
+        assert!(p.body.contains("\"retry_after_ms\":2000"), "{}", p.body);
+    }
+
+    #[test]
+    fn serve_blocking_round_trips_requests_through_a_closure_handler() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let handler = |req: &HttpRequest| match canonical_path(&req.path) {
+                    "/echo" => HttpResponse::json(200, format!("{{\"len\":{}}}\n", req.body.len())),
+                    p => HttpResponse::error(404, &format!("no route for {} {p}", req.method)),
+                };
+                serve_blocking(listener, &handler, &stop).expect("serve");
+            })
+        };
+
+        let mut client =
+            crate::http::Client::connect(&addr, Some(Duration::from_secs(5))).expect("connect");
+        let resp = client.request("POST", "/v1/echo", b"hello").expect("versioned echo");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"len\":5}\n");
+        let resp = client.request("POST", "/echo", b"hi").expect("legacy echo");
+        assert_eq!(resp.status, 200, "unprefixed alias still served");
+        let resp = client.request("GET", "/nope", b"").expect("miss");
+        assert_eq!(resp.status, 404);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("\"code\":\"not_found\""), "{body}");
+
+        stop.store(true, Ordering::SeqCst);
+        drop(client);
+        thread.join().expect("join");
+    }
+}

@@ -12,6 +12,19 @@
 //! are enforced incrementally ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`] →
 //! HTTP 413) and every read carries a wall-clock deadline so a byte-dripping
 //! client cannot pin a pool worker (→ HTTP 408).
+//!
+//! Two parsing styles share one grammar: the blocking readers
+//! ([`read_head`], [`BodyReader`]) pull from a `BufRead`, while the sans-IO
+//! forms ([`parse_head`], [`BodyDecoder`]) consume from a caller-owned byte
+//! buffer — that is what the epoll reactor feeds from non-blocking reads.
+//! Both route through the same request-line/header functions, so the
+//! hardening guarantees (smuggling rejections, size caps) hold identically
+//! under every topology.
+//!
+//! Every 4xx/5xx body uses one JSON error envelope (see
+//! [`error_envelope`]): `{"error": {"code", "message", "retry_after_ms"?}}`
+//! — shared verbatim by `doduo-balance`, so clients parse one shape no
+//! matter which tier rejected them.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -93,13 +106,111 @@ fn io_err(e: std::io::Error) -> ReadError {
     }
 }
 
+/// A request head mid-construction while header lines are applied.
+struct HeadBuilder {
+    method: String,
+    path: String,
+    query: String,
+    keep_alive: bool,
+    expect_continue: bool,
+    framing: BodyFraming,
+}
+
+impl HeadBuilder {
+    /// Parses the request line (`METHOD /target HTTP/1.x`).
+    fn from_request_line(line: &str) -> Result<HeadBuilder, ReadError> {
+        let mut parts = line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_ascii_uppercase();
+        let target = parts.next().unwrap_or("");
+        let version = parts.next().unwrap_or("");
+        if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+            return Err(ReadError::Bad(format!("malformed request line: {}", line.trim_end())));
+        }
+        let http11 = version == "HTTP/1.1";
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+        Ok(HeadBuilder {
+            method,
+            path,
+            query,
+            keep_alive: http11, // HTTP/1.1 defaults to persistent.
+            expect_continue: false,
+            framing: BodyFraming::None,
+        })
+    }
+
+    /// Applies one (already `trim_end`ed, non-empty) header line.
+    fn apply_header(&mut self, trimmed: &str) -> Result<(), ReadError> {
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ReadError::Bad(format!("malformed header: {trimmed}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            // Ambiguous framing is a request-smuggling vector (the peer
+            // and any intermediary may disagree on where the body ends),
+            // so chunked + Content-Length and repeated Content-Length are
+            // rejected outright rather than resolved.
+            match self.framing {
+                BodyFraming::Chunked => {
+                    return Err(ReadError::Bad(
+                        "both transfer-encoding and content-length present".into(),
+                    ))
+                }
+                BodyFraming::Length(_) => {
+                    return Err(ReadError::Bad("duplicate content-length header".into()))
+                }
+                BodyFraming::None => {}
+            }
+            let n: usize = value
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("bad content-length: {value}")))?;
+            self.framing = BodyFraming::Length(n);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                self.keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                self.keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            if !value.eq_ignore_ascii_case("chunked") {
+                return Err(ReadError::Bad(format!("unsupported transfer-encoding: {value}")));
+            }
+            if matches!(self.framing, BodyFraming::Length(_)) {
+                return Err(ReadError::Bad(
+                    "both transfer-encoding and content-length present".into(),
+                ));
+            }
+            self.framing = BodyFraming::Chunked;
+        } else if name.eq_ignore_ascii_case("expect") {
+            if !value.eq_ignore_ascii_case("100-continue") {
+                return Err(ReadError::Bad(format!("unsupported expectation: {value}")));
+            }
+            self.expect_continue = true;
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Head {
+        Head {
+            method: self.method,
+            path: self.path,
+            query: self.query,
+            keep_alive: self.keep_alive,
+            expect_continue: self.expect_continue,
+            framing: self.framing,
+        }
+    }
+}
+
 /// Reads one request head. With a read timeout set on the underlying
 /// socket, returns [`ReadError::TimedOut`] when the peer is idle *before
 /// the first byte* so callers can poll a shutdown flag between requests; a
 /// timeout after partial data is fatal for the connection. `deadline`
 /// bounds the total wall time the head may take once its first byte has
 /// arrived.
-pub fn read_head(reader: &mut BufReader<TcpStream>, deadline: Instant) -> Result<Head, ReadError> {
+pub fn read_head(reader: &mut impl BufRead, deadline: Instant) -> Result<Head, ReadError> {
     let mut line = String::new();
     let mut head_bytes = 0usize;
     let n = match read_line_capped(reader, &mut line, &mut head_bytes, deadline) {
@@ -119,18 +230,7 @@ pub fn read_head(reader: &mut BufReader<TcpStream>, deadline: Instant) -> Result
     if n == 0 {
         return Err(ReadError::Eof);
     }
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_ascii_uppercase();
-    let target = parts.next().unwrap_or("");
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Bad(format!("malformed request line: {}", line.trim_end())));
-    }
-    let http11 = version == "HTTP/1.1";
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target.to_string(), String::new()),
-    };
+    let mut head = HeadBuilder::from_request_line(&line)?;
 
     // From here on a timeout is always mid-request: fatal for the
     // connection, never retryable.
@@ -141,9 +241,6 @@ pub fn read_head(reader: &mut BufReader<TcpStream>, deadline: Instant) -> Result
         )),
         other => other,
     };
-    let mut framing = BodyFraming::None;
-    let mut keep_alive = http11; // HTTP/1.1 defaults to persistent.
-    let mut expect_continue = false;
     loop {
         line.clear();
         read_line_capped(reader, &mut line, &mut head_bytes, deadline).map_err(&fatal_timeout)?;
@@ -151,60 +248,61 @@ pub fn read_head(reader: &mut BufReader<TcpStream>, deadline: Instant) -> Result
         if trimmed.is_empty() {
             break;
         }
-        let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(ReadError::Bad(format!("malformed header: {trimmed}")));
-        };
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            // Ambiguous framing is a request-smuggling vector (the peer
-            // and any intermediary may disagree on where the body ends),
-            // so chunked + Content-Length and repeated Content-Length are
-            // rejected outright rather than resolved.
-            match framing {
-                BodyFraming::Chunked => {
-                    return Err(ReadError::Bad(
-                        "both transfer-encoding and content-length present".into(),
-                    ))
-                }
-                BodyFraming::Length(_) => {
-                    return Err(ReadError::Bad("duplicate content-length header".into()))
-                }
-                BodyFraming::None => {}
-            }
-            let n: usize = value
-                .parse()
-                .map_err(|_| ReadError::Bad(format!("bad content-length: {value}")))?;
-            framing = BodyFraming::Length(n);
-        } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
-            }
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            if !value.eq_ignore_ascii_case("chunked") {
-                return Err(ReadError::Bad(format!("unsupported transfer-encoding: {value}")));
-            }
-            if matches!(framing, BodyFraming::Length(_)) {
-                return Err(ReadError::Bad(
-                    "both transfer-encoding and content-length present".into(),
-                ));
-            }
-            framing = BodyFraming::Chunked;
-        } else if name.eq_ignore_ascii_case("expect") {
-            if !value.eq_ignore_ascii_case("100-continue") {
-                return Err(ReadError::Bad(format!("unsupported expectation: {value}")));
-            }
-            expect_continue = true;
+        head.apply_header(trimmed)?;
+    }
+    Ok(head.finish())
+}
+
+/// Sans-IO form of [`read_head`]: parses one request head from the front of
+/// `buf` (bytes accumulated by a non-blocking reader). Returns
+/// `Ok(Some((head, consumed)))` when a complete head is present,
+/// `Ok(None)` when more bytes are needed, and the same [`ReadError::Bad`] /
+/// [`ReadError::TooLarge`] classifications as the blocking reader —
+/// including the incremental [`MAX_HEAD_BYTES`] cap, which fires even
+/// before the head terminator arrives.
+pub fn parse_head(buf: &[u8]) -> Result<Option<(Head, usize)>, ReadError> {
+    // Find the blank line ending the head: the first "\n" followed by an
+    // optionally-\r'd "\n" (the line readers accept bare-LF lines too).
+    let mut end = None;
+    let mut i = 0usize;
+    while let Some(pos) = buf[i..].iter().position(|&b| b == b'\n') {
+        let line_start = i;
+        i += pos + 1;
+        let line = &buf[line_start..i];
+        let is_blank = line == b"\n" || line == b"\r\n";
+        if is_blank && line_start > 0 {
+            end = Some(i);
+            break;
         }
     }
-    Ok(Head { method, path, query, keep_alive, expect_continue, framing })
+    let Some(end) = end else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge("request head too large".into()));
+        }
+        return Ok(None);
+    };
+    if end > MAX_HEAD_BYTES {
+        return Err(ReadError::TooLarge("request head too large".into()));
+    }
+    let text = std::str::from_utf8(&buf[..end])
+        .map_err(|_| ReadError::Bad("request head is not valid UTF-8".into()))?;
+    let mut lines = text.split('\n');
+    let request_line = lines.next().unwrap_or("");
+    let mut head = HeadBuilder::from_request_line(request_line)?;
+    for line in lines {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        head.apply_header(trimmed)?;
+    }
+    Ok(Some((head.finish(), end)))
 }
 
 /// Reads one full request (head + buffered body) — the convenience form
 /// used by tests and simple callers. Does **not** send `100 Continue`; the
 /// daemon handles that itself because it needs the write half.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
     let deadline = Instant::now() + Duration::from_secs(10);
     let head = read_head(reader, deadline)?;
     let body = read_body(reader, head.framing, deadline)?;
@@ -221,7 +319,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
 /// timeouts are fatal (the connection is out of sync); `deadline` bounds
 /// total wall time.
 pub fn read_body(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut impl BufRead,
     framing: BodyFraming,
     deadline: Instant,
 ) -> Result<Vec<u8>, ReadError> {
@@ -326,7 +424,7 @@ impl BodyReader {
     /// state (call again later); other errors are fatal.
     pub fn read_some(
         &mut self,
-        reader: &mut BufReader<TcpStream>,
+        reader: &mut impl BufRead,
         buf: &mut [u8],
     ) -> Result<usize, ReadError> {
         loop {
@@ -391,7 +489,7 @@ impl BodyReader {
     /// across timeouts. `Ok(None)` never happens (loops internally until a
     /// full line, timeout, or error) — it returns `Some(line)` without the
     /// terminator.
-    fn try_line(&mut self, reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ReadError> {
+    fn try_line(&mut self, reader: &mut impl BufRead) -> Result<Option<String>, ReadError> {
         loop {
             let (used, done) = {
                 let chunk = match reader.fill_buf() {
@@ -428,6 +526,170 @@ impl BodyReader {
     }
 }
 
+/// Sans-IO counterpart of [`BodyReader`]: decodes `Content-Length` or
+/// chunked framing from caller-owned buffers instead of a socket. The epoll
+/// reactor appends whatever its non-blocking reads return and feeds it
+/// here; the decoder consumes what it can, appends decoded body bytes to
+/// `out`, and remembers its position across calls. Error classification
+/// (bad chunk framing → 400, size caps → 413) matches the blocking reader
+/// exactly, so the hardening suite holds under both topologies.
+#[derive(Debug)]
+pub struct BodyDecoder {
+    framing: BodyFraming,
+    /// Bytes left in the current content-length body or chunk payload.
+    remaining: usize,
+    state: ChunkState,
+    /// Partial chunk-header line carried across feeds.
+    partial: Vec<u8>,
+    /// Total body bytes produced so far (cap → 413).
+    produced: usize,
+}
+
+impl BodyDecoder {
+    /// A decoder at the start of a body framed as `framing`, capped at
+    /// [`MAX_BODY_BYTES`] total. A declared-oversized `Content-Length` is
+    /// rejected on the first [`BodyDecoder::push`], before buffering.
+    pub fn new(framing: BodyFraming) -> BodyDecoder {
+        let (remaining, state) = match framing {
+            BodyFraming::None => (0, ChunkState::Done),
+            BodyFraming::Length(n) => (n, if n == 0 { ChunkState::Done } else { ChunkState::Data }),
+            BodyFraming::Chunked => (0, ChunkState::Size),
+        };
+        BodyDecoder { framing, remaining, state, partial: Vec::new(), produced: 0 }
+    }
+
+    /// True once the body has been fully decoded.
+    pub fn is_done(&self) -> bool {
+        self.state == ChunkState::Done
+    }
+
+    /// Consumes as much of `input` as possible, appending decoded body
+    /// bytes to `out`. Returns the number of input bytes consumed; check
+    /// [`BodyDecoder::is_done`] to see whether the body is complete (a
+    /// short consume with `is_done() == false` means more wire bytes are
+    /// needed).
+    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<usize, ReadError> {
+        if let BodyFraming::Length(n) = self.framing {
+            if n > MAX_BODY_BYTES {
+                return Err(ReadError::TooLarge(format!("body of {n} bytes exceeds limit")));
+            }
+        }
+        let mut used = 0usize;
+        loop {
+            let rest = &input[used..];
+            match self.state {
+                ChunkState::Done => return Ok(used),
+                ChunkState::Data => {
+                    if rest.is_empty() {
+                        return Ok(used);
+                    }
+                    let take = self.remaining.min(rest.len());
+                    if self.produced + take > MAX_BODY_BYTES {
+                        return Err(ReadError::TooLarge("body exceeds limit".into()));
+                    }
+                    out.extend_from_slice(&rest[..take]);
+                    self.produced += take;
+                    self.remaining -= take;
+                    used += take;
+                    if self.remaining == 0 {
+                        self.state = match self.framing {
+                            BodyFraming::Length(_) => ChunkState::Done,
+                            BodyFraming::Chunked => ChunkState::DataEnd,
+                            BodyFraming::None => unreachable!("no-body framing has no data"),
+                        };
+                    }
+                }
+                ChunkState::Size => {
+                    let Some(line) = self.take_line(rest, &mut used)? else { return Ok(used) };
+                    let hex = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(hex, 16)
+                        .map_err(|_| ReadError::Bad(format!("bad chunk size: {hex:?}")))?;
+                    if size == 0 {
+                        self.state = ChunkState::Trailer;
+                    } else {
+                        if self.produced + size > MAX_BODY_BYTES {
+                            return Err(ReadError::TooLarge("chunked body exceeds limit".into()));
+                        }
+                        self.remaining = size;
+                        self.state = ChunkState::Data;
+                    }
+                }
+                ChunkState::DataEnd => {
+                    let Some(line) = self.take_line(rest, &mut used)? else { return Ok(used) };
+                    if !line.is_empty() {
+                        return Err(ReadError::Bad("missing CRLF after chunk data".into()));
+                    }
+                    self.state = ChunkState::Size;
+                }
+                ChunkState::Trailer => {
+                    let Some(line) = self.take_line(rest, &mut used)? else { return Ok(used) };
+                    if line.is_empty() {
+                        self.state = ChunkState::Done;
+                        return Ok(used);
+                    }
+                    // Trailer fields are read and discarded.
+                }
+            }
+        }
+    }
+
+    /// Pulls one framing line out of `rest`, accumulating partial bytes
+    /// across feeds. `Ok(None)` = need more input.
+    fn take_line(&mut self, rest: &[u8], used: &mut usize) -> Result<Option<String>, ReadError> {
+        match rest.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                self.partial.extend_from_slice(&rest[..=pos]);
+                *used += pos + 1;
+            }
+            None => {
+                self.partial.extend_from_slice(rest);
+                *used += rest.len();
+            }
+        }
+        if self.partial.len() > 256 {
+            return Err(ReadError::Bad("chunk framing line too long".into()));
+        }
+        if self.partial.last() != Some(&b'\n') {
+            return Ok(None);
+        }
+        let line = std::str::from_utf8(&self.partial)
+            .map_err(|_| ReadError::Bad("chunk framing is not valid UTF-8".into()))?
+            .trim_end()
+            .to_string();
+        self.partial.clear();
+        Ok(Some(line))
+    }
+}
+
+/// A reader that replays `prefix` bytes before delegating to `inner` — how
+/// the reactor hands a streaming connection (whose head and early body
+/// bytes it already consumed into its buffer) to a blocking stream handler
+/// without losing a byte.
+pub struct Prefixed<R> {
+    prefix: Vec<u8>,
+    pos: usize,
+    inner: R,
+}
+
+impl<R: Read> Prefixed<R> {
+    /// Wraps `inner`, yielding `prefix` first.
+    pub fn new(prefix: Vec<u8>, inner: R) -> Prefixed<R> {
+        Prefixed { prefix, pos: 0, inner }
+    }
+}
+
+impl<R: Read> Read for Prefixed<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.prefix.len() {
+            let n = (self.prefix.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        self.inner.read(buf)
+    }
+}
+
 /// `read_line` with the head cap enforced *incrementally*: a peer that
 /// streams an endless header line without `\n` is cut off at
 /// [`MAX_HEAD_BYTES`] instead of buffering unbounded memory. On timeout,
@@ -435,7 +697,7 @@ impl BodyReader {
 /// idle connection (empty) from a stalled mid-request one. `deadline`
 /// bounds total wall time across reads.
 fn read_line_capped(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut impl BufRead,
     line: &mut String,
     head_bytes: &mut usize,
     deadline: Instant,
@@ -483,9 +745,79 @@ fn read_line_capped(
     Ok(total)
 }
 
+/// The canonical reason phrase for the status codes this workspace emits.
+pub fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The machine-readable error `code` the unified envelope carries for a
+/// given status, used when a caller only has a status + human message.
+pub fn code_for_status(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        408 => "request_timeout",
+        413 => "payload_too_large",
+        500 => "internal",
+        501 => "not_implemented",
+        502 => "bad_gateway",
+        503 => "unavailable",
+        _ => "error",
+    }
+}
+
+/// Renders the unified error envelope shared by `doduo-served` and
+/// `doduo-balance`:
+/// `{"error":{"code":"...","message":"...","retry_after_ms":N}}` (the
+/// `retry_after_ms` field appears only when a retry hint is given).
+pub fn error_envelope(code: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut body = String::from("{\"error\":{\"code\":");
+    crate::json::push_escaped(&mut body, code);
+    body.push_str(",\"message\":");
+    crate::json::push_escaped(&mut body, message);
+    if let Some(ms) = retry_after_ms {
+        body.push_str(&format!(",\"retry_after_ms\":{ms}"));
+    }
+    body.push_str("}}\n");
+    body
+}
+
+/// Formats a full response (head + body) into one byte buffer — the
+/// building block the epoll reactor queues on a connection's outbox, and
+/// the body of the blocking writers below.
+pub fn render_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: \
+         {}\r\nconnection: {}\r\n{extra}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
 /// Writes one `text` response (JSON or plain) with standard headers.
 pub fn write_response(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     reason: &str,
     content_type: &str,
@@ -498,7 +830,7 @@ pub fn write_response(
 /// [`write_response`] with extra pre-formatted header lines (each
 /// `name: value\r\n`) spliced in before the blank line.
 fn write_response_extra(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     reason: &str,
     content_type: &str,
@@ -506,43 +838,48 @@ fn write_response_extra(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: \
-         {}\r\nconnection: {}\r\n{extra}\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&render_response(status, reason, content_type, extra, body, keep_alive))?;
     stream.flush()
 }
 
-/// Convenience wrapper: a JSON error body `{"error": "..."}`.
+/// Writes the unified error envelope with the code derived from the
+/// status via [`code_for_status`].
 pub fn write_error(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     reason: &str,
     message: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let mut body = String::from("{\"error\":");
-    crate::json::push_escaped(&mut body, message);
-    body.push_str("}\n");
+    write_error_code(stream, status, reason, code_for_status(status), message, keep_alive)
+}
+
+/// [`write_error`] with an explicit envelope `code` when the default
+/// status-derived one is too coarse.
+pub fn write_error_code(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    code: &str,
+    message: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = error_envelope(code, message, None);
     write_response(stream, status, reason, "application/json", &body, keep_alive)
 }
 
 /// The daemon's standard backpressure response: `503 Service Unavailable`
-/// with a `Retry-After` hint so well-behaved clients (the balancer, the
+/// with a `Retry-After` header plus the matching `retry_after_ms`
+/// envelope field, so well-behaved clients (the balancer, the
 /// `serve_load` closed-loop clients) back off instead of hammering.
 pub fn write_unavailable(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
+    code: &str,
     message: &str,
     keep_alive: bool,
     retry_after_secs: u64,
 ) -> std::io::Result<()> {
-    let mut body = String::from("{\"error\":");
-    crate::json::push_escaped(&mut body, message);
-    body.push_str("}\n");
+    let body = error_envelope(code, message, Some(retry_after_secs * 1000));
     let extra = format!("retry-after: {retry_after_secs}\r\n");
     write_response_extra(
         stream,
@@ -557,7 +894,7 @@ pub fn write_unavailable(
 
 /// Sends the `100 Continue` interim response an `Expect: 100-continue`
 /// client waits for before transmitting its body.
-pub fn write_continue(stream: &mut TcpStream) -> std::io::Result<()> {
+pub fn write_continue(stream: &mut impl Write) -> std::io::Result<()> {
     stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
     stream.flush()
 }
@@ -565,7 +902,7 @@ pub fn write_continue(stream: &mut TcpStream) -> std::io::Result<()> {
 /// Starts a chunked (streaming) response: status line + headers, no body
 /// yet. Follow with [`write_chunk`] calls and one [`write_last_chunk`].
 pub fn write_chunked_head(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     reason: &str,
     content_type: &str,
@@ -580,7 +917,7 @@ pub fn write_chunked_head(
 
 /// Writes one response chunk (no-op for empty data, which would terminate
 /// the stream early).
-pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+pub fn write_chunk(stream: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
     if data.is_empty() {
         return Ok(());
     }
@@ -591,7 +928,7 @@ pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
 }
 
 /// Terminates a chunked response (`0\r\n\r\n`).
-pub fn write_last_chunk(stream: &mut TcpStream) -> std::io::Result<()> {
+pub fn write_last_chunk(stream: &mut impl Write) -> std::io::Result<()> {
     stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }

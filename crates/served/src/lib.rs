@@ -16,25 +16,35 @@
 //! shortest-round-trip float formatting, so "bit-identical" is observable
 //! as *byte*-identical response bodies.
 //!
-//! Connections are served by a **fixed worker pool**: W workers multiplex
-//! any number of HTTP/1.1 keep-alive connections by probing parked sockets
-//! for readiness and requeueing idle ones, so fan-in no longer costs one
-//! thread per client. `POST /annotate_stream` adds a streaming multi-table
-//! mode — a chunked upload of table objects answered by a chunked NDJSON
-//! stream of per-table results, each emitted as its micro-batch flushes
-//! and each byte-identical to the single-table `/annotate` response.
+//! Connections are served by an **epoll reactor** by default: one thread
+//! owns the listener and every parked keep-alive connection, drives
+//! per-connection state machines off readiness events, and hands fully
+//! parsed requests to worker threads that never touch a socket (an
+//! `eventfd` wakes the reactor when a response is ready). The legacy
+//! fixed worker pool (`--topology pool`) and thread-per-connection mode
+//! (`--workers 0`) remain as A/B baselines. `POST /annotate_stream` adds a
+//! streaming multi-table mode — a chunked upload of table objects answered
+//! by a chunked NDJSON stream of per-table results, each emitted as its
+//! micro-batch flushes and each byte-identical to the single-table
+//! `/annotate` response.
 //!
 //! Everything is hand-rolled on `std` (TCP, HTTP, JSON, threads): the
 //! workspace is offline-only by policy, and the daemon inherits that.
 //!
 //! * [`json`] — JSON value parser + the wire codecs (tables in,
 //!   annotations out) + the incremental stream splitter.
-//! * [`http`] — minimal HTTP/1.1 request/response with chunked framing,
-//!   plus a tiny blocking client for tests and load benches.
+//! * [`http`] — minimal HTTP/1.1 request/response with chunked framing
+//!   (blocking and sans-IO parsers), the unified error envelope, plus a
+//!   tiny blocking client for tests and load benches.
+//! * [`handler`] — the transport-independent [`Handler`]
+//!   trait and `/v1` path canonicalization shared by every topology and by
+//!   `doduo-balance`'s test backends.
+//! * [`reactor`] — the epoll event loop: connection state machines, timer
+//!   wheel, eventfd completion routing.
 //! * [`queue`] — the deterministic batching core and its `Condvar` wrapper.
 //! * [`stats`] — latency percentiles and aggregate counters (`/stats`).
-//! * [`server`] — accept loop, worker pool, dispatcher, streaming, graceful
-//!   shutdown.
+//! * [`server`] — accept loop, topologies (reactor / worker pool /
+//!   thread-per-conn), dispatcher, streaming, graceful shutdown.
 //! * [`bootstrap`] — the deterministic synthetic serving world shared by
 //!   the daemon's `--synthetic` mode, the `serve_load` bench, and CI.
 //! * [`validate`] — the online == offline equivalence check and the
@@ -44,20 +54,25 @@
 //! * [`cli`] — the `doduo-served` command line as a library function, so
 //!   the balancer can embed a replica daemon in a child process.
 //!
-//! Endpoints: `POST /annotate`, `POST /annotate_stream`, `GET /healthz`
-//! (liveness), `GET /readyz` (readiness), `GET /stats`, `POST /shutdown`.
+//! Endpoints are mounted under `/v1` (`POST /v1/annotate`, `POST
+//! /v1/annotate_stream`, `GET /v1/healthz` (liveness), `GET /v1/readyz`
+//! (readiness), `GET /v1/stats`, `POST /v1/shutdown`); the legacy
+//! unprefixed paths remain as deprecated aliases.
 #![warn(missing_docs)]
 
 pub mod bootstrap;
 pub mod chaos;
 pub mod cli;
+pub mod handler;
 pub mod http;
 pub mod json;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod stats;
 pub mod validate;
 
+pub use handler::{canonical_path, Handler, HttpRequest, HttpResponse};
 pub use queue::{BatchPolicy, Batcher, FlushReason, PushRejected, SharedBatcher};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, Topology};
 pub use stats::{percentiles, Percentiles, ServerStats};

@@ -1,0 +1,1390 @@
+//! The epoll event loop behind the default serving topology.
+//!
+//! One reactor thread owns the listener and every parked connection. Each
+//! connection is a small state machine —
+//!
+//! ```text
+//!   Idle ──bytes──▶ Reading ──full request──▶ Dispatched ──completion──▶ Writing
+//!    ▲  (75 s)        (request deadline)        (dispatch backstop)    (write stall)
+//!    └──────────────────── outbox drained, keep-alive ───────────────────────┘
+//! ```
+//!
+//! — where every edge has a timeout budget tracked by a hashed
+//! [`TimerWheel`]. Sockets are nonblocking; reads and writes happen only
+//! when epoll reports readiness, so ten thousand idle keep-alive
+//! connections cost zero syscalls between requests (the worker pool they
+//! replace paid two `fcntl`s plus a `peek` per parked connection per
+//! probe round).
+//!
+//! The reactor never computes responses for work that can block: a fully
+//! parsed request is handed to the [`Driver`], which either answers
+//! immediately (`GET` endpoints, errors) or queues it for worker threads.
+//! Workers never touch sockets — they push a [`Completion`] into the
+//! [`Router`] and signal its `eventfd`, which wakes the reactor to write
+//! the bytes out. Streaming requests (`POST /annotate_stream`) are the one
+//! exception: the reactor hands the raw socket plus any buffered bytes
+//! back to the driver at head-parse time, before the body is consumed.
+//!
+//! Timer entries and dispatch tickets carry a `slot | gen << 32` token;
+//! the generation bumps on every state transition, so a stale timer (or a
+//! completion for a connection that died) is recognized by a mismatched
+//! generation and dropped — lazy cancellation, no timer deletion needed.
+//! Epoll registrations carry a separate `slot | epoch << 32` token whose
+//! epoch bumps only when the slot's socket changes hands (close or
+//! stream hand-over): readiness events stay valid across the per-request
+//! generation churn, which lets the reactor skip `epoll_ctl` entirely
+//! whenever a transition keeps the kernel's interest mask unchanged.
+
+use crate::handler::{render_http_response, HttpRequest, HttpResponse};
+use crate::http::{parse_head, BodyDecoder, BodyFraming, Head, ReadError};
+use epoll::{Epoll, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use std::io::{Read, Write};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll token of the completion-queue `eventfd`.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// A connection ticket: `slot | generation << 32`. Valid only until the
+/// connection transitions state; the [`Router`] uses it to route worker
+/// completions back to the right connection (or drop them if it died).
+pub type Ticket = u64;
+
+fn ticket_slot(t: Ticket) -> usize {
+    (t & 0xffff_ffff) as usize
+}
+
+fn ticket_gen(t: Ticket) -> u32 {
+    (t >> 32) as u32
+}
+
+/// A byte stream the reactor can drive: nonblocking reads/writes plus the
+/// socket controls the event loop needs. Implemented for [`TcpStream`]
+/// (production) and [`UnixStream`] (socketpair-backed unit tests).
+///
+/// [`TcpStream`]: std::net::TcpStream
+/// [`UnixStream`]: std::os::unix::net::UnixStream
+pub trait Source: Read + Write + AsRawFd + Send {
+    /// Switches the `O_NONBLOCK` flag.
+    fn set_nonblocking_flag(&self, nonblocking: bool) -> std::io::Result<()>;
+    /// Severs both directions without dropping the descriptor.
+    fn shutdown_both(&self) -> std::io::Result<()>;
+}
+
+impl Source for std::net::TcpStream {
+    fn set_nonblocking_flag(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+    fn shutdown_both(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl Source for std::os::unix::net::UnixStream {
+    fn set_nonblocking_flag(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+    fn shutdown_both(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+/// What the [`Driver`] decided to do with a fully received request.
+pub enum Dispatch {
+    /// Answer now (the driver computed the response without blocking).
+    Respond(HttpResponse),
+    /// The request was handed to worker threads; a [`Completion`] carrying
+    /// this connection's [`Ticket`] will arrive through the [`Router`].
+    Queued,
+}
+
+/// The policy half of the event loop: accepting, routing, and stats. The
+/// reactor owns all socket I/O; the driver owns everything else.
+pub trait Driver<S: Source>: Sync {
+    /// Pulls one pending connection off the listener. `Ok(None)` when none
+    /// is waiting. Admission control (connection caps) lives here.
+    fn accept(&self) -> std::io::Result<Option<S>> {
+        Ok(None)
+    }
+
+    /// Returns true when this request head names an endpoint that owns
+    /// its connection to the end (streaming); the reactor then calls
+    /// [`Driver::take_over`] instead of buffering the body.
+    fn wants_takeover(&self, head: &Head) -> bool {
+        let _ = head;
+        false
+    }
+
+    /// Receives a taken-over connection: the raw stream (still
+    /// nonblocking), its parsed head, bytes read past the head, and the
+    /// number of requests previously served on the connection.
+    fn take_over(&self, stream: S, head: Head, leftover: Vec<u8>, prior_requests: u64) {
+        let _ = (stream, head, leftover, prior_requests);
+    }
+
+    /// Routes one fully received request. `prior_requests` is the number
+    /// of requests already served on this connection (for keep-alive
+    /// reuse accounting). Must not block.
+    fn dispatch(&self, ticket: Ticket, req: HttpRequest, prior_requests: u64) -> Dispatch;
+
+    /// A request failed before dispatch (parse error, deadline) — the
+    /// reactor already wrote the error envelope; this is for counters.
+    fn on_request_error(&self) {}
+
+    /// A connection was admitted into the reactor.
+    fn on_open(&self) {}
+
+    /// A connection left the reactor (closed or taken over).
+    fn on_close(&self) {}
+}
+
+/// Timeout budgets and sizing for a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Budget for receiving one complete request (head + body) once its
+    /// first byte arrives; exceeded → `408` and close.
+    pub request_deadline: Duration,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// Backstop for a queued request whose completion never arrives; the
+    /// worker's own timeout should fire first and answer `500`.
+    pub dispatch_timeout: Duration,
+    /// Budget for draining a response to a slow-reading client.
+    pub write_timeout: Duration,
+    /// Discriminates a slow-loris from a dead client when
+    /// `request_deadline` expires mid-request: a client whose last byte
+    /// arrived within this window gets a `408`; one silent for longer is
+    /// closed without a response (mirroring the blocking parser, which
+    /// turns a mid-request read timeout into a silent close).
+    pub read_grace: Duration,
+    /// Timer wheel tick size; timers fire within one tick of their
+    /// deadline, never early.
+    pub timer_granularity: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            request_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(75),
+            dispatch_timeout: Duration::from_secs(35),
+            write_timeout: Duration::from_secs(10),
+            read_grace: Duration::from_secs(5),
+            timer_granularity: Duration::from_millis(25),
+        }
+    }
+}
+
+// ------------------------------------------------------------- timer wheel
+
+/// A hashed timer wheel: deadlines hash into `slots.len()` buckets by tick
+/// number, expiry walks at most the elapsed ticks, and entries further
+/// than one full rotation simply survive extra walks of their bucket.
+/// Cancellation is lazy — the reactor drops fired tokens whose generation
+/// no longer matches.
+pub struct TimerWheel {
+    slots: Vec<Vec<WheelEntry>>,
+    granularity: Duration,
+    start: Instant,
+    /// Next tick to expire; all entries with `deadline_tick` below this
+    /// have already fired.
+    tick: u64,
+    len: usize,
+}
+
+struct WheelEntry {
+    deadline_tick: u64,
+    token: u64,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets ticking every `granularity`, with tick 0
+    /// anchored at `now`.
+    pub fn new(granularity: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(slots > 0 && granularity > Duration::ZERO);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity,
+            start: now,
+            tick: 0,
+            len: 0,
+        }
+    }
+
+    /// The tick at which a deadline fires — rounded *up* so a timer never
+    /// fires before its deadline.
+    fn tick_of(&self, t: Instant) -> u64 {
+        let nanos = t.saturating_duration_since(self.start).as_nanos();
+        let g = self.granularity.as_nanos();
+        (nanos / g) as u64 + 1
+    }
+
+    /// Arms a timer; `token` comes back out of [`TimerWheel::expire`].
+    pub fn insert(&mut self, deadline: Instant, token: u64) {
+        let deadline_tick = self.tick_of(deadline).max(self.tick);
+        let idx = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[idx].push(WheelEntry { deadline_tick, token });
+        self.len += 1;
+    }
+
+    /// Collects every token whose deadline has passed by `now`.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let now_tick = (now.saturating_duration_since(self.start).as_nanos()
+            / self.granularity.as_nanos()) as u64;
+        while self.tick <= now_tick {
+            let idx = (self.tick % self.slots.len() as u64) as usize;
+            let slot = &mut self.slots[idx];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].deadline_tick <= now_tick {
+                    out.push(slot.swap_remove(i).token);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            self.tick += 1;
+        }
+    }
+
+    /// Time until the earliest armed deadline, or `None` when the wheel is
+    /// empty. Linear in armed timers — the reactor calls it once per loop
+    /// over at most one entry per connection.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let min_tick = self.slots.iter().flatten().map(|e| e.deadline_tick).min().expect("len > 0");
+        let due = self.start + self.granularity * (min_tick as u32);
+        Some(due.saturating_duration_since(now))
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+// --------------------------------------------------------------- completions
+
+/// A worker's finished response, addressed by connection [`Ticket`].
+pub struct Completion {
+    /// The ticket handed to [`Driver::dispatch`].
+    pub ticket: Ticket,
+    /// The response to render and write.
+    pub resp: HttpResponse,
+}
+
+/// The worker→reactor completion queue: a mutexed vector plus an
+/// `eventfd` that wakes the reactor out of `epoll_wait`. Cloned into every
+/// worker thread via `Arc`.
+pub struct Router {
+    done: Mutex<Vec<Completion>>,
+    wake: EventFd,
+}
+
+impl Router {
+    /// An empty completion queue with a fresh `eventfd`.
+    pub fn new() -> std::io::Result<Router> {
+        Ok(Router { done: Mutex::new(Vec::new()), wake: EventFd::new()? })
+    }
+
+    /// Delivers a worker's response and wakes the reactor. The `eventfd`
+    /// is only signalled on the empty→non-empty transition: the reactor
+    /// drains the whole queue per turn (eventfd first, then the vector),
+    /// so a completion that lands behind an undelivered one rides the
+    /// signal already in flight. A dispatcher finishing a micro-batch of
+    /// jobs pays one wake syscall, not one per job.
+    pub fn complete(&self, ticket: Ticket, resp: HttpResponse) {
+        let first = {
+            let mut done = self.done.lock().expect("router lock");
+            done.push(Completion { ticket, resp });
+            done.len() == 1
+        };
+        if first {
+            let _ = self.wake.signal();
+        }
+    }
+
+    /// Wakes the reactor without delivering anything (shutdown nudge).
+    pub fn nudge(&self) {
+        let _ = self.wake.signal();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        let _ = self.wake.drain();
+        std::mem::take(&mut *self.done.lock().expect("router lock"))
+    }
+}
+
+// ------------------------------------------------------------- connections
+
+/// Which timeout is armed and what readiness means right now.
+#[derive(Debug)]
+enum ConnState {
+    /// Keep-alive parking: no partial request buffered.
+    Idle,
+    /// A request's first byte has arrived; head/body parsing in progress.
+    Reading,
+    /// Request handed to workers; socket reads are paused.
+    Dispatched,
+    /// Response bytes draining from the outbox.
+    Writing {
+        /// Park for another request once drained (vs. close).
+        keep: bool,
+        /// Sever with `shutdown(2)` after draining (torn-response chaos).
+        sever: bool,
+    },
+}
+
+struct ConnEntry<S> {
+    stream: S,
+    state: ConnState,
+    /// Raw bytes read but not yet consumed by parsing.
+    inbuf: Vec<u8>,
+    /// Parsed head of the in-progress request.
+    head: Option<Head>,
+    /// Body decoder for the in-progress request.
+    decoder: Option<BodyDecoder>,
+    /// Decoded body bytes of the in-progress request.
+    bodybuf: Vec<u8>,
+    /// Rendered response bytes awaiting the socket.
+    outbox: Vec<u8>,
+    outpos: usize,
+    /// Requests fully served on this connection.
+    requests: u64,
+    /// The dispatched request's keep-alive wish (consulted at completion).
+    req_keep_alive: bool,
+    /// Peer sent FIN (no more request bytes will arrive).
+    saw_rdhup: bool,
+    /// When the last request byte arrived (see `ReactorConfig::read_grace`).
+    last_read: Instant,
+}
+
+// ----------------------------------------------------------------- reactor
+
+/// The event loop. Generic over the stream type (TCP in production, Unix
+/// socketpairs in tests) and the [`Driver`] policy.
+pub struct Reactor<S: Source, D: Driver<S>> {
+    cfg: ReactorConfig,
+    driver: D,
+    epoll: Epoll,
+    router: Arc<Router>,
+    wheel: TimerWheel,
+    conns: Vec<Option<ConnEntry<S>>>,
+    /// Per-slot request generation: bumped on every state transition so
+    /// timers and dispatch tickets from a superseded state are lazily
+    /// cancelled. Memory-only — never re-registered with the kernel.
+    gens: Vec<u32>,
+    /// Per-slot connection epoch: bumped only when a slot's socket
+    /// changes hands (close/hand-over). This is what epoll registrations
+    /// carry, so readiness events survive the per-request gen churn while
+    /// events for a recycled slot still drop.
+    epochs: Vec<u32>,
+    /// The interest mask the kernel currently holds per slot; interest
+    /// changes that match it skip the `epoll_ctl` syscall.
+    interests: Vec<u32>,
+    free: Vec<usize>,
+    listener_fd: Option<i32>,
+    events: Vec<epoll::Event>,
+    fired: Vec<u64>,
+    active: usize,
+}
+
+impl<S: Source, D: Driver<S>> Reactor<S, D> {
+    /// Builds the reactor: epoll instance, wake `eventfd` (registered
+    /// immediately), timer wheel.
+    pub fn new(cfg: ReactorConfig, driver: D) -> std::io::Result<Reactor<S, D>> {
+        let epoll = Epoll::new()?;
+        let router = Arc::new(Router::new()?);
+        epoll.add(router.wake.as_raw_fd(), TOKEN_WAKE, EPOLLIN)?;
+        let wheel = TimerWheel::new(cfg.timer_granularity, 4096, Instant::now());
+        Ok(Reactor {
+            cfg,
+            driver,
+            epoll,
+            router,
+            wheel,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            epochs: Vec::new(),
+            interests: Vec::new(),
+            free: Vec::new(),
+            listener_fd: None,
+            events: Vec::with_capacity(256),
+            fired: Vec::new(),
+            active: 0,
+        })
+    }
+
+    /// The completion queue to hand to worker threads.
+    pub fn router(&self) -> Arc<Router> {
+        Arc::clone(&self.router)
+    }
+
+    /// The driver, for inspecting its counters (stats live there).
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// Registers the listening socket; [`Driver::accept`] is called when
+    /// it becomes readable. The listener must already be nonblocking.
+    pub fn set_listener(&mut self, fd: i32) -> std::io::Result<()> {
+        self.epoll.add(fd, TOKEN_LISTENER, EPOLLIN)?;
+        self.listener_fd = Some(fd);
+        Ok(())
+    }
+
+    /// Connections currently owned by the reactor.
+    pub fn connections(&self) -> usize {
+        self.active
+    }
+
+    /// Admits a connection: nonblocking, registered for readability,
+    /// parked idle.
+    pub fn insert(&mut self, stream: S) -> std::io::Result<()> {
+        stream.set_nonblocking_flag(true)?;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.conns.push(None);
+                self.gens.push(0);
+                self.epochs.push(0);
+                self.interests.push(0);
+                self.conns.len() - 1
+            }
+        };
+        self.epoll.add(stream.as_raw_fd(), self.evtoken(slot), EPOLLIN | EPOLLRDHUP)?;
+        self.interests[slot] = EPOLLIN | EPOLLRDHUP;
+        let token = self.token(slot);
+        self.conns[slot] = Some(ConnEntry {
+            stream,
+            state: ConnState::Idle,
+            inbuf: Vec::new(),
+            head: None,
+            decoder: None,
+            bodybuf: Vec::new(),
+            outbox: Vec::new(),
+            outpos: 0,
+            requests: 0,
+            req_keep_alive: true,
+            saw_rdhup: false,
+            last_read: Instant::now(),
+        });
+        self.active += 1;
+        self.wheel.insert(Instant::now() + self.cfg.idle_timeout, token);
+        self.driver.on_open();
+        Ok(())
+    }
+
+    /// The timer/ticket token: request-generation scoped.
+    fn token(&self, slot: usize) -> u64 {
+        slot as u64 | (u64::from(self.gens[slot]) << 32)
+    }
+
+    /// The epoll-registration token: connection-epoch scoped.
+    fn evtoken(&self, slot: usize) -> u64 {
+        slot as u64 | (u64::from(self.epochs[slot]) << 32)
+    }
+
+    /// Bumps the slot's request generation, lazily cancelling any timer or
+    /// dispatch ticket armed for the superseded state.
+    fn bump_gen(&mut self, slot: usize) {
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+    }
+
+    /// [`Reactor::bump_gen`] plus an interest update — the common shape of
+    /// a state transition.
+    fn retoken(&mut self, slot: usize, interest: u32) {
+        self.bump_gen(slot);
+        self.set_interest(slot, interest);
+    }
+
+    /// Points the kernel at `interest` for the slot's fd. A request that
+    /// wants what the kernel already watches (the keep-alive steady state)
+    /// costs no syscall.
+    fn set_interest(&mut self, slot: usize, interest: u32) {
+        if self.interests[slot] == interest {
+            return;
+        }
+        let fd = match self.conns[slot].as_ref() {
+            Some(conn) => conn.stream.as_raw_fd(),
+            None => return,
+        };
+        if self.epoll.modify(fd, self.evtoken(slot), interest).is_ok() {
+            self.interests[slot] = interest;
+        }
+    }
+
+    fn arm(&mut self, slot: usize, after: Duration) {
+        let token = self.token(slot);
+        self.wheel.insert(Instant::now() + after, token);
+    }
+
+    /// Tears the connection down: epoll deregistration, optional sever,
+    /// slot free.
+    fn close(&mut self, slot: usize, sever: bool) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            if sever {
+                let _ = conn.stream.shutdown_both();
+            }
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
+            self.epochs[slot] = self.epochs[slot].wrapping_add(1);
+            self.free.push(slot);
+            self.active -= 1;
+            self.driver.on_close();
+        }
+    }
+
+    /// Releases the connection to the driver for streaming: epoll
+    /// deregistration, slot free, stream + buffered bytes handed over.
+    fn hand_over(&mut self, slot: usize, head: Head) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
+            self.epochs[slot] = self.epochs[slot].wrapping_add(1);
+            self.free.push(slot);
+            self.active -= 1;
+            // No `on_close` here: `take_over` transfers connection
+            // accounting to the driver along with the socket.
+            self.driver.take_over(conn.stream, head, conn.inbuf, conn.requests);
+        }
+    }
+
+    /// One full event-loop iteration: wait (bounded by `cap` and the
+    /// nearest timer), service readiness, drain completions, fire timers.
+    /// Exposed for tests; [`Reactor::run`] loops it.
+    pub fn turn(&mut self, cap: Duration) -> std::io::Result<()> {
+        let now = Instant::now();
+        let timeout = match self.wheel.next_timeout(now) {
+            Some(t) => t.min(cap),
+            None => cap,
+        };
+        self.epoll.wait(&mut self.events, 256, Some(timeout))?;
+        let events = std::mem::take(&mut self.events);
+        for ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => self.accept_pending(),
+                TOKEN_WAKE => {} // drained below, every turn
+                token => self.handle_conn_event(token, ev.events),
+            }
+        }
+        self.events = events;
+        self.drain_completions();
+        let now = Instant::now();
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        self.wheel.expire(now, &mut fired);
+        for &token in &fired {
+            self.handle_timer(token);
+        }
+        self.fired = fired;
+        Ok(())
+    }
+
+    /// Runs the loop until `stop` flips true, then drains: new accepts
+    /// halt, parked connections close, in-flight requests get `grace` to
+    /// finish writing.
+    pub fn run(&mut self, stop: &AtomicBool, grace: Duration) -> std::io::Result<()> {
+        let mut grace_until: Option<Instant> = None;
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                if grace_until.is_none() {
+                    grace_until = Some(Instant::now() + grace);
+                    if let Some(fd) = self.listener_fd.take() {
+                        let _ = self.epoll.delete(fd);
+                    }
+                    for slot in 0..self.conns.len() {
+                        if let Some(conn) = self.conns[slot].as_ref() {
+                            if matches!(conn.state, ConnState::Idle | ConnState::Reading) {
+                                self.close(slot, false);
+                            }
+                        }
+                    }
+                }
+                let deadline = grace_until.expect("grace set");
+                if self.active == 0 || Instant::now() >= deadline {
+                    for slot in 0..self.conns.len() {
+                        self.close(slot, false);
+                    }
+                    return Ok(());
+                }
+            }
+            self.turn(Duration::from_millis(100))?;
+        }
+    }
+
+    fn accept_pending(&mut self) {
+        loop {
+            match self.driver.accept() {
+                Ok(Some(stream)) => {
+                    // An epoll-add failure drops the connection the driver
+                    // just accounted for; balance the books.
+                    if self.insert(stream).is_err() {
+                        self.driver.on_close();
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, token: u64, flags: u32) {
+        let slot = ticket_slot(token);
+        if slot >= self.conns.len()
+            || self.epochs[slot] != ticket_gen(token)
+            || self.conns[slot].is_none()
+        {
+            return; // stale event for a connection that moved on
+        }
+        if flags & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(slot, false);
+            return;
+        }
+        if flags & EPOLLRDHUP != 0 {
+            let conn = self.conns[slot].as_mut().expect("checked");
+            conn.saw_rdhup = true;
+            if matches!(conn.state, ConnState::Idle) && conn.inbuf.is_empty() {
+                self.close(slot, false);
+                return;
+            }
+            if matches!(conn.state, ConnState::Dispatched) {
+                // Nothing to read while dispatched; silence the
+                // level-triggered RDHUP until the completion arrives.
+                self.set_interest(slot, 0);
+            }
+        }
+        if flags & EPOLLIN != 0 {
+            if !self.fill_inbuf(slot) {
+                return; // closed
+            }
+            self.advance(slot);
+        }
+        if flags & EPOLLOUT != 0 {
+            self.pump_out(slot);
+        }
+    }
+
+    /// Reads until `EAGAIN`/EOF into the connection's input buffer.
+    /// Returns false when the connection was closed.
+    fn fill_inbuf(&mut self, slot: usize) -> bool {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            let conn = match self.conns[slot].as_mut() {
+                Some(c) => c,
+                None => return false,
+            };
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    // EOF. Mid-request → drop silently (matches the
+                    // blocking parser's `Eof` close); idle with no bytes →
+                    // plain close.
+                    self.close(slot, false);
+                    return false;
+                }
+                Ok(n) => {
+                    let drained = n < scratch.len();
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    conn.last_read = Instant::now();
+                    if matches!(conn.state, ConnState::Idle) {
+                        conn.state = ConnState::Reading;
+                        let interest = EPOLLIN
+                            | EPOLLRDHUP
+                            | if conn.outbox.len() > conn.outpos { EPOLLOUT } else { 0 };
+                        self.retoken(slot, interest);
+                        self.arm(slot, self.cfg.request_deadline);
+                    }
+                    // A short read means the socket is drained for now —
+                    // skip the extra read that would only report `EAGAIN`.
+                    // If more bytes race in behind the short read, the
+                    // level-triggered registration fires again next turn.
+                    if drained {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot, false);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Drives the parse → dispatch state machine over whatever is
+    /// buffered. Only meaningful in `Idle`/`Reading`.
+    fn advance(&mut self, slot: usize) {
+        loop {
+            let conn = match self.conns[slot].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            match conn.state {
+                ConnState::Idle | ConnState::Reading => {}
+                _ => return,
+            }
+            if conn.head.is_none() {
+                if conn.inbuf.is_empty() {
+                    return;
+                }
+                if matches!(conn.state, ConnState::Idle) {
+                    conn.state = ConnState::Reading;
+                    self.retoken(slot, EPOLLIN | EPOLLRDHUP);
+                    self.arm(slot, self.cfg.request_deadline);
+                    continue;
+                }
+                match parse_head(&conn.inbuf) {
+                    Ok(None) => return, // need more bytes
+                    Ok(Some((head, consumed))) => {
+                        conn.inbuf.drain(..consumed);
+                        if self.driver.wants_takeover(&head) {
+                            self.hand_over(slot, head);
+                            return;
+                        }
+                        let conn = self.conns[slot].as_mut().expect("checked");
+                        if head.expect_continue && head.framing != BodyFraming::None {
+                            conn.outbox.extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+                        }
+                        conn.decoder = Some(BodyDecoder::new(head.framing));
+                        conn.head = Some(head);
+                        if conn.outbox.len() > conn.outpos {
+                            self.pump_out(slot);
+                        }
+                        continue;
+                    }
+                    Err(e) => {
+                        self.fail_request(slot, &e);
+                        return;
+                    }
+                }
+            }
+            // Head parsed: feed the body decoder.
+            let conn = self.conns[slot].as_mut().expect("checked");
+            let decoder = conn.decoder.as_mut().expect("decoder exists with head");
+            let mut bodybuf = std::mem::take(&mut conn.bodybuf);
+            let pushed = decoder.push(&conn.inbuf, &mut bodybuf);
+            conn.bodybuf = bodybuf;
+            match pushed {
+                Ok(consumed) => {
+                    conn.inbuf.drain(..consumed);
+                    if !conn.decoder.as_ref().expect("checked").is_done() {
+                        return; // need more bytes
+                    }
+                    self.dispatch_request(slot);
+                }
+                Err(e) => {
+                    self.fail_request(slot, &e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A parse/deadline failure: write the matching error envelope (where
+    /// one is still possible) and close after draining.
+    fn fail_request(&mut self, slot: usize, err: &ReadError) {
+        self.driver.on_request_error();
+        let resp = match err {
+            ReadError::Bad(msg) => HttpResponse::error(400, msg),
+            ReadError::TooLarge(msg) => HttpResponse::error(413, msg),
+            ReadError::TooSlow => HttpResponse::error(408, "request too slow"),
+            _ => {
+                self.close(slot, false);
+                return;
+            }
+        };
+        self.queue_response(slot, &resp, false);
+    }
+
+    /// Hands the buffered request to the driver and transitions by its
+    /// verdict.
+    fn dispatch_request(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("dispatching live conn");
+        let head = conn.head.take().expect("head parsed");
+        conn.decoder = None;
+        let body = std::mem::take(&mut conn.bodybuf);
+        let prior = conn.requests;
+        conn.requests += 1;
+        conn.req_keep_alive = head.keep_alive;
+        let req = HttpRequest::from_head(&head, body);
+        let keep_wish = req.keep_alive;
+
+        // Move to Dispatched *before* calling out so the ticket the driver
+        // sees stays valid until the completion (or an immediate answer)
+        // arrives.
+        conn.state = ConnState::Dispatched;
+        self.bump_gen(slot);
+        self.arm(slot, self.cfg.dispatch_timeout);
+        let ticket = self.token(slot);
+        match self.driver.dispatch(ticket, req, prior) {
+            Dispatch::Respond(resp) => self.queue_response(slot, &resp, keep_wish),
+            // Pause reads until the completion arrives. An inline respond
+            // moved straight on to Writing and never needed the change.
+            Dispatch::Queued => self.set_interest(slot, EPOLLRDHUP),
+        }
+    }
+
+    /// Renders `resp`, queues it on the outbox, and transitions to
+    /// `Writing`.
+    fn queue_response(&mut self, slot: usize, resp: &HttpResponse, req_keep_alive: bool) {
+        let conn = match self.conns[slot].as_mut() {
+            Some(c) => c,
+            None => return,
+        };
+        let (bytes, keep) = render_http_response(resp, req_keep_alive);
+        let sever = matches!(resp, HttpResponse::RawThenClose(_) | HttpResponse::Hangup);
+        if bytes.is_empty() && sever {
+            self.close(slot, true);
+            return;
+        }
+        conn.outbox.extend_from_slice(&bytes);
+        conn.state = ConnState::Writing { keep, sever };
+        self.bump_gen(slot);
+        self.arm(slot, self.cfg.write_timeout);
+        // Write optimistically; `pump_out` arms `EPOLLOUT` only when the
+        // socket pushes back, so the common drained-in-one-write response
+        // never touches `epoll_ctl`.
+        self.pump_out(slot);
+    }
+
+    /// Writes outbox bytes until drained or `EAGAIN`.
+    fn pump_out(&mut self, slot: usize) {
+        loop {
+            let conn = match self.conns[slot].as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            if conn.outpos >= conn.outbox.len() {
+                conn.outbox.clear();
+                conn.outpos = 0;
+                self.finish_write(slot);
+                return;
+            }
+            match conn.stream.write(&conn.outbox[conn.outpos..]) {
+                Ok(0) => {
+                    self.close(slot, false);
+                    return;
+                }
+                Ok(n) => conn.outpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let interest = match conn.state {
+                        ConnState::Writing { .. } => EPOLLOUT,
+                        _ => EPOLLIN | EPOLLRDHUP | EPOLLOUT,
+                    };
+                    self.set_interest(slot, interest);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot, false);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The outbox just drained; decide what the connection does next.
+    fn finish_write(&mut self, slot: usize) {
+        let conn = match self.conns[slot].as_mut() {
+            Some(c) => c,
+            None => return,
+        };
+        match conn.state {
+            ConnState::Writing { keep, sever } => {
+                if sever || !keep {
+                    self.close(slot, sever);
+                    return;
+                }
+                conn.requests_served_reset();
+                conn.state = ConnState::Idle;
+                self.retoken(slot, EPOLLIN | EPOLLRDHUP);
+                self.arm(slot, self.cfg.idle_timeout);
+                // Pipelined bytes may already hold the next request.
+                self.advance(slot);
+            }
+            // A mid-read flush (100 Continue): back to read-only interest.
+            ConnState::Reading | ConnState::Idle => {
+                self.set_interest(slot, EPOLLIN | EPOLLRDHUP);
+            }
+            ConnState::Dispatched => {}
+        }
+    }
+
+    /// Routes queued worker completions to their connections.
+    fn drain_completions(&mut self) {
+        for Completion { ticket, resp } in self.router.drain() {
+            let slot = ticket_slot(ticket);
+            if slot >= self.conns.len()
+                || self.gens[slot] != ticket_gen(ticket)
+                || self.conns[slot].is_none()
+            {
+                continue; // connection died while the worker ran
+            }
+            let keep = self.conns[slot].as_ref().expect("checked").req_keep_alive;
+            self.queue_response(slot, &resp, keep);
+        }
+    }
+
+    /// A timer fired with a still-current generation: the budget for the
+    /// connection's current state ran out.
+    fn handle_timer(&mut self, token: u64) {
+        let slot = ticket_slot(token);
+        if slot >= self.conns.len()
+            || self.gens[slot] != ticket_gen(token)
+            || self.conns[slot].is_none()
+        {
+            return; // lazily cancelled
+        }
+        let conn = self.conns[slot].as_ref().expect("checked");
+        let reading = matches!(conn.state, ConnState::Reading);
+        // A dribbling client (bytes within the grace window) earns the
+        // `408`; one that went silent mid-request is closed without a
+        // response, exactly like the blocking parser's mid-request
+        // timeout.
+        let dribbling = conn.last_read.elapsed() < self.cfg.read_grace;
+        if reading && dribbling {
+            self.fail_request(slot, &ReadError::TooSlow);
+        } else {
+            self.close(slot, false);
+        }
+    }
+}
+
+impl<S> ConnEntry<S> {
+    /// Hook for per-request field resets between keep-alive requests.
+    fn requests_served_reset(&mut self) {
+        self.head = None;
+        self.decoder = None;
+        self.bodybuf.clear();
+    }
+}
+
+// ------------------------------------------------------------------- tests
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::HttpResponse;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// How the test driver answers [`Driver::dispatch`].
+    enum Mode {
+        /// Respond inline, echoing the path and body length.
+        Echo,
+        /// Respond inline with an `n`-byte body (exercises partial writes).
+        Big(usize),
+        /// Record the ticket and return [`Dispatch::Queued`] (the response
+        /// arrives later through the [`Router`]).
+        Queue,
+    }
+
+    struct TestDriver {
+        mode: Mode,
+        tickets: Mutex<Vec<Ticket>>,
+        closed: AtomicUsize,
+        errors: AtomicUsize,
+    }
+
+    impl Driver<UnixStream> for TestDriver {
+        fn dispatch(&self, ticket: Ticket, req: HttpRequest, _prior: u64) -> Dispatch {
+            match self.mode {
+                Mode::Echo => Dispatch::Respond(HttpResponse::json(
+                    200,
+                    format!("{{\"path\":\"{}\",\"len\":{}}}\n", req.path, req.body.len()),
+                )),
+                Mode::Big(n) => Dispatch::Respond(HttpResponse::json(200, "x".repeat(n))),
+                Mode::Queue => {
+                    self.tickets.lock().expect("tickets").push(ticket);
+                    Dispatch::Queued
+                }
+            }
+        }
+        fn on_request_error(&self) {
+            self.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_close(&self) {
+            self.closed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn reactor(cfg: ReactorConfig, mode: Mode) -> Reactor<UnixStream, TestDriver> {
+        Reactor::new(
+            cfg,
+            TestDriver {
+                mode,
+                tickets: Mutex::new(Vec::new()),
+                closed: AtomicUsize::new(0),
+                errors: AtomicUsize::new(0),
+            },
+        )
+        .expect("reactor")
+    }
+
+    fn quick_cfg() -> ReactorConfig {
+        ReactorConfig { timer_granularity: Duration::from_millis(5), ..ReactorConfig::default() }
+    }
+
+    fn request(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+        let mut v = format!("{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
+            .into_bytes();
+        v.extend_from_slice(body);
+        v
+    }
+
+    /// Drains whatever the peer end has buffered; returns true on EOF.
+    fn read_available(mut peer: &UnixStream, out: &mut Vec<u8>) -> bool {
+        peer.set_nonblocking(true).expect("peer nonblocking");
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match peer.read(&mut buf) {
+                Ok(0) => return true,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// True once `buf` holds at least one complete response (head + the
+    /// declared content-length of body bytes).
+    fn response_complete(buf: &[u8]) -> bool {
+        let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return false;
+        };
+        let head = String::from_utf8_lossy(&buf[..pos]);
+        let len = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        buf.len() >= pos + 4 + len
+    }
+
+    fn count(buf: &[u8], needle: &[u8]) -> usize {
+        buf.windows(needle.len()).filter(|w| *w == needle).count()
+    }
+
+    /// Turns the reactor until `done` holds (asserting a wall-clock bound).
+    fn drive_until(
+        r: &mut Reactor<UnixStream, TestDriver>,
+        budget: Duration,
+        mut done: impl FnMut() -> bool,
+    ) {
+        let end = Instant::now() + budget;
+        while !done() {
+            assert!(Instant::now() < end, "reactor did not converge within {budget:?}");
+            r.turn(Duration::from_millis(2)).expect("turn");
+        }
+    }
+
+    /// Turns the reactor until it owns no connections.
+    fn drive_until_empty(r: &mut Reactor<UnixStream, TestDriver>, budget: Duration) {
+        let end = Instant::now() + budget;
+        while r.connections() != 0 {
+            assert!(Instant::now() < end, "connections not reaped within {budget:?}");
+            r.turn(Duration::from_millis(2)).expect("turn");
+        }
+    }
+
+    const SEC: Duration = Duration::from_secs(5);
+
+    // ------------------------------------------------------- timer wheel
+
+    #[test]
+    fn wheel_fires_in_order_and_never_early() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 16, t0);
+        w.insert(t0 + Duration::from_millis(25), 1);
+        w.insert(t0 + Duration::from_millis(5), 2);
+        assert_eq!(w.len(), 2);
+        // Earliest entry rounds up to tick 1 = +10ms.
+        assert_eq!(w.next_timeout(t0), Some(Duration::from_millis(10)));
+        let mut out = Vec::new();
+        w.expire(t0 + Duration::from_millis(9), &mut out);
+        assert!(out.is_empty(), "nothing fires before its rounded-up tick");
+        w.expire(t0 + Duration::from_millis(10), &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        w.expire(t0 + Duration::from_millis(29), &mut out);
+        assert!(out.is_empty());
+        w.expire(t0 + Duration::from_millis(30), &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_timeout(t0), None);
+    }
+
+    #[test]
+    fn wheel_entry_survives_a_full_rotation() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        // Tick 21 with 8 slots: its bucket is walked twice before it fires.
+        w.insert(t0 + Duration::from_millis(200), 7);
+        let mut out = Vec::new();
+        w.expire(t0 + Duration::from_millis(100), &mut out);
+        assert!(out.is_empty(), "survives earlier walks of its bucket");
+        w.expire(t0 + Duration::from_millis(210), &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    // ------------------------------------------------------- event loop
+
+    #[test]
+    fn echo_round_trip_and_keep_alive_reuse() {
+        let mut r = reactor(quick_cfg(), Mode::Echo);
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+        assert_eq!(r.connections(), 1);
+
+        (&b).write_all(&request("GET", "/v1/healthz", b"")).expect("write");
+        let mut buf = Vec::new();
+        drive_until(&mut r, SEC, || {
+            read_available(&b, &mut buf);
+            response_complete(&buf)
+        });
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("\"path\":\"/v1/healthz\""), "{text}");
+
+        // Same socket, second request: keep-alive re-parks and re-serves.
+        buf.clear();
+        (&b).write_all(&request("POST", "/annotate", b"hello")).expect("write");
+        drive_until(&mut r, SEC, || {
+            read_available(&b, &mut buf);
+            response_complete(&buf)
+        });
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.contains("\"len\":5"), "{text}");
+        assert_eq!(r.connections(), 1, "keep-alive parks the connection");
+        assert_eq!(r.driver().errors.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let mut r = reactor(quick_cfg(), Mode::Echo);
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+
+        let mut two = request("GET", "/first", b"");
+        two.extend_from_slice(&request("GET", "/second", b""));
+        (&b).write_all(&two).expect("write");
+
+        let mut buf = Vec::new();
+        drive_until(&mut r, SEC, || {
+            read_available(&b, &mut buf);
+            count(&buf, b"HTTP/1.1 200") == 2
+        });
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        let first = text.find("/first").expect("first answered");
+        let second = text.find("/second").expect("second answered");
+        assert!(first < second, "responses in request order: {text}");
+        assert_eq!(r.connections(), 1);
+    }
+
+    #[test]
+    fn large_response_drains_through_partial_writes() {
+        // ~1 MiB >> the socketpair buffer, so pump_out must hit EAGAIN and
+        // resume from EPOLLOUT several times while the peer drains.
+        const N: usize = 1 << 20;
+        let mut r = reactor(quick_cfg(), Mode::Big(N));
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+
+        (&b).write_all(&request("GET", "/big", b"")).expect("write");
+        let mut buf = Vec::new();
+        drive_until(&mut r, Duration::from_secs(20), || {
+            read_available(&b, &mut buf);
+            response_complete(&buf)
+        });
+        let body_start = buf.windows(4).position(|w| w == b"\r\n\r\n").expect("head complete") + 4;
+        assert_eq!(buf.len() - body_start, N, "full body drained");
+        assert!(buf[body_start..].iter().all(|&c| c == b'x'));
+        assert_eq!(r.connections(), 1, "connection survives the drain");
+    }
+
+    #[test]
+    fn queued_completion_routes_back_to_its_connection() {
+        let mut r = reactor(quick_cfg(), Mode::Queue);
+        let router = r.router();
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+        (&b).write_all(&request("POST", "/annotate", b"{}")).expect("write");
+
+        let end = Instant::now() + SEC;
+        let ticket = loop {
+            if let Some(t) = r.driver().tickets.lock().expect("tickets").first().copied() {
+                break t;
+            }
+            assert!(Instant::now() < end, "request never dispatched");
+            r.turn(Duration::from_millis(2)).expect("turn");
+        };
+
+        router.complete(ticket, HttpResponse::json(200, "{\"done\":true}\n"));
+        let mut buf = Vec::new();
+        drive_until(&mut r, SEC, || {
+            read_available(&b, &mut buf);
+            response_complete(&buf)
+        });
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("\"done\":true"), "{text}");
+        assert_eq!(r.connections(), 1);
+    }
+
+    #[test]
+    fn stale_completion_for_a_reaped_connection_is_dropped() {
+        // Dispatch backstop fires before the worker answers; the late
+        // completion must be discarded by generation, not delivered.
+        let cfg = ReactorConfig {
+            dispatch_timeout: Duration::from_millis(40),
+            timer_granularity: Duration::from_millis(5),
+            ..ReactorConfig::default()
+        };
+        let mut r = reactor(cfg, Mode::Queue);
+        let router = r.router();
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+        (&b).write_all(&request("POST", "/annotate", b"{}")).expect("write");
+
+        let end = Instant::now() + SEC;
+        let ticket = loop {
+            if let Some(t) = r.driver().tickets.lock().expect("tickets").first().copied() {
+                break t;
+            }
+            assert!(Instant::now() < end, "request never dispatched");
+            r.turn(Duration::from_millis(2)).expect("turn");
+        };
+        drive_until_empty(&mut r, SEC);
+
+        // The worker answers a connection that no longer exists.
+        router.complete(ticket, HttpResponse::json(200, "{\"late\":true}\n"));
+        let deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < deadline {
+            r.turn(Duration::from_millis(2)).expect("turn");
+        }
+        let mut buf = Vec::new();
+        assert!(read_available(&b, &mut buf), "peer sees EOF");
+        assert!(buf.is_empty(), "nothing written for the dead connection");
+        assert_eq!(r.connections(), 0);
+    }
+
+    #[test]
+    fn deadline_dribbler_gets_408() {
+        // Partial head, then silence — but within the grace window, so the
+        // reactor owes the client a 408 before closing.
+        let cfg = ReactorConfig {
+            request_deadline: Duration::from_millis(50),
+            read_grace: Duration::from_secs(10),
+            timer_granularity: Duration::from_millis(5),
+            ..ReactorConfig::default()
+        };
+        let mut r = reactor(cfg, Mode::Echo);
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+        (&b).write_all(b"GET /slow HTT").expect("write");
+
+        let mut buf = Vec::new();
+        drive_until(&mut r, SEC, || {
+            read_available(&b, &mut buf);
+            response_complete(&buf)
+        });
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(text.contains("\"code\":\"request_timeout\""), "{text}");
+        drive_until_empty(&mut r, SEC);
+        assert_eq!(r.driver().errors.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deadline_silent_client_is_closed_without_a_response() {
+        // With no grace window every mid-request expiry looks like a dead
+        // client: silent close, no 408 (the blocking parser's behavior).
+        let cfg = ReactorConfig {
+            request_deadline: Duration::from_millis(50),
+            read_grace: Duration::ZERO,
+            timer_granularity: Duration::from_millis(5),
+            ..ReactorConfig::default()
+        };
+        let mut r = reactor(cfg, Mode::Echo);
+        let (a, b) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+        (&b).write_all(b"GET /quiet HTT").expect("write");
+
+        drive_until_empty(&mut r, SEC);
+        let mut buf = Vec::new();
+        assert!(read_available(&b, &mut buf), "peer sees EOF");
+        assert!(buf.is_empty(), "silent close writes nothing");
+    }
+
+    #[test]
+    fn idle_timeout_reaps_parked_connections() {
+        let cfg = ReactorConfig {
+            idle_timeout: Duration::from_millis(40),
+            timer_granularity: Duration::from_millis(5),
+            ..ReactorConfig::default()
+        };
+        let mut r = reactor(cfg, Mode::Echo);
+        let peers: Vec<UnixStream> = (0..3)
+            .map(|_| {
+                let (a, b) = UnixStream::pair().expect("pair");
+                r.insert(a).expect("insert");
+                b
+            })
+            .collect();
+        assert_eq!(r.connections(), 3);
+
+        drive_until_empty(&mut r, SEC);
+        assert_eq!(r.driver().closed.load(Ordering::SeqCst), 3);
+        for b in &peers {
+            let mut buf = Vec::new();
+            assert!(read_available(b, &mut buf), "idle peer closed");
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn idle_fleet_parks_while_one_connection_serves() {
+        let mut r = reactor(quick_cfg(), Mode::Echo);
+        let idle: Vec<UnixStream> = (0..256)
+            .map(|_| {
+                let (a, b) = UnixStream::pair().expect("pair");
+                r.insert(a).expect("insert");
+                b
+            })
+            .collect();
+        let (a, active) = UnixStream::pair().expect("pair");
+        r.insert(a).expect("insert");
+        assert_eq!(r.connections(), 257);
+
+        (&active).write_all(&request("GET", "/only", b"")).expect("write");
+        let mut buf = Vec::new();
+        drive_until(&mut r, SEC, || {
+            read_available(&active, &mut buf);
+            response_complete(&buf)
+        });
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("\"path\":\"/only\""), "{text}");
+
+        for b in &idle {
+            let mut scratch = Vec::new();
+            assert!(!read_available(b, &mut scratch), "idle peers stay open");
+            assert!(scratch.is_empty(), "idle peers receive nothing");
+        }
+        assert_eq!(r.connections(), 257, "every connection still parked");
+    }
+}

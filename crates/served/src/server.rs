@@ -1,28 +1,29 @@
-//! The daemon: an accept loop, a fixed pool of connection workers
-//! multiplexing keep-alive connections, and a single dispatcher thread that
-//! drains the batching queue into the batched annotation engine.
+//! The daemon: a readiness-driven connection front end feeding a single
+//! dispatcher thread that drains the batching queue into the batched
+//! annotation engine.
 //!
-//! ## Thread topology (worker pool, the default)
+//! ## Thread topology (epoll reactor, the default)
 //!
 //! ```text
-//! accept loop (caller's thread, non-blocking poll)
-//!   │    admit / 503 → push socket into the connection queue
-//!   ├── connection worker × W   pop a connection, check readiness
-//!   │        (buffered bytes or a non-blocking peek); idle → requeue,
-//!   │        ready → parse HTTP → decode tables → serialize (cache)
-//!   │        → push job → block on reply channel → write → requeue
-//!   └── dispatcher × 1          wait for budget/deadline → flatten jobs
+//! reactor × 1 (caller's thread, epoll)   owns the listener and every
+//!   │        connection; parses requests sans-IO as bytes arrive; quick
+//!   │        GET endpoints answered inline; /annotate handed off
+//!   ├── request worker × W   pop a parsed request → decode tables →
+//!   │        serialize (cache) → push job → block on reply channel →
+//!   │        completion (eventfd) wakes the reactor to write
+//!   └── dispatcher × 1       wait for budget/deadline → flatten jobs
 //!            → annotate_groups_each (fans micro-batches across engine
 //!              threads) → route each table's annotation back as its
 //!              micro-batch completes (streams get per-table sends)
 //! ```
 //!
-//! The pool bounds thread count at high fan-in: W workers serve any number
-//! of keep-alive connections by *requeueing idle ones* — a worker peeks a
-//! popped connection without blocking and only commits to a blocking
-//! request parse when bytes are already waiting. `workers: 0` selects the
-//! pre-pool thread-per-connection topology (kept for A/B benchmarking in
-//! `serve_load`).
+//! Workers never block on sockets; the reactor never blocks on the
+//! engine. `--topology pool` keeps the previous fixed worker pool
+//! (readiness probes + requeueing of parked connections) and `workers: 0`
+//! the pre-pool thread-per-connection mode — both as A/B baselines for
+//! `serve_load`. All three topologies parse the same HTTP grammar and
+//! dispatch through the same [`Handler`] route core, so responses are
+//! byte-identical across them.
 //!
 //! Workers do the per-request work (parsing, tokenization through the
 //! LRU cache) so the dispatcher's serial section is just the packed forward
@@ -50,22 +51,25 @@
 //! is queued, answers it, and exits.
 
 use crate::chaos::{ChaosConfig, ChaosPlan, ChaosState};
+use crate::handler::{canonical_path, write_http_response, Handler, HttpRequest, HttpResponse};
 use crate::http::{
     read_body, read_head, write_chunk, write_chunked_head, write_continue, write_error,
-    write_last_chunk, write_response, write_unavailable, BodyFraming, BodyReader, Head, ReadError,
+    write_last_chunk, write_unavailable, BodyFraming, BodyReader, Head, Prefixed, ReadError,
     MAX_BODY_BYTES,
 };
 use crate::json::{
     annotation_to_json, annotations_response, table_from_json, Json, StreamSplitter,
 };
 use crate::queue::{BatchPolicy, PushRejected, SharedBatcher};
+use crate::reactor::{Dispatch, Driver, Reactor, ReactorConfig, Router, Ticket};
 use crate::stats::ServerStats;
 use doduo_core::{AnnotatorBundle, TableAnnotation};
 use doduo_serve::{BatchAnnotator, BatchConfig};
 use doduo_table::{SerializedTable, Table};
 use std::collections::{BTreeMap, VecDeque};
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -80,11 +84,51 @@ const STREAM_WINDOW: usize = 64;
 /// `Retry-After` hint (seconds) on backpressure 503s.
 const RETRY_AFTER_SECS: u64 = 1;
 
+/// How connections are multiplexed onto threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// One epoll reactor thread owns every connection; worker threads see
+    /// only parsed requests. The default.
+    Epoll,
+    /// Fixed worker pool with readiness probes and connection requeueing
+    /// (the pre-reactor default, kept as an A/B baseline).
+    Pool,
+    /// One thread per connection (the oldest baseline; also selected by
+    /// `workers: 0`).
+    ThreadPerConn,
+}
+
+impl Topology {
+    /// The CLI/bench name (`epoll`, `pool`, `thread_per_conn`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Epoll => "epoll",
+            Topology::Pool => "pool",
+            Topology::ThreadPerConn => "thread_per_conn",
+        }
+    }
+}
+
+impl std::str::FromStr for Topology {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Topology, String> {
+        match s {
+            "epoll" => Ok(Topology::Epoll),
+            "pool" => Ok(Topology::Pool),
+            "thread_per_conn" => Ok(Topology::ThreadPerConn),
+            other => Err(format!("unknown topology {other:?} (epoll, pool, thread_per_conn)")),
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
     pub addr: String,
+    /// Connection multiplexing strategy. `workers: 0` overrides this to
+    /// [`Topology::ThreadPerConn`] for backward compatibility.
+    pub topology: Topology,
     /// Dynamic micro-batching policy.
     pub policy: BatchPolicy,
     /// Engine knobs (micro-batch cuts, worker threads, tokenization cache).
@@ -122,6 +166,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:7878".into(),
+            topology: Topology::Epoll,
             policy: BatchPolicy::default(),
             engine: BatchConfig::default(),
             read_timeout: Duration::from_millis(200),
@@ -135,10 +180,22 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// The topology that will actually run: `workers: 0` has always meant
+    /// thread-per-connection and still does, whatever `topology` says.
+    pub fn effective_topology(&self) -> Topology {
+        if self.workers == 0 {
+            Topology::ThreadPerConn
+        } else {
+            self.topology
+        }
+    }
+}
+
 /// How a queued job's annotations are delivered.
 enum Reply {
     /// One send with every table of the request, in request order
-    /// (`/annotate`).
+    /// (`/annotate` on a blocking worker thread).
     Batch(mpsc::Sender<Vec<TableAnnotation>>),
     /// One `(stream_index, annotation)` send for this job's single table,
     /// fired as soon as its micro-batch completes (`/annotate_stream`).
@@ -146,6 +203,22 @@ enum Reply {
         /// The table's position in its stream (for in-order emission).
         index: usize,
         tx: mpsc::Sender<(usize, TableAnnotation)>,
+    },
+    /// The rendered 200 response routed straight back to the epoll
+    /// reactor when the job's last table completes (`/annotate` under the
+    /// epoll topology — the submitting worker never blocks, so in-flight
+    /// requests are bounded by connections, not worker count).
+    Reactor {
+        /// The reactor connection awaiting this response.
+        ticket: Ticket,
+        /// The reactor's completion queue.
+        router: Arc<Router>,
+        /// Echo the client's `{"tables": [...]}` framing in the response.
+        wrapped: bool,
+        /// Request receive time, for the latency histogram on completion.
+        t0: Instant,
+        /// `(tables, seqs, tokens)` recorded with the completion.
+        counts: (u64, u64, u64),
     },
 }
 
@@ -163,6 +236,10 @@ struct Conn {
     requests: u64,
     /// When the connection last finished a request (idle-timeout clock).
     idle_since: Instant,
+    /// Cached `O_NONBLOCK` state, so parked connections keep the flag set
+    /// across probes instead of paying two `fcntl`s per probe (the socket
+    /// flips back to blocking only when a request is about to be parsed).
+    nonblocking: bool,
 }
 
 /// What a readiness probe of a parked connection found.
@@ -178,26 +255,43 @@ enum Readiness {
 impl Conn {
     fn new(stream: TcpStream) -> std::io::Result<Conn> {
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Conn { stream, reader, requests: 0, idle_since: Instant::now() })
+        Ok(Conn { stream, reader, requests: 0, idle_since: Instant::now(), nonblocking: false })
+    }
+
+    /// Flips `O_NONBLOCK` only when the cached state disagrees.
+    fn set_nonblocking(&mut self, nonblocking: bool) -> std::io::Result<()> {
+        if self.nonblocking != nonblocking {
+            self.stream.set_nonblocking(nonblocking)?;
+            self.nonblocking = nonblocking;
+        }
+        Ok(())
     }
 
     /// Non-blocking readiness probe: buffered bytes count as ready; else a
-    /// zero-timeout peek distinguishes waiting data / idle / closed.
+    /// zero-timeout peek distinguishes waiting data / idle / closed. A
+    /// parked connection stays in nonblocking mode between probes — the
+    /// flag flips back to blocking only on `Ready`, when a request parse
+    /// is about to commit, so each idle probe costs one `peek` instead of
+    /// two `fcntl`s plus a `peek`.
     fn readiness(&mut self) -> Readiness {
         if !self.reader.buffer().is_empty() {
+            if self.set_nonblocking(false).is_err() {
+                return Readiness::Gone;
+            }
             return Readiness::Ready;
         }
-        if self.stream.set_nonblocking(true).is_err() {
+        if self.set_nonblocking(true).is_err() {
             return Readiness::Gone;
         }
         let mut probe = [0u8; 1];
-        let r = self.stream.peek(&mut probe);
-        if self.stream.set_nonblocking(false).is_err() {
-            return Readiness::Gone;
-        }
-        match r {
+        match self.stream.peek(&mut probe) {
             Ok(0) => Readiness::Gone,
-            Ok(_) => Readiness::Ready,
+            Ok(_) => {
+                if self.set_nonblocking(false).is_err() {
+                    return Readiness::Gone;
+                }
+                Readiness::Ready
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -262,6 +356,9 @@ struct Shared {
     stats: ServerStats,
     started: Instant,
     chaos: Option<ChaosState>,
+    /// The epoll reactor's completion queue, installed while that
+    /// topology runs so shutdown can wake `epoll_wait` immediately.
+    waker: Mutex<Option<Arc<Router>>>,
 }
 
 impl Shared {
@@ -280,6 +377,9 @@ impl Shared {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.notify();
         self.conns.notify_all();
+        if let Some(router) = self.waker.lock().expect("waker lock").as_ref() {
+            router.nudge();
+        }
     }
 }
 
@@ -328,9 +428,10 @@ impl Server {
             connections: AtomicUsize::new(0),
             queue: SharedBatcher::new(cfg.policy.clone()),
             conns: ConnQueue::new(),
-            stats: ServerStats::with_workers(cfg.workers),
+            stats: ServerStats::with_topology(cfg.effective_topology().name(), cfg.workers),
             started: Instant::now(),
             chaos: cfg.chaos.clone().map(ChaosState::new),
+            waker: Mutex::new(None),
         });
         Ok(Server { listener, addr, cfg, shared })
     }
@@ -363,6 +464,7 @@ impl Server {
                     let mut stream = stream;
                     let _ = write_unavailable(
                         &mut stream,
+                        "overloaded",
                         "too many connections",
                         false,
                         RETRY_AFTER_SECS,
@@ -398,29 +500,67 @@ impl Server {
         let cfg = &self.cfg;
         std::thread::scope(|scope| {
             scope.spawn(move || dispatcher_loop(shared, engine));
-            if cfg.workers == 0 {
-                // Legacy topology: one scoped handler thread per connection.
-                while !shared.shutting_down() {
-                    if let Some(stream) = self.admit() {
-                        scope.spawn(move || {
-                            if let Ok(mut conn) = Conn::new(stream) {
-                                thread_per_conn_loop(&mut conn, shared, engine, cfg);
-                            }
-                            shared.end_conn();
-                        });
-                    }
-                }
-            } else {
-                for w in 0..cfg.workers {
-                    scope.spawn(move || worker_loop(shared, engine, cfg, w));
-                }
-                while !shared.shutting_down() {
-                    if let Some(stream) = self.admit() {
-                        match Conn::new(stream) {
-                            Ok(conn) => shared.conns.push(conn),
-                            Err(_) => shared.end_conn(),
+            match cfg.effective_topology() {
+                Topology::ThreadPerConn => {
+                    // Legacy topology: one scoped thread per connection.
+                    while !shared.shutting_down() {
+                        if let Some(stream) = self.admit() {
+                            scope.spawn(move || {
+                                if let Ok(mut conn) = Conn::new(stream) {
+                                    thread_per_conn_loop(&mut conn, shared, engine, cfg);
+                                }
+                                shared.end_conn();
+                            });
                         }
                     }
+                }
+                Topology::Pool => {
+                    for w in 0..cfg.workers {
+                        scope.spawn(move || worker_loop(shared, engine, cfg, w));
+                    }
+                    while !shared.shutting_down() {
+                        if let Some(stream) = self.admit() {
+                            match Conn::new(stream) {
+                                Ok(conn) => shared.conns.push(conn),
+                                Err(_) => shared.end_conn(),
+                            }
+                        }
+                    }
+                }
+                Topology::Epoll => {
+                    let (work_tx, work_rx) = mpsc::channel::<Work>();
+                    let work_rx = Arc::new(Mutex::new(work_rx));
+                    let driver = EpollDriver {
+                        listener: &self.listener,
+                        shared,
+                        engine,
+                        cfg,
+                        work: work_tx,
+                    };
+                    let rcfg = ReactorConfig {
+                        request_deadline: cfg.request_deadline,
+                        idle_timeout: CONN_IDLE_TIMEOUT,
+                        dispatch_timeout: Duration::from_secs(35),
+                        write_timeout: Duration::from_secs(30),
+                        read_grace: cfg.read_timeout,
+                        ..ReactorConfig::default()
+                    };
+                    let mut reactor = Reactor::new(rcfg, driver).expect("epoll reactor setup");
+                    reactor.set_listener(self.listener.as_raw_fd()).expect("register listener");
+                    let router = reactor.router();
+                    *shared.waker.lock().expect("waker lock") = Some(Arc::clone(&router));
+                    for w in 0..cfg.workers {
+                        let work_rx = Arc::clone(&work_rx);
+                        let router = Arc::clone(&router);
+                        scope.spawn(move || {
+                            epoll_worker_loop(shared, engine, cfg, &work_rx, &router, w)
+                        });
+                    }
+                    if let Err(e) = reactor.run(&shared.shutdown, Duration::from_secs(5)) {
+                        eprintln!("[served] reactor error: {e}");
+                        shared.request_shutdown();
+                    }
+                    *shared.waker.lock().expect("waker lock") = None;
                 }
             }
             shared.queue.notify();
@@ -430,6 +570,203 @@ impl Server {
         // so a stopped daemon holds no sockets.
         self.shared.conns.clear();
     }
+}
+
+// ----------------------------------------------------------- epoll driver
+
+/// Work items the reactor hands to the epoll topology's worker threads.
+enum Work {
+    /// A fully parsed request to answer through the [`Handler`] core.
+    Request { ticket: Ticket, req: HttpRequest },
+    /// A taken-over streaming connection to serve to completion.
+    Stream { stream: TcpStream, head: Head, leftover: Vec<u8> },
+}
+
+/// The [`Driver`] wiring the reactor into the daemon: accept + admission
+/// control, `/v1` routing, streaming takeover, and stats.
+struct EpollDriver<'e, 's> {
+    listener: &'s TcpListener,
+    shared: &'s Shared,
+    engine: &'s BatchAnnotator<'e>,
+    cfg: &'s ServeConfig,
+    work: mpsc::Sender<Work>,
+}
+
+impl<'e, 's> Driver<TcpStream> for EpollDriver<'e, 's> {
+    fn accept(&self) -> std::io::Result<Option<TcpStream>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if self.shared.connections.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                    self.shared.stats.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                    // Best-effort 503 on the still-blocking fresh socket.
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = write_unavailable(
+                        &mut stream,
+                        "overloaded",
+                        "too many connections",
+                        false,
+                        RETRY_AFTER_SECS,
+                    );
+                    return Ok(None);
+                }
+                self.shared.connections.fetch_add(1, Ordering::SeqCst);
+                self.shared.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(stream))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => {
+                eprintln!("[served] accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+                Ok(None)
+            }
+        }
+    }
+
+    fn wants_takeover(&self, head: &Head) -> bool {
+        head.method == "POST" && canonical_path(&head.path) == "/annotate_stream"
+    }
+
+    fn take_over(&self, stream: TcpStream, head: Head, leftover: Vec<u8>, prior_requests: u64) {
+        if prior_requests > 0 {
+            self.shared.stats.keepalive_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.work.send(Work::Stream { stream, head, leftover }).is_err() {
+            self.shared.end_conn();
+        }
+    }
+
+    fn dispatch(&self, ticket: Ticket, req: HttpRequest, prior_requests: u64) -> Dispatch {
+        if prior_requests > 0 {
+            self.shared.stats.keepalive_reused.fetch_add(1, Ordering::Relaxed);
+        }
+        let keep_policy = self.cfg.keep_alive && !self.shared.shutting_down();
+        if req.method == "POST" && canonical_path(&req.path) == "/annotate" {
+            // The engine-bound route never blocks the reactor: tokenize
+            // and push to the batching queue right here, and let the
+            // dispatcher's engine callback route the finished response
+            // back through the completion channel. Chaos runs are the
+            // exception — injected stalls must block a worker thread, so
+            // they take the queued blocking path.
+            if self.shared.chaos.is_none() {
+                let router = self.shared.waker.lock().expect("waker lock").clone();
+                if let Some(router) = router {
+                    return match annotate_submit(
+                        self.shared,
+                        self.engine,
+                        &router,
+                        ticket,
+                        &req.body,
+                    ) {
+                        None => Dispatch::Queued,
+                        Some(resp) => Dispatch::Respond(apply_keep_policy(resp, keep_policy)),
+                    };
+                }
+            }
+            match self.work.send(Work::Request { ticket, req }) {
+                Ok(()) => Dispatch::Queued,
+                Err(_) => Dispatch::Respond(apply_keep_policy(
+                    HttpResponse::unavailable(
+                        "shutting_down",
+                        "server is shutting down",
+                        RETRY_AFTER_SECS,
+                    ),
+                    keep_policy,
+                )),
+            }
+        } else {
+            // Everything else is queue-free and answered inline.
+            let handler = EngineHandler { shared: self.shared, engine: self.engine, cfg: self.cfg };
+            Dispatch::Respond(handler.handle(&req))
+        }
+    }
+
+    fn on_request_error(&self) {
+        self.shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_close(&self) {
+        self.shared.end_conn();
+    }
+}
+
+/// Forces `connection: close` on a response when keep-alive is disabled by
+/// policy (config or shutdown) rather than by the client.
+fn apply_keep_policy(resp: HttpResponse, keep_policy: bool) -> HttpResponse {
+    if keep_policy {
+        resp
+    } else {
+        resp.close()
+    }
+}
+
+/// One epoll-topology worker: pops parsed requests (or taken-over
+/// streams), runs the [`Handler`] core, and routes the response back to
+/// the reactor. Never touches a socket except for streaming sessions,
+/// which it owns end-to-end.
+fn epoll_worker_loop(
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+    work_rx: &Mutex<mpsc::Receiver<Work>>,
+    router: &Router,
+    worker: usize,
+) {
+    loop {
+        let work = {
+            let rx = work_rx.lock().expect("work queue lock");
+            rx.recv_timeout(Duration::from_millis(20))
+        };
+        match work {
+            Ok(Work::Request { ticket, req }) => {
+                shared.stats.record_worker(worker);
+                let handler = EngineHandler { shared, engine, cfg };
+                router.complete(ticket, handler.handle(&req));
+            }
+            Ok(Work::Stream { stream, head, leftover }) => {
+                shared.stats.record_worker(worker);
+                serve_takeover_stream(stream, head, leftover, shared, engine, cfg);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves a streaming connection the reactor handed over: back to
+/// blocking mode, replay the bytes the reactor already read, then run the
+/// same multiplexed stream session the pool topology uses.
+fn serve_takeover_stream(
+    stream: TcpStream,
+    head: Head,
+    leftover: Vec<u8>,
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    cfg: &ServeConfig,
+) {
+    let mut stream = stream;
+    let ok = stream.set_nonblocking(false).is_ok()
+        && stream.set_read_timeout(Some(cfg.read_timeout)).is_ok()
+        && stream.set_write_timeout(Some(Duration::from_secs(30))).is_ok();
+    if !ok {
+        shared.end_conn();
+        return;
+    }
+    let clone = match stream.try_clone() {
+        Ok(c) => c,
+        Err(_) => {
+            shared.end_conn();
+            return;
+        }
+    };
+    let mut reader = BufReader::new(Prefixed::new(leftover, clone));
+    let _ = stream_session(&mut stream, &mut reader, shared, engine, cfg, &head);
+    shared.end_conn();
 }
 
 // ------------------------------------------------------------- dispatcher
@@ -465,7 +802,7 @@ fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
             .iter()
             .zip(&counts)
             .map(|(job, &n)| match &job.reply {
-                Reply::Batch(_) => Some(Collect {
+                Reply::Batch(_) | Reply::Reactor { .. } => Some(Collect {
                     slots: Mutex::new((0..n).map(|_| None).collect()),
                     left: AtomicUsize::new(n),
                 }),
@@ -495,6 +832,27 @@ fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
                             .map(|s| s.take().expect("slot filled"))
                             .collect();
                         let _ = tx.send(anns);
+                    }
+                }
+                // Epoll-topology jobs render and route here, on whichever
+                // engine thread finishes the last table — no worker is
+                // blocked waiting, and a stale ticket (connection reaped
+                // meanwhile) is dropped by the router's generation check.
+                Reply::Reactor { ticket, router, wrapped, t0, counts } => {
+                    let c = collectors[ji].as_ref().expect("collector exists for reactor job");
+                    c.slots.lock().expect("collector lock")[li] = Some(ann);
+                    if c.left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let anns: Vec<TableAnnotation> = c
+                            .slots
+                            .lock()
+                            .expect("collector lock")
+                            .iter_mut()
+                            .map(|s| s.take().expect("slot filled"))
+                            .collect();
+                        let (tables, seqs, tokens) = *counts;
+                        shared.stats.record_request(t0.elapsed(), tables, seqs, tokens);
+                        let body = annotations_response(&anns, *wrapped);
+                        router.complete(*ticket, HttpResponse::json(200, body));
                     }
                 }
             }
@@ -640,7 +998,7 @@ fn serve_one_request(
 
     // The streaming endpoint consumes its body incrementally and owns its
     // connection to the end; everything else buffers the body first.
-    if head.method == "POST" && head.path == "/annotate_stream" {
+    if head.method == "POST" && canonical_path(&head.path) == "/annotate_stream" {
         return handle_stream(conn, shared, engine, cfg, &head);
     }
 
@@ -671,71 +1029,87 @@ fn serve_one_request(
         Err(_) => return Next::Close,
     };
 
-    let keep_alive = head.keep_alive && cfg.keep_alive && !shared.shutting_down();
-    let stream = &mut conn.stream;
-    let ok = match (head.method.as_str(), head.path.as_str()) {
-        // Liveness: always 200 while the process can answer at all. The
-        // `ready` field mirrors `/readyz` for humans; probes that gate
-        // traffic admission must use `/readyz` (which flips to 503).
-        ("GET", "/healthz") => {
-            let ready = shared.ready.load(Ordering::SeqCst) && !shared.shutting_down();
-            let body = format!(
-                "{{\"status\":\"ok\",\"ready\":{ready},\"uptime_secs\":{:.3}}}\n",
-                shared.started.elapsed().as_secs_f64()
-            );
-            write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+    // From here the request is fully buffered: route it through the same
+    // Handler core the reactor and the balancer's test backends use.
+    let keep_policy = cfg.keep_alive && !shared.shutting_down();
+    let req = HttpRequest::from_head(&head, body);
+    let handler = EngineHandler { shared, engine, cfg };
+    let resp = apply_keep_policy(handler.handle(&req), keep_policy);
+    let severs = matches!(resp, HttpResponse::RawThenClose(_) | HttpResponse::Hangup);
+    match write_http_response(&mut conn.stream, &resp, req.keep_alive) {
+        Ok(true) => Next::Served,
+        Ok(false) => {
+            if severs {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+            Next::Close
         }
-        // Readiness: 200 only while the daemon should receive new traffic
-        // (engine up, not shutting down, queue below capacity). The
-        // balancer re-admits a restarted replica only after this passes.
-        ("GET", "/readyz") => {
-            let ready = shared.ready.load(Ordering::SeqCst)
-                && !shared.shutting_down()
-                && shared.queue.depth() < cfg.policy.max_queue_jobs;
-            if ready {
-                write_response(
-                    stream,
+        Err(_) => Next::Close,
+    }
+}
+
+// ------------------------------------------------------------ handler core
+
+/// The daemon's request→response core: every topology (and nothing else)
+/// routes buffered requests through this [`Handler`]. Paths are matched
+/// after [`canonical_path`], so `/v1/...` and legacy unprefixed routes
+/// behave identically.
+struct EngineHandler<'e, 's> {
+    shared: &'s Shared,
+    engine: &'s BatchAnnotator<'e>,
+    cfg: &'s ServeConfig,
+}
+
+impl<'e, 's> Handler for EngineHandler<'e, 's> {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let (shared, engine, cfg) = (self.shared, self.engine, self.cfg);
+        match (req.method.as_str(), canonical_path(&req.path)) {
+            // Liveness: always 200 while the process can answer at all.
+            // The `ready` field mirrors `/readyz` for humans; probes that
+            // gate traffic admission must use `/readyz` (which flips to
+            // 503).
+            ("GET", "/healthz") => {
+                let ready = shared.ready.load(Ordering::SeqCst) && !shared.shutting_down();
+                HttpResponse::json(
                     200,
-                    "OK",
-                    "application/json",
-                    "{\"status\":\"ready\"}\n",
-                    keep_alive,
+                    format!(
+                        "{{\"status\":\"ok\",\"ready\":{ready},\"uptime_secs\":{:.3}}}\n",
+                        shared.started.elapsed().as_secs_f64()
+                    ),
                 )
-            } else {
-                write_unavailable(stream, "not ready", keep_alive, RETRY_AFTER_SECS)
+            }
+            // Readiness: 200 only while the daemon should receive new
+            // traffic (engine up, not shutting down, queue below
+            // capacity). The balancer re-admits a restarted replica only
+            // after this passes.
+            ("GET", "/readyz") => {
+                let ready = shared.ready.load(Ordering::SeqCst)
+                    && !shared.shutting_down()
+                    && shared.queue.depth() < cfg.policy.max_queue_jobs;
+                if ready {
+                    HttpResponse::json(200, "{\"status\":\"ready\"}\n")
+                } else {
+                    HttpResponse::unavailable("not_ready", "not ready", RETRY_AFTER_SECS)
+                }
+            }
+            ("GET", "/stats") => HttpResponse::json(
+                200,
+                shared.stats.to_json(
+                    shared.started.elapsed(),
+                    shared.queue.depth(),
+                    engine.cache_stats().hit_rate(),
+                ),
+            ),
+            ("POST", "/shutdown") => {
+                shared.request_shutdown();
+                HttpResponse::json(200, "{\"status\":\"shutting down\"}\n").close()
+            }
+            ("POST", "/annotate") => annotate_response(shared, engine, &req.body),
+            _ => {
+                shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+                HttpResponse::error(404, &format!("no route for {} {}", req.method, req.path))
             }
         }
-        ("GET", "/stats") => {
-            let body = shared.stats.to_json(
-                shared.started.elapsed(),
-                shared.queue.depth(),
-                engine.cache_stats().hit_rate(),
-            );
-            write_response(stream, 200, "OK", "application/json", &body, keep_alive)
-        }
-        ("POST", "/shutdown") => {
-            let body = "{\"status\":\"shutting down\"}\n";
-            let r = write_response(stream, 200, "OK", "application/json", body, false);
-            shared.request_shutdown();
-            let _ = r;
-            return Next::Close;
-        }
-        ("POST", "/annotate") => handle_annotate(stream, shared, engine, &body, keep_alive),
-        _ => {
-            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
-            write_error(
-                stream,
-                404,
-                "Not Found",
-                &format!("no route for {} {}", head.method, head.path),
-                keep_alive,
-            )
-        }
-    };
-    if ok.is_err() || !keep_alive {
-        Next::Close
-    } else {
-        Next::Served
     }
 }
 
@@ -774,13 +1148,18 @@ fn handle_stream(
     cfg: &ServeConfig,
     head: &Head,
 ) -> Next {
-    let _ = handle_stream_inner(conn, shared, engine, cfg, head);
+    let Conn { stream, reader, .. } = conn;
+    let _ = stream_session(stream, reader, shared, engine, cfg, head);
     let _ = conn.stream.set_read_timeout(Some(cfg.read_timeout));
     Next::Close
 }
 
-fn handle_stream_inner(
-    conn: &mut Conn,
+/// The streaming session body, generic over the input reader so the pool
+/// path (buffered socket) and the epoll takeover path (reactor leftovers
+/// replayed via [`Prefixed`] in front of the socket) share it.
+fn stream_session(
+    stream: &mut TcpStream,
+    reader: &mut impl BufRead,
     shared: &Shared,
     engine: &BatchAnnotator<'_>,
     cfg: &ServeConfig,
@@ -790,7 +1169,7 @@ fn handle_stream_inner(
         shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
         shared.stats.record_stream(0, false);
         return write_error(
-            &mut conn.stream,
+            stream,
             400,
             "Bad Request",
             "streaming requires a chunked or content-length body",
@@ -798,12 +1177,12 @@ fn handle_stream_inner(
         );
     }
     if head.expect_continue {
-        write_continue(&mut conn.stream)?;
+        write_continue(stream)?;
     }
-    write_chunked_head(&mut conn.stream, 200, "OK", "application/x-ndjson")?;
+    write_chunked_head(stream, 200, "OK", "application/x-ndjson")?;
     // Short poll timeout: the loop below alternates between reading input
     // and flushing results, so neither side can stall the other for long.
-    let _ = conn.stream.set_read_timeout(Some(STREAM_POLL));
+    let _ = stream.set_read_timeout(Some(STREAM_POLL));
 
     let (tx, rx) = mpsc::channel::<(usize, TableAnnotation)>();
     // Unbounded total length: a stream may legitimately carry any number
@@ -834,7 +1213,7 @@ fn handle_stream_inner(
         while let Some(ann) = done.remove(&emitted) {
             let mut line = annotation_to_json(&ann);
             line.push('\n');
-            write_chunk(&mut conn.stream, line.as_bytes())?;
+            write_chunk(stream, line.as_bytes())?;
             emitted += 1;
             last_progress = Instant::now();
         }
@@ -882,7 +1261,7 @@ fn handle_stream_inner(
 
         // 3. Pull more input (bounded read-ahead), or wait for results.
         if !input_done && pending.len() < STREAM_WINDOW {
-            match body.read_some(&mut conn.reader, &mut buf) {
+            match body.read_some(reader, &mut buf) {
                 Ok(0) => {
                     input_done = true;
                     if splitter.mid_document() {
@@ -956,7 +1335,7 @@ fn handle_stream_inner(
             while let Some(ann) = done.remove(&emitted) {
                 let mut line = annotation_to_json(&ann);
                 line.push('\n');
-                write_chunk(&mut conn.stream, line.as_bytes())?;
+                write_chunk(stream, line.as_bytes())?;
                 emitted += 1;
             }
         }
@@ -966,47 +1345,52 @@ fn handle_stream_inner(
     shared.stats.record_stream(emitted as u64, error.is_none());
     if let Some(msg) = error {
         shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
-        let mut line = String::from("{\"error\":");
-        crate::json::push_escaped(&mut line, &msg);
-        line.push_str("}\n");
-        write_chunk(&mut conn.stream, line.as_bytes())?;
+        // Same envelope shape as HTTP-level errors, delivered in-band as
+        // the stream's final NDJSON object (the status line already went
+        // out as 200).
+        let code = match msg.as_str() {
+            "server is shutting down" => "shutting_down",
+            "stream idle timeout" => "timeout",
+            _ => "stream_error",
+        };
+        let line = crate::http::error_envelope(code, &msg, None);
+        write_chunk(stream, line.as_bytes())?;
     } else {
         shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed);
     }
-    write_last_chunk(&mut conn.stream)
+    write_last_chunk(stream)
 }
 
-fn handle_annotate(
-    stream: &mut TcpStream,
+/// A decoded, tokenized `/annotate` request ready for the batching queue.
+struct PreparedAnnotate {
+    groups: Vec<Vec<SerializedTable>>,
+    /// Echo the client's `{"tables": [...]}` framing in the response.
+    wrapped: bool,
+    seqs: usize,
+    tokens: usize,
+}
+
+/// The decode/validate/tokenize prefix shared by both `/annotate` paths
+/// (blocking worker and reactor-completed). Tokenizing on the calling
+/// worker thread warms the shared LRU cache and lets the queue count real
+/// tokens, keeping the dispatcher compute-only; errors come back as
+/// ready-to-send responses with the failure already counted.
+fn prepare_annotate(
     shared: &Shared,
     engine: &BatchAnnotator<'_>,
     body: &[u8],
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let t0 = Instant::now();
-    // Decide this request's injected faults up front: a crash fault fires
-    // before any byte of a response exists, which is exactly the failure a
-    // balancer may safely retry.
-    let plan: Option<ChaosPlan> = shared.chaos.as_ref().map(ChaosState::on_annotate);
-    if plan.is_some_and(|p| p.crash) {
-        eprintln!("[served] chaos: crash_after reached; exiting before response");
-        std::process::exit(86);
-    }
-    let fail = |stream: &mut TcpStream, status, reason, msg: &str| {
+) -> Result<PreparedAnnotate, HttpResponse> {
+    let fail = |msg: &str| {
         shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
-        write_error(stream, status, reason, msg, keep_alive)
-    };
-    let unavailable = |stream: &mut TcpStream, msg: &str| {
-        shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
-        write_unavailable(stream, msg, keep_alive, RETRY_AFTER_SECS)
+        HttpResponse::error(400, msg)
     };
     let body = match std::str::from_utf8(body) {
         Ok(s) => s,
-        Err(_) => return fail(stream, 400, "Bad Request", "body is not valid UTF-8"),
+        Err(_) => return Err(fail("body is not valid UTF-8")),
     };
     let (tables, wrapped) = match crate::json::tables_from_request(body) {
         Ok(t) => t,
-        Err(msg) => return fail(stream, 400, "Bad Request", &msg),
+        Err(msg) => return Err(fail(&msg)),
     };
     // Oversized tables would serialize past the encoder's max_seq; reject
     // rather than panic the dispatcher.
@@ -1017,26 +1401,52 @@ fn handle_annotate(
             t.id,
             t.n_cols()
         );
-        return fail(stream, 400, "Bad Request", &msg);
+        return Err(fail(&msg));
     }
-
-    // Tokenize on the worker thread (warms the shared LRU cache) so the
-    // queue can count real tokens and the dispatcher stays compute-only.
     let groups: Vec<Vec<SerializedTable>> =
         tables.iter().map(|t| engine.serialize_table(t)).collect();
-    let n_tables = groups.len() as u64;
     let seqs: usize = groups.iter().map(Vec::len).sum();
     let tokens: usize = groups.iter().flat_map(|g| g.iter()).map(SerializedTable::len).sum();
+    Ok(PreparedAnnotate { groups, wrapped, seqs, tokens })
+}
+
+/// The shared 503 shape for queue backpressure and shutdown.
+fn annotate_unavailable(shared: &Shared, code: &str, msg: &str) -> HttpResponse {
+    shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+    HttpResponse::unavailable(code, msg, RETRY_AFTER_SECS)
+}
+
+/// `POST /annotate`: decode, tokenize, submit to the batching queue, and
+/// wait for the flushed result. Runs on a blocking worker thread (the
+/// pool and thread-per-connection topologies, plus chaos-configured epoll
+/// daemons — injected stalls must block one request's thread, never an
+/// engine callback).
+fn annotate_response(shared: &Shared, engine: &BatchAnnotator<'_>, body: &[u8]) -> HttpResponse {
+    let t0 = Instant::now();
+    // Decide this request's injected faults up front: a crash fault fires
+    // before any byte of a response exists, which is exactly the failure a
+    // balancer may safely retry.
+    let plan: Option<ChaosPlan> = shared.chaos.as_ref().map(ChaosState::on_annotate);
+    if plan.is_some_and(|p| p.crash) {
+        eprintln!("[served] chaos: crash_after reached; exiting before response");
+        std::process::exit(86);
+    }
+    let prep = match prepare_annotate(shared, engine, body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let n_tables = prep.groups.len() as u64;
+    let (seqs, tokens, wrapped) = (prep.seqs, prep.tokens, prep.wrapped);
 
     let (tx, rx) = mpsc::channel();
-    match shared.queue.push(Job { groups, reply: Reply::Batch(tx) }, seqs, tokens) {
+    match shared.queue.push(Job { groups: prep.groups, reply: Reply::Batch(tx) }, seqs, tokens) {
         Ok(()) => {}
         Err((PushRejected::Closed, _)) => {
-            return unavailable(stream, "server is shutting down");
+            return annotate_unavailable(shared, "shutting_down", "server is shutting down");
         }
         Err((PushRejected::Full, _)) => {
             shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
-            return unavailable(stream, "annotation queue is full");
+            return annotate_unavailable(shared, "queue_full", "annotation queue is full");
         }
     }
     // An accepted push is always drained (the queue closes before the
@@ -1044,7 +1454,7 @@ fn handle_annotate(
     // panicked dispatcher.
     let anns = match rx.recv_timeout(Duration::from_secs(30)) {
         Ok(a) => a,
-        Err(_) => return unavailable(stream, "annotation timed out"),
+        Err(_) => return annotate_unavailable(shared, "timeout", "annotation timed out"),
     };
     shared.stats.record_request(t0.elapsed(), n_tables, seqs as u64, tokens as u64);
     let body = annotations_response(&anns, wrapped);
@@ -1054,26 +1464,69 @@ fn handle_annotate(
         }
         if p.reset {
             eprintln!("[served] chaos: severing connection after a partial response");
-            return write_torn_response(stream, &body);
+            return HttpResponse::RawThenClose(render_torn_response(&body));
         }
     }
-    write_response(stream, 200, "OK", "application/json", &body, keep_alive)
+    HttpResponse::json(200, body)
+}
+
+/// `POST /annotate` under the epoll topology: same decode/tokenize/
+/// admission as [`annotate_response`], but the job carries the
+/// connection's reactor ticket instead of a blocking reply channel — the
+/// dispatcher's engine callback renders and routes the response when the
+/// last table completes, and this worker is free for the next request the
+/// moment the push succeeds. In-flight annotate requests are then bounded
+/// by connections rather than worker count, which keeps micro-batches
+/// full at high fan-in (and drops two thread hand-offs per request).
+/// Returns a response only when the request must be answered immediately
+/// (validation failure or queue backpressure).
+fn annotate_submit(
+    shared: &Shared,
+    engine: &BatchAnnotator<'_>,
+    router: &Arc<Router>,
+    ticket: Ticket,
+    body: &[u8],
+) -> Option<HttpResponse> {
+    let t0 = Instant::now();
+    let prep = match prepare_annotate(shared, engine, body) {
+        Ok(p) => p,
+        Err(resp) => return Some(resp),
+    };
+    let counts = (prep.groups.len() as u64, prep.seqs as u64, prep.tokens as u64);
+    let (seqs, tokens) = (prep.seqs, prep.tokens);
+    let job = Job {
+        groups: prep.groups,
+        reply: Reply::Reactor {
+            ticket,
+            router: Arc::clone(router),
+            wrapped: prep.wrapped,
+            t0,
+            counts,
+        },
+    };
+    match shared.queue.push(job, seqs, tokens) {
+        Ok(()) => None,
+        Err((PushRejected::Closed, _)) => {
+            Some(annotate_unavailable(shared, "shutting_down", "server is shutting down"))
+        }
+        Err((PushRejected::Full, _)) => {
+            shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+            Some(annotate_unavailable(shared, "queue_full", "annotation queue is full"))
+        }
+    }
 }
 
 /// Chaos `reset_prob` execution: advertise the full `content-length`,
 /// write only half the body, then sever the connection. From the client's
 /// side response bytes *did* start flowing, so this failure must never be
 /// retried by the balancer — the test suites assert exactly that.
-fn write_torn_response(stream: &mut TcpStream, body: &str) -> std::io::Result<()> {
-    use std::io::Write;
-    let head = format!(
+fn render_torn_response(body: &str) -> Vec<u8> {
+    let mut out = format!(
         "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: \
          keep-alive\r\n\r\n",
         body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&body.as_bytes()[..body.len() / 2])?;
-    stream.flush()?;
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-    Err(std::io::Error::other("chaos: connection severed mid-response"))
+    )
+    .into_bytes();
+    out.extend_from_slice(&body.as_bytes()[..body.len() / 2]);
+    out
 }

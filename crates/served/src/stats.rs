@@ -48,6 +48,9 @@ pub struct ServerStats {
     /// Requests handled per pool worker (empty in thread-per-connection
     /// mode).
     worker_requests: Vec<AtomicU64>,
+    /// Connection-handling topology name reported in `/stats`
+    /// (`"epoll"`, `"pool"`, `"thread_per_conn"`).
+    topology: &'static str,
     latencies_us: Mutex<Ring>,
     batch_tables: Mutex<Ring>,
 }
@@ -111,11 +114,12 @@ pub fn percentiles(samples: &[u64]) -> Percentiles {
 }
 
 impl ServerStats {
-    /// Stats for a daemon with `workers` pool workers (0 for the
-    /// thread-per-connection topology).
-    pub fn with_workers(workers: usize) -> ServerStats {
+    /// Stats for a daemon running `topology` with `workers` request
+    /// workers (0 for the thread-per-connection topology).
+    pub fn with_topology(topology: &'static str, workers: usize) -> ServerStats {
         ServerStats {
             worker_requests: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            topology,
             ..ServerStats::default()
         }
     }
@@ -187,7 +191,7 @@ impl ServerStats {
         let workers = self.worker_requests();
         let worker_json = workers.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
-            "{{\"uptime_secs\":{:.3},\"requests_ok\":{},\"requests_failed\":{},\
+            "{{\"topology\":\"{}\",\"uptime_secs\":{:.3},\"requests_ok\":{},\"requests_failed\":{},\
              \"rejected_queue_full\":{},\"tables\":{},\"sequences\":{},\"tokens\":{},\
              \"queue_depth\":{queue_depth},\"cache_hit_rate\":{cache_hit_rate:.4},\
              \"connections\":{{\"accepted\":{},\"rejected\":{},\"keepalive_reused\":{}}},\
@@ -197,6 +201,7 @@ impl ServerStats {
              \"latency_ms\":{{\"window\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3},\
              \"max\":{:.3}}},\
              \"batch_tables\":{{\"window\":{},\"mean\":{:.3},\"p50\":{:.0},\"p99\":{:.0}}}}}\n",
+            if self.topology.is_empty() { "unknown" } else { self.topology },
             uptime.as_secs_f64(),
             self.requests_ok.load(Ordering::Relaxed),
             self.requests_failed.load(Ordering::Relaxed),

@@ -51,7 +51,7 @@ pub fn offline_response_quant(bundle: &AnnotatorBundle, body: &str) -> Result<St
     Ok(annotations_response(&anns, wrapped))
 }
 
-/// POSTs each body to a live daemon's `/annotate` and verifies every
+/// POSTs each body to a live daemon's `/v1/annotate` and verifies every
 /// response is byte-identical to [`offline_response`] over the same
 /// bundle. Returns the number of bodies checked; the error names the first
 /// diverging request.
@@ -64,7 +64,7 @@ pub fn check_online_equivalence(
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     for (i, body) in bodies.iter().enumerate() {
         let resp = client
-            .request("POST", "/annotate", body.as_bytes())
+            .request("POST", "/v1/annotate", body.as_bytes())
             .map_err(|e| format!("request {i}: {e}"))?;
         if resp.status != 200 {
             return Err(format!("request {i}: HTTP {}", resp.status));

@@ -8,20 +8,25 @@
 use doduo_served::bootstrap::{synthetic_world, SyntheticWorld};
 use doduo_served::http::Client;
 use doduo_served::json::table_to_json;
-use doduo_served::{BatchPolicy, ServeConfig, Server, ServerHandle};
+use doduo_served::{BatchPolicy, ServeConfig, Server, ServerHandle, Topology};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Every adversarial scenario runs against both serving topologies: the
+/// epoll reactor (default) and the probe/requeue worker pool it replaced.
+const TOPOLOGIES: &[Topology] = &[Topology::Epoll, Topology::Pool];
+
 /// A small pool (2 workers) with short timeouts, so wedged-worker bugs
 /// surface as test timeouts quickly.
-fn hardened_config() -> ServeConfig {
+fn hardened_config(topology: Topology) -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".into(),
         policy: BatchPolicy::default(),
         read_timeout: Duration::from_millis(50),
         request_deadline: Duration::from_secs(2),
         workers: 2,
+        topology,
         ..ServeConfig::default()
     }
 }
@@ -34,17 +39,12 @@ impl Drop for ShutdownOnDrop {
     }
 }
 
-fn with_server<R>(world: &SyntheticWorld, body: impl FnOnce(&str) -> R + Send) -> R {
-    let server = Server::bind(hardened_config()).expect("bind ephemeral port");
-    let addr = server.addr().to_string();
-    std::thread::scope(|scope| {
-        let guard = ShutdownOnDrop(server.handle());
-        let runner = scope.spawn(|| server.run(&world.bundle));
-        let out = body(&addr);
-        drop(guard);
-        runner.join().expect("server thread exits cleanly");
-        out
-    })
+/// Runs `body` once per serving topology (epoll reactor, then legacy
+/// pool), each against a fresh server.
+fn with_server(world: &SyntheticWorld, body: impl Fn(&str) + Send + Sync) {
+    for &topology in TOPOLOGIES {
+        with_server_cfg(world, hardened_config(topology), &body);
+    }
 }
 
 /// Raw connection: write whatever bytes, read whatever comes back.
@@ -92,6 +92,10 @@ fn malformed_request_lines_get_400() {
             s.write_all(bad.as_bytes()).expect("write");
             let resp = read_all(&mut s);
             assert!(resp.starts_with("HTTP/1.1 400"), "{bad:?} => {resp:?}");
+            assert!(
+                resp.contains("\"error\"") && resp.contains("\"code\":\"bad_request\""),
+                "400 carries the error envelope: {resp:?}"
+            );
         }
         assert_still_serving(addr);
     });
@@ -128,6 +132,10 @@ fn oversized_head_gets_413_without_unbounded_buffering() {
         let _ = s.write_all(&junk); // may fail once the server answers+closes
         let resp = read_all(&mut s);
         assert!(resp.starts_with("HTTP/1.1 413"), "got {resp:?}");
+        assert!(
+            resp.contains("\"code\":\"payload_too_large\""),
+            "413 carries the error envelope: {resp:?}"
+        );
 
         // Many well-formed headers adding past the cap: same outcome.
         let mut s = raw(addr);
@@ -392,12 +400,38 @@ fn readyz_and_healthz_report_readiness() {
     let world = synthetic_world(true, 42);
     with_server(&world, |addr| {
         let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
-        let h = c.request("GET", "/healthz", b"").expect("healthz");
-        assert_eq!(h.status, 200);
-        let body = String::from_utf8(h.body).expect("utf8");
-        assert!(body.contains("\"ready\":true"), "healthz: {body}");
-        let r = c.request("GET", "/readyz", b"").expect("readyz");
-        assert_eq!(r.status, 200);
+        // The versioned routes and the legacy unprefixed aliases must agree.
+        for path in ["/healthz", "/v1/healthz"] {
+            let h = c.request("GET", path, b"").expect("healthz");
+            assert_eq!(h.status, 200, "{path}");
+            let body = String::from_utf8(h.body).expect("utf8");
+            assert!(body.contains("\"ready\":true"), "{path}: {body}");
+        }
+        for path in ["/readyz", "/v1/readyz"] {
+            let r = c.request("GET", path, b"").expect("readyz");
+            assert_eq!(r.status, 200, "{path}");
+        }
+    });
+}
+
+/// Unknown routes — versioned or not — answer `404` with the standard
+/// error envelope, and near-miss prefixes (`/v1x/...`) are not silently
+/// treated as `/v1/`.
+#[test]
+fn unknown_routes_get_404_with_envelope() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
+        for path in ["/nope", "/v1/nope", "/v1x/healthz", "/v1healthz"] {
+            let r = c.request("GET", path, b"").expect("answered");
+            assert_eq!(r.status, 404, "{path}");
+            let body = String::from_utf8(r.body).expect("utf8");
+            assert!(
+                body.contains("\"error\"") && body.contains("\"code\":\"not_found\""),
+                "{path}: {body}"
+            );
+        }
+        assert_still_serving(addr);
     });
 }
 
@@ -406,16 +440,22 @@ fn readyz_and_healthz_report_readiness() {
 #[test]
 fn connection_cap_503_carries_retry_after() {
     let world = synthetic_world(true, 42);
-    let cfg = ServeConfig { max_connections: 1, ..hardened_config() };
-    with_server_cfg(&world, cfg, |addr| {
-        let _held = raw(addr); // occupies the only connection slot
-        std::thread::sleep(Duration::from_millis(100)); // let it be admitted
-        let mut turned_away = raw(addr);
-        let resp = read_all(&mut turned_away);
-        assert!(resp.starts_with("HTTP/1.1 503"), "over-cap connection: {resp:?}");
-        let lower = resp.to_ascii_lowercase();
-        assert!(lower.contains("retry-after:"), "503 must carry Retry-After: {resp:?}");
-    });
+    for &topology in TOPOLOGIES {
+        let cfg = ServeConfig { max_connections: 1, ..hardened_config(topology) };
+        with_server_cfg(&world, cfg, |addr| {
+            let _held = raw(addr); // occupies the only connection slot
+            std::thread::sleep(Duration::from_millis(100)); // let it be admitted
+            let mut turned_away = raw(addr);
+            let resp = read_all(&mut turned_away);
+            assert!(resp.starts_with("HTTP/1.1 503"), "over-cap connection: {resp:?}");
+            let lower = resp.to_ascii_lowercase();
+            assert!(lower.contains("retry-after:"), "503 must carry Retry-After: {resp:?}");
+            assert!(
+                resp.contains("\"code\":\"overloaded\"") && resp.contains("\"retry_after_ms\""),
+                "503 carries the backpressure envelope: {resp:?}"
+            );
+        });
+    }
 }
 
 /// Chaos reset faults sever the connection after a *partial* response (the
@@ -424,35 +464,42 @@ fn connection_cap_503_carries_retry_after() {
 #[test]
 fn chaos_reset_sends_a_torn_response_and_the_daemon_survives() {
     let world = synthetic_world(true, 42);
-    let chaos = doduo_served::chaos::ChaosConfig::parse("reset_prob=1.0,seed=3").expect("spec");
-    let cfg = ServeConfig { chaos: Some(chaos), ..hardened_config() };
-    with_server_cfg(&world, cfg, |addr| {
-        let t = &world.tables[0];
-        let body = table_to_json(t);
-        let mut s = raw(addr);
-        s.write_all(
-            format!(
-                "POST /annotate HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
-                body.len()
+    for &topology in TOPOLOGIES {
+        let chaos = doduo_served::chaos::ChaosConfig::parse("reset_prob=1.0,seed=3").expect("spec");
+        let cfg = ServeConfig { chaos: Some(chaos), ..hardened_config(topology) };
+        with_server_cfg(&world, cfg, |addr| {
+            let t = &world.tables[0];
+            let body = table_to_json(t);
+            let mut s = raw(addr);
+            s.write_all(
+                format!(
+                    "POST /annotate HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
             )
-            .as_bytes(),
-        )
-        .expect("write request");
-        let resp = read_all(&mut s); // ends at the chaos-severed EOF
-        assert!(resp.starts_with("HTTP/1.1 200"), "torn response still starts cleanly: {resp:?}");
-        let advertised: usize = resp
-            .lines()
-            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(String::from))
-            .and_then(|v| v.trim().parse().ok())
-            .expect("content-length advertised");
-        let received = resp.split("\r\n\r\n").nth(1).map_or(0, str::len);
-        assert!(
-            received < advertised,
-            "the body must be torn: got {received} of {advertised} bytes"
-        );
-        // The fault is per-connection: the daemon is still healthy.
-        assert_still_serving(addr);
-    });
+            .expect("write request");
+            let resp = read_all(&mut s); // ends at the chaos-severed EOF
+            assert!(
+                resp.starts_with("HTTP/1.1 200"),
+                "torn response still starts cleanly: {resp:?}"
+            );
+            let advertised: usize = resp
+                .lines()
+                .find_map(|l| {
+                    l.to_ascii_lowercase().strip_prefix("content-length:").map(String::from)
+                })
+                .and_then(|v| v.trim().parse().ok())
+                .expect("content-length advertised");
+            let received = resp.split("\r\n\r\n").nth(1).map_or(0, str::len);
+            assert!(
+                received < advertised,
+                "the body must be torn: got {received} of {advertised} bytes"
+            );
+            // The fault is per-connection: the daemon is still healthy.
+            assert_still_serving(addr);
+        });
+    }
 }
 
 /// Chaos delay faults hold the response back without corrupting it: the
@@ -461,23 +508,25 @@ fn chaos_reset_sends_a_torn_response_and_the_daemon_survives() {
 #[test]
 fn chaos_delay_postpones_but_never_corrupts() {
     let world = synthetic_world(true, 42);
-    let chaos = doduo_served::chaos::ChaosConfig::parse("delay_ms=300,seed=4").expect("spec");
-    let cfg = ServeConfig { chaos: Some(chaos), ..hardened_config() };
-    with_server_cfg(&world, cfg, |addr| {
-        let t = &world.tables[0];
-        let offline = {
-            let ann = world.annotator().annotate(t);
-            doduo_served::json::annotations_response(&[ann], false)
-        };
-        let mut c = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
-        let start = std::time::Instant::now();
-        let r = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");
-        assert!(
-            start.elapsed() >= Duration::from_millis(300),
-            "delay fault must hold the response, elapsed {:?}",
-            start.elapsed()
-        );
-        assert_eq!(r.status, 200);
-        assert_eq!(r.body, offline.as_bytes(), "delayed response must stay byte-identical");
-    });
+    for &topology in TOPOLOGIES {
+        let chaos = doduo_served::chaos::ChaosConfig::parse("delay_ms=300,seed=4").expect("spec");
+        let cfg = ServeConfig { chaos: Some(chaos), ..hardened_config(topology) };
+        with_server_cfg(&world, cfg, |addr| {
+            let t = &world.tables[0];
+            let offline = {
+                let ann = world.annotator().annotate(t);
+                doduo_served::json::annotations_response(&[ann], false)
+            };
+            let mut c = Client::connect(addr, Some(Duration::from_secs(10))).expect("connect");
+            let start = std::time::Instant::now();
+            let r = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");
+            assert!(
+                start.elapsed() >= Duration::from_millis(300),
+                "delay fault must hold the response, elapsed {:?}",
+                start.elapsed()
+            );
+            assert_eq!(r.status, 200);
+            assert_eq!(r.body, offline.as_bytes(), "delayed response must stay byte-identical");
+        });
+    }
 }
