@@ -40,6 +40,9 @@ pub struct BackendResponse {
     pub content_type: String,
     /// `Retry-After` seconds, when the replica sent one (503 backpressure).
     pub retry_after: Option<u64>,
+    /// `x-model-version` header, when the replica sent one (annotate and
+    /// model-swap responses carry the engine version that produced them).
+    pub model_version: Option<String>,
     /// The full body.
     pub body: Vec<u8>,
     /// Whether the replica will keep this connection open.
@@ -143,6 +146,7 @@ impl Backend {
         let mut content_length = 0usize;
         let mut content_type = String::from("application/json");
         let mut retry_after = None;
+        let mut model_version = None;
         let mut keep_alive = true;
         loop {
             line.clear();
@@ -162,6 +166,8 @@ impl Backend {
                     content_type = value.to_string();
                 } else if name.eq_ignore_ascii_case("retry-after") {
                     retry_after = value.parse().ok();
+                } else if name.eq_ignore_ascii_case("x-model-version") {
+                    model_version = Some(value.to_string());
                 } else if name.eq_ignore_ascii_case("connection")
                     && value.eq_ignore_ascii_case("close")
                 {
@@ -177,6 +183,6 @@ impl Backend {
         self.reader
             .read_exact(&mut body)
             .map_err(|e| ForwardError::MidResponse(format!("body: {e}")))?;
-        Ok(BackendResponse { status, content_type, retry_after, body, keep_alive })
+        Ok(BackendResponse { status, content_type, retry_after, model_version, body, keep_alive })
     }
 }

@@ -28,13 +28,13 @@
 
 use crate::backend::{Backend, BackendResponse, ForwardError};
 use crate::backoff::{Backoff, SplitMix64};
-use crate::supervisor::{supervise, Registry, SupervisorConfig};
+use crate::supervisor::{supervise, Registry, ReplicaState, SupervisorConfig};
 use doduo_served::canonical_path;
 use doduo_served::http::{
     read_body, read_head, reason_for, write_continue, write_error, write_response,
     write_unavailable, Head, ReadError,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -122,6 +122,12 @@ pub struct BalanceStats {
     pub conns_accepted: AtomicU64,
     /// Client connections rejected at the connection cap.
     pub conns_rejected: AtomicU64,
+    /// Fleet-wide model swaps committed (every ready replica accepted).
+    pub model_swaps: AtomicU64,
+    /// Model uploads rolled back because some replica rejected or died.
+    pub model_swap_failures: AtomicU64,
+    /// Restarted replicas caught up to the fleet's current model.
+    pub model_catchups: AtomicU64,
 }
 
 struct Shared {
@@ -133,6 +139,13 @@ struct Shared {
     stats: BalanceStats,
     started: Instant,
     fatal: Mutex<Option<String>>,
+    /// The last model blob every replica accepted — the rollback image for
+    /// a failed fan-out and the catch-up image for restarted replicas.
+    last_model: Mutex<Option<Vec<u8>>>,
+    /// `(replica id, restart count)` pairs known to serve `last_model`
+    /// (or the boot checkpoint when no upload happened yet). A restart
+    /// changes the key, which is what re-triggers catch-up.
+    converged: Mutex<HashSet<(usize, u64)>>,
 }
 
 impl Shared {
@@ -174,7 +187,8 @@ impl Shared {
         format!(
             "{{\"uptime_secs\":{:.3},\"requests_ok\":{},\"requests_failed\":{},\"sheds\":{},\
              \"retries\":{},\"mid_response_aborts\":{},\"conns_accepted\":{},\
-             \"conns_rejected\":{},\"restarts\":{},\"permanent_failures\":{},\"replicas\":[{}]}}\n",
+             \"conns_rejected\":{},\"model_swaps\":{},\"model_swap_failures\":{},\
+             \"model_catchups\":{},\"restarts\":{},\"permanent_failures\":{},\"replicas\":[{}]}}\n",
             self.started.elapsed().as_secs_f64(),
             s.requests_ok.load(Ordering::Relaxed),
             s.requests_failed.load(Ordering::Relaxed),
@@ -183,6 +197,9 @@ impl Shared {
             s.mid_response_aborts.load(Ordering::Relaxed),
             s.conns_accepted.load(Ordering::Relaxed),
             s.conns_rejected.load(Ordering::Relaxed),
+            s.model_swaps.load(Ordering::Relaxed),
+            s.model_swap_failures.load(Ordering::Relaxed),
+            s.model_catchups.load(Ordering::Relaxed),
             self.registry.total_restarts(),
             self.registry.permanent_failures(),
             replicas.join(","),
@@ -255,6 +272,8 @@ impl Balancer {
             stats: BalanceStats::default(),
             started: Instant::now(),
             fatal: Mutex::new(None),
+            last_model: Mutex::new(None),
+            converged: Mutex::new(HashSet::new()),
         });
         Ok(Balancer { listener, addr, cfg, shared })
     }
@@ -280,6 +299,10 @@ impl Balancer {
         std::thread::scope(|scope| {
             if let Some(sup) = &cfg.supervisor {
                 scope.spawn(move || supervise(&shared.registry, sup, &shared.shutdown));
+                // Catch-up: a replica restarted after a fleet-wide swap
+                // boots on its original checkpoint; re-push the accepted
+                // model before mixed-version answers can linger.
+                scope.spawn(move || catchup_loop(shared, cfg));
             }
             while !shared.shutting_down() {
                 if cfg.supervisor.is_some() && shared.registry.all_failed() {
@@ -457,6 +480,9 @@ fn conn_loop(stream: TcpStream, shared: &Shared, cfg: &BalanceConfig) {
                 let body = shared.stats_json();
                 write_response(&mut stream, 200, "OK", "application/json", &body, keep_alive)
             }
+            // Model uploads are a *fleet* operation, not a proxied request:
+            // all ready replicas must accept the new bundle or none keep it.
+            ("POST", "/model") => fan_out_model(&mut stream, &body, shared, cfg, keep_alive),
             ("POST", "/shutdown") => {
                 let _ = write_response(
                     &mut stream,
@@ -592,7 +618,8 @@ fn proxy_request(
 }
 
 /// Writes a replica's complete response back to the client, preserving
-/// status, content type, body bytes, and any `Retry-After` hint.
+/// status, content type, body bytes, and the `Retry-After` /
+/// `x-model-version` hints.
 fn relay(stream: &mut TcpStream, resp: &BackendResponse, keep_alive: bool) -> std::io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
@@ -605,8 +632,188 @@ fn relay(stream: &mut TcpStream, resp: &BackendResponse, keep_alive: bool) -> st
     if let Some(ra) = resp.retry_after {
         head.push_str(&format!("retry-after: {ra}\r\n"));
     }
+    if let Some(mv) = &resp.model_version {
+        head.push_str(&format!("x-model-version: {mv}\r\n"));
+    }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
+}
+
+// ------------------------------------------------------------- model swap
+
+/// One fresh-dialed model upload to a replica (no pooling: uploads are
+/// rare and large, and a stale pooled link must not burn the attempt).
+fn upload_model(addr: &str, blob: &[u8], cfg: &BalanceConfig) -> Result<BackendResponse, String> {
+    let mut be = Backend::connect(addr, cfg.connect_timeout, cfg.response_timeout)
+        .map_err(|e| format!("connect: {e}"))?;
+    be.forward("POST", "/v1/model", blob).map_err(|e| format!("{e:?}"))
+}
+
+/// The per-replica outcome of one fan-out, rendered into the report JSON.
+struct SwapOutcome {
+    id: usize,
+    outcome: String,
+}
+
+/// Fans a model upload to every ready replica with all-or-nothing
+/// semantics: the upload stops at the first failure, every replica that
+/// already accepted is rolled back to the retained previous blob — or
+/// stopped outright when there is nothing to roll back to (a stopped
+/// replica is restarted by the supervisor on its boot checkpoint; better
+/// down than serving a model the fleet rejected) — and the client gets a
+/// per-replica report either way.
+fn fan_out_model(
+    stream: &mut TcpStream,
+    blob: &[u8],
+    shared: &Shared,
+    cfg: &BalanceConfig,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    if blob.is_empty() {
+        return write_error(stream, 400, "Bad Request", "empty model upload", keep_alive);
+    }
+    let mut ready = shared.registry.ready_order();
+    ready.sort_by_key(|(id, _)| *id);
+    if ready.is_empty() {
+        return write_unavailable(
+            stream,
+            "no_ready_replica",
+            "no ready replica to install the model on",
+            keep_alive,
+            RETRY_AFTER_SECS,
+        );
+    }
+
+    let mut outcomes: Vec<SwapOutcome> = Vec::new();
+    let mut accepted: Vec<(usize, String)> = Vec::new();
+    let mut version: Option<String> = None;
+    let mut failure: Option<String> = None;
+    for (id, addr) in &ready {
+        match upload_model(addr, blob, cfg) {
+            Ok(resp) if resp.status == 200 => {
+                version = version.or(resp.model_version);
+                accepted.push((*id, addr.clone()));
+                outcomes.push(SwapOutcome { id: *id, outcome: "swapped".into() });
+            }
+            Ok(resp) => {
+                failure = Some(format!("replica {id} rejected the bundle (HTTP {})", resp.status));
+                outcomes
+                    .push(SwapOutcome { id: *id, outcome: format!("rejected ({})", resp.status) });
+            }
+            Err(e) => {
+                failure = Some(format!("replica {id} unreachable mid-upload ({e})"));
+                outcomes.push(SwapOutcome { id: *id, outcome: "unreachable".into() });
+            }
+        }
+        if failure.is_some() {
+            break; // replicas after the failure are never touched
+        }
+    }
+
+    let Some(reason) = failure else {
+        // Commit: retain the blob for rollback/catch-up and mark every
+        // accepter converged at its current restart generation.
+        *shared.last_model.lock().expect("model lock") = Some(blob.to_vec());
+        let mut converged = shared.converged.lock().expect("converged lock");
+        converged.clear();
+        for r in shared.registry.snapshot() {
+            if accepted.iter().any(|(id, _)| *id == r.id) {
+                converged.insert((r.id, r.restarts));
+            }
+        }
+        drop(converged);
+        shared.stats.model_swaps.fetch_add(1, Ordering::Relaxed);
+        let version = version.unwrap_or_default();
+        eprintln!("[balance] model swap committed on {} replica(s): {version}", accepted.len());
+        let body = format!(
+            "{{\"status\":\"swapped\",\"model_version\":\"{version}\",\"replicas\":[{}]}}\n",
+            render_outcomes(&outcomes),
+        );
+        return write_response(stream, 200, "OK", "application/json", &body, keep_alive);
+    };
+
+    // Roll back every accepter so no serving replica keeps the rejected
+    // model. Mark untouched replicas explicitly in the report.
+    shared.stats.model_swap_failures.fetch_add(1, Ordering::Relaxed);
+    let rollback = shared.last_model.lock().expect("model lock").clone();
+    for o in &mut outcomes {
+        let Some((_, addr)) = accepted.iter().find(|(id, _)| *id == o.id) else { continue };
+        o.outcome = match &rollback {
+            Some(prev) => match upload_model(addr, prev, cfg) {
+                Ok(r) if r.status == 200 => "rolled_back".into(),
+                _ => stop_replica(addr),
+            },
+            None => stop_replica(addr),
+        };
+    }
+    for (id, _) in &ready {
+        if !outcomes.iter().any(|o| o.id == *id) {
+            outcomes.push(SwapOutcome { id: *id, outcome: "untouched".into() });
+        }
+    }
+    eprintln!("[balance] model swap rolled back: {reason}");
+    let body = format!(
+        "{{\"error\":{{\"code\":\"swap_rejected\",\"message\":\"{reason}\"}},\"replicas\":[{}]}}\n",
+        render_outcomes(&outcomes),
+    );
+    write_response(stream, 502, "Bad Gateway", "application/json", &body, keep_alive)
+}
+
+/// Last-resort rollback: stop a replica that accepted a model the fleet
+/// rejected (the supervisor respawns it on the boot checkpoint).
+fn stop_replica(addr: &str) -> String {
+    match Backend::connect(addr, Duration::from_millis(500), Duration::from_millis(500)) {
+        Ok(mut be) => match be.forward("POST", "/v1/shutdown", b"") {
+            Ok(_) | Err(ForwardError::MidResponse(_)) => "stopped".into(),
+            Err(ForwardError::BeforeResponse(_)) => "inconsistent".into(),
+        },
+        Err(_) => "inconsistent".into(),
+    }
+}
+
+fn render_outcomes(outcomes: &[SwapOutcome]) -> String {
+    outcomes
+        .iter()
+        .map(|o| format!("{{\"id\":{},\"outcome\":\"{}\"}}", o.id, o.outcome))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Re-pushes the committed model to replicas whose `(id, restarts)` key is
+/// new — i.e. freshly (re)started children serving their boot checkpoint
+/// while the fleet already swapped. Runs only in supervised mode.
+fn catchup_loop(shared: &Shared, cfg: &BalanceConfig) {
+    while !shared.shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+        let blob = shared.last_model.lock().expect("model lock").clone();
+        for r in shared.registry.snapshot() {
+            if r.state != ReplicaState::Ready {
+                continue;
+            }
+            let Some(addr) = r.addr else { continue };
+            let key = (r.id, r.restarts);
+            if shared.converged.lock().expect("converged lock").contains(&key) {
+                continue;
+            }
+            let Some(blob) = &blob else {
+                // No fleet-wide upload yet: the boot checkpoint IS current.
+                shared.converged.lock().expect("converged lock").insert(key);
+                continue;
+            };
+            match upload_model(&addr, blob, cfg) {
+                Ok(resp) if resp.status == 200 => {
+                    shared.converged.lock().expect("converged lock").insert(key);
+                    shared.stats.model_catchups.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[balance] replica {} caught up to the fleet model ({})",
+                        r.id,
+                        resp.model_version.as_deref().unwrap_or("?"),
+                    );
+                }
+                _ => {} // retry next tick (replica may still be warming up)
+            }
+        }
+    }
 }

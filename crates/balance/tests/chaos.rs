@@ -11,9 +11,11 @@
 //! Replicas are spawned by self-exec (`doduo-balance replica …`), so the
 //! only binary these tests need is the one cargo builds for this package.
 
+use doduo_core::blob_crc;
 use doduo_served::bootstrap::{synthetic_world, SyntheticWorld};
 use doduo_served::http::Client;
 use doduo_served::json::{annotations_response, table_to_json};
+use doduo_served::validate::offline_response;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -253,6 +255,105 @@ fn mid_response_resets_surface_as_502_without_redispatch() {
     assert!(clean >= 1, "the healthy replica was never hit");
     let stats = proc.stats();
     assert_eq!(stat(&stats, "mid_response_aborts"), u64::from(torn), "stats: {stats}");
+}
+
+/// The swap-under-crash schedule: a fleet-wide model upload lands while a
+/// chaos replica is crash-looping. The invariants:
+///
+/// * every `200` is byte-identical to **exactly one** of the two offline
+///   references (old model XOR new model — never a torn mix), and its
+///   `x-model-version` CRC names the model that produced those bytes;
+/// * a committed swap eventually converges: restarted replicas boot the
+///   old checkpoint but the catch-up loop re-pushes the fleet model, so
+///   fresh responses settle on the new bytes.
+///
+/// A chaos crash can strike mid-upload; that surfaces as an all-or-nothing
+/// `502` rollback, after which the fleet is all-old and the upload is
+/// simply retried.
+#[test]
+fn model_swap_under_crash_chaos_is_atomic_and_converges() {
+    let dir = scratch("swap");
+    let (world, ckpt) = world_with_checkpoint(&dir);
+    let new_world = synthetic_world(true, 99);
+    let next_ckpt = dir.join("next.ckpt");
+    new_world.bundle.save_to(next_ckpt.to_str().expect("utf8")).expect("save next checkpoint");
+    let new_blob = std::fs::read(&next_ckpt).expect("read next blob");
+    let old_blob = std::fs::read(&ckpt).expect("read boot blob");
+    let old_crc = format!("-{:08x}", blob_crc(&old_blob).expect("boot blob crc"));
+    let new_crc = format!("-{:08x}", blob_crc(&new_blob).expect("next blob crc"));
+
+    let proc = BalancerProc::start(
+        &dir,
+        &ckpt,
+        &["--replicas", "3", "--chaos-replica", "0:crash_after=6,seed=11"],
+    );
+
+    // Offline references for the same request bodies under both models.
+    let n_tables = world.tables.len().min(3);
+    let bodies: Vec<String> = (0..n_tables).map(|i| table_to_json(&world.tables[i])).collect();
+    let old_refs: Vec<Vec<u8>> = (0..n_tables).map(|i| offline_bytes(&world, i)).collect();
+    let new_refs: Vec<Vec<u8>> = bodies
+        .iter()
+        .map(|b| offline_response(&new_world.bundle, b).expect("offline").into_bytes())
+        .collect();
+
+    // Warm traffic on the boot model: old bytes, old version CRC.
+    let mut client = Client::connect(&proc.addr, Some(Duration::from_secs(30))).expect("connect");
+    for i in 0..12 {
+        let idx = i % n_tables;
+        let resp = client.request("POST", "/annotate", bodies[idx].as_bytes()).expect("request");
+        assert_eq!(resp.status, 200, "request {i}: crashes stay client-invisible");
+        assert_eq!(resp.body, old_refs[idx], "request {i}: pre-swap byte-identity");
+        let v = resp.model_version.as_deref().expect("pre-swap version header");
+        assert!(v.ends_with(&old_crc), "request {i}: version {v} is not the boot model");
+    }
+
+    // Upload the new model fleet-wide. A crash landing mid-upload rolls the
+    // fleet back (502, all-old) — retry until the swap commits.
+    let deadline = Instant::now() + Duration::from_secs(90);
+    loop {
+        assert!(Instant::now() < deadline, "fleet swap never committed under chaos");
+        let mut c = Client::connect(&proc.addr, Some(Duration::from_secs(30))).expect("connect");
+        let resp = c.request("POST", "/model", &new_blob).expect("model upload");
+        let body = String::from_utf8_lossy(&resp.body).to_string();
+        if resp.status == 200 {
+            assert!(body.contains("\"status\":\"swapped\""), "commit body: {body}");
+            assert!(body.contains(&new_crc), "commit must report the new version: {body}");
+            break;
+        }
+        assert_eq!(resp.status, 502, "swap must commit or roll back, got: {body}");
+        assert!(body.contains("swap_rejected"), "rollback body: {body}");
+        std::thread::sleep(Duration::from_millis(500));
+    }
+
+    // Post-commit: every response is old XOR new (the crash replica boots
+    // old and is caught up asynchronously), and the fleet settles on new.
+    let mut consecutive_new = 0usize;
+    let mut i = 0usize;
+    while consecutive_new < 12 {
+        assert!(Instant::now() < deadline, "fleet never converged on the new model");
+        let idx = i % n_tables;
+        i += 1;
+        let resp = client.request("POST", "/annotate", bodies[idx].as_bytes()).expect("request");
+        assert_eq!(resp.status, 200, "request {i}: crashes stay client-invisible");
+        let v = resp.model_version.as_deref().expect("post-swap version header").to_string();
+        if resp.body == new_refs[idx] {
+            assert!(v.ends_with(&new_crc), "new bytes must carry the new version, got {v}");
+            consecutive_new += 1;
+        } else {
+            assert_eq!(
+                resp.body, old_refs[idx],
+                "request {i}: torn response matches neither model"
+            );
+            assert!(v.ends_with(&old_crc), "old bytes must carry the boot version, got {v}");
+            consecutive_new = 0;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stats = proc.stats();
+    assert!(stat(&stats, "model_swaps") >= 1, "stats: {stats}");
+    assert_eq!(stat(&stats, "requests_failed"), 0, "stats: {stats}");
 }
 
 /// A crash-looping replica exhausts its restart budget and is escalated to

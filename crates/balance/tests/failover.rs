@@ -21,6 +21,11 @@ use std::time::Duration;
 enum Behavior {
     /// Complete `status` response with a tiny JSON body; keep-alive.
     Status(u16),
+    /// Complete 200 carrying an `x-model-version` header (a
+    /// lifecycle-aware replica).
+    Versioned,
+    /// Complete 503 carrying a `Retry-After` hint (replica backpressure).
+    Busy(u64),
     /// Advertise a 20-byte body, send 5 bytes, sever the connection.
     PartialThenClose,
     /// Read the request, close without writing a byte.
@@ -64,6 +69,10 @@ fn mock(behavior: Behavior) -> Mock {
                     Behavior::Status(status) => {
                         HttpResponse::json(status, format!("{{\"mock\":{status}}}\n"))
                     }
+                    Behavior::Versioned => HttpResponse::json(200, "{\"mock\":200}\n".to_string())
+                        .with_header("x-model-version", "9-deadbeef"),
+                    Behavior::Busy(secs) => HttpResponse::json(503, "{\"mock\":503}\n".to_string())
+                        .with_header("retry-after", &secs.to_string()),
                     Behavior::PartialThenClose => {
                         let mut torn = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
                               content-length: 20\r\nconnection: keep-alive\r\n\r\n"
@@ -191,6 +200,100 @@ fn complete_5xx_fails_over_and_exhaustion_forwards_the_last_5xx() {
     assert_eq!(sick2.hits.load(Ordering::SeqCst), 2, "one dispatch per retry round");
     let stats = get_stats(&addr);
     assert_eq!(stat(&stats, "requests_failed"), 1, "stats: {stats}");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+/// The `Retry-After` propagation pin: when every replica answers a
+/// complete 503 and the retry rounds are exhausted, the forwarded 503 must
+/// still carry the *backend's* `Retry-After` hint, not drop it.
+#[test]
+fn retry_exhaustion_forwards_the_backends_retry_after_hint() {
+    let busy = mock(Behavior::Busy(7));
+    let (addr, handle, thread) = start_balancer(cfg_with_backends(vec![busy.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.retry_after, Some(7), "the replica's own hint must survive the relay");
+    assert_eq!(busy.hits.load(Ordering::SeqCst), 2, "one dispatch per retry round");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+/// Proxied responses re-emit the replica's `x-model-version` header, so a
+/// client can tell which model answered even through the balancer.
+#[test]
+fn annotate_responses_relay_the_model_version_header() {
+    let live = mock(Behavior::Versioned);
+    let (addr, handle, thread) = start_balancer(cfg_with_backends(vec![live.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/annotate", b"{}").expect("request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.model_version.as_deref(), Some("9-deadbeef"), "version header relayed");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+/// A model upload fans out to every ready replica; when all accept, the
+/// swap commits and the report lists every replica as swapped.
+#[test]
+fn model_fanout_commits_when_every_replica_accepts() {
+    let a = mock(Behavior::Versioned);
+    let b = mock(Behavior::Versioned);
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![a.addr.clone(), b.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/model", b"FAKEBLOB").expect("request");
+    assert_eq!(resp.status, 200);
+    let body = String::from_utf8(resp.body).expect("utf8");
+    assert!(body.contains("\"status\":\"swapped\""), "body: {body}");
+    assert!(body.contains("\"model_version\":\"9-deadbeef\""), "body: {body}");
+    assert_eq!(body.matches("\"outcome\":\"swapped\"").count(), 2, "body: {body}");
+    assert_eq!(a.hits.load(Ordering::SeqCst), 1);
+    assert_eq!(b.hits.load(Ordering::SeqCst), 1);
+    let stats = get_stats(&addr);
+    assert_eq!(stat(&stats, "model_swaps"), 1, "stats: {stats}");
+
+    handle.shutdown();
+    thread.join().expect("join").expect("clean run");
+}
+
+/// All-or-nothing: when one replica rejects the bundle, the upload stops
+/// there, the replicas that already accepted are rolled back (stopped,
+/// absent a previous fleet-wide blob to re-upload), and the client gets a
+/// 502 with the per-replica report.
+#[test]
+fn model_fanout_is_all_or_nothing_when_a_replica_rejects() {
+    let ok = mock(Behavior::Versioned);
+    let bad = mock(Behavior::Status(400));
+    let (addr, handle, thread) =
+        start_balancer(cfg_with_backends(vec![ok.addr.clone(), bad.addr.clone()]));
+
+    let mut client =
+        Client::connect(&addr.to_string(), Some(Duration::from_secs(5))).expect("connect");
+    let resp = client.request("POST", "/model", b"FAKEBLOB").expect("request");
+    assert_eq!(resp.status, 502, "a partial swap must surface as a gateway error");
+    let body = String::from_utf8(resp.body).expect("utf8");
+    assert!(body.contains("\"code\":\"swap_rejected\""), "body: {body}");
+    assert!(body.contains("\"outcome\":\"rejected (400)\""), "body: {body}");
+    assert!(
+        body.contains("\"outcome\":\"stopped\""),
+        "the accepter must not keep the rejected model: {body}"
+    );
+    assert_eq!(ok.hits.load(Ordering::SeqCst), 2, "upload, then the rollback shutdown");
+    assert_eq!(bad.hits.load(Ordering::SeqCst), 1);
+    let stats = get_stats(&addr);
+    assert_eq!(stat(&stats, "model_swap_failures"), 1, "stats: {stats}");
+    assert_eq!(stat(&stats, "model_swaps"), 0, "stats: {stats}");
 
     handle.shutdown();
     thread.join().expect("join").expect("clean run");

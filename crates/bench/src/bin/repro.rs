@@ -275,7 +275,7 @@ impl Harness {
 
         // The checkpoint round-trips through disk — serving what a daemon
         // restart would actually load.
-        let bundle = AnnotatorBundle::load_from(&trained.checkpoint)?;
+        let bundle = std::sync::Arc::new(AnnotatorBundle::load_from(&trained.checkpoint)?);
 
         // Offline comparison points for the Table-3 checks (cache hits when
         // the tables stage — or a previous run — already trained them).
@@ -309,7 +309,7 @@ impl Harness {
         let handle = server.handle();
 
         let (identical, daemon_type, daemon_rel) = std::thread::scope(|scope| {
-            let srv = scope.spawn(|| server.run(&bundle));
+            let srv = scope.spawn(|| server.run(bundle.clone()));
             let result = (|| -> Result<_, String> {
                 // Gate 1: every response byte-identical to offline, over
                 // real TCP.

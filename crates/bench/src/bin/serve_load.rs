@@ -395,7 +395,7 @@ fn main() {
         let runners: Vec<_> = servers
             .iter()
             .map(|server| {
-                let bundle = &world.bundle;
+                let bundle = world.bundle.clone();
                 scope.spawn(move || server.run(bundle))
             })
             .collect();

@@ -35,8 +35,8 @@
 use doduo_bench::report::Report;
 use doduo_bench::{ExpOptions, Scale};
 use doduo_core::{
-    scored_labels, Annotator, ColumnTypePrediction, DoduoConfig, DoduoModel, RelationPrediction,
-    TableAnnotation,
+    scored_labels, Annotator, AnnotatorBundle, ColumnTypePrediction, DoduoConfig, DoduoModel,
+    RelationPrediction, TableAnnotation,
 };
 use doduo_datagen::{generate_wikitable, KbConfig, KnowledgeBase, WikiTableConfig};
 use doduo_serve::{BatchAnnotator, BatchConfig};
@@ -46,6 +46,7 @@ use doduo_tokenizer::{TrainConfig as TokTrain, WordPiece};
 use doduo_transformer::EncoderConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One measurement cell: mode label, batch size, thread count, and the
@@ -137,17 +138,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
     let tables: Vec<Table> = ds.tables.into_iter().map(|t| t.table).collect();
-    let annotator = || Annotator {
-        model: &model,
-        store: &store,
-        tokenizer: &tok,
-        type_vocab: &ds.type_vocab,
-        rel_vocab: &ds.rel_vocab,
-    };
+    let bundle =
+        Arc::new(AnnotatorBundle::new(store, model, tok, ds.type_vocab, ds.rel_vocab, "m"));
+    let annotator = || bundle.annotator();
     eprintln!(
         "[throughput] corpus ready: {} tables, vocab {}, setup {:?}",
         tables.len(),
-        tok.vocab_size(),
+        bundle.tokenizer.vocab_size(),
         started.elapsed()
     );
 
@@ -157,12 +154,13 @@ fn main() {
     // batch 1 / 1 thread baseline, then the engine across batch × thread
     // cells (on a single-core host the {1, N} thread grids coincide).
     let thread_grid: Vec<usize> = if n_threads == 1 { vec![1] } else { vec![1, n_threads] };
-    let mut server_store: Vec<(&'static str, usize, usize, BatchAnnotator<'_>)> = thread_grid
+    let mut server_store: Vec<(&'static str, usize, usize, BatchAnnotator)> = thread_grid
         .iter()
         .flat_map(|&threads| {
+            let bundle = &bundle;
             [1usize, 8, 32].into_iter().map(move |batch| {
                 let server = BatchAnnotator::with_config(
-                    annotator(),
+                    Arc::clone(bundle),
                     BatchConfig {
                         max_batch: batch,
                         threads,
@@ -178,7 +176,7 @@ fn main() {
     // count): same scheduling, quantized dense layers.
     for &threads in &thread_grid {
         let server = BatchAnnotator::with_config(
-            annotator(),
+            Arc::clone(&bundle),
             BatchConfig {
                 max_batch: 32,
                 threads,
@@ -204,7 +202,7 @@ fn main() {
             }),
         ));
     }
-    let mut servers: Vec<(&'static str, usize, usize, &BatchAnnotator<'_>)> = Vec::new();
+    let mut servers: Vec<(&'static str, usize, usize, &BatchAnnotator)> = Vec::new();
     for (mode, batch, threads, server) in &server_store {
         servers.push((mode, *batch, *threads, server));
         let tables = &tables;

@@ -185,6 +185,19 @@ fn read_vocab(r: &mut Reader<'_>) -> Result<LabelVocab, BundleError> {
     Ok(v)
 }
 
+/// The CRC32 stored in a serialized bundle's header, without decoding the
+/// payload. Returns `None` when `data` is not an annotator bundle (wrong
+/// magic or too short). Serving uses this as the stable content fingerprint
+/// in model-version labels: [`AnnotatorBundle::load`] verifies the payload
+/// against this very field, so once a blob loads, the header CRC *is* the
+/// checksum of the model that will answer requests.
+pub fn blob_crc(data: &[u8]) -> Option<u32> {
+    if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(data[MAGIC.len()..MAGIC.len() + 4].try_into().expect("4 bytes")))
+}
+
 impl AnnotatorBundle {
     /// Bundles freshly built parts. `prefix` is the parameter-name prefix
     /// `model` was registered under (its weights are saved as
@@ -422,5 +435,21 @@ mod tests {
         let mut blob = bundle().save();
         blob.truncate(blob.len() / 2);
         assert!(AnnotatorBundle::load(&blob).is_err());
+    }
+
+    #[test]
+    fn blob_crc_reads_the_verified_header_checksum() {
+        let blob = bundle().save();
+        let crc = blob_crc(&blob).expect("valid bundle has a header CRC");
+        assert_eq!(crc, u32::from_le_bytes(blob[8..12].try_into().unwrap()));
+        // The header field is exactly what load() verifies the payload
+        // against, so a loadable blob's blob_crc is its model fingerprint.
+        AnnotatorBundle::load(&blob).expect("loads");
+        assert_eq!(blob_crc(b"not a bundle"), None);
+        assert_eq!(blob_crc(&blob[..6]), None);
+        let mut flipped = blob.clone();
+        flipped[20] ^= 1;
+        assert_eq!(blob_crc(&flipped), Some(crc), "header CRC is positional");
+        assert!(AnnotatorBundle::load(&flipped).is_err(), "but the flip no longer matches it");
     }
 }

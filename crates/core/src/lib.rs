@@ -43,7 +43,7 @@ pub mod quant;
 pub mod trainer;
 
 pub use analysis::attention_dependency;
-pub use checkpoint::{AnnotatorBundle, BundleError};
+pub use checkpoint::{blob_crc, AnnotatorBundle, BundleError};
 pub use model::{AttentionMode, DoduoConfig, DoduoModel, InputMode};
 pub use pipeline::{
     build_finetune_model, build_scratch_model, instantiate_lm, pretrain_lm, PretrainRecipe,

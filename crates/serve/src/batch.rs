@@ -22,9 +22,16 @@
 //! quantized activations are per-row and integer accumulation is exact, so
 //! batch composition and thread count still never change the numbers — but
 //! the numbers themselves are the quantized tier's, not the f32 reference's.
+//!
+//! The engine *owns* its model: construction takes an
+//! `Arc<AnnotatorBundle>`, not a borrowed [`Annotator`]. That makes a whole
+//! engine a swappable unit — the serving daemon hot-swaps models by
+//! building a fresh `BatchAnnotator` around a new bundle and exchanging one
+//! `Arc` for another, while in-flight batches keep annotating on the engine
+//! (and therefore the exact model) they started with.
 
 use crate::cache::{CacheStats, TokenCache};
-use doduo_core::{Annotator, InputMode, QuantizedModel, TableAnnotation};
+use doduo_core::{Annotator, AnnotatorBundle, InputMode, QuantizedModel, TableAnnotation};
 use doduo_table::{
     assemble_single_column, assemble_table_wise, column_tokens, single_column_budget,
     table_wise_budget, SerializedTable, Table,
@@ -71,35 +78,45 @@ impl Default for BatchConfig {
     }
 }
 
-/// A multi-table, multi-threaded front end over a trained
-/// [`Annotator`]: same results, serving throughput.
-pub struct BatchAnnotator<'a> {
-    annotator: Annotator<'a>,
+/// A multi-table, multi-threaded front end over a trained model: same
+/// results as single-table annotation, serving throughput. Owns its
+/// [`AnnotatorBundle`] behind an `Arc`, so the whole engine — weights,
+/// tokenizer, vocabularies, caches, and the optional int8 twin — is one
+/// swappable unit.
+pub struct BatchAnnotator {
+    bundle: Arc<AnnotatorBundle>,
     cfg: BatchConfig,
     cache: Mutex<TokenCache>,
     /// Present iff [`BatchConfig::quant`]: the int8 twin every micro-batch
-    /// dispatches through instead of the f32 annotator.
+    /// dispatches through instead of the f32 annotator. Rebuilt from the
+    /// new bundle's f32 weights on every hot-swap, so both tiers always
+    /// answer from the same model version.
     quant: Option<QuantizedModel>,
 }
 
-impl<'a> BatchAnnotator<'a> {
-    /// Wraps an annotator with the default [`BatchConfig`].
-    pub fn new(annotator: Annotator<'a>) -> Self {
-        Self::with_config(annotator, BatchConfig::default())
+impl BatchAnnotator {
+    /// Wraps a bundle with the default [`BatchConfig`].
+    pub fn new(bundle: Arc<AnnotatorBundle>) -> Self {
+        Self::with_config(bundle, BatchConfig::default())
     }
 
-    /// Wraps an annotator with explicit batching/threading/caching knobs.
+    /// Wraps a bundle with explicit batching/threading/caching knobs.
     /// When [`BatchConfig::quant`] is set, the int8 model is quantized
-    /// here, once, from the annotator's f32 weights.
-    pub fn with_config(annotator: Annotator<'a>, cfg: BatchConfig) -> Self {
+    /// here, once, from the bundle's f32 weights.
+    pub fn with_config(bundle: Arc<AnnotatorBundle>, cfg: BatchConfig) -> Self {
         let cache = Mutex::new(TokenCache::new(cfg.cache_capacity));
-        let quant = cfg.quant.then(|| QuantizedModel::from_model(annotator.model, annotator.store));
-        BatchAnnotator { annotator, cfg, cache, quant }
+        let quant = cfg.quant.then(|| bundle.quantized());
+        BatchAnnotator { bundle, cfg, cache, quant }
     }
 
-    /// The wrapped single-table annotator.
-    pub fn annotator(&self) -> &Annotator<'a> {
-        &self.annotator
+    /// A borrowed single-table annotator over the owned bundle.
+    pub fn annotator(&self) -> Annotator<'_> {
+        self.bundle.annotator()
+    }
+
+    /// The owned bundle (shared, not cloned).
+    pub fn bundle(&self) -> &Arc<AnnotatorBundle> {
+        &self.bundle
     }
 
     /// The active configuration.
@@ -197,17 +214,18 @@ impl<'a> BatchAnnotator<'a> {
         // moment its micro-batch completes.
         let threads = self.cfg.threads.clamp(1, batches.len());
         let batches = &batches;
-        let annotator = &self.annotator;
+        let bundle = &self.bundle;
         let quant = self.quant.as_ref();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
+                        let annotator = bundle.annotator();
                         for batch in batches.iter().skip(w).step_by(threads) {
                             let sliced: Vec<&[SerializedTable]> =
                                 batch.iter().map(|&i| groups[i].as_slice()).collect();
                             let anns = match quant {
-                                Some(qm) => qm.annotate_serialized(annotator, &sliced),
+                                Some(qm) => qm.annotate_serialized(&annotator, &sliced),
                                 None => annotator.annotate_serialized(&sliced),
                             };
                             for (&i, ann) in batch.iter().zip(anns) {
@@ -228,7 +246,7 @@ impl<'a> BatchAnnotator<'a> {
     /// serving front ends can measure a table's token cost (for batching
     /// budgets) while warming the cache the later forward pass will hit.
     pub fn serialize_table(&self, table: &Table) -> Vec<SerializedTable> {
-        let cfg = self.annotator.model.config();
+        let cfg = self.bundle.model.config();
         let ser = &cfg.serialize;
         match cfg.input_mode {
             InputMode::TableWise => {
@@ -282,7 +300,7 @@ impl<'a> BatchAnnotator<'a> {
             key.push_str(v);
         }
         self.cache.lock().expect("cache lock").get_or_insert_with(&key, || {
-            column_tokens(table, col, self.annotator.tokenizer, budget, include_metadata)
+            column_tokens(table, col, &self.bundle.tokenizer, budget, include_metadata)
         })
     }
 }

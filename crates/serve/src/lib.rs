@@ -26,10 +26,16 @@
 //! calling `Annotator::annotate` once per table, in input order, at every
 //! batch size and thread count.
 //!
+//! The engine owns its model: construction takes an
+//! `Arc<doduo_core::AnnotatorBundle>`, which makes one `BatchAnnotator` a
+//! complete, swappable serving unit — the daemon's hot-swap path builds a
+//! fresh engine around a newly uploaded bundle and exchanges `Arc`s, while
+//! in-flight batches finish on the engine they started with.
+//!
 //! ```no_run
-//! # fn demo(annotator: doduo_core::Annotator<'_>, tables: &[doduo_table::Table]) {
+//! # fn demo(bundle: std::sync::Arc<doduo_core::AnnotatorBundle>, tables: &[doduo_table::Table]) {
 //! use doduo_serve::BatchAnnotator;
-//! let server = BatchAnnotator::new(annotator);
+//! let server = BatchAnnotator::new(bundle);
 //! let annotations = server.annotate_batch(tables);
 //! # let _ = annotations;
 //! # }

@@ -2,22 +2,19 @@
 //! to sequential `Annotator::annotate`, at every batch size and thread
 //! count, in both input modes.
 
-use doduo_core::{Annotator, DoduoConfig, DoduoModel, InputMode, TableAnnotation};
+use doduo_core::{Annotator, AnnotatorBundle, DoduoConfig, DoduoModel, InputMode, TableAnnotation};
 use doduo_datagen::{generate_wikitable, KbConfig, KnowledgeBase, WikiTableConfig};
 use doduo_serve::{BatchAnnotator, BatchConfig};
-use doduo_table::{LabelVocab, SerializeConfig, Table};
+use doduo_table::{SerializeConfig, Table};
 use doduo_tensor::ParamStore;
 use doduo_tokenizer::{TrainConfig as TokTrain, WordPiece};
 use doduo_transformer::EncoderConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 struct World {
-    store: ParamStore,
-    model: DoduoModel,
-    tok: WordPiece,
-    type_vocab: LabelVocab,
-    rel_vocab: LabelVocab,
+    bundle: Arc<AnnotatorBundle>,
     tables: Vec<Table>,
 }
 
@@ -48,7 +45,9 @@ fn world(mode: InputMode) -> World {
         .with_serialize(SerializeConfig::new(8, max_seq));
     let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
     let tables: Vec<Table> = ds.tables.into_iter().map(|t| t.table).collect();
-    World { store, model, tok, type_vocab: ds.type_vocab, rel_vocab: ds.rel_vocab, tables }
+    let bundle =
+        Arc::new(AnnotatorBundle::new(store, model, tok, ds.type_vocab, ds.rel_vocab, "m"));
+    World { bundle, tables }
 }
 
 fn assert_bit_identical(a: &TableAnnotation, b: &TableAnnotation, table: usize) {
@@ -72,13 +71,7 @@ fn assert_bit_identical(a: &TableAnnotation, b: &TableAnnotation, table: usize) 
 }
 
 fn annotator(w: &World) -> Annotator<'_> {
-    Annotator {
-        model: &w.model,
-        store: &w.store,
-        tokenizer: &w.tok,
-        type_vocab: &w.type_vocab,
-        rel_vocab: &w.rel_vocab,
-    }
+    w.bundle.annotator()
 }
 
 fn check_equivalence(mode: InputMode, threads: usize, max_batch: usize) {
@@ -95,7 +88,7 @@ fn check_equivalence_with_tokens(
     let sequential: Vec<TableAnnotation> =
         w.tables.iter().map(|t| annotator(&w).annotate(t)).collect();
     let server = BatchAnnotator::with_config(
-        annotator(&w),
+        Arc::clone(&w.bundle),
         BatchConfig { max_batch, max_batch_tokens, threads, cache_capacity: 512, quant: false },
     );
     let batched = server.annotate_batch(&w.tables);
@@ -133,20 +126,20 @@ fn batch_of_everything_in_one_forward() {
 #[test]
 fn quant_batched_equals_quant_sequential_bitwise() {
     let w = world(InputMode::TableWise);
-    let qm = doduo_core::QuantizedModel::from_model(&w.model, &w.store);
+    let qm = w.bundle.quantized();
     let ann = annotator(&w);
     let sequential: Vec<TableAnnotation> = w
         .tables
         .iter()
         .map(|t| {
-            let groups = [w.model.serialize_for_types(t, ann.tokenizer)];
+            let groups = [w.bundle.model.serialize_for_types(t, ann.tokenizer)];
             let refs: Vec<&[_]> = groups.iter().map(Vec::as_slice).collect();
             qm.annotate_serialized(&ann, &refs).into_iter().next().expect("one table")
         })
         .collect();
     for (threads, max_batch) in [(1usize, 8usize), (4, 8), (2, 1024)] {
         let server = BatchAnnotator::with_config(
-            annotator(&w),
+            Arc::clone(&w.bundle),
             BatchConfig { max_batch, threads, quant: true, ..BatchConfig::default() },
         );
         assert!(server.is_quantized());
@@ -163,7 +156,7 @@ fn quant_batched_equals_quant_sequential_bitwise() {
 #[test]
 fn default_config_is_not_quantized() {
     let w = world(InputMode::TableWise);
-    let server = BatchAnnotator::new(annotator(&w));
+    let server = BatchAnnotator::new(Arc::clone(&w.bundle));
     assert!(!server.is_quantized());
     let batched = server.annotate_batch(&w.tables[..4]);
     let sequential: Vec<TableAnnotation> =
@@ -176,7 +169,7 @@ fn default_config_is_not_quantized() {
 #[test]
 fn cache_dedupes_repeated_columns() {
     let w = world(InputMode::TableWise);
-    let server = BatchAnnotator::new(annotator(&w));
+    let server = BatchAnnotator::new(Arc::clone(&w.bundle));
     let first = server.annotate_batch(&w.tables);
     let cold = server.cache_stats();
     assert_eq!(cold.hits + cold.misses, cold.misses, "first pass is all misses");

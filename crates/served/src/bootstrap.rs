@@ -22,12 +22,15 @@ use doduo_tokenizer::{TrainConfig as TokTrain, WordPiece};
 use doduo_transformer::EncoderConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A bootstrapped serving world: the model bundle plus the corpus it was
 /// shaped on (handy as ready-made request payloads).
 pub struct SyntheticWorld {
-    /// Model + tokenizer + vocabularies, ready to serve or checkpoint.
-    pub bundle: AnnotatorBundle,
+    /// Model + tokenizer + vocabularies, ready to serve or checkpoint
+    /// (`Arc` so tests hand it straight to [`crate::server::Server::run`]
+    /// and the lifecycle layer).
+    pub bundle: Arc<AnnotatorBundle>,
     /// The generated tables (64 at quick scale, 192 at full).
     pub tables: Vec<Table>,
 }
@@ -66,7 +69,8 @@ pub fn synthetic_world(quick: bool, seed: u64) -> SyntheticWorld {
     let mut rng = StdRng::seed_from_u64(seed);
     let model = DoduoModel::new(&mut store, cfg, "m", &mut rng);
     let tables: Vec<Table> = ds.tables.into_iter().map(|t| t.table).collect();
-    let bundle = AnnotatorBundle::new(store, model, tokenizer, ds.type_vocab, ds.rel_vocab, "m");
+    let bundle =
+        Arc::new(AnnotatorBundle::new(store, model, tokenizer, ds.type_vocab, ds.rel_vocab, "m"));
     SyntheticWorld { bundle, tables }
 }
 

@@ -33,6 +33,7 @@ struct Args {
     keep_alive: bool,
     chaos: Option<ChaosConfig>,
     port_file: Option<String>,
+    feedback_finetune: bool,
 }
 
 fn usage() -> ! {
@@ -61,6 +62,9 @@ fn usage() -> ! {
                                    (how a supervisor discovers an ephemeral port)\n\
            --chaos SPEC            deterministic fault injection, e.g.\n\
                                    crash_after=40,delay_ms=250,reset_prob=0.5,seed=7\n\
+           --feedback-finetune     fold POST /v1/feedback corrections into a\n\
+                                   background fine-tune + hot-swap cycle\n\
+                                   (default off; the journal still accumulates)\n\
          \n\
          other:\n\
            --oneshot FILE          annotate request FILE offline, print the exact\n\
@@ -91,6 +95,7 @@ fn parse_args(argv: &[String]) -> Args {
         keep_alive: true,
         chaos: None,
         port_file: None,
+        feedback_finetune: false,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -154,6 +159,7 @@ fn parse_args(argv: &[String]) -> Args {
                 }))
             }
             "--port-file" => args.port_file = Some(value(&mut i)),
+            "--feedback-finetune" => args.feedback_finetune = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -194,9 +200,9 @@ pub fn run(argv: &[String]) -> i32 {
         }
     }
     let t0 = std::time::Instant::now();
-    let bundle: AnnotatorBundle = if let Some(path) = &args.checkpoint {
+    let bundle: std::sync::Arc<AnnotatorBundle> = if let Some(path) = &args.checkpoint {
         match AnnotatorBundle::load_from(path) {
-            Ok(b) => b,
+            Ok(b) => std::sync::Arc::new(b),
             Err(e) => {
                 eprintln!("[served] {e}");
                 return 1;
@@ -265,6 +271,7 @@ pub fn run(argv: &[String]) -> i32 {
         topology: args.topology,
         keep_alive: args.keep_alive,
         chaos: args.chaos.clone(),
+        feedback_finetune: args.feedback_finetune,
         ..ServeConfig::default()
     };
     let topo = cfg.effective_topology();
@@ -302,7 +309,7 @@ pub fn run(argv: &[String]) -> i32 {
         if args.keep_alive { "on" } else { "off" },
         if args.chaos.is_some() { "; CHAOS INJECTION ON" } else { "" },
     );
-    server.run(&bundle);
+    server.run(bundle);
     eprintln!("[served] shut down cleanly");
     0
 }

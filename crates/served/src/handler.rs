@@ -125,6 +125,15 @@ impl HttpResponse {
         }
         self
     }
+
+    /// Appends one extra response header (a no-op for the raw/severing
+    /// variants, which carry no header section to extend).
+    pub fn with_header(mut self, name: &str, value: &str) -> HttpResponse {
+        if let HttpResponse::Payload(p) = &mut self {
+            p.extra.push_str(&format!("{name}: {value}\r\n"));
+        }
+        self
+    }
 }
 
 /// The request→response core every transport drives.
@@ -302,6 +311,21 @@ mod tests {
         let (bytes, keep) = render_http_response(&HttpResponse::Hangup, true);
         assert!(bytes.is_empty());
         assert!(!keep);
+    }
+
+    #[test]
+    fn with_header_appends_to_the_header_section() {
+        let resp = HttpResponse::json(200, "{}\n")
+            .with_header("x-model-version", "3-deadbeef")
+            .with_header("deprecation", "true");
+        let (bytes, _) = render_http_response(&resp, true);
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.contains("x-model-version: 3-deadbeef"), "{text}");
+        assert!(text.contains("deprecation: true"), "{text}");
+        // Raw variants have no header section; the call must be a no-op.
+        let raw = HttpResponse::RawThenClose(b"x".to_vec()).with_header("a", "b");
+        let (bytes, _) = render_http_response(&raw, true);
+        assert_eq!(bytes, b"x");
     }
 
     #[test]

@@ -957,6 +957,24 @@ pub struct Response {
     /// Seconds from a `Retry-After` header, if the server sent one (the
     /// backoff hint on 503 backpressure responses).
     pub retry_after: Option<u64>,
+    /// The `x-model-version` header, if the server sent one — the
+    /// `"{version}-{crc:08x}"` label of the model that produced this
+    /// response.
+    pub model_version: Option<String>,
+    /// True when the response carried a `Deprecation` header (the request
+    /// used a legacy unprefixed route).
+    pub deprecated: bool,
+}
+
+/// Parsed response head fields [`Client::read_response_head`] extracts.
+#[derive(Debug, Default)]
+struct RespHead {
+    status: u16,
+    content_length: usize,
+    chunked: bool,
+    retry_after: Option<u64>,
+    model_version: Option<String>,
+    deprecated: bool,
 }
 
 impl Client {
@@ -981,16 +999,22 @@ impl Client {
         self.stream.write_all(body)?;
         self.stream.flush()?;
 
-        let (status, content_length, _chunked, retry_after) = self.read_response_head()?;
-        let mut body = vec![0u8; content_length];
+        let head = self.read_response_head()?;
+        let mut body = vec![0u8; head.content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(Response { status, body, retry_after })
+        Ok(Response {
+            status: head.status,
+            body,
+            retry_after: head.retry_after,
+            model_version: head.model_version,
+            deprecated: head.deprecated,
+        })
     }
 
-    fn read_response_head(&mut self) -> std::io::Result<(u16, usize, bool, Option<u64>)> {
+    fn read_response_head(&mut self) -> std::io::Result<RespHead> {
         let mut line = String::new();
         // Skip interim 1xx responses (100 Continue) transparently.
-        let status = loop {
+        let head = loop {
             line.clear();
             self.reader.read_line(&mut line)?;
             let status: u16 = line
@@ -1000,9 +1024,7 @@ impl Client {
                 .ok_or_else(|| std::io::Error::other(format!("bad status line: {line:?}")))?;
             let interim = (100..200).contains(&status);
             // Headers (1xx interim responses have none of interest).
-            let mut content_length = 0usize;
-            let mut chunked = false;
-            let mut retry_after = None;
+            let mut head = RespHead { status, ..RespHead::default() };
             loop {
                 line.clear();
                 let n = self.reader.read_line(&mut line)?;
@@ -1015,21 +1037,25 @@ impl Client {
                 }
                 if let Some((name, value)) = t.split_once(':') {
                     if name.eq_ignore_ascii_case("content-length") {
-                        content_length = value.trim().parse().unwrap_or(0);
+                        head.content_length = value.trim().parse().unwrap_or(0);
                     } else if name.eq_ignore_ascii_case("transfer-encoding")
                         && value.trim().eq_ignore_ascii_case("chunked")
                     {
-                        chunked = true;
+                        head.chunked = true;
                     } else if name.eq_ignore_ascii_case("retry-after") {
-                        retry_after = value.trim().parse().ok();
+                        head.retry_after = value.trim().parse().ok();
+                    } else if name.eq_ignore_ascii_case("x-model-version") {
+                        head.model_version = Some(value.trim().to_string());
+                    } else if name.eq_ignore_ascii_case("deprecation") {
+                        head.deprecated = true;
                     }
                 }
             }
             if !interim {
-                break (status, content_length, chunked, retry_after);
+                break head;
             }
         };
-        Ok(status)
+        Ok(head)
     }
 
     /// Opens a chunked-upload request (e.g. to `/annotate_stream`). Send
@@ -1069,11 +1095,11 @@ impl Client {
     /// Reads the streaming response's status line + headers (call once,
     /// any time after [`Client::stream_open`]).
     pub fn stream_status(&mut self) -> std::io::Result<u16> {
-        let (status, _, chunked, _) = self.read_response_head()?;
-        if !chunked {
+        let head = self.read_response_head()?;
+        if !head.chunked {
             self.resp_done = true;
         }
-        Ok(status)
+        Ok(head.status)
     }
 
     /// Returns the next newline-terminated line of the dechunked response

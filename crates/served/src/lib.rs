@@ -42,6 +42,10 @@
 //! * [`reactor`] — the epoll event loop: connection state machines, timer
 //!   wheel, eventfd completion routing.
 //! * [`queue`] — the deterministic batching core and its `Condvar` wrapper.
+//! * [`lifecycle`] — the versioned live-model layer: atomic blue/green
+//!   hot-swap (`POST /v1/model`), per-response `x-model-version`
+//!   attribution, and the bounded feedback journal behind the opt-in
+//!   fine-tune loop (`POST /v1/feedback`, `--feedback-finetune`).
 //! * [`stats`] — latency percentiles and aggregate counters (`/stats`).
 //! * [`server`] — accept loop, topologies (reactor / worker pool /
 //!   thread-per-conn), dispatcher, streaming, graceful shutdown.
@@ -55,9 +59,11 @@
 //!   the balancer can embed a replica daemon in a child process.
 //!
 //! Endpoints are mounted under `/v1` (`POST /v1/annotate`, `POST
-//! /v1/annotate_stream`, `GET /v1/healthz` (liveness), `GET /v1/readyz`
-//! (readiness), `GET /v1/stats`, `POST /v1/shutdown`); the legacy
-//! unprefixed paths remain as deprecated aliases.
+//! /v1/annotate_stream`, `POST /v1/model` (hot-swap upload), `POST
+//! /v1/feedback` (corrected labels), `GET /v1/healthz` (liveness), `GET
+//! /v1/readyz` (readiness), `GET /v1/stats`, `POST /v1/shutdown`); the
+//! legacy unprefixed paths remain as deprecated aliases and answer with a
+//! `Deprecation: true` header.
 #![warn(missing_docs)]
 
 pub mod bootstrap;
@@ -66,6 +72,7 @@ pub mod cli;
 pub mod handler;
 pub mod http;
 pub mod json;
+pub mod lifecycle;
 pub mod queue;
 pub mod reactor;
 pub mod server;
@@ -73,6 +80,7 @@ pub mod stats;
 pub mod validate;
 
 pub use handler::{canonical_path, Handler, HttpRequest, HttpResponse};
+pub use lifecycle::{EngineSlot, FeedbackJournal, Lifecycle, VersionedEngine};
 pub use queue::{BatchPolicy, Batcher, FlushReason, PushRejected, SharedBatcher};
 pub use server::{ServeConfig, Server, ServerHandle, Topology};
 pub use stats::{percentiles, Percentiles, ServerStats};

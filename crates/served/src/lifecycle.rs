@@ -1,0 +1,417 @@
+//! The live model lifecycle: versioned engines, atomic blue/green
+//! hot-swap, and the feedback journal behind `--feedback-finetune`.
+//!
+//! A running daemon serves exactly one *current* engine at a time, held in
+//! an [`EngineSlot`]. `POST /v1/model` uploads a new [`AnnotatorBundle`]
+//! checkpoint blob; the slot CRC-verifies and strict-loads it, builds a
+//! fresh [`BatchAnnotator`] **off the hot path** (no request ever waits on
+//! an engine build), and then swaps one `Arc` pointer. Every request
+//! captures its engine `Arc` at serialize time, so the swap is atomic at
+//! request granularity: in-flight micro-batches finish on the model they
+//! started with, and each response carries the `x-model-version` label of
+//! the engine that actually produced its bytes. The quantized twin is not
+//! special-cased — [`BatchAnnotator::with_config`] rebuilds the int8 model
+//! from the new bundle whenever `BatchConfig::quant` is set, so both tiers
+//! swap together.
+//!
+//! Version labels are `"{version}-{crc:08x}"`: a monotonically increasing
+//! swap ordinal plus the checkpoint payload CRC32 from the blob header
+//! (the same checksum [`AnnotatorBundle::load`] verifies). Two uploads of
+//! the same bytes get distinct ordinals but share the CRC half, which is
+//! what lets a test (or the CI smoke) match a response to the exact
+//! checkpoint bytes that produced it.
+//!
+//! `POST /v1/feedback` accumulates corrected labels into a bounded
+//! [`FeedbackJournal`]. When the daemon runs with `--feedback-finetune`, a
+//! background thread folds accumulated entries into a short fine-tune of a
+//! *copy* of the current bundle (via a save/load round-trip — training
+//! never mutates the serving weights) and self-swaps the result through
+//! the same slot, closing the serve → correct → retrain → serve loop.
+
+use doduo_core::{blob_crc, trainer, AnnotatorBundle, Task, TrainConfig};
+use doduo_serve::{BatchAnnotator, BatchConfig};
+use doduo_table::{AnnotatedTable, Dataset, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Feedback entries retained before the oldest are evicted.
+pub const FEEDBACK_JOURNAL_CAP: usize = 1024;
+/// Journal entries that trigger one background fine-tune cycle.
+pub const FINETUNE_BATCH: usize = 8;
+
+/// One serving engine pinned to the model version it was built from.
+///
+/// Immutable after construction: the dispatcher and every handler share it
+/// by `Arc`, and a hot-swap replaces the whole value rather than mutating
+/// it.
+pub struct VersionedEngine {
+    engine: BatchAnnotator,
+    version: u64,
+    crc: u32,
+}
+
+impl VersionedEngine {
+    /// The batched annotation engine.
+    pub fn engine(&self) -> &BatchAnnotator {
+        &self.engine
+    }
+
+    /// Monotonic swap ordinal (1 for the boot model).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// CRC32 of the checkpoint payload this engine was built from.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// The wire label carried in `x-model-version` headers and `/v1/stats`:
+    /// `"{version}-{crc:08x}"`.
+    pub fn label(&self) -> String {
+        format!("{}-{:08x}", self.version, self.crc)
+    }
+}
+
+/// Why a model upload was rejected.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The blob failed strict checkpoint validation (bad magic, truncated,
+    /// checksum mismatch, malformed sections).
+    BadBundle(String),
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::BadBundle(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// The daemon's single mutable model pointer: the blue/green swap point.
+///
+/// `current()` is a mutex-guarded `Arc` clone (nanoseconds, never held
+/// across work); `swap_blob` does all expensive work — CRC verification,
+/// deserialization, engine construction, int8 requantization — before
+/// taking the lock.
+pub struct EngineSlot {
+    current: Mutex<Arc<VersionedEngine>>,
+    /// Ordinal handed to the next successful swap.
+    next_version: AtomicU64,
+    /// Completed swaps (the boot engine is not counted).
+    swaps: AtomicU64,
+    /// Engine knobs applied to every rebuilt engine (including `quant`).
+    engine_cfg: BatchConfig,
+}
+
+impl EngineSlot {
+    /// Builds the boot engine (version 1) around `bundle`. The boot CRC is
+    /// computed by serializing the bundle once, so a daemon started from
+    /// `--synthetic` and one started from the equivalent checkpoint file
+    /// report the same label.
+    pub fn new(bundle: Arc<AnnotatorBundle>, engine_cfg: BatchConfig) -> EngineSlot {
+        let crc = blob_crc(&bundle.save()).expect("saved bundle has a checkpoint header");
+        let engine = BatchAnnotator::with_config(bundle, engine_cfg.clone());
+        EngineSlot {
+            current: Mutex::new(Arc::new(VersionedEngine { engine, version: 1, crc })),
+            next_version: AtomicU64::new(2),
+            swaps: AtomicU64::new(0),
+            engine_cfg,
+        }
+    }
+
+    /// The engine serving right now. Callers capture the `Arc` once per
+    /// request (or stream, or fine-tune cycle) and use it throughout, so a
+    /// concurrent swap never changes the model under them.
+    pub fn current(&self) -> Arc<VersionedEngine> {
+        Arc::clone(&self.current.lock().expect("engine slot lock"))
+    }
+
+    /// Completed hot-swaps since boot.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    /// Strict-loads a checkpoint blob, builds the replacement engine off
+    /// the hot path, and swaps it in. Returns the new engine. In-flight
+    /// batches keep the `Arc` they captured and finish on the old model.
+    pub fn swap_blob(&self, blob: &[u8]) -> Result<Arc<VersionedEngine>, SwapError> {
+        let crc = blob_crc(blob)
+            .ok_or_else(|| SwapError::BadBundle("not a checkpoint blob (bad magic)".into()))?;
+        let bundle =
+            AnnotatorBundle::load(blob).map_err(|e| SwapError::BadBundle(format!("{e:?}")))?;
+        Ok(self.install(Arc::new(bundle), crc))
+    }
+
+    /// Installs an already-validated bundle whose payload CRC is `crc`
+    /// (the fine-tune loop, which just serialized the bundle itself).
+    pub fn install(&self, bundle: Arc<AnnotatorBundle>, crc: u32) -> Arc<VersionedEngine> {
+        // All expensive work (engine build, quantization) happens here,
+        // before the lock.
+        let engine = BatchAnnotator::with_config(bundle, self.engine_cfg.clone());
+        let version = self.next_version.fetch_add(1, Ordering::SeqCst);
+        let fresh = Arc::new(VersionedEngine { engine, version, crc });
+        *self.current.lock().expect("engine slot lock") = Arc::clone(&fresh);
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        fresh
+    }
+}
+
+/// One corrected-label observation: a table plus per-column type labels.
+#[derive(Clone, Debug)]
+pub struct FeedbackEntry {
+    /// The table the labels apply to.
+    pub table: Table,
+    /// Per-column corrected type labels (names from the serving vocab).
+    pub types: Vec<Vec<String>>,
+}
+
+/// A bounded journal of corrected labels awaiting fine-tuning.
+///
+/// Always accumulates (feedback is accepted even when `--feedback-finetune`
+/// is off — the journal is also an audit buffer); when full, the oldest
+/// entries are evicted and counted in `dropped`.
+pub struct FeedbackJournal {
+    entries: Mutex<Vec<FeedbackEntry>>,
+    cap: usize,
+    accepted: AtomicU64,
+    dropped: AtomicU64,
+    /// Completed fine-tune + self-swap cycles.
+    finetunes: AtomicU64,
+}
+
+impl FeedbackJournal {
+    /// An empty journal bounded at `cap` entries.
+    pub fn new(cap: usize) -> FeedbackJournal {
+        FeedbackJournal {
+            entries: Mutex::new(Vec::new()),
+            cap,
+            accepted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            finetunes: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one entry, evicting the oldest when the journal is full.
+    /// Returns the pending count after the push.
+    pub fn push(&self, entry: FeedbackEntry) -> usize {
+        let mut entries = self.entries.lock().expect("journal lock");
+        if entries.len() >= self.cap {
+            entries.remove(0);
+            self.dropped.fetch_add(1, Ordering::SeqCst);
+        }
+        entries.push(entry);
+        self.accepted.fetch_add(1, Ordering::SeqCst);
+        entries.len()
+    }
+
+    /// Entries currently awaiting a fine-tune cycle.
+    pub fn pending(&self) -> usize {
+        self.entries.lock().expect("journal lock").len()
+    }
+
+    /// Takes every pending entry if at least `min` have accumulated;
+    /// otherwise leaves the journal untouched and returns an empty vec.
+    pub fn drain_if_at_least(&self, min: usize) -> Vec<FeedbackEntry> {
+        let mut entries = self.entries.lock().expect("journal lock");
+        if entries.len() < min {
+            return Vec::new();
+        }
+        std::mem::take(&mut *entries)
+    }
+
+    /// Total entries ever accepted.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Entries evicted unprocessed because the journal was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Completed fine-tune + self-swap cycles.
+    pub fn finetunes(&self) -> u64 {
+        self.finetunes.load(Ordering::SeqCst)
+    }
+
+    /// Records one completed fine-tune cycle.
+    pub fn record_finetune(&self) {
+        self.finetunes.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Everything the serving stack shares about the live model: the swap slot
+/// plus the feedback journal. One per daemon, threaded through every
+/// topology in place of the old fixed `&BatchAnnotator`.
+pub struct Lifecycle {
+    slot: EngineSlot,
+    journal: FeedbackJournal,
+}
+
+impl Lifecycle {
+    /// Boots the lifecycle around the initial bundle.
+    pub fn new(bundle: Arc<AnnotatorBundle>, engine_cfg: BatchConfig) -> Lifecycle {
+        Lifecycle {
+            slot: EngineSlot::new(bundle, engine_cfg),
+            journal: FeedbackJournal::new(FEEDBACK_JOURNAL_CAP),
+        }
+    }
+
+    /// The swap slot.
+    pub fn slot(&self) -> &EngineSlot {
+        &self.slot
+    }
+
+    /// The feedback journal.
+    pub fn journal(&self) -> &FeedbackJournal {
+        &self.journal
+    }
+
+    /// Shorthand for [`EngineSlot::current`].
+    pub fn current(&self) -> Arc<VersionedEngine> {
+        self.slot.current()
+    }
+}
+
+/// Runs one fine-tune cycle over `entries` against (a copy of) `base`'s
+/// bundle: short column-type training on the corrected labels, then a
+/// save/serialize to fresh checkpoint bytes. Returns the retrained bundle
+/// plus its payload CRC, ready for [`EngineSlot::install`]. Errors are
+/// returned as strings (a failed cycle must never take the daemon down).
+pub fn finetune_bundle(
+    base: &VersionedEngine,
+    entries: &[FeedbackEntry],
+) -> Result<(Arc<AnnotatorBundle>, u32), String> {
+    let bundle = base.engine().bundle();
+    // Train on a deep copy: serving weights stay immutable, and a failed
+    // or interrupted cycle leaves the current engine untouched.
+    let blob = bundle.save();
+    let mut fresh = AnnotatorBundle::load(&blob).map_err(|e| format!("{e:?}"))?;
+
+    // Fold the corrections into an annotated dataset over the serving
+    // vocabularies. Labels were validated at journal time, but the vocab
+    // may have been swapped since — skip entries that no longer resolve.
+    let mut tables: Vec<AnnotatedTable> = Vec::new();
+    for entry in entries {
+        let col_types: Option<Vec<Vec<_>>> = entry
+            .types
+            .iter()
+            .map(|labels| labels.iter().map(|l| fresh.type_vocab.id(l)).collect())
+            .collect();
+        match col_types {
+            Some(ct) if ct.len() == entry.table.n_cols() => {
+                tables.push(AnnotatedTable {
+                    table: entry.table.clone(),
+                    col_types: ct,
+                    relations: Vec::new(),
+                });
+            }
+            _ => continue,
+        }
+    }
+    if tables.is_empty() {
+        return Err("no usable feedback entries".into());
+    }
+    let ds = Dataset {
+        tables,
+        type_vocab: fresh.type_vocab.clone(),
+        rel_vocab: fresh.rel_vocab.clone(),
+    };
+    let prepared = trainer::prepare(&fresh.model, &ds, &fresh.tokenizer);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        lr: 1e-3,
+        threads: 1,
+        seed: 7,
+        select_best: false,
+        ..TrainConfig::default()
+    };
+    trainer::train(&fresh.model, &mut fresh.store, &prepared, &prepared, &[Task::ColumnType], &cfg);
+    let blob = fresh.save();
+    let crc = blob_crc(&blob).ok_or("retrained bundle failed to serialize")?;
+    Ok((Arc::new(fresh), crc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::synthetic_world;
+
+    #[test]
+    fn slot_swaps_are_versioned_and_crc_labelled() {
+        let a = synthetic_world(true, 42);
+        let b = synthetic_world(true, 99);
+        let slot = EngineSlot::new(Arc::clone(&a.bundle), BatchConfig::default());
+        let boot = slot.current();
+        assert_eq!(boot.version(), 1);
+        assert_eq!(slot.swaps(), 0);
+        let blob_b = b.bundle.save();
+        let crc_b = blob_crc(&blob_b).expect("crc");
+        let swapped = slot.swap_blob(&blob_b).expect("valid blob swaps");
+        assert_eq!(swapped.version(), 2);
+        assert_eq!(swapped.crc(), crc_b);
+        assert_eq!(swapped.label(), format!("2-{crc_b:08x}"));
+        assert_eq!(slot.swaps(), 1);
+        assert_eq!(slot.current().label(), swapped.label());
+        // The captured boot Arc still serves the old model (blue/green).
+        assert_ne!(boot.crc(), swapped.crc());
+    }
+
+    #[test]
+    fn corrupt_blob_is_rejected_and_slot_unchanged() {
+        let w = synthetic_world(true, 42);
+        let slot = EngineSlot::new(Arc::clone(&w.bundle), BatchConfig::default());
+        let before = slot.current().label();
+        let mut blob = w.bundle.save();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xff;
+        assert!(matches!(slot.swap_blob(&blob), Err(SwapError::BadBundle(_))));
+        assert!(slot.swap_blob(b"junk").is_err());
+        assert_eq!(slot.current().label(), before, "failed swap leaves the slot untouched");
+        assert_eq!(slot.swaps(), 0);
+    }
+
+    #[test]
+    fn journal_is_bounded_and_counts_evictions() {
+        let j = FeedbackJournal::new(3);
+        let entry = |id: &str| FeedbackEntry {
+            table: Table { id: id.into(), columns: Vec::new() },
+            types: Vec::new(),
+        };
+        for i in 0..5 {
+            j.push(entry(&format!("t{i}")));
+        }
+        assert_eq!(j.pending(), 3);
+        assert_eq!(j.accepted(), 5);
+        assert_eq!(j.dropped(), 2);
+        assert!(j.drain_if_at_least(4).is_empty(), "below threshold leaves entries");
+        assert_eq!(j.pending(), 3);
+        let drained = j.drain_if_at_least(3);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].table.id, "t2", "oldest entries were the evicted ones");
+        assert_eq!(j.pending(), 0);
+    }
+
+    #[test]
+    fn finetune_produces_an_installable_bundle() {
+        let w = synthetic_world(true, 42);
+        let lc = Lifecycle::new(Arc::clone(&w.bundle), BatchConfig::default());
+        let base = lc.current();
+        let label = w.bundle.type_vocab.name(0).to_string();
+        let entries: Vec<FeedbackEntry> = w.tables[..4]
+            .iter()
+            .map(|t| FeedbackEntry {
+                table: t.clone(),
+                types: t.columns.iter().map(|_| vec![label.clone()]).collect(),
+            })
+            .collect();
+        let (bundle, crc) = finetune_bundle(&base, &entries).expect("finetune runs");
+        let engine = lc.slot().install(bundle, crc);
+        assert_eq!(engine.version(), 2);
+        assert_eq!(lc.slot().swaps(), 1);
+        assert_eq!(lc.current().label(), engine.label());
+    }
+}

@@ -43,6 +43,15 @@
 //! reading, queue pushes (with backpressure), and result writes on one
 //! thread using short read timeouts.
 //!
+//! ## Model lifecycle
+//!
+//! The engine is not fixed at startup: every request captures the current
+//! [`VersionedEngine`] `Arc` when it is serialized, jobs carry it through
+//! the queue, and the dispatcher partitions each flush by engine identity
+//! — so `POST /v1/model` can blue/green-swap a new checkpoint in between
+//! micro-batches while in-flight work finishes on the model it started
+//! with. See [`crate::lifecycle`].
+//!
 //! ## Shutdown
 //!
 //! `POST /shutdown` (or [`ServerHandle::shutdown`]) sets one atomic flag.
@@ -60,9 +69,12 @@ use crate::http::{
 use crate::json::{
     annotation_to_json, annotations_response, table_from_json, Json, StreamSplitter,
 };
+use crate::lifecycle::{
+    finetune_bundle, FeedbackEntry, Lifecycle, VersionedEngine, FINETUNE_BATCH,
+};
 use crate::queue::{BatchPolicy, PushRejected, SharedBatcher};
 use crate::reactor::{Dispatch, Driver, Reactor, ReactorConfig, Router, Ticket};
-use crate::stats::ServerStats;
+use crate::stats::{ModelStatus, ServerStats};
 use doduo_core::{AnnotatorBundle, TableAnnotation};
 use doduo_serve::{BatchAnnotator, BatchConfig};
 use doduo_table::{SerializedTable, Table};
@@ -160,6 +172,12 @@ pub struct ServeConfig {
     /// `crash_after` on a daemon running in its own process (the
     /// `doduo-balance` chaos tests), never on an in-process test server.
     pub chaos: Option<ChaosConfig>,
+    /// Run the background feedback fine-tune loop (`--feedback-finetune`):
+    /// fold accumulated `POST /v1/feedback` corrections into a short
+    /// column-type fine-tune of a copy of the serving model and hot-swap
+    /// the result in. Off by default — the journal still accumulates, but
+    /// nothing retrains or self-swaps.
+    pub feedback_finetune: bool,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +194,7 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(10),
             stream_idle_timeout: Duration::from_secs(30),
             chaos: None,
+            feedback_finetune: false,
         }
     }
 }
@@ -219,12 +238,18 @@ enum Reply {
         t0: Instant,
         /// `(tables, seqs, tokens)` recorded with the completion.
         counts: (u64, u64, u64),
+        /// The request arrived on a deprecated unprefixed route; the
+        /// dispatcher-rendered response carries the `Deprecation` header.
+        legacy: bool,
     },
 }
 
-/// One queued annotation job: serialized tables plus the delivery route.
+/// One queued annotation job: serialized tables, the engine captured when
+/// the request was serialized (hot-swap atomicity: the job runs on exactly
+/// this engine, whatever swaps land meanwhile), and the delivery route.
 struct Job {
     groups: Vec<Vec<SerializedTable>>,
+    engine: Arc<VersionedEngine>,
     reply: Reply,
 }
 
@@ -489,17 +514,23 @@ impl Server {
 
     /// Serves until shutdown. Blocks the calling thread; all worker threads
     /// are scoped inside, so when this returns the daemon is fully stopped.
-    pub fn run(&self, bundle: &AnnotatorBundle) {
-        let engine = BatchAnnotator::with_config(bundle.annotator(), self.cfg.engine.clone());
+    ///
+    /// `bundle` becomes model version 1; `POST /v1/model` hot-swaps later
+    /// versions in without touching this call.
+    pub fn run(&self, bundle: Arc<AnnotatorBundle>) {
+        let lifecycle = Lifecycle::new(bundle, self.cfg.engine.clone());
         self.listener.set_nonblocking(true).expect("nonblocking listener");
         // The engine exists and threads are about to serve: ready for
         // traffic. `/readyz` flips back to 503 once shutdown is requested.
         self.shared.ready.store(true, Ordering::SeqCst);
         let shared = &self.shared;
-        let engine = &engine;
+        let lifecycle = &lifecycle;
         let cfg = &self.cfg;
         std::thread::scope(|scope| {
-            scope.spawn(move || dispatcher_loop(shared, engine));
+            scope.spawn(move || dispatcher_loop(shared));
+            if cfg.feedback_finetune {
+                scope.spawn(move || finetune_loop(shared, lifecycle));
+            }
             match cfg.effective_topology() {
                 Topology::ThreadPerConn => {
                     // Legacy topology: one scoped thread per connection.
@@ -507,7 +538,7 @@ impl Server {
                         if let Some(stream) = self.admit() {
                             scope.spawn(move || {
                                 if let Ok(mut conn) = Conn::new(stream) {
-                                    thread_per_conn_loop(&mut conn, shared, engine, cfg);
+                                    thread_per_conn_loop(&mut conn, shared, lifecycle, cfg);
                                 }
                                 shared.end_conn();
                             });
@@ -516,7 +547,7 @@ impl Server {
                 }
                 Topology::Pool => {
                     for w in 0..cfg.workers {
-                        scope.spawn(move || worker_loop(shared, engine, cfg, w));
+                        scope.spawn(move || worker_loop(shared, lifecycle, cfg, w));
                     }
                     while !shared.shutting_down() {
                         if let Some(stream) = self.admit() {
@@ -533,7 +564,7 @@ impl Server {
                     let driver = EpollDriver {
                         listener: &self.listener,
                         shared,
-                        engine,
+                        lifecycle,
                         cfg,
                         work: work_tx,
                     };
@@ -553,7 +584,7 @@ impl Server {
                         let work_rx = Arc::clone(&work_rx);
                         let router = Arc::clone(&router);
                         scope.spawn(move || {
-                            epoll_worker_loop(shared, engine, cfg, &work_rx, &router, w)
+                            epoll_worker_loop(shared, lifecycle, cfg, &work_rx, &router, w)
                         });
                     }
                     if let Err(e) = reactor.run(&shared.shutdown, Duration::from_secs(5)) {
@@ -584,15 +615,15 @@ enum Work {
 
 /// The [`Driver`] wiring the reactor into the daemon: accept + admission
 /// control, `/v1` routing, streaming takeover, and stats.
-struct EpollDriver<'e, 's> {
+struct EpollDriver<'s> {
     listener: &'s TcpListener,
     shared: &'s Shared,
-    engine: &'s BatchAnnotator<'e>,
+    lifecycle: &'s Lifecycle,
     cfg: &'s ServeConfig,
     work: mpsc::Sender<Work>,
 }
 
-impl<'e, 's> Driver<TcpStream> for EpollDriver<'e, 's> {
+impl<'s> Driver<TcpStream> for EpollDriver<'s> {
     fn accept(&self) -> std::io::Result<Option<TcpStream>> {
         match self.listener.accept() {
             Ok((stream, _)) => {
@@ -642,7 +673,8 @@ impl<'e, 's> Driver<TcpStream> for EpollDriver<'e, 's> {
             self.shared.stats.keepalive_reused.fetch_add(1, Ordering::Relaxed);
         }
         let keep_policy = self.cfg.keep_alive && !self.shared.shutting_down();
-        if req.method == "POST" && canonical_path(&req.path) == "/annotate" {
+        let canon_is = |p: &str| canonical_path(&req.path) == p;
+        if req.method == "POST" && canon_is("/annotate") {
             // The engine-bound route never blocks the reactor: tokenize
             // and push to the batching queue right here, and let the
             // dispatcher's engine callback route the finished response
@@ -652,15 +684,26 @@ impl<'e, 's> Driver<TcpStream> for EpollDriver<'e, 's> {
             if self.shared.chaos.is_none() {
                 let router = self.shared.waker.lock().expect("waker lock").clone();
                 if let Some(router) = router {
+                    // This fast path bypasses the Handler core, so the
+                    // deprecated-alias accounting happens here.
+                    let legacy = !req.path.starts_with("/v1");
+                    if legacy {
+                        self.shared.stats.legacy_route_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     return match annotate_submit(
                         self.shared,
-                        self.engine,
+                        self.lifecycle,
                         &router,
                         ticket,
+                        legacy,
                         &req.body,
                     ) {
                         None => Dispatch::Queued,
-                        Some(resp) => Dispatch::Respond(apply_keep_policy(resp, keep_policy)),
+                        Some(resp) => {
+                            let resp =
+                                if legacy { resp.with_header("deprecation", "true") } else { resp };
+                            Dispatch::Respond(apply_keep_policy(resp, keep_policy))
+                        }
                     };
                 }
             }
@@ -675,9 +718,25 @@ impl<'e, 's> Driver<TcpStream> for EpollDriver<'e, 's> {
                     keep_policy,
                 )),
             }
+        } else if req.method == "POST" && (canon_is("/model") || canon_is("/feedback")) {
+            // Lifecycle routes run on worker threads: a model upload builds
+            // a whole engine (deserialize, possibly requantize), far too
+            // slow for the reactor thread that owns every connection.
+            match self.work.send(Work::Request { ticket, req }) {
+                Ok(()) => Dispatch::Queued,
+                Err(_) => Dispatch::Respond(apply_keep_policy(
+                    HttpResponse::unavailable(
+                        "shutting_down",
+                        "server is shutting down",
+                        RETRY_AFTER_SECS,
+                    ),
+                    keep_policy,
+                )),
+            }
         } else {
             // Everything else is queue-free and answered inline.
-            let handler = EngineHandler { shared: self.shared, engine: self.engine, cfg: self.cfg };
+            let handler =
+                EngineHandler { shared: self.shared, lifecycle: self.lifecycle, cfg: self.cfg };
             Dispatch::Respond(handler.handle(&req))
         }
     }
@@ -707,7 +766,7 @@ fn apply_keep_policy(resp: HttpResponse, keep_policy: bool) -> HttpResponse {
 /// which it owns end-to-end.
 fn epoll_worker_loop(
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     cfg: &ServeConfig,
     work_rx: &Mutex<mpsc::Receiver<Work>>,
     router: &Router,
@@ -721,12 +780,12 @@ fn epoll_worker_loop(
         match work {
             Ok(Work::Request { ticket, req }) => {
                 shared.stats.record_worker(worker);
-                let handler = EngineHandler { shared, engine, cfg };
+                let handler = EngineHandler { shared, lifecycle, cfg };
                 router.complete(ticket, handler.handle(&req));
             }
             Ok(Work::Stream { stream, head, leftover }) => {
                 shared.stats.record_worker(worker);
-                serve_takeover_stream(stream, head, leftover, shared, engine, cfg);
+                serve_takeover_stream(stream, head, leftover, shared, lifecycle, cfg);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shared.shutting_down() {
@@ -746,7 +805,7 @@ fn serve_takeover_stream(
     head: Head,
     leftover: Vec<u8>,
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     cfg: &ServeConfig,
 ) {
     let mut stream = stream;
@@ -765,7 +824,7 @@ fn serve_takeover_stream(
         }
     };
     let mut reader = BufReader::new(Prefixed::new(leftover, clone));
-    let _ = stream_session(&mut stream, &mut reader, shared, engine, cfg, &head);
+    let _ = stream_session(&mut stream, &mut reader, shared, lifecycle, cfg, &head);
     shared.end_conn();
 }
 
@@ -776,21 +835,30 @@ fn serve_takeover_stream(
 /// moment its micro-batch completes — streams get per-table sends,
 /// `/annotate` jobs get one send when their last table finishes. Exits when
 /// shutdown is set and the queue is drained.
-fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
+///
+/// Every job carries the engine it was serialized against, and the flush
+/// is partitioned by engine identity (`Arc::ptr_eq`): a hot-swap landing
+/// mid-flush means jobs from both sides of the swap share one batch, and
+/// each partition runs on exactly the model its requests captured. That is
+/// the swap-atomicity contract — no request is ever answered by a blend of
+/// two models, and `x-model-version` always names the weights that
+/// produced the bytes. Outside a swap there is exactly one partition and
+/// the batching behavior is unchanged.
+fn dispatcher_loop(shared: &Shared) {
     let stop = || shared.shutting_down();
     while let Some((mut jobs, reason)) = shared.queue.wait_for_batch(stop) {
         let counts: Vec<usize> = jobs.iter().map(|j| j.groups.len()).collect();
-        // Move (not clone) the serialized groups out of the jobs; record
-        // which (job, slot) each flattened group routes back to.
-        let mut flat: Vec<Vec<SerializedTable>> = Vec::new();
-        let mut routes: Vec<(usize, usize)> = Vec::new();
-        for (ji, job) in jobs.iter_mut().enumerate() {
-            for (li, g) in job.groups.drain(..).enumerate() {
-                routes.push((ji, li));
-                flat.push(g);
+        // Group job indices by captured engine (at most two partitions in
+        // practice — the models on either side of a swap).
+        let mut partitions: Vec<(Arc<VersionedEngine>, Vec<usize>)> = Vec::new();
+        for (ji, job) in jobs.iter().enumerate() {
+            match partitions.iter_mut().find(|(e, _)| Arc::ptr_eq(e, &job.engine)) {
+                Some((_, jis)) => jis.push(ji),
+                None => partitions.push((Arc::clone(&job.engine), vec![ji])),
             }
         }
-        shared.stats.record_batch(reason, flat.len() as u64);
+        let total_tables: usize = counts.iter().sum();
+        shared.stats.record_batch(reason, total_tables as u64);
 
         // Per-`Batch`-job collectors: slots filled by whichever engine
         // thread finishes each table, one send when the count hits zero.
@@ -809,54 +877,103 @@ fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
                 Reply::Stream { .. } => None,
             })
             .collect();
-        let jobs = &jobs;
-        let collectors = &collectors;
-        let routes = &routes;
-        engine.annotate_groups_each(&flat, &|fi, ann| {
-            let (ji, li) = routes[fi];
-            match &jobs[ji].reply {
-                // A dead receiver means the handler gave up (client
-                // vanished); dropping its annotations is the right outcome.
-                Reply::Stream { index, tx } => {
-                    let _ = tx.send((*index, ann));
-                }
-                Reply::Batch(tx) => {
-                    let c = collectors[ji].as_ref().expect("collector exists for batch job");
-                    c.slots.lock().expect("collector lock")[li] = Some(ann);
-                    if c.left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        let anns: Vec<TableAnnotation> = c
-                            .slots
-                            .lock()
-                            .expect("collector lock")
-                            .iter_mut()
-                            .map(|s| s.take().expect("slot filled"))
-                            .collect();
-                        let _ = tx.send(anns);
-                    }
-                }
-                // Epoll-topology jobs render and route here, on whichever
-                // engine thread finishes the last table — no worker is
-                // blocked waiting, and a stale ticket (connection reaped
-                // meanwhile) is dropped by the router's generation check.
-                Reply::Reactor { ticket, router, wrapped, t0, counts } => {
-                    let c = collectors[ji].as_ref().expect("collector exists for reactor job");
-                    c.slots.lock().expect("collector lock")[li] = Some(ann);
-                    if c.left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        let anns: Vec<TableAnnotation> = c
-                            .slots
-                            .lock()
-                            .expect("collector lock")
-                            .iter_mut()
-                            .map(|s| s.take().expect("slot filled"))
-                            .collect();
-                        let (tables, seqs, tokens) = *counts;
-                        shared.stats.record_request(t0.elapsed(), tables, seqs, tokens);
-                        let body = annotations_response(&anns, *wrapped);
-                        router.complete(*ticket, HttpResponse::json(200, body));
-                    }
+        for (engine, jis) in &partitions {
+            // Move (not clone) the serialized groups out of this
+            // partition's jobs; record which (job, slot) each flattened
+            // group routes back to.
+            let mut flat: Vec<Vec<SerializedTable>> = Vec::new();
+            let mut routes: Vec<(usize, usize)> = Vec::new();
+            for &ji in jis {
+                for (li, g) in jobs[ji].groups.drain(..).enumerate() {
+                    routes.push((ji, li));
+                    flat.push(g);
                 }
             }
-        });
+            let jobs = &jobs;
+            let collectors = &collectors;
+            let routes = &routes;
+            engine.engine().annotate_groups_each(&flat, &|fi, ann| {
+                let (ji, li) = routes[fi];
+                match &jobs[ji].reply {
+                    // A dead receiver means the handler gave up (client
+                    // vanished); dropping its annotations is the right
+                    // outcome.
+                    Reply::Stream { index, tx } => {
+                        let _ = tx.send((*index, ann));
+                    }
+                    Reply::Batch(tx) => {
+                        let c = collectors[ji].as_ref().expect("collector exists for batch job");
+                        c.slots.lock().expect("collector lock")[li] = Some(ann);
+                        if c.left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let anns: Vec<TableAnnotation> = c
+                                .slots
+                                .lock()
+                                .expect("collector lock")
+                                .iter_mut()
+                                .map(|s| s.take().expect("slot filled"))
+                                .collect();
+                            let _ = tx.send(anns);
+                        }
+                    }
+                    // Epoll-topology jobs render and route here, on
+                    // whichever engine thread finishes the last table — no
+                    // worker is blocked waiting, and a stale ticket
+                    // (connection reaped meanwhile) is dropped by the
+                    // router's generation check.
+                    Reply::Reactor { ticket, router, wrapped, t0, counts, legacy } => {
+                        let c = collectors[ji].as_ref().expect("collector exists for reactor job");
+                        c.slots.lock().expect("collector lock")[li] = Some(ann);
+                        if c.left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let anns: Vec<TableAnnotation> = c
+                                .slots
+                                .lock()
+                                .expect("collector lock")
+                                .iter_mut()
+                                .map(|s| s.take().expect("slot filled"))
+                                .collect();
+                            let (tables, seqs, tokens) = *counts;
+                            shared.stats.record_request(t0.elapsed(), tables, seqs, tokens);
+                            let body = annotations_response(&anns, *wrapped);
+                            let mut resp = HttpResponse::json(200, body)
+                                .with_header("x-model-version", &jobs[ji].engine.label());
+                            if *legacy {
+                                resp = resp.with_header("deprecation", "true");
+                            }
+                            router.complete(*ticket, resp);
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// The `--feedback-finetune` background loop: once enough corrected labels
+/// accumulate, fold them into a short fine-tune of a copy of the current
+/// model and hot-swap the result through the same slot `POST /v1/model`
+/// uses. A failed cycle logs and drops that batch — it must never take the
+/// daemon down or touch the serving weights.
+fn finetune_loop(shared: &Shared, lifecycle: &Lifecycle) {
+    while !shared.shutting_down() {
+        let entries = lifecycle.journal().drain_if_at_least(FINETUNE_BATCH);
+        if entries.is_empty() {
+            std::thread::sleep(Duration::from_millis(100));
+            continue;
+        }
+        let base = lifecycle.current();
+        match finetune_bundle(&base, &entries) {
+            Ok((bundle, crc)) => {
+                let fresh = lifecycle.slot().install(bundle, crc);
+                lifecycle.journal().record_finetune();
+                eprintln!(
+                    "[served] feedback fine-tune: {} entries folded; model {} -> {}",
+                    entries.len(),
+                    base.label(),
+                    fresh.label()
+                );
+            }
+            Err(msg) => eprintln!("[served] feedback fine-tune skipped: {msg}"),
+        }
     }
 }
 
@@ -865,7 +982,7 @@ fn dispatcher_loop(shared: &Shared, engine: &BatchAnnotator<'_>) {
 /// One pool worker: pop a connection, probe readiness, serve one request if
 /// bytes are waiting, park it again otherwise. Backs off briefly when a
 /// scan finds nothing but idle connections so an idle daemon doesn't spin.
-fn worker_loop(shared: &Shared, engine: &BatchAnnotator<'_>, cfg: &ServeConfig, worker: usize) {
+fn worker_loop(shared: &Shared, lifecycle: &Lifecycle, cfg: &ServeConfig, worker: usize) {
     let mut idle_streak = 0usize;
     while !shared.shutting_down() {
         let Some(mut conn) = shared.conns.pop(Duration::from_millis(10)) else {
@@ -887,7 +1004,7 @@ fn worker_loop(shared: &Shared, engine: &BatchAnnotator<'_>, cfg: &ServeConfig, 
                 // whenever connections ≤ workers — no requeue/probe churn
                 // on the closed-loop hot path — and multiplex beyond that.
                 loop {
-                    match serve_one_request(&mut conn, shared, engine, cfg, Some(worker)) {
+                    match serve_one_request(&mut conn, shared, lifecycle, cfg, Some(worker)) {
                         Next::Close => {
                             shared.end_conn();
                             break;
@@ -930,14 +1047,14 @@ fn worker_loop(shared: &Shared, engine: &BatchAnnotator<'_>, cfg: &ServeConfig, 
 fn thread_per_conn_loop(
     conn: &mut Conn,
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     cfg: &ServeConfig,
 ) {
     loop {
         if shared.shutting_down() {
             return;
         }
-        match serve_one_request(conn, shared, engine, cfg, None) {
+        match serve_one_request(conn, shared, lifecycle, cfg, None) {
             Next::Served | Next::Idle => continue,
             Next::Close => return,
         }
@@ -961,7 +1078,7 @@ enum Next {
 fn serve_one_request(
     conn: &mut Conn,
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     cfg: &ServeConfig,
     worker: Option<usize>,
 ) -> Next {
@@ -999,7 +1116,7 @@ fn serve_one_request(
     // The streaming endpoint consumes its body incrementally and owns its
     // connection to the end; everything else buffers the body first.
     if head.method == "POST" && canonical_path(&head.path) == "/annotate_stream" {
-        return handle_stream(conn, shared, engine, cfg, &head);
+        return handle_stream(conn, shared, lifecycle, cfg, &head);
     }
 
     if head.expect_continue
@@ -1033,7 +1150,7 @@ fn serve_one_request(
     // Handler core the reactor and the balancer's test backends use.
     let keep_policy = cfg.keep_alive && !shared.shutting_down();
     let req = HttpRequest::from_head(&head, body);
-    let handler = EngineHandler { shared, engine, cfg };
+    let handler = EngineHandler { shared, lifecycle, cfg };
     let resp = apply_keep_policy(handler.handle(&req), keep_policy);
     let severs = matches!(resp, HttpResponse::RawThenClose(_) | HttpResponse::Hangup);
     match write_http_response(&mut conn.stream, &resp, req.keep_alive) {
@@ -1053,16 +1170,19 @@ fn serve_one_request(
 /// The daemon's request→response core: every topology (and nothing else)
 /// routes buffered requests through this [`Handler`]. Paths are matched
 /// after [`canonical_path`], so `/v1/...` and legacy unprefixed routes
-/// behave identically.
-struct EngineHandler<'e, 's> {
+/// behave identically — except that a known route reached through its
+/// deprecated unprefixed alias is counted in `legacy_route_hits` and
+/// answered with a `Deprecation: true` header.
+struct EngineHandler<'s> {
     shared: &'s Shared,
-    engine: &'s BatchAnnotator<'e>,
+    lifecycle: &'s Lifecycle,
     cfg: &'s ServeConfig,
 }
 
-impl<'e, 's> Handler for EngineHandler<'e, 's> {
-    fn handle(&self, req: &HttpRequest) -> HttpResponse {
-        let (shared, engine, cfg) = (self.shared, self.engine, self.cfg);
+impl<'s> EngineHandler<'s> {
+    /// Routes one request; `None` means no such route (404).
+    fn route(&self, req: &HttpRequest) -> Option<HttpResponse> {
+        let (shared, lifecycle, cfg) = (self.shared, self.lifecycle, self.cfg);
         match (req.method.as_str(), canonical_path(&req.path)) {
             // Liveness: always 200 while the process can answer at all.
             // The `ready` field mirrors `/readyz` for humans; probes that
@@ -1070,13 +1190,13 @@ impl<'e, 's> Handler for EngineHandler<'e, 's> {
             // 503).
             ("GET", "/healthz") => {
                 let ready = shared.ready.load(Ordering::SeqCst) && !shared.shutting_down();
-                HttpResponse::json(
+                Some(HttpResponse::json(
                     200,
                     format!(
                         "{{\"status\":\"ok\",\"ready\":{ready},\"uptime_secs\":{:.3}}}\n",
                         shared.started.elapsed().as_secs_f64()
                     ),
-                )
+                ))
             }
             // Readiness: 200 only while the daemon should receive new
             // traffic (engine up, not shutting down, queue below
@@ -1086,31 +1206,150 @@ impl<'e, 's> Handler for EngineHandler<'e, 's> {
                 let ready = shared.ready.load(Ordering::SeqCst)
                     && !shared.shutting_down()
                     && shared.queue.depth() < cfg.policy.max_queue_jobs;
-                if ready {
+                Some(if ready {
                     HttpResponse::json(200, "{\"status\":\"ready\"}\n")
                 } else {
                     HttpResponse::unavailable("not_ready", "not ready", RETRY_AFTER_SECS)
-                }
+                })
             }
-            ("GET", "/stats") => HttpResponse::json(
-                200,
-                shared.stats.to_json(
-                    shared.started.elapsed(),
-                    shared.queue.depth(),
-                    engine.cache_stats().hit_rate(),
-                ),
-            ),
+            ("GET", "/stats") => {
+                let engine = lifecycle.current();
+                let journal = lifecycle.journal();
+                let model = ModelStatus {
+                    model_version: engine.label(),
+                    swaps: lifecycle.slot().swaps(),
+                    feedback_accepted: journal.accepted(),
+                    feedback_dropped: journal.dropped(),
+                    feedback_pending: journal.pending() as u64,
+                    finetunes: journal.finetunes(),
+                };
+                Some(HttpResponse::json(
+                    200,
+                    shared.stats.to_json(
+                        shared.started.elapsed(),
+                        shared.queue.depth(),
+                        engine.engine().cache_stats().hit_rate(),
+                        &model,
+                    ),
+                ))
+            }
             ("POST", "/shutdown") => {
                 shared.request_shutdown();
-                HttpResponse::json(200, "{\"status\":\"shutting down\"}\n").close()
+                Some(HttpResponse::json(200, "{\"status\":\"shutting down\"}\n").close())
             }
-            ("POST", "/annotate") => annotate_response(shared, engine, &req.body),
-            _ => {
-                shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            ("POST", "/annotate") => Some(annotate_response(shared, lifecycle, &req.body)),
+            ("POST", "/model") => Some(model_swap_response(shared, lifecycle, &req.body)),
+            ("POST", "/feedback") => Some(feedback_response(shared, lifecycle, &req.body)),
+            _ => None,
+        }
+    }
+}
+
+impl<'s> Handler for EngineHandler<'s> {
+    fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        match self.route(req) {
+            Some(resp) if !req.path.starts_with("/v1") => {
+                // A known route reached through its deprecated unprefixed
+                // alias: count it and flag the response, so clients that
+                // never migrated are measurable instead of invisible.
+                self.shared.stats.legacy_route_hits.fetch_add(1, Ordering::Relaxed);
+                resp.with_header("deprecation", "true")
+            }
+            Some(resp) => resp,
+            None => {
+                self.shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
                 HttpResponse::error(404, &format!("no route for {} {}", req.method, req.path))
             }
         }
     }
+}
+
+// -------------------------------------------------------------- lifecycle
+
+/// `POST /model`: CRC-check and strict-load the uploaded checkpoint blob,
+/// build the replacement engine off the hot path, and swap it in between
+/// micro-batch flushes. In-flight requests finish on the model they
+/// captured; everything admitted after the swap serves the new one.
+fn model_swap_response(shared: &Shared, lifecycle: &Lifecycle, body: &[u8]) -> HttpResponse {
+    let previous = lifecycle.current().label();
+    match lifecycle.slot().swap_blob(body) {
+        Ok(engine) => {
+            eprintln!("[served] model hot-swap: {} -> {}", previous, engine.label());
+            HttpResponse::json(
+                200,
+                format!(
+                    "{{\"status\":\"swapped\",\"model_version\":\"{}\",\"previous\":\"{}\"}}\n",
+                    engine.label(),
+                    previous
+                ),
+            )
+            .with_header("x-model-version", &engine.label())
+        }
+        Err(e) => {
+            shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::error_code(400, "bad_bundle", &format!("checkpoint rejected: {e}"))
+        }
+    }
+}
+
+/// `POST /feedback`: validate one corrected-label observation
+/// (`{"table": {...}, "types": [[label, ...], ...]}`, one label list per
+/// column, labels from the serving type vocabulary) and append it to the
+/// journal. The entry only trains a model when the daemon runs with
+/// `--feedback-finetune`; otherwise the journal is a bounded audit buffer.
+fn feedback_response(shared: &Shared, lifecycle: &Lifecycle, body: &[u8]) -> HttpResponse {
+    let fail = |msg: &str| {
+        shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
+        HttpResponse::error(400, msg)
+    };
+    let body = match std::str::from_utf8(body) {
+        Ok(s) => s,
+        Err(_) => return fail("body is not valid UTF-8"),
+    };
+    let v = match Json::parse(body) {
+        Ok(v) => v,
+        Err(msg) => return fail(&msg),
+    };
+    let Some(tv) = v.get("table") else {
+        return fail("missing \"table\"");
+    };
+    let table: Table = match table_from_json(tv) {
+        Ok(t) => t,
+        Err(msg) => return fail(&msg),
+    };
+    let Some(types) = v.get("types").and_then(Json::as_array) else {
+        return fail("missing \"types\" (one label list per column)");
+    };
+    if types.len() != table.n_cols() {
+        return fail(&format!(
+            "\"types\" has {} entries but table {:?} has {} columns",
+            types.len(),
+            table.id,
+            table.n_cols()
+        ));
+    }
+    let engine = lifecycle.current();
+    let vocab = &engine.engine().bundle().type_vocab;
+    let mut labels: Vec<Vec<String>> = Vec::with_capacity(types.len());
+    for (ci, col) in types.iter().enumerate() {
+        let Some(list) = col.as_array() else {
+            return fail(&format!("\"types\"[{ci}] is not an array of labels"));
+        };
+        let mut out = Vec::with_capacity(list.len());
+        for l in list {
+            let Some(name) = l.as_str() else {
+                return fail(&format!("\"types\"[{ci}] contains a non-string label"));
+            };
+            if vocab.id(name).is_none() {
+                return fail(&format!("unknown type label {name:?} in column {ci}"));
+            }
+            out.push(name.to_string());
+        }
+        labels.push(out);
+    }
+    let pending = lifecycle.journal().push(FeedbackEntry { table, types: labels });
+    HttpResponse::json(200, format!("{{\"status\":\"accepted\",\"pending\":{pending}}}\n"))
+        .with_header("x-model-version", &engine.label())
 }
 
 // --------------------------------------------------------------- annotate
@@ -1118,7 +1357,7 @@ impl<'e, 's> Handler for EngineHandler<'e, 's> {
 /// Decodes one stream-element document into a serialized group plus its
 /// queue cost, applying the same validation as `/annotate`.
 fn decode_stream_table(
-    engine: &BatchAnnotator<'_>,
+    engine: &BatchAnnotator,
     doc: &str,
 ) -> Result<(Vec<SerializedTable>, usize, usize), String> {
     let v = Json::parse(doc)?;
@@ -1144,12 +1383,12 @@ fn decode_stream_table(
 fn handle_stream(
     conn: &mut Conn,
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     cfg: &ServeConfig,
     head: &Head,
 ) -> Next {
     let Conn { stream, reader, .. } = conn;
-    let _ = stream_session(stream, reader, shared, engine, cfg, head);
+    let _ = stream_session(stream, reader, shared, lifecycle, cfg, head);
     let _ = conn.stream.set_read_timeout(Some(cfg.read_timeout));
     Next::Close
 }
@@ -1161,10 +1400,19 @@ fn stream_session(
     stream: &mut TcpStream,
     reader: &mut impl BufRead,
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     cfg: &ServeConfig,
     head: &Head,
 ) -> std::io::Result<()> {
+    // One engine per stream, captured up front: a hot-swap mid-stream must
+    // not change the model under a session, so every table of a stream is
+    // annotated by the model that was serving when the stream began. (The
+    // chunked response head has already committed by the time results
+    // flow, so deprecation is counted but not headered here.)
+    let engine = lifecycle.current();
+    if !head.path.starts_with("/v1") {
+        shared.stats.legacy_route_hits.fetch_add(1, Ordering::Relaxed);
+    }
     if head.framing == BodyFraming::None {
         shared.stats.requests_failed.fetch_add(1, Ordering::Relaxed);
         shared.stats.record_stream(0, false);
@@ -1222,7 +1470,11 @@ fn stream_session(
         //    queue simply pauses the stream's intake; the rejected job is
         //    handed back, so retries never clone the serialized group).
         while let Some((index, group, seqs, tokens)) = pending.pop_front() {
-            let job = Job { groups: vec![group], reply: Reply::Stream { index, tx: tx.clone() } };
+            let job = Job {
+                groups: vec![group],
+                engine: Arc::clone(&engine),
+                reply: Reply::Stream { index, tx: tx.clone() },
+            };
             match shared.queue.push(job, seqs, tokens) {
                 Ok(()) => {
                     seqs_total += seqs as u64;
@@ -1277,7 +1529,7 @@ fn stream_session(
                         Ok(docs) => {
                             for doc in docs {
                                 last_progress = Instant::now();
-                                match decode_stream_table(engine, &doc) {
+                                match decode_stream_table(engine.engine(), &doc) {
                                     Ok((group, seqs, tokens)) => {
                                         pending.push_back((parsed, group, seqs, tokens));
                                         parsed += 1;
@@ -1377,7 +1629,7 @@ struct PreparedAnnotate {
 /// ready-to-send responses with the failure already counted.
 fn prepare_annotate(
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    engine: &BatchAnnotator,
     body: &[u8],
 ) -> Result<PreparedAnnotate, HttpResponse> {
     let fail = |msg: &str| {
@@ -1420,9 +1672,12 @@ fn annotate_unavailable(shared: &Shared, code: &str, msg: &str) -> HttpResponse 
 /// wait for the flushed result. Runs on a blocking worker thread (the
 /// pool and thread-per-connection topologies, plus chaos-configured epoll
 /// daemons — injected stalls must block one request's thread, never an
-/// engine callback).
-fn annotate_response(shared: &Shared, engine: &BatchAnnotator<'_>, body: &[u8]) -> HttpResponse {
+/// engine callback). The engine is captured once, before the queue push:
+/// the response is produced by exactly that model and says so in its
+/// `x-model-version` header, however many swaps land while the job waits.
+fn annotate_response(shared: &Shared, lifecycle: &Lifecycle, body: &[u8]) -> HttpResponse {
     let t0 = Instant::now();
+    let engine = lifecycle.current();
     // Decide this request's injected faults up front: a crash fault fires
     // before any byte of a response exists, which is exactly the failure a
     // balancer may safely retry.
@@ -1431,7 +1686,7 @@ fn annotate_response(shared: &Shared, engine: &BatchAnnotator<'_>, body: &[u8]) 
         eprintln!("[served] chaos: crash_after reached; exiting before response");
         std::process::exit(86);
     }
-    let prep = match prepare_annotate(shared, engine, body) {
+    let prep = match prepare_annotate(shared, engine.engine(), body) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
@@ -1439,7 +1694,8 @@ fn annotate_response(shared: &Shared, engine: &BatchAnnotator<'_>, body: &[u8]) 
     let (seqs, tokens, wrapped) = (prep.seqs, prep.tokens, prep.wrapped);
 
     let (tx, rx) = mpsc::channel();
-    match shared.queue.push(Job { groups: prep.groups, reply: Reply::Batch(tx) }, seqs, tokens) {
+    let job = Job { groups: prep.groups, engine: Arc::clone(&engine), reply: Reply::Batch(tx) };
+    match shared.queue.push(job, seqs, tokens) {
         Ok(()) => {}
         Err((PushRejected::Closed, _)) => {
             return annotate_unavailable(shared, "shutting_down", "server is shutting down");
@@ -1467,7 +1723,7 @@ fn annotate_response(shared: &Shared, engine: &BatchAnnotator<'_>, body: &[u8]) 
             return HttpResponse::RawThenClose(render_torn_response(&body));
         }
     }
-    HttpResponse::json(200, body)
+    HttpResponse::json(200, body).with_header("x-model-version", &engine.label())
 }
 
 /// `POST /annotate` under the epoll topology: same decode/tokenize/
@@ -1482,13 +1738,15 @@ fn annotate_response(shared: &Shared, engine: &BatchAnnotator<'_>, body: &[u8]) 
 /// (validation failure or queue backpressure).
 fn annotate_submit(
     shared: &Shared,
-    engine: &BatchAnnotator<'_>,
+    lifecycle: &Lifecycle,
     router: &Arc<Router>,
     ticket: Ticket,
+    legacy: bool,
     body: &[u8],
 ) -> Option<HttpResponse> {
     let t0 = Instant::now();
-    let prep = match prepare_annotate(shared, engine, body) {
+    let engine = lifecycle.current();
+    let prep = match prepare_annotate(shared, engine.engine(), body) {
         Ok(p) => p,
         Err(resp) => return Some(resp),
     };
@@ -1496,12 +1754,14 @@ fn annotate_submit(
     let (seqs, tokens) = (prep.seqs, prep.tokens);
     let job = Job {
         groups: prep.groups,
+        engine,
         reply: Reply::Reactor {
             ticket,
             router: Arc::clone(router),
             wrapped: prep.wrapped,
             t0,
             counts,
+            legacy,
         },
     };
     match shared.queue.push(job, seqs, tokens) {

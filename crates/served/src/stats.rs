@@ -39,6 +39,10 @@ pub struct ServerStats {
     pub conns_rejected: AtomicU64,
     /// Requests served on an already-used connection (keep-alive reuse).
     pub keepalive_reused: AtomicU64,
+    /// Requests that arrived on a deprecated unprefixed route (the `/v1`
+    /// aliases) — the migration-progress counter the deprecation headers
+    /// point at.
+    pub legacy_route_hits: AtomicU64,
     /// `/annotate_stream` streams completed without a stream-level error.
     pub streams_ok: AtomicU64,
     /// Streams that ended with an in-band error object.
@@ -76,6 +80,32 @@ impl Ring {
     fn snapshot(&self) -> Vec<u64> {
         self.buf.clone()
     }
+
+    /// `(retained_window_len, lifetime_push_count)` — the ring only keeps
+    /// the most recent `CAP` samples, but `total` counts every push, so
+    /// `/stats` can report both without pretending the window is complete.
+    fn counts(&self) -> (usize, u64) {
+        (self.buf.len(), self.total)
+    }
+}
+
+/// The live-model snapshot `/stats` folds into its JSON body: the
+/// lifecycle layer owns these values (`crate::lifecycle`), stats just
+/// renders them.
+#[derive(Clone, Debug, Default)]
+pub struct ModelStatus {
+    /// Current engine label, `"{version}-{crc:08x}"`.
+    pub model_version: String,
+    /// Completed hot-swaps since boot.
+    pub swaps: u64,
+    /// Feedback entries ever accepted into the journal.
+    pub feedback_accepted: u64,
+    /// Feedback entries evicted unprocessed (journal overflow).
+    pub feedback_dropped: u64,
+    /// Feedback entries currently awaiting a fine-tune cycle.
+    pub feedback_pending: u64,
+    /// Completed fine-tune + self-swap cycles.
+    pub finetunes: u64,
 }
 
 /// A percentile summary of one metric window.
@@ -184,23 +214,43 @@ impl ServerStats {
         percentiles(&self.batch_tables.lock().expect("stats lock").snapshot())
     }
 
-    /// Renders the `/stats` JSON body.
-    pub fn to_json(&self, uptime: Duration, queue_depth: usize, cache_hit_rate: f64) -> String {
+    /// Renders the `/stats` JSON body. `model` is the lifecycle snapshot
+    /// (current version label, swap count, feedback journal counters).
+    pub fn to_json(
+        &self,
+        uptime: Duration,
+        queue_depth: usize,
+        cache_hit_rate: f64,
+        model: &ModelStatus,
+    ) -> String {
         let lat = self.latency_ms();
         let bat = self.batch_tables_stats();
+        // The percentile window is the retained ring; the `total_count`
+        // beside it is the lifetime sample count, so a reader can tell
+        // "p99 over the last 16384 requests of 2 million" from "p99 over
+        // all 40 requests ever" — the ring used to track the total but
+        // never report it.
+        let (lat_window, lat_total) = self.latencies_us.lock().expect("stats lock").counts();
+        let (bat_window, bat_total) = self.batch_tables.lock().expect("stats lock").counts();
         let workers = self.worker_requests();
         let worker_json = workers.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let mut model_version = String::new();
+        crate::json::push_escaped(&mut model_version, &model.model_version);
         format!(
             "{{\"topology\":\"{}\",\"uptime_secs\":{:.3},\"requests_ok\":{},\"requests_failed\":{},\
              \"rejected_queue_full\":{},\"tables\":{},\"sequences\":{},\"tokens\":{},\
              \"queue_depth\":{queue_depth},\"cache_hit_rate\":{cache_hit_rate:.4},\
+             \"legacy_route_hits\":{},\
+             \"model\":{{\"version\":{model_version},\"swaps\":{},\
+             \"feedback\":{{\"accepted\":{},\"dropped\":{},\"pending\":{},\"finetunes\":{}}}}},\
              \"connections\":{{\"accepted\":{},\"rejected\":{},\"keepalive_reused\":{}}},\
              \"streams\":{{\"ok\":{},\"failed\":{},\"tables\":{}}},\
              \"workers\":{{\"count\":{},\"requests\":[{worker_json}]}},\
              \"flushes\":{{\"budget\":{},\"deadline\":{},\"shutdown\":{}}},\
-             \"latency_ms\":{{\"window\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3},\
-             \"max\":{:.3}}},\
-             \"batch_tables\":{{\"window\":{},\"mean\":{:.3},\"p50\":{:.0},\"p99\":{:.0}}}}}\n",
+             \"latency_ms\":{{\"window_count\":{lat_window},\"total_count\":{lat_total},\
+             \"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+             \"batch_tables\":{{\"window_count\":{bat_window},\"total_count\":{bat_total},\
+             \"mean\":{:.3},\"p50\":{:.0},\"p99\":{:.0}}}}}\n",
             if self.topology.is_empty() { "unknown" } else { self.topology },
             uptime.as_secs_f64(),
             self.requests_ok.load(Ordering::Relaxed),
@@ -209,6 +259,12 @@ impl ServerStats {
             self.tables.load(Ordering::Relaxed),
             self.seqs.load(Ordering::Relaxed),
             self.tokens.load(Ordering::Relaxed),
+            self.legacy_route_hits.load(Ordering::Relaxed),
+            model.swaps,
+            model.feedback_accepted,
+            model.feedback_dropped,
+            model.feedback_pending,
+            model.finetunes,
             self.conns_accepted.load(Ordering::Relaxed),
             self.conns_rejected.load(Ordering::Relaxed),
             self.keepalive_reused.load(Ordering::Relaxed),
@@ -219,12 +275,10 @@ impl ServerStats {
             self.flush_budget.load(Ordering::Relaxed),
             self.flush_deadline.load(Ordering::Relaxed),
             self.flush_shutdown.load(Ordering::Relaxed),
-            lat.count,
             lat.mean,
             lat.p50,
             lat.p99,
             lat.max,
-            bat.count,
             bat.mean,
             bat.p50,
             bat.p99,
@@ -254,10 +308,26 @@ mod tests {
         let s = ServerStats::default();
         s.record_request(Duration::from_micros(1500), 1, 1, 40);
         s.record_batch(FlushReason::Deadline, 1);
-        let body = s.to_json(Duration::from_secs(3), 2, 0.5);
+        s.legacy_route_hits.fetch_add(3, Ordering::Relaxed);
+        let model = ModelStatus {
+            model_version: "2-0badf00d".into(),
+            swaps: 1,
+            feedback_accepted: 5,
+            feedback_dropped: 1,
+            feedback_pending: 4,
+            finetunes: 0,
+        };
+        let body = s.to_json(Duration::from_secs(3), 2, 0.5, &model);
         let v = crate::json::Json::parse(body.trim()).expect("stats body parses");
         assert_eq!(v.get("requests_ok").and_then(|j| j.as_f64()), Some(1.0));
         assert_eq!(v.get("queue_depth").and_then(|j| j.as_f64()), Some(2.0));
+        assert_eq!(v.get("legacy_route_hits").and_then(|j| j.as_f64()), Some(3.0));
+        let m = v.get("model").expect("model");
+        assert_eq!(m.get("version").and_then(|j| j.as_str()), Some("2-0badf00d"));
+        assert_eq!(m.get("swaps").and_then(|j| j.as_f64()), Some(1.0));
+        let fb = m.get("feedback").expect("feedback");
+        assert_eq!(fb.get("accepted").and_then(|j| j.as_f64()), Some(5.0));
+        assert_eq!(fb.get("pending").and_then(|j| j.as_f64()), Some(4.0));
         let fl = v.get("flushes").expect("flushes");
         assert_eq!(fl.get("deadline").and_then(|j| j.as_f64()), Some(1.0));
         assert!(v.get("latency_ms").unwrap().get("p50").unwrap().as_f64().unwrap() > 1.0);
@@ -271,5 +341,26 @@ mod tests {
         }
         assert_eq!(r.buf.len(), CAP);
         assert_eq!(r.total, CAP as u64 + 10);
+    }
+
+    /// The `/stats` misreporting fix: once the latency ring wraps, the
+    /// percentile window and the lifetime request count diverge, and the
+    /// JSON must expose both instead of silently presenting a truncated
+    /// window as the whole history.
+    #[test]
+    fn overflowed_ring_reports_window_and_total_separately() {
+        let s = ServerStats::default();
+        for _ in 0..(CAP + 10) {
+            s.record_request(Duration::from_micros(100), 1, 1, 1);
+        }
+        let body = s.to_json(Duration::from_secs(1), 0, 0.0, &ModelStatus::default());
+        let v = crate::json::Json::parse(body.trim()).expect("stats body parses");
+        let lat = v.get("latency_ms").expect("latency_ms");
+        assert_eq!(lat.get("window_count").and_then(|j| j.as_f64()), Some(CAP as f64));
+        assert_eq!(
+            lat.get("total_count").and_then(|j| j.as_f64()),
+            Some((CAP + 10) as f64),
+            "total pushes must survive the ring wrapping"
+        );
     }
 }

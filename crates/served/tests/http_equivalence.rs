@@ -49,7 +49,7 @@ fn with_server_cfg<R>(
     let addr = server.addr().to_string();
     std::thread::scope(|scope| {
         let guard = ShutdownOnDrop(server.handle());
-        let runner = scope.spawn(|| server.run(&world.bundle));
+        let runner = scope.spawn(|| server.run(world.bundle.clone()));
         let out = body(&addr);
         drop(guard);
         runner.join().expect("server thread exits cleanly");
@@ -432,7 +432,7 @@ fn shutdown_with_an_open_stream_still_returns_promptly() {
     let addr = server.addr().to_string();
     let handle = server.handle();
     std::thread::scope(|scope| {
-        let runner = scope.spawn(|| server.run(&world.bundle));
+        let runner = scope.spawn(|| server.run(world.bundle.clone()));
         let mut c = Client::connect(&addr, Some(Duration::from_secs(10))).expect("connect");
         c.stream_open("/annotate_stream").expect("open stream");
         assert_eq!(c.stream_status().expect("status"), 200);
@@ -463,7 +463,7 @@ fn shutdown_endpoint_stops_the_server() {
     let server = Server::bind(cfg).expect("bind");
     let addr = server.addr().to_string();
     std::thread::scope(|scope| {
-        let runner = scope.spawn(|| server.run(&world.bundle));
+        let runner = scope.spawn(|| server.run(world.bundle.clone()));
         let mut c = Client::connect(&addr, Some(Duration::from_secs(10))).expect("connect");
         let t = &world.tables[1];
         let ok = c.request("POST", "/annotate", table_to_json(t).as_bytes()).expect("annotate");

@@ -353,7 +353,7 @@ fn with_server_cfg<R>(
     let addr = server.addr().to_string();
     std::thread::scope(|scope| {
         let guard = ShutdownOnDrop(server.handle());
-        let runner = scope.spawn(|| server.run(&world.bundle));
+        let runner = scope.spawn(|| server.run(world.bundle.clone()));
         let out = body(&addr);
         drop(guard);
         runner.join().expect("server thread exits cleanly");
@@ -390,6 +390,37 @@ fn deeply_nested_json_gets_400_not_a_stack_overflow() {
         let r = c.request("POST", "/annotate", body.as_bytes()).expect("answered");
         assert_eq!(r.status, 400, "deep nesting must hit the depth bound");
         assert_still_serving(addr);
+    });
+}
+
+/// The unprefixed legacy aliases are no longer blind spots: every hit is
+/// counted in `/v1/stats` as `legacy_route_hits`, and the response carries
+/// a `Deprecation` header so clients can find themselves in logs. `/v1`
+/// routes carry neither.
+#[test]
+fn legacy_aliases_are_counted_and_marked_deprecated() {
+    let world = synthetic_world(true, 42);
+    with_server(&world, |addr| {
+        let mut c = Client::connect(addr, Some(Duration::from_secs(5))).expect("connect");
+        let body = table_to_json(&world.tables[0]);
+
+        let legacy = c.request("POST", "/annotate", body.as_bytes()).expect("legacy annotate");
+        assert_eq!(legacy.status, 200);
+        assert!(legacy.deprecated, "legacy alias must carry a Deprecation header");
+
+        let legacy_get = c.request("GET", "/healthz", b"").expect("legacy healthz");
+        assert_eq!(legacy_get.status, 200);
+        assert!(legacy_get.deprecated, "legacy alias must carry a Deprecation header");
+
+        let v1 = c.request("POST", "/v1/annotate", body.as_bytes()).expect("v1 annotate");
+        assert_eq!(v1.status, 200);
+        assert!(!v1.deprecated, "versioned routes are not deprecated");
+
+        let stats = c.request("GET", "/v1/stats", b"").expect("stats");
+        assert_eq!(stats.status, 200);
+        assert!(!stats.deprecated);
+        let stats = String::from_utf8(stats.body).expect("utf8 stats");
+        assert!(stats.contains("\"legacy_route_hits\":2"), "stats: {stats}");
     });
 }
 
